@@ -1,0 +1,23 @@
+//! Comparison baseline: bulk preloading versus predictor virtualization.
+//!
+//! The paper's §2 positions its design against the Phantom-BTB of Burcea
+//! & Moshovos (ASPLOS 2009), which virtualizes the second level into the
+//! L2 cache and prefetches *temporal groups* on miss-trigger hits. This
+//! bench pits the two second levels against each other at matched
+//! metadata capacity (24 k entries), over the 13 Table-4 workloads.
+
+use zbp_bench::{finish, pct, save_json, start};
+use zbp_sim::experiments::comparison_phantom;
+use zbp_sim::report::render_table;
+
+fn main() {
+    let (opts, t0) = start("Comparison — bulk preload vs Phantom-BTB", "§2 related work");
+    let points = comparison_phantom(&opts);
+    let table: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| vec![p.label.clone(), pct(p.avg_improvement)])
+        .collect();
+    println!("{}", render_table(&["second level", "avg CPI improvement"], &table));
+    save_json("comparison_phantom", &points);
+    finish(t0);
+}

@@ -1,0 +1,133 @@
+//! Criterion microbenchmarks of the predictor structures and the trace
+//! generator — throughput sanity for the building blocks behind the
+//! experiment harness (Table 1's structures, the steering table, the
+//! transfer engine, and the synthetic walker).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use zbp_predictor::btb::{BtbArray, BtbGeometry};
+use zbp_predictor::entry::BtbEntry;
+use zbp_predictor::hierarchy::BranchPredictor;
+use zbp_predictor::miss::MissDetector;
+use zbp_predictor::steering::OrderingTable;
+use zbp_predictor::transfer::TransferEngine;
+use zbp_predictor::PredictorConfig;
+use zbp_trace::gen::layout::{LayoutParams, Program};
+use zbp_trace::gen::walker::Walker;
+use zbp_trace::{BranchKind, BranchRec, InstAddr, TraceInstr};
+
+fn entry(addr: u64) -> BtbEntry {
+    BtbEntry::surprise_install(
+        InstAddr::new(addr),
+        InstAddr::new(addr ^ 0x4000),
+        BranchKind::Conditional,
+        true,
+    )
+}
+
+fn bench_btb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("btb1");
+    g.bench_function("insert", |b| {
+        b.iter_batched(
+            || BtbArray::new(BtbGeometry::zec12_btb1()),
+            |mut btb| {
+                for i in 0..4096u64 {
+                    black_box(btb.insert(entry(i * 34), 0));
+                }
+                btb
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut warm = BtbArray::new(BtbGeometry::zec12_btb1());
+    for i in 0..4096u64 {
+        warm.insert(entry(i * 34), 0);
+    }
+    g.bench_function("lookup_hit", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 4096;
+            black_box(warm.lookup(InstAddr::new(i * 34), 1))
+        })
+    });
+    g.finish();
+}
+
+fn bench_steering(c: &mut Criterion) {
+    let mut table = OrderingTable::zec12();
+    for off in (0..4096u64).step_by(96) {
+        table.note_completion(InstAddr::new(0x7000_0000 + off));
+    }
+    c.bench_function("steering/search_order", |b| {
+        b.iter(|| black_box(table.search_order(0x7000_0000 / 4096, InstAddr::new(0x7000_0400))))
+    });
+    c.bench_function("steering/note_completion", |b| {
+        let mut t = OrderingTable::zec12();
+        let mut a = 0u64;
+        b.iter(|| {
+            a = (a + 6) % (1 << 20);
+            t.note_completion(InstAddr::new(a));
+        })
+    });
+}
+
+fn bench_miss_and_transfer(c: &mut Criterion) {
+    c.bench_function("miss_detector/fruitless", |b| {
+        let mut d = MissDetector::new(4);
+        let mut a = 0u64;
+        b.iter(|| {
+            a += 32;
+            black_box(d.fruitless_search(InstAddr::new(a)))
+        })
+    });
+    c.bench_function("transfer/schedule_full_block", |b| {
+        let lines: Vec<u64> = (0..128).collect();
+        b.iter_batched(
+            || TransferEngine::new(8),
+            |mut e| {
+                black_box(e.schedule(7, &lines, 0, false));
+                black_box(e.drain(u64::MAX).len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_predict_resolve(c: &mut Criterion) {
+    c.bench_function("hierarchy/predict_resolve_loop", |b| {
+        let mut bp = BranchPredictor::new(PredictorConfig::zec12());
+        let br = TraceInstr::branch(
+            InstAddr::new(0x1008),
+            4,
+            BranchRec::taken(BranchKind::Conditional, InstAddr::new(0x1000)),
+        );
+        bp.restart(InstAddr::new(0x1000), 0);
+        let mut cycle = 0u64;
+        b.iter(|| {
+            cycle += 20;
+            let p = bp.predict_branch(&br, cycle);
+            bp.resolve(&br, &p, cycle + 12);
+            black_box(p.taken)
+        })
+    });
+}
+
+fn bench_walker(c: &mut Criterion) {
+    let program = Program::generate(&LayoutParams::for_footprint(5_000, 3_200), 42);
+    c.bench_function("walker/100k_instructions", |b| {
+        b.iter(|| {
+            let w = Walker::new(&program, 9, 100_000);
+            black_box(w.count())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_btb,
+    bench_steering,
+    bench_miss_and_transfer,
+    bench_predict_resolve,
+    bench_walker
+);
+criterion_main!(benches);

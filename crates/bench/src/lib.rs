@@ -1,0 +1,103 @@
+//! Shared plumbing for the experiment bench targets.
+//!
+//! Every `cargo bench` target in this crate regenerates one table or
+//! figure of the paper: it runs the corresponding
+//! [`zbp_sim::experiments`] function, prints the result as an aligned
+//! text table, and saves the raw data as JSON under `results/` (or
+//! `$ZBP_RESULTS_DIR`) so `EXPERIMENTS.md` can reference exact numbers.
+//!
+//! Environment knobs:
+//!
+//! * `ZBP_TRACE_LEN` — cap dynamic instructions per workload (quick runs);
+//! * `ZBP_SEED` — workload synthesis seed;
+//! * `ZBP_RESULTS_DIR` — where JSON artifacts are written.
+
+#![warn(missing_docs)]
+
+use serde::Serialize;
+use std::path::PathBuf;
+use std::time::Instant;
+use zbp_sim::experiments::ExperimentOptions;
+
+/// Prints the standard experiment banner and returns parsed options.
+pub fn start(experiment: &str, paper_ref: &str) -> (ExperimentOptions, Instant) {
+    let opts = ExperimentOptions::from_env();
+    println!("==============================================================");
+    println!("zbp reproduction — {experiment}");
+    println!("paper reference: {paper_ref}");
+    match opts.len {
+        Some(l) => println!("trace length cap: {l} instructions (ZBP_TRACE_LEN)"),
+        None => println!("trace length: per-profile defaults (full run)"),
+    }
+    println!("seed: {:#x}", opts.seed);
+    println!("==============================================================");
+    (opts, Instant::now())
+}
+
+/// Prints the elapsed-time footer.
+pub fn finish(started: Instant) {
+    println!("\nelapsed: {:.1}s", started.elapsed().as_secs_f64());
+}
+
+/// Directory where JSON artifacts are stored (workspace-root `results/`
+/// unless `ZBP_RESULTS_DIR` overrides it).
+pub fn results_dir() -> PathBuf {
+    std::env::var("ZBP_RESULTS_DIR").map_or_else(
+        |_| PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results")),
+        PathBuf::from,
+    )
+}
+
+/// Saves an experiment result as JSON; prints the path. Failures are
+/// reported but non-fatal (benches still print their tables).
+pub fn save_json<T: Serialize>(name: &str, value: &T) {
+    let dir = results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => match std::fs::write(&path, json) {
+            Ok(()) => println!("saved: {}", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        },
+        Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+    }
+}
+
+/// Saves experiment rows as CSV next to the JSON artifact.
+pub fn save_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let dir = results_dir();
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.csv"));
+    let csv = zbp_sim::report::render_csv(headers, rows);
+    if std::fs::write(&path, csv).is_ok() {
+        println!("saved: {}", path.display());
+    }
+}
+
+/// Formats a signed percentage with two decimals.
+pub fn pct(x: f64) -> String {
+    format!("{x:+.2}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(2.71828), "+2.72%");
+        assert_eq!(pct(-0.5), "-0.50%");
+    }
+
+    #[test]
+    fn default_results_dir_is_workspace_root() {
+        if std::env::var("ZBP_RESULTS_DIR").is_err() {
+            assert!(results_dir().ends_with("results"));
+        }
+    }
+}

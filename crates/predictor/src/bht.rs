@@ -1,0 +1,196 @@
+//! Direction state: the 2-bit bimodal counter stored in every BTB entry
+//! and the tagless 32 k × 1-bit branch history table used to guess the
+//! direction of *surprise* branches (those the first-level predictor did
+//! not find).
+
+use serde::{Deserialize, Serialize};
+use zbp_trace::{BranchKind, InstAddr};
+
+/// A 2-bit saturating bimodal counter.
+///
+/// States 0..=1 predict not-taken, 2..=3 predict taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Bimodal2(u8);
+
+impl Bimodal2 {
+    /// Strongly not-taken (state 0).
+    pub const fn strong_not_taken() -> Self {
+        Self(0)
+    }
+
+    /// Weakly not-taken (state 1).
+    pub const fn weak_not_taken() -> Self {
+        Self(1)
+    }
+
+    /// Weakly taken (state 2).
+    pub const fn weak_taken() -> Self {
+        Self(2)
+    }
+
+    /// Strongly taken (state 3).
+    pub const fn strong_taken() -> Self {
+        Self(3)
+    }
+
+    /// Predicted direction.
+    pub const fn taken(self) -> bool {
+        self.0 >= 2
+    }
+
+    /// Raw state (0..=3).
+    pub const fn state(self) -> u8 {
+        self.0
+    }
+
+    /// Saturating update toward the resolved direction.
+    #[must_use]
+    pub const fn update(self, taken: bool) -> Self {
+        if taken {
+            Self(if self.0 == 3 { 3 } else { self.0 + 1 })
+        } else {
+            Self(if self.0 == 0 { 0 } else { self.0 - 1 })
+        }
+    }
+
+    /// Whether the state is strong (an immediate opposite outcome would
+    /// not yet flip the prediction).
+    pub const fn is_strong(self) -> bool {
+        self.0 == 0 || self.0 == 3
+    }
+}
+
+impl Default for Bimodal2 {
+    fn default() -> Self {
+        Self::weak_not_taken()
+    }
+}
+
+/// The tagless one-bit BHT guessing surprise branch directions.
+///
+/// The zEC12 guesses surprise branches from "a tagless 32k entry one-bit
+/// BHT, its opcode and other instruction text fields". Unconditional
+/// branch kinds are always guessed taken from the opcode; conditionals
+/// consult the bit.
+#[derive(Debug, Clone)]
+pub struct SurpriseBht {
+    bits: Vec<bool>,
+    mask: u64,
+}
+
+impl SurpriseBht {
+    /// Creates a table with `entries` one-bit slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two(), "surprise BHT size must be a power of two");
+        Self { bits: vec![false; entries], mask: entries as u64 - 1 }
+    }
+
+    fn index(&self, addr: InstAddr) -> usize {
+        // Instructions are halfword aligned; drop the trivial zero bit.
+        ((addr.raw() >> 1) & self.mask) as usize
+    }
+
+    /// Static guess for a surprise branch of the given kind.
+    pub fn guess(&self, addr: InstAddr, kind: BranchKind) -> bool {
+        match kind {
+            BranchKind::Conditional => self.bits[self.index(addr)],
+            // Opcode says these always redirect.
+            BranchKind::Unconditional
+            | BranchKind::Call
+            | BranchKind::Return
+            | BranchKind::Indirect => true,
+        }
+    }
+
+    /// Trains the table with a resolved outcome.
+    pub fn update(&mut self, addr: InstAddr, taken: bool) {
+        let i = self.index(addr);
+        self.bits[i] = taken;
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the table has no entries (never true for valid sizes).
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bimodal_saturates_both_ends() {
+        let mut c = Bimodal2::strong_not_taken();
+        c = c.update(false);
+        assert_eq!(c.state(), 0);
+        for _ in 0..5 {
+            c = c.update(true);
+        }
+        assert_eq!(c.state(), 3);
+        assert!(c.taken());
+        c = c.update(false);
+        assert_eq!(c.state(), 2);
+        assert!(c.taken(), "one not-taken must not flip a strong state");
+    }
+
+    #[test]
+    fn bimodal_hysteresis() {
+        let c = Bimodal2::strong_taken();
+        assert!(c.is_strong());
+        assert!(c.update(false).taken());
+        assert!(!c.update(false).update(false).taken());
+        assert!(!Bimodal2::weak_taken().is_strong());
+    }
+
+    #[test]
+    fn default_is_weak_not_taken() {
+        assert_eq!(Bimodal2::default(), Bimodal2::weak_not_taken());
+    }
+
+    #[test]
+    fn surprise_bht_guesses_unconditionals_taken() {
+        let t = SurpriseBht::new(1024);
+        let a = InstAddr::new(0x500);
+        for kind in [BranchKind::Unconditional, BranchKind::Call, BranchKind::Return, BranchKind::Indirect]
+        {
+            assert!(t.guess(a, kind));
+        }
+        assert!(!t.guess(a, BranchKind::Conditional), "untrained conditional guessed not-taken");
+    }
+
+    #[test]
+    fn surprise_bht_learns_conditionals() {
+        let mut t = SurpriseBht::new(1024);
+        let a = InstAddr::new(0x500);
+        t.update(a, true);
+        assert!(t.guess(a, BranchKind::Conditional));
+        t.update(a, false);
+        assert!(!t.guess(a, BranchKind::Conditional));
+    }
+
+    #[test]
+    fn surprise_bht_aliases_at_capacity() {
+        let mut t = SurpriseBht::new(16);
+        let a = InstAddr::new(0x0);
+        let b = InstAddr::new(16 * 2); // same index after the >>1
+        t.update(a, true);
+        assert!(t.guess(b, BranchKind::Conditional), "tagless table must alias");
+        assert_eq!(t.len(), 16);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn surprise_bht_rejects_non_power_of_two() {
+        SurpriseBht::new(1000);
+    }
+}

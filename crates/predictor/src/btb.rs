@@ -1,0 +1,378 @@
+//! Generic set-associative branch target buffer array.
+//!
+//! All three levels of the hierarchy (BTB1, BTBP, BTB2) are instances of
+//! this structure with different geometries. Rows are indexed by
+//! instruction address bits covering [`BtbGeometry::line_bytes`] of code
+//! per row (32 bytes on the zEC12 — paper §3.1), and each row maintains
+//! true LRU over its ways. Writes carry a visibility cycle so that
+//! in-flight installs (surprise writes, bulk-transfer returns) do not
+//! serve searches before the hardware could have completed them.
+
+use crate::entry::BtbEntry;
+use serde::{Deserialize, Serialize};
+use zbp_trace::InstAddr;
+
+/// Geometry of one BTB level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BtbGeometry {
+    /// Number of congruence classes (must be a power of two).
+    pub rows: u32,
+    /// Associativity.
+    pub ways: u32,
+    /// Instruction bytes covered per row (must be a power of two).
+    pub line_bytes: u32,
+}
+
+impl BtbGeometry {
+    /// Creates a geometry with the zEC12's 32-byte row span.
+    pub const fn new(rows: u32, ways: u32) -> Self {
+        Self { rows, ways, line_bytes: 32 }
+    }
+
+    /// Total entry capacity.
+    pub const fn capacity(&self) -> u32 {
+        self.rows * self.ways
+    }
+
+    /// The zEC12 BTB1: 1 k × 4 (4 k branches, IA bits 49:58).
+    pub const fn zec12_btb1() -> Self {
+        Self::new(1024, 4)
+    }
+
+    /// The zEC12 BTBP: 128 × 6 (768 branches, IA bits 52:58).
+    pub const fn zec12_btbp() -> Self {
+        Self::new(128, 6)
+    }
+
+    /// The zEC12 BTB2: 4 k × 6 (24 k branches, IA bits 47:58).
+    pub const fn zec12_btb2() -> Self {
+        Self::new(4096, 6)
+    }
+}
+
+/// A stored entry plus the cycle from which it may serve lookups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Slot {
+    entry: BtbEntry,
+    visible_at: u64,
+}
+
+/// Result of a lookup: the entry plus its recency position in the row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hit {
+    /// The matching entry.
+    pub entry: BtbEntry,
+    /// Recency rank in the row: 0 = most recently used.
+    pub recency: usize,
+}
+
+/// A set-associative BTB with true LRU rows.
+///
+/// Rows store slots in recency order (index 0 = MRU), so "make MRU" and
+/// "make LRU" are list rotations, matching the paper's description of the
+/// semi-exclusive protocol in §3.3.
+///
+/// ```
+/// use zbp_predictor::btb::{BtbArray, BtbGeometry};
+/// use zbp_predictor::entry::BtbEntry;
+/// use zbp_trace::{BranchKind, InstAddr};
+///
+/// let mut btb1 = BtbArray::new(BtbGeometry::zec12_btb1());
+/// let entry = BtbEntry::surprise_install(
+///     InstAddr::new(0x1008),
+///     InstAddr::new(0x2000),
+///     BranchKind::Conditional,
+///     true,
+/// );
+/// btb1.insert(entry, 0);
+/// assert!(btb1.lookup(InstAddr::new(0x1008), 0).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct BtbArray {
+    geometry: BtbGeometry,
+    rows: Vec<Vec<Slot>>,
+    line_shift: u32,
+    row_mask: u64,
+}
+
+impl BtbArray {
+    /// Creates an empty array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows or line bytes are not powers of two, or ways is 0.
+    pub fn new(geometry: BtbGeometry) -> Self {
+        assert!(geometry.rows.is_power_of_two(), "rows must be a power of two");
+        assert!(geometry.line_bytes.is_power_of_two(), "line bytes must be a power of two");
+        assert!(geometry.ways > 0, "ways must be positive");
+        Self {
+            rows: vec![Vec::with_capacity(geometry.ways as usize); geometry.rows as usize],
+            line_shift: geometry.line_bytes.trailing_zeros(),
+            row_mask: geometry.rows as u64 - 1,
+            geometry,
+        }
+    }
+
+    /// The array's geometry.
+    pub fn geometry(&self) -> BtbGeometry {
+        self.geometry
+    }
+
+    /// Row index for an address.
+    pub fn row_of(&self, addr: InstAddr) -> usize {
+        ((addr.raw() >> self.line_shift) & self.row_mask) as usize
+    }
+
+    /// Exact-tag lookup visible at `now`. Does not affect recency.
+    pub fn lookup(&self, addr: InstAddr, now: u64) -> Option<Hit> {
+        let row = &self.rows[self.row_of(addr)];
+        row.iter()
+            .enumerate()
+            .find(|(_, s)| s.entry.addr == addr && s.visible_at <= now)
+            .map(|(i, s)| Hit { entry: s.entry, recency: i })
+    }
+
+    /// Whether any entry visible at `now` falls within the row covering
+    /// `addr` *and* the same [`BtbGeometry::line_bytes`] line — i.e. the
+    /// row search would report content for this line.
+    pub fn line_has_content(&self, addr: InstAddr, now: u64) -> bool {
+        let line = addr.raw() >> self.line_shift;
+        self.rows[self.row_of(addr)]
+            .iter()
+            .any(|s| s.visible_at <= now && (s.entry.addr.raw() >> self.line_shift) == line)
+    }
+
+    /// All entries visible at `now` whose address lies in the given line
+    /// (line number = address / line bytes), in recency order.
+    pub fn entries_in_line(&self, line: u64, now: u64) -> Vec<BtbEntry> {
+        let addr = InstAddr::new(line << self.line_shift);
+        self.rows[self.row_of(addr)]
+            .iter()
+            .filter(|s| s.visible_at <= now && (s.entry.addr.raw() >> self.line_shift) == line)
+            .map(|s| s.entry)
+            .collect()
+    }
+
+    /// Makes the entry for `addr` most recently used.
+    pub fn make_mru(&mut self, addr: InstAddr) {
+        let row_idx = self.row_of(addr);
+        let row = &mut self.rows[row_idx];
+        if let Some(pos) = row.iter().position(|s| s.entry.addr == addr) {
+            let slot = row.remove(pos);
+            row.insert(0, slot);
+        }
+    }
+
+    /// Makes the entry for `addr` least recently used (the semi-exclusive
+    /// protocol applies this to BTB2 hits so later victims replace them).
+    pub fn make_lru(&mut self, addr: InstAddr) {
+        let row_idx = self.row_of(addr);
+        let row = &mut self.rows[row_idx];
+        if let Some(pos) = row.iter().position(|s| s.entry.addr == addr) {
+            let slot = row.remove(pos);
+            row.push(slot);
+        }
+    }
+
+    /// Inserts (or replaces) an entry as MRU, returning the evicted victim
+    /// if the row overflowed.
+    ///
+    /// An existing entry with the same address is replaced in place (and
+    /// made MRU) rather than duplicated.
+    pub fn insert(&mut self, entry: BtbEntry, visible_at: u64) -> Option<BtbEntry> {
+        let row_idx = self.row_of(entry.addr);
+        let ways = self.geometry.ways as usize;
+        let row = &mut self.rows[row_idx];
+        let mut visible_at = visible_at;
+        if let Some(pos) = row.iter().position(|s| s.entry.addr == entry.addr) {
+            // Re-writing an in-flight entry must not push its visibility
+            // into the future: the earlier write still completes.
+            visible_at = visible_at.min(row[pos].visible_at);
+            row.remove(pos);
+        }
+        row.insert(0, Slot { entry, visible_at });
+        if row.len() > ways {
+            return row.pop().map(|s| s.entry);
+        }
+        None
+    }
+
+    /// Removes and returns the entry for `addr`.
+    pub fn remove(&mut self, addr: InstAddr) -> Option<BtbEntry> {
+        let row_idx = self.row_of(addr);
+        let row = &mut self.rows[row_idx];
+        row.iter()
+            .position(|s| s.entry.addr == addr)
+            .map(|pos| row.remove(pos).entry)
+    }
+
+    /// Updates an entry in place via `f`; returns whether it was found.
+    pub fn update_entry(&mut self, addr: InstAddr, f: impl FnOnce(&mut BtbEntry)) -> bool {
+        let row_idx = self.row_of(addr);
+        if let Some(slot) = self.rows[row_idx].iter_mut().find(|s| s.entry.addr == addr) {
+            f(&mut slot.entry);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of entries currently stored.
+    pub fn occupancy(&self) -> usize {
+        self.rows.iter().map(|r| r.len()).sum()
+    }
+
+    /// Removes all entries.
+    pub fn clear(&mut self) {
+        for row in &mut self.rows {
+            row.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zbp_trace::BranchKind;
+
+    fn entry(addr: u64) -> BtbEntry {
+        BtbEntry::surprise_install(
+            InstAddr::new(addr),
+            InstAddr::new(addr + 0x100),
+            BranchKind::Conditional,
+            true,
+        )
+    }
+
+    fn tiny() -> BtbArray {
+        BtbArray::new(BtbGeometry::new(4, 2))
+    }
+
+    #[test]
+    fn geometry_capacities_match_paper() {
+        assert_eq!(BtbGeometry::zec12_btb1().capacity(), 4 * 1024);
+        assert_eq!(BtbGeometry::zec12_btbp().capacity(), 768);
+        assert_eq!(BtbGeometry::zec12_btb2().capacity(), 24 * 1024);
+    }
+
+    #[test]
+    fn rows_cover_32_bytes() {
+        let b = BtbArray::new(BtbGeometry::zec12_btb1());
+        assert_eq!(b.row_of(InstAddr::new(0x1000)), b.row_of(InstAddr::new(0x101F)));
+        assert_ne!(b.row_of(InstAddr::new(0x1000)), b.row_of(InstAddr::new(0x1020)));
+    }
+
+    #[test]
+    fn zec12_row_indices_match_ibm_bit_spans() {
+        let b1 = BtbArray::new(BtbGeometry::zec12_btb1());
+        let bp = BtbArray::new(BtbGeometry::zec12_btbp());
+        let b2 = BtbArray::new(BtbGeometry::zec12_btb2());
+        for raw in [0u64, 0x1234, 0xFFFF_FFFF, 0xDEAD_BEEF_CAFE] {
+            let a = InstAddr::new(raw);
+            assert_eq!(b1.row_of(a), a.btb1_row());
+            assert_eq!(bp.row_of(a), a.btbp_row());
+            assert_eq!(b2.row_of(a), a.btb2_row());
+        }
+    }
+
+    #[test]
+    fn lookup_respects_visibility() {
+        let mut b = tiny();
+        b.insert(entry(0x40), 100);
+        assert!(b.lookup(InstAddr::new(0x40), 99).is_none());
+        assert!(b.lookup(InstAddr::new(0x40), 100).is_some());
+    }
+
+    #[test]
+    fn insert_evicts_lru() {
+        let mut b = tiny();
+        // Same row: addresses 0x00, 0x80, 0x100 (4 rows x 32B wrap at 128).
+        assert!(b.insert(entry(0x00), 0).is_none());
+        assert!(b.insert(entry(0x80), 0).is_none());
+        let victim = b.insert(entry(0x100), 0).expect("row of 2 ways overflowed");
+        assert_eq!(victim.addr.raw(), 0x00, "oldest entry must be the victim");
+        assert!(b.lookup(InstAddr::new(0x80), 0).is_some());
+        assert!(b.lookup(InstAddr::new(0x100), 0).is_some());
+    }
+
+    #[test]
+    fn make_mru_protects_from_eviction() {
+        let mut b = tiny();
+        b.insert(entry(0x00), 0);
+        b.insert(entry(0x80), 0);
+        b.make_mru(InstAddr::new(0x00));
+        let victim = b.insert(entry(0x100), 0).unwrap();
+        assert_eq!(victim.addr.raw(), 0x80);
+    }
+
+    #[test]
+    fn make_lru_invites_eviction() {
+        let mut b = tiny();
+        b.insert(entry(0x00), 0);
+        b.insert(entry(0x80), 0); // MRU now 0x80.
+        b.make_lru(InstAddr::new(0x80));
+        let victim = b.insert(entry(0x100), 0).unwrap();
+        assert_eq!(victim.addr.raw(), 0x80, "explicitly LRU'd entry must go first");
+    }
+
+    #[test]
+    fn reinsert_same_address_replaces_in_place() {
+        let mut b = tiny();
+        b.insert(entry(0x00), 0);
+        let mut e = entry(0x00);
+        e.target = InstAddr::new(0x999);
+        assert!(b.insert(e, 0).is_none(), "same-tag insert must not evict");
+        assert_eq!(b.occupancy(), 1);
+        assert_eq!(b.lookup(InstAddr::new(0x00), 0).unwrap().entry.target.raw(), 0x999);
+    }
+
+    #[test]
+    fn recency_rank_reported() {
+        let mut b = tiny();
+        b.insert(entry(0x00), 0);
+        b.insert(entry(0x80), 0);
+        assert_eq!(b.lookup(InstAddr::new(0x80), 0).unwrap().recency, 0);
+        assert_eq!(b.lookup(InstAddr::new(0x00), 0).unwrap().recency, 1);
+    }
+
+    #[test]
+    fn entries_in_line_filters_by_line() {
+        let mut b = tiny();
+        b.insert(entry(0x40), 0);
+        b.insert(entry(0x48), 0); // same 32B line
+        b.insert(entry(0x60), 0); // same row? 0x60>>5=3 vs 0x40>>5=2: different line
+        let line2 = b.entries_in_line(2, 0);
+        assert_eq!(line2.len(), 2);
+        assert!(line2.iter().all(|e| e.addr.raw() >> 5 == 2));
+        assert_eq!(b.entries_in_line(3, 0).len(), 1);
+        assert!(b.line_has_content(InstAddr::new(0x41), 0));
+        assert!(!b.line_has_content(InstAddr::new(0xA0), 0), "empty line must report no content");
+    }
+
+    #[test]
+    fn remove_and_update() {
+        let mut b = tiny();
+        b.insert(entry(0x00), 0);
+        assert!(b.update_entry(InstAddr::new(0x00), |e| e.use_pht = true));
+        assert!(b.lookup(InstAddr::new(0x00), 0).unwrap().entry.use_pht);
+        assert!(!b.update_entry(InstAddr::new(0x40), |_| {}));
+        let removed = b.remove(InstAddr::new(0x00)).unwrap();
+        assert!(removed.use_pht);
+        assert_eq!(b.occupancy(), 0);
+        assert!(b.remove(InstAddr::new(0x00)).is_none());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut b = tiny();
+        b.insert(entry(0x00), 0);
+        b.clear();
+        assert_eq!(b.occupancy(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows must be a power of two")]
+    fn rejects_non_power_of_two_rows() {
+        BtbArray::new(BtbGeometry::new(3, 2));
+    }
+}

@@ -1,0 +1,190 @@
+//! Predictor configuration and the paper's three simulated setups.
+
+use crate::btb::BtbGeometry;
+use crate::exclusive::ExclusivityPolicy;
+use crate::miss::MissDetection;
+use crate::phantom::PhantomConfig;
+use crate::pipeline::PipelineTiming;
+use crate::tracker::FilterMode;
+use serde::{Deserialize, Serialize};
+
+/// Full configuration of the branch prediction hierarchy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictorConfig {
+    /// First-level BTB geometry.
+    pub btb1: BtbGeometry,
+    /// Preload-table geometry.
+    pub btbp: BtbGeometry,
+    /// Second-level geometry; `None` disables the BTB2 entirely
+    /// (Table 3 configurations 1 and 3).
+    pub btb2: Option<BtbGeometry>,
+    /// Searches without a prediction before a BTB1 miss is perceived
+    /// (§3.4; the shipped value is 4 — Figure 6 sweeps it).
+    pub miss_search_limit: u32,
+    /// Which events report perceived BTB1 misses (§3.4 shipped definition
+    /// vs the later decode-stage alternative the §6 future work studies).
+    pub miss_detection: MissDetection,
+    /// §6 future work: chase one taken-branch target out of each bulk
+    /// transfer into a chained transfer of the target's 4 KB block.
+    pub multi_block_transfer: bool,
+    /// Comparison baseline: replace the dedicated BTB2 with a
+    /// Phantom-BTB-style virtualized second level (paper §2 related
+    /// work). Mutually exclusive with `btb2`.
+    pub phantom: Option<PhantomConfig>,
+    /// Number of BTB2 search trackers (§3.6; shipped value 3 — Figure 7).
+    pub trackers: usize,
+    /// Treatment of BTB1 misses lacking a corresponding I-cache miss
+    /// (§3.5).
+    pub filter_mode: FilterMode,
+    /// Whether the §3.7 ordering table steers transfer return order
+    /// (disabled = sequential from the demand quartile).
+    pub steering: bool,
+    /// BTB1/BTB2 content management policy (§3.3).
+    pub exclusivity: ExclusivityPolicy,
+    /// Pattern history table entries.
+    pub pht_entries: usize,
+    /// Changing target buffer entries.
+    pub ctb_entries: usize,
+    /// Fast index table entries.
+    pub fit_entries: usize,
+    /// Tagless surprise-guess BHT entries.
+    pub surprise_bht_entries: usize,
+    /// Ordering table entries / ways.
+    pub ordering_entries: usize,
+    /// Ordering table associativity.
+    pub ordering_ways: usize,
+    /// Search pipeline timing.
+    pub timing: PipelineTiming,
+    /// Cycles between a surprise branch's resolution and its install
+    /// becoming visible in the BTBP (write latency of the hierarchy).
+    pub install_delay: u64,
+    /// Maximum cycles the lookahead search may run ahead of decode
+    /// (models finite prediction buffering).
+    pub max_lead_cycles: u64,
+}
+
+impl PredictorConfig {
+    /// The zEC12 production configuration (Table 3 configuration 2).
+    pub fn zec12() -> Self {
+        Self {
+            btb1: BtbGeometry::zec12_btb1(),
+            btbp: BtbGeometry::zec12_btbp(),
+            btb2: Some(BtbGeometry::zec12_btb2()),
+            miss_search_limit: 4,
+            miss_detection: MissDetection::SearchLimit,
+            multi_block_transfer: false,
+            phantom: None,
+            trackers: 3,
+            filter_mode: FilterMode::Partial,
+            steering: true,
+            exclusivity: ExclusivityPolicy::SemiExclusive,
+            pht_entries: 4096,
+            ctb_entries: 2048,
+            fit_entries: 64,
+            surprise_bht_entries: 32 * 1024,
+            ordering_entries: 512,
+            ordering_ways: 2,
+            timing: PipelineTiming::zec12(),
+            install_delay: 12,
+            max_lead_cycles: 40,
+        }
+    }
+
+    /// Table 3 configuration 1: the baseline with the BTB2 disabled.
+    pub fn no_btb2() -> Self {
+        Self { btb2: None, ..Self::zec12() }
+    }
+
+    /// Table 3 configuration 3: an unrealistically large low-latency
+    /// 24 k-entry BTB1 (4 k × 6), no BTB2.
+    pub fn large_btb1() -> Self {
+        Self { btb1: BtbGeometry::new(4096, 6), btb2: None, ..Self::zec12() }
+    }
+
+    /// Same configuration with a different BTB2 capacity, keeping 6 ways
+    /// (used by the Figure 5 size sweep). `entries == 0` disables it.
+    #[must_use]
+    pub fn with_btb2_entries(mut self, entries: u32) -> Self {
+        self.btb2 = if entries == 0 {
+            None
+        } else {
+            let ways = 6;
+            assert!(entries.is_multiple_of(ways), "BTB2 entries must divide into 6 ways");
+            let rows = entries / ways;
+            assert!(rows.is_power_of_two(), "BTB2 rows must be a power of two");
+            Some(BtbGeometry::new(rows, ways))
+        };
+        self
+    }
+
+    /// Whether the second level exists.
+    pub fn btb2_enabled(&self) -> bool {
+        self.btb2.is_some()
+    }
+
+    /// Comparison baseline: the phantom (virtualized) second level of
+    /// Burcea & Moshovos at metadata capacity matched to the BTB2.
+    pub fn phantom_btb() -> Self {
+        Self { btb2: None, phantom: Some(PhantomConfig::matched_to_btb2()), ..Self::zec12() }
+    }
+}
+
+impl Default for PredictorConfig {
+    fn default() -> Self {
+        Self::zec12()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zec12_matches_table3_configuration_2() {
+        let c = PredictorConfig::zec12();
+        assert_eq!(c.btb1.capacity(), 4096);
+        assert_eq!(c.btbp.capacity(), 768);
+        assert_eq!(c.btb2.unwrap().capacity(), 24 * 1024);
+        assert_eq!(c.miss_search_limit, 4);
+        assert_eq!(c.trackers, 3);
+        assert!(c.steering);
+    }
+
+    #[test]
+    fn config1_disables_btb2_only() {
+        let c = PredictorConfig::no_btb2();
+        assert!(!c.btb2_enabled());
+        assert_eq!(c.btb1, PredictorConfig::zec12().btb1);
+    }
+
+    #[test]
+    fn config3_is_24k_btb1() {
+        let c = PredictorConfig::large_btb1();
+        assert_eq!(c.btb1.capacity(), 24 * 1024);
+        assert_eq!(c.btb1.rows, 4096);
+        assert_eq!(c.btb1.ways, 6);
+        assert!(!c.btb2_enabled());
+    }
+
+    #[test]
+    fn btb2_size_sweep_constructor() {
+        let c = PredictorConfig::zec12().with_btb2_entries(12 * 1024);
+        assert_eq!(c.btb2.unwrap().rows, 2048);
+        let off = PredictorConfig::zec12().with_btb2_entries(0);
+        assert!(!off.btb2_enabled());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn sweep_rejects_bad_sizes() {
+        PredictorConfig::zec12().with_btb2_entries(18 * 1024);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = PredictorConfig::zec12();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: PredictorConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,105 @@
+//! Changing Target Buffer: path-indexed target override.
+//!
+//! 2,048 entries on the zEC12, indexed from the addresses of the 12
+//! previous taken branches and tagged with branch address bits (paper
+//! §3.1). It serves branches "exhibiting multiple targets" — indirect
+//! branches and returns — and participates only when the BTB entry's
+//! `use_ctb` control bit is set, which is turned on after a target
+//! misprediction.
+
+use serde::{Deserialize, Serialize};
+use zbp_trace::InstAddr;
+
+/// One CTB entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct CtbEntry {
+    tag: u16,
+    target: InstAddr,
+}
+
+/// The changing target buffer.
+#[derive(Debug, Clone)]
+pub struct Ctb {
+    entries: Vec<Option<CtbEntry>>,
+}
+
+impl Ctb {
+    /// Creates a CTB with `entries` slots (power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two(), "CTB size must be a power of two");
+        Self { entries: vec![None; entries] }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table has zero slots (never for valid sizes).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Tag-matched target lookup.
+    pub fn lookup(&self, index: usize, tag: u16) -> Option<InstAddr> {
+        self.entries[index].filter(|e| e.tag == tag).map(|e| e.target)
+    }
+
+    /// Records the resolved target for this path.
+    pub fn update(&mut self, index: usize, tag: u16, target: InstAddr) {
+        self.entries[index] = Some(CtbEntry { tag, target });
+    }
+
+    /// Occupied slot count.
+    pub fn occupancy(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_requires_tag_match() {
+        let mut c = Ctb::new(8);
+        c.update(1, 0x42, InstAddr::new(0x9000));
+        assert_eq!(c.lookup(1, 0x42), Some(InstAddr::new(0x9000)));
+        assert_eq!(c.lookup(1, 0x43), None);
+        assert_eq!(c.lookup(2, 0x42), None);
+    }
+
+    #[test]
+    fn update_overwrites_target() {
+        let mut c = Ctb::new(8);
+        c.update(1, 0x42, InstAddr::new(0x9000));
+        c.update(1, 0x42, InstAddr::new(0xA000));
+        assert_eq!(c.lookup(1, 0x42), Some(InstAddr::new(0xA000)));
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn different_paths_different_slots() {
+        let mut c = Ctb::new(8);
+        c.update(1, 0x42, InstAddr::new(0x9000));
+        c.update(5, 0x42, InstAddr::new(0xB000));
+        assert_eq!(c.lookup(1, 0x42), Some(InstAddr::new(0x9000)));
+        assert_eq!(c.lookup(5, 0x42), Some(InstAddr::new(0xB000)));
+    }
+
+    #[test]
+    fn zec12_size() {
+        assert_eq!(Ctb::new(2048).len(), 2048);
+        assert!(!Ctb::new(2048).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_size() {
+        Ctb::new(1000);
+    }
+}

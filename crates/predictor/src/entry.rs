@@ -1,0 +1,64 @@
+//! Branch prediction table entry content.
+//!
+//! Every level of the hierarchy (BTB1, BTBP, BTB2) stores the same type
+//! of content per entry: the branch's address (tag), its predicted target
+//! address, a 2-bit bimodal direction state, the branch kind, and the
+//! control bits that gate the auxiliary PHT / CTB predictors for branches
+//! that have exhibited multiple directions or targets.
+
+use crate::bht::Bimodal2;
+use serde::{Deserialize, Serialize};
+use zbp_trace::{BranchKind, InstAddr};
+
+/// One branch prediction entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BtbEntry {
+    /// Address of the branch instruction (full tag in this model; the
+    /// hardware stores a partial tag and accepts some aliasing).
+    pub addr: InstAddr,
+    /// Predicted target address for taken predictions.
+    pub target: InstAddr,
+    /// 2-bit bimodal direction state.
+    pub bht: Bimodal2,
+    /// Branch kind, from decode of the original surprise install.
+    pub kind: BranchKind,
+    /// Whether the PHT may override the bimodal direction for this branch.
+    pub use_pht: bool,
+    /// Whether the CTB may override the target for this branch.
+    pub use_ctb: bool,
+}
+
+impl BtbEntry {
+    /// Entry for a newly installed surprise branch resolved `taken`.
+    pub fn surprise_install(addr: InstAddr, target: InstAddr, kind: BranchKind, taken: bool) -> Self {
+        Self {
+            addr,
+            target,
+            bht: if taken { Bimodal2::weak_taken() } else { Bimodal2::weak_not_taken() },
+            kind,
+            use_pht: false,
+            use_ctb: false,
+        }
+    }
+
+    /// Direction predicted by the entry's own bimodal state.
+    pub fn bht_taken(&self) -> bool {
+        self.bht.taken()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surprise_install_seeds_direction() {
+        let a = InstAddr::new(0x100);
+        let t = InstAddr::new(0x200);
+        let e = BtbEntry::surprise_install(a, t, BranchKind::Conditional, true);
+        assert!(e.bht_taken());
+        assert!(!e.use_pht && !e.use_ctb);
+        let e = BtbEntry::surprise_install(a, t, BranchKind::Conditional, false);
+        assert!(!e.bht_taken());
+    }
+}

@@ -1,0 +1,176 @@
+//! Global path history feeding the PHT and CTB indices.
+//!
+//! The zEC12 PHT "is indexed based on the direction of the 12 previous
+//! predicted branches and the instruction addresses of the 6 previous
+//! taken branches"; the CTB "is indexed based on the instruction
+//! addresses of the 12 previous taken branches" (paper §3.1). This module
+//! maintains those histories and folds them into table indices.
+
+use serde::{Deserialize, Serialize};
+use zbp_trace::InstAddr;
+
+/// Depth of the direction history.
+pub const DIR_DEPTH: u32 = 12;
+/// Taken-address history depth used by the PHT index.
+pub const PHT_ADDR_DEPTH: usize = 6;
+/// Taken-address history depth used by the CTB index.
+pub const CTB_ADDR_DEPTH: usize = 12;
+
+/// Global branch path history.
+///
+/// ```
+/// use zbp_predictor::history::PathHistory;
+/// use zbp_trace::InstAddr;
+///
+/// let mut h = PathHistory::new();
+/// h.push(InstAddr::new(0x1000), true);
+/// h.push(InstAddr::new(0x2000), false);
+/// assert_eq!(h.dirs() & 0b11, 0b10); // youngest direction in bit 0
+/// assert!(h.pht_index(4096) < 4096);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PathHistory {
+    /// Last [`DIR_DEPTH`] directions, bit 0 = most recent (1 = taken).
+    dirs: u16,
+    /// Circular buffer of the last [`CTB_ADDR_DEPTH`] taken addresses.
+    taken: [u64; CTB_ADDR_DEPTH],
+    /// Next write position in `taken`.
+    pos: usize,
+}
+
+impl PathHistory {
+    /// Empty history.
+    pub fn new() -> Self {
+        Self { dirs: 0, taken: [0; CTB_ADDR_DEPTH], pos: 0 }
+    }
+
+    /// Records a resolved (or predicted) branch.
+    pub fn push(&mut self, addr: InstAddr, taken: bool) {
+        self.dirs = ((self.dirs << 1) | u16::from(taken)) & ((1 << DIR_DEPTH) - 1);
+        if taken {
+            self.taken[self.pos] = addr.raw();
+            self.pos = (self.pos + 1) % CTB_ADDR_DEPTH;
+        }
+    }
+
+    /// The direction history bits (youngest in bit 0).
+    pub fn dirs(&self) -> u16 {
+        self.dirs
+    }
+
+    /// Folded hash of the `depth` most recent taken addresses.
+    fn fold_taken(&self, depth: usize) -> u64 {
+        debug_assert!(depth <= CTB_ADDR_DEPTH);
+        let mut h: u64 = 0;
+        for k in 0..depth {
+            let idx = (self.pos + CTB_ADDR_DEPTH - 1 - k) % CTB_ADDR_DEPTH;
+            // Cheap position-dependent mix; instructions are halfword
+            // aligned so drop the zero bit.
+            h = h
+                .rotate_left(7)
+                .wrapping_add((self.taken[idx] >> 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        }
+        h
+    }
+
+    /// PHT index for a table of `entries` slots (power of two).
+    pub fn pht_index(&self, entries: usize) -> usize {
+        debug_assert!(entries.is_power_of_two());
+        let mix = self.fold_taken(PHT_ADDR_DEPTH) ^ u64::from(self.dirs);
+        (mix ^ (mix >> 17)) as usize & (entries - 1)
+    }
+
+    /// CTB index for a table of `entries` slots (power of two).
+    pub fn ctb_index(&self, entries: usize) -> usize {
+        debug_assert!(entries.is_power_of_two());
+        let mix = self.fold_taken(CTB_ADDR_DEPTH);
+        (mix ^ (mix >> 13)) as usize & (entries - 1)
+    }
+
+    /// Partial tag identifying a branch in the PHT/CTB (the hardware tags
+    /// entries "with branch instruction address bits").
+    pub fn tag_for(addr: InstAddr) -> u16 {
+        let a = addr.raw() >> 1;
+        (a ^ (a >> 16) ^ (a >> 32)) as u16
+    }
+}
+
+impl Default for PathHistory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dirs_shift_and_mask() {
+        let mut h = PathHistory::new();
+        for _ in 0..20 {
+            h.push(InstAddr::new(0x100), true);
+        }
+        assert_eq!(h.dirs(), (1 << DIR_DEPTH) - 1);
+        h.push(InstAddr::new(0x100), false);
+        assert_eq!(h.dirs() & 1, 0);
+        assert_eq!(h.dirs(), ((1 << DIR_DEPTH) - 2) & ((1 << DIR_DEPTH) - 1));
+    }
+
+    #[test]
+    fn not_taken_does_not_disturb_taken_addrs() {
+        let mut a = PathHistory::new();
+        let mut b = PathHistory::new();
+        a.push(InstAddr::new(0x100), true);
+        b.push(InstAddr::new(0x100), true);
+        b.push(InstAddr::new(0x200), false);
+        assert_eq!(a.fold_taken(6), b.fold_taken(6));
+        assert_ne!(a.dirs(), b.dirs());
+    }
+
+    #[test]
+    fn different_paths_produce_different_indices() {
+        let mut a = PathHistory::new();
+        let mut b = PathHistory::new();
+        for i in 0..6 {
+            a.push(InstAddr::new(0x1000 + i * 0x40), true);
+            b.push(InstAddr::new(0x2000 + i * 0x40), true);
+        }
+        assert_ne!(a.pht_index(4096), b.pht_index(4096));
+        assert_ne!(a.ctb_index(2048), b.ctb_index(2048));
+    }
+
+    #[test]
+    fn indices_stay_in_range() {
+        let mut h = PathHistory::new();
+        for i in 0..100u64 {
+            h.push(InstAddr::new(i * 0x36), i % 3 != 0);
+            assert!(h.pht_index(4096) < 4096);
+            assert!(h.ctb_index(2048) < 2048);
+        }
+    }
+
+    #[test]
+    fn pht_sees_only_six_taken_addresses_deep() {
+        // Two histories differing only in a taken address 7 branches ago
+        // must produce the same PHT fold but different CTB folds.
+        let mut a = PathHistory::new();
+        let mut b = PathHistory::new();
+        a.push(InstAddr::new(0xAAAA), true);
+        b.push(InstAddr::new(0xBBBB), true);
+        for i in 0..6u64 {
+            a.push(InstAddr::new(0x1000 + i * 0x20), true);
+            b.push(InstAddr::new(0x1000 + i * 0x20), true);
+        }
+        assert_eq!(a.fold_taken(PHT_ADDR_DEPTH), b.fold_taken(PHT_ADDR_DEPTH));
+        assert_ne!(a.fold_taken(CTB_ADDR_DEPTH), b.fold_taken(CTB_ADDR_DEPTH));
+    }
+
+    #[test]
+    fn tags_differ_across_addresses() {
+        assert_ne!(
+            PathHistory::tag_for(InstAddr::new(0x1000)),
+            PathHistory::tag_for(InstAddr::new(0x1002))
+        );
+    }
+}

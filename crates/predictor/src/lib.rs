@@ -1,0 +1,69 @@
+//! The IBM zEC12 two-level bulk preload branch prediction hierarchy
+//! (Bonanno et al., *Two Level Bulk Preload Branch Prediction*, HPCA 2013).
+//!
+//! # Architecture
+//!
+//! All predictions are made by the **first level**: the 4 k-entry
+//! [`btb::BtbArray`] configured as the BTB1 (1 k rows × 4 ways), the
+//! 768-entry BTBP preload table (128 rows × 6 ways) read in parallel with
+//! it, the path-indexed [`pht`] and [`ctb`] auxiliary predictors, and the
+//! [`fit`] fast index table that accelerates re-indexing. Branches not
+//! predicted by the first level are *surprise branches*, statically
+//! guessed from a tagless 32 k × 1-bit [`bht::SurpriseBht`] and the
+//! branch opcode.
+//!
+//! The 24 k-entry second level (4 k rows × 6 ways) never predicts
+//! directly. When the first level goes [`miss`]-limit searches without
+//! producing a prediction, a *perceived BTB1 miss* arms a [`tracker`];
+//! trackers whose 4 KB block also suffered an L1 I-cache miss launch a
+//! full 128-row bulk transfer, ordered by the [`steering`] table, through
+//! the [`transfer`] engine into the BTBP. Filtered misses get only a
+//! 4-row partial search. The [`exclusive`] module implements the
+//! semi-exclusive BTB1/BTB2 LRU protocol (and the inclusive /
+//! true-exclusive alternatives for ablation).
+//!
+//! [`hierarchy::BranchPredictor`] ties everything together behind an
+//! event-driven API the trace simulator drives:
+//!
+//! ```
+//! use zbp_predictor::config::PredictorConfig;
+//! use zbp_predictor::hierarchy::BranchPredictor;
+//! use zbp_trace::{BranchKind, BranchRec, InstAddr, TraceInstr};
+//!
+//! let mut bp = BranchPredictor::new(PredictorConfig::zec12());
+//! bp.restart(InstAddr::new(0x1000), 0);
+//!
+//! let br = TraceInstr::branch(
+//!     InstAddr::new(0x1008),
+//!     4,
+//!     BranchRec::taken(BranchKind::Conditional, InstAddr::new(0x2000)),
+//! );
+//! let pred = bp.predict_branch(&br, 100);
+//! assert!(!pred.dynamic()); // first encounter: a surprise branch
+//! bp.resolve(&br, &pred, 110); // taken resolution installs it
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bht;
+pub mod btb;
+pub mod config;
+pub mod ctb;
+pub mod entry;
+pub mod exclusive;
+pub mod fit;
+pub mod hierarchy;
+pub mod history;
+pub mod miss;
+pub mod phantom;
+pub mod pht;
+pub mod pipeline;
+pub mod stats;
+pub mod steering;
+pub mod tracker;
+pub mod transfer;
+
+pub use config::PredictorConfig;
+pub use entry::BtbEntry;
+pub use hierarchy::{BranchPredictor, PredSource, Prediction};
+pub use stats::PredictorStats;

@@ -1,0 +1,223 @@
+//! Perceived BTB1 miss detection.
+//!
+//! In an asynchronous lookahead predictor a "miss" cannot be observed
+//! directly — the first level simply fails to produce predictions. The
+//! zEC12 therefore *defines* a BTB1 miss as a predefined number of
+//! consecutive searches without any prediction (paper §3.4, Table 2);
+//! the production setting is 4 searches / 128 bytes. The reported miss
+//! address is the *starting* search address of the fruitless run, which
+//! is what the BTB2 trackers key on.
+//!
+//! The definition is speculative: branch-free stretches (long unrolled
+//! loops) trigger it without any capacity problem, which is why §3.5
+//! filters the resulting BTB2 searches by I-cache miss correspondence.
+
+use serde::{Deserialize, Serialize};
+use zbp_trace::InstAddr;
+
+/// Which events are allowed to report a perceived BTB1 miss.
+///
+/// §3.4 describes the shipped early/speculative definition (a run of
+/// fruitless searches) and an alternative, later and less speculative
+/// one: an actual branch encountered at decode without a dynamic
+/// prediction. The `§6` future-work section calls out exploring this
+/// trade-off, which [`DecodeSurprise`](MissDetection::DecodeSurprise) and
+/// [`Both`](MissDetection::Both) enable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum MissDetection {
+    /// Shipped: report after N consecutive fruitless searches.
+    #[default]
+    SearchLimit,
+    /// Alternative: report when decode encounters a statically
+    /// guessed-taken surprise branch.
+    DecodeSurprise,
+    /// Both detectors armed.
+    Both,
+}
+
+impl MissDetection {
+    /// Whether the fruitless-search detector participates.
+    pub const fn uses_search_limit(self) -> bool {
+        matches!(self, MissDetection::SearchLimit | MissDetection::Both)
+    }
+
+    /// Whether decode-stage surprise reports participate.
+    pub const fn uses_decode_surprise(self) -> bool {
+        matches!(self, MissDetection::DecodeSurprise | MissDetection::Both)
+    }
+}
+
+/// Consecutive fruitless-search counter implementing the §3.4 definition.
+///
+/// ```
+/// use zbp_predictor::miss::MissDetector;
+/// use zbp_trace::InstAddr;
+///
+/// let mut d = MissDetector::new(4); // the shipped limit
+/// for step in 0..3 {
+///     assert!(d.fruitless_search(InstAddr::new(0x100 + step * 32)).is_none());
+/// }
+/// let miss = d.fruitless_search(InstAddr::new(0x160)).unwrap();
+/// assert_eq!(miss.addr, InstAddr::new(0x100)); // reported at the run start
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MissDetector {
+    /// Searches without a prediction before a miss is reported.
+    limit: u32,
+    /// Fruitless searches so far in the current run.
+    count: u32,
+    /// Starting search address of the current run.
+    run_start: InstAddr,
+}
+
+/// A reported perceived BTB1 miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Btb1Miss {
+    /// The starting search address of the fruitless run (Table 2 reports
+    /// the miss "at starting search address").
+    pub addr: InstAddr,
+}
+
+impl MissDetector {
+    /// Creates a detector reporting after `limit` fruitless searches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is zero.
+    pub fn new(limit: u32) -> Self {
+        assert!(limit > 0, "miss search limit must be positive");
+        Self { limit, count: 0, run_start: InstAddr::new(0) }
+    }
+
+    /// The configured search limit.
+    pub fn limit(&self) -> u32 {
+        self.limit
+    }
+
+    /// Restart: a new search run begins at `addr` (after a pipeline
+    /// restart or a prediction).
+    pub fn reset(&mut self, addr: InstAddr) {
+        self.count = 0;
+        self.run_start = addr;
+    }
+
+    /// Records one search that produced no prediction; the search began
+    /// at `search_addr`. Returns a miss report when the limit is reached
+    /// (the run then restarts at the *next* search address).
+    pub fn fruitless_search(&mut self, search_addr: InstAddr) -> Option<Btb1Miss> {
+        if self.count == 0 {
+            self.run_start = search_addr;
+        }
+        self.count += 1;
+        if self.count >= self.limit {
+            let miss = Btb1Miss { addr: self.run_start };
+            self.count = 0;
+            Some(miss)
+        } else {
+            None
+        }
+    }
+
+    /// Records a search that produced a prediction (run resets).
+    pub fn productive_search(&mut self) {
+        self.count = 0;
+    }
+
+    /// Current fruitless count (for tests and stats).
+    pub fn pending(&self) -> u32 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(x: u64) -> InstAddr {
+        InstAddr::new(x)
+    }
+
+    #[test]
+    fn reports_after_limit_searches_at_run_start() {
+        // Mirror of Table 2 with a limit of 3: searches at 0x102, 0x120,
+        // 0x140 -> miss reported at starting search address 0x102.
+        let mut d = MissDetector::new(3);
+        assert!(d.fruitless_search(addr(0x102)).is_none());
+        assert!(d.fruitless_search(addr(0x120)).is_none());
+        let miss = d.fruitless_search(addr(0x140)).expect("3rd fruitless search reports");
+        assert_eq!(miss.addr, addr(0x102));
+    }
+
+    #[test]
+    fn production_limit_is_4_searches() {
+        let mut d = MissDetector::new(4);
+        for a in [0x100u64, 0x120, 0x140] {
+            assert!(d.fruitless_search(addr(a)).is_none());
+        }
+        assert_eq!(d.fruitless_search(addr(0x160)).unwrap().addr, addr(0x100));
+    }
+
+    #[test]
+    fn prediction_resets_the_run() {
+        let mut d = MissDetector::new(3);
+        d.fruitless_search(addr(0x100));
+        d.fruitless_search(addr(0x120));
+        d.productive_search();
+        assert_eq!(d.pending(), 0);
+        assert!(d.fruitless_search(addr(0x200)).is_none());
+        assert!(d.fruitless_search(addr(0x220)).is_none());
+        let miss = d.fruitless_search(addr(0x240)).unwrap();
+        assert_eq!(miss.addr, addr(0x200), "run start must follow the reset");
+    }
+
+    #[test]
+    fn restart_resets_the_run() {
+        let mut d = MissDetector::new(2);
+        d.fruitless_search(addr(0x100));
+        d.reset(addr(0x500));
+        assert!(d.fruitless_search(addr(0x500)).is_none());
+        assert_eq!(d.fruitless_search(addr(0x520)).unwrap().addr, addr(0x500));
+    }
+
+    #[test]
+    fn consecutive_misses_report_consecutive_runs() {
+        let mut d = MissDetector::new(2);
+        assert!(d.fruitless_search(addr(0x100)).is_none());
+        assert_eq!(d.fruitless_search(addr(0x120)).unwrap().addr, addr(0x100));
+        assert!(d.fruitless_search(addr(0x140)).is_none());
+        assert_eq!(d.fruitless_search(addr(0x160)).unwrap().addr, addr(0x140));
+    }
+
+    #[test]
+    fn limit_one_reports_every_search() {
+        let mut d = MissDetector::new(1);
+        assert_eq!(d.fruitless_search(addr(0x40)).unwrap().addr, addr(0x40));
+        assert_eq!(d.fruitless_search(addr(0x60)).unwrap().addr, addr(0x60));
+    }
+
+    #[test]
+    #[should_panic(expected = "limit must be positive")]
+    fn rejects_zero_limit() {
+        MissDetector::new(0);
+    }
+}
+
+#[cfg(test)]
+mod detection_mode_tests {
+    use super::*;
+
+    #[test]
+    fn default_is_search_limit() {
+        assert_eq!(MissDetection::default(), MissDetection::SearchLimit);
+    }
+
+    #[test]
+    fn mode_participation() {
+        assert!(MissDetection::SearchLimit.uses_search_limit());
+        assert!(!MissDetection::SearchLimit.uses_decode_surprise());
+        assert!(!MissDetection::DecodeSurprise.uses_search_limit());
+        assert!(MissDetection::DecodeSurprise.uses_decode_surprise());
+        assert!(MissDetection::Both.uses_search_limit());
+        assert!(MissDetection::Both.uses_decode_surprise());
+    }
+}

@@ -1,0 +1,134 @@
+//! Pattern History Table: tagged, path-indexed direction override.
+//!
+//! 4,096 entries on the zEC12, indexed from the direction of the 12
+//! previous branches and the addresses of the 6 previous taken branches,
+//! tagged with branch address bits (paper §3.1 — "similar to the tagged
+//! ppm-like predictors described by Michaud"). The PHT only participates
+//! for branches whose BTB entry has the `use_pht` control bit set, which
+//! is turned on once the bimodal state mispredicts.
+
+use crate::bht::Bimodal2;
+use serde::{Deserialize, Serialize};
+
+/// One PHT entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct PhtEntry {
+    tag: u16,
+    ctr: Bimodal2,
+}
+
+/// The tagged pattern history table.
+#[derive(Debug, Clone)]
+pub struct Pht {
+    entries: Vec<Option<PhtEntry>>,
+}
+
+impl Pht {
+    /// Creates a PHT with `entries` slots (power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two(), "PHT size must be a power of two");
+        Self { entries: vec![None; entries] }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table has zero slots (never for valid sizes).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Tag-matched direction lookup.
+    pub fn lookup(&self, index: usize, tag: u16) -> Option<bool> {
+        self.entries[index].filter(|e| e.tag == tag).map(|e| e.ctr.taken())
+    }
+
+    /// Trains the entry at `index` with the resolved direction.
+    ///
+    /// On a tag match the counter is updated; on a mismatch (or empty
+    /// slot) a new entry is allocated only when `allocate` is set —
+    /// allocation happens on bimodal mispredictions so well-behaved
+    /// branches do not pollute the table.
+    pub fn update(&mut self, index: usize, tag: u16, taken: bool, allocate: bool) {
+        match &mut self.entries[index] {
+            Some(e) if e.tag == tag => e.ctr = e.ctr.update(taken),
+            slot => {
+                if allocate {
+                    *slot = Some(PhtEntry {
+                        tag,
+                        ctr: if taken { Bimodal2::weak_taken() } else { Bimodal2::weak_not_taken() },
+                    });
+                }
+            }
+        }
+    }
+
+    /// Occupied slot count.
+    pub fn occupancy(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_requires_tag_match() {
+        let mut p = Pht::new(16);
+        p.update(3, 0xAB, true, true);
+        assert_eq!(p.lookup(3, 0xAB), Some(true));
+        assert_eq!(p.lookup(3, 0xCD), None);
+        assert_eq!(p.lookup(4, 0xAB), None);
+    }
+
+    #[test]
+    fn update_without_allocate_leaves_slot_empty() {
+        let mut p = Pht::new(16);
+        p.update(3, 0xAB, true, false);
+        assert_eq!(p.lookup(3, 0xAB), None);
+        assert_eq!(p.occupancy(), 0);
+    }
+
+    #[test]
+    fn counter_trains_toward_outcome() {
+        let mut p = Pht::new(16);
+        p.update(0, 1, true, true);
+        p.update(0, 1, false, false);
+        // weak taken -> weak not-taken after one not-taken.
+        assert_eq!(p.lookup(0, 1), Some(false));
+        p.update(0, 1, true, false);
+        p.update(0, 1, true, false);
+        assert_eq!(p.lookup(0, 1), Some(true));
+    }
+
+    #[test]
+    fn tag_conflict_replaces_only_with_allocate() {
+        let mut p = Pht::new(8);
+        p.update(2, 0x11, true, true);
+        p.update(2, 0x22, false, false);
+        assert_eq!(p.lookup(2, 0x11), Some(true), "non-allocating mismatch must not clobber");
+        p.update(2, 0x22, false, true);
+        assert_eq!(p.lookup(2, 0x11), None);
+        assert_eq!(p.lookup(2, 0x22), Some(false));
+    }
+
+    #[test]
+    fn zec12_size() {
+        let p = Pht::new(4096);
+        assert_eq!(p.len(), 4096);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_size() {
+        Pht::new(100);
+    }
+}

@@ -1,0 +1,139 @@
+//! Search pipeline timing: the cycle costs of Table 1.
+//!
+//! The first-level search pipeline is 7 stages (b0–b6). Its throughput is
+//! variable (paper §3.2):
+//!
+//! * a loop consisting of a single taken branch predicts every cycle;
+//! * under FIT control, a prediction every 2 cycles;
+//! * a taken prediction from the MRU BTB1 column every 3 cycles;
+//! * any other taken prediction every 4 cycles;
+//! * not-taken predictions at best 2 per 5 cycles (each searched row may
+//!   make up to 2 not-taken predictions simultaneously), else 1 per 4;
+//! * with no predictions found, the average sequential search rate is
+//!   16 bytes per cycle (3 cycles at 32 B/cycle then 3 cycles re-indexing
+//!   at 0 B/cycle), i.e. 2 cycles per 32 B row;
+//! * a restart re-enters the pipe at b0, so the earliest prediction
+//!   select (b3) is 4 cycles after the restart, and a BTB1 miss detected
+//!   at b3 can start a BTB2 read at b10 — 7 cycles later.
+
+use serde::{Deserialize, Serialize};
+
+/// Cycle costs of the first-level search pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineTiming {
+    /// Taken prediction for the same single-branch loop body: 1/cycle.
+    pub taken_tight_loop: u64,
+    /// Taken prediction re-indexed under FIT control (Table 1, b2).
+    pub taken_fit: u64,
+    /// Taken prediction from the MRU BTB1 column (Table 1, b3).
+    pub taken_mru: u64,
+    /// Taken prediction from a non-MRU column (Table 1, b4).
+    pub taken_other: u64,
+    /// First not-taken prediction of a row.
+    pub not_taken_first: u64,
+    /// Second simultaneous not-taken prediction of the same row
+    /// (2 predictions / 5 cycles total).
+    pub not_taken_second: u64,
+    /// Sequential search with no predictions: cycles per 32-byte row
+    /// (16 B/cycle average).
+    pub seq_row: u64,
+    /// Pipeline refill after a restart: restart to first possible
+    /// prediction select (b0 → b3).
+    pub restart_refill: u64,
+    /// BTB1 miss detection (b3) to earliest BTB2 read (b10).
+    pub miss_to_btb2: u64,
+    /// BTB2 array search latency (paper §3.6: 8 cycles).
+    pub btb2_latency: u64,
+    /// BTB2 rows searched per cycle once the pipe is primed.
+    pub btb2_rows_per_cycle: u64,
+}
+
+impl PipelineTiming {
+    /// The zEC12 timings from Table 1 and §3.6.
+    pub const fn zec12() -> Self {
+        Self {
+            taken_tight_loop: 1,
+            taken_fit: 2,
+            taken_mru: 3,
+            taken_other: 4,
+            not_taken_first: 4,
+            not_taken_second: 1,
+            seq_row: 2,
+            restart_refill: 4,
+            miss_to_btb2: 7,
+            btb2_latency: 8,
+            btb2_rows_per_cycle: 1,
+        }
+    }
+
+    /// Cycles for a full 4 KB (128-row) bulk transfer: prime + drain.
+    pub const fn full_block_transfer_cycles(&self) -> u64 {
+        128 / self.btb2_rows_per_cycle + self.btb2_latency
+    }
+}
+
+impl Default for PipelineTiming {
+    fn default() -> Self {
+        Self::zec12()
+    }
+}
+
+/// How a taken prediction was re-indexed, selecting its Table-1 cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TakenClass {
+    /// Same branch predicted back-to-back (single-branch loop).
+    TightLoop,
+    /// Re-index supplied by the FIT.
+    Fit,
+    /// Prediction from the MRU BTB1 column.
+    Mru,
+    /// Any other taken prediction.
+    Other,
+}
+
+impl PipelineTiming {
+    /// Cost of a taken prediction of the given class.
+    pub const fn taken_cost(&self, class: TakenClass) -> u64 {
+        match class {
+            TakenClass::TightLoop => self.taken_tight_loop,
+            TakenClass::Fit => self.taken_fit,
+            TakenClass::Mru => self.taken_mru,
+            TakenClass::Other => self.taken_other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zec12_rates_match_table1() {
+        let t = PipelineTiming::zec12();
+        assert_eq!(t.taken_cost(TakenClass::TightLoop), 1);
+        assert_eq!(t.taken_cost(TakenClass::Fit), 2);
+        assert_eq!(t.taken_cost(TakenClass::Mru), 3);
+        assert_eq!(t.taken_cost(TakenClass::Other), 4);
+        // 2 not-taken per 5 cycles.
+        assert_eq!(t.not_taken_first + t.not_taken_second, 5);
+        // 16 bytes/cycle sequential => 2 cycles per 32-byte row.
+        assert_eq!(t.seq_row, 2);
+    }
+
+    #[test]
+    fn full_block_transfer_is_136_cycles() {
+        // Paper §3.6: "a full 4 KB bulk transfer takes 128 + 8 = 136 cycles".
+        assert_eq!(PipelineTiming::zec12().full_block_transfer_cycles(), 136);
+    }
+
+    #[test]
+    fn miss_detect_to_btb2_is_7_cycles() {
+        // Paper §3.6: miss detected in b3, earliest BTB2 read in b10.
+        assert_eq!(PipelineTiming::zec12().miss_to_btb2, 7);
+    }
+
+    #[test]
+    fn default_is_zec12() {
+        assert_eq!(PipelineTiming::default(), PipelineTiming::zec12());
+    }
+}

@@ -1,0 +1,94 @@
+//! Predictor statistics counters.
+
+use crate::phantom::PhantomStats;
+use crate::tracker::TrackerStats;
+use crate::transfer::TransferStats;
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by the branch prediction hierarchy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PredictorStats {
+    /// Dynamic predictions served by the BTB1.
+    pub btb1_predictions: u64,
+    /// Dynamic predictions served by the BTBP (each also promotes the
+    /// entry into the BTB1).
+    pub btbp_predictions: u64,
+    /// Predictions whose broadcast missed the decode deadline (they count
+    /// as latency surprises at the core).
+    pub late_predictions: u64,
+    /// Branches the first level did not find at all.
+    pub surprises: u64,
+    /// Taken predictions made.
+    pub predicted_taken: u64,
+    /// Not-taken predictions made.
+    pub predicted_not_taken: u64,
+    /// PHT direction overrides applied.
+    pub pht_overrides: u64,
+    /// CTB target overrides applied.
+    pub ctb_overrides: u64,
+    /// Taken predictions re-indexed at the tight-loop rate.
+    pub tight_loop_predictions: u64,
+    /// Taken predictions re-indexed under FIT control.
+    pub fit_predictions: u64,
+    /// Surprise installs written into the BTBP + BTB2.
+    pub surprise_installs: u64,
+    /// BTB1 victims written back (to BTBP and BTB2).
+    pub btb1_victims: u64,
+    /// Entries delivered from the second level into the BTBP (BTB2 bulk
+    /// transfers, or phantom-group prefetches in the comparison
+    /// baseline).
+    pub btb2_entries_transferred: u64,
+    /// Chained multi-block transfers launched (§6 future work; zero in
+    /// the shipped configuration).
+    pub chained_transfers: u64,
+    /// Perceived BTB1 misses reported by the miss detector.
+    pub btb1_misses_reported: u64,
+    /// Tracker-level statistics.
+    pub tracker: TrackerStats,
+    /// Transfer-engine statistics.
+    pub transfer: TransferStats,
+    /// Phantom-BTB statistics (all zero unless the comparison baseline
+    /// replaces the BTB2).
+    pub phantom: PhantomStats,
+}
+
+impl PredictorStats {
+    /// Total dynamic predictions made by the first level.
+    pub fn dynamic_predictions(&self) -> u64 {
+        self.btb1_predictions + self.btbp_predictions
+    }
+
+    /// Fraction of first-level lookups that were surprises.
+    pub fn surprise_fraction(&self) -> f64 {
+        let total = self.dynamic_predictions() + self.surprises;
+        if total == 0 {
+            0.0
+        } else {
+            self.surprises as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_ratios() {
+        let s = PredictorStats {
+            btb1_predictions: 60,
+            btbp_predictions: 20,
+            surprises: 20,
+            ..Default::default()
+        };
+        assert_eq!(s.dynamic_predictions(), 80);
+        assert!((s.surprise_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = PredictorStats::default();
+        assert_eq!(s.dynamic_predictions(), 0);
+        assert_eq!(s.surprise_fraction(), 0.0);
+    }
+}

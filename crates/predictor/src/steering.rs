@@ -1,0 +1,360 @@
+//! BTB2 search steering: the tagged ordering table of §3.7.
+//!
+//! Bulk transfers move a whole 4 KB block, but returning its 32 sectors
+//! (128 B each) in plain sequential order wastes the early cycles of a
+//! 136-cycle transfer on content the code may reach late or never. The
+//! zEC12 tracks, per 4 KB block and as a function of instruction
+//! completion, which sectors executed and which 1 KB quartiles the
+//! *demand quartile* (the quartile of block entry) referenced. On the
+//! next bulk transfer of that block the BTB2 returns:
+//!
+//! 1. active sectors of the demand quartile,
+//! 2. active sectors of quartiles referenced from the demand quartile,
+//! 3. the remaining active sectors,
+//! 4. then the same priority sequence over inactive sectors.
+//!
+//! Without a table hit, sectors return sequentially starting at the
+//! demand quartile. The table holds 512 entries, 2-way set associative —
+//! a 2 MB instruction footprint.
+
+use serde::{Deserialize, Serialize};
+use zbp_trace::addr::{InstAddr, QUARTILES_PER_BLOCK, SECTORS_PER_BLOCK, SECTORS_PER_QUARTILE};
+
+/// Execution pattern of one 4 KB block.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockPattern {
+    /// Eight 1-bit sector markings per quartile.
+    pub sectors: [u8; 4],
+    /// Per quartile, a bitmask of the *other* quartiles it referenced.
+    pub refs: [u8; 4],
+}
+
+impl BlockPattern {
+    /// Whether a sector (0..32) is marked active.
+    pub fn sector_active(&self, sector: u32) -> bool {
+        let q = (sector / SECTORS_PER_QUARTILE) as usize;
+        let s = sector % SECTORS_PER_QUARTILE;
+        self.sectors[q] & (1 << s) != 0
+    }
+
+    /// Marks a sector (0..32) active.
+    pub fn mark_sector(&mut self, sector: u32) {
+        let q = (sector / SECTORS_PER_QUARTILE) as usize;
+        let s = sector % SECTORS_PER_QUARTILE;
+        self.sectors[q] |= 1 << s;
+    }
+
+    /// Marks quartile `to` as referenced from quartile `from`.
+    pub fn mark_ref(&mut self, from: u32, to: u32) {
+        if from != to {
+            self.refs[from as usize] |= 1 << to;
+        }
+    }
+
+    /// Whether quartile `to` is referenced from quartile `from`.
+    pub fn is_referenced(&self, from: u32, to: u32) -> bool {
+        self.refs[from as usize] & (1 << to) != 0
+    }
+
+    /// Merges another pattern's markings into this one.
+    pub fn merge(&mut self, other: &BlockPattern) {
+        for q in 0..4 {
+            self.sectors[q] |= other.sectors[q];
+            self.refs[q] |= other.refs[q];
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct TableEntry {
+    block: u64,
+    pattern: BlockPattern,
+}
+
+/// The tagged, set-associative ordering table plus the live tracking
+/// state for the block currently being executed.
+///
+/// ```
+/// use zbp_predictor::steering::OrderingTable;
+/// use zbp_trace::InstAddr;
+///
+/// let mut table = OrderingTable::zec12();
+/// table.note_completion(InstAddr::new(0x7000)); // block 7, sector 0
+/// let order = table.search_order(0x7000 / 4096, InstAddr::new(0x7000));
+/// assert_eq!(order.len(), 32); // a permutation of all sectors
+/// assert_eq!(order[0], 0);     // the executed sector returns first
+/// ```
+#[derive(Debug, Clone)]
+pub struct OrderingTable {
+    /// `sets x 2` ways, MRU first.
+    sets: Vec<Vec<TableEntry>>,
+    ways: usize,
+    /// Block currently being tracked.
+    cur_block: Option<u64>,
+    /// Demand quartile of the current visit.
+    demand: u32,
+    /// Working pattern of the current visit (merged with the stored one).
+    working: BlockPattern,
+}
+
+impl OrderingTable {
+    /// Creates a table with `entries` total slots over `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `entries` is a positive multiple of `ways` with a
+    /// power-of-two set count.
+    pub fn new(entries: usize, ways: usize) -> Self {
+        assert!(ways > 0 && entries.is_multiple_of(ways), "entries must divide into ways");
+        let sets = entries / ways;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Self {
+            sets: vec![Vec::with_capacity(ways); sets],
+            ways,
+            cur_block: None,
+            demand: 0,
+            working: BlockPattern::default(),
+        }
+    }
+
+    /// The zEC12 configuration: 512 entries, 2-way (covers 2 MB).
+    pub fn zec12() -> Self {
+        Self::new(512, 2)
+    }
+
+    fn set_of(&self, block: u64) -> usize {
+        (block & (self.sets.len() as u64 - 1)) as usize
+    }
+
+    fn stored_pattern(&self, block: u64) -> Option<BlockPattern> {
+        self.sets[self.set_of(block)]
+            .iter()
+            .find(|e| e.block == block)
+            .map(|e| e.pattern)
+    }
+
+    fn store(&mut self, block: u64, pattern: BlockPattern) {
+        let set_idx = self.set_of(block);
+        let ways = self.ways;
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|e| e.block == block) {
+            let mut e = set.remove(pos);
+            e.pattern.merge(&pattern);
+            set.insert(0, e);
+        } else {
+            set.insert(0, TableEntry { block, pattern });
+            if set.len() > ways {
+                set.pop();
+            }
+        }
+    }
+
+    /// Records one instruction completion; drives pattern tracking.
+    pub fn note_completion(&mut self, addr: InstAddr) {
+        let block = addr.block();
+        if self.cur_block != Some(block) {
+            // Entering a different block: write back and reload.
+            if let Some(old) = self.cur_block.take() {
+                let pattern = self.working;
+                self.store(old, pattern);
+            }
+            self.working = self.stored_pattern(block).unwrap_or_default();
+            self.demand = addr.quartile();
+            self.cur_block = Some(block);
+        }
+        self.working.mark_sector(addr.sector_in_block());
+        let q = addr.quartile();
+        if q != self.demand {
+            self.working.mark_ref(self.demand, q);
+        }
+    }
+
+    /// Pattern used for steering a transfer of `block` (the stored entry,
+    /// merged with the live working copy if that block is executing now).
+    pub fn pattern_for(&self, block: u64) -> Option<BlockPattern> {
+        let mut stored = self.stored_pattern(block);
+        if self.cur_block == Some(block) {
+            let mut p = stored.unwrap_or_default();
+            p.merge(&self.working);
+            stored = Some(p);
+        }
+        stored
+    }
+
+    /// Produces the sector return order (a permutation of 0..32) for a
+    /// bulk transfer of `block` entered at `entry`.
+    pub fn search_order(&self, block: u64, entry: InstAddr) -> Vec<u32> {
+        let demand = entry.quartile();
+        match self.pattern_for(block) {
+            Some(p) => Self::steered_order(&p, demand),
+            None => Self::sequential_order(demand),
+        }
+    }
+
+    /// Steered priority order of §3.7.
+    fn steered_order(p: &BlockPattern, demand: u32) -> Vec<u32> {
+        let mut order = Vec::with_capacity(SECTORS_PER_BLOCK as usize);
+        let quartile_priority: Vec<u32> = {
+            let mut qs = vec![demand];
+            // Referenced quartiles next, in ascending index order.
+            for q in 0..QUARTILES_PER_BLOCK {
+                if q != demand && p.is_referenced(demand, q) {
+                    qs.push(q);
+                }
+            }
+            for q in 0..QUARTILES_PER_BLOCK {
+                if !qs.contains(&q) {
+                    qs.push(q);
+                }
+            }
+            qs
+        };
+        for active in [true, false] {
+            for &q in &quartile_priority {
+                for s in 0..SECTORS_PER_QUARTILE {
+                    let sector = q * SECTORS_PER_QUARTILE + s;
+                    if p.sector_active(sector) == active {
+                        order.push(sector);
+                    }
+                }
+            }
+        }
+        order
+    }
+
+    /// Sequential order beginning with the demand quartile.
+    fn sequential_order(demand: u32) -> Vec<u32> {
+        let start = demand * SECTORS_PER_QUARTILE;
+        (0..SECTORS_PER_BLOCK)
+            .map(|i| (start + i) % SECTORS_PER_BLOCK)
+            .collect()
+    }
+
+    /// Number of stored block patterns.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(block: u64, offset: u64) -> InstAddr {
+        InstAddr::new(block * 4096 + offset)
+    }
+
+    fn assert_permutation(order: &[u32]) {
+        let mut sorted: Vec<u32> = order.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<u32>>(), "order must cover all 32 sectors once");
+    }
+
+    #[test]
+    fn sequential_order_without_table_hit() {
+        let t = OrderingTable::zec12();
+        let order = t.search_order(5, addr(5, 1024 * 2 + 100)); // demand quartile 2
+        assert_permutation(&order);
+        assert_eq!(order[0], 16, "must start at demand quartile");
+        assert_eq!(order[15], 31);
+        assert_eq!(order[16], 0, "wraps to quartile 0");
+    }
+
+    #[test]
+    fn completions_mark_sectors_and_refs() {
+        let mut t = OrderingTable::zec12();
+        // Enter block 7 in quartile 0, then execute in quartile 2.
+        t.note_completion(addr(7, 0)); // sector 0
+        t.note_completion(addr(7, 130)); // sector 1
+        t.note_completion(addr(7, 2048)); // quartile 2, sector 16
+        let p = t.pattern_for(7).unwrap();
+        assert!(p.sector_active(0));
+        assert!(p.sector_active(1));
+        assert!(p.sector_active(16));
+        assert!(!p.sector_active(2));
+        assert!(p.is_referenced(0, 2));
+        assert!(!p.is_referenced(0, 1));
+    }
+
+    #[test]
+    fn steered_order_prioritizes_demand_then_referenced_then_active() {
+        let mut p = BlockPattern::default();
+        // Active: sectors 0,1 (q0), 16 (q2), 25 (q3). Demand q0 refs q2.
+        p.mark_sector(0);
+        p.mark_sector(1);
+        p.mark_sector(16);
+        p.mark_sector(25);
+        p.mark_ref(0, 2);
+        let order = OrderingTable::steered_order(&p, 0);
+        assert_permutation(&order);
+        assert_eq!(&order[..2], &[0, 1], "demand quartile active sectors first");
+        assert_eq!(order[2], 16, "referenced quartile active sector second");
+        assert_eq!(order[3], 25, "other active sectors third");
+        // Inactive sectors follow, same quartile priority (q0 rest first).
+        assert_eq!(order[4], 2);
+        assert!(order[4..].iter().all(|&s| !p.sector_active(s)));
+    }
+
+    #[test]
+    fn pattern_survives_block_switch_and_return() {
+        let mut t = OrderingTable::zec12();
+        t.note_completion(addr(3, 0));
+        t.note_completion(addr(3, 1024)); // q1
+        t.note_completion(addr(9, 0)); // leave block 3 (writes back)
+        let p = t.pattern_for(3).expect("written back");
+        assert!(p.sector_active(0) && p.sector_active(8));
+        assert!(p.is_referenced(0, 1));
+        // Returning merges old info with the new visit.
+        t.note_completion(addr(3, 3072)); // re-enter at q3
+        let p = t.pattern_for(3).unwrap();
+        assert!(p.sector_active(0), "old markings retained on return");
+        assert!(p.sector_active(24));
+    }
+
+    #[test]
+    fn demand_quartile_is_per_visit() {
+        let mut t = OrderingTable::zec12();
+        t.note_completion(addr(4, 2048)); // enter at q2
+        t.note_completion(addr(4, 0)); // move to q0: ref q2->q0
+        let p = t.pattern_for(4).unwrap();
+        assert!(p.is_referenced(2, 0));
+        assert!(!p.is_referenced(0, 2), "refs recorded from the visit's demand quartile");
+    }
+
+    #[test]
+    fn table_replacement_is_lru_within_set() {
+        let mut t = OrderingTable::new(4, 2); // 2 sets x 2 ways
+        // Blocks 0, 2, 4 map to set 0.
+        for b in [0u64, 2, 4] {
+            t.note_completion(addr(b, 0));
+        }
+        t.note_completion(addr(100, 0)); // flush working copy of block 4
+        assert!(t.pattern_for(0).is_none(), "oldest set-0 entry evicted");
+        assert!(t.pattern_for(2).is_some());
+        assert!(t.pattern_for(4).is_some());
+    }
+
+    #[test]
+    fn search_order_uses_live_working_copy() {
+        let mut t = OrderingTable::zec12();
+        t.note_completion(addr(6, 1024)); // executing in block 6 now (q1)
+        let order = t.search_order(6, addr(6, 1024));
+        assert_permutation(&order);
+        assert_eq!(order[0], 8, "live active sector must lead");
+    }
+
+    #[test]
+    fn occupancy_counts_stored_blocks() {
+        let mut t = OrderingTable::zec12();
+        assert_eq!(t.occupancy(), 0);
+        t.note_completion(addr(1, 0));
+        t.note_completion(addr(2, 0));
+        assert_eq!(t.occupancy(), 1, "only the left block is stored");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_geometry() {
+        OrderingTable::new(6, 2);
+    }
+}

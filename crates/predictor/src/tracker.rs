@@ -1,0 +1,394 @@
+//! BTB2 search trackers (§3.5–§3.6).
+//!
+//! Three trackers (configurable — Figure 7 sweeps the count) each
+//! represent one 4 KB block of address space and remember two validity
+//! bits: a perceived BTB1 miss and an L1 I-cache miss in that block.
+//!
+//! * **Both valid** → a *fully active* tracker: initiate reads of all 128
+//!   BTB2 rows of the block (in steering order).
+//! * **Only a BTB1 miss** → a *partial* 4-row (128 B) search at the miss
+//!   address; if no I-cache miss has arrived by its completion, the
+//!   tracker is invalidated. This is the §3.5 filter: perceived misses
+//!   without a corresponding I-cache miss are probably branch-free code,
+//!   not capacity misses.
+//! * **Only an I-cache miss** → no BTB2 search.
+//!
+//! The [`FilterMode`] knob reproduces the §3.5 design alternatives:
+//! filtered misses may instead be granted the full search (`Off`) or
+//! denied any search (`Drop`).
+
+use serde::{Deserialize, Serialize};
+use zbp_trace::InstAddr;
+
+/// How BTB1 misses lacking an I-cache miss are treated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum FilterMode {
+    /// Paper default: filtered misses get a partial 4-row search.
+    #[default]
+    Partial,
+    /// No filtering: every BTB1 miss gets the full block search.
+    Off,
+    /// Hard filter: misses without an I-cache miss get no search at all.
+    Drop,
+}
+
+/// A search the tracker file wants the transfer engine to run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchRequest {
+    /// 4 KB block number.
+    pub block: u64,
+    /// What to search.
+    pub kind: SearchKind,
+    /// Earliest cycle the BTB2 read may start.
+    pub earliest_start: u64,
+}
+
+/// The extent of a requested BTB2 search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchKind {
+    /// One 128 B sector (4 KB-block bits 0:56) at the miss address.
+    Partial {
+        /// Perceived-miss address anchoring the searched sector.
+        from: InstAddr,
+    },
+    /// The whole 4 KB block, in steering order, minus the sector a
+    /// preceding partial search of the same tracker already covered.
+    Full {
+        /// Block entry address (selects the demand quartile).
+        entry: InstAddr,
+        /// Anchor of an already-searched partial sector, if any.
+        exclude_partial: Option<InstAddr>,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Allocated, no search issued.
+    Armed,
+    /// Partial search in flight.
+    Partial,
+    /// Full search in flight.
+    Full,
+}
+
+#[derive(Debug, Clone)]
+struct Tracker {
+    block: u64,
+    btb1_miss: Option<InstAddr>,
+    btb1_miss_cycle: u64,
+    icache_miss: bool,
+    phase: Phase,
+    /// Anchor of an issued partial search.
+    partial_from: Option<InstAddr>,
+    alloc_seq: u64,
+}
+
+/// Statistics the tracker file accumulates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrackerStats {
+    /// BTB1 miss reports that found or allocated a tracker.
+    pub misses_tracked: u64,
+    /// BTB1 miss reports dropped because all trackers were busy.
+    pub misses_dropped: u64,
+    /// Full searches issued.
+    pub full_searches: u64,
+    /// Partial searches issued.
+    pub partial_searches: u64,
+    /// Partial trackers invalidated without an I-cache miss.
+    pub filtered_out: u64,
+}
+
+/// The tracker file: allocation, merging and search-request generation.
+#[derive(Debug, Clone)]
+pub struct TrackerFile {
+    slots: Vec<Option<Tracker>>,
+    mode: FilterMode,
+    /// Miss-detect (b3) to earliest BTB2 read (b10) delay.
+    miss_to_btb2: u64,
+    seq: u64,
+    /// Accumulated statistics.
+    pub stats: TrackerStats,
+}
+
+impl TrackerFile {
+    /// Creates a file of `n` trackers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize, mode: FilterMode, miss_to_btb2: u64) -> Self {
+        assert!(n > 0, "tracker count must be positive");
+        Self { slots: vec![None; n], mode, miss_to_btb2, seq: 0, stats: TrackerStats::default() }
+    }
+
+    fn find(&mut self, block: u64) -> Option<&mut Tracker> {
+        self.slots
+            .iter_mut()
+            .filter_map(|s| s.as_mut())
+            .find(|t| t.block == block)
+    }
+
+    /// Allocates a slot for `block`: a free slot, else the oldest tracker
+    /// that never saw a BTB1 miss (I-cache-only trackers are expendable).
+    fn allocate(&mut self, block: u64) -> Option<&mut Tracker> {
+        let free = self.slots.iter().position(|s| s.is_none());
+        let idx = free.or_else(|| {
+            self.slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.as_ref().is_some_and(|t| t.btb1_miss.is_none()))
+                .min_by_key(|(_, s)| s.as_ref().map(|t| t.alloc_seq))
+                .map(|(i, _)| i)
+        })?;
+        self.seq += 1;
+        self.slots[idx] = Some(Tracker {
+            block,
+            btb1_miss: None,
+            btb1_miss_cycle: 0,
+            icache_miss: false,
+            phase: Phase::Armed,
+            partial_from: None,
+            alloc_seq: self.seq,
+        });
+        self.slots[idx].as_mut()
+    }
+
+    fn free(&mut self, block: u64) {
+        for s in &mut self.slots {
+            if s.as_ref().is_some_and(|t| t.block == block) {
+                *s = None;
+            }
+        }
+    }
+
+    /// Handles a perceived BTB1 miss report. May return a search request.
+    pub fn on_btb1_miss(&mut self, addr: InstAddr, cycle: u64) -> Option<SearchRequest> {
+        let block = addr.block();
+        let mode = self.mode;
+        let earliest = cycle + self.miss_to_btb2;
+        if self.find(block).is_none() && self.allocate(block).is_none() {
+            self.stats.misses_dropped += 1;
+            return None;
+        }
+        let (icache, phase, miss_addr, partial_from) = {
+            let t = self.find(block).expect("tracker ensured above");
+            if t.btb1_miss.is_none() {
+                t.btb1_miss = Some(addr);
+                t.btb1_miss_cycle = cycle;
+            }
+            (t.icache_miss, t.phase, t.btb1_miss.unwrap_or(addr), t.partial_from)
+        };
+        self.stats.misses_tracked += 1;
+        // Decide what search this state warrants.
+        if phase == Phase::Full {
+            return None;
+        }
+        if icache || mode == FilterMode::Off {
+            if let Some(t) = self.find(block) {
+                t.phase = Phase::Full;
+            }
+            self.stats.full_searches += 1;
+            return Some(SearchRequest {
+                block,
+                kind: SearchKind::Full { entry: miss_addr, exclude_partial: partial_from },
+                earliest_start: earliest,
+            });
+        }
+        match mode {
+            FilterMode::Partial if phase == Phase::Armed => {
+                if let Some(t) = self.find(block) {
+                    t.phase = Phase::Partial;
+                    t.partial_from = Some(miss_addr);
+                }
+                self.stats.partial_searches += 1;
+                Some(SearchRequest {
+                    block,
+                    kind: SearchKind::Partial { from: miss_addr },
+                    earliest_start: earliest,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// Handles an L1 I-cache miss in `addr`'s block. May upgrade an armed
+    /// or partial tracker to a full search.
+    pub fn on_icache_miss(&mut self, addr: InstAddr, cycle: u64) -> Option<SearchRequest> {
+        let block = addr.block();
+        if self.find(block).is_none() {
+            // Remember the I-cache miss so a later BTB1 miss in this
+            // block is immediately fully active.
+            self.allocate(block)?;
+        }
+        let miss_to_btb2 = self.miss_to_btb2;
+        let t = self.find(block)?;
+        t.icache_miss = true;
+        if t.btb1_miss.is_none() || t.phase == Phase::Full {
+            return None;
+        }
+        let entry = t.btb1_miss.expect("checked above");
+        let earliest = cycle.max(t.btb1_miss_cycle + miss_to_btb2);
+        let exclude_partial = t.partial_from;
+        t.phase = Phase::Full;
+        self.stats.full_searches += 1;
+        Some(SearchRequest {
+            block,
+            kind: SearchKind::Full { entry, exclude_partial },
+            earliest_start: earliest,
+        })
+    }
+
+    /// The transfer engine reports a finished search for `block`.
+    ///
+    /// A finished partial search invalidates the tracker if no I-cache
+    /// miss arrived in time (§3.6); a finished full search frees it.
+    pub fn search_complete(&mut self, block: u64, was_partial: bool) {
+        let Some(t) = self.find(block) else { return };
+        match (was_partial, t.phase) {
+            // A finished partial with no I-cache miss: §3.6 invalidation.
+            (true, Phase::Partial) if !t.icache_miss => {
+                self.stats.filtered_out += 1;
+                self.free(block);
+            }
+            // Otherwise a full upgrade is in flight; keep the tracker.
+            (true, Phase::Partial) => {}
+            (false, Phase::Full) => self.free(block),
+            _ => {}
+        }
+    }
+
+    /// Number of live trackers.
+    pub fn occupancy(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Number of tracker slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(block: u64, off: u64) -> InstAddr {
+        InstAddr::new(block * 4096 + off)
+    }
+
+    fn file(n: usize, mode: FilterMode) -> TrackerFile {
+        TrackerFile::new(n, mode, 7)
+    }
+
+    #[test]
+    fn btb1_miss_alone_gets_partial_search() {
+        let mut f = file(3, FilterMode::Partial);
+        let req = f.on_btb1_miss(addr(5, 256), 100).expect("partial search");
+        assert_eq!(req.block, 5);
+        assert_eq!(req.earliest_start, 107, "7 cycles after detection");
+        match req.kind {
+            SearchKind::Partial { from } => assert_eq!(from, addr(5, 256)),
+            _ => panic!("expected partial"),
+        }
+        assert_eq!(f.stats.partial_searches, 1);
+    }
+
+    #[test]
+    fn icache_miss_upgrades_to_full_excluding_partial_lines() {
+        let mut f = file(3, FilterMode::Partial);
+        f.on_btb1_miss(addr(5, 256), 100);
+        let req = f.on_icache_miss(addr(5, 3000), 120).expect("full upgrade");
+        match req.kind {
+            SearchKind::Full { entry, exclude_partial } => {
+                assert_eq!(entry, addr(5, 256), "demand entry is the miss address");
+                assert_eq!(exclude_partial, Some(addr(5, 256)), "partial sector excluded");
+            }
+            _ => panic!("expected full"),
+        }
+        assert_eq!(req.earliest_start, 120);
+        assert_eq!(f.stats.full_searches, 1);
+    }
+
+    #[test]
+    fn icache_then_btb1_is_immediately_full() {
+        let mut f = file(3, FilterMode::Partial);
+        assert!(f.on_icache_miss(addr(9, 0), 50).is_none(), "icache-only: no search");
+        let req = f.on_btb1_miss(addr(9, 512), 80).expect("fully active");
+        assert!(matches!(req.kind, SearchKind::Full { .. }));
+        assert_eq!(req.earliest_start, 87);
+    }
+
+    #[test]
+    fn partial_completion_without_icache_invalidates() {
+        let mut f = file(3, FilterMode::Partial);
+        f.on_btb1_miss(addr(5, 0), 0);
+        assert_eq!(f.occupancy(), 1);
+        f.search_complete(5, true);
+        assert_eq!(f.occupancy(), 0);
+        assert_eq!(f.stats.filtered_out, 1);
+    }
+
+    #[test]
+    fn partial_completion_with_pending_full_keeps_tracker() {
+        let mut f = file(3, FilterMode::Partial);
+        f.on_btb1_miss(addr(5, 0), 0);
+        f.on_icache_miss(addr(5, 64), 3);
+        f.search_complete(5, true);
+        assert_eq!(f.occupancy(), 1, "full search still in flight");
+        f.search_complete(5, false);
+        assert_eq!(f.occupancy(), 0);
+    }
+
+    #[test]
+    fn duplicate_misses_do_not_reissue() {
+        let mut f = file(3, FilterMode::Partial);
+        assert!(f.on_btb1_miss(addr(5, 0), 0).is_some());
+        assert!(f.on_btb1_miss(addr(5, 128), 5).is_none(), "partial already in flight");
+        f.on_icache_miss(addr(5, 0), 10);
+        assert!(f.on_btb1_miss(addr(5, 256), 15).is_none(), "full already in flight");
+        assert!(f.on_icache_miss(addr(5, 256), 20).is_none());
+    }
+
+    #[test]
+    fn capacity_exhaustion_drops_reports() {
+        let mut f = file(2, FilterMode::Partial);
+        assert!(f.on_btb1_miss(addr(1, 0), 0).is_some());
+        assert!(f.on_btb1_miss(addr(2, 0), 0).is_some());
+        assert!(f.on_btb1_miss(addr(3, 0), 0).is_none());
+        assert_eq!(f.stats.misses_dropped, 1);
+        assert_eq!(f.capacity(), 2);
+    }
+
+    #[test]
+    fn icache_only_tracker_is_expendable() {
+        let mut f = file(2, FilterMode::Partial);
+        f.on_icache_miss(addr(1, 0), 0);
+        f.on_btb1_miss(addr(2, 0), 1);
+        // Slot 1 holds a real miss; the icache-only tracker is evicted.
+        assert!(f.on_btb1_miss(addr(3, 0), 2).is_some());
+        assert_eq!(f.stats.misses_dropped, 0);
+    }
+
+    #[test]
+    fn filter_off_goes_straight_to_full() {
+        let mut f = file(3, FilterMode::Off);
+        let req = f.on_btb1_miss(addr(5, 0), 0).unwrap();
+        assert!(matches!(req.kind, SearchKind::Full { .. }));
+        assert_eq!(f.stats.partial_searches, 0);
+    }
+
+    #[test]
+    fn filter_drop_denies_unfiltered_misses() {
+        let mut f = file(3, FilterMode::Drop);
+        assert!(f.on_btb1_miss(addr(5, 0), 0).is_none());
+        // But a corresponding icache miss still activates it fully.
+        let req = f.on_icache_miss(addr(5, 64), 5).unwrap();
+        assert!(matches!(req.kind, SearchKind::Full { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "tracker count")]
+    fn rejects_zero_trackers() {
+        TrackerFile::new(0, FilterMode::Partial, 7);
+    }
+}

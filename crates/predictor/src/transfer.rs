@@ -1,0 +1,213 @@
+//! The bulk transfer engine: timed BTB2 row reads returning into the BTBP.
+//!
+//! Once a tracker initiates a search, the BTB2's own search-and-hit
+//! pipeline reads one row per cycle with an 8-cycle array latency (§3.6):
+//! a full 4 KB block costs 128 + 8 = 136 cycles. The engine owns a single
+//! read port, so concurrent tracker requests queue behind each other.
+//! Each row's returning hits become visible in the BTBP `latency` cycles
+//! after the row's read issues — which is why content arriving for the
+//! *current* traversal of cold code is often still too late, and why the
+//! BTB2 recovers only part of a big BTB1's benefit (Figure 2).
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A row read scheduled on the BTB2 port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ScheduledRow {
+    /// Cycle the read issues.
+    issue: u64,
+    /// Global 32 B line number to read.
+    line: u64,
+    /// Owning 4 KB block.
+    block: u64,
+    /// Whether this is the final row of its request.
+    last: bool,
+    /// Whether the request was a partial (4-row) search.
+    partial: bool,
+}
+
+/// A row whose data has returned from the BTB2 array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowReturn {
+    /// Global 32 B line number read.
+    pub line: u64,
+    /// Owning 4 KB block.
+    pub block: u64,
+    /// Cycle at which the hits become visible in the BTBP.
+    pub visible_at: u64,
+    /// Whether this completes its request.
+    pub last: bool,
+    /// Whether the completed request was partial.
+    pub partial: bool,
+}
+
+/// Transfer engine statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransferStats {
+    /// Row reads issued.
+    pub rows_read: u64,
+    /// Requests scheduled.
+    pub requests: u64,
+    /// Total cycles the port was busy.
+    pub busy_cycles: u64,
+}
+
+/// The single-ported, pipelined BTB2 transfer engine.
+///
+/// ```
+/// use zbp_predictor::transfer::TransferEngine;
+///
+/// let mut engine = TransferEngine::new(8); // zEC12 array latency
+/// let lines: Vec<u64> = (0..128).collect(); // a full 4 KB block
+/// let done = engine.schedule(0, &lines, 0, false);
+/// assert_eq!(done, 135); // 128 reads + 8-cycle latency = 136 cycles
+/// ```
+#[derive(Debug, Clone)]
+pub struct TransferEngine {
+    latency: u64,
+    busy_until: u64,
+    queue: VecDeque<ScheduledRow>,
+    /// Accumulated statistics.
+    pub stats: TransferStats,
+}
+
+impl TransferEngine {
+    /// Creates an engine with the given array latency (8 on the zEC12).
+    pub fn new(latency: u64) -> Self {
+        Self { latency, busy_until: 0, queue: VecDeque::new(), stats: TransferStats::default() }
+    }
+
+    /// Schedules reads of `lines` (in the given priority order) for
+    /// `block`, starting no earlier than `earliest`. Returns the cycle at
+    /// which the final row's data is visible.
+    ///
+    /// Scheduling an empty line list completes immediately at `earliest`.
+    pub fn schedule(&mut self, block: u64, lines: &[u64], earliest: u64, partial: bool) -> u64 {
+        self.stats.requests += 1;
+        if lines.is_empty() {
+            return earliest;
+        }
+        let start = earliest.max(self.busy_until);
+        for (i, &line) in lines.iter().enumerate() {
+            self.queue.push_back(ScheduledRow {
+                issue: start + i as u64,
+                line,
+                block,
+                last: i + 1 == lines.len(),
+                partial,
+            });
+        }
+        self.busy_until = start + lines.len() as u64;
+        self.stats.rows_read += lines.len() as u64;
+        self.stats.busy_cycles += lines.len() as u64;
+        self.busy_until + self.latency - 1
+    }
+
+    /// Returns every row whose data is visible by `now`, in issue order.
+    pub fn drain(&mut self, now: u64) -> Vec<RowReturn> {
+        let mut out = Vec::new();
+        while let Some(front) = self.queue.front() {
+            let visible = front.issue + self.latency;
+            if visible > now {
+                break;
+            }
+            let r = self.queue.pop_front().expect("front exists");
+            out.push(RowReturn {
+                line: r.line,
+                block: r.block,
+                visible_at: visible,
+                last: r.last,
+                partial: r.partial,
+            });
+        }
+        out
+    }
+
+    /// Rows still queued or in flight.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The cycle after which the port is free.
+    pub fn busy_until(&self) -> u64 {
+        self.busy_until
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_block_completes_in_136_cycles() {
+        let mut e = TransferEngine::new(8);
+        let lines: Vec<u64> = (0..128).collect();
+        let done = e.schedule(7, &lines, 0, false);
+        // Rows issue 0..=127; last row's data visible at 127 + 8 = 135,
+        // i.e. the 136th cycle of the transfer.
+        assert_eq!(done, 135);
+        assert_eq!(e.pending(), 128);
+    }
+
+    #[test]
+    fn rows_become_visible_latency_after_issue() {
+        let mut e = TransferEngine::new(8);
+        e.schedule(1, &[100, 101], 10, true);
+        assert!(e.drain(17).is_empty(), "first row issues at 10, visible at 18");
+        let rows = e.drain(18);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].line, 100);
+        assert_eq!(rows[0].visible_at, 18);
+        assert!(!rows[0].last);
+        let rows = e.drain(1000);
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].last);
+        assert!(rows[0].partial);
+        assert_eq!(e.pending(), 0);
+    }
+
+    #[test]
+    fn port_serializes_concurrent_requests() {
+        let mut e = TransferEngine::new(8);
+        e.schedule(1, &[0, 1, 2, 3], 0, true);
+        let done2 = e.schedule(2, &[10], 0, true);
+        // Second request waits for the port: issues at cycle 4.
+        assert_eq!(done2, 4 + 8 - 1 + 1);
+        let rows = e.drain(u64::MAX);
+        assert_eq!(rows.len(), 5);
+        assert!(rows[..4].iter().all(|r| r.block == 1));
+        assert_eq!(rows[4].block, 2);
+        assert_eq!(rows[4].visible_at, 12);
+    }
+
+    #[test]
+    fn empty_request_is_instant() {
+        let mut e = TransferEngine::new(8);
+        assert_eq!(e.schedule(1, &[], 42, false), 42);
+        assert_eq!(e.pending(), 0);
+        assert_eq!(e.stats.requests, 1);
+        assert_eq!(e.stats.rows_read, 0);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut e = TransferEngine::new(8);
+        e.schedule(1, &[0, 1], 0, true);
+        e.schedule(2, &[5], 0, true);
+        assert_eq!(e.stats.requests, 2);
+        assert_eq!(e.stats.rows_read, 3);
+        assert_eq!(e.stats.busy_cycles, 3);
+        assert_eq!(e.busy_until(), 3);
+    }
+
+    #[test]
+    fn drain_is_monotonic_in_issue_order() {
+        let mut e = TransferEngine::new(2);
+        e.schedule(1, &[5, 6, 7], 0, false);
+        let first = e.drain(3);
+        assert_eq!(first.iter().map(|r| r.line).collect::<Vec<_>>(), vec![5, 6]);
+        let rest = e.drain(4);
+        assert_eq!(rest[0].line, 7);
+    }
+}

@@ -1,0 +1,245 @@
+//! Integration tests of the §6 future-work features: decode-stage miss
+//! detection, multi-block transfer chaining and wide BTB2 congruence
+//! classes.
+
+use zbp_predictor::btb::BtbGeometry;
+use zbp_predictor::entry::BtbEntry;
+use zbp_predictor::hierarchy::BranchPredictor;
+use zbp_predictor::miss::MissDetection;
+use zbp_predictor::PredictorConfig;
+use zbp_trace::{BranchKind, BranchRec, InstAddr, TraceInstr};
+
+fn taken(addr: u64, target: u64) -> TraceInstr {
+    TraceInstr::branch(
+        InstAddr::new(addr),
+        4,
+        BranchRec::taken(BranchKind::Conditional, InstAddr::new(target)),
+    )
+}
+
+fn seed(bp: &mut BranchPredictor, addr: u64, target: u64) {
+    bp.seed_btb2(BtbEntry::surprise_install(
+        InstAddr::new(addr),
+        InstAddr::new(target),
+        BranchKind::Conditional,
+        true,
+    ));
+}
+
+/// Drives a fully-active tracker for `block_base` and lets the transfer
+/// complete.
+fn trigger_full_search(bp: &mut BranchPredictor, block_base: u64) {
+    bp.restart(InstAddr::new(block_base), 0);
+    bp.note_icache_miss(InstAddr::new(block_base), 0);
+    let far = taken(block_base + 4096 - 64, 0x900_0000);
+    let _ = bp.predict_branch(&far, 50);
+    bp.advance_transfers(1_000_000);
+}
+
+#[test]
+fn decode_surprise_mode_reports_without_fruitless_searches() {
+    let mut cfg = PredictorConfig::zec12();
+    cfg.miss_detection = MissDetection::DecodeSurprise;
+    let mut bp = BranchPredictor::new(cfg);
+    // A branch right at the restart point: zero fruitless rows, so the
+    // search-limit detector would never fire.
+    bp.restart(InstAddr::new(0x5000), 0);
+    let b = taken(0x5000, 0x6000);
+    let p = bp.predict_branch(&b, 100);
+    assert!(!p.present());
+    assert_eq!(bp.stats.btb1_misses_reported, 0, "no search-limit reports in this mode");
+    // Decode reports the surprise (guessed taken via a trained bit).
+    bp.note_decode_surprise(b.addr, 100, true);
+    assert_eq!(bp.stats.btb1_misses_reported, 1);
+    assert_eq!(bp.stats_snapshot().tracker.partial_searches, 1);
+}
+
+#[test]
+fn decode_surprise_requires_taken_guess() {
+    let mut cfg = PredictorConfig::zec12();
+    cfg.miss_detection = MissDetection::DecodeSurprise;
+    let mut bp = BranchPredictor::new(cfg);
+    bp.note_decode_surprise(InstAddr::new(0x5000), 10, false);
+    assert_eq!(bp.stats.btb1_misses_reported, 0, "not-taken guesses do not report");
+}
+
+#[test]
+fn search_limit_mode_ignores_decode_reports() {
+    let mut bp = BranchPredictor::new(PredictorConfig::zec12());
+    bp.note_decode_surprise(InstAddr::new(0x5000), 10, true);
+    assert_eq!(bp.stats.btb1_misses_reported, 0);
+}
+
+#[test]
+fn both_mode_uses_both_detectors() {
+    let mut cfg = PredictorConfig::zec12();
+    cfg.miss_detection = MissDetection::Both;
+    let mut bp = BranchPredictor::new(cfg);
+    bp.note_decode_surprise(InstAddr::new(0x5000), 10, true);
+    assert_eq!(bp.stats.btb1_misses_reported, 1);
+    bp.restart(InstAddr::new(0x9000), 100);
+    let far = taken(0x9000 + 4 * 32, 0xA000);
+    let _ = bp.predict_branch(&far, 1_000);
+    assert_eq!(bp.stats.btb1_misses_reported, 2, "search-limit detector also fires");
+}
+
+#[test]
+fn multiblock_chaining_prefetches_the_target_block() {
+    let mut cfg = PredictorConfig::zec12();
+    cfg.multi_block_transfer = true;
+    let mut bp = BranchPredictor::new(cfg);
+    // Block A holds a taken branch targeting block B; block B holds
+    // another branch. A full search of A must chain into B.
+    let block_a = 0x40_0000u64;
+    let block_b = 0x50_0000u64;
+    seed(&mut bp, block_a + 512, block_b + 64);
+    seed(&mut bp, block_b + 128, block_b + 512);
+    trigger_full_search(&mut bp, block_a);
+    let s = bp.stats_snapshot();
+    assert_eq!(s.chained_transfers, 1, "one chain per request");
+    assert_eq!(
+        bp.locate(InstAddr::new(block_b + 128)),
+        Some("btbp"),
+        "the chained block's content must arrive in the BTBP"
+    );
+}
+
+#[test]
+fn chaining_is_depth_limited() {
+    let mut cfg = PredictorConfig::zec12();
+    cfg.multi_block_transfer = true;
+    let mut bp = BranchPredictor::new(cfg);
+    // A -> B -> C: the chain must stop after B (depth 1).
+    let (a, b, c) = (0x40_0000u64, 0x50_0000u64, 0x60_0000u64);
+    seed(&mut bp, a + 512, b + 64);
+    seed(&mut bp, b + 128, c + 64);
+    seed(&mut bp, c + 128, a + 64);
+    trigger_full_search(&mut bp, a);
+    let s = bp.stats_snapshot();
+    assert_eq!(s.chained_transfers, 1, "no chain out of a chained block");
+    assert_eq!(bp.locate(InstAddr::new(c + 128)), Some("btb2"), "C stays un-transferred");
+}
+
+#[test]
+fn shipped_config_never_chains() {
+    let mut bp = BranchPredictor::new(PredictorConfig::zec12());
+    let block_a = 0x40_0000u64;
+    seed(&mut bp, block_a + 512, 0x50_0000 + 64);
+    trigger_full_search(&mut bp, block_a);
+    assert_eq!(bp.stats_snapshot().chained_transfers, 0);
+}
+
+#[test]
+fn wide_congruence_classes_transfer_with_fewer_rows() {
+    let rows_for = |line_bytes: u32| {
+        let mut cfg = PredictorConfig::zec12();
+        cfg.btb2 = Some(BtbGeometry { rows: 4096, ways: 6, line_bytes });
+        let mut bp = BranchPredictor::new(cfg);
+        seed(&mut bp, 0x40_0000 + 512, 0x40_0000 + 1024);
+        trigger_full_search(&mut bp, 0x40_0000);
+        let s = bp.stats_snapshot();
+        assert_eq!(bp.locate(InstAddr::new(0x40_0000 + 512)), Some("btbp"));
+        s.transfer.rows_read
+    };
+    let narrow = rows_for(32);
+    let mid = rows_for(64);
+    let wide = rows_for(128);
+    // A full block is 128/64/32 rows respectively (plus a few 1-sector
+    // partial searches that fire after the full transfer completes).
+    assert!(narrow >= 128, "narrow={narrow}");
+    assert!(mid >= 64 && mid * 3 < narrow * 2, "mid={mid} narrow={narrow}");
+    assert!(wide >= 32 && wide * 3 < mid * 2, "wide={wide} mid={mid}");
+}
+
+#[test]
+fn wide_rows_overflow_dense_branch_runs() {
+    // 8 branches inside one 128 B stretch: 6-way 32 B rows hold them all
+    // (two per row), but a single 6-way 128 B row cannot.
+    let count_resident = |line_bytes: u32| {
+        let mut cfg = PredictorConfig::zec12();
+        cfg.btb2 = Some(BtbGeometry { rows: 4096, ways: 6, line_bytes });
+        let mut bp = BranchPredictor::new(cfg);
+        for i in 0..8u64 {
+            seed(&mut bp, 0x40_0000 + i * 16, 0x41_0000);
+        }
+        (0..8u64)
+            .filter(|i| {
+                bp.locate(InstAddr::new(0x40_0000 + i * 16)).is_some()
+            })
+            .count()
+    };
+    assert_eq!(count_resident(32), 8, "32 B rows keep all eight branches");
+    assert_eq!(count_resident(128), 6, "one 6-way 128 B row overflows");
+}
+
+mod phantom_integration {
+    use zbp_predictor::entry::BtbEntry;
+    use zbp_predictor::hierarchy::BranchPredictor;
+    use zbp_predictor::PredictorConfig;
+    use zbp_trace::{BranchKind, BranchRec, InstAddr, TraceInstr};
+
+    fn taken(addr: u64, target: u64) -> TraceInstr {
+        TraceInstr::branch(
+            InstAddr::new(addr),
+            4,
+            BranchRec::taken(BranchKind::Conditional, InstAddr::new(target)),
+        )
+    }
+
+    #[test]
+    #[should_panic(expected = "alternative second levels")]
+    fn btb2_and_phantom_are_mutually_exclusive() {
+        let mut cfg = PredictorConfig::phantom_btb();
+        cfg.btb2 = PredictorConfig::zec12().btb2;
+        BranchPredictor::new(cfg);
+    }
+
+    #[test]
+    fn phantom_groups_prefetch_on_trigger_reencounter() {
+        let mut bp = BranchPredictor::new(PredictorConfig::phantom_btb());
+        // Visit one: a perceived miss opens a group; two surprise
+        // branches fill it.
+        let b1 = taken(0x40_0000 + 4 * 32, 0x40_0000 + 8 * 32);
+        let b2 = taken(0x40_0000 + 10 * 32, 0x41_0000);
+        bp.restart(InstAddr::new(0x40_0000), 0);
+        let p1 = bp.predict_branch(&b1, 1_000);
+        assert!(!p1.present());
+        bp.resolve(&b1, &p1, 1_010);
+        bp.restart(b1.branch.unwrap().target, 1_020);
+        let p2 = bp.predict_branch(&b2, 2_000);
+        bp.resolve(&b2, &p2, 2_010);
+        let s = bp.stats_snapshot();
+        assert_eq!(s.phantom.trigger_misses, 1, "first miss finds no stored group");
+        // Evict from the BTBP so the next visit must miss again; a new
+        // perceived miss at the same trigger then prefetches the group.
+        // (Simplest eviction: a fresh predictor state is not allowed, so
+        // re-trigger after clearing via many aliasing installs is
+        // overkill — instead re-encounter after the group closed.)
+        bp.restart(InstAddr::new(0x40_0000), 10_000);
+        let far = taken(0x40_0000 + 4096 + 4 * 32, 0x9_0000);
+        let _ = bp.predict_branch(&far, 11_000); // closes group via new miss
+        bp.restart(InstAddr::new(0x40_0000), 20_000);
+        let _ = bp.predict_branch(&far, 21_000);
+        let s = bp.stats_snapshot();
+        assert!(s.phantom.groups_stored >= 1, "group must have been stored");
+        assert!(
+            s.phantom.trigger_hits >= 1,
+            "re-encountering the trigger must hit: {:?}",
+            s.phantom
+        );
+        assert!(s.btb2_entries_transferred >= 1, "group entries injected into the BTBP");
+    }
+
+    #[test]
+    fn phantom_never_uses_trackers_or_the_transfer_engine() {
+        let mut bp = BranchPredictor::new(PredictorConfig::phantom_btb());
+        bp.note_icache_miss(InstAddr::new(0x40_0000), 0);
+        bp.restart(InstAddr::new(0x40_0000), 0);
+        let far = taken(0x40_0000 + 4096 - 64, 0x9_0000);
+        let _ = bp.predict_branch(&far, 1_000);
+        bp.advance_transfers(100_000);
+        let s = bp.stats_snapshot();
+        assert_eq!(s.transfer.requests, 0);
+        assert_eq!(s.tracker.full_searches + s.tracker.partial_searches, 0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Simulation configuration: Table 3 presets plus sweep knobs.
+
+use serde::{Deserialize, Serialize};
+use zbp_predictor::PredictorConfig;
+use zbp_uarch::UarchConfig;
+
+/// A complete simulation configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Short name used in reports ("No BTB2", "BTB2 enabled", ...).
+    pub name: String,
+    /// Branch prediction hierarchy configuration.
+    pub predictor: PredictorConfig,
+    /// Front-end model configuration.
+    pub uarch: UarchConfig,
+}
+
+impl SimConfig {
+    /// Table 3 configuration 1: BTBP 768, BTB1 4 k, BTB2 disabled.
+    pub fn no_btb2() -> Self {
+        Self {
+            name: "No BTB2".into(),
+            predictor: PredictorConfig::no_btb2(),
+            uarch: UarchConfig::zec12(),
+        }
+    }
+
+    /// Table 3 configuration 2: the shipped zEC12 with the 24 k BTB2.
+    pub fn btb2_enabled() -> Self {
+        Self {
+            name: "BTB2 enabled".into(),
+            predictor: PredictorConfig::zec12(),
+            uarch: UarchConfig::zec12(),
+        }
+    }
+
+    /// Table 3 configuration 3: an unrealistically large low-latency
+    /// 24 k-entry BTB1, BTB2 disabled.
+    pub fn large_btb1() -> Self {
+        Self {
+            name: "Unrealistically large BTB1".into(),
+            predictor: PredictorConfig::large_btb1(),
+            uarch: UarchConfig::zec12(),
+        }
+    }
+
+    /// The three Table-3 configurations, in order.
+    pub fn table3() -> [Self; 3] {
+        [Self::no_btb2(), Self::btb2_enabled(), Self::large_btb1()]
+    }
+
+    /// Renames the configuration (builder style).
+    #[must_use]
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Replaces the predictor configuration (builder style).
+    #[must_use]
+    pub fn with_predictor(mut self, predictor: PredictorConfig) -> Self {
+        self.predictor = predictor;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_matches_paper() {
+        let [c1, c2, c3] = SimConfig::table3();
+        assert!(!c1.predictor.btb2_enabled());
+        assert_eq!(c1.predictor.btb1.capacity(), 4096);
+        assert!(c2.predictor.btb2_enabled());
+        assert_eq!(c2.predictor.btb2.unwrap().capacity(), 24 * 1024);
+        assert!(!c3.predictor.btb2_enabled());
+        assert_eq!(c3.predictor.btb1.capacity(), 24 * 1024);
+    }
+
+    #[test]
+    fn builders() {
+        let c = SimConfig::no_btb2().named("x");
+        assert_eq!(c.name, "x");
+        let c = c.with_predictor(PredictorConfig::zec12());
+        assert!(c.predictor.btb2_enabled());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = SimConfig::btb2_enabled();
+        let s = serde_json::to_string(&c).unwrap();
+        assert_eq!(serde_json::from_str::<SimConfig>(&s).unwrap(), c);
+    }
+}

@@ -1,0 +1,509 @@
+//! One function per paper table / figure.
+//!
+//! Every function returns a structured, serializable result; the bench
+//! targets in `zbp-bench` print them as tables and record them in
+//! `EXPERIMENTS.md`. Lengths are capped per workload so quick runs are
+//! possible (`ZBP_TRACE_LEN`); full-length runs use each profile's
+//! default.
+
+use crate::config::SimConfig;
+use crate::parallel::par_map;
+use crate::report::ImprovementRow;
+use crate::runner::{SimResult, Simulator};
+use crate::sweep::{sweep, SweepPoint};
+use serde::{Deserialize, Serialize};
+use zbp_predictor::exclusive::ExclusivityPolicy;
+use zbp_predictor::tracker::FilterMode;
+use zbp_predictor::PredictorConfig;
+use zbp_trace::profile::WorkloadProfile;
+use zbp_trace::TraceStats;
+use zbp_uarch::classify::OutcomeCounts;
+
+/// Global experiment options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExperimentOptions {
+    /// Cap on dynamic instructions per workload (`None` = profile
+    /// default).
+    pub len: Option<u64>,
+    /// Workload synthesis seed.
+    pub seed: u64,
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> Self {
+        Self { len: None, seed: 0xEC12 }
+    }
+}
+
+impl ExperimentOptions {
+    /// Reads `ZBP_TRACE_LEN` and `ZBP_SEED` from the environment.
+    pub fn from_env() -> Self {
+        let mut o = Self::default();
+        if let Ok(v) = std::env::var("ZBP_TRACE_LEN") {
+            if let Ok(n) = v.parse::<u64>() {
+                o.len = Some(n);
+            }
+        }
+        if let Ok(v) = std::env::var("ZBP_SEED") {
+            if let Ok(n) = v.parse::<u64>() {
+                o.seed = n;
+            }
+        }
+        o
+    }
+
+    /// Effective length for a profile.
+    pub fn len_for(&self, p: &WorkloadProfile) -> u64 {
+        self.len.map_or(p.default_len, |l| l.min(p.default_len))
+    }
+}
+
+fn run(profile: &WorkloadProfile, config: SimConfig, opts: &ExperimentOptions) -> SimResult {
+    let trace = profile.build_with_len(opts.seed, opts.len_for(profile));
+    Simulator::new(config).run(&trace)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2
+// ---------------------------------------------------------------------------
+
+/// Figure 2: per-trace CPI improvement of configurations 2 and 3 over
+/// configuration 1, plus BTB2 effectiveness.
+pub fn figure2(opts: &ExperimentOptions) -> Vec<ImprovementRow> {
+    let profiles = WorkloadProfile::all_table4();
+    par_map(&profiles, |p| {
+        let base = run(p, SimConfig::no_btb2(), opts);
+        let btb2 = run(p, SimConfig::btb2_enabled(), opts);
+        let large = run(p, SimConfig::large_btb1(), opts);
+        ImprovementRow {
+            trace: p.name.clone(),
+            baseline_cpi: base.cpi(),
+            btb2_cpi: btb2.cpi(),
+            large_btb1_cpi: large.cpi(),
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3
+// ---------------------------------------------------------------------------
+
+/// One hardware-workload measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure3Row {
+    /// Workload name.
+    pub workload: String,
+    /// CPI improvement (%) from enabling the BTB2.
+    pub improvement: f64,
+}
+
+/// Figure 3: system-level benefit of the BTB2 on the two workloads
+/// measured on zEC12 hardware, approximated in simulation (the 4-core
+/// Web CICS/DB2 run becomes a 4-context time-sliced simulation).
+pub fn figure3(opts: &ExperimentOptions) -> Vec<Figure3Row> {
+    let profiles =
+        vec![WorkloadProfile::hardware_wasdb_cbw2(), WorkloadProfile::hardware_web_cics_db2()];
+    par_map(&profiles, |p| {
+        let base = run(p, SimConfig::no_btb2(), opts);
+        let btb2 = run(p, SimConfig::btb2_enabled(), opts);
+        Figure3Row { workload: p.name.clone(), improvement: btb2.improvement_over(&base) }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4
+// ---------------------------------------------------------------------------
+
+/// Bad-branch-outcome percentages for one configuration (Figure 4 bars).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OutcomePercents {
+    /// Dynamic mispredictions (direction + target), % of all outcomes.
+    pub mispredicted: f64,
+    /// Compulsory bad surprises, %.
+    pub compulsory: f64,
+    /// Latency bad surprises, %.
+    pub latency: f64,
+    /// Capacity bad surprises, %.
+    pub capacity: f64,
+}
+
+impl OutcomePercents {
+    /// Computes percentages from raw counts.
+    pub fn from_counts(o: &OutcomeCounts) -> Self {
+        let b = o.branches.max(1) as f64;
+        Self {
+            mispredicted: 100.0 * (o.mispredict_direction + o.mispredict_target) as f64 / b,
+            compulsory: 100.0 * o.surprise_compulsory as f64 / b,
+            latency: 100.0 * o.surprise_latency as f64 / b,
+            capacity: 100.0 * o.surprise_capacity as f64 / b,
+        }
+    }
+
+    /// Total bad-outcome percentage.
+    pub fn total(&self) -> f64 {
+        self.mispredicted + self.compulsory + self.latency + self.capacity
+    }
+}
+
+/// Figure 4 result: breakdowns with and without the BTB2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure4Result {
+    /// Workload used (the paper uses z/OS DayTrader DBServ).
+    pub workload: String,
+    /// Configuration 1 (no BTB2) breakdown.
+    pub without_btb2: OutcomePercents,
+    /// Configuration 2 (BTB2 enabled) breakdown.
+    pub with_btb2: OutcomePercents,
+    /// CPI improvement (%) between the two runs.
+    pub improvement: f64,
+}
+
+/// Figure 4: effect of the BTB2 on bad branch outcomes for the z/OS
+/// DayTrader DBServ workload.
+pub fn figure4(opts: &ExperimentOptions) -> Figure4Result {
+    let p = WorkloadProfile::daytrader_dbserv();
+    let runs = par_map(
+        &[SimConfig::no_btb2(), SimConfig::btb2_enabled()],
+        |cfg| run(&p, cfg.clone(), opts),
+    );
+    Figure4Result {
+        workload: p.name.clone(),
+        without_btb2: OutcomePercents::from_counts(&runs[0].core.outcomes),
+        with_btb2: OutcomePercents::from_counts(&runs[1].core.outcomes),
+        improvement: runs[1].improvement_over(&runs[0]),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figures 5, 6, 7 (sweeps)
+// ---------------------------------------------------------------------------
+
+/// Figure 5: average benefit of the BTB2 at various capacities.
+/// `entries == 0` is the disabled baseline (0 % by construction).
+pub fn figure5(opts: &ExperimentOptions, sizes: &[u32]) -> Vec<SweepPoint> {
+    let variants: Vec<(String, PredictorConfig)> = sizes
+        .iter()
+        .map(|&s| {
+            let label = if s == 0 { "disabled".to_string() } else { format!("{}k", s / 1024) };
+            (label, PredictorConfig::zec12().with_btb2_entries(s))
+        })
+        .collect();
+    sweep(&variants, opts.len.unwrap_or(u64::MAX), opts.seed)
+}
+
+/// Default Figure 5 sizes: 6 k – 96 k entries.
+pub const FIGURE5_SIZES: [u32; 5] = [6 * 1024, 12 * 1024, 24 * 1024, 48 * 1024, 96 * 1024];
+
+/// Figure 6: average benefit under various BTB1-miss definitions
+/// (searches without a prediction before a miss is perceived).
+pub fn figure6(opts: &ExperimentOptions, limits: &[u32]) -> Vec<SweepPoint> {
+    let variants: Vec<(String, PredictorConfig)> = limits
+        .iter()
+        .map(|&l| {
+            let mut cfg = PredictorConfig::zec12();
+            cfg.miss_search_limit = l;
+            (format!("{l} searches"), cfg)
+        })
+        .collect();
+    sweep(&variants, opts.len.unwrap_or(u64::MAX), opts.seed)
+}
+
+/// Default Figure 6 miss-definition sweep.
+pub const FIGURE6_LIMITS: [u32; 6] = [1, 2, 3, 4, 6, 8];
+
+/// Figure 7: average benefit with various BTB2 search tracker counts.
+pub fn figure7(opts: &ExperimentOptions, counts: &[usize]) -> Vec<SweepPoint> {
+    let variants: Vec<(String, PredictorConfig)> = counts
+        .iter()
+        .map(|&n| {
+            let mut cfg = PredictorConfig::zec12();
+            cfg.trackers = n;
+            (format!("{n} trackers"), cfg)
+        })
+        .collect();
+    sweep(&variants, opts.len.unwrap_or(u64::MAX), opts.seed)
+}
+
+/// Default Figure 7 tracker sweep.
+pub const FIGURE7_TRACKERS: [usize; 6] = [1, 2, 3, 4, 6, 8];
+
+// ---------------------------------------------------------------------------
+// Table 4
+// ---------------------------------------------------------------------------
+
+/// One row of the Table-4 reproduction: target vs measured footprint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table4Row {
+    /// Trace name.
+    pub trace: String,
+    /// Paper's unique branch addresses.
+    pub target_branches: u32,
+    /// Measured unique branch addresses in the synthesized trace.
+    pub measured_branches: u64,
+    /// Paper's unique taken branch addresses.
+    pub target_taken: u32,
+    /// Measured unique taken addresses.
+    pub measured_taken: u64,
+    /// Dynamic instructions measured.
+    pub instructions: u64,
+}
+
+/// Table 4: validates the synthesized workloads' branch footprints
+/// against the published counts.
+pub fn table4(opts: &ExperimentOptions) -> Vec<Table4Row> {
+    let profiles = WorkloadProfile::all_table4();
+    par_map(&profiles, |p| {
+        let trace = p.build_with_len(opts.seed, opts.len_for(p));
+        let stats = TraceStats::collect(&trace);
+        Table4Row {
+            trace: p.name.clone(),
+            target_branches: p.unique_branches(),
+            measured_branches: stats.unique_branches,
+            target_taken: p.unique_taken(),
+            measured_taken: stats.unique_taken,
+            instructions: stats.instructions,
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (§3.3, §3.5, §3.7 design choices)
+// ---------------------------------------------------------------------------
+
+/// Ablation A: exclusivity policies of §3.3.
+pub fn ablation_exclusivity(opts: &ExperimentOptions) -> Vec<SweepPoint> {
+    let variants: Vec<(String, PredictorConfig)> = [
+        ("semi-exclusive", ExclusivityPolicy::SemiExclusive),
+        ("true-exclusive", ExclusivityPolicy::TrueExclusive),
+        ("inclusive", ExclusivityPolicy::Inclusive),
+    ]
+    .into_iter()
+    .map(|(name, policy)| {
+        let mut cfg = PredictorConfig::zec12();
+        cfg.exclusivity = policy;
+        (name.to_string(), cfg)
+    })
+    .collect();
+    sweep(&variants, opts.len.unwrap_or(u64::MAX), opts.seed)
+}
+
+/// Ablation B: §3.7 transfer steering on vs off.
+pub fn ablation_steering(opts: &ExperimentOptions) -> Vec<SweepPoint> {
+    let variants: Vec<(String, PredictorConfig)> = [true, false]
+        .into_iter()
+        .map(|on| {
+            let mut cfg = PredictorConfig::zec12();
+            cfg.steering = on;
+            (if on { "steered" } else { "sequential" }.to_string(), cfg)
+        })
+        .collect();
+    sweep(&variants, opts.len.unwrap_or(u64::MAX), opts.seed)
+}
+
+/// Ablation C: §3.5 I-cache-miss filter modes.
+pub fn ablation_filter(opts: &ExperimentOptions) -> Vec<SweepPoint> {
+    let variants: Vec<(String, PredictorConfig)> = [
+        ("partial (shipped)", FilterMode::Partial),
+        ("no filter (all full)", FilterMode::Off),
+        ("hard filter (drop)", FilterMode::Drop),
+    ]
+    .into_iter()
+    .map(|(name, mode)| {
+        let mut cfg = PredictorConfig::zec12();
+        cfg.filter_mode = mode;
+        (name.to_string(), cfg)
+    })
+    .collect();
+    sweep(&variants, opts.len.unwrap_or(u64::MAX), opts.seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ExperimentOptions {
+        ExperimentOptions { len: Some(20_000), seed: 7 }
+    }
+
+    #[test]
+    fn figure2_produces_13_rows() {
+        let rows = figure2(&quick());
+        assert_eq!(rows.len(), 13);
+        for r in &rows {
+            assert!(r.baseline_cpi > 0.0);
+            assert!(r.btb2_cpi > 0.0);
+            assert!(r.large_btb1_cpi > 0.0);
+        }
+    }
+
+    #[test]
+    fn figure4_breakdowns_are_consistent() {
+        let r = figure4(&quick());
+        assert_eq!(r.workload, "Z/OS DayTrader DBServ");
+        assert!(r.without_btb2.total() <= 100.0);
+        assert!(r.with_btb2.total() <= 100.0);
+        assert!(r.without_btb2.total() > 0.0, "short cold runs have bad outcomes");
+    }
+
+    #[test]
+    fn table4_reports_targets() {
+        let rows = table4(&quick());
+        assert_eq!(rows.len(), 13);
+        assert_eq!(rows[0].target_branches, 15_244);
+        assert!(rows.iter().all(|r| r.instructions == 20_000));
+    }
+
+    #[test]
+    fn options_from_env_defaults() {
+        let o = ExperimentOptions::default();
+        assert_eq!(o.seed, 0xEC12);
+        let p = WorkloadProfile::tpf_airline();
+        assert_eq!(o.len_for(&p), p.default_len);
+        let capped = ExperimentOptions { len: Some(10), seed: 1 };
+        assert_eq!(capped.len_for(&p), 10);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Future work (§6): BTB2 congruence-class span
+// ---------------------------------------------------------------------------
+
+/// §6 future-work study: widen the BTB2 congruence class from 32 B to
+/// 64 B / 128 B of instruction space. Wider rows transfer a 4 KB block in
+/// fewer reads (higher bus efficiency) but can overflow when a sequential
+/// code stream holds more branches than one row's associativity.
+pub fn future_congruence(opts: &ExperimentOptions, spans: &[u32]) -> Vec<SweepPoint> {
+    let variants: Vec<(String, PredictorConfig)> = spans
+        .iter()
+        .map(|&span| {
+            let mut cfg = PredictorConfig::zec12();
+            let mut geom = cfg.btb2.expect("zec12 has a BTB2");
+            geom.line_bytes = span;
+            cfg.btb2 = Some(geom);
+            (format!("{span} B rows"), cfg)
+        })
+        .collect();
+    sweep(&variants, opts.len.unwrap_or(u64::MAX), opts.seed)
+}
+
+/// Default §6 congruence spans.
+pub const CONGRUENCE_SPANS: [u32; 3] = [32, 64, 128];
+
+// ---------------------------------------------------------------------------
+// Future work (§6): miss definition events and multi-block transfers
+// ---------------------------------------------------------------------------
+
+/// §6 future-work study: the shipped early/speculative perceived-miss
+/// definition versus the later, less speculative decode-stage definition
+/// (and both combined).
+pub fn future_miss_detection(opts: &ExperimentOptions) -> Vec<SweepPoint> {
+    use zbp_predictor::miss::MissDetection;
+    let variants: Vec<(String, PredictorConfig)> = [
+        ("search limit (shipped)", MissDetection::SearchLimit),
+        ("decode surprise", MissDetection::DecodeSurprise),
+        ("both", MissDetection::Both),
+    ]
+    .into_iter()
+    .map(|(name, detection)| {
+        let mut cfg = PredictorConfig::zec12();
+        cfg.miss_detection = detection;
+        (name.to_string(), cfg)
+    })
+    .collect();
+    sweep(&variants, opts.len.unwrap_or(u64::MAX), opts.seed)
+}
+
+/// §6 future-work study: chasing one taken-branch target per bulk
+/// transfer into a chained transfer of the target block.
+pub fn future_multiblock(opts: &ExperimentOptions) -> Vec<SweepPoint> {
+    let variants: Vec<(String, PredictorConfig)> = [false, true]
+        .into_iter()
+        .map(|on| {
+            let mut cfg = PredictorConfig::zec12();
+            cfg.multi_block_transfer = on;
+            (if on { "single + chained block" } else { "single block (shipped)" }.to_string(), cfg)
+        })
+        .collect();
+    sweep(&variants, opts.len.unwrap_or(u64::MAX), opts.seed)
+}
+
+/// §6 future-work study: SRAM vs eDRAM second level — same silicon area
+/// buys a denser but slower BTB2. Latency figures are illustrative
+/// (eDRAM ~2-3x the SRAM array latency at ~2-4x the density).
+pub fn future_edram(opts: &ExperimentOptions) -> Vec<SweepPoint> {
+    let variants: Vec<(String, PredictorConfig)> = [
+        ("SRAM 24k @ 8 cycles (shipped)", 24u32 * 1024, 8u64),
+        ("eDRAM 48k @ 16 cycles", 48 * 1024, 16),
+        ("eDRAM 96k @ 20 cycles", 96 * 1024, 20),
+    ]
+    .into_iter()
+    .map(|(name, entries, latency)| {
+        let mut cfg = PredictorConfig::zec12().with_btb2_entries(entries);
+        cfg.timing.btb2_latency = latency;
+        (name.to_string(), cfg)
+    })
+    .collect();
+    sweep(&variants, opts.len.unwrap_or(u64::MAX), opts.seed)
+}
+
+// ---------------------------------------------------------------------------
+// Ablation D: wrong-path fetch modeling (§4 methodology)
+// ---------------------------------------------------------------------------
+
+/// One wrong-path-modeling measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WrongPathRow {
+    /// Whether wrong-path fetch was modelled.
+    pub wrong_path: bool,
+    /// Average BTB2 CPI improvement over the no-BTB2 baseline (%).
+    pub avg_improvement: f64,
+    /// Average wrong-path lines fetched per 1k instructions (BTB2 run).
+    pub wrong_path_lines_per_kilo_instr: f64,
+}
+
+/// Ablation D: the paper's model simulates wrong-path execution; this
+/// model approximates its I-cache side (wrong-path lines pollute — and
+/// occasionally accidentally prefetch — the L1I). Measures how much the
+/// BTB2's benefit shifts when wrong-path fetch is modelled.
+pub fn ablation_wrongpath(opts: &ExperimentOptions) -> Vec<WrongPathRow> {
+    let profiles = WorkloadProfile::all_table4();
+    [false, true]
+        .into_iter()
+        .map(|wp| {
+            let runs: Vec<(f64, f64)> = crate::parallel::par_map(&profiles, |p| {
+                let mut base_cfg = SimConfig::no_btb2();
+                base_cfg.uarch.wrong_path_fetch = wp;
+                let mut btb2_cfg = SimConfig::btb2_enabled();
+                btb2_cfg.uarch.wrong_path_fetch = wp;
+                let base = run(p, base_cfg, opts);
+                let btb2 = run(p, btb2_cfg, opts);
+                let lines_per_kilo = 1000.0 * btb2.core.icache.wrong_path_fetches as f64
+                    / btb2.core.instructions.max(1) as f64;
+                (btb2.improvement_over(&base), lines_per_kilo)
+            });
+            let improvements: Vec<f64> = runs.iter().map(|r| r.0).collect();
+            let lines: Vec<f64> = runs.iter().map(|r| r.1).collect();
+            WrongPathRow {
+                wrong_path: wp,
+                avg_improvement: crate::report::mean(&improvements),
+                wrong_path_lines_per_kilo_instr: crate::report::mean(&lines),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Comparison baseline: Phantom-BTB (§2 related work)
+// ---------------------------------------------------------------------------
+
+/// Comparison against the §2 related work: a Phantom-BTB-style
+/// virtualized second level (temporal-group prefetching out of the L2)
+/// versus the paper's dedicated bulk-preload BTB2, at matched metadata
+/// capacity (24 k entries).
+pub fn comparison_phantom(opts: &ExperimentOptions) -> Vec<SweepPoint> {
+    let variants: Vec<(String, PredictorConfig)> = vec![
+        ("bulk preload BTB2 (zEC12)".to_string(), PredictorConfig::zec12()),
+        ("phantom BTB (virtualized)".to_string(), PredictorConfig::phantom_btb()),
+    ];
+    sweep(&variants, opts.len.unwrap_or(u64::MAX), opts.seed)
+}

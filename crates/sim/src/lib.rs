@@ -1,0 +1,27 @@
+//! Trace-driven simulation harness for the bulk-preload reproduction.
+//!
+//! Combines the workload profiles of [`zbp_trace`], the prediction
+//! hierarchy of [`zbp_predictor`] and the front-end model of
+//! [`zbp_uarch`] into runnable experiments:
+//!
+//! * [`config::SimConfig`] — the paper's three simulated configurations
+//!   (Table 3) plus every knob the sensitivity studies sweep;
+//! * [`runner::Simulator`] — replay one workload under one configuration;
+//! * [`sweep`] — parameter sweeps with parallel execution;
+//! * [`experiments`] — one function per paper table/figure, returning
+//!   structured results the bench targets print;
+//! * [`report`] — CPI-improvement math and fixed-width table rendering;
+//! * [`reportgen`] — render saved experiment artifacts into REPORT.md.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod experiments;
+pub mod parallel;
+pub mod report;
+pub mod reportgen;
+pub mod runner;
+pub mod sweep;
+
+pub use config::SimConfig;
+pub use runner::{SimResult, Simulator};

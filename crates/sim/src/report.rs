@@ -1,0 +1,181 @@
+//! CPI-improvement math and fixed-width table rendering.
+
+use serde::{Deserialize, Serialize};
+
+/// One row of a Figure-2-style improvement table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImprovementRow {
+    /// Workload name.
+    pub trace: String,
+    /// Baseline (configuration 1) CPI.
+    pub baseline_cpi: f64,
+    /// CPI with the BTB2 enabled (configuration 2).
+    pub btb2_cpi: f64,
+    /// CPI with the unrealistically large BTB1 (configuration 3).
+    pub large_btb1_cpi: f64,
+}
+
+impl ImprovementRow {
+    /// CPI improvement (%) of the BTB2 configuration over the baseline.
+    pub fn btb2_improvement(&self) -> f64 {
+        100.0 * (1.0 - self.btb2_cpi / self.baseline_cpi)
+    }
+
+    /// CPI improvement (%) of the large BTB1 over the baseline.
+    pub fn large_btb1_improvement(&self) -> f64 {
+        100.0 * (1.0 - self.large_btb1_cpi / self.baseline_cpi)
+    }
+
+    /// BTB2 effectiveness: improvement from the BTB2 as a fraction of
+    /// the improvement from the unrealistically large BTB1 (the paper's
+    /// right-hand numbers in Figure 2).
+    pub fn effectiveness(&self) -> f64 {
+        let large = self.large_btb1_improvement();
+        if large.abs() < f64::EPSILON {
+            0.0
+        } else {
+            100.0 * self.btb2_improvement() / large
+        }
+    }
+}
+
+/// Renders rows of strings as an aligned, pipe-separated text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (i, w) in widths.iter().enumerate() {
+            let empty = String::new();
+            let cell = cells.get(i).unwrap_or(&empty);
+            line.push_str(&format!(" {cell:<w$} |", w = w));
+        }
+        line.push('\n');
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    let mut sep = String::from("|");
+    for w in &widths {
+        sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+    }
+    sep.push('\n');
+    out.push_str(&sep);
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+/// Formats a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{x:.1}%")
+}
+
+/// Arithmetic mean of a slice (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> ImprovementRow {
+        ImprovementRow {
+            trace: "t".into(),
+            baseline_cpi: 2.0,
+            btb2_cpi: 1.8,
+            large_btb1_cpi: 1.6,
+        }
+    }
+
+    #[test]
+    fn improvement_percentages() {
+        let r = row();
+        assert!((r.btb2_improvement() - 10.0).abs() < 1e-9);
+        assert!((r.large_btb1_improvement() - 20.0).abs() < 1e-9);
+        assert!((r.effectiveness() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn effectiveness_handles_zero_ceiling() {
+        let r = ImprovementRow {
+            trace: "t".into(),
+            baseline_cpi: 2.0,
+            btb2_cpi: 2.0,
+            large_btb1_cpi: 2.0,
+        };
+        assert_eq!(r.effectiveness(), 0.0);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["name", "x"],
+            &[vec!["a".into(), "1".into()], vec!["longer".into(), "22".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[1].starts_with("|---"));
+        let width = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == width), "all lines same width:\n{t}");
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(pct(12.345), "12.3%");
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+}
+
+/// Renders rows of strings as CSV (RFC-4180-style quoting).
+pub fn render_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    fn field(s: &str) -> String {
+        if s.contains([',', '"', '\n']) {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&headers.iter().map(|h| field(h)).collect::<Vec<_>>().join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod csv_tests {
+    use super::*;
+
+    #[test]
+    fn csv_quotes_only_when_needed() {
+        let csv = render_csv(
+            &["name", "value"],
+            &[
+                vec!["plain".into(), "1.5".into()],
+                vec!["with,comma".into(), "say \"hi\"".into()],
+            ],
+        );
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "name,value");
+        assert_eq!(lines[1], "plain,1.5");
+        assert_eq!(lines[2], "\"with,comma\",\"say \"\"hi\"\"\"");
+    }
+}

@@ -1,0 +1,162 @@
+//! Markdown report generation from saved experiment artifacts.
+//!
+//! The bench targets save raw JSON under `results/`; this module renders
+//! everything found there into a single human-readable report with
+//! ASCII bar charts — `zbp-cli report` writes it to
+//! `results/REPORT.md`.
+
+use crate::report::ImprovementRow;
+use crate::sweep::SweepPoint;
+use serde::de::DeserializeOwned;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Renders a horizontal ASCII bar for `value` out of `max` (non-negative
+/// part only), `width` characters wide.
+fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 {
+        return String::new();
+    }
+    let filled = ((value.max(0.0) / max) * width as f64).round() as usize;
+    "█".repeat(filled.min(width))
+}
+
+fn load<T: DeserializeOwned>(dir: &Path, name: &str) -> Option<T> {
+    let text = std::fs::read_to_string(dir.join(format!("{name}.json"))).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+/// Renders a sweep-point artifact as a bar chart section.
+fn sweep_section(out: &mut String, dir: &Path, name: &str, title: &str) {
+    let Some(points) = load::<Vec<SweepPoint>>(dir, name) else { return };
+    if points.is_empty() {
+        return;
+    }
+    let max = points.iter().map(|p| p.avg_improvement).fold(0.0f64, f64::max);
+    let label_w = points.iter().map(|p| p.label.len()).max().unwrap_or(0);
+    let _ = writeln!(out, "## {title}\n\n```text");
+    for p in &points {
+        let _ = writeln!(
+            out,
+            "{:<label_w$}  {:>7.2}%  {}",
+            p.label,
+            p.avg_improvement,
+            bar(p.avg_improvement, max, 40)
+        );
+    }
+    let _ = writeln!(out, "```\n");
+}
+
+/// Builds the full report from whatever artifacts exist in `dir`.
+///
+/// Returns `None` when no known artifact is present.
+pub fn build_report(dir: &Path) -> Option<String> {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# zbp experiment report\n\nGenerated from the JSON artifacts in `{}`.\n",
+        dir.display()
+    );
+    let mut found = false;
+
+    if let Some(rows) = load::<Vec<ImprovementRow>>(dir, "fig2_cpi_improvement") {
+        found = true;
+        let max = rows.iter().map(|r| r.large_btb1_improvement()).fold(0.0f64, f64::max);
+        let label_w = rows.iter().map(|r| r.trace.len()).max().unwrap_or(0);
+        let _ = writeln!(out, "## Figure 2 — CPI improvement per workload\n\n```text");
+        for r in &rows {
+            let _ = writeln!(
+                out,
+                "{:<label_w$}  BTB2 {:>6.2}% {:<40}",
+                r.trace,
+                r.btb2_improvement(),
+                bar(r.btb2_improvement(), max, 40),
+            );
+            let _ = writeln!(
+                out,
+                "{:<label_w$}  24k  {:>6.2}% {:<40}  eff {:>5.1}%",
+                "",
+                r.large_btb1_improvement(),
+                bar(r.large_btb1_improvement(), max, 40),
+                r.effectiveness(),
+            );
+        }
+        let _ = writeln!(out, "```\n");
+    }
+
+    for (name, title) in [
+        ("fig5_btb2_size", "Figure 5 — BTB2 size"),
+        ("fig6_miss_definition", "Figure 6 — BTB1 miss definition"),
+        ("fig7_trackers", "Figure 7 — BTB2 search trackers"),
+        ("ablation_exclusivity", "Ablation — exclusivity policies (§3.3)"),
+        ("ablation_steering", "Ablation — transfer steering (§3.7)"),
+        ("ablation_filter", "Ablation — I-cache miss filter (§3.5)"),
+        ("future_congruence", "Future work — BTB2 congruence span (§6)"),
+        ("future_miss_detection", "Future work — miss detection events (§6)"),
+        ("future_multiblock", "Future work — multi-block transfers (§6)"),
+        ("future_edram", "Future work — SRAM vs eDRAM (§6)"),
+        ("comparison_phantom", "Comparison — bulk preload vs Phantom-BTB (§2)"),
+    ] {
+        let before = out.len();
+        sweep_section(&mut out, dir, name, title);
+        found |= out.len() > before;
+    }
+
+    found.then_some(out)
+}
+
+/// Writes the report to `dir/REPORT.md`.
+///
+/// # Errors
+///
+/// Returns an error string when no artifacts exist or the write fails.
+pub fn write_report(dir: &Path) -> Result<std::path::PathBuf, String> {
+    let report = build_report(dir)
+        .ok_or_else(|| format!("no experiment artifacts found in {}", dir.display()))?;
+    let path = dir.join("REPORT.md");
+    std::fs::write(&path, report).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_scales_and_clamps() {
+        assert_eq!(bar(5.0, 10.0, 10).chars().count(), 5);
+        assert_eq!(bar(20.0, 10.0, 10).chars().count(), 10);
+        assert_eq!(bar(-3.0, 10.0, 10), "");
+        assert_eq!(bar(3.0, 0.0, 10), "");
+    }
+
+    #[test]
+    fn report_from_artifacts() {
+        let dir = std::env::temp_dir().join(format!("zbp-reportgen-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let points = vec![
+            SweepPoint { label: "a".into(), avg_improvement: 1.0, per_trace: vec![] },
+            SweepPoint { label: "bb".into(), avg_improvement: 2.0, per_trace: vec![] },
+        ];
+        std::fs::write(
+            dir.join("fig5_btb2_size.json"),
+            serde_json::to_string(&points).unwrap(),
+        )
+        .unwrap();
+        let report = build_report(&dir).expect("artifact present");
+        assert!(report.contains("Figure 5"));
+        assert!(report.contains("bb"));
+        let path = write_report(&dir).unwrap();
+        assert!(path.exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_dir_yields_none() {
+        let dir = std::env::temp_dir().join(format!("zbp-reportgen-empty-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(build_report(&dir).is_none());
+        assert!(write_report(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,86 @@
+//! Single-run simulation driver.
+
+use crate::config::SimConfig;
+use serde::{Deserialize, Serialize};
+use zbp_trace::Trace;
+use zbp_uarch::core::{CoreModel, CoreResult};
+
+/// A configured simulator, ready to replay traces.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    config: SimConfig,
+}
+
+/// Result of one simulation: the core-model result plus the
+/// configuration it ran under.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Name of the configuration.
+    pub config_name: String,
+    /// The core model's measurements.
+    pub core: CoreResult,
+}
+
+impl SimResult {
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        self.core.cpi()
+    }
+
+    /// Percentage CPI improvement of this run over a baseline run of the
+    /// same trace: positive means this run is faster.
+    pub fn improvement_over(&self, baseline: &SimResult) -> f64 {
+        100.0 * (1.0 - self.cpi() / baseline.cpi())
+    }
+}
+
+impl Simulator {
+    /// Creates a simulator for the given configuration.
+    pub fn new(config: SimConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Replays `trace` and returns the result.
+    pub fn run<T: Trace>(&self, trace: &T) -> SimResult {
+        let model = CoreModel::new(self.config.uarch, self.config.predictor.clone());
+        SimResult { config_name: self.config.name.clone(), core: model.run(trace) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zbp_trace::profile::WorkloadProfile;
+
+    #[test]
+    fn runs_a_profile_trace() {
+        let trace = WorkloadProfile::tpf_airline().build_with_len(1, 30_000);
+        let r = Simulator::new(SimConfig::no_btb2()).run(&trace);
+        assert_eq!(r.core.instructions, 30_000);
+        assert!(r.cpi() > 0.5, "cpi={}", r.cpi());
+        assert_eq!(r.config_name, "No BTB2");
+    }
+
+    #[test]
+    fn improvement_math() {
+        let trace = WorkloadProfile::tpf_airline().build_with_len(1, 20_000);
+        let a = Simulator::new(SimConfig::no_btb2()).run(&trace);
+        let same = Simulator::new(SimConfig::no_btb2()).run(&trace);
+        assert!(a.improvement_over(&same).abs() < 1e-9, "identical runs: 0% improvement");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let trace = WorkloadProfile::zlinux_informix().build_with_len(7, 20_000);
+        let s = Simulator::new(SimConfig::btb2_enabled());
+        let a = s.run(&trace);
+        let b = s.run(&trace);
+        assert_eq!(a.core.cycles, b.core.cycles);
+        assert_eq!(a.core.outcomes, b.core.outcomes);
+    }
+}

@@ -1,0 +1,86 @@
+//! Parameter sweeps over the 13 Table-4 workloads.
+//!
+//! Each sweep point is a predictor-configuration variant; its score is
+//! the mean CPI improvement over the no-BTB2 baseline across all
+//! workloads — exactly what Figures 5, 6 and 7 plot.
+
+use crate::config::SimConfig;
+use crate::parallel::par_map;
+use crate::report::mean;
+use crate::runner::Simulator;
+use serde::{Deserialize, Serialize};
+use zbp_predictor::PredictorConfig;
+use zbp_trace::profile::WorkloadProfile;
+
+/// Result of one sweep point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Variant label ("24k", "4 searches", ...).
+    pub label: String,
+    /// Mean CPI improvement over the baseline across all workloads (%).
+    pub avg_improvement: f64,
+    /// Per-workload improvements (%), in Table-4 order.
+    pub per_trace: Vec<(String, f64)>,
+}
+
+/// Runs a sweep: for each (label, variant), the mean CPI improvement over
+/// the shared no-BTB2 baseline across the Table-4 workloads.
+///
+/// `len` caps the per-trace dynamic instruction count; `seed` controls
+/// workload synthesis.
+pub fn sweep(variants: &[(String, PredictorConfig)], len: u64, seed: u64) -> Vec<SweepPoint> {
+    sweep_profiles(&WorkloadProfile::all_table4(), variants, len, seed)
+}
+
+/// [`sweep`] over an explicit set of workload profiles.
+pub fn sweep_profiles(
+    profiles: &[WorkloadProfile],
+    variants: &[(String, PredictorConfig)],
+    len: u64,
+    seed: u64,
+) -> Vec<SweepPoint> {
+    // One baseline run per profile, shared by every variant.
+    let baselines: Vec<f64> = par_map(profiles, |p| {
+        let trace = p.build_with_len(seed, len.min(p.default_len));
+        Simulator::new(SimConfig::no_btb2()).run(&trace).cpi()
+    });
+    variants
+        .iter()
+        .map(|(label, cfg)| {
+            let improvements: Vec<(String, f64)> = par_map(profiles, |p| {
+                let trace = p.build_with_len(seed, len.min(p.default_len));
+                let sim = SimConfig::btb2_enabled()
+                    .named(label.clone())
+                    .with_predictor(cfg.clone());
+                let cpi = Simulator::new(sim).run(&trace).cpi();
+                (p.name.clone(), cpi)
+            })
+            .into_iter()
+            .zip(&baselines)
+            .map(|((name, cpi), &base)| (name, 100.0 * (1.0 - cpi / base)))
+            .collect();
+            let avg = mean(&improvements.iter().map(|(_, i)| *i).collect::<Vec<f64>>());
+            SweepPoint { label: label.clone(), avg_improvement: avg, per_trace: improvements }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_runs_each_variant_over_each_profile() {
+        let profiles = vec![WorkloadProfile::tpf_airline(), WorkloadProfile::zlinux_informix()];
+        let variants = vec![
+            ("off".to_string(), PredictorConfig::no_btb2()),
+            ("on".to_string(), PredictorConfig::zec12()),
+        ];
+        let points = sweep_profiles(&profiles, &variants, 25_000, 3);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].per_trace.len(), 2);
+        // The "off" variant IS the baseline: ~0% improvement.
+        assert!(points[0].avg_improvement.abs() < 1e-9, "off vs off must be 0");
+        assert_eq!(points[1].label, "on");
+    }
+}

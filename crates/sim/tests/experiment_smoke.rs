@@ -1,0 +1,95 @@
+//! Smoke coverage for every experiment function at tiny trace lengths:
+//! structure, counts and serializability — the full-length numbers come
+//! from the bench targets.
+
+use zbp_sim::experiments::*;
+
+fn quick() -> ExperimentOptions {
+    ExperimentOptions { len: Some(15_000), seed: 3 }
+}
+
+#[test]
+fn figure2_rows_serialize_and_cover_table4() {
+    let rows = figure2(&quick());
+    assert_eq!(rows.len(), 13);
+    let json = serde_json::to_string(&rows).unwrap();
+    assert!(json.contains("DayTrader"));
+}
+
+#[test]
+fn figure3_covers_both_hardware_workloads() {
+    let rows = figure3(&quick());
+    assert_eq!(rows.len(), 2);
+    assert!(rows[0].workload.contains("WASDB"));
+    assert!(rows[1].workload.contains("CICS"));
+    assert!(serde_json::to_string(&rows).is_ok());
+}
+
+#[test]
+fn figure4_percentages_are_bounded() {
+    let r = figure4(&quick());
+    for p in [r.without_btb2, r.with_btb2] {
+        assert!(p.mispredicted >= 0.0 && p.mispredicted <= 100.0);
+        assert!(p.compulsory >= 0.0 && p.compulsory <= 100.0);
+        assert!(p.latency >= 0.0 && p.latency <= 100.0);
+        assert!(p.capacity >= 0.0 && p.capacity <= 100.0);
+        assert!(p.total() <= 100.0);
+    }
+    assert!(serde_json::to_string(&r).is_ok());
+}
+
+#[test]
+fn figure5_labels_follow_sizes() {
+    let points = figure5(&quick(), &[0, 12 * 1024, 24 * 1024]);
+    assert_eq!(points.len(), 3);
+    assert_eq!(points[0].label, "disabled");
+    assert_eq!(points[1].label, "12k");
+    assert_eq!(points[2].label, "24k");
+    assert!(points[0].avg_improvement.abs() < 1e-9, "disabled == baseline");
+    for p in &points {
+        assert_eq!(p.per_trace.len(), 13);
+    }
+}
+
+#[test]
+fn figure6_and_7_produce_one_point_per_variant() {
+    assert_eq!(figure6(&quick(), &[2, 4]).len(), 2);
+    assert_eq!(figure7(&quick(), &[1, 3]).len(), 2);
+}
+
+#[test]
+fn ablations_cover_their_design_space() {
+    assert_eq!(ablation_exclusivity(&quick()).len(), 3);
+    assert_eq!(ablation_steering(&quick()).len(), 2);
+    assert_eq!(ablation_filter(&quick()).len(), 3);
+}
+
+#[test]
+fn future_work_experiments_run() {
+    assert_eq!(future_congruence(&quick(), &CONGRUENCE_SPANS).len(), 3);
+    assert_eq!(future_miss_detection(&quick()).len(), 3);
+    assert_eq!(future_multiblock(&quick()).len(), 2);
+    assert_eq!(future_edram(&quick()).len(), 3);
+}
+
+#[test]
+fn table4_rows_report_every_profile_in_order() {
+    let rows = table4(&quick());
+    assert_eq!(rows.len(), 13);
+    assert!(rows[0].trace.contains("CB84"));
+    assert!(rows[12].trace.contains("Trade6"));
+    for r in &rows {
+        assert!(r.measured_branches > 0);
+        assert!(r.measured_taken <= r.measured_branches);
+    }
+}
+
+#[test]
+fn experiment_results_are_deterministic() {
+    let a = figure2(&quick());
+    let b = figure2(&quick());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.baseline_cpi.to_bits(), y.baseline_cpi.to_bits());
+        assert_eq!(x.btb2_cpi.to_bits(), y.btb2_cpi.to_bits());
+    }
+}

@@ -1,0 +1,274 @@
+//! Instruction addresses with z/Architecture big-endian bit numbering.
+//!
+//! The zEC12 is a big-endian 64-bit machine: **bit 0 is the most
+//! significant bit and bit 63 the least significant**. The paper specifies
+//! every table geometry in this numbering (e.g. "instruction address bits
+//! 49:58 are used to index the BTB1"), so this module provides exact
+//! helpers for those spans as well as the 4 KB block / 1 KB quartile /
+//! 128 B sector decomposition used by the BTB2 search steering logic.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Bytes covered by one BTB row (all three levels): 32 bytes.
+pub const LINE_BYTES: u64 = 32;
+/// Bytes per steering sector: 128 bytes.
+pub const SECTOR_BYTES: u64 = 128;
+/// Bytes per steering quartile: 1 KB.
+pub const QUARTILE_BYTES: u64 = 1024;
+/// Bytes per bulk-transfer block: 4 KB.
+pub const BLOCK_BYTES: u64 = 4096;
+/// Sectors per 4 KB block.
+pub const SECTORS_PER_BLOCK: u32 = 32;
+/// Sectors per 1 KB quartile.
+pub const SECTORS_PER_QUARTILE: u32 = 8;
+/// Quartiles per 4 KB block.
+pub const QUARTILES_PER_BLOCK: u32 = 4;
+
+/// A 64-bit instruction address.
+///
+/// A thin newtype so that instruction addresses cannot be confused with
+/// other integers flowing through the simulator.
+///
+/// ```
+/// use zbp_trace::InstAddr;
+/// let a = InstAddr::new(0x0001_2345);
+/// assert_eq!(a.block(), 0x12);          // 4 KB block number
+/// assert_eq!(a.sector_in_block(), 6);   // 128 B sector inside the block
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct InstAddr(u64);
+
+impl InstAddr {
+    /// Creates an address from a raw 64-bit value.
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// The raw 64-bit value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Extracts bits `hi:lo` in IBM big-endian numbering (bit 0 = MSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi > lo` (in IBM numbering the *high-order* bit has the
+    /// *smaller* index) or `lo > 63`.
+    pub fn ibm_bits(self, hi: u32, lo: u32) -> u64 {
+        assert!(hi <= lo && lo <= 63, "invalid IBM bit span {hi}:{lo}");
+        let width = lo - hi + 1;
+        let shifted = self.0 >> (63 - lo);
+        if width == 64 {
+            shifted
+        } else {
+            shifted & ((1u64 << width) - 1)
+        }
+    }
+
+    /// The 32-byte line number (address divided by [`LINE_BYTES`]).
+    pub const fn line(self) -> u64 {
+        self.0 / LINE_BYTES
+    }
+
+    /// Byte offset within the 32-byte line.
+    pub const fn line_offset(self) -> u32 {
+        (self.0 % LINE_BYTES) as u32
+    }
+
+    /// BTB1 row index: IBM bits 49:58 (1024 rows, 32 B per row).
+    pub fn btb1_row(self) -> usize {
+        self.ibm_bits(49, 58) as usize
+    }
+
+    /// BTBP row index: IBM bits 52:58 (128 rows, 32 B per row).
+    pub fn btbp_row(self) -> usize {
+        self.ibm_bits(52, 58) as usize
+    }
+
+    /// BTB2 row index: IBM bits 47:58 (4096 rows, 32 B per row).
+    pub fn btb2_row(self) -> usize {
+        self.ibm_bits(47, 58) as usize
+    }
+
+    /// The 4 KB block number (IBM bits 0:51).
+    pub const fn block(self) -> u64 {
+        self.0 / BLOCK_BYTES
+    }
+
+    /// First address of the containing 4 KB block.
+    pub const fn block_base(self) -> InstAddr {
+        InstAddr(self.0 & !(BLOCK_BYTES - 1))
+    }
+
+    /// Byte offset within the 4 KB block.
+    pub const fn block_offset(self) -> u32 {
+        (self.0 % BLOCK_BYTES) as u32
+    }
+
+    /// 128 B sector index within the 4 KB block (0..32).
+    pub const fn sector_in_block(self) -> u32 {
+        ((self.0 % BLOCK_BYTES) / SECTOR_BYTES) as u32
+    }
+
+    /// 1 KB quartile index within the 4 KB block (0..4).
+    pub const fn quartile(self) -> u32 {
+        ((self.0 % BLOCK_BYTES) / QUARTILE_BYTES) as u32
+    }
+
+    /// Sector index within the quartile (0..8).
+    pub const fn sector_in_quartile(self) -> u32 {
+        ((self.0 % QUARTILE_BYTES) / SECTOR_BYTES) as u32
+    }
+
+    /// Address advanced by `bytes`.
+    #[must_use]
+    pub const fn add(self, bytes: u64) -> InstAddr {
+        InstAddr(self.0.wrapping_add(bytes))
+    }
+
+    /// Address aligned down to its 32-byte line start.
+    #[must_use]
+    pub const fn line_base(self) -> InstAddr {
+        InstAddr(self.0 & !(LINE_BYTES - 1))
+    }
+
+    /// Whether two addresses fall in the same 4 KB block.
+    pub const fn same_block(self, other: InstAddr) -> bool {
+        self.block() == other.block()
+    }
+}
+
+impl fmt::Display for InstAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#018x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for InstAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for InstAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for InstAddr {
+    fn from(raw: u64) -> Self {
+        Self(raw)
+    }
+}
+
+impl From<InstAddr> for u64 {
+    fn from(a: InstAddr) -> Self {
+        a.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ibm_bit_numbering_matches_paper_spans() {
+        // Bits 49:58 select a 10-bit field whose LSB weight is 2^5 = 32 B.
+        let a = InstAddr::new(0b11_1111_1111 << 5);
+        assert_eq!(a.btb1_row(), 0x3FF);
+        // Bits 52:58: 7-bit field, same 32 B granularity.
+        let b = InstAddr::new(0x7F << 5);
+        assert_eq!(b.btbp_row(), 0x7F);
+        // Bits 47:58: 12-bit field.
+        let c = InstAddr::new(0xFFF << 5);
+        assert_eq!(c.btb2_row(), 0xFFF);
+    }
+
+    #[test]
+    fn row_indices_change_every_32_bytes() {
+        let a = InstAddr::new(0x1000);
+        let b = a.add(31);
+        let c = a.add(32);
+        assert_eq!(a.btb1_row(), b.btb1_row());
+        assert_ne!(a.btb1_row(), c.btb1_row());
+        assert_eq!(a.btbp_row(), b.btbp_row());
+        assert_ne!(a.btbp_row(), c.btbp_row());
+        assert_eq!(a.btb2_row(), b.btb2_row());
+        assert_ne!(a.btb2_row(), c.btb2_row());
+    }
+
+    #[test]
+    fn btb1_row_wraps_every_32kb() {
+        // 1024 rows x 32 B = 32 KB of coverage before aliasing.
+        let a = InstAddr::new(0x4_0000);
+        let b = a.add(32 * 1024);
+        assert_eq!(a.btb1_row(), b.btb1_row());
+        assert_ne!(a.btb1_row(), a.add(32 * 512).btb1_row());
+    }
+
+    #[test]
+    fn btb2_row_wraps_every_128kb() {
+        let a = InstAddr::new(0x10_0000);
+        assert_eq!(a.btb2_row(), a.add(4096 * 32).btb2_row());
+    }
+
+    #[test]
+    fn block_sector_quartile_decomposition() {
+        let a = InstAddr::new(3 * BLOCK_BYTES + 2 * QUARTILE_BYTES + 5 * SECTOR_BYTES + 17);
+        assert_eq!(a.block(), 3);
+        assert_eq!(a.quartile(), 2);
+        assert_eq!(a.sector_in_quartile(), 5);
+        assert_eq!(a.sector_in_block(), 2 * SECTORS_PER_QUARTILE + 5);
+        assert_eq!(a.block_offset(), (2 * QUARTILE_BYTES + 5 * SECTOR_BYTES + 17) as u32);
+        assert_eq!(a.block_base().raw(), 3 * BLOCK_BYTES);
+    }
+
+    #[test]
+    fn line_helpers() {
+        let a = InstAddr::new(0x1234);
+        assert_eq!(a.line(), 0x1234 / 32);
+        assert_eq!(a.line_offset(), (0x1234 % 32) as u32);
+        assert_eq!(a.line_base().raw(), 0x1234 & !31);
+    }
+
+    #[test]
+    fn same_block_detection() {
+        let a = InstAddr::new(0x2000);
+        assert!(a.same_block(a.add(4095)));
+        assert!(!a.same_block(a.add(4096)));
+    }
+
+    #[test]
+    fn display_formats_hex() {
+        let a = InstAddr::new(0xAB);
+        assert_eq!(a.to_string(), "0x00000000000000ab");
+        assert_eq!(format!("{a:x}"), "ab");
+        assert_eq!(format!("{a:X}"), "AB");
+    }
+
+    #[test]
+    fn conversions() {
+        let a: InstAddr = 5u64.into();
+        let r: u64 = a.into();
+        assert_eq!(r, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid IBM bit span")]
+    fn ibm_bits_rejects_reversed_span() {
+        InstAddr::new(0).ibm_bits(58, 49);
+    }
+
+    #[test]
+    fn ibm_bits_full_width() {
+        let a = InstAddr::new(u64::MAX);
+        assert_eq!(a.ibm_bits(0, 63), u64::MAX);
+        assert_eq!(a.ibm_bits(63, 63), 1);
+        assert_eq!(a.ibm_bits(0, 0), 1);
+    }
+}

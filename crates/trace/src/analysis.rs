@@ -1,0 +1,331 @@
+//! Branch reuse-distance analysis.
+//!
+//! The mechanism the paper studies is driven by one workload property:
+//! how many *distinct* branch sites execute between two consecutive
+//! executions of the same site. Sites whose reuse distance fits the
+//! first level's ~4.8 k entries predict from the BTB1/BTBP; distances
+//! inside the 24 k-entry BTB2 are recoverable by bulk preloads; longer
+//! distances are lost even to the second level. This module computes the
+//! exact distribution, so a workload's BTB2 suitability can be judged
+//! the way the paper's Table 4 "more than 5,000 unique taken branches"
+//! screen does — but with full distributional detail.
+
+use crate::{Trace, TraceInstr};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Histogram of branch reuse distances, measured in *distinct branch
+/// sites* executed between consecutive executions of the same site.
+///
+/// ```
+/// use zbp_trace::analysis::ReuseProfile;
+/// use zbp_trace::profile::WorkloadProfile;
+///
+/// let trace = WorkloadProfile::tpf_airline().build(1).with_len(20_000);
+/// let profile = ReuseProfile::collect(&trace);
+/// assert_eq!(
+///     profile.counts.iter().sum::<u64>() + profile.cold_executions,
+///     profile.total_branches
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReuseProfile {
+    /// Upper bounds of the distance buckets (exclusive).
+    pub bucket_bounds: Vec<u64>,
+    /// Branch-execution counts per bucket; the final entry counts
+    /// distances at or above the last bound.
+    pub counts: Vec<u64>,
+    /// First-ever executions (no reuse distance).
+    pub cold_executions: u64,
+    /// Total dynamic branch executions.
+    pub total_branches: u64,
+}
+
+impl ReuseProfile {
+    /// Default bucket bounds aligned with the zEC12 capacities:
+    /// inside the BTBP, inside BTB1+BTBP, 2× that, inside the BTB2, 2×
+    /// and 4× the BTB2.
+    pub const ZEC12_BOUNDS: [u64; 6] = [768, 4_864, 9_728, 24_576, 49_152, 98_304];
+
+    /// Analyzes a trace with the zEC12-aligned buckets.
+    pub fn collect<T: Trace>(trace: &T) -> Self {
+        Self::collect_with_bounds(trace.iter(), &Self::ZEC12_BOUNDS)
+    }
+
+    /// Analyzes a record stream with custom bucket bounds (ascending).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn collect_with_bounds(
+        iter: impl Iterator<Item = TraceInstr>,
+        bounds: &[u64],
+    ) -> Self {
+        assert!(!bounds.is_empty(), "need at least one bucket bound");
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
+        // Reuse distance in distinct sites via a timestamped set: for
+        // each site we remember the global branch-execution index of its
+        // last execution, plus an ordered structure to count distinct
+        // sites since then. Exact distinct-counting is O(n log n) with a
+        // Fenwick tree over last-execution timestamps.
+        let mut last_exec: HashMap<u64, usize> = HashMap::new();
+        let mut fenwick = Fenwick::new();
+        let mut counts = vec![0u64; bounds.len() + 1];
+        let mut cold = 0u64;
+        let mut total = 0u64;
+        let mut t = 0usize;
+        for instr in iter {
+            let Some(_) = instr.branch else { continue };
+            total += 1;
+            let site = instr.addr.raw();
+            match last_exec.insert(site, t) {
+                None => {
+                    cold += 1;
+                }
+                Some(prev) => {
+                    // Distinct sites executed in (prev, t): sites whose
+                    // last execution timestamp lies in that interval.
+                    let distance = fenwick.count_in_range(prev + 1, t) as u64;
+                    let bucket = bounds
+                        .iter()
+                        .position(|&b| distance < b)
+                        .unwrap_or(bounds.len());
+                    counts[bucket] += 1;
+                    fenwick.remove(prev);
+                }
+            }
+            fenwick.insert(t);
+            t += 1;
+        }
+        Self {
+            bucket_bounds: bounds.to_vec(),
+            counts,
+            cold_executions: cold,
+            total_branches: total,
+        }
+    }
+
+    /// Fraction of re-executions whose distance fits within `bound`
+    /// distinct sites (interpolating nothing — uses whole buckets whose
+    /// upper bound is ≤ `bound`).
+    pub fn fraction_within(&self, bound: u64) -> f64 {
+        let reuses: u64 = self.counts.iter().sum();
+        if reuses == 0 {
+            return 0.0;
+        }
+        let covered: u64 = self
+            .bucket_bounds
+            .iter()
+            .zip(&self.counts)
+            .filter(|(&b, _)| b <= bound)
+            .map(|(_, &c)| c)
+            .sum();
+        covered as f64 / reuses as f64
+    }
+
+    /// Human-readable rendering, one line per bucket.
+    pub fn render(&self) -> String {
+        let reuses: u64 = self.counts.iter().sum();
+        let mut out = String::new();
+        let mut lo = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let label = if i < self.bucket_bounds.len() {
+                let hi = self.bucket_bounds[i];
+                let l = format!("{lo}..{hi}");
+                lo = hi;
+                l
+            } else {
+                format!("{lo}+")
+            };
+            let pct = 100.0 * c as f64 / reuses.max(1) as f64;
+            out.push_str(&format!("{label:>16} distinct sites: {c:>10} ({pct:5.1}%)\n"));
+        }
+        out.push_str(&format!(
+            "{:>16}: {} of {} branch executions\n",
+            "cold (first)", self.cold_executions, self.total_branches
+        ));
+        out
+    }
+}
+
+/// Fenwick (binary indexed) tree over execution timestamps, supporting
+/// point insert/remove and range counts. Grows geometrically; growth
+/// rebuilds the node sums from a shadow membership vector (a Fenwick
+/// tree cannot simply be zero-extended).
+#[derive(Debug, Clone, Default)]
+struct Fenwick {
+    tree: Vec<i64>,
+    bits: Vec<bool>,
+}
+
+impl Fenwick {
+    fn new() -> Self {
+        Self { tree: Vec::new(), bits: Vec::new() }
+    }
+
+    fn ensure(&mut self, idx: usize) {
+        if self.bits.len() > idx {
+            return;
+        }
+        let n = (idx + 1).next_power_of_two();
+        self.bits.resize(n, false);
+        // O(n) rebuild: child node i feeds parent i | (i + 1).
+        self.tree = vec![0; n];
+        for i in 0..n {
+            if self.bits[i] {
+                self.tree[i] += 1;
+            }
+            let parent = i | (i + 1);
+            if parent < n {
+                let v = self.tree[i];
+                self.tree[parent] += v;
+            }
+        }
+    }
+
+    fn add(&mut self, idx: usize, delta: i64) {
+        self.ensure(idx);
+        self.bits[idx] = delta > 0;
+        let n = self.tree.len();
+        let mut i = idx;
+        while i < n {
+            self.tree[i] += delta;
+            i |= i + 1;
+        }
+    }
+
+    fn insert(&mut self, idx: usize) {
+        self.add(idx, 1);
+    }
+
+    fn remove(&mut self, idx: usize) {
+        self.add(idx, -1);
+    }
+
+    /// Count of set timestamps in `0..=idx`.
+    fn prefix(&self, idx: usize) -> i64 {
+        if self.tree.is_empty() {
+            return 0;
+        }
+        let mut i = idx.min(self.tree.len() - 1) as isize;
+        let mut s = 0;
+        while i >= 0 {
+            s += self.tree[i as usize];
+            i = (i & (i + 1)) - 1;
+        }
+        s
+    }
+
+    /// Count of set timestamps in `lo..hi` (half-open).
+    fn count_in_range(&self, lo: usize, hi: usize) -> i64 {
+        if hi <= lo {
+            return 0;
+        }
+        let upper = self.prefix(hi - 1);
+        let lower = if lo == 0 { 0 } else { self.prefix(lo - 1) };
+        upper - lower
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branch::{BranchKind, BranchRec};
+    use crate::{InstAddr, VecTrace};
+
+    fn branch(addr: u64) -> TraceInstr {
+        TraceInstr::branch(
+            InstAddr::new(addr),
+            4,
+            BranchRec::taken(BranchKind::Conditional, InstAddr::new(addr ^ 0x40)),
+        )
+    }
+
+    #[test]
+    fn immediate_reexecution_has_distance_zero() {
+        // A, A: the re-execution saw 0 distinct sites in between.
+        let t = VecTrace::new("t", vec![branch(0x10), branch(0x10)]);
+        let p = ReuseProfile::collect_with_bounds(t.records().iter().cloned(), &[1, 4]);
+        assert_eq!(p.cold_executions, 1);
+        assert_eq!(p.counts, vec![1, 0, 0]);
+    }
+
+    #[test]
+    fn distance_counts_distinct_sites_not_executions() {
+        // A, B, B, B, A: between the two As, only ONE distinct site (B).
+        let t = VecTrace::new(
+            "t",
+            vec![branch(0x10), branch(0x20), branch(0x20), branch(0x20), branch(0x10)],
+        );
+        let p = ReuseProfile::collect_with_bounds(t.records().iter().cloned(), &[1, 2, 8]);
+        // Distances: B->B twice (0 distinct), A->A (1 distinct).
+        assert_eq!(p.counts, vec![2, 1, 0, 0]);
+        assert_eq!(p.cold_executions, 2);
+        assert_eq!(p.total_branches, 5);
+    }
+
+    #[test]
+    fn cyclic_working_set_distance_equals_set_size() {
+        // Cycle over 8 sites, 5 rounds: every re-execution has distance 7.
+        let mut v = Vec::new();
+        for _ in 0..5 {
+            for i in 0..8u64 {
+                v.push(branch(0x100 + i * 16));
+            }
+        }
+        let t = VecTrace::new("t", v);
+        let p = ReuseProfile::collect_with_bounds(t.records().iter().cloned(), &[7, 8, 64]);
+        assert_eq!(p.cold_executions, 8);
+        // 32 re-executions, all at exactly 7 distinct sites -> second
+        // bucket (7..8).
+        assert_eq!(p.counts, vec![0, 32, 0, 0]);
+        assert!((p.fraction_within(8) - 1.0).abs() < 1e-12);
+        assert_eq!(p.fraction_within(7), 0.0);
+    }
+
+    #[test]
+    fn non_branches_are_transparent() {
+        let t = VecTrace::new(
+            "t",
+            vec![
+                branch(0x10),
+                TraceInstr::plain(InstAddr::new(0x14), 4),
+                TraceInstr::plain(InstAddr::new(0x18), 4),
+                branch(0x10),
+            ],
+        );
+        let p = ReuseProfile::collect_with_bounds(t.records().iter().cloned(), &[1]);
+        assert_eq!(p.counts, vec![1, 0]);
+    }
+
+    #[test]
+    fn render_mentions_every_bucket() {
+        let t = VecTrace::new("t", vec![branch(0x10), branch(0x10)]);
+        let p = ReuseProfile::collect_with_bounds(t.records().iter().cloned(), &[4, 16]);
+        let text = p.render();
+        assert!(text.contains("0..4"));
+        assert!(text.contains("4..16"));
+        assert!(text.contains("16+"));
+        assert!(text.contains("cold"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ascend")]
+    fn rejects_unsorted_bounds() {
+        ReuseProfile::collect_with_bounds(std::iter::empty(), &[8, 4]);
+    }
+
+    #[test]
+    fn fenwick_range_counts() {
+        let mut f = Fenwick::new();
+        for i in [3usize, 7, 11, 200] {
+            f.insert(i);
+        }
+        assert_eq!(f.count_in_range(0, 4), 1);
+        assert_eq!(f.count_in_range(3, 8), 2);
+        assert_eq!(f.count_in_range(0, 1000), 4);
+        f.remove(7);
+        assert_eq!(f.count_in_range(3, 8), 1);
+        assert_eq!(f.count_in_range(8, 8), 0);
+    }
+}

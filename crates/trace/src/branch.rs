@@ -1,0 +1,126 @@
+//! Branch classification and dynamic outcome records.
+
+use crate::addr::InstAddr;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Static classification of a branch instruction.
+///
+/// The classes matter to the predictor: conditional branches exercise the
+/// direction predictors (BHT/PHT), while indirect branches and returns
+/// exercise the changing target buffer (CTB), and the static surprise
+/// guess differs per kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BranchKind {
+    /// Conditional relative branch (taken or not-taken, fixed target).
+    Conditional,
+    /// Unconditional relative branch (always taken, fixed target).
+    Unconditional,
+    /// Call: unconditional, pushes a return address.
+    Call,
+    /// Return: indirect through the link register / stack.
+    Return,
+    /// Computed/indirect branch with a potentially changing target.
+    Indirect,
+}
+
+impl BranchKind {
+    /// Whether the branch can fall through (only conditionals can).
+    pub const fn is_conditional(self) -> bool {
+        matches!(self, BranchKind::Conditional)
+    }
+
+    /// Whether the target may vary between dynamic executions.
+    pub const fn has_changing_target(self) -> bool {
+        matches!(self, BranchKind::Return | BranchKind::Indirect)
+    }
+
+    /// All kinds, for exhaustive sweeps in tests.
+    pub const ALL: [BranchKind; 5] = [
+        BranchKind::Conditional,
+        BranchKind::Unconditional,
+        BranchKind::Call,
+        BranchKind::Return,
+        BranchKind::Indirect,
+    ];
+}
+
+impl fmt::Display for BranchKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BranchKind::Conditional => "cond",
+            BranchKind::Unconditional => "uncond",
+            BranchKind::Call => "call",
+            BranchKind::Return => "return",
+            BranchKind::Indirect => "indirect",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Dynamic record of one executed branch: its kind, resolved direction and
+/// resolved target address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BranchRec {
+    /// Static kind of the branch.
+    pub kind: BranchKind,
+    /// Resolved direction: `true` if the branch was taken.
+    pub taken: bool,
+    /// Resolved target address (meaningful when `taken`).
+    pub target: InstAddr,
+}
+
+impl BranchRec {
+    /// A taken branch of the given kind.
+    pub const fn taken(kind: BranchKind, target: InstAddr) -> Self {
+        Self { kind, taken: true, target }
+    }
+
+    /// A not-taken conditional branch (target still records the would-be
+    /// destination, as a trace would).
+    pub const fn not_taken(target: InstAddr) -> Self {
+        Self { kind: BranchKind::Conditional, taken: false, target }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conditionality() {
+        assert!(BranchKind::Conditional.is_conditional());
+        for k in [BranchKind::Unconditional, BranchKind::Call, BranchKind::Return, BranchKind::Indirect] {
+            assert!(!k.is_conditional(), "{k} must not be conditional");
+        }
+    }
+
+    #[test]
+    fn changing_targets() {
+        assert!(BranchKind::Return.has_changing_target());
+        assert!(BranchKind::Indirect.has_changing_target());
+        assert!(!BranchKind::Conditional.has_changing_target());
+        assert!(!BranchKind::Call.has_changing_target());
+    }
+
+    #[test]
+    fn display_is_nonempty_and_distinct() {
+        let names: Vec<String> = BranchKind::ALL.iter().map(|k| k.to_string()).collect();
+        for n in &names {
+            assert!(!n.is_empty());
+        }
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn constructors() {
+        let t = BranchRec::taken(BranchKind::Call, InstAddr::new(0x40));
+        assert!(t.taken);
+        let n = BranchRec::not_taken(InstAddr::new(0x80));
+        assert!(!n.taken);
+        assert_eq!(n.kind, BranchKind::Conditional);
+    }
+}

@@ -1,0 +1,225 @@
+//! Per-branch-site dynamic behaviour models.
+//!
+//! Each conditional branch site is assigned one behaviour at layout time;
+//! the walker keeps a small amount of per-site dynamic state (loop
+//! counters, pattern cursors) and asks the behaviour to resolve each
+//! execution. The mix of behaviours is what gives the direction predictors
+//! (bimodal BHT in the BTB entry, path-indexed PHT) realistic work.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Behaviour of one conditional branch site.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CondBehavior {
+    /// Statically biased: taken with probability `p_taken` on every
+    /// execution. `p_taken == 0.0` models never-taken sites (they count as
+    /// unique branch addresses but never as unique *taken* addresses, which
+    /// is how the generator hits Table 4's two footprint columns).
+    Biased {
+        /// Per-execution probability of being taken.
+        p_taken: f64,
+    },
+    /// Loop back-edge: taken `trip - 1` times, then not-taken once, then
+    /// the counter restarts. Highly predictable for a 2-bit BHT when the
+    /// trip count is large.
+    Loop {
+        /// Loop trip count (>= 1).
+        trip: u16,
+    },
+    /// Deterministic repeating direction pattern of `period` bits (LSB
+    /// first). Mispredicts a plain bimodal BHT but is learnable by the
+    /// path-correlated PHT.
+    Pattern {
+        /// Pattern length in bits (1..=32).
+        period: u8,
+        /// Direction bits, bit i = outcome of the i-th execution mod period.
+        bits: u32,
+    },
+}
+
+impl CondBehavior {
+    /// Resolves one execution given the site's mutable state.
+    pub fn resolve(&self, state: &mut SiteState, rng: &mut SmallRng) -> bool {
+        match *self {
+            CondBehavior::Biased { p_taken } => {
+                if p_taken <= 0.0 {
+                    false
+                } else if p_taken >= 1.0 {
+                    true
+                } else {
+                    rng.random_bool(p_taken)
+                }
+            }
+            CondBehavior::Loop { trip } => {
+                let trip = trip.max(1) as u32;
+                state.counter += 1;
+                if state.counter >= trip {
+                    state.counter = 0;
+                    false
+                } else {
+                    true
+                }
+            }
+            CondBehavior::Pattern { period, bits } => {
+                let period = period.clamp(1, 32) as u32;
+                let taken = (bits >> state.counter) & 1 == 1;
+                state.counter = (state.counter + 1) % period;
+                taken
+            }
+        }
+    }
+
+    /// Whether this behaviour can ever produce a taken outcome.
+    pub fn can_take(&self) -> bool {
+        match *self {
+            CondBehavior::Biased { p_taken } => p_taken > 0.0,
+            CondBehavior::Loop { trip } => trip > 1,
+            CondBehavior::Pattern { period, bits } => {
+                let period = period.clamp(1, 32);
+                (0..period).any(|i| (bits >> i) & 1 == 1)
+            }
+        }
+    }
+}
+
+/// Behaviour of an indirect branch site (computed goto / virtual dispatch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IndirectBehavior {
+    /// Always dispatches to the same target (index 0).
+    Monomorphic,
+    /// Rotates round-robin over its target list; defeats a single-target
+    /// BTB entry and exercises the changing target buffer (CTB).
+    RoundRobin,
+    /// Picks a target uniformly at random on each execution.
+    Random,
+}
+
+impl IndirectBehavior {
+    /// Chooses the index of the next target out of `n_targets`.
+    pub fn choose(&self, n_targets: usize, state: &mut SiteState, rng: &mut SmallRng) -> usize {
+        debug_assert!(n_targets > 0);
+        match self {
+            IndirectBehavior::Monomorphic => 0,
+            IndirectBehavior::RoundRobin => {
+                let i = state.counter as usize % n_targets;
+                state.counter = state.counter.wrapping_add(1);
+                i
+            }
+            IndirectBehavior::Random => rng.random_range(0..n_targets),
+        }
+    }
+}
+
+/// Mutable per-site dynamic state (loop counter / pattern cursor /
+/// round-robin cursor).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SiteState {
+    /// Generic counter reused by all behaviours.
+    pub counter: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn never_taken_site_never_takes() {
+        let b = CondBehavior::Biased { p_taken: 0.0 };
+        let mut s = SiteState::default();
+        let mut r = rng();
+        assert!(!b.can_take());
+        for _ in 0..100 {
+            assert!(!b.resolve(&mut s, &mut r));
+        }
+    }
+
+    #[test]
+    fn always_taken_site_always_takes() {
+        let b = CondBehavior::Biased { p_taken: 1.0 };
+        let mut s = SiteState::default();
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!(b.resolve(&mut s, &mut r));
+        }
+    }
+
+    #[test]
+    fn biased_site_roughly_matches_probability() {
+        let b = CondBehavior::Biased { p_taken: 0.8 };
+        let mut s = SiteState::default();
+        let mut r = rng();
+        let taken = (0..10_000).filter(|_| b.resolve(&mut s, &mut r)).count();
+        assert!((7_500..8_500).contains(&taken), "taken={taken}");
+    }
+
+    #[test]
+    fn loop_behaviour_takes_trip_minus_one_times() {
+        let b = CondBehavior::Loop { trip: 5 };
+        let mut s = SiteState::default();
+        let mut r = rng();
+        let outcomes: Vec<bool> = (0..10).map(|_| b.resolve(&mut s, &mut r)).collect();
+        assert_eq!(
+            outcomes,
+            vec![true, true, true, true, false, true, true, true, true, false]
+        );
+    }
+
+    #[test]
+    fn trip_one_loop_never_takes() {
+        let b = CondBehavior::Loop { trip: 1 };
+        let mut s = SiteState::default();
+        let mut r = rng();
+        assert!(!b.can_take());
+        for _ in 0..5 {
+            assert!(!b.resolve(&mut s, &mut r));
+        }
+    }
+
+    #[test]
+    fn pattern_repeats() {
+        // Pattern 0b011 over period 3: T, T, N, T, T, N ...
+        let b = CondBehavior::Pattern { period: 3, bits: 0b011 };
+        let mut s = SiteState::default();
+        let mut r = rng();
+        let outcomes: Vec<bool> = (0..6).map(|_| b.resolve(&mut s, &mut r)).collect();
+        assert_eq!(outcomes, vec![true, true, false, true, true, false]);
+        assert!(b.can_take());
+        assert!(!CondBehavior::Pattern { period: 4, bits: 0 }.can_take());
+    }
+
+    #[test]
+    fn monomorphic_indirect_pins_target_zero() {
+        let b = IndirectBehavior::Monomorphic;
+        let mut s = SiteState::default();
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(b.choose(4, &mut s, &mut r), 0);
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let b = IndirectBehavior::RoundRobin;
+        let mut s = SiteState::default();
+        let mut r = rng();
+        let picks: Vec<usize> = (0..6).map(|_| b.choose(3, &mut s, &mut r)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn random_indirect_stays_in_bounds_and_varies() {
+        let b = IndirectBehavior::Random;
+        let mut s = SiteState::default();
+        let mut r = rng();
+        let picks: Vec<usize> = (0..100).map(|_| b.choose(5, &mut s, &mut r)).collect();
+        assert!(picks.iter().all(|&p| p < 5));
+        assert!(picks.iter().any(|&p| p != picks[0]), "should vary");
+    }
+}

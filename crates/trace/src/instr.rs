@@ -1,0 +1,96 @@
+//! Dynamic trace instruction records.
+
+use crate::addr::InstAddr;
+use crate::branch::{BranchKind, BranchRec};
+use serde::{Deserialize, Serialize};
+
+/// One dynamic instruction in a trace.
+///
+/// z/Architecture instructions are 2, 4 or 6 bytes long; [`TraceInstr::len`]
+/// records the actual length so the simulator's sequential fetch and the
+/// predictor's search-address arithmetic see realistic spacing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TraceInstr {
+    /// Instruction address.
+    pub addr: InstAddr,
+    /// Instruction length in bytes (2, 4 or 6).
+    pub len: u8,
+    /// Branch data if this instruction is a branch.
+    pub branch: Option<BranchRec>,
+}
+
+impl TraceInstr {
+    /// A non-branch instruction.
+    pub const fn plain(addr: InstAddr, len: u8) -> Self {
+        Self { addr, len, branch: None }
+    }
+
+    /// A branch instruction with a resolved outcome.
+    pub const fn branch(addr: InstAddr, len: u8, rec: BranchRec) -> Self {
+        Self { addr, len, branch: Some(rec) }
+    }
+
+    /// Whether this instruction is a branch.
+    pub const fn is_branch(&self) -> bool {
+        self.branch.is_some()
+    }
+
+    /// Whether this instruction is a taken branch.
+    pub fn is_taken_branch(&self) -> bool {
+        self.branch.is_some_and(|b| b.taken)
+    }
+
+    /// Address of the *next* instruction actually executed: the branch
+    /// target for taken branches, the sequential successor otherwise.
+    pub fn next_addr(&self) -> InstAddr {
+        match self.branch {
+            Some(b) if b.taken => b.target,
+            _ => self.addr.add(self.len as u64),
+        }
+    }
+
+    /// Sequential successor address (fall-through), regardless of outcome.
+    pub fn fallthrough(&self) -> InstAddr {
+        self.addr.add(self.len as u64)
+    }
+
+    /// Branch kind if this is a branch.
+    pub fn branch_kind(&self) -> Option<BranchKind> {
+        self.branch.map(|b| b.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_instruction_flows_sequentially() {
+        let i = TraceInstr::plain(InstAddr::new(0x100), 6);
+        assert!(!i.is_branch());
+        assert!(!i.is_taken_branch());
+        assert_eq!(i.next_addr(), InstAddr::new(0x106));
+        assert_eq!(i.fallthrough(), InstAddr::new(0x106));
+        assert_eq!(i.branch_kind(), None);
+    }
+
+    #[test]
+    fn taken_branch_redirects() {
+        let rec = BranchRec::taken(BranchKind::Unconditional, InstAddr::new(0x40));
+        let i = TraceInstr::branch(InstAddr::new(0x100), 4, rec);
+        assert!(i.is_branch());
+        assert!(i.is_taken_branch());
+        assert_eq!(i.next_addr(), InstAddr::new(0x40));
+        assert_eq!(i.fallthrough(), InstAddr::new(0x104));
+        assert_eq!(i.branch_kind(), Some(BranchKind::Unconditional));
+    }
+
+    #[test]
+    fn not_taken_branch_falls_through() {
+        let rec = BranchRec::not_taken(InstAddr::new(0x40));
+        let i = TraceInstr::branch(InstAddr::new(0x100), 4, rec);
+        assert!(i.is_branch());
+        assert!(!i.is_taken_branch());
+        assert_eq!(i.next_addr(), InstAddr::new(0x104));
+    }
+}

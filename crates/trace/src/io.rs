@@ -1,0 +1,227 @@
+//! Compact binary trace serialization.
+//!
+//! Traces are normally re-generated on the fly, but a captured stream can
+//! be persisted for external analysis or replayed through other tools.
+//! The format is little-endian: a header (`magic`, `version`, name,
+//! record count) followed by one variable-length record per instruction.
+
+use crate::branch::{BranchKind, BranchRec};
+use crate::instr::TraceInstr;
+use crate::{InstAddr, Trace, VecTrace};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"ZBPT";
+const VERSION: u32 = 1;
+
+/// Errors produced while reading a serialized trace.
+#[derive(Debug)]
+pub enum ReadTraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream does not start with the `ZBPT` magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// A record field holds an invalid value.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for ReadTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadTraceError::Io(e) => write!(f, "i/o error reading trace: {e}"),
+            ReadTraceError::BadMagic => write!(f, "missing ZBPT magic"),
+            ReadTraceError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            ReadTraceError::Corrupt(what) => write!(f, "corrupt trace record: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadTraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadTraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ReadTraceError {
+    fn from(e: io::Error) -> Self {
+        ReadTraceError::Io(e)
+    }
+}
+
+fn kind_code(k: BranchKind) -> u8 {
+    match k {
+        BranchKind::Conditional => 0,
+        BranchKind::Unconditional => 1,
+        BranchKind::Call => 2,
+        BranchKind::Return => 3,
+        BranchKind::Indirect => 4,
+    }
+}
+
+fn code_kind(c: u8) -> Option<BranchKind> {
+    Some(match c {
+        0 => BranchKind::Conditional,
+        1 => BranchKind::Unconditional,
+        2 => BranchKind::Call,
+        3 => BranchKind::Return,
+        4 => BranchKind::Indirect,
+        _ => return None,
+    })
+}
+
+/// Serializes a trace to `writer`.
+///
+/// # Errors
+///
+/// Returns any error from the underlying writer.
+pub fn write_trace<T: Trace, W: Write>(trace: &T, mut writer: W) -> io::Result<()> {
+    writer.write_all(MAGIC)?;
+    writer.write_all(&VERSION.to_le_bytes())?;
+    let name = trace.name().as_bytes();
+    writer.write_all(&(name.len() as u32).to_le_bytes())?;
+    writer.write_all(name)?;
+    writer.write_all(&trace.len().to_le_bytes())?;
+    for i in trace.iter() {
+        writer.write_all(&i.addr.raw().to_le_bytes())?;
+        writer.write_all(&[i.len])?;
+        match i.branch {
+            None => writer.write_all(&[0u8])?,
+            Some(b) => {
+                let flags = 0x80 | (u8::from(b.taken) << 6) | kind_code(b.kind);
+                writer.write_all(&[flags])?;
+                writer.write_all(&b.target.raw().to_le_bytes())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Deserializes a trace previously written by [`write_trace`].
+///
+/// # Errors
+///
+/// Returns [`ReadTraceError`] on I/O failure or malformed input.
+pub fn read_trace<R: Read>(mut reader: R) -> Result<VecTrace, ReadTraceError> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(ReadTraceError::BadMagic);
+    }
+    let version = read_u32(&mut reader)?;
+    if version != VERSION {
+        return Err(ReadTraceError::BadVersion(version));
+    }
+    let name_len = read_u32(&mut reader)? as usize;
+    if name_len > 1 << 20 {
+        return Err(ReadTraceError::Corrupt("name length"));
+    }
+    let mut name = vec![0u8; name_len];
+    reader.read_exact(&mut name)?;
+    let name = String::from_utf8(name).map_err(|_| ReadTraceError::Corrupt("name utf-8"))?;
+    let count = read_u64(&mut reader)?;
+    let mut instrs = Vec::with_capacity(count.min(1 << 24) as usize);
+    for _ in 0..count {
+        let addr = InstAddr::new(read_u64(&mut reader)?);
+        let mut two = [0u8; 2];
+        reader.read_exact(&mut two)?;
+        let (len, flags) = (two[0], two[1]);
+        if !matches!(len, 2 | 4 | 6) {
+            return Err(ReadTraceError::Corrupt("instruction length"));
+        }
+        let branch = if flags & 0x80 != 0 {
+            let kind = code_kind(flags & 0x0F).ok_or(ReadTraceError::Corrupt("branch kind"))?;
+            let taken = flags & 0x40 != 0;
+            let target = InstAddr::new(read_u64(&mut reader)?);
+            Some(BranchRec { kind, taken, target })
+        } else if flags != 0 {
+            return Err(ReadTraceError::Corrupt("flags"));
+        } else {
+            None
+        };
+        instrs.push(TraceInstr { addr, len, branch });
+    }
+    Ok(VecTrace::new(name, instrs))
+}
+
+fn read_u32<R: Read>(reader: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    reader.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(reader: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    reader.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::layout::LayoutParams;
+    use crate::gen::GenTrace;
+
+    #[test]
+    fn roundtrip_preserves_records_and_name() {
+        let t = GenTrace::new("roundtrip", &LayoutParams::small_test(), 3, 2_000);
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back.name(), "roundtrip");
+        let orig: Vec<_> = t.iter().collect();
+        assert_eq!(back.records(), orig.as_slice());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_trace(&b"NOPE"[..]).unwrap_err();
+        assert!(matches!(err, ReadTraceError::BadMagic));
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        assert!(matches!(read_trace(buf.as_slice()), Err(ReadTraceError::BadVersion(99))));
+    }
+
+    #[test]
+    fn rejects_truncated_stream() {
+        let t = GenTrace::new("t", &LayoutParams::small_test(), 3, 100);
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(matches!(read_trace(buf.as_slice()), Err(ReadTraceError::Io(_))));
+    }
+
+    #[test]
+    fn rejects_corrupt_length() {
+        let t = GenTrace::new("t", &LayoutParams::small_test(), 3, 1);
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        // Record layout: header(4+4+4+1 name byte... name "t" = 1 byte) +
+        // count(8) then addr(8) len(1). Corrupt the len byte.
+        let len_pos = 4 + 4 + 4 + 1 + 8 + 8;
+        buf[len_pos] = 3;
+        assert!(matches!(
+            read_trace(buf.as_slice()),
+            Err(ReadTraceError::Corrupt("instruction length"))
+        ));
+    }
+
+    #[test]
+    fn error_source_chains_io() {
+        use std::error::Error;
+        let err = ReadTraceError::from(io::Error::new(io::ErrorKind::Other, "x"));
+        assert!(err.source().is_some());
+        assert!(ReadTraceError::BadMagic.source().is_none());
+    }
+}

@@ -1,0 +1,153 @@
+//! Trace footprint statistics (validates Table 4).
+
+use crate::{Trace, TraceInstr};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Summary statistics of a dynamic instruction trace.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Dynamic instruction count.
+    pub instructions: u64,
+    /// Dynamic branch count.
+    pub branches: u64,
+    /// Dynamic taken-branch count.
+    pub taken_branches: u64,
+    /// Unique branch instruction addresses (Table 4, column 1).
+    pub unique_branches: u64,
+    /// Unique ever-taken branch instruction addresses (Table 4, column 2).
+    pub unique_taken: u64,
+    /// Unique 4 KB code blocks touched.
+    pub unique_blocks: u64,
+    /// Total instruction bytes executed.
+    pub bytes: u64,
+}
+
+impl TraceStats {
+    /// Collects statistics over a full trace.
+    pub fn collect<T: Trace>(trace: &T) -> Self {
+        Self::from_iter_records(trace.iter())
+    }
+
+    /// Collects statistics from a raw record stream.
+    pub fn from_iter_records(iter: impl Iterator<Item = TraceInstr>) -> Self {
+        let mut s = TraceStats::default();
+        let mut branch_addrs: HashSet<u64> = HashSet::new();
+        let mut taken_addrs: HashSet<u64> = HashSet::new();
+        let mut blocks: HashSet<u64> = HashSet::new();
+        for i in iter {
+            s.instructions += 1;
+            s.bytes += i.len as u64;
+            blocks.insert(i.addr.block());
+            if let Some(b) = i.branch {
+                s.branches += 1;
+                branch_addrs.insert(i.addr.raw());
+                if b.taken {
+                    s.taken_branches += 1;
+                    taken_addrs.insert(i.addr.raw());
+                }
+            }
+        }
+        s.unique_branches = branch_addrs.len() as u64;
+        s.unique_taken = taken_addrs.len() as u64;
+        s.unique_blocks = blocks.len() as u64;
+        s
+    }
+
+    /// Dynamic branches per instruction.
+    pub fn branch_fraction(&self) -> f64 {
+        self.branches as f64 / self.instructions.max(1) as f64
+    }
+
+    /// Fraction of dynamic branches resolved taken.
+    pub fn taken_fraction(&self) -> f64 {
+        self.taken_branches as f64 / self.branches.max(1) as f64
+    }
+
+    /// Mean instruction length in bytes.
+    pub fn avg_instr_len(&self) -> f64 {
+        self.bytes as f64 / self.instructions.max(1) as f64
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} instrs, {} branches ({:.1}% taken), {} unique sites ({} ever-taken), {} x 4KB blocks",
+            self.instructions,
+            self.branches,
+            100.0 * self.taken_fraction(),
+            self.unique_branches,
+            self.unique_taken,
+            self.unique_blocks
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branch::{BranchKind, BranchRec};
+    use crate::{InstAddr, VecTrace};
+
+    #[test]
+    fn counts_unique_and_dynamic_separately() {
+        let b = TraceInstr::branch(
+            InstAddr::new(0x100),
+            4,
+            BranchRec::taken(BranchKind::Unconditional, InstAddr::new(0x200)),
+        );
+        let nt = TraceInstr::branch(InstAddr::new(0x200), 4, BranchRec::not_taken(InstAddr::new(0x300)));
+        let t = VecTrace::new("t", vec![b, nt, b]);
+        let s = TraceStats::collect(&t);
+        assert_eq!(s.instructions, 3);
+        assert_eq!(s.branches, 3);
+        assert_eq!(s.taken_branches, 2);
+        assert_eq!(s.unique_branches, 2);
+        assert_eq!(s.unique_taken, 1);
+        assert_eq!(s.bytes, 12);
+    }
+
+    #[test]
+    fn a_site_taken_once_counts_as_taken_forever() {
+        let a = InstAddr::new(0x100);
+        let taken = TraceInstr::branch(a, 4, BranchRec::taken(BranchKind::Conditional, InstAddr::new(0x40)));
+        let not = TraceInstr::branch(a, 4, BranchRec::not_taken(InstAddr::new(0x40)));
+        let t = VecTrace::new("t", vec![not, taken, not]);
+        let s = TraceStats::collect(&t);
+        assert_eq!(s.unique_branches, 1);
+        assert_eq!(s.unique_taken, 1);
+        assert!((s.taken_fraction() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratios_handle_empty_traces() {
+        let s = TraceStats::collect(&VecTrace::default());
+        assert_eq!(s.branch_fraction(), 0.0);
+        assert_eq!(s.taken_fraction(), 0.0);
+        assert_eq!(s.avg_instr_len(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_key_numbers() {
+        let s = TraceStats { instructions: 10, branches: 2, ..Default::default() };
+        let text = s.to_string();
+        assert!(text.contains("10 instrs"));
+        assert!(text.contains("2 branches"));
+    }
+
+    #[test]
+    fn blocks_counted_at_4kb_granularity() {
+        let t = VecTrace::new(
+            "t",
+            vec![
+                TraceInstr::plain(InstAddr::new(0x0000), 4),
+                TraceInstr::plain(InstAddr::new(0x0FFC), 4),
+                TraceInstr::plain(InstAddr::new(0x1000), 4),
+            ],
+        );
+        assert_eq!(TraceStats::collect(&t).unique_blocks, 2);
+    }
+}

@@ -1,0 +1,247 @@
+//! Set-associative cache model with fill-latency tracking.
+//!
+//! Lines carry a `ready_at` cycle so that prefetches issued by the
+//! lookahead branch predictor can partially or fully hide the L2 latency:
+//! an access that finds its line present but still in flight stalls only
+//! for the remaining cycles (the paper's "reduces or completely hides the
+//! first level instruction cache miss penalty").
+
+use serde::{Deserialize, Serialize};
+use zbp_trace::InstAddr;
+
+/// Geometry of a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub bytes: u32,
+    /// Associativity.
+    pub ways: u32,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u32,
+}
+
+impl CacheGeometry {
+    /// The zEC12 L1 instruction cache: 64 KB, 4-way, 256 B lines.
+    pub const fn zec12_l1i() -> Self {
+        Self { bytes: 64 * 1024, ways: 4, line_bytes: 256 }
+    }
+
+    /// The zEC12 L1 data cache: 96 KB, 6-way, 256 B lines.
+    pub const fn zec12_l1d() -> Self {
+        Self { bytes: 96 * 1024, ways: 6, line_bytes: 256 }
+    }
+
+    /// Number of congruence classes.
+    pub const fn sets(&self) -> u32 {
+        self.bytes / (self.ways * self.line_bytes)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Line {
+    tag: u64,
+    ready_at: u64,
+}
+
+/// Result of a timed cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Line present and ready: no stall.
+    Hit,
+    /// Line present but the fill is still in flight; stall until the
+    /// given cycle (a late-covered prefetch).
+    InFlight {
+        /// Cycle the line's data arrives.
+        ready_at: u64,
+    },
+    /// Line absent: a demand miss was initiated; data arrives at the
+    /// given cycle.
+    Miss {
+        /// Cycle the demand fill completes.
+        ready_at: u64,
+    },
+}
+
+/// A set-associative LRU cache with per-line fill timing.
+///
+/// ```
+/// use zbp_uarch::cache::{Access, Cache, CacheGeometry};
+/// use zbp_trace::InstAddr;
+///
+/// let mut l1i = Cache::new(CacheGeometry::zec12_l1i(), 35);
+/// let addr = InstAddr::new(0x4000);
+/// assert!(matches!(l1i.access(addr, 0), Access::Miss { .. }));
+/// assert!(matches!(l1i.access(addr, 100), Access::Hit));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    geometry: CacheGeometry,
+    /// MRU-first per set.
+    sets: Vec<Vec<Line>>,
+    line_shift: u32,
+    set_mask: u64,
+    fill_latency: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache; misses fill after `fill_latency` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (non-power-of-two line size
+    /// or set count, or zero ways).
+    pub fn new(geometry: CacheGeometry, fill_latency: u64) -> Self {
+        assert!(geometry.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(geometry.ways > 0, "ways must be positive");
+        let sets = geometry.sets();
+        assert!(sets.is_power_of_two() && sets > 0, "set count must be a power of two");
+        Self {
+            sets: vec![Vec::with_capacity(geometry.ways as usize); sets as usize],
+            line_shift: geometry.line_bytes.trailing_zeros(),
+            set_mask: sets as u64 - 1,
+            geometry,
+            fill_latency,
+        }
+    }
+
+    /// The cache geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// Line number of an address.
+    pub fn line_of(&self, addr: InstAddr) -> u64 {
+        addr.raw() >> self.line_shift
+    }
+
+    fn set_of(&self, line: u64) -> usize {
+        (line & self.set_mask) as usize
+    }
+
+    /// Timed demand access at `now`: fills on miss, refreshes LRU.
+    pub fn access(&mut self, addr: InstAddr, now: u64) -> Access {
+        let line = self.line_of(addr);
+        let set_idx = self.set_of(line);
+        let ways = self.geometry.ways as usize;
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|l| l.tag == line) {
+            let l = set.remove(pos);
+            set.insert(0, l);
+            return if l.ready_at <= now {
+                Access::Hit
+            } else {
+                Access::InFlight { ready_at: l.ready_at }
+            };
+        }
+        let ready_at = now + self.fill_latency;
+        set.insert(0, Line { tag: line, ready_at });
+        if set.len() > ways {
+            set.pop();
+        }
+        Access::Miss { ready_at }
+    }
+
+    /// Initiates a prefetch of `addr` at `now` if absent. Returns whether
+    /// a fill was started. Prefetched lines insert at MRU.
+    pub fn prefetch(&mut self, addr: InstAddr, now: u64) -> bool {
+        let line = self.line_of(addr);
+        let set_idx = self.set_of(line);
+        let ways = self.geometry.ways as usize;
+        let fill_latency = self.fill_latency;
+        let set = &mut self.sets[set_idx];
+        if set.iter().any(|l| l.tag == line) {
+            return false;
+        }
+        set.insert(0, Line { tag: line, ready_at: now + fill_latency });
+        if set.len() > ways {
+            set.pop();
+        }
+        true
+    }
+
+    /// Whether the line holding `addr` is present (ready or in flight).
+    pub fn probe(&self, addr: InstAddr) -> bool {
+        let line = self.line_of(addr);
+        self.sets[self.set_of(line)].iter().any(|l| l.tag == line)
+    }
+
+    /// Number of resident lines.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> Cache {
+        // 4 sets x 2 ways x 64 B lines = 512 B.
+        Cache::new(CacheGeometry { bytes: 512, ways: 2, line_bytes: 64 }, 30)
+    }
+
+    #[test]
+    fn zec12_geometries_match_table5() {
+        let i = CacheGeometry::zec12_l1i();
+        assert_eq!(i.bytes, 64 * 1024);
+        assert_eq!(i.ways, 4);
+        assert_eq!(i.sets(), 64);
+        let d = CacheGeometry::zec12_l1d();
+        assert_eq!(d.bytes, 96 * 1024);
+        assert_eq!(d.ways, 6);
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = cache();
+        let a = InstAddr::new(0x1000);
+        assert_eq!(c.access(a, 0), Access::Miss { ready_at: 30 });
+        assert_eq!(c.access(a, 100), Access::Hit);
+        assert_eq!(c.access(a.add(63), 100), Access::Hit, "same line");
+        assert!(matches!(c.access(a.add(64), 100), Access::Miss { .. }), "next line");
+    }
+
+    #[test]
+    fn in_flight_access_reports_remaining_wait() {
+        let mut c = cache();
+        let a = InstAddr::new(0x1000);
+        c.access(a, 0);
+        assert_eq!(c.access(a, 10), Access::InFlight { ready_at: 30 });
+        assert_eq!(c.access(a, 30), Access::Hit);
+    }
+
+    #[test]
+    fn prefetch_hides_latency() {
+        let mut c = cache();
+        let a = InstAddr::new(0x2000);
+        assert!(c.prefetch(a, 0));
+        assert!(!c.prefetch(a, 5), "already in flight");
+        assert_eq!(c.access(a, 40), Access::Hit, "fully hidden");
+        let b = InstAddr::new(0x3000);
+        c.prefetch(b, 0);
+        assert_eq!(c.access(b, 10), Access::InFlight { ready_at: 30 }, "partially hidden");
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = cache();
+        // Set stride: 4 sets x 64 B = 256 B.
+        let a = InstAddr::new(0x0);
+        let b = InstAddr::new(0x100);
+        let d = InstAddr::new(0x200);
+        c.access(a, 0);
+        c.access(b, 0);
+        c.access(a, 1); // refresh a
+        c.access(d, 2); // evicts b
+        assert!(c.probe(a));
+        assert!(!c.probe(b));
+        assert!(c.probe(d));
+        assert_eq!(c.occupancy(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_line_size() {
+        Cache::new(CacheGeometry { bytes: 512, ways: 2, line_bytes: 48 }, 1);
+    }
+}

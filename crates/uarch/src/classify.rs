@@ -1,0 +1,210 @@
+//! Bad branch outcome taxonomy (Figure 4).
+//!
+//! The paper classifies every branch outcome that incurs a performance
+//! penalty:
+//!
+//! * **dynamic mispredictions** — predicted by the first level but wrong
+//!   in direction or target;
+//! * **bad surprise branches** — not dynamically predicted and guessed or
+//!   resolved taken, split into *compulsory* (first sighting), *latency*
+//!   (a prediction existed or had just been installed but was not
+//!   available in time) and *capacity* (seen before, evicted).
+//!
+//! Surprise branches resolved not-taken with a correct not-taken guess
+//! cost nothing and are not bad outcomes.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use zbp_trace::InstAddr;
+
+/// One penalizing branch outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BadOutcome {
+    /// Dynamically predicted, wrong direction.
+    MispredictDirection,
+    /// Dynamically predicted taken, wrong target address.
+    MispredictTarget,
+    /// Bad surprise: first time this branch is seen.
+    SurpriseCompulsory,
+    /// Bad surprise: a prediction existed (or was just installed) but was
+    /// not available in time.
+    SurpriseLatency,
+    /// Bad surprise: seen before and since displaced — the class the BTB2
+    /// exists to attack.
+    SurpriseCapacity,
+}
+
+/// Outcome counts over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutcomeCounts {
+    /// Total dynamic branch executions.
+    pub branches: u64,
+    /// Dynamically predicted, correct.
+    pub good_dynamic: u64,
+    /// Benign surprises (not-taken, guessed not-taken).
+    pub benign_surprises: u64,
+    /// Wrong-direction mispredictions.
+    pub mispredict_direction: u64,
+    /// Wrong-target mispredictions.
+    pub mispredict_target: u64,
+    /// Compulsory bad surprises.
+    pub surprise_compulsory: u64,
+    /// Latency bad surprises.
+    pub surprise_latency: u64,
+    /// Capacity bad surprises.
+    pub surprise_capacity: u64,
+}
+
+impl OutcomeCounts {
+    /// Records a bad outcome.
+    pub fn record_bad(&mut self, o: BadOutcome) {
+        match o {
+            BadOutcome::MispredictDirection => self.mispredict_direction += 1,
+            BadOutcome::MispredictTarget => self.mispredict_target += 1,
+            BadOutcome::SurpriseCompulsory => self.surprise_compulsory += 1,
+            BadOutcome::SurpriseLatency => self.surprise_latency += 1,
+            BadOutcome::SurpriseCapacity => self.surprise_capacity += 1,
+        }
+    }
+
+    /// All bad outcomes.
+    pub fn bad_total(&self) -> u64 {
+        self.mispredict_direction
+            + self.mispredict_target
+            + self.surprise_compulsory
+            + self.surprise_latency
+            + self.surprise_capacity
+    }
+
+    /// All bad surprises.
+    pub fn bad_surprises(&self) -> u64 {
+        self.surprise_compulsory + self.surprise_latency + self.surprise_capacity
+    }
+
+    /// Fraction of all branch outcomes that are bad (Figure 4's y-axis).
+    pub fn bad_fraction(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.bad_total() as f64 / self.branches as f64
+        }
+    }
+
+    /// Fraction of outcomes that are capacity bad surprises.
+    pub fn capacity_fraction(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.surprise_capacity as f64 / self.branches as f64
+        }
+    }
+}
+
+/// Classifier tracking per-branch first-sighting and recency, used to
+/// split bad surprises into compulsory / latency / capacity.
+#[derive(Debug, Clone, Default)]
+pub struct SurpriseClassifier {
+    /// Branch address → cycle of its most recent resolution.
+    last_seen: HashMap<u64, u64>,
+    /// Window after a resolution during which a new surprise for the same
+    /// branch counts as install latency.
+    latency_window: u64,
+}
+
+impl SurpriseClassifier {
+    /// Creates a classifier; `latency_window` should cover the install
+    /// delay of the prediction hierarchy.
+    pub fn new(latency_window: u64) -> Self {
+        Self { last_seen: HashMap::new(), latency_window }
+    }
+
+    /// Whether this branch has been seen before.
+    pub fn seen(&self, addr: InstAddr) -> bool {
+        self.last_seen.contains_key(&addr.raw())
+    }
+
+    /// Classifies a *bad* surprise at `now`. `prediction_present` is true
+    /// when the first level held the entry but broadcast it too late.
+    pub fn classify(&self, addr: InstAddr, now: u64, prediction_present: bool) -> BadOutcome {
+        match self.last_seen.get(&addr.raw()) {
+            None => BadOutcome::SurpriseCompulsory,
+            Some(&last) if prediction_present || now.saturating_sub(last) <= self.latency_window => {
+                BadOutcome::SurpriseLatency
+            }
+            Some(_) => BadOutcome::SurpriseCapacity,
+        }
+    }
+
+    /// Records a branch resolution.
+    pub fn note_resolution(&mut self, addr: InstAddr, now: u64) {
+        self.last_seen.insert(addr.raw(), now);
+    }
+
+    /// Number of distinct branches seen.
+    pub fn distinct_branches(&self) -> usize {
+        self.last_seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(x: u64) -> InstAddr {
+        InstAddr::new(x)
+    }
+
+    #[test]
+    fn first_sighting_is_compulsory() {
+        let c = SurpriseClassifier::new(50);
+        assert_eq!(c.classify(addr(0x100), 10, false), BadOutcome::SurpriseCompulsory);
+    }
+
+    #[test]
+    fn recent_resolution_is_latency() {
+        let mut c = SurpriseClassifier::new(50);
+        c.note_resolution(addr(0x100), 100);
+        assert_eq!(c.classify(addr(0x100), 130, false), BadOutcome::SurpriseLatency);
+        assert_eq!(c.classify(addr(0x100), 151, false), BadOutcome::SurpriseCapacity);
+    }
+
+    #[test]
+    fn late_prediction_is_latency_even_if_old() {
+        let mut c = SurpriseClassifier::new(50);
+        c.note_resolution(addr(0x100), 0);
+        assert_eq!(c.classify(addr(0x100), 10_000, true), BadOutcome::SurpriseLatency);
+    }
+
+    #[test]
+    fn counts_accumulate_and_derive() {
+        let mut o = OutcomeCounts { branches: 100, ..Default::default() };
+        o.record_bad(BadOutcome::SurpriseCapacity);
+        o.record_bad(BadOutcome::SurpriseCapacity);
+        o.record_bad(BadOutcome::MispredictDirection);
+        o.record_bad(BadOutcome::SurpriseCompulsory);
+        o.record_bad(BadOutcome::SurpriseLatency);
+        o.record_bad(BadOutcome::MispredictTarget);
+        assert_eq!(o.bad_total(), 6);
+        assert_eq!(o.bad_surprises(), 4);
+        assert!((o.bad_fraction() - 0.06).abs() < 1e-12);
+        assert!((o.capacity_fraction() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_counts_have_zero_fractions() {
+        let o = OutcomeCounts::default();
+        assert_eq!(o.bad_fraction(), 0.0);
+        assert_eq!(o.capacity_fraction(), 0.0);
+    }
+
+    #[test]
+    fn distinct_branch_tracking() {
+        let mut c = SurpriseClassifier::new(10);
+        assert!(!c.seen(addr(1 << 4)));
+        c.note_resolution(addr(1 << 4), 0);
+        c.note_resolution(addr(2 << 4), 0);
+        c.note_resolution(addr(1 << 4), 5);
+        assert!(c.seen(addr(1 << 4)));
+        assert_eq!(c.distinct_branches(), 2);
+    }
+}

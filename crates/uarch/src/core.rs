@@ -1,0 +1,453 @@
+//! The cycle-accounting front-end model.
+//!
+//! [`CoreModel`] replays a trace through the branch prediction hierarchy
+//! and a finite L1I, charging penalties per the zEC12 front-end behaviour
+//! described in the paper:
+//!
+//! * decode consumes `decode_width` instructions per cycle plus a fixed
+//!   back-end overhead (the execution core is not simulated — the paper's
+//!   reported numbers are relative CPI improvements, which this model
+//!   preserves);
+//! * in-time dynamic taken predictions steer fetch: the target line is
+//!   prefetched at prediction-broadcast time, hiding some or all of the
+//!   L2 latency (§3.2);
+//! * mispredictions and taken surprises restart the pipeline with the
+//!   configured penalties;
+//! * surprise branches resolved and guessed not-taken cost nothing;
+//! * every penalizing branch is classified per Figure 4.
+
+use crate::cache::{Access, Cache};
+use crate::classify::{BadOutcome, OutcomeCounts, SurpriseClassifier};
+use crate::config::UarchConfig;
+use crate::penalty::PenaltyAccounting;
+use serde::{Deserialize, Serialize};
+use zbp_predictor::{BranchPredictor, PredictorConfig, PredictorStats};
+use zbp_trace::{BranchKind, Trace, TraceInstr};
+
+/// I-cache side statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ICacheStats {
+    /// Demand misses (full latency paid).
+    pub demand_misses: u64,
+    /// Accesses that waited on an in-flight prefetch.
+    pub late_prefetch_hits: u64,
+    /// Prefetches issued by taken predictions.
+    pub prefetches: u64,
+    /// Distinct fetch-line transitions.
+    pub line_accesses: u64,
+    /// Wrong-path lines pulled into the L1I (only with
+    /// [`UarchConfig::wrong_path_fetch`](crate::UarchConfig) enabled).
+    pub wrong_path_fetches: u64,
+}
+
+/// Result of one simulated run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoreResult {
+    /// Trace name.
+    pub name: String,
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Total cycles.
+    pub cycles: u64,
+    /// Branch outcome taxonomy (Figure 4).
+    pub outcomes: OutcomeCounts,
+    /// Stall cycles by cause.
+    pub penalties: PenaltyAccounting,
+    /// I-cache behaviour.
+    pub icache: ICacheStats,
+    /// Predictor-side counters.
+    pub predictor: PredictorStats,
+    /// Distinct branch sites encountered.
+    pub distinct_branches: u64,
+}
+
+impl CoreResult {
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        self.cycles as f64 / self.instructions.max(1) as f64
+    }
+}
+
+/// The trace-driven front-end model.
+///
+/// ```
+/// use zbp_predictor::PredictorConfig;
+/// use zbp_trace::profile::WorkloadProfile;
+/// use zbp_uarch::core::CoreModel;
+/// use zbp_uarch::UarchConfig;
+///
+/// let trace = WorkloadProfile::tpf_airline().build(1).with_len(10_000);
+/// let model = CoreModel::new(UarchConfig::zec12(), PredictorConfig::zec12());
+/// let result = model.run(&trace);
+/// assert_eq!(result.instructions, 10_000);
+/// assert!(result.cpi() > 0.5);
+/// ```
+#[derive(Debug)]
+pub struct CoreModel {
+    cfg: UarchConfig,
+    predictor: BranchPredictor,
+    icache: Cache,
+    classifier: SurpriseClassifier,
+    outcomes: OutcomeCounts,
+    penalties: PenaltyAccounting,
+    icache_stats: ICacheStats,
+    cycle: f64,
+    instructions: u64,
+    cur_line: Option<u64>,
+    /// Address the stream should continue at; a mismatch is an
+    /// asynchronous control transfer (context switch / interrupt) that
+    /// restarts the prediction search like any pipeline restart.
+    expected_addr: Option<zbp_trace::InstAddr>,
+}
+
+impl CoreModel {
+    /// Creates a model around a fresh predictor.
+    pub fn new(cfg: UarchConfig, predictor_cfg: PredictorConfig) -> Self {
+        let latency_window = predictor_cfg.install_delay + cfg.resolve_delay;
+        Self {
+            icache: Cache::new(cfg.l1i, cfg.l2_latency),
+            predictor: BranchPredictor::new(predictor_cfg),
+            classifier: SurpriseClassifier::new(latency_window),
+            outcomes: OutcomeCounts::default(),
+            penalties: PenaltyAccounting::default(),
+            icache_stats: ICacheStats::default(),
+            cycle: 0.0,
+            instructions: 0,
+            cur_line: None,
+            expected_addr: None,
+            cfg,
+        }
+    }
+
+    /// Runs a whole trace and returns the result.
+    pub fn run<T: Trace>(mut self, trace: &T) -> CoreResult {
+        for instr in trace.iter() {
+            self.step(&instr);
+        }
+        self.finish(trace.name())
+    }
+
+    /// Executes one instruction.
+    pub fn step(&mut self, instr: &TraceInstr) {
+        self.instructions += 1;
+        self.cycle += 1.0 / self.cfg.decode_width as f64 + self.cfg.base_cpi_overhead;
+
+        // Stream start and asynchronous control transfers (time-slice
+        // switches, interrupts): prediction search restarts at the new
+        // stream position.
+        match self.expected_addr {
+            Some(expected) if expected == instr.addr => {}
+            _ => self.predictor.restart(instr.addr, self.cycle as u64),
+        }
+        self.expected_addr = Some(instr.next_addr());
+
+        // Instruction fetch: charged per 256 B line transition.
+        let line = self.icache.line_of(instr.addr);
+        if self.cur_line != Some(line) {
+            self.cur_line = Some(line);
+            self.icache_stats.line_accesses += 1;
+            let now = self.cycle as u64;
+            match self.icache.access(instr.addr, now) {
+                Access::Hit => {}
+                Access::InFlight { ready_at } => {
+                    self.icache_stats.late_prefetch_hits += 1;
+                    let wait = ready_at.saturating_sub(now);
+                    self.penalties.icache_late_prefetch += wait;
+                    self.cycle += wait as f64;
+                }
+                Access::Miss { ready_at } => {
+                    self.icache_stats.demand_misses += 1;
+                    self.predictor.note_icache_miss(instr.addr, now);
+                    let wait = ready_at - now;
+                    self.penalties.icache_demand += wait;
+                    self.cycle += wait as f64;
+                }
+            }
+        }
+
+        self.predictor.note_completion(instr.addr);
+
+        if instr.branch.is_some() {
+            self.branch(instr);
+        }
+    }
+
+    /// Pulls the first lines of a wrong path into the L1I (fetch ran down
+    /// that path until the branch resolved).
+    fn fetch_wrong_path(&mut self, from: zbp_trace::InstAddr, at: u64) {
+        if !self.cfg.wrong_path_fetch {
+            return;
+        }
+        let line_bytes = u64::from(self.cfg.l1i.line_bytes);
+        for k in 0..u64::from(self.cfg.wrong_path_lines) {
+            if self.icache.prefetch(from.add(k * line_bytes), at) {
+                self.icache_stats.wrong_path_fetches += 1;
+            }
+        }
+    }
+
+    fn branch(&mut self, instr: &TraceInstr) {
+        let b = instr.branch.expect("caller checked");
+        let decode_cycle = self.cycle as u64;
+        let pred = self.predictor.predict_branch(instr, decode_cycle);
+        let resolve_cycle = decode_cycle + self.cfg.resolve_delay;
+        self.outcomes.branches += 1;
+
+        if pred.dynamic() {
+            let dir_correct = pred.taken == b.taken;
+            let target_correct = !b.taken || pred.target == Some(b.target);
+            if dir_correct && target_correct {
+                self.outcomes.good_dynamic += 1;
+                if b.taken {
+                    // Prediction steers fetch: target line prefetch begins
+                    // at broadcast time.
+                    if self.icache.prefetch(b.target, pred.ready_cycle) {
+                        self.icache_stats.prefetches += 1;
+                    }
+                }
+            } else {
+                let outcome = if dir_correct {
+                    BadOutcome::MispredictTarget
+                } else {
+                    BadOutcome::MispredictDirection
+                };
+                self.outcomes.record_bad(outcome);
+                self.penalties.mispredict += self.cfg.mispredict_penalty;
+                // Fetch followed the predicted (wrong) path until
+                // resolution.
+                let wrong = if pred.taken {
+                    pred.target.unwrap_or_else(|| instr.fallthrough())
+                } else {
+                    instr.fallthrough()
+                };
+                self.fetch_wrong_path(wrong, decode_cycle);
+                // The engine restarts as soon as the branch resolves;
+                // decode resumes only after the full refill, giving the
+                // lookahead search its head start.
+                self.predictor.restart(instr.next_addr(), resolve_cycle);
+                self.cycle += self.cfg.mispredict_penalty as f64;
+            }
+        } else {
+            // Surprise (entry absent, or present but broadcast too late).
+            let guess = pred.static_guess_taken;
+            // §3.4 alternative miss definition: decode-stage surprise
+            // reports (no-op unless the configuration enables them).
+            self.predictor.note_decode_surprise(instr.addr, decode_cycle, guess);
+            let benign = !b.taken && !guess;
+            if benign {
+                self.outcomes.benign_surprises += 1;
+                if pred.present() {
+                    // The engine followed its (unconsumed) prediction;
+                    // realign it with the sequential path.
+                    self.predictor.restart(instr.next_addr(), decode_cycle);
+                }
+            } else {
+                let outcome =
+                    self.classifier.classify(instr.addr, decode_cycle, pred.present());
+                self.outcomes.record_bad(outcome);
+                let target_at_decode = matches!(
+                    b.kind,
+                    BranchKind::Conditional | BranchKind::Unconditional | BranchKind::Call
+                );
+                let (penalty, restart_at) = if b.taken && guess && target_at_decode {
+                    // Statically guessed taken, target computable: a
+                    // decode-time redirect; the engine restarts now.
+                    self.penalties.surprise_redirect += self.cfg.surprise_redirect_penalty;
+                    (self.cfg.surprise_redirect_penalty, decode_cycle)
+                } else if b.taken && guess {
+                    // Correct taken guess but the target waits for
+                    // execution (returns, indirect branches).
+                    self.penalties.surprise_resolve += self.cfg.surprise_resolve_penalty;
+                    (self.cfg.surprise_resolve_penalty, resolve_cycle)
+                } else {
+                    // Wrong static guess, fixed at resolution; fetch ran
+                    // down the guessed path meanwhile.
+                    let wrong = if guess { b.target } else { instr.fallthrough() };
+                    self.fetch_wrong_path(wrong, decode_cycle);
+                    self.penalties.surprise_resolve += self.cfg.mispredict_penalty;
+                    (self.cfg.mispredict_penalty, resolve_cycle)
+                };
+                self.predictor.restart(instr.next_addr(), restart_at);
+                self.cycle += penalty as f64;
+            }
+        }
+
+        // Only taken resolutions install into the hierarchy, so only they
+        // count as "seen" for the compulsory/capacity split: a branch that
+        // was never taken was never installable, and its first taken
+        // execution is a compulsory surprise no capacity could avoid.
+        if b.taken {
+            self.classifier.note_resolution(instr.addr, resolve_cycle);
+        }
+        self.predictor.resolve(instr, &pred, resolve_cycle);
+    }
+
+    /// Finalizes the run.
+    pub fn finish(mut self, name: &str) -> CoreResult {
+        self.predictor.advance_transfers(u64::MAX);
+        CoreResult {
+            name: name.to_string(),
+            instructions: self.instructions,
+            cycles: self.cycle as u64,
+            outcomes: self.outcomes,
+            penalties: self.penalties,
+            icache: self.icache_stats,
+            predictor: self.predictor.stats_snapshot(),
+            distinct_branches: self.classifier.distinct_branches() as u64,
+        }
+    }
+
+    /// The predictor being driven (diagnostics).
+    pub fn predictor(&self) -> &BranchPredictor {
+        &self.predictor
+    }
+
+    /// Mutable access to the predictor, for external write sources like
+    /// software branch preload instructions (Figure 1's BTBP inputs).
+    pub fn predictor_mut(&mut self) -> &mut BranchPredictor {
+        &mut self.predictor
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zbp_trace::{BranchRec, InstAddr, VecTrace};
+
+    fn model() -> CoreModel {
+        CoreModel::new(UarchConfig::zec12(), PredictorConfig::zec12())
+    }
+
+    /// A trace looping `iters` times over a small body ending in a taken
+    /// branch back to the start.
+    fn loop_trace(iters: usize) -> VecTrace {
+        let mut v = Vec::new();
+        for _ in 0..iters {
+            v.push(TraceInstr::plain(InstAddr::new(0x1000), 4));
+            v.push(TraceInstr::plain(InstAddr::new(0x1004), 4));
+            v.push(TraceInstr::branch(
+                InstAddr::new(0x1008),
+                4,
+                BranchRec::taken(BranchKind::Conditional, InstAddr::new(0x1000)),
+            ));
+        }
+        VecTrace::new("loop", v)
+    }
+
+    #[test]
+    fn branch_outcome_counts_are_complete() {
+        let r = model().run(&loop_trace(500));
+        assert_eq!(r.outcomes.branches, 500);
+        assert_eq!(
+            r.outcomes.branches,
+            r.outcomes.good_dynamic + r.outcomes.benign_surprises + r.outcomes.bad_total(),
+            "every branch must be categorized exactly once"
+        );
+        assert_eq!(r.instructions, 1500);
+    }
+
+    #[test]
+    fn hot_loop_becomes_well_predicted() {
+        let r = model().run(&loop_trace(2000));
+        // After warmup the loop branch must predict dynamically.
+        assert!(
+            r.outcomes.good_dynamic > 1900,
+            "good={} of {}",
+            r.outcomes.good_dynamic,
+            r.outcomes.branches
+        );
+        // CPI approaches the base cost.
+        let base = 1.0 / 3.0 + UarchConfig::zec12().base_cpi_overhead;
+        assert!(r.cpi() < base + 0.2, "cpi={}", r.cpi());
+    }
+
+    #[test]
+    fn first_iteration_is_compulsory_surprise() {
+        let r = model().run(&loop_trace(3));
+        assert!(r.outcomes.surprise_compulsory >= 1);
+        assert!(r.distinct_branches == 1);
+    }
+
+    #[test]
+    fn cold_sequential_code_pays_icache_misses() {
+        // 4 KB of straight-line code: 16 lines of 256 B.
+        let mut v = Vec::new();
+        for i in 0..1024u64 {
+            v.push(TraceInstr::plain(InstAddr::new(0x8000 + i * 4), 4));
+        }
+        let r = model().run(&VecTrace::new("seq", v));
+        assert_eq!(r.icache.demand_misses, 16);
+        assert_eq!(r.penalties.icache_demand, 16 * UarchConfig::zec12().l2_latency);
+        assert_eq!(r.outcomes.branches, 0);
+    }
+
+    #[test]
+    fn taken_prediction_prefetches_target_line() {
+        // A loop whose body spans two cache lines; the backward target is
+        // re-fetched every iteration but stays resident, so only the very
+        // first touches miss.
+        let r = model().run(&loop_trace(100));
+        assert!(r.icache.demand_misses <= 2);
+    }
+
+    #[test]
+    fn wrong_static_guess_costs_full_penalty() {
+        // A branch alternating taken/not-taken with no warmup: its first
+        // taken execution surprises with a not-taken guess.
+        let mut v = Vec::new();
+        v.push(TraceInstr::branch(
+            InstAddr::new(0x1000),
+            4,
+            BranchRec::taken(BranchKind::Conditional, InstAddr::new(0x2000)),
+        ));
+        v.push(TraceInstr::plain(InstAddr::new(0x2000), 4));
+        let r = model().run(&VecTrace::new("t", v));
+        assert_eq!(r.outcomes.surprise_compulsory, 1);
+        assert!(r.penalties.surprise_resolve >= UarchConfig::zec12().mispredict_penalty);
+    }
+
+    #[test]
+    fn benign_surprises_cost_nothing() {
+        // Never-taken branch: after the first execution the static 1-bit
+        // BHT guesses not-taken; branch is never installed; zero penalty
+        // beyond base.
+        let mut v = Vec::new();
+        for _ in 0..50 {
+            v.push(TraceInstr::branch(
+                InstAddr::new(0x1000),
+                4,
+                BranchRec::not_taken(InstAddr::new(0x2000)),
+            ));
+            v.push(TraceInstr::plain(InstAddr::new(0x1004), 4));
+            // jump back
+            v.push(TraceInstr::branch(
+                InstAddr::new(0x1008),
+                4,
+                BranchRec::taken(BranchKind::Unconditional, InstAddr::new(0x1000)),
+            ));
+        }
+        let r = model().run(&VecTrace::new("nt", v));
+        assert!(r.outcomes.benign_surprises >= 49, "benign={}", r.outcomes.benign_surprises);
+        assert_eq!(r.penalties.mispredict, 0);
+    }
+
+    #[test]
+    fn cpi_is_cycles_over_instructions() {
+        let r = model().run(&loop_trace(100));
+        assert!((r.cpi() - r.cycles as f64 / r.instructions as f64).abs() < 1e-12);
+        assert!(r.cpi() > 0.0);
+    }
+
+    #[test]
+    fn empty_trace_is_harmless() {
+        let r = model().run(&VecTrace::default());
+        assert_eq!(r.instructions, 0);
+        assert_eq!(r.cycles, 0);
+        assert_eq!(r.cpi(), 0.0);
+    }
+}

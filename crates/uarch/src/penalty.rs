@@ -1,0 +1,58 @@
+//! Stall-cycle accounting by cause.
+
+use serde::{Deserialize, Serialize};
+
+/// Cycles lost to each front-end penalty source.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PenaltyAccounting {
+    /// Demand L1I misses (full L2 latency).
+    pub icache_demand: u64,
+    /// Residual waits on lines whose prefetch was in flight.
+    pub icache_late_prefetch: u64,
+    /// Resolved mispredictions (direction or target).
+    pub mispredict: u64,
+    /// Decode-time redirects for surprise branches guessed taken.
+    pub surprise_redirect: u64,
+    /// Execute-time penalties for taken surprises with late targets or
+    /// wrong static guesses.
+    pub surprise_resolve: u64,
+}
+
+impl PenaltyAccounting {
+    /// Total penalty cycles.
+    pub fn total(&self) -> u64 {
+        self.icache_demand
+            + self.icache_late_prefetch
+            + self.mispredict
+            + self.surprise_redirect
+            + self.surprise_resolve
+    }
+
+    /// Penalty cycles attributable to branches (everything but I-cache).
+    pub fn branch_total(&self) -> u64 {
+        self.mispredict + self.surprise_redirect + self.surprise_resolve
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let p = PenaltyAccounting {
+            icache_demand: 10,
+            icache_late_prefetch: 5,
+            mispredict: 20,
+            surprise_redirect: 3,
+            surprise_resolve: 2,
+        };
+        assert_eq!(p.total(), 40);
+        assert_eq!(p.branch_total(), 25);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(PenaltyAccounting::default().total(), 0);
+    }
+}

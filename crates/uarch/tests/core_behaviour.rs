@@ -1,0 +1,174 @@
+//! Behavioural integration tests of the core model: prefetch overlap,
+//! penalty ordering, classification transitions.
+
+use zbp_predictor::PredictorConfig;
+use zbp_trace::{BranchKind, BranchRec, InstAddr, TraceInstr, VecTrace};
+use zbp_uarch::core::CoreModel;
+use zbp_uarch::UarchConfig;
+
+fn model() -> CoreModel {
+    CoreModel::new(UarchConfig::zec12(), PredictorConfig::zec12())
+}
+
+/// Straight-line code of `n` instructions from `base`.
+fn straight(base: u64, n: u64) -> Vec<TraceInstr> {
+    (0..n).map(|i| TraceInstr::plain(InstAddr::new(base + i * 4), 4)).collect()
+}
+
+#[test]
+fn predicted_taken_branches_prefetch_their_targets() {
+    // A loop whose body calls out to a far line each iteration: once the
+    // branch predicts dynamically, the target line is prefetched and the
+    // demand misses stop.
+    let mut v = Vec::new();
+    for _ in 0..300 {
+        v.push(TraceInstr::branch(
+            InstAddr::new(0x1000),
+            4,
+            BranchRec::taken(BranchKind::Unconditional, InstAddr::new(0x20_0000)),
+        ));
+        v.push(TraceInstr::branch(
+            InstAddr::new(0x20_0000),
+            4,
+            BranchRec::taken(BranchKind::Unconditional, InstAddr::new(0x1000)),
+        ));
+    }
+    let r = model().run(&VecTrace::new("pingpong", v));
+    // Both lines stay resident; only the two compulsory misses remain.
+    assert_eq!(r.icache.demand_misses, 2, "demand misses: {}", r.icache.demand_misses);
+    assert!(r.icache.prefetches > 0 || r.icache.demand_misses == 2);
+}
+
+#[test]
+fn icache_misses_notify_the_predictor_filter() {
+    // Cold straight-line code: every 256 B line misses and must reach the
+    // tracker file as filter input. A branch at the end makes the engine
+    // account the fruitless searches over the walked rows (the model
+    // charges search work lazily at prediction lookups).
+    let mut v = straight(0x40_0000, 512);
+    v.push(TraceInstr::branch(
+        InstAddr::new(0x40_0000 + 512 * 4),
+        4,
+        BranchRec::taken(BranchKind::Conditional, InstAddr::new(0x40_0000)),
+    ));
+    let mut m = model();
+    for i in &v {
+        m.step(i);
+    }
+    let r = m.finish("cold");
+    assert_eq!(r.icache.demand_misses, 9);
+    // 64 fruitless 32 B rows at a 4-search limit: perceived misses fired
+    // and, combined with the I-cache misses, launched full searches.
+    assert!(r.predictor.btb1_misses_reported >= 8, "fruitless searches over cold code");
+    assert!(r.predictor.tracker.full_searches >= 1);
+}
+
+#[test]
+fn surprise_redirect_is_cheaper_than_wrong_guess() {
+    let penalty_for = |taken_first: bool| {
+        // One conditional branch, executed once: either resolved taken
+        // with an untrained (not-taken) guess — expensive — or resolved
+        // not-taken — free.
+        let b = TraceInstr::branch(
+            InstAddr::new(0x9000),
+            4,
+            BranchRec { kind: BranchKind::Conditional, taken: taken_first, target: InstAddr::new(0xA000) },
+        );
+        let mut v = vec![b];
+        v.extend(straight(b.next_addr().raw(), 5));
+        let r = model().run(&VecTrace::new("t", v));
+        r.penalties.branch_total()
+    };
+    let wrong_guess = penalty_for(true);
+    let benign = penalty_for(false);
+    assert!(wrong_guess > 0);
+    assert_eq!(benign, 0, "not-taken surprise guessed not-taken is free");
+}
+
+#[test]
+fn capacity_class_appears_only_after_eviction() {
+    // Execute one branch, then flood the BTBP/BTB1 row with aliasing
+    // branches, then re-execute: the re-encounter must classify capacity,
+    // not compulsory.
+    let target = InstAddr::new(0x100);
+    let victim = TraceInstr::branch(
+        InstAddr::new(0x5000),
+        4,
+        BranchRec::taken(BranchKind::Conditional, target),
+    );
+    let mut v = vec![victim];
+    v.push(TraceInstr::plain(target, 4));
+    // Aliasing branches: same BTBP row (128 x 32B wrap = 4 KB) and same
+    // BTB1 row (32 KB wrap).
+    for i in 1..=40u64 {
+        let a = InstAddr::new(0x5000 + i * 32 * 1024);
+        let t = InstAddr::new(a.raw() + 0x40);
+        v.push(TraceInstr::branch(a, 4, BranchRec::taken(BranchKind::Conditional, t)));
+        v.push(TraceInstr::plain(t, 4));
+    }
+    v.push(victim);
+    v.push(TraceInstr::plain(target, 4));
+    let r = model().run(&VecTrace::new("evict", v));
+    assert!(
+        r.outcomes.surprise_capacity >= 1,
+        "re-encounter after eviction must be capacity: {:?}",
+        r.outcomes
+    );
+}
+
+#[test]
+fn latency_class_for_rapid_reencounter() {
+    // The same branch twice in quick succession: the second encounter
+    // happens before the install becomes visible -> latency class.
+    let b = TraceInstr::branch(
+        InstAddr::new(0x5000),
+        4,
+        BranchRec::taken(BranchKind::Conditional, InstAddr::new(0x5008)),
+    );
+    let back = TraceInstr::branch(
+        InstAddr::new(0x5008),
+        4,
+        BranchRec::taken(BranchKind::Unconditional, InstAddr::new(0x5000)),
+    );
+    let v = vec![b, back, b, back, b];
+    let r = model().run(&VecTrace::new("rapid", v));
+    assert!(
+        r.outcomes.surprise_latency >= 1,
+        "rapid re-encounter before install visibility: {:?}",
+        r.outcomes
+    );
+}
+
+#[test]
+fn cycles_monotonically_accumulate() {
+    let mut m = model();
+    let mut last = 0;
+    for i in straight(0x1000, 2_000) {
+        m.step(&i);
+        let now = m.cycle();
+        assert!(now >= last);
+        last = now;
+    }
+}
+
+#[test]
+fn no_btb2_and_btb2_agree_on_branch_counts() {
+    let v: Vec<TraceInstr> = (0..200u64)
+        .flat_map(|i| {
+            let a = 0x1000 + (i % 50) * 128;
+            vec![
+                TraceInstr::plain(InstAddr::new(a), 4),
+                TraceInstr::branch(
+                    InstAddr::new(a + 4),
+                    4,
+                    BranchRec::taken(BranchKind::Conditional, InstAddr::new(0x1000 + ((i + 1) % 50) * 128)),
+                ),
+            ]
+        })
+        .collect();
+    let t = VecTrace::new("counts", v);
+    let a = CoreModel::new(UarchConfig::zec12(), PredictorConfig::no_btb2()).run(&t);
+    let b = CoreModel::new(UarchConfig::zec12(), PredictorConfig::zec12()).run(&t);
+    assert_eq!(a.outcomes.branches, b.outcomes.branches, "branch counts are config-invariant");
+    assert_eq!(a.instructions, b.instructions);
+}

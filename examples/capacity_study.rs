@@ -1,0 +1,45 @@
+//! Capacity study: at what branch footprint does a second-level BTB start
+//! paying off?
+//!
+//! The paper's Table 4 picks workloads with more than 5,000 unique taken
+//! branches as "good candidates for showing improvement from additional
+//! branch prediction capacity". This example sweeps synthetic footprints
+//! from well under the BTB1's reach to several times the BTB2's and
+//! prints where the two-level hierarchy starts (and stops) helping —
+//! useful when deciding whether a workload of yours resembles the paper's.
+//!
+//! ```text
+//! cargo run --release --example capacity_study
+//! ```
+
+use zbp::prelude::*;
+use zbp::sim::parallel::par_map;
+
+fn main() {
+    let len = std::env::var("ZBP_TRACE_LEN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_500_000);
+    // Footprints in unique branch sites; the BTB1 holds 4k entries
+    // (~114-142 KB of code), the BTB2 24k.
+    let footprints: [u32; 7] = [2_000, 4_000, 8_000, 16_000, 32_000, 64_000, 128_000];
+    println!("{:<12} {:>12} {:>12} {:>12} {:>10}", "footprint", "CPI base", "CPI +BTB2", "BTB2 gain", "eff");
+    let rows = par_map(&footprints, |&sites| {
+        let taken = (sites as f64 * 0.62) as u32;
+        let profile = WorkloadProfile::single(&format!("{sites} sites"), sites, taken);
+        let trace = profile.build(7).with_len(len);
+        let base = Simulator::new(SimConfig::no_btb2()).run(&trace);
+        let btb2 = Simulator::new(SimConfig::btb2_enabled()).run(&trace);
+        let large = Simulator::new(SimConfig::large_btb1()).run(&trace);
+        (sites, base.cpi(), btb2.cpi(), large.cpi())
+    });
+    for (sites, base, btb2, large) in rows {
+        let gain = 100.0 * (1.0 - btb2 / base);
+        let ceiling = 100.0 * (1.0 - large / base);
+        let eff = if ceiling.abs() > 0.05 { format!("{:.0}%", 100.0 * gain / ceiling) } else { "-".into() };
+        println!("{:<12} {:>12.4} {:>12.4} {:>11.2}% {:>10}", sites, base, btb2, gain, eff);
+    }
+    println!("\nBelow the BTB1's reach the second level is idle; past the BTB2's");
+    println!("capacity its effectiveness falls off — matching the paper's spread");
+    println!("of 16.6%-83.4% across its 13 workloads.");
+}

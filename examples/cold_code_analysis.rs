@@ -1,0 +1,86 @@
+//! Cold-code deep dive: where do the cycles go, and what does the BTB2
+//! actually change?
+//!
+//! Replays one large-footprint workload with and without the second
+//! level, then prints the Figure-4-style outcome taxonomy, the stall
+//! cycles by cause, and the hierarchy's internal traffic (perceived
+//! misses, tracker activity, bulk-transfer volume).
+//!
+//! ```text
+//! cargo run --release --example cold_code_analysis
+//! ```
+
+use zbp::prelude::*;
+use zbp::uarch::core::CoreResult;
+
+fn report(r: &CoreResult) {
+    let o = &r.outcomes;
+    let p = &r.penalties;
+    let ps = &r.predictor;
+    println!("  CPI {:.4} over {} instructions", r.cpi(), r.instructions);
+    println!("  branch outcomes ({} total):", o.branches);
+    println!(
+        "    good dynamic {:>8}   benign surprises {:>8}",
+        o.good_dynamic, o.benign_surprises
+    );
+    println!(
+        "    mispredicted {:>8}   (direction {} / target {})",
+        o.mispredict_direction + o.mispredict_target,
+        o.mispredict_direction,
+        o.mispredict_target
+    );
+    println!(
+        "    bad surprises{:>8}   (compulsory {} / latency {} / capacity {})",
+        o.bad_surprises(),
+        o.surprise_compulsory,
+        o.surprise_latency,
+        o.surprise_capacity
+    );
+    println!("  stall cycles by cause:");
+    println!(
+        "    I-cache {:>9}   late prefetch {:>8}",
+        p.icache_demand, p.icache_late_prefetch
+    );
+    println!(
+        "    mispredict {:>6}   surprise redirect {:>4}   surprise resolve {}",
+        p.mispredict, p.surprise_redirect, p.surprise_resolve
+    );
+    println!("  hierarchy traffic:");
+    println!(
+        "    predictions: BTB1 {} / BTBP {} ({} late)",
+        ps.btb1_predictions, ps.btbp_predictions, ps.late_predictions
+    );
+    println!(
+        "    installs {} / BTB1 victims {} / perceived misses {}",
+        ps.surprise_installs, ps.btb1_victims, ps.btb1_misses_reported
+    );
+    println!(
+        "    searches: {} full + {} partial, {} entries bulk-transferred",
+        ps.tracker.full_searches, ps.tracker.partial_searches, ps.btb2_entries_transferred
+    );
+}
+
+fn main() {
+    let profile = WorkloadProfile::zos_lspr_cics_db2();
+    let len = std::env::var("ZBP_TRACE_LEN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000_000);
+    let trace = profile.build(0xEC12).with_len(len);
+    println!("workload: {}\n", profile.name);
+
+    let base = Simulator::new(SimConfig::no_btb2()).run(&trace);
+    println!("== configuration 1: no BTB2");
+    report(&base.core);
+
+    let btb2 = Simulator::new(SimConfig::btb2_enabled()).run(&trace);
+    println!("\n== configuration 2: BTB2 enabled");
+    report(&btb2.core);
+
+    println!(
+        "\nBTB2 CPI improvement: {:+.2}%  — capacity bad surprises {} -> {}",
+        btb2.improvement_over(&base),
+        base.core.outcomes.surprise_capacity,
+        btb2.core.outcomes.surprise_capacity
+    );
+}

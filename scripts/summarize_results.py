@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Print a one-line summary of every experiment artifact in results/.
+
+Usage: python3 scripts/summarize_results.py [results-dir]
+"""
+import json
+import sys
+import os
+
+d = sys.argv[1] if len(sys.argv) > 1 else os.path.join(os.path.dirname(__file__), "..", "results")
+
+def sweep(name):
+    try:
+        return [(p["label"], round(p["avg_improvement"], 2)) for p in json.load(open(f"{d}/{name}.json"))]
+    except OSError:
+        return "missing"
+
+for name in [
+    "fig5_btb2_size", "fig6_miss_definition", "fig7_trackers",
+    "ablation_exclusivity", "ablation_steering", "ablation_filter",
+    "future_congruence", "future_miss_detection", "future_multiblock",
+    "future_edram", "comparison_phantom",
+]:
+    print(f"{name:24} {sweep(name)}")
+
+try:
+    f4 = json.load(open(f"{d}/fig4_bad_branch_outcomes.json"))
+    print(f"fig4: improvement {f4['improvement']:+.2f}%  capacity "
+          f"{f4['without_btb2']['capacity']:.2f}% -> {f4['with_btb2']['capacity']:.2f}%")
+    for r in json.load(open(f"{d}/fig3_system_level.json")):
+        print(f"fig3: {r['workload']:28} {r['improvement']:+.2f}%")
+    for r in json.load(open(f"{d}/fig2_cpi_improvement.json")):
+        b = 100 * (1 - r["btb2_cpi"] / r["baseline_cpi"])
+        l = 100 * (1 - r["large_btb1_cpi"] / r["baseline_cpi"])
+        print(f"fig2: {r['trace']:28} btb2 {b:+.2f}%  large {l:+.2f}%  eff {100 * b / l:5.1f}%")
+except OSError as e:
+    print("partial:", e)

@@ -1,0 +1,428 @@
+//! `zbp-cli` — command-line front end to the bulk-preload reproduction.
+//!
+//! ```text
+//! zbp-cli list
+//! zbp-cli gen --profile daytrader-dbserv --len 1000000 --out trace.zbpt
+//! zbp-cli stats --profile zos-trade6 --len 500000
+//! zbp-cli stats --in trace.zbpt
+//! zbp-cli run --profile tpf-airline --config btb2 --len 2000000
+//! zbp-cli compare --profile daytrader-dbserv --len 4000000
+//! zbp-cli experiment fig4 --len 1000000
+//! ```
+
+use std::process::ExitCode;
+use zbp::prelude::*;
+use zbp::sim::experiments::{self, ExperimentOptions};
+use zbp::sim::report::{pct, render_table};
+use zbp::trace::io::{read_trace, write_trace};
+use zbp::trace::profile::ProfileTrace;
+
+const USAGE: &str = "zbp-cli — IBM zEC12 two-level bulk preload branch prediction reproduction
+
+USAGE:
+    zbp-cli <COMMAND> [OPTIONS]
+
+COMMANDS:
+    list                          list the built-in workload profiles
+    gen                           synthesize a workload and write it to disk
+    stats                         print footprint statistics of a workload
+    run                           simulate one workload under one configuration
+    compare                       run all three Table-3 configurations on one workload
+    analyze                       branch reuse-distance profile vs the BTB capacities
+    report                        render results/*.json into results/REPORT.md
+    experiment <ID>               regenerate a paper experiment
+                                  (table4, fig2, fig3, fig4, fig5, fig6, fig7)
+
+OPTIONS:
+    --profile <NAME>              workload profile (see `zbp-cli list`)
+    --in <FILE>                   read a serialized trace instead of a profile
+    --out <FILE>                  output path for `gen`
+    --config <no-btb2|btb2|large-btb1>   configuration for `run` (default: btb2)
+    --len <N>                     dynamic instruction count (default: profile default)
+    --seed <N>                    workload synthesis seed (default: 0xEC12)
+";
+
+#[derive(Debug, Default)]
+struct Args {
+    command: String,
+    experiment: Option<String>,
+    profile: Option<String>,
+    input: Option<String>,
+    output: Option<String>,
+    config: Option<String>,
+    len: Option<u64>,
+    seed: u64,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args { seed: 0xEC12, ..Args::default() };
+    let mut it = argv.iter();
+    args.command = it.next().cloned().ok_or("missing command")?;
+    if args.command == "experiment" {
+        args.experiment = Some(it.next().cloned().ok_or("missing experiment id")?);
+    }
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {flag} requires a value"))
+        };
+        match flag.as_str() {
+            "--profile" => args.profile = Some(value()?),
+            "--in" => args.input = Some(value()?),
+            "--out" => args.output = Some(value()?),
+            "--config" => args.config = Some(value()?),
+            "--len" => {
+                args.len = Some(value()?.parse().map_err(|e| format!("--len: {e}"))?)
+            }
+            "--seed" => {
+                args.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Profile lookup by kebab-case key.
+fn profiles() -> Vec<(&'static str, WorkloadProfile)> {
+    vec![
+        ("zos-lspr-cb84", WorkloadProfile::zos_lspr_cb84()),
+        ("zos-lspr-cics-db2", WorkloadProfile::zos_lspr_cics_db2()),
+        ("zos-lspr-ims", WorkloadProfile::zos_lspr_ims()),
+        ("zos-lspr-cbl", WorkloadProfile::zos_lspr_cbl()),
+        ("zos-lspr-wasdb-cbw2", WorkloadProfile::zos_lspr_wasdb_cbw2()),
+        ("zos-trade6", WorkloadProfile::zos_trade6()),
+        ("tpf-airline", WorkloadProfile::tpf_airline()),
+        ("zos-appserv", WorkloadProfile::zos_appserv()),
+        ("zos-dbserv", WorkloadProfile::zos_dbserv()),
+        ("daytrader-appserv", WorkloadProfile::daytrader_appserv()),
+        ("daytrader-dbserv", WorkloadProfile::daytrader_dbserv()),
+        ("zlinux-informix", WorkloadProfile::zlinux_informix()),
+        ("zlinux-trade6", WorkloadProfile::zlinux_trade6()),
+        ("hw-wasdb-cbw2", WorkloadProfile::hardware_wasdb_cbw2()),
+        ("hw-web-cics-db2", WorkloadProfile::hardware_web_cics_db2()),
+    ]
+}
+
+fn find_profile(key: &str) -> Result<WorkloadProfile, String> {
+    profiles()
+        .into_iter()
+        .find(|(k, _)| *k == key)
+        .map(|(_, p)| p)
+        .ok_or_else(|| format!("unknown profile '{key}' (see `zbp-cli list`)"))
+}
+
+fn build_trace(args: &Args) -> Result<ProfileTrace, String> {
+    let key = args.profile.as_deref().ok_or("--profile is required")?;
+    let profile = find_profile(key)?;
+    let len = args.len.unwrap_or(profile.default_len);
+    Ok(profile.build_with_len(args.seed, len))
+}
+
+fn config_by_name(name: &str) -> Result<SimConfig, String> {
+    match name {
+        "no-btb2" => Ok(SimConfig::no_btb2()),
+        "btb2" => Ok(SimConfig::btb2_enabled()),
+        "large-btb1" => Ok(SimConfig::large_btb1()),
+        other => Err(format!("unknown config '{other}' (no-btb2 | btb2 | large-btb1)")),
+    }
+}
+
+fn cmd_list() {
+    let rows: Vec<Vec<String>> = profiles()
+        .iter()
+        .map(|(key, p)| {
+            vec![
+                key.to_string(),
+                p.name.clone(),
+                p.unique_branches().to_string(),
+                p.unique_taken().to_string(),
+                p.default_len.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["key", "paper name", "unique branches", "ever-taken", "default length"],
+            &rows
+        )
+    );
+}
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    let out = args.output.as_deref().ok_or("--out is required")?;
+    let trace = build_trace(args)?;
+    let file = std::fs::File::create(out).map_err(|e| format!("{out}: {e}"))?;
+    let writer = std::io::BufWriter::new(file);
+    write_trace(&trace, writer).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {} instructions to {out}", trace.len());
+    Ok(())
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let stats = if let Some(path) = &args.input {
+        let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+        let trace = read_trace(std::io::BufReader::new(file)).map_err(|e| e.to_string())?;
+        println!("trace: {}", trace.name());
+        TraceStats::collect(&trace)
+    } else {
+        let trace = build_trace(args)?;
+        println!("trace: {}", trace.name());
+        TraceStats::collect(&trace)
+    };
+    println!("{stats}");
+    println!("  avg instruction length: {:.2} bytes", stats.avg_instr_len());
+    println!("  dynamic branch fraction: {:.2}%", 100.0 * stats.branch_fraction());
+    println!("  dynamic taken fraction:  {:.2}%", 100.0 * stats.taken_fraction());
+    Ok(())
+}
+
+fn print_run(result: &zbp::sim::SimResult) {
+    let o = &result.core.outcomes;
+    println!("configuration: {}", result.config_name);
+    println!("  CPI: {:.4} ({} cycles / {} instructions)", result.cpi(), result.core.cycles, result.core.instructions);
+    println!(
+        "  branch outcomes: {:.2}% bad ({} mispredict, {} compulsory, {} latency, {} capacity)",
+        100.0 * o.bad_fraction(),
+        o.mispredict_direction + o.mispredict_target,
+        o.surprise_compulsory,
+        o.surprise_latency,
+        o.surprise_capacity
+    );
+    println!(
+        "  hierarchy: {} transfers, {} full / {} partial searches",
+        result.core.predictor.btb2_entries_transferred,
+        result.core.predictor.tracker.full_searches,
+        result.core.predictor.tracker.partial_searches
+    );
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let config = config_by_name(args.config.as_deref().unwrap_or("btb2"))?;
+    let trace = build_trace(args)?;
+    let result = Simulator::new(config).run(&trace);
+    print_run(&result);
+    Ok(())
+}
+
+fn cmd_compare(args: &Args) -> Result<(), String> {
+    let trace = build_trace(args)?;
+    println!("workload: {} ({} instructions)\n", trace.name(), trace.len());
+    let base = Simulator::new(SimConfig::no_btb2()).run(&trace);
+    let btb2 = Simulator::new(SimConfig::btb2_enabled()).run(&trace);
+    let large = Simulator::new(SimConfig::large_btb1()).run(&trace);
+    let rows = vec![
+        vec!["no BTB2 (cfg 1)".into(), format!("{:.4}", base.cpi()), "-".into()],
+        vec![
+            "BTB2 enabled (cfg 2)".into(),
+            format!("{:.4}", btb2.cpi()),
+            pct(btb2.improvement_over(&base)),
+        ],
+        vec![
+            "24k BTB1 (cfg 3)".into(),
+            format!("{:.4}", large.cpi()),
+            pct(large.improvement_over(&base)),
+        ],
+    ];
+    println!("{}", render_table(&["configuration", "CPI", "improvement"], &rows));
+    let ceiling = large.improvement_over(&base);
+    if ceiling.abs() > 0.05 {
+        println!(
+            "BTB2 effectiveness: {:.1}% of the large-BTB1 ceiling (paper avg: 52%)",
+            100.0 * btb2.improvement_over(&base) / ceiling
+        );
+    }
+    Ok(())
+}
+
+fn cmd_analyze(args: &Args) -> Result<(), String> {
+    use zbp::trace::analysis::ReuseProfile;
+    let profile = if let Some(path) = &args.input {
+        let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+        let trace = read_trace(std::io::BufReader::new(file)).map_err(|e| e.to_string())?;
+        println!("trace: {}", trace.name());
+        ReuseProfile::collect(&trace)
+    } else {
+        let trace = build_trace(args)?;
+        println!("trace: {}", trace.name());
+        ReuseProfile::collect(&trace)
+    };
+    println!("branch reuse distances (distinct sites between re-executions):\n");
+    print!("{}", profile.render());
+    println!(
+        "\nwithin first level reach (<= 4,864 sites):  {:.1}%",
+        100.0 * profile.fraction_within(4_864)
+    );
+    println!(
+        "within BTB2 reach       (<= 24,576 sites):  {:.1}%",
+        100.0 * profile.fraction_within(24_576)
+    );
+    println!("\nthe gap between those two lines is the BTB2's opportunity.");
+    Ok(())
+}
+
+fn cmd_experiment(args: &Args) -> Result<(), String> {
+    let id = args.experiment.as_deref().expect("parser enforces presence");
+    let opts = ExperimentOptions { len: args.len, seed: args.seed };
+    match id {
+        "table4" => {
+            for r in experiments::table4(&opts) {
+                println!(
+                    "{:<28} branches {}/{} taken {}/{}",
+                    r.trace, r.measured_branches, r.target_branches, r.measured_taken, r.target_taken
+                );
+            }
+        }
+        "fig2" => {
+            for r in experiments::figure2(&opts) {
+                println!(
+                    "{:<28} btb2 {} large {} eff {:.1}%",
+                    r.trace,
+                    pct(r.btb2_improvement()),
+                    pct(r.large_btb1_improvement()),
+                    r.effectiveness()
+                );
+            }
+        }
+        "fig3" => {
+            for r in experiments::figure3(&opts) {
+                println!("{:<28} {}", r.workload, pct(r.improvement));
+            }
+        }
+        "fig4" => {
+            let r = experiments::figure4(&opts);
+            println!("{} — CPI improvement {}", r.workload, pct(r.improvement));
+            println!(
+                "no BTB2:      total bad {:.2}% (capacity {:.2}%)",
+                r.without_btb2.total(),
+                r.without_btb2.capacity
+            );
+            println!(
+                "BTB2 enabled: total bad {:.2}% (capacity {:.2}%)",
+                r.with_btb2.total(),
+                r.with_btb2.capacity
+            );
+        }
+        "fig5" => {
+            for p in experiments::figure5(&opts, &experiments::FIGURE5_SIZES) {
+                println!("{:<12} {}", p.label, pct(p.avg_improvement));
+            }
+        }
+        "fig6" => {
+            for p in experiments::figure6(&opts, &experiments::FIGURE6_LIMITS) {
+                println!("{:<12} {}", p.label, pct(p.avg_improvement));
+            }
+        }
+        "fig7" => {
+            for p in experiments::figure7(&opts, &experiments::FIGURE7_TRACKERS) {
+                println!("{:<12} {}", p.label, pct(p.avg_improvement));
+            }
+        }
+        other => return Err(format!("unknown experiment '{other}'")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "--help" || argv[0] == "-h" || argv[0] == "help" {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command.as_str() {
+        "list" => {
+            cmd_list();
+            Ok(())
+        }
+        "gen" => cmd_gen(&args),
+        "stats" => cmd_stats(&args),
+        "run" => cmd_run(&args),
+        "compare" => cmd_compare(&args),
+        "analyze" => cmd_analyze(&args),
+        "report" => {
+            let dir = std::env::var("ZBP_RESULTS_DIR")
+                .map_or_else(|_| std::path::PathBuf::from("results"), std::path::PathBuf::from);
+            zbp::sim::reportgen::write_report(&dir).map(|p| {
+                println!("wrote {}", p.display());
+            })
+        }
+        "experiment" => cmd_experiment(&args),
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_a_full_command_line() {
+        let a = parse_args(&argv(
+            "run --profile tpf-airline --config btb2 --len 5000 --seed 42",
+        ))
+        .unwrap();
+        assert_eq!(a.command, "run");
+        assert_eq!(a.profile.as_deref(), Some("tpf-airline"));
+        assert_eq!(a.config.as_deref(), Some("btb2"));
+        assert_eq!(a.len, Some(5000));
+        assert_eq!(a.seed, 42);
+    }
+
+    #[test]
+    fn experiment_takes_a_positional_id() {
+        let a = parse_args(&argv("experiment fig4 --len 100")).unwrap();
+        assert_eq!(a.experiment.as_deref(), Some("fig4"));
+        assert_eq!(a.len, Some(100));
+        assert!(parse_args(&argv("experiment")).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_bad_values() {
+        assert!(parse_args(&argv("run --bogus 1")).is_err());
+        assert!(parse_args(&argv("run --len nope")).is_err());
+        assert!(parse_args(&argv("run --len")).is_err());
+        assert!(parse_args(&[]).is_err());
+    }
+
+    #[test]
+    fn default_seed_matches_the_experiments() {
+        let a = parse_args(&argv("list")).unwrap();
+        assert_eq!(a.seed, 0xEC12);
+    }
+
+    #[test]
+    fn every_profile_key_resolves() {
+        for (key, profile) in profiles() {
+            assert_eq!(find_profile(key).unwrap().name, profile.name);
+        }
+        assert!(find_profile("nope").is_err());
+    }
+
+    #[test]
+    fn config_names_resolve() {
+        assert!(config_by_name("no-btb2").is_ok());
+        assert!(config_by_name("btb2").is_ok());
+        assert!(config_by_name("large-btb1").is_ok());
+        assert!(config_by_name("x").is_err());
+    }
+}

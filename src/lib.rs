@@ -1,0 +1,52 @@
+//! # zbp — Two Level Bulk Preload Branch Prediction
+//!
+//! A full reproduction of the IBM zEnterprise EC12 two-level hierarchical
+//! branch predictor described in *"Two Level Bulk Preload Branch
+//! Prediction"* (Bonanno, Collura, Lipetz, Mayer, Prasky, Saporito —
+//! HPCA 2013), together with the trace-driven processor model and
+//! synthetic large-footprint workloads needed to regenerate every table
+//! and figure of the paper's evaluation.
+//!
+//! The workspace is split into four library crates, re-exported here:
+//!
+//! * [`trace`] — z/Architecture-like instruction traces and the 13
+//!   Table-4 workload profiles.
+//! * [`predictor`] — the branch prediction hierarchy itself: BTB1, BTBP,
+//!   BTB2, PHT, CTB, FIT, surprise BHT, perceived-miss detection, search
+//!   trackers, steering ordering table and the bulk transfer engine.
+//! * [`uarch`] — the zEC12-like front-end substrate: caches, penalties
+//!   and bad-branch-outcome classification.
+//! * [`sim`] — the trace-driven simulator, Table-3 configuration presets,
+//!   parameter sweeps and per-figure experiment runners.
+//!
+//! # Quick start
+//!
+//! ```
+//! use zbp::prelude::*;
+//!
+//! // Build a small workload and compare the paper's configurations.
+//! let profile = WorkloadProfile::zos_lspr_cb84();
+//! let trace = profile.build(42).with_len(200_000);
+//!
+//! let baseline = Simulator::new(SimConfig::no_btb2()).run(&trace);
+//! let with_btb2 = Simulator::new(SimConfig::btb2_enabled()).run(&trace);
+//!
+//! println!("CPI {:.3} -> {:.3}", baseline.cpi(), with_btb2.cpi());
+//! ```
+
+#![warn(missing_docs)]
+
+pub use zbp_predictor as predictor;
+pub use zbp_sim as sim;
+pub use zbp_trace as trace;
+pub use zbp_uarch as uarch;
+
+/// The most commonly used types, in one import.
+pub mod prelude {
+    pub use zbp_predictor::config::PredictorConfig;
+    pub use zbp_sim::config::SimConfig;
+    pub use zbp_sim::report::ImprovementRow;
+    pub use zbp_sim::runner::{SimResult, Simulator};
+    pub use zbp_trace::profile::WorkloadProfile;
+    pub use zbp_trace::{InstAddr, Trace, TraceStats};
+}

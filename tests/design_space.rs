@@ -1,0 +1,132 @@
+//! Integration coverage of the design-space knobs the paper's sensitivity
+//! studies sweep: BTB2 size, miss definition, tracker count, exclusivity
+//! policy, steering, filtering and congruence-class span.
+
+use zbp::predictor::exclusive::ExclusivityPolicy;
+use zbp::predictor::tracker::FilterMode;
+use zbp::prelude::*;
+use zbp::trace::gen::layout::LayoutParams;
+use zbp::trace::gen::GenTrace;
+use zbp::trace::Trace;
+
+fn trace(len: u64) -> GenTrace {
+    let params = LayoutParams {
+        target_sites: 6_000,
+        taken_fraction: 0.62,
+        phase_len: 100_000,
+        ..LayoutParams::default()
+    };
+    GenTrace::new("design-space", &params, 0x99, len)
+}
+
+fn run_with(pred: PredictorConfig, t: &GenTrace) -> f64 {
+    Simulator::new(SimConfig::btb2_enabled().with_predictor(pred)).run(t).cpi()
+}
+
+#[test]
+fn btb2_size_sweep_is_monotone_in_the_large() {
+    let t = trace(500_000);
+    let small = run_with(PredictorConfig::zec12().with_btb2_entries(6 * 1024), &t);
+    let large = run_with(PredictorConfig::zec12().with_btb2_entries(96 * 1024), &t);
+    // A 16x larger BTB2 must not be slower by more than noise.
+    assert!(large <= small * 1.005, "96k {large} vs 6k {small}");
+}
+
+#[test]
+fn every_miss_definition_runs() {
+    let t = trace(120_000);
+    for limit in [1u32, 2, 4, 8] {
+        let mut cfg = PredictorConfig::zec12();
+        cfg.miss_search_limit = limit;
+        let cpi = run_with(cfg, &t);
+        assert!(cpi > 0.5, "limit {limit}: cpi {cpi}");
+    }
+}
+
+#[test]
+fn more_trackers_never_lose_searches() {
+    let t = trace(400_000);
+    let count = |n: usize| {
+        let mut cfg = PredictorConfig::zec12();
+        cfg.trackers = n;
+        let r = Simulator::new(SimConfig::btb2_enabled().with_predictor(cfg)).run(&t);
+        r.core.predictor.tracker.misses_dropped
+    };
+    let dropped_1 = count(1);
+    let dropped_8 = count(8);
+    assert!(dropped_8 <= dropped_1, "8 trackers dropped {dropped_8} vs 1 tracker {dropped_1}");
+}
+
+#[test]
+fn all_exclusivity_policies_work() {
+    let t = trace(300_000);
+    for policy in [
+        ExclusivityPolicy::SemiExclusive,
+        ExclusivityPolicy::TrueExclusive,
+        ExclusivityPolicy::Inclusive,
+    ] {
+        let mut cfg = PredictorConfig::zec12();
+        cfg.exclusivity = policy;
+        let cpi = run_with(cfg, &t);
+        assert!(cpi > 0.5 && cpi < 10.0, "{policy:?}: cpi {cpi}");
+    }
+}
+
+#[test]
+fn steering_and_sequential_return_orders_both_work() {
+    let t = trace(300_000);
+    let mut steered = PredictorConfig::zec12();
+    steered.steering = true;
+    let mut sequential = PredictorConfig::zec12();
+    sequential.steering = false;
+    let a = run_with(steered, &t);
+    let b = run_with(sequential, &t);
+    assert!(a > 0.5 && b > 0.5);
+    // Both transfer the same content; only the order differs, so the CPIs
+    // must be close.
+    assert!((a - b).abs() / a < 0.05, "steered {a} vs sequential {b}");
+}
+
+#[test]
+fn filter_modes_trade_bandwidth_for_coverage() {
+    let t = trace(300_000);
+    let mode_stats = |mode: FilterMode| {
+        let mut cfg = PredictorConfig::zec12();
+        cfg.filter_mode = mode;
+        let r = Simulator::new(SimConfig::btb2_enabled().with_predictor(cfg)).run(&t);
+        (r.core.predictor.tracker.full_searches, r.core.predictor.tracker.partial_searches)
+    };
+    let (full_partial, partial_partial) = mode_stats(FilterMode::Partial);
+    let (full_off, partial_off) = mode_stats(FilterMode::Off);
+    let (_full_drop, partial_drop) = mode_stats(FilterMode::Drop);
+    assert!(partial_partial > 0, "shipped mode issues partial searches");
+    assert_eq!(partial_off, 0, "no-filter mode never issues partials");
+    assert!(full_off > full_partial, "no-filter mode issues more full searches");
+    assert_eq!(partial_drop, 0, "drop mode never issues partials");
+}
+
+#[test]
+fn congruence_spans_run_and_transfer() {
+    let t = trace(300_000);
+    for span in [32u32, 64, 128] {
+        let mut cfg = PredictorConfig::zec12();
+        let mut geom = cfg.btb2.unwrap();
+        geom.line_bytes = span;
+        cfg.btb2 = Some(geom);
+        let r = Simulator::new(SimConfig::btb2_enabled().with_predictor(cfg)).run(&t);
+        assert!(
+            r.core.predictor.btb2_entries_transferred > 0,
+            "{span} B rows must still transfer"
+        );
+    }
+}
+
+#[test]
+fn trace_replay_is_identical_across_knobs() {
+    // The workload must not depend on the predictor configuration.
+    let t = trace(50_000);
+    let a: Vec<_> = t.iter().collect();
+    let _ = run_with(PredictorConfig::zec12(), &t);
+    let b: Vec<_> = t.iter().collect();
+    assert_eq!(a, b);
+}
