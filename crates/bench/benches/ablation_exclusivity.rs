@@ -12,10 +12,8 @@ use zbp_sim::report::render_table;
 fn main() {
     let (opts, t0) = start("Ablation — exclusivity policies", "§3.3 design discussion");
     let points = ablation_exclusivity(&opts);
-    let table: Vec<Vec<String>> = points
-        .iter()
-        .map(|p| vec![p.label.clone(), pct(p.avg_improvement)])
-        .collect();
+    let table: Vec<Vec<String>> =
+        points.iter().map(|p| vec![p.label.clone(), pct(p.avg_improvement)]).collect();
     println!("{}", render_table(&["policy", "avg CPI improvement"], &table));
     save_json("ablation_exclusivity", &points);
     finish(t0);

@@ -13,10 +13,8 @@ use zbp_sim::report::render_table;
 fn main() {
     let (opts, t0) = start("Ablation — I-cache miss filter", "§3.5");
     let points = ablation_filter(&opts);
-    let table: Vec<Vec<String>> = points
-        .iter()
-        .map(|p| vec![p.label.clone(), pct(p.avg_improvement)])
-        .collect();
+    let table: Vec<Vec<String>> =
+        points.iter().map(|p| vec![p.label.clone(), pct(p.avg_improvement)]).collect();
     println!("{}", render_table(&["filter mode", "avg CPI improvement"], &table));
     save_json("ablation_filter", &points);
     finish(t0);

@@ -12,10 +12,8 @@ use zbp_sim::report::render_table;
 fn main() {
     let (opts, t0) = start("Ablation — BTB2 search steering", "§3.7");
     let points = ablation_steering(&opts);
-    let table: Vec<Vec<String>> = points
-        .iter()
-        .map(|p| vec![p.label.clone(), pct(p.avg_improvement)])
-        .collect();
+    let table: Vec<Vec<String>> =
+        points.iter().map(|p| vec![p.label.clone(), pct(p.avg_improvement)]).collect();
     println!("{}", render_table(&["return order", "avg CPI improvement"], &table));
     save_json("ablation_steering", &points);
     finish(t0);

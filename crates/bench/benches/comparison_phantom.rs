@@ -13,10 +13,8 @@ use zbp_sim::report::render_table;
 fn main() {
     let (opts, t0) = start("Comparison — bulk preload vs Phantom-BTB", "§2 related work");
     let points = comparison_phantom(&opts);
-    let table: Vec<Vec<String>> = points
-        .iter()
-        .map(|p| vec![p.label.clone(), pct(p.avg_improvement)])
-        .collect();
+    let table: Vec<Vec<String>> =
+        points.iter().map(|p| vec![p.label.clone(), pct(p.avg_improvement)]).collect();
     println!("{}", render_table(&["second level", "avg CPI improvement"], &table));
     save_json("comparison_phantom", &points);
     finish(t0);

@@ -67,7 +67,15 @@ fn main() {
         .collect();
     save_csv(
         "fig2_cpi_improvement",
-        &["trace", "cpi_no_btb2", "cpi_btb2", "cpi_large_btb1", "btb2_gain_pct", "large_gain_pct", "effectiveness_pct"],
+        &[
+            "trace",
+            "cpi_no_btb2",
+            "cpi_btb2",
+            "cpi_large_btb1",
+            "btb2_gain_pct",
+            "large_gain_pct",
+            "effectiveness_pct",
+        ],
         &csv_rows,
     );
     finish(t0);

@@ -15,10 +15,8 @@ use zbp_sim::report::render_table;
 fn main() {
     let (opts, t0) = start("Figure 3 — benefit of BTB2 on zEC12 hardware", "§5.1, Figure 3");
     let rows = figure3(&opts);
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| vec![r.workload.clone(), pct(r.improvement)])
-        .collect();
+    let table: Vec<Vec<String>> =
+        rows.iter().map(|r| vec![r.workload.clone(), pct(r.improvement)]).collect();
     println!("{}", render_table(&["workload", "BTB2 improvement"], &table));
     println!("paper: WASDB+CBW2 (1 core) +5.3% measured / +8.5% simulated;");
     println!("       Web CICS/DB2 (4 cores) +3.4% measured.");

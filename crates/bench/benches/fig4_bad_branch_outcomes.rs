@@ -21,8 +21,7 @@ fn row(label: &str, p: &OutcomePercents) -> Vec<String> {
 }
 
 fn main() {
-    let (opts, t0) =
-        start("Figure 4 — bad branch outcomes, DayTrader DBServ", "§5.1, Figure 4");
+    let (opts, t0) = start("Figure 4 — bad branch outcomes, DayTrader DBServ", "§5.1, Figure 4");
     let r = figure4(&opts);
     println!("workload: {}\n", r.workload);
     let table = vec![row("no BTB2", &r.without_btb2), row("BTB2 enabled", &r.with_btb2)];

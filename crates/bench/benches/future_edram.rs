@@ -12,10 +12,8 @@ use zbp_sim::report::render_table;
 fn main() {
     let (opts, t0) = start("Future work — SRAM vs eDRAM BTB2", "§6");
     let points = future_edram(&opts);
-    let table: Vec<Vec<String>> = points
-        .iter()
-        .map(|p| vec![p.label.clone(), pct(p.avg_improvement)])
-        .collect();
+    let table: Vec<Vec<String>> =
+        points.iter().map(|p| vec![p.label.clone(), pct(p.avg_improvement)]).collect();
     println!("{}", render_table(&["technology point", "avg CPI improvement"], &table));
     save_json("future_edram", &points);
     finish(t0);

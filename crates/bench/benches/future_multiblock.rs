@@ -10,10 +10,8 @@ use zbp_sim::report::render_table;
 fn main() {
     let (opts, t0) = start("Future work — multi-block transfers", "§6");
     let points = future_multiblock(&opts);
-    let table: Vec<Vec<String>> = points
-        .iter()
-        .map(|p| vec![p.label.clone(), pct(p.avg_improvement)])
-        .collect();
+    let table: Vec<Vec<String>> =
+        points.iter().map(|p| vec![p.label.clone(), pct(p.avg_improvement)]).collect();
     println!("{}", render_table(&["transfer scope", "avg CPI improvement"], &table));
     save_json("future_multiblock", &points);
     finish(t0);

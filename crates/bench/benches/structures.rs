@@ -1,10 +1,14 @@
-//! Criterion microbenchmarks of the predictor structures and the trace
-//! generator — throughput sanity for the building blocks behind the
-//! experiment harness (Table 1's structures, the steering table, the
-//! transfer engine, and the synthetic walker).
+//! Microbenchmarks of the predictor structures and the trace generator —
+//! throughput sanity for the building blocks behind the experiment
+//! harness (Table 1's structures, the steering table, the transfer
+//! engine, and the synthetic walker).
+//!
+//! Timed with a plain [`std::time::Instant`] harness (the workspace
+//! builds offline, without criterion): each benchmark runs a short
+//! warmup, then reports mean ns/op over a fixed iteration budget.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 use zbp_predictor::btb::{BtbArray, BtbGeometry};
 use zbp_predictor::entry::BtbEntry;
 use zbp_predictor::hierarchy::BranchPredictor;
@@ -16,6 +20,21 @@ use zbp_trace::gen::layout::{LayoutParams, Program};
 use zbp_trace::gen::walker::Walker;
 use zbp_trace::{BranchKind, BranchRec, InstAddr, TraceInstr};
 
+/// Times `op` over `iters` iterations (after `iters / 10` warmup calls)
+/// and prints mean ns/op.
+fn bench(name: &str, iters: u64, mut op: impl FnMut()) {
+    for _ in 0..iters / 10 {
+        op();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        op();
+    }
+    let elapsed = start.elapsed();
+    let ns = elapsed.as_nanos() as f64 / iters as f64;
+    println!("{name:<40} {ns:>12.1} ns/op   ({iters} iters)");
+}
+
 fn entry(addr: u64) -> BtbEntry {
     BtbEntry::surprise_install(
         InstAddr::new(addr),
@@ -25,109 +44,86 @@ fn entry(addr: u64) -> BtbEntry {
     )
 }
 
-fn bench_btb(c: &mut Criterion) {
-    let mut g = c.benchmark_group("btb1");
-    g.bench_function("insert", |b| {
-        b.iter_batched(
-            || BtbArray::new(BtbGeometry::zec12_btb1()),
-            |mut btb| {
-                for i in 0..4096u64 {
-                    black_box(btb.insert(entry(i * 34), 0));
-                }
-                btb
-            },
-            BatchSize::SmallInput,
-        )
+fn bench_btb() {
+    bench("btb1/insert_4096", 200, || {
+        let mut btb = BtbArray::new(BtbGeometry::zec12_btb1());
+        for i in 0..4096u64 {
+            black_box(btb.insert(entry(i * 34), 0));
+        }
+        black_box(&btb);
     });
     let mut warm = BtbArray::new(BtbGeometry::zec12_btb1());
     for i in 0..4096u64 {
         warm.insert(entry(i * 34), 0);
     }
-    g.bench_function("lookup_hit", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i + 1) % 4096;
-            black_box(warm.lookup(InstAddr::new(i * 34), 1))
-        })
+    let mut i = 0u64;
+    bench("btb1/lookup_hit", 2_000_000, || {
+        i = (i + 1) % 4096;
+        black_box(warm.lookup(InstAddr::new(i * 34), 1));
     });
-    g.finish();
 }
 
-fn bench_steering(c: &mut Criterion) {
+fn bench_steering() {
     let mut table = OrderingTable::zec12();
     for off in (0..4096u64).step_by(96) {
         table.note_completion(InstAddr::new(0x7000_0000 + off));
     }
-    c.bench_function("steering/search_order", |b| {
-        b.iter(|| black_box(table.search_order(0x7000_0000 / 4096, InstAddr::new(0x7000_0400))))
+    bench("steering/search_order", 500_000, || {
+        black_box(table.search_order(0x7000_0000 / 4096, InstAddr::new(0x7000_0400)));
     });
-    c.bench_function("steering/note_completion", |b| {
-        let mut t = OrderingTable::zec12();
-        let mut a = 0u64;
-        b.iter(|| {
-            a = (a + 6) % (1 << 20);
-            t.note_completion(InstAddr::new(a));
-        })
+    let mut t = OrderingTable::zec12();
+    let mut a = 0u64;
+    bench("steering/note_completion", 2_000_000, || {
+        a = (a + 6) % (1 << 20);
+        t.note_completion(InstAddr::new(a));
     });
 }
 
-fn bench_miss_and_transfer(c: &mut Criterion) {
-    c.bench_function("miss_detector/fruitless", |b| {
-        let mut d = MissDetector::new(4);
-        let mut a = 0u64;
-        b.iter(|| {
-            a += 32;
-            black_box(d.fruitless_search(InstAddr::new(a)))
-        })
+fn bench_miss_and_transfer() {
+    let mut d = MissDetector::new(4);
+    let mut a = 0u64;
+    bench("miss_detector/fruitless", 2_000_000, || {
+        a += 32;
+        black_box(d.fruitless_search(InstAddr::new(a)));
     });
-    c.bench_function("transfer/schedule_full_block", |b| {
-        let lines: Vec<u64> = (0..128).collect();
-        b.iter_batched(
-            || TransferEngine::new(8),
-            |mut e| {
-                black_box(e.schedule(7, &lines, 0, false));
-                black_box(e.drain(u64::MAX).len())
-            },
-            BatchSize::SmallInput,
-        )
+    let lines: Vec<u64> = (0..128).collect();
+    bench("transfer/schedule_full_block", 100_000, || {
+        let mut e = TransferEngine::new(8);
+        black_box(e.schedule(7, &lines, 0, false));
+        black_box(e.drain(u64::MAX).len());
     });
 }
 
-fn bench_predict_resolve(c: &mut Criterion) {
-    c.bench_function("hierarchy/predict_resolve_loop", |b| {
-        let mut bp = BranchPredictor::new(PredictorConfig::zec12());
-        let br = TraceInstr::branch(
-            InstAddr::new(0x1008),
-            4,
-            BranchRec::taken(BranchKind::Conditional, InstAddr::new(0x1000)),
-        );
-        bp.restart(InstAddr::new(0x1000), 0);
-        let mut cycle = 0u64;
-        b.iter(|| {
-            cycle += 20;
-            let p = bp.predict_branch(&br, cycle);
-            bp.resolve(&br, &p, cycle + 12);
-            black_box(p.taken)
-        })
+fn bench_predict_resolve() {
+    let mut bp = BranchPredictor::new(PredictorConfig::zec12());
+    let br = TraceInstr::branch(
+        InstAddr::new(0x1008),
+        4,
+        BranchRec::taken(BranchKind::Conditional, InstAddr::new(0x1000)),
+    );
+    bp.restart(InstAddr::new(0x1000), 0);
+    let mut cycle = 0u64;
+    bench("hierarchy/predict_resolve_loop", 500_000, || {
+        cycle += 20;
+        let p = bp.predict_branch(&br, cycle);
+        bp.resolve(&br, &p, cycle + 12);
+        black_box(p.taken);
     });
 }
 
-fn bench_walker(c: &mut Criterion) {
+fn bench_walker() {
     let program = Program::generate(&LayoutParams::for_footprint(5_000, 3_200), 42);
-    c.bench_function("walker/100k_instructions", |b| {
-        b.iter(|| {
-            let w = Walker::new(&program, 9, 100_000);
-            black_box(w.count())
-        })
+    bench("walker/100k_instructions", 50, || {
+        let w = Walker::new(&program, 9, 100_000);
+        black_box(w.count());
     });
 }
 
-criterion_group!(
-    benches,
-    bench_btb,
-    bench_steering,
-    bench_miss_and_transfer,
-    bench_predict_resolve,
-    bench_walker
-);
-criterion_main!(benches);
+fn main() {
+    println!("structure microbenchmarks (mean over fixed iteration budgets)");
+    bench_btb();
+    bench_steering();
+    bench_miss_and_transfer();
+    bench_predict_resolve();
+    bench_walker();
+}

@@ -14,10 +14,10 @@
 
 #![warn(missing_docs)]
 
-use serde::Serialize;
 use std::path::PathBuf;
 use std::time::Instant;
 use zbp_sim::experiments::ExperimentOptions;
+use zbp_support::json::ToJson;
 
 /// Prints the standard experiment banner and returns parsed options.
 pub fn start(experiment: &str, paper_ref: &str) -> (ExperimentOptions, Instant) {
@@ -50,19 +50,17 @@ pub fn results_dir() -> PathBuf {
 
 /// Saves an experiment result as JSON; prints the path. Failures are
 /// reported but non-fatal (benches still print their tables).
-pub fn save_json<T: Serialize>(name: &str, value: &T) {
+pub fn save_json<T: ToJson>(name: &str, value: &T) {
     let dir = results_dir();
     if let Err(e) = std::fs::create_dir_all(&dir) {
         eprintln!("warning: cannot create {}: {e}", dir.display());
         return;
     }
     let path = dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(json) => match std::fs::write(&path, json) {
-            Ok(()) => println!("saved: {}", path.display()),
-            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
-        },
-        Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+    let json = zbp_support::json::to_string_pretty(value);
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("saved: {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
     }
 }
 
@@ -90,7 +88,7 @@ mod tests {
 
     #[test]
     fn pct_formats() {
-        assert_eq!(pct(2.71828), "+2.72%");
+        assert_eq!(pct(2.71625), "+2.72%");
         assert_eq!(pct(-0.5), "-0.50%");
     }
 

@@ -3,13 +3,12 @@
 //! direction of *surprise* branches (those the first-level predictor did
 //! not find).
 
-use serde::{Deserialize, Serialize};
 use zbp_trace::{BranchKind, InstAddr};
 
 /// A 2-bit saturating bimodal counter.
 ///
 /// States 0..=1 predict not-taken, 2..=3 predict taken.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Bimodal2(u8);
 
 impl Bimodal2 {
@@ -160,7 +159,8 @@ mod tests {
     fn surprise_bht_guesses_unconditionals_taken() {
         let t = SurpriseBht::new(1024);
         let a = InstAddr::new(0x500);
-        for kind in [BranchKind::Unconditional, BranchKind::Call, BranchKind::Return, BranchKind::Indirect]
+        for kind in
+            [BranchKind::Unconditional, BranchKind::Call, BranchKind::Return, BranchKind::Indirect]
         {
             assert!(t.guess(a, kind));
         }

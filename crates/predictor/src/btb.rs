@@ -9,11 +9,10 @@
 //! serve searches before the hardware could have completed them.
 
 use crate::entry::BtbEntry;
-use serde::{Deserialize, Serialize};
 use zbp_trace::InstAddr;
 
 /// Geometry of one BTB level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BtbGeometry {
     /// Number of congruence classes (must be a power of two).
     pub rows: u32,
@@ -51,7 +50,7 @@ impl BtbGeometry {
 }
 
 /// A stored entry plus the cycle from which it may serve lookups.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Slot {
     entry: BtbEntry,
     visible_at: u64,
@@ -201,9 +200,7 @@ impl BtbArray {
     pub fn remove(&mut self, addr: InstAddr) -> Option<BtbEntry> {
         let row_idx = self.row_of(addr);
         let row = &mut self.rows[row_idx];
-        row.iter()
-            .position(|s| s.entry.addr == addr)
-            .map(|pos| row.remove(pos).entry)
+        row.iter().position(|s| s.entry.addr == addr).map(|pos| row.remove(pos).entry)
     }
 
     /// Updates an entry in place via `f`; returns whether it was found.
@@ -376,3 +373,5 @@ mod tests {
         BtbArray::new(BtbGeometry::new(3, 2));
     }
 }
+
+zbp_support::impl_json_struct!(BtbGeometry { rows, ways, line_bytes });

@@ -6,10 +6,9 @@ use crate::miss::MissDetection;
 use crate::phantom::PhantomConfig;
 use crate::pipeline::PipelineTiming;
 use crate::tracker::FilterMode;
-use serde::{Deserialize, Serialize};
 
 /// Full configuration of the branch prediction hierarchy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PredictorConfig {
     /// First-level BTB geometry.
     pub btb1: BtbGeometry,
@@ -177,14 +176,37 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn sweep_rejects_bad_sizes() {
-        PredictorConfig::zec12().with_btb2_entries(18 * 1024);
+        let _ = PredictorConfig::zec12().with_btb2_entries(18 * 1024);
     }
 
     #[test]
     fn serde_roundtrip() {
         let c = PredictorConfig::zec12();
-        let json = serde_json::to_string(&c).unwrap();
-        let back: PredictorConfig = serde_json::from_str(&json).unwrap();
+        let json = zbp_support::json::to_string(&c);
+        let back: PredictorConfig = zbp_support::json::from_str(&json).unwrap();
         assert_eq!(c, back);
     }
 }
+
+zbp_support::impl_json_struct!(PredictorConfig {
+    btb1,
+    btbp,
+    btb2,
+    miss_search_limit,
+    miss_detection,
+    multi_block_transfer,
+    phantom,
+    trackers,
+    filter_mode,
+    steering,
+    exclusivity,
+    pht_entries,
+    ctb_entries,
+    fit_entries,
+    surprise_bht_entries,
+    ordering_entries,
+    ordering_ways,
+    timing,
+    install_delay,
+    max_lead_cycles,
+});

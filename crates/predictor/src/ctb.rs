@@ -7,11 +7,10 @@
 //! `use_ctb` control bit is set, which is turned on after a target
 //! misprediction.
 
-use serde::{Deserialize, Serialize};
 use zbp_trace::InstAddr;
 
 /// One CTB entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct CtbEntry {
     tag: u16,
     target: InstAddr,

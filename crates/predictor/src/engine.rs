@@ -1,0 +1,633 @@
+//! The asynchronous lookahead search engine.
+//!
+//! [`SearchEngine`] owns the predictor's control flow and its clock
+//! (`pred_cycle`): the per-cycle sequential search loop, Table 1
+//! re-index costs, perceived-miss detection, bulk-transfer returns and
+//! the BTBP→BTB1 promotion path. It holds *no* prediction content — the
+//! structures live in [`Structures`] and are threaded into every
+//! dispatch, so the engine reads as pure control logic written against
+//! the behavioural traits in [`crate::traits`].
+//!
+//! [`SearchEngine::handle`] consumes one
+//! [`PredictorEvent`](crate::events::PredictorEvent) and is the single
+//! entry point; the composition root
+//! ([`BranchPredictor`](crate::hierarchy::BranchPredictor)) wraps it in
+//! typed convenience methods.
+
+use std::collections::VecDeque;
+
+use crate::bht::SurpriseBht;
+use crate::btb::BtbArray;
+use crate::config::PredictorConfig;
+use crate::ctb::Ctb;
+use crate::entry::BtbEntry;
+use crate::events::{PredSource, Prediction, PredictorEvent};
+use crate::fit::Fit;
+use crate::history::PathHistory;
+use crate::miss::MissDetector;
+use crate::phantom::PhantomBtb;
+use crate::pht::Pht;
+use crate::pipeline::TakenClass;
+use crate::statsbus::{Counter, Sample, StatsBus};
+use crate::steering::OrderingTable;
+use crate::tracker::{SearchKind, SearchRequest, TrackerFile};
+use crate::traits::{
+    DirectionOverride, LevelOneStructure, SecondLevelBtb, SequentialSteering, SteeringPolicy,
+    VictimPolicy,
+};
+use crate::transfer::TransferEngine;
+use zbp_trace::addr::{BLOCK_BYTES, LINE_BYTES, SECTOR_BYTES};
+use zbp_trace::{InstAddr, TraceInstr};
+
+/// The prediction structures of Figure 1, owned separately from the
+/// engine so control flow and content can be borrowed independently.
+#[derive(Debug, Clone)]
+pub struct Structures {
+    /// The main first-level BTB (1 k rows × 4 ways).
+    pub btb1: BtbArray,
+    /// The preload table read in parallel with the BTB1.
+    pub btbp: BtbArray,
+    /// The bulk second level, when configured.
+    pub btb2: Option<BtbArray>,
+    /// Path-indexed direction override.
+    pub pht: Pht,
+    /// Path-indexed target override.
+    pub ctb: Ctb,
+    /// Fast index table (accelerated taken re-index).
+    pub fit: Fit,
+    /// Tagless static-guess table for surprise branches.
+    pub surprise_bht: SurpriseBht,
+    /// Global path history feeding the PHT/CTB indices.
+    pub history: PathHistory,
+    /// Perceived-miss trackers (§3.5 filter).
+    pub trackers: TrackerFile,
+    /// The BTB2 row-transfer engine.
+    pub transfer: TransferEngine,
+    /// The §3.7 sector ordering (steering) table.
+    pub ordering: OrderingTable,
+    /// Comparison baseline: the virtualized (phantom) second level.
+    pub phantom: Option<PhantomBtb>,
+}
+
+impl Structures {
+    /// Builds every structure from the configuration.
+    pub fn new(cfg: &PredictorConfig) -> Self {
+        Self {
+            btb1: BtbArray::new(cfg.btb1),
+            btbp: BtbArray::new(cfg.btbp),
+            btb2: cfg.btb2.map(BtbArray::new),
+            pht: Pht::new(cfg.pht_entries),
+            ctb: Ctb::new(cfg.ctb_entries),
+            fit: Fit::new(cfg.fit_entries),
+            surprise_bht: SurpriseBht::new(cfg.surprise_bht_entries),
+            history: PathHistory::new(),
+            trackers: TrackerFile::new(cfg.trackers, cfg.filter_mode, cfg.timing.miss_to_btb2),
+            transfer: TransferEngine::new(cfg.timing.btb2_latency),
+            ordering: OrderingTable::new(cfg.ordering_entries, cfg.ordering_ways),
+            phantom: cfg.phantom.map(PhantomBtb::new),
+        }
+    }
+}
+
+/// The event-driven lookahead search engine (see the module docs).
+#[derive(Debug, Clone)]
+pub struct SearchEngine {
+    /// Next search address of the lookahead engine.
+    search_addr: InstAddr,
+    /// Engine clock: cycle of the next b0 index.
+    pred_cycle: u64,
+    /// Last taken-predicted branch (tight-loop detection).
+    last_taken_addr: Option<InstAddr>,
+    /// Line of an immediately preceding not-taken prediction (second
+    /// simultaneous not-taken discount).
+    last_not_taken_line: Option<u64>,
+    /// Perceived-miss run detector.
+    miss: MissDetector,
+    /// Blocks recently reached through multi-block transfer chaining
+    /// (bounds chain depth to one, per §6's bandwidth warning).
+    chained_blocks: VecDeque<u64>,
+    /// Phantom prefetches in flight: (visible cycle, entry), monotonic.
+    phantom_pending: VecDeque<(u64, BtbEntry)>,
+}
+
+impl SearchEngine {
+    /// Creates an idle engine (search at address 0, cycle 0).
+    pub fn new(cfg: &PredictorConfig) -> Self {
+        Self {
+            search_addr: InstAddr::new(0),
+            pred_cycle: 0,
+            last_taken_addr: None,
+            last_not_taken_line: None,
+            miss: MissDetector::new(cfg.miss_search_limit),
+            chained_blocks: VecDeque::with_capacity(16),
+            phantom_pending: VecDeque::new(),
+        }
+    }
+
+    /// Engine clock (cycle of the next b0 index).
+    pub fn cycle(&self) -> u64 {
+        self.pred_cycle
+    }
+
+    /// Current search address of the lookahead engine.
+    pub fn search_addr(&self) -> InstAddr {
+        self.search_addr
+    }
+
+    /// Dispatches one event against the structures, returning a
+    /// [`Prediction`] for [`PredictorEvent::PredictBranch`] and `None`
+    /// for every other event.
+    pub fn handle(
+        &mut self,
+        event: PredictorEvent<'_>,
+        cfg: &PredictorConfig,
+        s: &mut Structures,
+        bus: &mut StatsBus,
+    ) -> Option<Prediction> {
+        match event {
+            PredictorEvent::Restart { addr, cycle } => {
+                self.restart(addr, cycle);
+                None
+            }
+            PredictorEvent::PredictBranch { instr, decode_cycle } => {
+                Some(self.predict(instr, decode_cycle, cfg, s, bus))
+            }
+            PredictorEvent::Resolve { instr, prediction, cycle } => {
+                self.resolve(instr, prediction, cycle, cfg, s, bus);
+                None
+            }
+            PredictorEvent::ICacheMiss { addr, cycle } => {
+                self.icache_miss(addr, cycle, cfg, s);
+                None
+            }
+            PredictorEvent::Completion { addr } => {
+                if s.btb2.is_some() {
+                    s.ordering.note_completion(addr);
+                }
+                None
+            }
+            PredictorEvent::DecodeSurprise { addr, cycle, guessed_taken } => {
+                self.decode_surprise(addr, cycle, guessed_taken, cfg, s, bus);
+                None
+            }
+        }
+    }
+
+    /// Restarts the lookahead search at `addr` at `cycle` (pipeline
+    /// restart after a misprediction or surprise redirect).
+    fn restart(&mut self, addr: InstAddr, cycle: u64) {
+        self.search_addr = addr;
+        // The engine abandons its current path and re-indexes at the
+        // restart time — even if its old search had run further ahead.
+        self.pred_cycle = cycle;
+        self.last_taken_addr = None;
+        self.last_not_taken_line = None;
+        self.miss.reset(addr);
+    }
+
+    /// Asks the first level about branch `instr`, whose decode happens
+    /// at `decode_cycle`. Advances the engine over the sequential
+    /// searches separating it from the branch (perceived-miss detection
+    /// runs there), performs the parallel BTB1/BTBP lookup, applies
+    /// PHT/CTB overrides and BTBP→BTB1 promotion, and returns the
+    /// outcome.
+    fn predict(
+        &mut self,
+        instr: &TraceInstr,
+        decode_cycle: u64,
+        cfg: &PredictorConfig,
+        s: &mut Structures,
+        bus: &mut StatsBus,
+    ) -> Prediction {
+        let addr = instr.addr;
+        let branch = instr.branch.expect("predict_branch requires a branch instruction");
+        // Finite lookahead buffering: the engine never runs more than
+        // max_lead_cycles ahead of decode.
+        self.pred_cycle = self.pred_cycle.max(decode_cycle.saturating_sub(cfg.max_lead_cycles));
+        // Defensive resync: the engine can never legitimately be past the
+        // branch the front end is decoding, nor absurdly far behind it
+        // (an unreported stream discontinuity) — real hardware would have
+        // been restarted long before grinding megabytes of searches.
+        if self.search_addr > addr || addr.line() - self.search_addr.line() > 4096 {
+            self.search_addr = addr.line_base();
+            self.miss.reset(self.search_addr);
+        }
+        // Sequential searches up to the branch's line.
+        let target_line = addr.line();
+        while self.search_addr.line() < target_line {
+            self.advance_transfers(self.pred_cycle, cfg, s, bus);
+            self.fruitless_row(cfg, s, bus);
+            let next_line_start = self.search_addr.line_base().add(LINE_BYTES);
+            self.search_addr = next_line_start;
+        }
+        self.advance_transfers(self.pred_cycle, cfg, s, bus);
+
+        let hit = LevelOneStructure::lookup(&s.btb1, addr, self.pred_cycle)
+            .map(|h| (h, PredSource::Btb1))
+            .or_else(|| {
+                LevelOneStructure::lookup(&s.btbp, addr, self.pred_cycle)
+                    .map(|h| (h, PredSource::Btbp))
+            });
+
+        let static_guess = s.surprise_bht.guess(addr, branch.kind);
+
+        let Some((hit, source)) = hit else {
+            // Surprise: this row search found nothing.
+            self.fruitless_row(cfg, s, bus);
+            self.search_addr = instr.fallthrough();
+            self.last_taken_addr = None;
+            self.last_not_taken_line = None;
+            bus.bump(Counter::Surprises);
+            return Prediction {
+                source: None,
+                taken: false,
+                target: None,
+                ready_cycle: u64::MAX,
+                in_time: false,
+                static_guess_taken: static_guess,
+                used_pht: false,
+                used_ctb: false,
+            };
+        };
+
+        let entry = hit.entry;
+        // Direction: bimodal, possibly overridden by the PHT.
+        let bht_dir = entry.bht_taken();
+        let mut taken = bht_dir;
+        let mut used_pht = false;
+        if entry.use_pht {
+            let idx = s.history.pht_index(DirectionOverride::entries(&s.pht));
+            if let Some(dir) = DirectionOverride::lookup(&s.pht, idx, PathHistory::tag_for(addr)) {
+                used_pht = true;
+                if dir != bht_dir {
+                    bus.bump(Counter::PhtOverrides);
+                }
+                taken = dir;
+            }
+        }
+        if !branch.kind.is_conditional() {
+            // Opcode-unconditional kinds always redirect.
+            taken = true;
+        }
+        // Target: the entry's, possibly overridden by the CTB.
+        let mut target = entry.target;
+        let mut used_ctb = false;
+        if entry.use_ctb {
+            let idx = s.history.ctb_index(DirectionOverride::entries(&s.ctb));
+            if let Some(t) = DirectionOverride::lookup(&s.ctb, idx, PathHistory::tag_for(addr)) {
+                used_ctb = true;
+                if t != entry.target {
+                    bus.bump(Counter::CtbOverrides);
+                }
+                target = t;
+            }
+        }
+
+        // Table 1 throughput accounting.
+        let cost = if taken {
+            let class = if self.last_taken_addr == Some(addr) {
+                bus.bump(Counter::TightLoopPredictions);
+                TakenClass::TightLoop
+            } else if s.fit.contains(addr) {
+                bus.bump(Counter::FitPredictions);
+                TakenClass::Fit
+            } else if source == PredSource::Btb1 && hit.recency == 0 {
+                TakenClass::Mru
+            } else {
+                TakenClass::Other
+            };
+            cfg.timing.taken_cost(class)
+        } else if self.last_not_taken_line == Some(target_line) {
+            cfg.timing.not_taken_second
+        } else {
+            cfg.timing.not_taken_first
+        };
+        let ready_cycle = self.pred_cycle + cfg.timing.restart_refill;
+        self.pred_cycle += cost;
+        self.miss.productive_search();
+
+        // Recency and promotion.
+        match source {
+            PredSource::Btb1 => {
+                bus.bump(Counter::Btb1Predictions);
+                s.btb1.make_mru(addr);
+                if VictimPolicy::refresh_on_use(&cfg.exclusivity) {
+                    if let Some(btb2) = &mut s.btb2 {
+                        SecondLevelBtb::make_mru(btb2, addr);
+                    }
+                }
+            }
+            PredSource::Btbp => {
+                bus.bump(Counter::BtbpPredictions);
+                let promoted =
+                    LevelOneStructure::remove(&mut s.btbp, addr).expect("BTBP hit must be present");
+                Self::insert_btb1(promoted, self.pred_cycle, cfg, s, bus);
+                if VictimPolicy::refresh_on_use(&cfg.exclusivity) {
+                    if let Some(btb2) = &mut s.btb2 {
+                        SecondLevelBtb::make_mru(btb2, addr);
+                    }
+                }
+            }
+        }
+
+        // Engine follows its prediction.
+        if taken {
+            bus.bump(Counter::PredictedTaken);
+            s.fit.touch(addr);
+            self.last_taken_addr = Some(addr);
+            self.last_not_taken_line = None;
+            self.search_addr = target;
+        } else {
+            bus.bump(Counter::PredictedNotTaken);
+            self.last_taken_addr = None;
+            self.last_not_taken_line = Some(target_line);
+            self.search_addr = instr.fallthrough();
+        }
+
+        let in_time = ready_cycle <= decode_cycle;
+        if !in_time {
+            bus.bump(Counter::LatePredictions);
+        }
+        bus.observe(Sample::PredictionLead, decode_cycle.saturating_sub(ready_cycle));
+        Prediction {
+            source: Some(source),
+            taken,
+            target: Some(target),
+            ready_cycle,
+            in_time,
+            static_guess_taken: static_guess,
+            used_pht,
+            used_ctb,
+        }
+    }
+
+    /// Resolves a branch: trains direction and target state and performs
+    /// surprise installs.
+    fn resolve(
+        &mut self,
+        instr: &TraceInstr,
+        pred: &Prediction,
+        cycle: u64,
+        cfg: &PredictorConfig,
+        s: &mut Structures,
+        bus: &mut StatsBus,
+    ) {
+        let addr = instr.addr;
+        let branch = instr.branch.expect("resolve requires a branch instruction");
+        // Indices computed against the pre-branch history.
+        let pht_idx = s.history.pht_index(DirectionOverride::entries(&s.pht));
+        let ctb_idx = s.history.ctb_index(DirectionOverride::entries(&s.ctb));
+        let tag = PathHistory::tag_for(addr);
+
+        s.surprise_bht.update(addr, branch.taken);
+
+        if pred.present() {
+            // The entry may live in the BTB1 (possibly just promoted) or
+            // the BTBP.
+            let taken = branch.taken;
+            let resolved_target = branch.target;
+            let mut bht_mispredicted = false;
+            let mut target_mispredicted = false;
+            let mut update = |e: &mut BtbEntry| {
+                bht_mispredicted = e.bht_taken() != taken && e.kind.is_conditional();
+                e.bht = e.bht.update(taken);
+                if bht_mispredicted {
+                    e.use_pht = true;
+                }
+                if taken {
+                    target_mispredicted = e.target != resolved_target;
+                    if target_mispredicted && e.kind.has_changing_target() {
+                        e.use_ctb = true;
+                    }
+                    e.target = resolved_target;
+                }
+            };
+            if !LevelOneStructure::update_entry(&mut s.btb1, addr, &mut update) {
+                LevelOneStructure::update_entry(&mut s.btbp, addr, &mut update);
+            }
+            if bht_mispredicted || pred.used_pht {
+                DirectionOverride::train(&mut s.pht, pht_idx, tag, branch.taken, bht_mispredicted);
+            }
+            if branch.taken
+                && (target_mispredicted || pred.used_ctb)
+                && branch.kind.has_changing_target()
+            {
+                DirectionOverride::train(&mut s.ctb, ctb_idx, tag, branch.target, false);
+            }
+        } else if branch.taken {
+            // Surprise install: only ever-taken branches enter the
+            // hierarchy. Written to both the BTBP and the BTB2.
+            let entry = BtbEntry::surprise_install(addr, branch.target, branch.kind, true);
+            let visible = cycle + cfg.install_delay;
+            bus.bump(Counter::SurpriseInstalls);
+            s.btbp.insert(entry, visible);
+            if let Some(btb2) = &mut s.btb2 {
+                SecondLevelBtb::insert(btb2, entry, visible);
+            }
+            if let Some(phantom) = &mut s.phantom {
+                phantom.record(entry);
+            }
+        }
+
+        s.history.push(addr, branch.taken);
+    }
+
+    /// Reports an L1 I-cache miss for the fetch of `addr` (the §3.5
+    /// filter input).
+    fn icache_miss(
+        &mut self,
+        addr: InstAddr,
+        cycle: u64,
+        cfg: &PredictorConfig,
+        s: &mut Structures,
+    ) {
+        if s.btb2.is_none() {
+            return;
+        }
+        if let Some(req) = s.trackers.on_icache_miss(addr, cycle) {
+            Self::schedule_request(req, cfg, s);
+        }
+    }
+
+    /// §3.4 alternative miss definition: decode encountered a surprise
+    /// branch.
+    fn decode_surprise(
+        &mut self,
+        addr: InstAddr,
+        cycle: u64,
+        guessed_taken: bool,
+        cfg: &PredictorConfig,
+        s: &mut Structures,
+        bus: &mut StatsBus,
+    ) {
+        if !cfg.miss_detection.uses_decode_surprise() || !guessed_taken || s.btb2.is_none() {
+            return;
+        }
+        bus.bump(Counter::Btb1MissesReported);
+        if let Some(req) = s.trackers.on_btb1_miss(addr, cycle) {
+            Self::schedule_request(req, cfg, s);
+        }
+    }
+
+    /// Processes transfer returns due by `cycle` (called ahead of every
+    /// lookup; the simulator also calls it for the end-of-run drain).
+    pub fn advance_transfers(
+        &mut self,
+        cycle: u64,
+        cfg: &PredictorConfig,
+        s: &mut Structures,
+        bus: &mut StatsBus,
+    ) {
+        while let Some(&(at, e)) = self.phantom_pending.front() {
+            if at > cycle {
+                break;
+            }
+            self.phantom_pending.pop_front();
+            bus.bump(Counter::Btb2EntriesTransferred);
+            s.btbp.insert(e, at);
+        }
+        // Disjoint borrows: the BTB2 is read row-by-row while the BTBP
+        // and the trackers are written.
+        let Structures { btb2, btbp, trackers, transfer, .. } = &mut *s;
+        let Some(btb2) = btb2.as_mut() else { return };
+        let chase = cfg.multi_block_transfer;
+        let mut chain: Option<(InstAddr, u64)> = None;
+        for row in transfer.drain(cycle) {
+            let entries = SecondLevelBtb::entries_in_line(btb2, row.line, row.visible_at);
+            bus.observe(Sample::TransferRowEntries, entries.len() as u64);
+            for e in entries {
+                bus.bump(Counter::Btb2EntriesTransferred);
+                btbp.insert(e, row.visible_at);
+                if VictimPolicy::invalidate_on_hit(&cfg.exclusivity) {
+                    SecondLevelBtb::remove(btb2, e.addr);
+                } else if VictimPolicy::demote_on_hit(&cfg.exclusivity) {
+                    SecondLevelBtb::make_lru(btb2, e.addr);
+                }
+                // §6 multi-block transfers: chase one taken-predicted
+                // target out of the block — but never out of a block that
+                // was itself reached by chasing (depth 1 bounds the
+                // "exponentially exceed the available bandwidth" risk).
+                if chase
+                    && chain.is_none()
+                    && e.bht_taken()
+                    && e.target.block() != row.block
+                    && !self.chained_blocks.contains(&row.block)
+                    && !self.chained_blocks.contains(&e.target.block())
+                {
+                    chain = Some((e.target, row.visible_at));
+                }
+            }
+            if row.last {
+                trackers.search_complete(row.block, row.partial);
+            }
+        }
+        if let Some((target, at)) = chain {
+            bus.bump(Counter::ChainedTransfers);
+            if self.chained_blocks.len() >= 16 {
+                self.chained_blocks.pop_front();
+            }
+            self.chained_blocks.push_back(target.block());
+            Self::schedule_request(
+                SearchRequest {
+                    block: target.block(),
+                    kind: SearchKind::Full { entry: target, exclude_partial: None },
+                    earliest_start: at,
+                },
+                cfg,
+                s,
+            );
+        }
+    }
+
+    /// One fruitless row search: sequential cost plus miss detection.
+    fn fruitless_row(&mut self, cfg: &PredictorConfig, s: &mut Structures, bus: &mut StatsBus) {
+        self.last_not_taken_line = None;
+        self.last_taken_addr = None;
+        let search_start = self.search_addr;
+        self.pred_cycle += cfg.timing.seq_row;
+        if !cfg.miss_detection.uses_search_limit() {
+            return;
+        }
+        if let Some(miss) = self.miss.fruitless_search(search_start) {
+            bus.bump(Counter::Btb1MissesReported);
+            if s.btb2.is_some() {
+                if let Some(req) = s.trackers.on_btb1_miss(miss.addr, self.pred_cycle) {
+                    Self::schedule_request(req, cfg, s);
+                }
+            }
+            self.phantom_trigger(miss.addr, s);
+        }
+    }
+
+    /// Phantom-BTB miss handling: look up the stored temporal group for
+    /// this trigger (scheduling its prefetch) and open a new group.
+    fn phantom_trigger(&mut self, addr: InstAddr, s: &mut Structures) {
+        let Some(phantom) = &mut s.phantom else { return };
+        let latency = phantom.config().access_latency;
+        if let Some(entries) = phantom.lookup_trigger(addr) {
+            for (i, e) in entries.into_iter().enumerate() {
+                self.phantom_pending.push_back((self.pred_cycle + latency + i as u64, e));
+            }
+        }
+        phantom.on_miss(addr);
+    }
+
+    /// Expands a tracker request into row reads on the transfer engine.
+    ///
+    /// Rows are enumerated in the BTB2's own congruence-class units, so
+    /// the §6 future-work study of wider BTB2 rows (64 B / 128 B) simply
+    /// schedules proportionally fewer reads per block.
+    fn schedule_request(req: SearchRequest, cfg: &PredictorConfig, s: &mut Structures) {
+        let Some(btb2) = &s.btb2 else { return };
+        let line_bytes = SecondLevelBtb::row_bytes(btb2);
+        debug_assert!(line_bytes <= SECTOR_BYTES, "BTB2 rows wider than a sector");
+        let lines_per_sector = (SECTOR_BYTES / line_bytes).max(1);
+        let sector_lines = |anchor: InstAddr| -> Vec<u64> {
+            let base = anchor.raw() & !(SECTOR_BYTES - 1);
+            (0..lines_per_sector).map(|i| base / line_bytes + i).collect()
+        };
+        let lines: Vec<u64> = match &req.kind {
+            // The aligned 128 B sector containing the miss address
+            // (instruction address bits 0:56).
+            SearchKind::Partial { from } => sector_lines(*from),
+            SearchKind::Full { entry, exclude_partial } => {
+                let steering: &dyn SteeringPolicy =
+                    if cfg.steering { &s.ordering } else { &SequentialSteering };
+                let sectors = steering.search_order(req.block, *entry);
+                let exclude: Vec<u64> = exclude_partial.map(&sector_lines).unwrap_or_default();
+                let block_first_line = (req.block * BLOCK_BYTES) / line_bytes;
+                sectors
+                    .iter()
+                    .flat_map(|&sec| {
+                        (0..lines_per_sector)
+                            .map(move |i| block_first_line + u64::from(sec) * lines_per_sector + i)
+                    })
+                    .filter(|l| !exclude.contains(l))
+                    .collect()
+            }
+        };
+        let partial = matches!(req.kind, SearchKind::Partial { .. });
+        s.transfer.schedule(req.block, &lines, req.earliest_start, partial);
+    }
+
+    /// Inserts into the BTB1, routing the victim to the BTBP and BTB2
+    /// per the exclusivity policy.
+    fn insert_btb1(
+        entry: BtbEntry,
+        now: u64,
+        cfg: &PredictorConfig,
+        s: &mut Structures,
+        bus: &mut StatsBus,
+    ) {
+        if let Some(victim) = LevelOneStructure::insert(&mut s.btb1, entry, now) {
+            bus.bump(Counter::Btb1Victims);
+            s.btbp.insert(victim, now);
+            if let Some(phantom) = &mut s.phantom {
+                phantom.record(victim);
+            }
+            if let Some(btb2) = &mut s.btb2 {
+                VictimPolicy::place_victim(&cfg.exclusivity, btb2, victim, now);
+            }
+        }
+    }
+}

@@ -7,11 +7,10 @@
 //! that have exhibited multiple directions or targets.
 
 use crate::bht::Bimodal2;
-use serde::{Deserialize, Serialize};
 use zbp_trace::{BranchKind, InstAddr};
 
 /// One branch prediction entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BtbEntry {
     /// Address of the branch instruction (full tag in this model; the
     /// hardware stores a partial tag and accepts some aliasing).
@@ -30,7 +29,12 @@ pub struct BtbEntry {
 
 impl BtbEntry {
     /// Entry for a newly installed surprise branch resolved `taken`.
-    pub fn surprise_install(addr: InstAddr, target: InstAddr, kind: BranchKind, taken: bool) -> Self {
+    pub fn surprise_install(
+        addr: InstAddr,
+        target: InstAddr,
+        kind: BranchKind,
+        taken: bool,
+    ) -> Self {
         Self {
             addr,
             target,

@@ -1,0 +1,127 @@
+//! The predictor's event vocabulary.
+//!
+//! The trace simulator drives the hierarchy with a small set of
+//! [`PredictorEvent`]s instead of ad-hoc entry points; the
+//! [`BranchPredictor`](crate::hierarchy::BranchPredictor) dispatches
+//! each event to the [`SearchEngine`](crate::engine::SearchEngine).
+//! The typed convenience methods on the predictor are thin wrappers that
+//! construct these events.
+//!
+//! This module also owns the engine's output types: [`Prediction`] and
+//! [`PredSource`].
+
+use zbp_trace::{InstAddr, TraceInstr};
+
+/// One input to the branch prediction hierarchy.
+///
+/// Borrowed payloads (`instr`, `prediction`) tie the event to the
+/// simulator's trace storage for the duration of one dispatch — events
+/// are consumed immediately, never queued.
+#[derive(Debug, Clone, Copy)]
+pub enum PredictorEvent<'a> {
+    /// A pipeline restart (misprediction, surprise redirect, stream
+    /// switch): the lookahead search re-indexes at `addr` at `cycle`.
+    Restart {
+        /// Address search resumes at.
+        addr: InstAddr,
+        /// Cycle of the restart.
+        cycle: u64,
+    },
+    /// The front end reached branch `instr`, decoding at `decode_cycle`;
+    /// dispatching returns a [`Prediction`].
+    PredictBranch {
+        /// The branch instruction being decoded.
+        instr: &'a TraceInstr,
+        /// Cycle the branch reaches decode (the broadcast deadline).
+        decode_cycle: u64,
+    },
+    /// Branch `instr` resolved at `cycle`: trains direction/target state
+    /// and performs surprise installs.
+    Resolve {
+        /// The resolved branch instruction.
+        instr: &'a TraceInstr,
+        /// The prediction previously returned for this branch.
+        prediction: &'a Prediction,
+        /// Resolution cycle.
+        cycle: u64,
+    },
+    /// The fetch of `addr` missed the L1 I-cache (the §3.5 filter
+    /// input).
+    ICacheMiss {
+        /// Fetch address that missed.
+        addr: InstAddr,
+        /// Cycle of the miss.
+        cycle: u64,
+    },
+    /// The instruction at `addr` completed (drives the §3.7 ordering
+    /// table).
+    Completion {
+        /// Completed instruction address.
+        addr: InstAddr,
+    },
+    /// Decode encountered a surprise branch (§3.4 alternative miss
+    /// definition; a no-op unless the configuration enables decode-stage
+    /// detection).
+    DecodeSurprise {
+        /// Address of the surprise branch.
+        addr: InstAddr,
+        /// Decode cycle.
+        cycle: u64,
+        /// Whether the static guess was taken (only taken guesses
+        /// report, per the paper's less-speculative definition).
+        guessed_taken: bool,
+    },
+}
+
+/// Which first-level structure served a prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredSource {
+    /// The main first-level BTB.
+    Btb1,
+    /// The preload table (the entry is promoted into the BTB1).
+    Btbp,
+}
+
+/// Outcome of asking the first level about one branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prediction {
+    /// Which structure held the branch, if any.
+    pub source: Option<PredSource>,
+    /// Predicted direction (dynamic predictions only).
+    pub taken: bool,
+    /// Predicted target (dynamic predictions only).
+    pub target: Option<InstAddr>,
+    /// Cycle the prediction broadcast completes.
+    pub ready_cycle: u64,
+    /// Whether the broadcast beat the decode deadline.
+    pub in_time: bool,
+    /// Static guess used if this branch surprises the front end.
+    pub static_guess_taken: bool,
+    /// Whether the PHT supplied the direction.
+    pub used_pht: bool,
+    /// Whether the CTB supplied the target.
+    pub used_ctb: bool,
+}
+
+impl Prediction {
+    /// Whether the core receives a usable dynamic prediction.
+    pub fn dynamic(&self) -> bool {
+        self.source.is_some() && self.in_time
+    }
+
+    /// Whether the entry existed in the first level at all (even if the
+    /// prediction arrived too late).
+    pub fn present(&self) -> bool {
+        self.source.is_some()
+    }
+
+    /// The direction the front end acts on: the dynamic prediction when
+    /// in time, the static guess otherwise.
+    pub fn acted_taken(&self) -> bool {
+        if self.dynamic() {
+            self.taken
+        } else {
+            self.static_guess_taken
+        }
+    }
+}

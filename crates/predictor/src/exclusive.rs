@@ -14,10 +14,8 @@
 //! inclusive alternatives the paper argues against, for the ablation
 //! bench (`ablation_exclusivity`).
 
-use serde::{Deserialize, Serialize};
-
 /// How BTB2 content relates to first-level content.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExclusivityPolicy {
     /// The shipped design: BTB2 hits become LRU, victims overwrite LRU
     /// ways. Duplicates are possible but short-lived.
@@ -81,3 +79,5 @@ mod tests {
         assert_eq!(ExclusivityPolicy::default(), ExclusivityPolicy::SemiExclusive);
     }
 }
+
+zbp_support::impl_json_enum!(ExclusivityPolicy { SemiExclusive, TrueExclusive, Inclusive });

@@ -1,0 +1,402 @@
+//! Behavioural tests of the composed [`BranchPredictor`] — the event
+//! dispatch, the search engine and the structures working together.
+
+use crate::config::PredictorConfig;
+use crate::entry::BtbEntry;
+use crate::exclusive::ExclusivityPolicy;
+use crate::hierarchy::{BranchPredictor, PredSource, Prediction};
+use zbp_trace::{BranchKind, BranchRec, InstAddr, TraceInstr};
+
+fn taken_branch(addr: u64, target: u64) -> TraceInstr {
+    TraceInstr::branch(
+        InstAddr::new(addr),
+        4,
+        BranchRec::taken(BranchKind::Conditional, InstAddr::new(target)),
+    )
+}
+
+fn not_taken_branch(addr: u64) -> TraceInstr {
+    TraceInstr::branch(InstAddr::new(addr), 4, BranchRec::not_taken(InstAddr::new(addr + 64)))
+}
+
+fn predictor() -> BranchPredictor {
+    BranchPredictor::new(PredictorConfig::zec12())
+}
+
+/// Repeatedly predicts+resolves the same branch, returning the final
+/// prediction.
+fn train(bp: &mut BranchPredictor, instr: &TraceInstr, times: u32, start_cycle: u64) -> Prediction {
+    let mut cycle = start_cycle;
+    let mut last = None;
+    for _ in 0..times {
+        bp.restart(instr.addr, cycle);
+        cycle += 200;
+        let p = bp.predict_branch(instr, cycle);
+        bp.resolve(instr, &p, cycle + 10);
+        cycle += 200;
+        last = Some(p);
+    }
+    last.expect("times > 0")
+}
+
+#[test]
+fn first_encounter_is_surprise_then_learned() {
+    let mut bp = predictor();
+    let b = taken_branch(0x1000, 0x2000);
+    bp.restart(b.addr, 0);
+    let p = bp.predict_branch(&b, 100);
+    assert!(!p.present());
+    assert!(!p.dynamic());
+    bp.resolve(&b, &p, 110);
+    assert_eq!(bp.locate(b.addr), Some("btbp"), "surprise install lands in the BTBP");
+    // Re-encounter after the install delay: predicted from the BTBP.
+    bp.restart(b.addr, 1000);
+    let p2 = bp.predict_branch(&b, 1100);
+    assert!(p2.dynamic());
+    assert_eq!(p2.source, Some(PredSource::Btbp));
+    assert!(p2.taken);
+    assert_eq!(p2.target, Some(InstAddr::new(0x2000)));
+    // Making a BTBP prediction promotes the entry into the BTB1.
+    assert_eq!(bp.locate(b.addr), Some("btb1"));
+}
+
+#[test]
+fn never_taken_branches_are_not_installed() {
+    let mut bp = predictor();
+    let b = not_taken_branch(0x1000);
+    bp.restart(b.addr, 0);
+    let p = bp.predict_branch(&b, 100);
+    bp.resolve(&b, &p, 110);
+    assert_eq!(bp.locate(b.addr), None);
+    assert_eq!(bp.stats().surprise_installs, 0);
+}
+
+#[test]
+fn surprise_install_goes_to_btb2_as_well() {
+    let mut bp = predictor();
+    let b = taken_branch(0x1000, 0x2000);
+    bp.restart(b.addr, 0);
+    let p = bp.predict_branch(&b, 100);
+    bp.resolve(&b, &p, 110);
+    // Location reports highest level first; remove from BTBP to see BTB2.
+    bp.structures.btbp.remove(b.addr);
+    assert_eq!(bp.locate(b.addr), Some("btb2"));
+}
+
+#[test]
+fn install_delay_gates_visibility() {
+    let mut bp = predictor();
+    let b = taken_branch(0x1000, 0x2000);
+    bp.restart(b.addr, 0);
+    let p = bp.predict_branch(&b, 10);
+    bp.resolve(&b, &p, 20);
+    // Immediately re-encounter, before the install becomes visible.
+    bp.restart(b.addr, 21);
+    let p2 = bp.predict_branch(&b, 25);
+    assert!(!p2.present(), "install must not be visible before its delay");
+}
+
+#[test]
+fn late_prediction_is_present_but_not_dynamic() {
+    let mut bp = predictor();
+    let b = taken_branch(0x1000, 0x2000);
+    train(&mut bp, &b, 1, 0);
+    bp.restart(b.addr, 10_000);
+    // Decode arrives the same cycle the search starts: the 4-cycle
+    // pipeline depth cannot be beaten.
+    let p = bp.predict_branch(&b, 10_000);
+    assert!(p.present());
+    assert!(!p.in_time);
+    assert!(!p.dynamic());
+    assert_eq!(bp.stats().late_predictions, 1);
+}
+
+#[test]
+fn static_guess_follows_kind_and_bht() {
+    let mut bp = predictor();
+    let uncond = TraceInstr::branch(
+        InstAddr::new(0x3000),
+        4,
+        BranchRec::taken(BranchKind::Unconditional, InstAddr::new(0x4000)),
+    );
+    bp.restart(uncond.addr, 0);
+    let p = bp.predict_branch(&uncond, 50);
+    assert!(p.static_guess_taken, "unconditional surprises guessed taken from opcode");
+    let cond = taken_branch(0x5000, 0x6000);
+    bp.restart(cond.addr, 200);
+    let p = bp.predict_branch(&cond, 250);
+    assert!(!p.static_guess_taken, "untrained conditional guessed not-taken");
+    bp.resolve(&cond, &p, 260);
+    // The 1-bit BHT learned taken; a different aliasing branch would
+    // now guess taken. Re-ask the same (still surprising) address:
+    bp.structures.btbp.remove(cond.addr);
+    if let Some(b2) = &mut bp.structures.btb2 {
+        b2.remove(cond.addr);
+    }
+    bp.restart(cond.addr, 500);
+    let p = bp.predict_branch(&cond, 550);
+    assert!(p.static_guess_taken);
+}
+
+#[test]
+fn sequential_rows_drive_miss_detection() {
+    let mut bp = predictor();
+    // A branch 4 * 32B rows beyond the restart point with an empty
+    // first level: the engine reports one perceived miss (limit 4).
+    let b = taken_branch(0x1000 + 4 * 32, 0x2000);
+    bp.restart(InstAddr::new(0x1000), 0);
+    let _ = bp.predict_branch(&b, 1_000);
+    assert_eq!(bp.stats().btb1_misses_reported, 1);
+    assert_eq!(bp.stats_snapshot().tracker.partial_searches, 1);
+}
+
+#[test]
+fn prediction_resets_miss_run() {
+    let mut bp = predictor();
+    let b1 = taken_branch(0x1000 + 2 * 32, 0x1000 + 7 * 32);
+    let b2 = taken_branch(0x1000 + 9 * 32, 0x4000);
+    train(&mut bp, &b1, 1, 0);
+    // Fresh walk: restart, predict b1 (2 fruitless rows), then b2
+    // (2 more fruitless rows) — run must reset at the prediction, so
+    // no miss is reported for limit 4.
+    bp.restart(InstAddr::new(0x1000), 10_000);
+    let before = bp.stats().btb1_misses_reported;
+    let p1 = bp.predict_branch(&b1, 11_000);
+    assert!(p1.dynamic());
+    bp.resolve(&b1, &p1, 11_010);
+    let _ = bp.predict_branch(&b2, 12_000);
+    assert_eq!(bp.stats().btb1_misses_reported, before);
+}
+
+#[test]
+fn bulk_transfer_preloads_the_btbp() {
+    let mut bp = predictor();
+    // Seed the BTB2 with a branch deep inside a cold block.
+    let cold = taken_branch(0x20_0000 + 512, 0x20_0000 + 1024);
+    bp.seed_btb2(BtbEntry::surprise_install(
+        cold.addr,
+        InstAddr::new(0x20_0000 + 1024),
+        BranchKind::Conditional,
+        true,
+    ));
+    // Walk into the cold block: restart at its base, report an
+    // I-cache miss (fully active tracker), then walk fruitless rows.
+    bp.restart(InstAddr::new(0x20_0000), 0);
+    bp.note_icache_miss(InstAddr::new(0x20_0000), 0);
+    // A branch far enough away to drive 4+ fruitless searches.
+    let far = taken_branch(0x20_0000 + 4096 - 64, 0x30_0000);
+    let _ = bp.predict_branch(&far, 50);
+    assert!(bp.stats_snapshot().tracker.full_searches >= 1, "full search must launch");
+    // Let the transfer complete and check the cold branch arrived.
+    bp.advance_transfers(100_000);
+    assert_eq!(bp.locate(cold.addr), Some("btbp"));
+    assert!(bp.stats().btb2_entries_transferred >= 1);
+}
+
+#[test]
+fn semi_exclusive_demotes_transferred_hits() {
+    let mut bp = predictor();
+    let cold = BtbEntry::surprise_install(
+        InstAddr::new(0x20_0000 + 512),
+        InstAddr::new(0x20_0000 + 1024),
+        BranchKind::Conditional,
+        true,
+    );
+    bp.seed_btb2(cold);
+    bp.restart(InstAddr::new(0x20_0000), 0);
+    bp.note_icache_miss(InstAddr::new(0x20_0000), 0);
+    let far = taken_branch(0x20_0000 + 4096 - 64, 0x30_0000);
+    let _ = bp.predict_branch(&far, 50);
+    bp.advance_transfers(100_000);
+    // Entry still in BTB2 (semi-exclusive keeps it) but demoted: fill
+    // its row and verify it is evicted first.
+    let btb2 = bp.structures.btb2.as_mut().unwrap();
+    assert!(btb2.lookup(cold.addr, u64::MAX).is_some());
+    let row_stride = 4096 * 32; // BTB2 wraps every rows*line_bytes bytes
+    let mut evicted = None;
+    for i in 1..=6u64 {
+        let e = BtbEntry::surprise_install(
+            InstAddr::new(cold.addr.raw() + i * row_stride),
+            InstAddr::new(0x100),
+            BranchKind::Conditional,
+            true,
+        );
+        if let Some(v) = btb2.insert(e, 0) {
+            evicted = Some(v);
+            break;
+        }
+    }
+    assert_eq!(evicted.map(|e| e.addr), Some(cold.addr), "demoted hit evicted first");
+}
+
+#[test]
+fn true_exclusive_removes_transferred_hits() {
+    let mut cfg = PredictorConfig::zec12();
+    cfg.exclusivity = ExclusivityPolicy::TrueExclusive;
+    let mut bp = BranchPredictor::new(cfg);
+    let cold_addr = InstAddr::new(0x20_0000 + 512);
+    bp.seed_btb2(BtbEntry::surprise_install(
+        cold_addr,
+        InstAddr::new(0x20_0000 + 1024),
+        BranchKind::Conditional,
+        true,
+    ));
+    bp.restart(InstAddr::new(0x20_0000), 0);
+    bp.note_icache_miss(InstAddr::new(0x20_0000), 0);
+    let far = taken_branch(0x20_0000 + 4096 - 64, 0x30_0000);
+    let _ = bp.predict_branch(&far, 50);
+    bp.advance_transfers(100_000);
+    assert_eq!(bp.locate(cold_addr), Some("btbp"), "hit moved to the BTBP");
+    assert!(bp.structures.btb2.as_ref().unwrap().lookup(cold_addr, u64::MAX).is_none());
+}
+
+#[test]
+fn btb1_victim_flows_to_btbp_and_btb2() {
+    let mut bp = predictor();
+    // Fill one BTB1 row (4 ways) with learned branches; BTB1 rows
+    // wrap every 1024 * 32 bytes.
+    let stride = 1024 * 32;
+    let mut branches = Vec::new();
+    for i in 0..5u64 {
+        let b = taken_branch(0x1_0000 + i * stride, 0x9000);
+        branches.push(b);
+        train(&mut bp, &b, 1, i * 10_000);
+        // Promote into BTB1 via a second predicted encounter.
+        train(&mut bp, &b, 1, i * 10_000 + 5_000);
+    }
+    assert!(bp.stats().btb1_victims >= 1, "filling 5 into 4 ways must evict");
+    // The victim is the first-installed branch; it must be findable in
+    // the BTBP or BTB2 (not lost).
+    let victim_addr = branches[0].addr;
+    assert!(bp.locate(victim_addr).is_some(), "victim must remain in the hierarchy");
+}
+
+#[test]
+fn pht_learns_alternating_branch_after_bht_mispredicts() {
+    let mut bp = predictor();
+    let addr = 0x7000u64;
+    let t = taken_branch(addr, 0x8000);
+    let nt = not_taken_branch(addr);
+    // Train alternating T/N/T/N with surrounding history provided by
+    // a few filler taken branches so the PHT index varies.
+    let filler_a = taken_branch(0x9100, 0x9200);
+    let filler_b = taken_branch(0x9300, 0x9400);
+    let mut cycle = 0u64;
+    let mut correct_late = 0;
+    let mut total_late = 0;
+    for i in 0..60u32 {
+        let filler = if i % 2 == 0 { &filler_a } else { &filler_b };
+        bp.restart(filler.addr, cycle);
+        let pf = bp.predict_branch(filler, cycle + 100);
+        bp.resolve(filler, &pf, cycle + 110);
+        cycle += 200;
+        let instr = if i % 2 == 0 { &t } else { &nt };
+        bp.restart(instr.addr, cycle);
+        let p = bp.predict_branch(instr, cycle + 100);
+        if p.dynamic() && i >= 30 {
+            total_late += 1;
+            if p.taken == instr.branch.unwrap().taken {
+                correct_late += 1;
+            }
+        }
+        bp.resolve(instr, &p, cycle + 110);
+        cycle += 200;
+    }
+    assert!(total_late > 0);
+    assert!(
+        correct_late * 10 >= total_late * 8,
+        "PHT should learn the alternation: {correct_late}/{total_late}"
+    );
+    assert!(bp.stats().pht_overrides > 0, "the PHT must have overridden the bimodal");
+}
+
+#[test]
+fn ctb_learns_polymorphic_indirect_targets() {
+    let mut bp = predictor();
+    let addr = InstAddr::new(0xA000);
+    let t1 = InstAddr::new(0xB000);
+    let t2 = InstAddr::new(0xC000);
+    let filler_a = taken_branch(0x9100, 0x9200);
+    let filler_b = taken_branch(0x9300, 0x9400);
+    let mut cycle = 0u64;
+    let mut correct_late = 0;
+    let mut total_late = 0;
+    for i in 0..60u32 {
+        // Distinct path history correlates with the distinct target.
+        let filler = if i % 2 == 0 { &filler_a } else { &filler_b };
+        bp.restart(filler.addr, cycle);
+        let pf = bp.predict_branch(filler, cycle + 100);
+        bp.resolve(filler, &pf, cycle + 110);
+        cycle += 200;
+        let target = if i % 2 == 0 { t1 } else { t2 };
+        let instr = TraceInstr::branch(addr, 4, BranchRec::taken(BranchKind::Indirect, target));
+        bp.restart(addr, cycle);
+        let p = bp.predict_branch(&instr, cycle + 100);
+        if p.dynamic() && i >= 30 {
+            total_late += 1;
+            if p.target == Some(target) {
+                correct_late += 1;
+            }
+        }
+        bp.resolve(&instr, &p, cycle + 110);
+        cycle += 200;
+    }
+    assert!(total_late > 0);
+    assert!(
+        correct_late * 10 >= total_late * 8,
+        "CTB should learn path-correlated targets: {correct_late}/{total_late}"
+    );
+}
+
+#[test]
+fn tight_loop_predicts_at_one_cycle_throughput() {
+    let mut bp = predictor();
+    let b = taken_branch(0x1000, 0x1000); // self-loop
+    train(&mut bp, &b, 2, 0);
+    bp.restart(b.addr, 100_000);
+    // First prediction primes last_taken_addr; following ones hit the
+    // tight-loop rate.
+    let _ = bp.predict_branch(&b, 200_000);
+    let _ = bp.predict_branch(&b, 200_000);
+    let before = bp.engine_cycle();
+    let _ = bp.predict_branch(&b, 200_000);
+    assert_eq!(bp.engine_cycle() - before, 1, "single-branch loop: 1 prediction/cycle");
+    assert!(bp.stats().tight_loop_predictions >= 2);
+}
+
+#[test]
+fn preload_instruction_writes_btbp() {
+    let mut bp = predictor();
+    let e = BtbEntry::surprise_install(
+        InstAddr::new(0xE000),
+        InstAddr::new(0xF000),
+        BranchKind::Unconditional,
+        true,
+    );
+    bp.preload(e, 0);
+    assert_eq!(bp.locate(e.addr), Some("btbp"));
+}
+
+#[test]
+fn no_btb2_config_never_transfers() {
+    let mut bp = BranchPredictor::new(PredictorConfig::no_btb2());
+    bp.note_icache_miss(InstAddr::new(0x20_0000), 0);
+    bp.restart(InstAddr::new(0x20_0000), 0);
+    let far = taken_branch(0x20_0000 + 4096 - 64, 0x30_0000);
+    let _ = bp.predict_branch(&far, 1_000);
+    bp.advance_transfers(1_000_000);
+    let s = bp.stats_snapshot();
+    assert_eq!(s.btb2_entries_transferred, 0);
+    assert_eq!(s.transfer.requests, 0);
+}
+
+#[test]
+fn stats_snapshot_merges_substructure_counters() {
+    let mut bp = predictor();
+    bp.restart(InstAddr::new(0x1000), 0);
+    let far = taken_branch(0x1000 + 4096, 0x9000);
+    let _ = bp.predict_branch(&far, 10_000);
+    let s = bp.stats_snapshot();
+    assert!(s.btb1_misses_reported >= 1);
+    assert_eq!(s.tracker.misses_tracked + s.tracker.misses_dropped, s.btb1_misses_reported);
+}

@@ -6,7 +6,6 @@
 //! addresses of the 12 previous taken branches" (paper §3.1). This module
 //! maintains those histories and folds them into table indices.
 
-use serde::{Deserialize, Serialize};
 use zbp_trace::InstAddr;
 
 /// Depth of the direction history.
@@ -28,7 +27,7 @@ pub const CTB_ADDR_DEPTH: usize = 12;
 /// assert_eq!(h.dirs() & 0b11, 0b10); // youngest direction in bit 0
 /// assert!(h.pht_index(4096) < 4096);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PathHistory {
     /// Last [`DIR_DEPTH`] directions, bit 0 = most recent (1 = taken).
     dirs: u16,

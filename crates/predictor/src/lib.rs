@@ -22,8 +22,22 @@
 //! semi-exclusive BTB1/BTB2 LRU protocol (and the inclusive /
 //! true-exclusive alternatives for ablation).
 //!
-//! [`hierarchy::BranchPredictor`] ties everything together behind an
-//! event-driven API the trace simulator drives:
+//! # Event-driven decomposition
+//!
+//! The predictor is split into three layers:
+//!
+//! * [`engine::SearchEngine`] — pure control flow: the lookahead clock,
+//!   the per-cycle sequential search loop, Table 1 costs, miss
+//!   detection and transfer scheduling, written against the behavioural
+//!   traits in [`traits`];
+//! * [`engine::Structures`] — the content: every Figure 1 structure,
+//!   borrowed into the engine on each dispatch;
+//! * [`statsbus::StatsBus`] — the cross-layer counter + histogram sink
+//!   shared with the µarch core model above.
+//!
+//! [`hierarchy::BranchPredictor`] is the composition root tying the
+//! three together behind the [`events::PredictorEvent`] vocabulary the
+//! trace simulator drives:
 //!
 //! ```
 //! use zbp_predictor::config::PredictorConfig;
@@ -49,21 +63,29 @@ pub mod bht;
 pub mod btb;
 pub mod config;
 pub mod ctb;
+pub mod engine;
 pub mod entry;
+pub mod events;
 pub mod exclusive;
 pub mod fit;
 pub mod hierarchy;
+#[cfg(test)]
+mod hierarchy_tests;
 pub mod history;
 pub mod miss;
 pub mod phantom;
 pub mod pht;
 pub mod pipeline;
 pub mod stats;
+pub mod statsbus;
 pub mod steering;
 pub mod tracker;
+pub mod traits;
 pub mod transfer;
 
 pub use config::PredictorConfig;
 pub use entry::BtbEntry;
-pub use hierarchy::{BranchPredictor, PredSource, Prediction};
+pub use events::{PredSource, Prediction, PredictorEvent};
+pub use hierarchy::BranchPredictor;
 pub use stats::PredictorStats;
+pub use statsbus::{Counter, Sample, StatsBus};

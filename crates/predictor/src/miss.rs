@@ -12,7 +12,6 @@
 //! loops) trigger it without any capacity problem, which is why §3.5
 //! filters the resulting BTB2 searches by I-cache miss correspondence.
 
-use serde::{Deserialize, Serialize};
 use zbp_trace::InstAddr;
 
 /// Which events are allowed to report a perceived BTB1 miss.
@@ -23,7 +22,7 @@ use zbp_trace::InstAddr;
 /// prediction. The `§6` future-work section calls out exploring this
 /// trade-off, which [`DecodeSurprise`](MissDetection::DecodeSurprise) and
 /// [`Both`](MissDetection::Both) enable.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum MissDetection {
     /// Shipped: report after N consecutive fruitless searches.
     #[default]
@@ -60,7 +59,7 @@ impl MissDetection {
 /// let miss = d.fruitless_search(InstAddr::new(0x160)).unwrap();
 /// assert_eq!(miss.addr, InstAddr::new(0x100)); // reported at the run start
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MissDetector {
     /// Searches without a prediction before a miss is reported.
     limit: u32,
@@ -71,7 +70,7 @@ pub struct MissDetector {
 }
 
 /// A reported perceived BTB1 miss.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Btb1Miss {
     /// The starting search address of the fruitless run (Table 2 reports
     /// the miss "at starting search address").
@@ -221,3 +220,5 @@ mod detection_mode_tests {
         assert!(MissDetection::Both.uses_decode_surprise());
     }
 }
+
+zbp_support::impl_json_enum!(MissDetection { SearchLimit, DecodeSurprise, Both });

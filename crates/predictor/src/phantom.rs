@@ -22,11 +22,10 @@
 //! at matched metadata capacity.
 
 use crate::entry::BtbEntry;
-use serde::{Deserialize, Serialize};
 use zbp_trace::InstAddr;
 
 /// Phantom-BTB configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PhantomConfig {
     /// Maximum entries per temporal group.
     pub group_size: usize,
@@ -61,7 +60,7 @@ struct Group {
 }
 
 /// Phantom-BTB statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PhantomStats {
     /// Groups closed and stored.
     pub groups_stored: u64,
@@ -94,7 +93,10 @@ impl PhantomBtb {
     /// non-power-of-two set count).
     pub fn new(cfg: PhantomConfig) -> Self {
         assert!(cfg.group_size > 0, "group size must be positive");
-        assert!(cfg.ways > 0 && cfg.table_groups.is_multiple_of(cfg.ways), "groups must divide into ways");
+        assert!(
+            cfg.ways > 0 && cfg.table_groups.is_multiple_of(cfg.ways),
+            "groups must divide into ways"
+        );
         let sets = cfg.table_groups / cfg.ways;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         Self { cfg, sets: vec![Vec::new(); sets], open: None, stats: PhantomStats::default() }
@@ -194,7 +196,12 @@ mod tests {
     }
 
     fn phantom() -> PhantomBtb {
-        PhantomBtb::new(PhantomConfig { group_size: 3, table_groups: 16, ways: 2, access_latency: 40 })
+        PhantomBtb::new(PhantomConfig {
+            group_size: 3,
+            table_groups: 16,
+            ways: 2,
+            access_latency: 40,
+        })
     }
 
     #[test]
@@ -295,6 +302,19 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn rejects_bad_geometry() {
-        PhantomBtb::new(PhantomConfig { group_size: 1, table_groups: 12, ways: 2, access_latency: 1 });
+        PhantomBtb::new(PhantomConfig {
+            group_size: 1,
+            table_groups: 12,
+            ways: 2,
+            access_latency: 1,
+        });
     }
 }
+
+zbp_support::impl_json_struct!(PhantomConfig { group_size, table_groups, ways, access_latency });
+zbp_support::impl_json_struct!(PhantomStats {
+    groups_stored,
+    trigger_hits,
+    trigger_misses,
+    entries_prefetched,
+});

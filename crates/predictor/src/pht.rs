@@ -8,10 +8,9 @@
 //! is turned on once the bimodal state mispredicts.
 
 use crate::bht::Bimodal2;
-use serde::{Deserialize, Serialize};
 
 /// One PHT entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct PhtEntry {
     tag: u16,
     ctr: Bimodal2,
@@ -62,7 +61,11 @@ impl Pht {
                 if allocate {
                     *slot = Some(PhtEntry {
                         tag,
-                        ctr: if taken { Bimodal2::weak_taken() } else { Bimodal2::weak_not_taken() },
+                        ctr: if taken {
+                            Bimodal2::weak_taken()
+                        } else {
+                            Bimodal2::weak_not_taken()
+                        },
                     });
                 }
             }

@@ -16,10 +16,8 @@
 //!   select (b3) is 4 cycles after the restart, and a BTB1 miss detected
 //!   at b3 can start a BTB2 read at b10 — 7 cycles later.
 
-use serde::{Deserialize, Serialize};
-
 /// Cycle costs of the first-level search pipeline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PipelineTiming {
     /// Taken prediction for the same single-branch loop body: 1/cycle.
     pub taken_tight_loop: u64,
@@ -137,3 +135,17 @@ mod tests {
         assert_eq!(PipelineTiming::default(), PipelineTiming::zec12());
     }
 }
+
+zbp_support::impl_json_struct!(PipelineTiming {
+    taken_tight_loop,
+    taken_fit,
+    taken_mru,
+    taken_other,
+    not_taken_first,
+    not_taken_second,
+    seq_row,
+    restart_refill,
+    miss_to_btb2,
+    btb2_latency,
+    btb2_rows_per_cycle,
+});

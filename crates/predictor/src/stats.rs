@@ -3,10 +3,9 @@
 use crate::phantom::PhantomStats;
 use crate::tracker::TrackerStats;
 use crate::transfer::TransferStats;
-use serde::{Deserialize, Serialize};
 
 /// Counters accumulated by the branch prediction hierarchy.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PredictorStats {
     /// Dynamic predictions served by the BTB1.
     pub btb1_predictions: u64,
@@ -92,3 +91,24 @@ mod tests {
         assert_eq!(s.surprise_fraction(), 0.0);
     }
 }
+
+zbp_support::impl_json_struct!(PredictorStats {
+    btb1_predictions,
+    btbp_predictions,
+    late_predictions,
+    surprises,
+    predicted_taken,
+    predicted_not_taken,
+    pht_overrides,
+    ctb_overrides,
+    tight_loop_predictions,
+    fit_predictions,
+    surprise_installs,
+    btb1_victims,
+    btb2_entries_transferred,
+    chained_transfers,
+    btb1_misses_reported,
+    tracker,
+    transfer,
+    phantom,
+});

@@ -1,0 +1,278 @@
+//! The cross-layer statistics bus.
+//!
+//! Every counter the predictor, the search engine and the core model
+//! accumulate flows through one [`StatsBus`]: an array-indexed bank of
+//! scalar [`Counter`]s (always on — they *are* the experiment output)
+//! plus a small set of [`Sample`] histograms that cost nothing unless
+//! explicitly enabled with [`StatsBus::enable_histograms`].
+//!
+//! Centralizing the sink has two payoffs:
+//!
+//! * the [`SearchEngine`](crate::engine::SearchEngine) and the structure
+//!   modules stay free of statistics plumbing — they bump a named
+//!   counter and move on;
+//! * layers above the predictor (the µarch core model, the simulator)
+//!   share the same sink, so a run's counters live in one place instead
+//!   of being stitched together from per-layer structs.
+//!
+//! [`StatsBus::predictor_stats`] rebuilds the classic
+//! [`PredictorStats`] scalar block from the counter bank, keeping the
+//! reporting surface (and the golden-stats snapshots) unchanged.
+
+use crate::stats::PredictorStats;
+
+/// Scalar counters carried by the bus.
+///
+/// The first block mirrors the scalar fields of [`PredictorStats`]; the
+/// `Icache*`/`WrongPathFetches` block belongs to the µarch layer and
+/// rides the same bus so cross-layer experiments read one sink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Dynamic predictions served by the BTB1.
+    Btb1Predictions,
+    /// Dynamic predictions served by the BTBP.
+    BtbpPredictions,
+    /// Predictions whose broadcast missed the decode deadline.
+    LatePredictions,
+    /// Branches the first level did not find at all.
+    Surprises,
+    /// Taken predictions made.
+    PredictedTaken,
+    /// Not-taken predictions made.
+    PredictedNotTaken,
+    /// PHT direction overrides applied.
+    PhtOverrides,
+    /// CTB target overrides applied.
+    CtbOverrides,
+    /// Taken predictions re-indexed at the tight-loop rate.
+    TightLoopPredictions,
+    /// Taken predictions re-indexed under FIT control.
+    FitPredictions,
+    /// Surprise installs written into the BTBP + BTB2.
+    SurpriseInstalls,
+    /// BTB1 victims written back (to BTBP and BTB2).
+    Btb1Victims,
+    /// Entries delivered from the second level into the BTBP.
+    Btb2EntriesTransferred,
+    /// Chained multi-block transfers launched (§6 future work).
+    ChainedTransfers,
+    /// Perceived BTB1 misses reported by the miss detector.
+    Btb1MissesReported,
+    /// L1I demand misses observed by the core model.
+    IcacheDemandMisses,
+    /// L1I accesses that waited on an in-flight prefetch.
+    IcacheLatePrefetchHits,
+    /// L1I prefetches issued by taken predictions.
+    IcachePrefetches,
+    /// Distinct fetch-line transitions at the core.
+    IcacheLineAccesses,
+    /// Wrong-path lines pulled into the L1I.
+    WrongPathFetches,
+}
+
+/// Number of [`Counter`] variants (size of the bus's counter bank).
+pub const NUM_COUNTERS: usize = Counter::WrongPathFetches as usize + 1;
+
+/// Histogrammed quantities (recorded only when histograms are enabled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Sample {
+    /// Cycles a prediction broadcast beat (or missed) its decode
+    /// deadline by: `decode_cycle - ready_cycle`, saturating at zero.
+    PredictionLead,
+    /// BTB entries delivered per drained transfer row.
+    TransferRowEntries,
+}
+
+/// Number of [`Sample`] variants.
+pub const NUM_SAMPLES: usize = Sample::TransferRowEntries as usize + 1;
+
+/// Number of power-of-two buckets per histogram.
+const NUM_BUCKETS: usize = 16;
+
+/// A log₂-bucketed histogram of one [`Sample`] quantity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Histogram {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Largest value observed.
+    pub max: u64,
+    /// Bucket `i` counts values in `[2^(i-1), 2^i)` (bucket 0: zero and
+    /// one); the last bucket absorbs everything larger.
+    pub buckets: [u64; NUM_BUCKETS],
+}
+
+impl Histogram {
+    fn observe(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+        let bucket = (64 - value.leading_zeros() as usize).min(NUM_BUCKETS - 1);
+        self.buckets[bucket] += 1;
+    }
+
+    /// Mean of the observed values (zero when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// The unified counter + histogram sink (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsBus {
+    counters: [u64; NUM_COUNTERS],
+    histograms_enabled: bool,
+    histograms: [Histogram; NUM_SAMPLES],
+}
+
+impl Default for StatsBus {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StatsBus {
+    /// Creates an empty bus with histograms disabled.
+    pub fn new() -> Self {
+        Self {
+            counters: [0; NUM_COUNTERS],
+            histograms_enabled: false,
+            histograms: [Histogram::default(); NUM_SAMPLES],
+        }
+    }
+
+    /// Increments `counter` by one.
+    #[inline]
+    pub fn bump(&mut self, counter: Counter) {
+        self.counters[counter as usize] += 1;
+    }
+
+    /// Adds `amount` to `counter`.
+    #[inline]
+    pub fn add(&mut self, counter: Counter, amount: u64) {
+        self.counters[counter as usize] += amount;
+    }
+
+    /// Current value of `counter`.
+    #[inline]
+    pub fn get(&self, counter: Counter) -> u64 {
+        self.counters[counter as usize]
+    }
+
+    /// Turns histogram recording on (off by default: a disabled
+    /// [`Self::observe`] is a single branch).
+    pub fn enable_histograms(&mut self) {
+        self.histograms_enabled = true;
+    }
+
+    /// Whether histogram recording is on.
+    pub fn histograms_enabled(&self) -> bool {
+        self.histograms_enabled
+    }
+
+    /// Records one histogram observation; no-op unless histograms are
+    /// enabled.
+    #[inline]
+    pub fn observe(&mut self, sample: Sample, value: u64) {
+        if !self.histograms_enabled {
+            return;
+        }
+        self.histograms[sample as usize].observe(value);
+    }
+
+    /// The histogram accumulated for `sample` (all-zero when disabled).
+    pub fn histogram(&self, sample: Sample) -> &Histogram {
+        &self.histograms[sample as usize]
+    }
+
+    /// Rebuilds the [`PredictorStats`] scalar block from the counter
+    /// bank. Substructure stats (tracker, transfer, phantom) are left at
+    /// their defaults — the composition root merges those.
+    pub fn predictor_stats(&self) -> PredictorStats {
+        PredictorStats {
+            btb1_predictions: self.get(Counter::Btb1Predictions),
+            btbp_predictions: self.get(Counter::BtbpPredictions),
+            late_predictions: self.get(Counter::LatePredictions),
+            surprises: self.get(Counter::Surprises),
+            predicted_taken: self.get(Counter::PredictedTaken),
+            predicted_not_taken: self.get(Counter::PredictedNotTaken),
+            pht_overrides: self.get(Counter::PhtOverrides),
+            ctb_overrides: self.get(Counter::CtbOverrides),
+            tight_loop_predictions: self.get(Counter::TightLoopPredictions),
+            fit_predictions: self.get(Counter::FitPredictions),
+            surprise_installs: self.get(Counter::SurpriseInstalls),
+            btb1_victims: self.get(Counter::Btb1Victims),
+            btb2_entries_transferred: self.get(Counter::Btb2EntriesTransferred),
+            chained_transfers: self.get(Counter::ChainedTransfers),
+            btb1_misses_reported: self.get(Counter::Btb1MissesReported),
+            ..PredictorStats::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_independently() {
+        let mut bus = StatsBus::new();
+        bus.bump(Counter::Surprises);
+        bus.bump(Counter::Surprises);
+        bus.add(Counter::Btb2EntriesTransferred, 7);
+        assert_eq!(bus.get(Counter::Surprises), 2);
+        assert_eq!(bus.get(Counter::Btb2EntriesTransferred), 7);
+        assert_eq!(bus.get(Counter::Btb1Predictions), 0);
+    }
+
+    #[test]
+    fn predictor_stats_mirror_the_counter_bank() {
+        let mut bus = StatsBus::new();
+        bus.bump(Counter::Btb1Predictions);
+        bus.add(Counter::PredictedTaken, 3);
+        bus.bump(Counter::IcacheDemandMisses); // µarch counter: not in PredictorStats
+        let s = bus.predictor_stats();
+        assert_eq!(s.btb1_predictions, 1);
+        assert_eq!(s.predicted_taken, 3);
+        assert_eq!(
+            s,
+            PredictorStats { btb1_predictions: 1, predicted_taken: 3, ..Default::default() }
+        );
+    }
+
+    #[test]
+    fn histograms_are_inert_until_enabled() {
+        let mut bus = StatsBus::new();
+        bus.observe(Sample::PredictionLead, 12);
+        assert_eq!(bus.histogram(Sample::PredictionLead).count, 0);
+        bus.enable_histograms();
+        bus.observe(Sample::PredictionLead, 12);
+        bus.observe(Sample::PredictionLead, 0);
+        let h = bus.histogram(Sample::PredictionLead);
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 12);
+        assert_eq!(h.max, 12);
+        assert!((h.mean() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let mut h = Histogram::default();
+        h.observe(0); // bucket 0
+        h.observe(1); // bucket 1
+        h.observe(2); // bucket 2
+        h.observe(3); // bucket 2
+        h.observe(u64::MAX); // clamped to the last bucket
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 1);
+        assert_eq!(h.buckets[2], 2);
+        assert_eq!(h.buckets[NUM_BUCKETS - 1], 1);
+    }
+}

@@ -17,11 +17,10 @@
 //! demand quartile. The table holds 512 entries, 2-way set associative —
 //! a 2 MB instruction footprint.
 
-use serde::{Deserialize, Serialize};
 use zbp_trace::addr::{InstAddr, QUARTILES_PER_BLOCK, SECTORS_PER_BLOCK, SECTORS_PER_QUARTILE};
 
 /// Execution pattern of one 4 KB block.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BlockPattern {
     /// Eight 1-bit sector markings per quartile.
     pub sectors: [u8; 4],
@@ -65,7 +64,7 @@ impl BlockPattern {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct TableEntry {
     block: u64,
     pattern: BlockPattern,
@@ -127,10 +126,7 @@ impl OrderingTable {
     }
 
     fn stored_pattern(&self, block: u64) -> Option<BlockPattern> {
-        self.sets[self.set_of(block)]
-            .iter()
-            .find(|e| e.block == block)
-            .map(|e| e.pattern)
+        self.sets[self.set_of(block)].iter().find(|e| e.block == block).map(|e| e.pattern)
     }
 
     fn store(&mut self, block: u64, pattern: BlockPattern) {
@@ -225,9 +221,7 @@ impl OrderingTable {
     /// Sequential order beginning with the demand quartile.
     fn sequential_order(demand: u32) -> Vec<u32> {
         let start = demand * SECTORS_PER_QUARTILE;
-        (0..SECTORS_PER_BLOCK)
-            .map(|i| (start + i) % SECTORS_PER_BLOCK)
-            .collect()
+        (0..SECTORS_PER_BLOCK).map(|i| (start + i) % SECTORS_PER_BLOCK).collect()
     }
 
     /// Number of stored block patterns.
@@ -324,7 +318,7 @@ mod tests {
     #[test]
     fn table_replacement_is_lru_within_set() {
         let mut t = OrderingTable::new(4, 2); // 2 sets x 2 ways
-        // Blocks 0, 2, 4 map to set 0.
+                                              // Blocks 0, 2, 4 map to set 0.
         for b in [0u64, 2, 4] {
             t.note_completion(addr(b, 0));
         }

@@ -17,11 +17,10 @@
 //! filtered misses may instead be granted the full search (`Off`) or
 //! denied any search (`Drop`).
 
-use serde::{Deserialize, Serialize};
 use zbp_trace::InstAddr;
 
 /// How BTB1 misses lacking an I-cache miss are treated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum FilterMode {
     /// Paper default: filtered misses get a partial 4-row search.
     #[default]
@@ -84,7 +83,7 @@ struct Tracker {
 }
 
 /// Statistics the tracker file accumulates.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TrackerStats {
     /// BTB1 miss reports that found or allocated a tracker.
     pub misses_tracked: u64,
@@ -122,10 +121,7 @@ impl TrackerFile {
     }
 
     fn find(&mut self, block: u64) -> Option<&mut Tracker> {
-        self.slots
-            .iter_mut()
-            .filter_map(|s| s.as_mut())
-            .find(|t| t.block == block)
+        self.slots.iter_mut().filter_map(|s| s.as_mut()).find(|t| t.block == block)
     }
 
     /// Allocates a slot for `block`: a free slot, else the oldest tracker
@@ -392,3 +388,12 @@ mod tests {
         TrackerFile::new(0, FilterMode::Partial, 7);
     }
 }
+
+zbp_support::impl_json_enum!(FilterMode { Partial, Off, Drop });
+zbp_support::impl_json_struct!(TrackerStats {
+    misses_tracked,
+    misses_dropped,
+    full_searches,
+    partial_searches,
+    filtered_out,
+});

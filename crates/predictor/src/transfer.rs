@@ -9,7 +9,6 @@
 //! *current* traversal of cold code is often still too late, and why the
 //! BTB2 recovers only part of a big BTB1's benefit (Figure 2).
 
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// A row read scheduled on the BTB2 port.
@@ -43,7 +42,7 @@ pub struct RowReturn {
 }
 
 /// Transfer engine statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TransferStats {
     /// Row reads issued.
     pub rows_read: u64,
@@ -211,3 +210,5 @@ mod tests {
         assert_eq!(rest[0].line, 7);
     }
 }
+
+zbp_support::impl_json_struct!(TransferStats { rows_read, requests, busy_cycles });

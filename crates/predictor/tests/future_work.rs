@@ -47,10 +47,10 @@ fn decode_surprise_mode_reports_without_fruitless_searches() {
     let b = taken(0x5000, 0x6000);
     let p = bp.predict_branch(&b, 100);
     assert!(!p.present());
-    assert_eq!(bp.stats.btb1_misses_reported, 0, "no search-limit reports in this mode");
+    assert_eq!(bp.stats().btb1_misses_reported, 0, "no search-limit reports in this mode");
     // Decode reports the surprise (guessed taken via a trained bit).
     bp.note_decode_surprise(b.addr, 100, true);
-    assert_eq!(bp.stats.btb1_misses_reported, 1);
+    assert_eq!(bp.stats().btb1_misses_reported, 1);
     assert_eq!(bp.stats_snapshot().tracker.partial_searches, 1);
 }
 
@@ -60,14 +60,14 @@ fn decode_surprise_requires_taken_guess() {
     cfg.miss_detection = MissDetection::DecodeSurprise;
     let mut bp = BranchPredictor::new(cfg);
     bp.note_decode_surprise(InstAddr::new(0x5000), 10, false);
-    assert_eq!(bp.stats.btb1_misses_reported, 0, "not-taken guesses do not report");
+    assert_eq!(bp.stats().btb1_misses_reported, 0, "not-taken guesses do not report");
 }
 
 #[test]
 fn search_limit_mode_ignores_decode_reports() {
     let mut bp = BranchPredictor::new(PredictorConfig::zec12());
     bp.note_decode_surprise(InstAddr::new(0x5000), 10, true);
-    assert_eq!(bp.stats.btb1_misses_reported, 0);
+    assert_eq!(bp.stats().btb1_misses_reported, 0);
 }
 
 #[test]
@@ -76,11 +76,11 @@ fn both_mode_uses_both_detectors() {
     cfg.miss_detection = MissDetection::Both;
     let mut bp = BranchPredictor::new(cfg);
     bp.note_decode_surprise(InstAddr::new(0x5000), 10, true);
-    assert_eq!(bp.stats.btb1_misses_reported, 1);
+    assert_eq!(bp.stats().btb1_misses_reported, 1);
     bp.restart(InstAddr::new(0x9000), 100);
     let far = taken(0x9000 + 4 * 32, 0xA000);
     let _ = bp.predict_branch(&far, 1_000);
-    assert_eq!(bp.stats.btb1_misses_reported, 2, "search-limit detector also fires");
+    assert_eq!(bp.stats().btb1_misses_reported, 2, "search-limit detector also fires");
 }
 
 #[test]
@@ -162,18 +162,13 @@ fn wide_rows_overflow_dense_branch_runs() {
         for i in 0..8u64 {
             seed(&mut bp, 0x40_0000 + i * 16, 0x41_0000);
         }
-        (0..8u64)
-            .filter(|i| {
-                bp.locate(InstAddr::new(0x40_0000 + i * 16)).is_some()
-            })
-            .count()
+        (0..8u64).filter(|i| bp.locate(InstAddr::new(0x40_0000 + i * 16)).is_some()).count()
     };
     assert_eq!(count_resident(32), 8, "32 B rows keep all eight branches");
     assert_eq!(count_resident(128), 6, "one 6-way 128 B row overflows");
 }
 
 mod phantom_integration {
-    use zbp_predictor::entry::BtbEntry;
     use zbp_predictor::hierarchy::BranchPredictor;
     use zbp_predictor::PredictorConfig;
     use zbp_trace::{BranchKind, BranchRec, InstAddr, TraceInstr};

@@ -1,14 +1,17 @@
-//! Property tests on the predictor's core data structures: LRU BTB
+//! Randomized tests on the predictor's core data structures: LRU BTB
 //! arrays, the steering ordering table, miss detection and the bimodal
 //! counters.
+//!
+//! Inputs come from the deterministic [`zbp_support::rng::SmallRng`] so
+//! every run exercises the same cases.
 
-use proptest::prelude::*;
 use zbp_predictor::bht::Bimodal2;
 use zbp_predictor::btb::{BtbArray, BtbGeometry};
 use zbp_predictor::entry::BtbEntry;
 use zbp_predictor::miss::MissDetector;
 use zbp_predictor::steering::{BlockPattern, OrderingTable};
 use zbp_predictor::transfer::TransferEngine;
+use zbp_support::rng::SmallRng;
 use zbp_trace::{BranchKind, InstAddr};
 
 fn entry(addr: u64) -> BtbEntry {
@@ -20,43 +23,49 @@ fn entry(addr: u64) -> BtbEntry {
     )
 }
 
-proptest! {
-    #[test]
-    fn btb_occupancy_never_exceeds_capacity(
-        addrs in proptest::collection::vec(0u64..1_000_000, 1..600),
-    ) {
+fn addr_vec(rng: &mut SmallRng, max: u64, len_range: std::ops::Range<usize>) -> Vec<u64> {
+    let n = rng.random_range(len_range);
+    (0..n).map(|_| rng.random_range(0..max)).collect()
+}
+
+#[test]
+fn btb_occupancy_never_exceeds_capacity() {
+    let mut rng = SmallRng::seed_from_u64(0xB1);
+    for _ in 0..64 {
         let geom = BtbGeometry::new(16, 3);
         let mut btb = BtbArray::new(geom);
-        for a in addrs {
+        for a in addr_vec(&mut rng, 1_000_000, 1..600) {
             btb.insert(entry(a), 0);
-            prop_assert!(btb.occupancy() <= geom.capacity() as usize);
+            assert!(btb.occupancy() <= geom.capacity() as usize);
         }
     }
+}
 
-    #[test]
-    fn btb_insert_then_lookup_always_hits(
-        addrs in proptest::collection::vec(0u64..1_000_000, 1..200),
-    ) {
+#[test]
+fn btb_insert_then_lookup_always_hits() {
+    let mut rng = SmallRng::seed_from_u64(0xB2);
+    for _ in 0..64 {
         let mut btb = BtbArray::new(BtbGeometry::new(64, 4));
-        for a in addrs {
+        for a in addr_vec(&mut rng, 1_000_000, 1..200) {
             let e = entry(a);
             btb.insert(e, 5);
             let hit = btb.lookup(e.addr, 5);
-            prop_assert!(hit.is_some(), "freshly inserted entry must be found");
-            prop_assert_eq!(hit.unwrap().recency, 0, "fresh insert is MRU");
+            assert!(hit.is_some(), "freshly inserted entry must be found");
+            assert_eq!(hit.unwrap().recency, 0, "fresh insert is MRU");
         }
     }
+}
 
-    #[test]
-    fn btb_eviction_count_is_conserved(
-        addrs in proptest::collection::vec(0u64..100_000, 1..500),
-    ) {
+#[test]
+fn btb_eviction_count_is_conserved() {
+    let mut rng = SmallRng::seed_from_u64(0xB3);
+    for _ in 0..64 {
         // For distinct addresses: inserted = resident + evicted.
         let mut btb = BtbArray::new(BtbGeometry::new(8, 2));
         let mut evicted = 0usize;
         let mut seen = std::collections::HashSet::new();
-        for a in &addrs {
-            let e = entry(*a);
+        for a in addr_vec(&mut rng, 100_000, 1..500) {
+            let e = entry(a);
             if !seen.insert(e.addr) {
                 continue; // only first insertion of each address counts
             }
@@ -64,22 +73,22 @@ proptest! {
                 evicted += 1;
             }
         }
-        prop_assert_eq!(btb.occupancy() + evicted, seen.len());
+        assert_eq!(btb.occupancy() + evicted, seen.len());
     }
+}
 
-    #[test]
-    fn steering_order_is_always_a_permutation(
-        sectors in proptest::collection::vec(0u32..32, 0..32),
-        refs in proptest::collection::vec((0u32..4, 0u32..4), 0..8),
-        demand in 0u32..4,
-    ) {
+#[test]
+fn steering_order_is_always_a_permutation() {
+    let mut rng = SmallRng::seed_from_u64(0xB4);
+    for _ in 0..64 {
         let mut p = BlockPattern::default();
-        for s in sectors {
-            p.mark_sector(s);
+        for _ in 0..rng.random_range(0usize..32) {
+            p.mark_sector(rng.random_range(0u32..32));
         }
-        for (from, to) in refs {
-            p.mark_ref(from, to);
+        for _ in 0..rng.random_range(0usize..8) {
+            p.mark_ref(rng.random_range(0u32..4), rng.random_range(0u32..4));
         }
+        let demand = rng.random_range(0u32..4);
         let mut table = OrderingTable::zec12();
         // Drive the pattern in through completions so the table owns it.
         for q in 0..4u64 {
@@ -93,13 +102,16 @@ proptest! {
         let order = table.search_order(77, InstAddr::new(77 * 4096 + demand as u64 * 1024));
         let mut sorted = order.clone();
         sorted.sort_unstable();
-        prop_assert_eq!(sorted, (0..32).collect::<Vec<u32>>());
+        assert_eq!(sorted, (0..32).collect::<Vec<u32>>());
     }
+}
 
-    #[test]
-    fn active_sectors_precede_inactive_within_demand_quartile(
-        active in proptest::collection::vec(0u32..8, 1..8),
-    ) {
+#[test]
+fn active_sectors_precede_inactive_within_demand_quartile() {
+    let mut rng = SmallRng::seed_from_u64(0xB5);
+    for _ in 0..64 {
+        let n = rng.random_range(1usize..8);
+        let active: Vec<u32> = (0..n).map(|_| rng.random_range(0u32..8)).collect();
         let mut table = OrderingTable::zec12();
         for &s in &active {
             table.note_completion(InstAddr::new(42 * 4096 + s as u64 * 128));
@@ -112,18 +124,20 @@ proptest! {
             if active.contains(&s) {
                 for t in 0..8u32 {
                     if !active.contains(&t) {
-                        prop_assert!(pos(s) < pos(t), "active {s} must precede inactive {t}");
+                        assert!(pos(s) < pos(t), "active {s} must precede inactive {t}");
                     }
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn miss_detector_reports_every_limit_searches(
-        limit in 1u32..8,
-        n in 1usize..100,
-    ) {
+#[test]
+fn miss_detector_reports_every_limit_searches() {
+    let mut rng = SmallRng::seed_from_u64(0xB6);
+    for _ in 0..64 {
+        let limit = rng.random_range(1u32..8);
+        let n = rng.random_range(1usize..100);
         let mut d = MissDetector::new(limit);
         let mut reports = 0;
         for i in 0..n {
@@ -131,35 +145,45 @@ proptest! {
                 reports += 1;
             }
         }
-        prop_assert_eq!(reports, n / limit as usize);
+        assert_eq!(reports, n / limit as usize);
     }
+}
 
-    #[test]
-    fn bimodal_state_is_always_in_range(updates in proptest::collection::vec(any::<bool>(), 0..64)) {
+#[test]
+fn bimodal_state_is_always_in_range() {
+    let mut rng = SmallRng::seed_from_u64(0xB7);
+    for _ in 0..64 {
         let mut c = Bimodal2::weak_not_taken();
-        for u in updates {
-            c = c.update(u);
-            prop_assert!(c.state() <= 3);
+        for _ in 0..rng.random_range(0usize..64) {
+            c = c.update(rng.random::<bool>());
+            assert!(c.state() <= 3);
         }
     }
+}
 
-    #[test]
-    fn bimodal_two_consistent_outcomes_win(dir in any::<bool>(), start in 0u8..4) {
-        let mut c = match start {
-            0 => Bimodal2::strong_not_taken(),
-            1 => Bimodal2::weak_not_taken(),
-            2 => Bimodal2::weak_taken(),
-            _ => Bimodal2::strong_taken(),
-        };
-        c = c.update(dir).update(dir);
-        prop_assert_eq!(c.taken(), dir);
+#[test]
+fn bimodal_two_consistent_outcomes_win() {
+    for dir in [false, true] {
+        for start in 0u8..4 {
+            let mut c = match start {
+                0 => Bimodal2::strong_not_taken(),
+                1 => Bimodal2::weak_not_taken(),
+                2 => Bimodal2::weak_taken(),
+                _ => Bimodal2::strong_taken(),
+            };
+            c = c.update(dir).update(dir);
+            assert_eq!(c.taken(), dir);
+        }
     }
+}
 
-    #[test]
-    fn transfer_rows_return_in_issue_order_with_fixed_latency(
-        lens in proptest::collection::vec(1usize..20, 1..10),
-        latency in 1u64..16,
-    ) {
+#[test]
+fn transfer_rows_return_in_issue_order_with_fixed_latency() {
+    let mut rng = SmallRng::seed_from_u64(0xB8);
+    for _ in 0..64 {
+        let latency = rng.random_range(1u64..16);
+        let n_reqs = rng.random_range(1usize..10);
+        let lens: Vec<usize> = (0..n_reqs).map(|_| rng.random_range(1usize..20)).collect();
         let mut e = TransferEngine::new(latency);
         let mut next_line = 0u64;
         for (i, &n) in lens.iter().enumerate() {
@@ -168,12 +192,12 @@ proptest! {
             e.schedule(i as u64, &lines, 0, false);
         }
         let rows = e.drain(u64::MAX);
-        prop_assert_eq!(rows.len(), next_line as usize);
+        assert_eq!(rows.len(), next_line as usize);
         for (i, r) in rows.iter().enumerate() {
-            prop_assert_eq!(r.line, i as u64, "single busy port issues in order");
-            prop_assert_eq!(r.visible_at, i as u64 + latency);
+            assert_eq!(r.line, i as u64, "single busy port issues in order");
+            assert_eq!(r.visible_at, i as u64 + latency);
         }
         let lasts = rows.iter().filter(|r| r.last).count();
-        prop_assert_eq!(lasts, lens.len(), "one completion per request");
+        assert_eq!(lasts, lens.len(), "one completion per request");
     }
 }

@@ -1,11 +1,10 @@
 //! Simulation configuration: Table 3 presets plus sweep knobs.
 
-use serde::{Deserialize, Serialize};
 use zbp_predictor::PredictorConfig;
 use zbp_uarch::UarchConfig;
 
 /// A complete simulation configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Short name used in reports ("No BTB2", "BTB2 enabled", ...).
     pub name: String,
@@ -90,7 +89,9 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let c = SimConfig::btb2_enabled();
-        let s = serde_json::to_string(&c).unwrap();
-        assert_eq!(serde_json::from_str::<SimConfig>(&s).unwrap(), c);
+        let s = zbp_support::json::to_string(&c);
+        assert_eq!(zbp_support::json::from_str::<SimConfig>(&s).unwrap(), c);
     }
 }
+
+zbp_support::impl_json_struct!(SimConfig { name, predictor, uarch });

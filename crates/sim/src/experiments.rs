@@ -10,8 +10,8 @@ use crate::config::SimConfig;
 use crate::parallel::par_map;
 use crate::report::ImprovementRow;
 use crate::runner::{SimResult, Simulator};
+use crate::session::SimSession;
 use crate::sweep::{sweep, SweepPoint};
-use serde::{Deserialize, Serialize};
 use zbp_predictor::exclusive::ExclusivityPolicy;
 use zbp_predictor::tracker::FilterMode;
 use zbp_predictor::PredictorConfig;
@@ -20,7 +20,7 @@ use zbp_trace::TraceStats;
 use zbp_uarch::classify::OutcomeCounts;
 
 /// Global experiment options.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExperimentOptions {
     /// Cap on dynamic instructions per workload (`None` = profile
     /// default).
@@ -70,18 +70,22 @@ fn run(profile: &WorkloadProfile, config: SimConfig, opts: &ExperimentOptions) -
 /// Figure 2: per-trace CPI improvement of configurations 2 and 3 over
 /// configuration 1, plus BTB2 effectiveness.
 pub fn figure2(opts: &ExperimentOptions) -> Vec<ImprovementRow> {
-    let profiles = WorkloadProfile::all_table4();
-    par_map(&profiles, |p| {
-        let base = run(p, SimConfig::no_btb2(), opts);
-        let btb2 = run(p, SimConfig::btb2_enabled(), opts);
-        let large = run(p, SimConfig::large_btb1(), opts);
-        ImprovementRow {
-            trace: p.name.clone(),
-            baseline_cpi: base.cpi(),
-            btb2_cpi: btb2.cpi(),
-            large_btb1_cpi: large.cpi(),
-        }
-    })
+    let [base, btb2, large] = SimConfig::table3();
+    let (base_name, btb2_name, large_name) =
+        (base.name.clone(), btb2.name.clone(), large.name.clone());
+    let grid = SimSession::from_options(opts)
+        .workloads(WorkloadProfile::all_table4())
+        .configs([base, btb2, large])
+        .run();
+    grid.workloads()
+        .iter()
+        .map(|w| ImprovementRow {
+            trace: w.clone(),
+            baseline_cpi: grid.cpi(w, &base_name),
+            btb2_cpi: grid.cpi(w, &btb2_name),
+            large_btb1_cpi: grid.cpi(w, &large_name),
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -89,7 +93,7 @@ pub fn figure2(opts: &ExperimentOptions) -> Vec<ImprovementRow> {
 // ---------------------------------------------------------------------------
 
 /// One hardware-workload measurement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Figure3Row {
     /// Workload name.
     pub workload: String,
@@ -101,13 +105,22 @@ pub struct Figure3Row {
 /// measured on zEC12 hardware, approximated in simulation (the 4-core
 /// Web CICS/DB2 run becomes a 4-context time-sliced simulation).
 pub fn figure3(opts: &ExperimentOptions) -> Vec<Figure3Row> {
-    let profiles =
-        vec![WorkloadProfile::hardware_wasdb_cbw2(), WorkloadProfile::hardware_web_cics_db2()];
-    par_map(&profiles, |p| {
-        let base = run(p, SimConfig::no_btb2(), opts);
-        let btb2 = run(p, SimConfig::btb2_enabled(), opts);
-        Figure3Row { workload: p.name.clone(), improvement: btb2.improvement_over(&base) }
-    })
+    let (base, btb2) = (SimConfig::no_btb2(), SimConfig::btb2_enabled());
+    let (base_name, btb2_name) = (base.name.clone(), btb2.name.clone());
+    let grid = SimSession::from_options(opts)
+        .workloads([
+            WorkloadProfile::hardware_wasdb_cbw2(),
+            WorkloadProfile::hardware_web_cics_db2(),
+        ])
+        .configs([base, btb2])
+        .run();
+    grid.workloads()
+        .iter()
+        .map(|w| Figure3Row {
+            workload: w.clone(),
+            improvement: grid.improvement(w, &btb2_name, &base_name),
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -115,7 +128,7 @@ pub fn figure3(opts: &ExperimentOptions) -> Vec<Figure3Row> {
 // ---------------------------------------------------------------------------
 
 /// Bad-branch-outcome percentages for one configuration (Figure 4 bars).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OutcomePercents {
     /// Dynamic mispredictions (direction + target), % of all outcomes.
     pub mispredicted: f64,
@@ -146,7 +159,7 @@ impl OutcomePercents {
 }
 
 /// Figure 4 result: breakdowns with and without the BTB2.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Figure4Result {
     /// Workload used (the paper uses z/OS DayTrader DBServ).
     pub workload: String,
@@ -162,15 +175,16 @@ pub struct Figure4Result {
 /// DayTrader DBServ workload.
 pub fn figure4(opts: &ExperimentOptions) -> Figure4Result {
     let p = WorkloadProfile::daytrader_dbserv();
-    let runs = par_map(
-        &[SimConfig::no_btb2(), SimConfig::btb2_enabled()],
-        |cfg| run(&p, cfg.clone(), opts),
-    );
+    let workload = p.name.clone();
+    let (base, btb2) = (SimConfig::no_btb2(), SimConfig::btb2_enabled());
+    let (base_name, btb2_name) = (base.name.clone(), btb2.name.clone());
+    let grid = SimSession::from_options(opts).workload(p).configs([base, btb2]).run();
+    let (without, with) = (grid.result(&workload, &base_name), grid.result(&workload, &btb2_name));
     Figure4Result {
-        workload: p.name.clone(),
-        without_btb2: OutcomePercents::from_counts(&runs[0].core.outcomes),
-        with_btb2: OutcomePercents::from_counts(&runs[1].core.outcomes),
-        improvement: runs[1].improvement_over(&runs[0]),
+        without_btb2: OutcomePercents::from_counts(&without.core.outcomes),
+        with_btb2: OutcomePercents::from_counts(&with.core.outcomes),
+        improvement: with.improvement_over(without),
+        workload,
     }
 }
 
@@ -232,7 +246,7 @@ pub const FIGURE7_TRACKERS: [usize; 6] = [1, 2, 3, 4, 6, 8];
 // ---------------------------------------------------------------------------
 
 /// One row of the Table-4 reproduction: target vs measured footprint.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table4Row {
     /// Trace name.
     pub trace: String,
@@ -451,7 +465,7 @@ pub fn future_edram(opts: &ExperimentOptions) -> Vec<SweepPoint> {
 // ---------------------------------------------------------------------------
 
 /// One wrong-path-modeling measurement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WrongPathRow {
     /// Whether wrong-path fetch was modelled.
     pub wrong_path: bool,
@@ -507,3 +521,20 @@ pub fn comparison_phantom(opts: &ExperimentOptions) -> Vec<SweepPoint> {
     ];
     sweep(&variants, opts.len.unwrap_or(u64::MAX), opts.seed)
 }
+
+zbp_support::impl_json_struct!(Figure3Row { workload, improvement });
+zbp_support::impl_json_struct!(OutcomePercents { mispredicted, compulsory, latency, capacity });
+zbp_support::impl_json_struct!(Figure4Result { workload, without_btb2, with_btb2, improvement });
+zbp_support::impl_json_struct!(Table4Row {
+    trace,
+    target_branches,
+    measured_branches,
+    target_taken,
+    measured_taken,
+    instructions,
+});
+zbp_support::impl_json_struct!(WrongPathRow {
+    wrong_path,
+    avg_improvement,
+    wrong_path_lines_per_kilo_instr,
+});

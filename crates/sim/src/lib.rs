@@ -7,6 +7,8 @@
 //! * [`config::SimConfig`] — the paper's three simulated configurations
 //!   (Table 3) plus every knob the sensitivity studies sweep;
 //! * [`runner::Simulator`] — replay one workload under one configuration;
+//! * [`session::SimSession`] — batch a workload × configuration grid
+//!   through one parallel fan-out and query the results by name;
 //! * [`sweep`] — parameter sweeps with parallel execution;
 //! * [`experiments`] — one function per paper table/figure, returning
 //!   structured results the bench targets print;
@@ -21,7 +23,9 @@ pub mod parallel;
 pub mod report;
 pub mod reportgen;
 pub mod runner;
+pub mod session;
 pub mod sweep;
 
 pub use config::SimConfig;
 pub use runner::{SimResult, Simulator};
+pub use session::{SessionGrid, SimSession};

@@ -7,9 +7,15 @@
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 use std::thread;
 
 /// Applies `f` to every item, in parallel, preserving input order.
+///
+/// Workers claim indices from a shared atomic counter (dynamic load
+/// balancing: long items don't stall a fixed shard) and send
+/// `(index, result)` pairs down a channel; results are reassembled into
+/// input order after the scope joins.
 ///
 /// Uses up to `std::thread::available_parallelism()` worker threads.
 /// `f` must be `Sync` because multiple workers call it concurrently.
@@ -19,34 +25,33 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let n_threads = thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(items.len().max(1));
+    let n_threads =
+        thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1).min(items.len().max(1));
     if n_threads <= 1 || items.len() <= 1 {
         return items.iter().map(&f).collect();
     }
     let next = AtomicUsize::new(0);
-    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    let slots: Vec<std::sync::Mutex<&mut Option<R>>> =
-        results.iter_mut().map(std::sync::Mutex::new).collect();
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
     thread::scope(|scope| {
         for _ in 0..n_threads {
-            scope.spawn(|| loop {
+            let tx = tx.clone();
+            let (next, f) = (&next, &f);
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= items.len() {
                     break;
                 }
-                let r = f(&items[i]);
-                **slots[i].lock().expect("slot lock") = Some(r);
+                // The receiver outlives the scope; send cannot fail.
+                let _ = tx.send((i, f(&items[i])));
             });
         }
     });
-    drop(slots);
-    results
-        .into_iter()
-        .map(|r| r.expect("every index processed"))
-        .collect()
+    drop(tx);
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (i, r) in rx {
+        out[i] = Some(r);
+    }
+    out.into_iter().map(|r| r.expect("every index processed")).collect()
 }
 
 #[cfg(test)]
@@ -78,5 +83,19 @@ mod tests {
         });
         assert_eq!(out.len(), 57);
         assert_eq!(count.load(Ordering::Relaxed), 57);
+    }
+
+    #[test]
+    fn uneven_work_is_still_reassembled_in_order() {
+        // Front-loaded heavy items exercise the dynamic claim + channel
+        // reassembly path (results arrive out of order).
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map(&items, |&x| {
+            if x < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            x * x
+        });
+        assert_eq!(out, (0..64).map(|x| x * x).collect::<Vec<u64>>());
     }
 }

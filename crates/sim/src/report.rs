@@ -1,9 +1,7 @@
 //! CPI-improvement math and fixed-width table rendering.
 
-use serde::{Deserialize, Serialize};
-
 /// One row of a Figure-2-style improvement table.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ImprovementRow {
     /// Workload name.
     pub trace: String,
@@ -92,12 +90,7 @@ mod tests {
     use super::*;
 
     fn row() -> ImprovementRow {
-        ImprovementRow {
-            trace: "t".into(),
-            baseline_cpi: 2.0,
-            btb2_cpi: 1.8,
-            large_btb1_cpi: 1.6,
-        }
+        ImprovementRow { trace: "t".into(), baseline_cpi: 2.0, btb2_cpi: 1.8, large_btb1_cpi: 1.6 }
     }
 
     #[test]
@@ -168,10 +161,7 @@ mod csv_tests {
     fn csv_quotes_only_when_needed() {
         let csv = render_csv(
             &["name", "value"],
-            &[
-                vec!["plain".into(), "1.5".into()],
-                vec!["with,comma".into(), "say \"hi\"".into()],
-            ],
+            &[vec!["plain".into(), "1.5".into()], vec!["with,comma".into(), "say \"hi\"".into()]],
         );
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[0], "name,value");
@@ -179,3 +169,5 @@ mod csv_tests {
         assert_eq!(lines[2], "\"with,comma\",\"say \"\"hi\"\"\"");
     }
 }
+
+zbp_support::impl_json_struct!(ImprovementRow { trace, baseline_cpi, btb2_cpi, large_btb1_cpi });

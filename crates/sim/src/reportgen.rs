@@ -7,9 +7,9 @@
 
 use crate::report::ImprovementRow;
 use crate::sweep::SweepPoint;
-use serde::de::DeserializeOwned;
 use std::fmt::Write as _;
 use std::path::Path;
+use zbp_support::json::FromJson;
 
 /// Renders a horizontal ASCII bar for `value` out of `max` (non-negative
 /// part only), `width` characters wide.
@@ -21,9 +21,9 @@ fn bar(value: f64, max: f64, width: usize) -> String {
     "█".repeat(filled.min(width))
 }
 
-fn load<T: DeserializeOwned>(dir: &Path, name: &str) -> Option<T> {
+fn load<T: FromJson>(dir: &Path, name: &str) -> Option<T> {
     let text = std::fs::read_to_string(dir.join(format!("{name}.json"))).ok()?;
-    serde_json::from_str(&text).ok()
+    zbp_support::json::from_str(&text).ok()
 }
 
 /// Renders a sweep-point artifact as a bar chart section.
@@ -138,11 +138,8 @@ mod tests {
             SweepPoint { label: "a".into(), avg_improvement: 1.0, per_trace: vec![] },
             SweepPoint { label: "bb".into(), avg_improvement: 2.0, per_trace: vec![] },
         ];
-        std::fs::write(
-            dir.join("fig5_btb2_size.json"),
-            serde_json::to_string(&points).unwrap(),
-        )
-        .unwrap();
+        std::fs::write(dir.join("fig5_btb2_size.json"), zbp_support::json::to_string(&points))
+            .unwrap();
         let report = build_report(&dir).expect("artifact present");
         assert!(report.contains("Figure 5"));
         assert!(report.contains("bb"));

@@ -1,7 +1,6 @@
 //! Single-run simulation driver.
 
 use crate::config::SimConfig;
-use serde::{Deserialize, Serialize};
 use zbp_trace::Trace;
 use zbp_uarch::core::{CoreModel, CoreResult};
 
@@ -13,7 +12,7 @@ pub struct Simulator {
 
 /// Result of one simulation: the core-model result plus the
 /// configuration it ran under.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimResult {
     /// Name of the configuration.
     pub config_name: String,
@@ -84,3 +83,5 @@ mod tests {
         assert_eq!(a.core.outcomes, b.core.outcomes);
     }
 }
+
+zbp_support::impl_json_struct!(SimResult { config_name, core });

@@ -1,0 +1,220 @@
+//! Batched simulation sessions.
+//!
+//! A [`SimSession`] describes a workload × configuration grid once and
+//! runs every cell through a single [`par_map`] fan-out, instead of each
+//! experiment hand-rolling its own loop over [`Simulator`]. Flattening
+//! the whole grid into one batch keeps all cores busy even when one
+//! dimension is small (e.g. 13 workloads × 3 configurations = 39
+//! independent cells), and the resulting [`SessionGrid`] answers the
+//! questions every figure asks: the CPI of a cell, or the improvement of
+//! one configuration over another on the same workload.
+
+use crate::config::SimConfig;
+use crate::experiments::ExperimentOptions;
+use crate::parallel::par_map;
+use crate::runner::{SimResult, Simulator};
+use zbp_trace::profile::WorkloadProfile;
+
+/// Builder for a batched workload × configuration run.
+///
+/// ```
+/// use zbp_sim::session::SimSession;
+/// use zbp_sim::SimConfig;
+/// use zbp_trace::profile::WorkloadProfile;
+///
+/// let grid = SimSession::new()
+///     .seed(7)
+///     .max_len(5_000)
+///     .workload(WorkloadProfile::tpf_airline())
+///     .configs(vec![SimConfig::no_btb2(), SimConfig::btb2_enabled()])
+///     .run();
+/// let gain = grid.improvement("TPF airline reservations", "BTB2 enabled", "No BTB2");
+/// assert!(gain.is_finite());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimSession {
+    seed: u64,
+    len: Option<u64>,
+    workloads: Vec<WorkloadProfile>,
+    configs: Vec<SimConfig>,
+}
+
+impl Default for SimSession {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimSession {
+    /// An empty session with the default seed and uncapped lengths.
+    pub fn new() -> Self {
+        let opts = ExperimentOptions::default();
+        Self { seed: opts.seed, len: opts.len, workloads: Vec::new(), configs: Vec::new() }
+    }
+
+    /// Takes seed and length cap from [`ExperimentOptions`].
+    pub fn from_options(opts: &ExperimentOptions) -> Self {
+        Self { seed: opts.seed, len: opts.len, ..Self::new() }
+    }
+
+    /// Sets the workload synthesis seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Caps dynamic instructions per workload. Each workload runs for
+    /// `min(len, profile.default_len)` instructions, matching
+    /// [`ExperimentOptions::len_for`].
+    #[must_use]
+    pub fn max_len(mut self, len: u64) -> Self {
+        self.len = Some(len);
+        self
+    }
+
+    /// Adds one workload row.
+    #[must_use]
+    pub fn workload(mut self, profile: WorkloadProfile) -> Self {
+        self.workloads.push(profile);
+        self
+    }
+
+    /// Adds workload rows.
+    #[must_use]
+    pub fn workloads(mut self, profiles: impl IntoIterator<Item = WorkloadProfile>) -> Self {
+        self.workloads.extend(profiles);
+        self
+    }
+
+    /// Adds one configuration column.
+    #[must_use]
+    pub fn config(mut self, config: SimConfig) -> Self {
+        self.configs.push(config);
+        self
+    }
+
+    /// Adds configuration columns.
+    #[must_use]
+    pub fn configs(mut self, configs: impl IntoIterator<Item = SimConfig>) -> Self {
+        self.configs.extend(configs);
+        self
+    }
+
+    fn effective_len(&self, p: &WorkloadProfile) -> u64 {
+        self.len.map_or(p.default_len, |l| l.min(p.default_len))
+    }
+
+    /// Runs every workload × configuration cell in one parallel batch.
+    pub fn run(&self) -> SessionGrid {
+        let cells: Vec<(usize, usize)> = (0..self.workloads.len())
+            .flat_map(|w| (0..self.configs.len()).map(move |c| (w, c)))
+            .collect();
+        let results = par_map(&cells, |&(w, c)| {
+            let p = &self.workloads[w];
+            let trace = p.build_with_len(self.seed, self.effective_len(p));
+            Simulator::new(self.configs[c].clone()).run(&trace)
+        });
+        SessionGrid {
+            workloads: self.workloads.iter().map(|p| p.name.clone()).collect(),
+            configs: self.configs.iter().map(|c| c.name.clone()).collect(),
+            results,
+        }
+    }
+}
+
+/// The results of a [`SimSession`]: one [`SimResult`] per workload ×
+/// configuration cell, addressable by name.
+#[derive(Debug, Clone)]
+pub struct SessionGrid {
+    workloads: Vec<String>,
+    configs: Vec<String>,
+    /// Row-major: `results[w * configs.len() + c]`.
+    results: Vec<SimResult>,
+}
+
+impl SessionGrid {
+    /// Workload names, in insertion order.
+    pub fn workloads(&self) -> &[String] {
+        &self.workloads
+    }
+
+    /// Configuration names, in insertion order.
+    pub fn configs(&self) -> &[String] {
+        &self.configs
+    }
+
+    /// The result for `(workload, config)`, or `None` if either name is
+    /// unknown. First match wins for duplicated names.
+    pub fn get(&self, workload: &str, config: &str) -> Option<&SimResult> {
+        let w = self.workloads.iter().position(|n| n == workload)?;
+        let c = self.configs.iter().position(|n| n == config)?;
+        self.results.get(w * self.configs.len() + c)
+    }
+
+    /// The result for `(workload, config)`; panics if either is unknown.
+    pub fn result(&self, workload: &str, config: &str) -> &SimResult {
+        self.get(workload, config)
+            .unwrap_or_else(|| panic!("no session cell ({workload:?}, {config:?})"))
+    }
+
+    /// CPI of one cell.
+    pub fn cpi(&self, workload: &str, config: &str) -> f64 {
+        self.result(workload, config).cpi()
+    }
+
+    /// Percentage CPI improvement of `config` over `baseline` on the same
+    /// workload (positive = faster).
+    pub fn improvement(&self, workload: &str, config: &str, baseline: &str) -> f64 {
+        self.result(workload, config).improvement_over(self.result(workload, baseline))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_addresses_every_cell_by_name() {
+        let grid = SimSession::new()
+            .seed(7)
+            .max_len(5_000)
+            .workloads(vec![WorkloadProfile::tpf_airline(), WorkloadProfile::zlinux_informix()])
+            .configs(vec![SimConfig::no_btb2(), SimConfig::btb2_enabled()])
+            .run();
+        assert_eq!(grid.workloads().len(), 2);
+        assert_eq!(grid.configs(), &["No BTB2".to_string(), "BTB2 enabled".to_string()]);
+        for w in grid.workloads().to_vec() {
+            for c in grid.configs().to_vec() {
+                assert!(grid.cpi(&w, &c) > 0.0);
+            }
+        }
+        assert!(grid.get("TPF airline reservations", "nope").is_none());
+        assert!(grid.get("nope", "No BTB2").is_none());
+        let self_gain = grid.improvement("TPF airline reservations", "No BTB2", "No BTB2");
+        assert!(self_gain.abs() < 1e-12, "a config against itself improves 0%");
+    }
+
+    #[test]
+    fn session_matches_a_direct_simulator_run() {
+        let p = WorkloadProfile::zlinux_informix();
+        let grid = SimSession::new()
+            .seed(3)
+            .max_len(20_000)
+            .workload(p.clone())
+            .config(SimConfig::btb2_enabled())
+            .run();
+        let trace = p.build_with_len(3, 20_000.min(p.default_len));
+        let direct = Simulator::new(SimConfig::btb2_enabled()).run(&trace);
+        assert_eq!(grid.result(&p.name, "BTB2 enabled").cpi(), direct.cpi());
+    }
+
+    #[test]
+    fn len_cap_respects_profile_default() {
+        let p = WorkloadProfile::tpf_airline();
+        let session = SimSession::new().max_len(u64::MAX);
+        assert_eq!(session.effective_len(&p), p.default_len);
+        let capped = SimSession::new().max_len(10);
+        assert_eq!(capped.effective_len(&p), 10);
+    }
+}

@@ -5,15 +5,13 @@
 //! workloads — exactly what Figures 5, 6 and 7 plot.
 
 use crate::config::SimConfig;
-use crate::parallel::par_map;
 use crate::report::mean;
-use crate::runner::Simulator;
-use serde::{Deserialize, Serialize};
+use crate::session::SimSession;
 use zbp_predictor::PredictorConfig;
 use zbp_trace::profile::WorkloadProfile;
 
 /// Result of one sweep point.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepPoint {
     /// Variant label ("24k", "4 searches", ...).
     pub label: String,
@@ -39,26 +37,28 @@ pub fn sweep_profiles(
     len: u64,
     seed: u64,
 ) -> Vec<SweepPoint> {
-    // One baseline run per profile, shared by every variant.
-    let baselines: Vec<f64> = par_map(profiles, |p| {
-        let trace = p.build_with_len(seed, len.min(p.default_len));
-        Simulator::new(SimConfig::no_btb2()).run(&trace).cpi()
-    });
+    // One grid: the shared no-BTB2 baseline plus every variant, so all
+    // (workload, variant) cells run in a single parallel batch.
+    let baseline = SimConfig::no_btb2();
+    let baseline_name = baseline.name.clone();
+    let mut configs = vec![baseline];
+    configs.extend(variants.iter().map(|(label, cfg)| {
+        SimConfig::btb2_enabled().named(label.clone()).with_predictor(cfg.clone())
+    }));
+    let grid = SimSession::new()
+        .seed(seed)
+        .max_len(len)
+        .workloads(profiles.to_vec())
+        .configs(configs)
+        .run();
     variants
         .iter()
-        .map(|(label, cfg)| {
-            let improvements: Vec<(String, f64)> = par_map(profiles, |p| {
-                let trace = p.build_with_len(seed, len.min(p.default_len));
-                let sim = SimConfig::btb2_enabled()
-                    .named(label.clone())
-                    .with_predictor(cfg.clone());
-                let cpi = Simulator::new(sim).run(&trace).cpi();
-                (p.name.clone(), cpi)
-            })
-            .into_iter()
-            .zip(&baselines)
-            .map(|((name, cpi), &base)| (name, 100.0 * (1.0 - cpi / base)))
-            .collect();
+        .map(|(label, _)| {
+            let improvements: Vec<(String, f64)> = grid
+                .workloads()
+                .iter()
+                .map(|w| (w.clone(), grid.improvement(w, label, &baseline_name)))
+                .collect();
             let avg = mean(&improvements.iter().map(|(_, i)| *i).collect::<Vec<f64>>());
             SweepPoint { label: label.clone(), avg_improvement: avg, per_trace: improvements }
         })
@@ -84,3 +84,5 @@ mod tests {
         assert_eq!(points[1].label, "on");
     }
 }
+
+zbp_support::impl_json_struct!(SweepPoint { label, avg_improvement, per_trace });

@@ -1,0 +1,17 @@
+//! Dependency-free support utilities shared by every `zbp` crate.
+//!
+//! The workspace builds in fully offline environments, so the usual
+//! ecosystem crates are replaced by two small, deterministic modules:
+//!
+//! * [`rng`] — an xoshiro256++ PRNG with the subset of the `rand 0.9`
+//!   `SmallRng` API the workload generator uses (`seed_from_u64`,
+//!   `random_range`, `random_bool`, `random`);
+//! * [`json`] — a minimal JSON value type, parser and writer, plus the
+//!   [`json::ToJson`] / [`json::FromJson`] traits and the
+//!   [`impl_json_struct!`] / [`impl_json_enum!`] macros that stand in
+//!   for `serde` derives on the workspace's config / result types.
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod rng;

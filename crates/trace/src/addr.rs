@@ -7,7 +7,6 @@
 //! helpers for those spans as well as the 4 KB block / 1 KB quartile /
 //! 128 B sector decomposition used by the BTB2 search steering logic.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Bytes covered by one BTB row (all three levels): 32 bytes.
@@ -36,9 +35,7 @@ pub const QUARTILES_PER_BLOCK: u32 = 4;
 /// assert_eq!(a.block(), 0x12);          // 4 KB block number
 /// assert_eq!(a.sector_in_block(), 6);   // 128 B sector inside the block
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct InstAddr(u64);
 
 impl InstAddr {

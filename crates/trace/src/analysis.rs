@@ -11,7 +11,6 @@
 //! screen does — but with full distributional detail.
 
 use crate::{Trace, TraceInstr};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Histogram of branch reuse distances, measured in *distinct branch
@@ -28,7 +27,7 @@ use std::collections::HashMap;
 ///     profile.total_branches
 /// );
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReuseProfile {
     /// Upper bounds of the distance buckets (exclusive).
     pub bucket_bounds: Vec<u64>,
@@ -57,10 +56,7 @@ impl ReuseProfile {
     /// # Panics
     ///
     /// Panics if `bounds` is empty or not strictly ascending.
-    pub fn collect_with_bounds(
-        iter: impl Iterator<Item = TraceInstr>,
-        bounds: &[u64],
-    ) -> Self {
+    pub fn collect_with_bounds(iter: impl Iterator<Item = TraceInstr>, bounds: &[u64]) -> Self {
         assert!(!bounds.is_empty(), "need at least one bucket bound");
         assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
         // Reuse distance in distinct sites via a timestamped set: for
@@ -86,10 +82,7 @@ impl ReuseProfile {
                     // Distinct sites executed in (prev, t): sites whose
                     // last execution timestamp lies in that interval.
                     let distance = fenwick.count_in_range(prev + 1, t) as u64;
-                    let bucket = bounds
-                        .iter()
-                        .position(|&b| distance < b)
-                        .unwrap_or(bounds.len());
+                    let bucket = bounds.iter().position(|&b| distance < b).unwrap_or(bounds.len());
                     counts[bucket] += 1;
                     fenwick.remove(prev);
                 }

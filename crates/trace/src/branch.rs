@@ -1,7 +1,6 @@
 //! Branch classification and dynamic outcome records.
 
 use crate::addr::InstAddr;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Static classification of a branch instruction.
@@ -10,7 +9,7 @@ use std::fmt;
 /// direction predictors (BHT/PHT), while indirect branches and returns
 /// exercise the changing target buffer (CTB), and the static surprise
 /// guess differs per kind.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BranchKind {
     /// Conditional relative branch (taken or not-taken, fixed target).
     Conditional,
@@ -60,7 +59,7 @@ impl fmt::Display for BranchKind {
 
 /// Dynamic record of one executed branch: its kind, resolved direction and
 /// resolved target address.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BranchRec {
     /// Static kind of the branch.
     pub kind: BranchKind,
@@ -90,7 +89,9 @@ mod tests {
     #[test]
     fn conditionality() {
         assert!(BranchKind::Conditional.is_conditional());
-        for k in [BranchKind::Unconditional, BranchKind::Call, BranchKind::Return, BranchKind::Indirect] {
+        for k in
+            [BranchKind::Unconditional, BranchKind::Call, BranchKind::Return, BranchKind::Indirect]
+        {
             assert!(!k.is_conditional(), "{k} must not be conditional");
         }
     }

@@ -6,12 +6,10 @@
 //! execution. The mix of behaviours is what gives the direction predictors
 //! (bimodal BHT in the BTB entry, path-indexed PHT) realistic work.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use zbp_support::rng::SmallRng;
 
 /// Behaviour of one conditional branch site.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum CondBehavior {
     /// Statically biased: taken with probability `p_taken` on every
     /// execution. `p_taken == 0.0` models never-taken sites (they count as
@@ -85,7 +83,7 @@ impl CondBehavior {
 }
 
 /// Behaviour of an indirect branch site (computed goto / virtual dispatch).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IndirectBehavior {
     /// Always dispatches to the same target (index 0).
     Monomorphic,
@@ -123,7 +121,6 @@ pub struct SiteState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn rng() -> SmallRng {
         SmallRng::seed_from_u64(1)
@@ -165,10 +162,7 @@ mod tests {
         let mut s = SiteState::default();
         let mut r = rng();
         let outcomes: Vec<bool> = (0..10).map(|_| b.resolve(&mut s, &mut r)).collect();
-        assert_eq!(
-            outcomes,
-            vec![true, true, true, true, false, true, true, true, true, false]
-        );
+        assert_eq!(outcomes, vec![true, true, true, true, false, true, true, true, true, false]);
     }
 
     #[test]

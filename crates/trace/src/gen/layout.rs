@@ -8,9 +8,7 @@
 
 use crate::addr::InstAddr;
 use crate::gen::behavior::{CondBehavior, IndirectBehavior};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use zbp_support::rng::SmallRng;
 
 /// Identifier of a function within a [`Program`].
 pub type FuncId = u32;
@@ -19,7 +17,7 @@ pub type FuncId = u32;
 pub type SiteId = u32;
 
 /// How a basic block ends.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Terminator {
     /// No branch: execution continues into the next block. Creates the
     /// branch-free stretches that make perceived BTB1 misses speculative
@@ -118,7 +116,7 @@ impl Terminator {
 }
 
 /// A basic block: straight-line instructions plus a terminator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Block {
     /// Address of the first instruction.
     pub start: InstAddr,
@@ -142,7 +140,7 @@ impl Block {
 }
 
 /// A function: contiguous basic blocks.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Function {
     /// Entry address (== first block start).
     pub entry: InstAddr,
@@ -151,7 +149,7 @@ pub struct Function {
 }
 
 /// Parameters controlling program synthesis.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LayoutParams {
     /// Target number of *reachable* branch sites (unique branch
     /// instruction addresses the trace can produce).
@@ -237,7 +235,7 @@ impl LayoutParams {
 }
 
 /// A complete synthesized program image.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Program {
     /// All functions, id == index.
     pub functions: Vec<Function>,
@@ -532,7 +530,11 @@ impl<'p> Generator<'p> {
                         let x: f64 = rng.random();
                         let p_taken = if x < 0.60 {
                             let strong = rng.random_range(0.92..0.99);
-                            if rng.random_bool(0.5) { strong } else { 1.0 - strong }
+                            if rng.random_bool(0.5) {
+                                strong
+                            } else {
+                                1.0 - strong
+                            }
                         } else if x < 0.85 {
                             rng.random_range(0.72..0.92)
                         } else {
@@ -685,7 +687,8 @@ mod tests {
             let n = f.blocks.len() as u32;
             for b in &f.blocks {
                 match &b.term {
-                    Terminator::Cond { target_block, .. } | Terminator::Jump { target_block, .. } => {
+                    Terminator::Cond { target_block, .. }
+                    | Terminator::Jump { target_block, .. } => {
                         assert!(*target_block < n)
                     }
                     Terminator::Indirect { targets, .. } => {

@@ -61,11 +61,8 @@ impl Trace for MixTrace {
     fn iter(&self) -> Self::Iter<'_> {
         // Sub-walkers are unbounded; the mix applies the global cap so a
         // slice can resume exactly where the previous one stopped.
-        let walkers = self
-            .parts
-            .iter()
-            .map(|p| Walker::new(p.program(), p.walk_seed(), u64::MAX))
-            .collect();
+        let walkers =
+            self.parts.iter().map(|p| Walker::new(p.program(), p.walk_seed(), u64::MAX)).collect();
         MixIter {
             walkers,
             idx: 0,

@@ -165,13 +165,7 @@ mod tests {
         let mut prev: Option<TraceInstr> = None;
         for i in t.iter() {
             if let Some(p) = prev {
-                assert_eq!(
-                    p.next_addr(),
-                    i.addr,
-                    "discontinuity after {:?} -> {:?}",
-                    p,
-                    i
-                );
+                assert_eq!(p.next_addr(), i.addr, "discontinuity after {:?} -> {:?}", p, i);
             }
             prev = Some(i);
         }

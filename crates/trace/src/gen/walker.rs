@@ -13,8 +13,7 @@ use crate::branch::{BranchKind, BranchRec};
 use crate::gen::behavior::SiteState;
 use crate::gen::layout::{FuncId, Program, Terminator};
 use crate::instr::TraceInstr;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use zbp_support::rng::SmallRng;
 
 /// Maximum call depth before calls stop pushing return continuations.
 const MAX_CALL_DEPTH: usize = 48;
@@ -255,18 +254,15 @@ impl Iterator for Walker<'_> {
                     continue;
                 }
                 Terminator::Cond { site, len, target_block, behavior } => {
-                    let taken = behavior
-                        .resolve(&mut self.site_state[*site as usize], &mut self.rng);
+                    let taken =
+                        behavior.resolve(&mut self.site_state[*site as usize], &mut self.rng);
                     let target = self.block_start(cur_func, *target_block);
                     if taken {
                         self.enter_block(cur_func, *target_block);
                     } else {
                         self.enter_block(cur_func, cur_block + 1);
                     }
-                    Some((
-                        *len,
-                        BranchRec { kind: BranchKind::Conditional, taken, target },
-                    ))
+                    Some((*len, BranchRec { kind: BranchKind::Conditional, taken, target }))
                 }
                 Terminator::Jump { len, target_block } => {
                     let target = self.block_start(cur_func, *target_block);
@@ -400,11 +396,8 @@ mod tests {
 
     #[test]
     fn working_set_shifts_touch_many_functions() {
-        let params = LayoutParams {
-            target_sites: 3000,
-            phase_len: 15_000,
-            ..LayoutParams::small_test()
-        };
+        let params =
+            LayoutParams { target_sites: 3000, phase_len: 15_000, ..LayoutParams::small_test() };
         let p = Program::generate(&params, 9);
         let entries: HashSet<u64> = p.functions.iter().map(|f| f.entry.raw()).collect();
         let mut seen = HashSet::new();

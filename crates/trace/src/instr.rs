@@ -2,14 +2,13 @@
 
 use crate::addr::InstAddr;
 use crate::branch::{BranchKind, BranchRec};
-use serde::{Deserialize, Serialize};
 
 /// One dynamic instruction in a trace.
 ///
 /// z/Architecture instructions are 2, 4 or 6 bytes long; [`TraceInstr::len`]
 /// records the actual length so the simulator's sequential fetch and the
 /// predictor's search-address arithmetic see realistic spacing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TraceInstr {
     /// Instruction address.
     pub addr: InstAddr,

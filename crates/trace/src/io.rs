@@ -220,7 +220,7 @@ mod tests {
     #[test]
     fn error_source_chains_io() {
         use std::error::Error;
-        let err = ReadTraceError::from(io::Error::new(io::ErrorKind::Other, "x"));
+        let err = ReadTraceError::from(io::Error::other("x"));
         assert!(err.source().is_some());
         assert!(ReadTraceError::BadMagic.source().is_none());
     }

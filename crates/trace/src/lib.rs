@@ -139,7 +139,7 @@ mod tests {
     #[test]
     fn vec_trace_collect_and_extend() {
         let i = TraceInstr::plain(InstAddr::new(0x100), 4);
-        let mut t: VecTrace = std::iter::repeat(i).take(3).collect();
+        let mut t: VecTrace = std::iter::repeat_n(i, 3).collect();
         assert_eq!(t.len(), 3);
         t.extend(std::iter::once(i));
         assert_eq!(t.len(), 4);

@@ -10,10 +10,9 @@ use crate::gen::mix::{MixIter, MixTrace};
 use crate::gen::walker::Walker;
 use crate::gen::GenTrace;
 use crate::{Trace, TraceInstr};
-use serde::{Deserialize, Serialize};
 
 /// One footprint component of a workload (a mix has several).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FootprintPart {
     /// Component label.
     pub label: String,
@@ -37,7 +36,7 @@ impl FootprintPart {
 /// let trace = p.build(1).with_len(5_000);
 /// assert_eq!(trace.iter().count(), 5_000);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadProfile {
     /// Trace name as printed in Table 4.
     pub name: String,
@@ -386,8 +385,11 @@ mod tests {
     #[test]
     fn profiles_serialize() {
         let p = WorkloadProfile::zos_dbserv();
-        let json = serde_json::to_string(&p).unwrap();
-        let back: WorkloadProfile = serde_json::from_str(&json).unwrap();
+        let json = zbp_support::json::to_string(&p);
+        let back: WorkloadProfile = zbp_support::json::from_str(&json).unwrap();
         assert_eq!(p, back);
     }
 }
+
+zbp_support::impl_json_struct!(FootprintPart { label, sites, taken });
+zbp_support::impl_json_struct!(WorkloadProfile { name, parts, slice_len, default_len });

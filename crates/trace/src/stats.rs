@@ -1,12 +1,11 @@
 //! Trace footprint statistics (validates Table 4).
 
 use crate::{Trace, TraceInstr};
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::fmt;
 
 /// Summary statistics of a dynamic instruction trace.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TraceStats {
     /// Dynamic instruction count.
     pub instructions: u64,
@@ -99,7 +98,8 @@ mod tests {
             4,
             BranchRec::taken(BranchKind::Unconditional, InstAddr::new(0x200)),
         );
-        let nt = TraceInstr::branch(InstAddr::new(0x200), 4, BranchRec::not_taken(InstAddr::new(0x300)));
+        let nt =
+            TraceInstr::branch(InstAddr::new(0x200), 4, BranchRec::not_taken(InstAddr::new(0x300)));
         let t = VecTrace::new("t", vec![b, nt, b]);
         let s = TraceStats::collect(&t);
         assert_eq!(s.instructions, 3);
@@ -113,7 +113,11 @@ mod tests {
     #[test]
     fn a_site_taken_once_counts_as_taken_forever() {
         let a = InstAddr::new(0x100);
-        let taken = TraceInstr::branch(a, 4, BranchRec::taken(BranchKind::Conditional, InstAddr::new(0x40)));
+        let taken = TraceInstr::branch(
+            a,
+            4,
+            BranchRec::taken(BranchKind::Conditional, InstAddr::new(0x40)),
+        );
         let not = TraceInstr::branch(a, 4, BranchRec::not_taken(InstAddr::new(0x40)));
         let t = VecTrace::new("t", vec![not, taken, not]);
         let s = TraceStats::collect(&t);

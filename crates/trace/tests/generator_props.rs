@@ -1,118 +1,120 @@
-//! Property tests on the synthetic workload generator.
+//! Randomized tests on the synthetic workload generator, driven by the
+//! deterministic [`zbp_support::rng::SmallRng`].
 
-use proptest::prelude::*;
 use std::collections::HashSet;
+use zbp_support::rng::SmallRng;
 use zbp_trace::gen::layout::{LayoutParams, Program, Terminator};
 use zbp_trace::gen::walker::Walker;
 use zbp_trace::{Trace, TraceStats, VecTrace};
 
-fn arb_layout() -> impl Strategy<Value = LayoutParams> {
-    (400u32..3_000, 0.45f64..0.85, (2u16..6, 6u16..30)).prop_map(
-        |(sites, taken, (trip_lo, trip_hi))| LayoutParams {
-            target_sites: sites,
-            taken_fraction: taken,
-            loop_trip: (trip_lo, trip_hi),
-            ..LayoutParams::default()
-        },
-    )
+fn sample_layout(rng: &mut SmallRng) -> LayoutParams {
+    let trip_lo = rng.random_range(2u16..6);
+    let trip_hi = rng.random_range(6u16..30);
+    LayoutParams {
+        target_sites: rng.random_range(400u32..3_000),
+        taken_fraction: 0.45 + 0.40 * rng.random::<f64>(),
+        loop_trip: (trip_lo, trip_hi),
+        ..LayoutParams::default()
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn programs_are_structurally_sound(params in arb_layout(), seed in 0u64..500) {
+#[test]
+fn programs_are_structurally_sound() {
+    let mut rng = SmallRng::seed_from_u64(0xA1);
+    for _ in 0..16 {
+        let params = sample_layout(&mut rng);
+        let seed = rng.random_range(0u64..500);
         let p = Program::generate(&params, seed);
-        prop_assert!(p.n_functions() > 0);
-        prop_assert!(p.reachable_sites > 0);
-        prop_assert!(p.reachable_taken_sites <= p.reachable_sites);
+        assert!(p.n_functions() > 0);
+        assert!(p.reachable_sites > 0);
+        assert!(p.reachable_taken_sites <= p.reachable_sites);
         for f in &p.functions {
-            prop_assert!(!f.blocks.is_empty());
-            let ends_in_return =
-                matches!(f.blocks.last().unwrap().term, Terminator::Return { .. });
-            prop_assert!(ends_in_return);
+            assert!(!f.blocks.is_empty());
+            let ends_in_return = matches!(f.blocks.last().unwrap().term, Terminator::Return { .. });
+            assert!(ends_in_return);
             // Blocks contiguous and targets in range.
             let n = f.blocks.len() as u32;
             for w in f.blocks.windows(2) {
-                prop_assert_eq!(w[0].start.add(w[0].size_bytes()), w[1].start);
+                assert_eq!(w[0].start.add(w[0].size_bytes()), w[1].start);
             }
             for b in &f.blocks {
                 match &b.term {
                     Terminator::Cond { target_block, .. }
-                    | Terminator::Jump { target_block, .. } => prop_assert!(*target_block < n),
+                    | Terminator::Jump { target_block, .. } => assert!(*target_block < n),
                     Terminator::Indirect { targets, .. } => {
-                        prop_assert!(!targets.is_empty());
-                        prop_assert!(targets.iter().all(|&t| t < n));
+                        assert!(!targets.is_empty());
+                        assert!(targets.iter().all(|&t| t < n));
                     }
-                    Terminator::Call { callee, .. } => prop_assert!(*callee < p.n_functions()),
+                    Terminator::Call { callee, .. } => assert!(*callee < p.n_functions()),
                     _ => {}
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn walks_emit_exactly_the_limit_and_stay_on_known_sites(
-        params in arb_layout(),
-        seed in 0u64..500,
-        len in 500u64..5_000,
-    ) {
+#[test]
+fn walks_emit_exactly_the_limit_and_stay_on_known_sites() {
+    let mut rng = SmallRng::seed_from_u64(0xA2);
+    for _ in 0..16 {
+        let params = sample_layout(&mut rng);
+        let seed = rng.random_range(0u64..500);
+        let len = rng.random_range(500u64..5_000);
         let p = Program::generate(&params, seed);
         let sites: HashSet<u64> = p.branch_site_addrs().map(|a| a.raw()).collect();
         let mut count = 0u64;
         for i in Walker::new(&p, seed ^ 7, len) {
             count += 1;
             if i.is_branch() {
-                prop_assert!(sites.contains(&i.addr.raw()));
+                assert!(sites.contains(&i.addr.raw()));
             }
         }
-        prop_assert_eq!(count, len);
+        assert_eq!(count, len);
     }
+}
 
-    #[test]
-    fn taken_fraction_of_long_walks_tracks_the_target(
-        taken_fraction in 0.5f64..0.8,
-        seed in 0u64..100,
-    ) {
-        let params = LayoutParams {
-            target_sites: 2_000,
-            taken_fraction,
-            ..LayoutParams::default()
-        };
+#[test]
+fn taken_fraction_of_long_walks_tracks_the_target() {
+    let mut rng = SmallRng::seed_from_u64(0xA3);
+    for _ in 0..8 {
+        let taken_fraction = 0.5 + 0.3 * rng.random::<f64>();
+        let seed = rng.random_range(0u64..100);
+        let params =
+            LayoutParams { target_sites: 2_000, taken_fraction, ..LayoutParams::default() };
         let p = Program::generate(&params, seed);
         let trace: VecTrace = Walker::new(&p, seed, 120_000).collect();
         let stats = TraceStats::from_iter_records(trace.iter());
         let got = stats.unique_taken as f64 / stats.unique_branches.max(1) as f64;
         // The never-taken site quota controls this ratio; dynamic
         // sampling adds slack.
-        prop_assert!((got - taken_fraction).abs() < 0.15,
-            "ever-taken ratio {got:.3} vs target {taken_fraction:.3}");
+        assert!(
+            (got - taken_fraction).abs() < 0.15,
+            "ever-taken ratio {got:.3} vs target {taken_fraction:.3}"
+        );
     }
+}
 
-    #[test]
-    fn different_walk_seeds_share_the_static_image(
-        params in arb_layout(),
-        seed in 0u64..100,
-    ) {
+#[test]
+fn different_walk_seeds_share_the_static_image() {
+    let mut rng = SmallRng::seed_from_u64(0xA4);
+    for _ in 0..16 {
+        let params = sample_layout(&mut rng);
+        let seed = rng.random_range(0u64..100);
         let p = Program::generate(&params, seed);
-        let sites_a: HashSet<u64> = Walker::new(&p, 1, 3_000)
-            .filter(|i| i.is_branch())
-            .map(|i| i.addr.raw())
-            .collect();
-        let sites_b: HashSet<u64> = Walker::new(&p, 2, 3_000)
-            .filter(|i| i.is_branch())
-            .map(|i| i.addr.raw())
-            .collect();
+        let sites_a: HashSet<u64> =
+            Walker::new(&p, 1, 3_000).filter(|i| i.is_branch()).map(|i| i.addr.raw()).collect();
+        let sites_b: HashSet<u64> =
+            Walker::new(&p, 2, 3_000).filter(|i| i.is_branch()).map(|i| i.addr.raw()).collect();
         // Different dynamic paths, but both must be subsets of the image.
         let all: HashSet<u64> = p.branch_site_addrs().map(|a| a.raw()).collect();
-        prop_assert!(sites_a.is_subset(&all));
-        prop_assert!(sites_b.is_subset(&all));
+        assert!(sites_a.is_subset(&all));
+        assert!(sites_b.is_subset(&all));
     }
 }
 
 mod reuse_distance_props {
-    use proptest::prelude::*;
     use std::collections::{HashMap, HashSet};
+    use zbp_support::rng::SmallRng;
     use zbp_trace::analysis::ReuseProfile;
     use zbp_trace::{BranchKind, BranchRec, InstAddr, TraceInstr};
 
@@ -134,11 +136,9 @@ mod reuse_distance_props {
             match last.insert(s, i) {
                 None => cold += 1,
                 Some(prev) => {
-                    let distinct: HashSet<u64> =
-                        sites[prev + 1..i].iter().cloned().collect();
+                    let distinct: HashSet<u64> = sites[prev + 1..i].iter().cloned().collect();
                     let d = distinct.len() as u64;
-                    let bucket =
-                        bounds.iter().position(|&b| d < b).unwrap_or(bounds.len());
+                    let bucket = bounds.iter().position(|&b| d < b).unwrap_or(bounds.len());
                     counts[bucket] += 1;
                 }
             }
@@ -146,21 +146,19 @@ mod reuse_distance_props {
         (counts, cold)
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
-
-        #[test]
-        fn fenwick_profile_matches_brute_force(
-            sites in proptest::collection::vec(1u64..20, 1..120),
-        ) {
+    #[test]
+    fn fenwick_profile_matches_brute_force() {
+        let mut rng = SmallRng::seed_from_u64(0xA5);
+        for _ in 0..32 {
+            let n = rng.random_range(1usize..120);
+            let sites: Vec<u64> = (0..n).map(|_| rng.random_range(1u64..20)).collect();
             let bounds = [1u64, 2, 4, 8, 16];
             let instrs: Vec<TraceInstr> = sites.iter().map(|&s| branch(s)).collect();
-            let profile =
-                ReuseProfile::collect_with_bounds(instrs.iter().cloned(), &bounds);
+            let profile = ReuseProfile::collect_with_bounds(instrs.iter().cloned(), &bounds);
             let (expect_counts, expect_cold) = brute_force(&sites, &bounds);
-            prop_assert_eq!(profile.counts, expect_counts);
-            prop_assert_eq!(profile.cold_executions, expect_cold);
-            prop_assert_eq!(profile.total_branches, sites.len() as u64);
+            assert_eq!(profile.counts, expect_counts);
+            assert_eq!(profile.cold_executions, expect_cold);
+            assert_eq!(profile.total_branches, sites.len() as u64);
         }
     }
 }

@@ -6,11 +6,10 @@
 //! for the remaining cycles (the paper's "reduces or completely hides the
 //! first level instruction cache miss penalty").
 
-use serde::{Deserialize, Serialize};
 use zbp_trace::InstAddr;
 
 /// Geometry of a cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheGeometry {
     /// Total capacity in bytes.
     pub bytes: u32,
@@ -245,3 +244,5 @@ mod tests {
         Cache::new(CacheGeometry { bytes: 512, ways: 2, line_bytes: 48 }, 1);
     }
 }
+
+zbp_support::impl_json_struct!(CacheGeometry { bytes, ways, line_bytes });

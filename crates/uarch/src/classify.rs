@@ -13,12 +13,11 @@
 //! Surprise branches resolved not-taken with a correct not-taken guess
 //! cost nothing and are not bad outcomes.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use zbp_trace::InstAddr;
 
 /// One penalizing branch outcome.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BadOutcome {
     /// Dynamically predicted, wrong direction.
     MispredictDirection,
@@ -35,7 +34,7 @@ pub enum BadOutcome {
 }
 
 /// Outcome counts over a run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OutcomeCounts {
     /// Total dynamic branch executions.
     pub branches: u64,
@@ -128,7 +127,9 @@ impl SurpriseClassifier {
     pub fn classify(&self, addr: InstAddr, now: u64, prediction_present: bool) -> BadOutcome {
         match self.last_seen.get(&addr.raw()) {
             None => BadOutcome::SurpriseCompulsory,
-            Some(&last) if prediction_present || now.saturating_sub(last) <= self.latency_window => {
+            Some(&last)
+                if prediction_present || now.saturating_sub(last) <= self.latency_window =>
+            {
                 BadOutcome::SurpriseLatency
             }
             Some(_) => BadOutcome::SurpriseCapacity,
@@ -208,3 +209,14 @@ mod tests {
         assert_eq!(c.distinct_branches(), 2);
     }
 }
+
+zbp_support::impl_json_struct!(OutcomeCounts {
+    branches,
+    good_dynamic,
+    benign_surprises,
+    mispredict_direction,
+    mispredict_target,
+    surprise_compulsory,
+    surprise_latency,
+    surprise_capacity,
+});

@@ -7,10 +7,9 @@
 //! while the paper's reported results are all *relative* improvements.
 
 use crate::cache::CacheGeometry;
-use serde::{Deserialize, Serialize};
 
 /// Front-end model configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UarchConfig {
     /// L1 instruction cache (Table 5: 64 KB, 4-way).
     pub l1i: CacheGeometry,
@@ -96,7 +95,21 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let c = UarchConfig::zec12();
-        let json = serde_json::to_string(&c).unwrap();
-        assert_eq!(serde_json::from_str::<UarchConfig>(&json).unwrap(), c);
+        let json = zbp_support::json::to_string(&c);
+        assert_eq!(zbp_support::json::from_str::<UarchConfig>(&json).unwrap(), c);
     }
 }
+
+zbp_support::impl_json_struct!(UarchConfig {
+    l1i,
+    l1d,
+    decode_width,
+    l2_latency,
+    mispredict_penalty,
+    surprise_redirect_penalty,
+    surprise_resolve_penalty,
+    resolve_delay,
+    base_cpi_overhead,
+    wrong_path_fetch,
+    wrong_path_lines,
+});

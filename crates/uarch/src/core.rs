@@ -20,12 +20,15 @@ use crate::cache::{Access, Cache};
 use crate::classify::{BadOutcome, OutcomeCounts, SurpriseClassifier};
 use crate::config::UarchConfig;
 use crate::penalty::PenaltyAccounting;
-use serde::{Deserialize, Serialize};
-use zbp_predictor::{BranchPredictor, PredictorConfig, PredictorStats};
+use zbp_predictor::{BranchPredictor, Counter, PredictorConfig, PredictorStats};
 use zbp_trace::{BranchKind, Trace, TraceInstr};
 
 /// I-cache side statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Accumulated on the predictor's [`StatsBus`](zbp_predictor::StatsBus)
+/// — the core model bumps the `Icache*` counters there, and this struct
+/// is rebuilt from the bus when a run finishes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ICacheStats {
     /// Demand misses (full latency paid).
     pub demand_misses: u64,
@@ -41,7 +44,7 @@ pub struct ICacheStats {
 }
 
 /// Result of one simulated run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CoreResult {
     /// Trace name.
     pub name: String,
@@ -90,7 +93,6 @@ pub struct CoreModel {
     classifier: SurpriseClassifier,
     outcomes: OutcomeCounts,
     penalties: PenaltyAccounting,
-    icache_stats: ICacheStats,
     cycle: f64,
     instructions: u64,
     cur_line: Option<u64>,
@@ -110,7 +112,6 @@ impl CoreModel {
             classifier: SurpriseClassifier::new(latency_window),
             outcomes: OutcomeCounts::default(),
             penalties: PenaltyAccounting::default(),
-            icache_stats: ICacheStats::default(),
             cycle: 0.0,
             instructions: 0,
             cur_line: None,
@@ -145,18 +146,18 @@ impl CoreModel {
         let line = self.icache.line_of(instr.addr);
         if self.cur_line != Some(line) {
             self.cur_line = Some(line);
-            self.icache_stats.line_accesses += 1;
+            self.predictor.bus_mut().bump(Counter::IcacheLineAccesses);
             let now = self.cycle as u64;
             match self.icache.access(instr.addr, now) {
                 Access::Hit => {}
                 Access::InFlight { ready_at } => {
-                    self.icache_stats.late_prefetch_hits += 1;
+                    self.predictor.bus_mut().bump(Counter::IcacheLatePrefetchHits);
                     let wait = ready_at.saturating_sub(now);
                     self.penalties.icache_late_prefetch += wait;
                     self.cycle += wait as f64;
                 }
                 Access::Miss { ready_at } => {
-                    self.icache_stats.demand_misses += 1;
+                    self.predictor.bus_mut().bump(Counter::IcacheDemandMisses);
                     self.predictor.note_icache_miss(instr.addr, now);
                     let wait = ready_at - now;
                     self.penalties.icache_demand += wait;
@@ -181,7 +182,7 @@ impl CoreModel {
         let line_bytes = u64::from(self.cfg.l1i.line_bytes);
         for k in 0..u64::from(self.cfg.wrong_path_lines) {
             if self.icache.prefetch(from.add(k * line_bytes), at) {
-                self.icache_stats.wrong_path_fetches += 1;
+                self.predictor.bus_mut().bump(Counter::WrongPathFetches);
             }
         }
     }
@@ -202,7 +203,7 @@ impl CoreModel {
                     // Prediction steers fetch: target line prefetch begins
                     // at broadcast time.
                     if self.icache.prefetch(b.target, pred.ready_cycle) {
-                        self.icache_stats.prefetches += 1;
+                        self.predictor.bus_mut().bump(Counter::IcachePrefetches);
                     }
                 }
             } else {
@@ -242,8 +243,7 @@ impl CoreModel {
                     self.predictor.restart(instr.next_addr(), decode_cycle);
                 }
             } else {
-                let outcome =
-                    self.classifier.classify(instr.addr, decode_cycle, pred.present());
+                let outcome = self.classifier.classify(instr.addr, decode_cycle, pred.present());
                 self.outcomes.record_bad(outcome);
                 let target_at_decode = matches!(
                     b.kind,
@@ -285,13 +285,21 @@ impl CoreModel {
     /// Finalizes the run.
     pub fn finish(mut self, name: &str) -> CoreResult {
         self.predictor.advance_transfers(u64::MAX);
+        let bus = self.predictor.bus();
+        let icache = ICacheStats {
+            demand_misses: bus.get(Counter::IcacheDemandMisses),
+            late_prefetch_hits: bus.get(Counter::IcacheLatePrefetchHits),
+            prefetches: bus.get(Counter::IcachePrefetches),
+            line_accesses: bus.get(Counter::IcacheLineAccesses),
+            wrong_path_fetches: bus.get(Counter::WrongPathFetches),
+        };
         CoreResult {
             name: name.to_string(),
             instructions: self.instructions,
             cycles: self.cycle as u64,
             outcomes: self.outcomes,
             penalties: self.penalties,
-            icache: self.icache_stats,
+            icache,
             predictor: self.predictor.stats_snapshot(),
             distinct_branches: self.classifier.distinct_branches() as u64,
         }
@@ -399,13 +407,14 @@ mod tests {
     fn wrong_static_guess_costs_full_penalty() {
         // A branch alternating taken/not-taken with no warmup: its first
         // taken execution surprises with a not-taken guess.
-        let mut v = Vec::new();
-        v.push(TraceInstr::branch(
-            InstAddr::new(0x1000),
-            4,
-            BranchRec::taken(BranchKind::Conditional, InstAddr::new(0x2000)),
-        ));
-        v.push(TraceInstr::plain(InstAddr::new(0x2000), 4));
+        let v = vec![
+            TraceInstr::branch(
+                InstAddr::new(0x1000),
+                4,
+                BranchRec::taken(BranchKind::Conditional, InstAddr::new(0x2000)),
+            ),
+            TraceInstr::plain(InstAddr::new(0x2000), 4),
+        ];
         let r = model().run(&VecTrace::new("t", v));
         assert_eq!(r.outcomes.surprise_compulsory, 1);
         assert!(r.penalties.surprise_resolve >= UarchConfig::zec12().mispredict_penalty);
@@ -451,3 +460,21 @@ mod tests {
         assert_eq!(r.cpi(), 0.0);
     }
 }
+
+zbp_support::impl_json_struct!(ICacheStats {
+    demand_misses,
+    late_prefetch_hits,
+    prefetches,
+    line_accesses,
+    wrong_path_fetches,
+});
+zbp_support::impl_json_struct!(CoreResult {
+    name,
+    instructions,
+    cycles,
+    outcomes,
+    penalties,
+    icache,
+    predictor,
+    distinct_branches,
+});

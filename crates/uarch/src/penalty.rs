@@ -1,9 +1,7 @@
 //! Stall-cycle accounting by cause.
 
-use serde::{Deserialize, Serialize};
-
 /// Cycles lost to each front-end penalty source.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PenaltyAccounting {
     /// Demand L1I misses (full L2 latency).
     pub icache_demand: u64,
@@ -56,3 +54,11 @@ mod tests {
         assert_eq!(PenaltyAccounting::default().total(), 0);
     }
 }
+
+zbp_support::impl_json_struct!(PenaltyAccounting {
+    icache_demand,
+    icache_late_prefetch,
+    mispredict,
+    surprise_redirect,
+    surprise_resolve,
+});

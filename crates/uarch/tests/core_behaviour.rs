@@ -72,7 +72,11 @@ fn surprise_redirect_is_cheaper_than_wrong_guess() {
         let b = TraceInstr::branch(
             InstAddr::new(0x9000),
             4,
-            BranchRec { kind: BranchKind::Conditional, taken: taken_first, target: InstAddr::new(0xA000) },
+            BranchRec {
+                kind: BranchKind::Conditional,
+                taken: taken_first,
+                target: InstAddr::new(0xA000),
+            },
         );
         let mut v = vec![b];
         v.extend(straight(b.next_addr().raw(), 5));
@@ -161,7 +165,10 @@ fn no_btb2_and_btb2_agree_on_branch_counts() {
                 TraceInstr::branch(
                     InstAddr::new(a + 4),
                     4,
-                    BranchRec::taken(BranchKind::Conditional, InstAddr::new(0x1000 + ((i + 1) % 50) * 128)),
+                    BranchRec::taken(
+                        BranchKind::Conditional,
+                        InstAddr::new(0x1000 + ((i + 1) % 50) * 128),
+                    ),
                 ),
             ]
         })

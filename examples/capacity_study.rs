@@ -16,14 +16,14 @@ use zbp::prelude::*;
 use zbp::sim::parallel::par_map;
 
 fn main() {
-    let len = std::env::var("ZBP_TRACE_LEN")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1_500_000);
+    let len = std::env::var("ZBP_TRACE_LEN").ok().and_then(|v| v.parse().ok()).unwrap_or(1_500_000);
     // Footprints in unique branch sites; the BTB1 holds 4k entries
     // (~114-142 KB of code), the BTB2 24k.
     let footprints: [u32; 7] = [2_000, 4_000, 8_000, 16_000, 32_000, 64_000, 128_000];
-    println!("{:<12} {:>12} {:>12} {:>12} {:>10}", "footprint", "CPI base", "CPI +BTB2", "BTB2 gain", "eff");
+    println!(
+        "{:<12} {:>12} {:>12} {:>12} {:>10}",
+        "footprint", "CPI base", "CPI +BTB2", "BTB2 gain", "eff"
+    );
     let rows = par_map(&footprints, |&sites| {
         let taken = (sites as f64 * 0.62) as u32;
         let profile = WorkloadProfile::single(&format!("{sites} sites"), sites, taken);
@@ -36,7 +36,11 @@ fn main() {
     for (sites, base, btb2, large) in rows {
         let gain = 100.0 * (1.0 - btb2 / base);
         let ceiling = 100.0 * (1.0 - large / base);
-        let eff = if ceiling.abs() > 0.05 { format!("{:.0}%", 100.0 * gain / ceiling) } else { "-".into() };
+        let eff = if ceiling.abs() > 0.05 {
+            format!("{:.0}%", 100.0 * gain / ceiling)
+        } else {
+            "-".into()
+        };
         println!("{:<12} {:>12.4} {:>12.4} {:>11.2}% {:>10}", sites, base, btb2, gain, eff);
     }
     println!("\nBelow the BTB1's reach the second level is idle; past the BTB2's");

@@ -19,10 +19,7 @@ fn report(r: &CoreResult) {
     let ps = &r.predictor;
     println!("  CPI {:.4} over {} instructions", r.cpi(), r.instructions);
     println!("  branch outcomes ({} total):", o.branches);
-    println!(
-        "    good dynamic {:>8}   benign surprises {:>8}",
-        o.good_dynamic, o.benign_surprises
-    );
+    println!("    good dynamic {:>8}   benign surprises {:>8}", o.good_dynamic, o.benign_surprises);
     println!(
         "    mispredicted {:>8}   (direction {} / target {})",
         o.mispredict_direction + o.mispredict_target,
@@ -37,10 +34,7 @@ fn report(r: &CoreResult) {
         o.surprise_capacity
     );
     println!("  stall cycles by cause:");
-    println!(
-        "    I-cache {:>9}   late prefetch {:>8}",
-        p.icache_demand, p.icache_late_prefetch
-    );
+    println!("    I-cache {:>9}   late prefetch {:>8}", p.icache_demand, p.icache_late_prefetch);
     println!(
         "    mispredict {:>6}   surprise redirect {:>4}   surprise resolve {}",
         p.mispredict, p.surprise_redirect, p.surprise_resolve
@@ -62,10 +56,7 @@ fn report(r: &CoreResult) {
 
 fn main() {
     let profile = WorkloadProfile::zos_lspr_cics_db2();
-    let len = std::env::var("ZBP_TRACE_LEN")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(2_000_000);
+    let len = std::env::var("ZBP_TRACE_LEN").ok().and_then(|v| v.parse().ok()).unwrap_or(2_000_000);
     let trace = profile.build(0xEC12).with_len(len);
     println!("workload: {}\n", profile.name);
 

@@ -9,10 +9,10 @@
 //! cargo run --release --example custom_workload
 //! ```
 
+use zbp::prelude::*;
 use zbp::trace::gen::layout::LayoutParams;
 use zbp::trace::gen::GenTrace;
 use zbp::trace::io::{read_trace, write_trace};
-use zbp::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A loop-heavy, small-footprint workload — the opposite of the

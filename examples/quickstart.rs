@@ -10,10 +10,7 @@ fn main() {
     // Synthesize a workload matching the published footprint of the
     // paper's headline trace (z/OS DayTrader DBServ, Table 4).
     let profile = WorkloadProfile::daytrader_dbserv();
-    let len = std::env::var("ZBP_TRACE_LEN")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1_000_000);
+    let len = std::env::var("ZBP_TRACE_LEN").ok().and_then(|v| v.parse().ok()).unwrap_or(1_000_000);
     let trace = profile.build(0xEC12).with_len(len);
     println!("workload: {} ({} instructions)", profile.name, len);
     println!("footprint target: {} unique branches\n", profile.unique_branches());

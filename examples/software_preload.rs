@@ -22,10 +22,7 @@ use zbp::uarch::UarchConfig;
 
 fn main() {
     let profile = WorkloadProfile::zos_dbserv();
-    let len = std::env::var("ZBP_TRACE_LEN")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1_500_000);
+    let len = std::env::var("ZBP_TRACE_LEN").ok().and_then(|v| v.parse().ok()).unwrap_or(1_500_000);
     let trace = profile.build(0xEC12).with_len(len);
     println!("workload: {} ({len} instructions)\n", profile.name);
 
@@ -54,7 +51,8 @@ fn main() {
     // ...versus software preloading: whenever execution enters a 4 KB
     // block, preload that block's profiled branches into the BTBP
     // (an idealized profile-guided preload-instruction scheme).
-    let mut model = CoreModel::new(UarchConfig::zec12(), zbp::predictor::PredictorConfig::no_btb2());
+    let mut model =
+        CoreModel::new(UarchConfig::zec12(), zbp::predictor::PredictorConfig::no_btb2());
     let mut cur_block = u64::MAX;
     for i in trace.iter() {
         if i.addr.block() != cur_block {

@@ -62,22 +62,15 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         args.experiment = Some(it.next().cloned().ok_or("missing experiment id")?);
     }
     while let Some(flag) = it.next() {
-        let mut value = || {
-            it.next()
-                .cloned()
-                .ok_or_else(|| format!("flag {flag} requires a value"))
-        };
+        let mut value =
+            || it.next().cloned().ok_or_else(|| format!("flag {flag} requires a value"));
         match flag.as_str() {
             "--profile" => args.profile = Some(value()?),
             "--in" => args.input = Some(value()?),
             "--out" => args.output = Some(value()?),
             "--config" => args.config = Some(value()?),
-            "--len" => {
-                args.len = Some(value()?.parse().map_err(|e| format!("--len: {e}"))?)
-            }
-            "--seed" => {
-                args.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?
-            }
+            "--len" => args.len = Some(value()?.parse().map_err(|e| format!("--len: {e}"))?),
+            "--seed" => args.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -182,7 +175,12 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
 fn print_run(result: &zbp::sim::SimResult) {
     let o = &result.core.outcomes;
     println!("configuration: {}", result.config_name);
-    println!("  CPI: {:.4} ({} cycles / {} instructions)", result.cpi(), result.core.cycles, result.core.instructions);
+    println!(
+        "  CPI: {:.4} ({} cycles / {} instructions)",
+        result.cpi(),
+        result.core.cycles,
+        result.core.instructions
+    );
     println!(
         "  branch outcomes: {:.2}% bad ({} mispredict, {} compulsory, {} latency, {} capacity)",
         100.0 * o.bad_fraction(),
@@ -271,7 +269,11 @@ fn cmd_experiment(args: &Args) -> Result<(), String> {
             for r in experiments::table4(&opts) {
                 println!(
                     "{:<28} branches {}/{} taken {}/{}",
-                    r.trace, r.measured_branches, r.target_branches, r.measured_taken, r.target_taken
+                    r.trace,
+                    r.measured_branches,
+                    r.target_branches,
+                    r.measured_taken,
+                    r.target_taken
                 );
             }
         }
@@ -377,10 +379,8 @@ mod tests {
 
     #[test]
     fn parses_a_full_command_line() {
-        let a = parse_args(&argv(
-            "run --profile tpf-airline --config btb2 --len 5000 --seed 42",
-        ))
-        .unwrap();
+        let a = parse_args(&argv("run --profile tpf-airline --config btb2 --len 5000 --seed 42"))
+            .unwrap();
         assert_eq!(a.command, "run");
         assert_eq!(a.profile.as_deref(), Some("tpf-airline"));
         assert_eq!(a.config.as_deref(), Some("btb2"));

@@ -114,10 +114,7 @@ fn congruence_spans_run_and_transfer() {
         geom.line_bytes = span;
         cfg.btb2 = Some(geom);
         let r = Simulator::new(SimConfig::btb2_enabled().with_predictor(cfg)).run(&t);
-        assert!(
-            r.core.predictor.btb2_entries_transferred > 0,
-            "{span} B rows must still transfer"
-        );
+        assert!(r.core.predictor.btb2_entries_transferred > 0, "{span} B rows must still transfer");
     }
 }
 

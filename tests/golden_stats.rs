@@ -1,0 +1,64 @@
+//! Golden-stats regression tests.
+//!
+//! Three fixed-seed Table-4-style workloads run through the full
+//! simulator under the paper's three configurations; the resulting
+//! `PredictorStats` snapshot must match the JSON committed under
+//! `tests/golden/` bit for bit. These snapshots lock in the predictor's
+//! observable behaviour so refactors of the search engine can prove
+//! themselves behaviour-preserving.
+//!
+//! To regenerate after an *intentional* behaviour change:
+//!
+//! ```text
+//! ZBP_BLESS=1 cargo test --test golden_stats
+//! ```
+
+use std::path::PathBuf;
+use zbp::prelude::*;
+use zbp_support::json::to_string_pretty;
+
+const GOLDEN_SEED: u64 = 0xEC12;
+const GOLDEN_LEN: u64 = 120_000;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn check(snapshot_name: &str, profile: WorkloadProfile, config: SimConfig) {
+    let trace = profile.build_with_len(GOLDEN_SEED, GOLDEN_LEN);
+    let result = Simulator::new(config).run(&trace);
+    let got = to_string_pretty(&result.core.predictor) + "\n";
+    let path = golden_dir().join(format!("{snapshot_name}.json"));
+    if std::env::var_os("ZBP_BLESS").is_some() {
+        std::fs::create_dir_all(golden_dir()).unwrap();
+        std::fs::write(&path, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); run with ZBP_BLESS=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got,
+        want,
+        "predictor stats diverged from {} — if the change is intentional, regenerate with ZBP_BLESS=1",
+        path.display()
+    );
+}
+
+#[test]
+fn golden_zos_lspr_cb84_btb2_enabled() {
+    check("zos_lspr_cb84_btb2", WorkloadProfile::zos_lspr_cb84(), SimConfig::btb2_enabled());
+}
+
+#[test]
+fn golden_daytrader_dbserv_no_btb2() {
+    check("daytrader_dbserv_no_btb2", WorkloadProfile::daytrader_dbserv(), SimConfig::no_btb2());
+}
+
+#[test]
+fn golden_tpf_airline_large_btb1() {
+    check("tpf_airline_large_btb1", WorkloadProfile::tpf_airline(), SimConfig::large_btb1());
+}

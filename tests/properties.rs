@@ -1,86 +1,91 @@
-//! Cross-crate property tests: arbitrary workload parameters through the
+//! Cross-crate randomized tests: sampled workload parameters through the
 //! full stack must uphold the simulator's structural invariants.
+//!
+//! Inputs are drawn from the deterministic [`zbp_support::rng::SmallRng`]
+//! so every CI run exercises the same cases.
 
-use proptest::prelude::*;
 use zbp::prelude::*;
 use zbp::trace::gen::layout::LayoutParams;
 use zbp::trace::gen::GenTrace;
 use zbp::trace::io::{read_trace, write_trace};
 use zbp::trace::Trace;
+use zbp_support::rng::SmallRng;
 
-fn arb_params() -> impl Strategy<Value = LayoutParams> {
-    (
-        500u32..4_000,
-        0.45f64..0.85,
-        0.05f64..0.35,
-        20_000u64..150_000,
-        1u32..6,
-    )
-        .prop_map(|(sites, taken, backward, phase_len, ranges)| LayoutParams {
-            target_sites: sites,
-            taken_fraction: taken,
-            backward_cond_fraction: backward,
-            phase_len,
-            phase_ranges: ranges,
-            ..LayoutParams::default()
-        })
+fn sample_params(rng: &mut SmallRng) -> LayoutParams {
+    LayoutParams {
+        target_sites: rng.random_range(500u32..4_000),
+        taken_fraction: 0.45 + 0.40 * rng.random::<f64>(),
+        backward_cond_fraction: 0.05 + 0.30 * rng.random::<f64>(),
+        phase_len: rng.random_range(20_000u64..150_000),
+        phase_ranges: rng.random_range(1u32..6),
+        ..LayoutParams::default()
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn control_flow_is_always_consistent(params in arb_params(), seed in 0u64..1000) {
+#[test]
+fn control_flow_is_always_consistent() {
+    let mut rng = SmallRng::seed_from_u64(0x11);
+    for _ in 0..12 {
+        let params = sample_params(&mut rng);
+        let seed = rng.random_range(0u64..1000);
         let t = GenTrace::new("prop", &params, seed, 6_000);
         let mut prev: Option<zbp::trace::TraceInstr> = None;
         for i in t.iter() {
             if let Some(p) = prev {
-                prop_assert_eq!(p.next_addr(), i.addr);
+                assert_eq!(p.next_addr(), i.addr);
             }
-            prop_assert!(matches!(i.len, 2 | 4 | 6));
-            prop_assert_eq!(i.addr.raw() % 2, 0);
+            assert!(matches!(i.len, 2 | 4 | 6));
+            assert_eq!(i.addr.raw() % 2, 0);
             prev = Some(i);
         }
     }
+}
 
-    #[test]
-    fn simulation_never_panics_and_partitions_outcomes(
-        params in arb_params(),
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn simulation_never_panics_and_partitions_outcomes() {
+    let mut rng = SmallRng::seed_from_u64(0x22);
+    for _ in 0..12 {
+        let params = sample_params(&mut rng);
+        let seed = rng.random_range(0u64..1000);
         let t = GenTrace::new("prop", &params, seed, 8_000);
         for config in [SimConfig::no_btb2(), SimConfig::btb2_enabled()] {
             let r = Simulator::new(config).run(&t);
             let o = &r.core.outcomes;
-            prop_assert_eq!(r.core.instructions, 8_000);
-            prop_assert_eq!(
-                o.branches,
-                o.good_dynamic + o.benign_surprises + o.bad_total()
-            );
-            prop_assert!(r.core.cycles > 0);
+            assert_eq!(r.core.instructions, 8_000);
+            assert_eq!(o.branches, o.good_dynamic + o.benign_surprises + o.bad_total());
+            assert!(r.core.cycles > 0);
             // Total cycles can never be below the decode-bandwidth floor.
-            prop_assert!(r.core.cycles >= r.core.instructions / 3);
+            assert!(r.core.cycles >= r.core.instructions / 3);
         }
     }
+}
 
-    #[test]
-    fn trace_io_roundtrips(params in arb_params(), seed in 0u64..100) {
+#[test]
+fn trace_io_roundtrips() {
+    let mut rng = SmallRng::seed_from_u64(0x33);
+    for _ in 0..12 {
+        let params = sample_params(&mut rng);
+        let seed = rng.random_range(0u64..100);
         let t = GenTrace::new("prop-io", &params, seed, 2_000);
         let mut buf = Vec::new();
         write_trace(&t, &mut buf).unwrap();
         let back = read_trace(buf.as_slice()).unwrap();
         let orig: Vec<_> = t.iter().collect();
-        prop_assert_eq!(back.records(), orig.as_slice());
+        assert_eq!(back.records(), orig.as_slice());
     }
+}
 
-    #[test]
-    fn footprint_tracks_target(sites in 1_000u32..6_000, seed in 0u64..50) {
+#[test]
+fn footprint_tracks_target() {
+    let mut rng = SmallRng::seed_from_u64(0x44);
+    for _ in 0..12 {
+        let sites = rng.random_range(1_000u32..6_000);
+        let seed = rng.random_range(0u64..50);
         let taken = (sites as f64 * 0.6) as u32;
         let params = LayoutParams::for_footprint(sites, taken);
         let program = zbp::trace::gen::layout::Program::generate(&params, seed);
         let got = program.reachable_sites as f64;
         let want = sites as f64 / params.reachable_margin;
-        prop_assert!((got - want).abs() / want < 0.25,
-            "reachable {} vs target {}", got, want);
+        assert!((got - want).abs() / want < 0.25, "reachable {} vs target {}", got, want);
     }
 }
