@@ -90,7 +90,7 @@ fn bench_miss_and_transfer() {
     bench("transfer/schedule_full_block", 100_000, || {
         let mut e = TransferEngine::new(8);
         black_box(e.schedule(7, &lines, 0, false));
-        black_box(e.drain(u64::MAX).len());
+        black_box(e.drain(u64::MAX).count());
     });
 }
 

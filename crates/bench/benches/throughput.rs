@@ -1,0 +1,259 @@
+//! MIPS throughput harness: wall-clock of the figure-2 workload ×
+//! configuration grid, split by pipeline stage.
+//!
+//! The paper's evaluation replays 13 large-footprint workloads across
+//! many predictor configurations, so sweep throughput — simulated
+//! instructions per second — gates how much of the design space we can
+//! afford to explore. This harness times the figure-2 grid (13 workloads
+//! × the 3 Table-3 configurations) two ways:
+//!
+//! * **shared** — the generate-once path: one parallel pre-pass captures
+//!   every workload into a [`MaterializedTrace`], then all configuration
+//!   columns replay the shared captures (what [`SimSession`] does by
+//!   default);
+//! * **regenerate** — the pre-sharing baseline: every cell re-synthesizes
+//!   its workload from scratch (`materialize_cap(0)`).
+//!
+//! Results are printed as a table and written to `BENCH_throughput.json`
+//! at the repository root (override with `ZBP_BENCH_OUT`) so the perf
+//! trajectory is tracked in-tree. `ZBP_TRACE_LEN` caps the per-workload
+//! instruction count (default 1,000,000 — a throughput probe, not a
+//! figure reproduction).
+
+use std::sync::Mutex;
+use std::time::Instant;
+use zbp_bench::{finish, start};
+use zbp_sim::parallel::par_map;
+use zbp_sim::report::render_table;
+use zbp_sim::runner::{SimResult, Simulator};
+use zbp_sim::SimConfig;
+use zbp_trace::profile::WorkloadProfile;
+use zbp_trace::{MaterializedTrace, TraceInstr};
+
+/// Default per-workload instruction cap when `ZBP_TRACE_LEN` is unset.
+const DEFAULT_BENCH_LEN: u64 = 1_000_000;
+
+/// The measured throughput record committed at the repository root.
+#[derive(Debug, Clone, PartialEq)]
+struct ThroughputReport {
+    /// Per-workload dynamic instruction cap used.
+    len_per_workload: u64,
+    /// Workload synthesis seed.
+    seed: u64,
+    /// Workload rows in the grid.
+    workloads: u64,
+    /// Configuration columns in the grid.
+    configs: u64,
+    /// Instructions synthesized once in the generate stage.
+    generate_instructions: u64,
+    /// Instructions replayed across all cells.
+    replay_instructions: u64,
+    /// Generate-stage time, summed across workers (CPU seconds; equals
+    /// wall-clock when single-threaded).
+    generate_s: f64,
+    /// Replay-stage time, summed across workers (CPU seconds).
+    replay_s: f64,
+    /// End-to-end wall-clock of the shared (generate-once) grid.
+    shared_total_s: f64,
+    /// End-to-end wall-clock of the regenerate-per-cell baseline.
+    baseline_total_s: f64,
+    /// Wall-clock of the same grid measured with the pre-PR binary on
+    /// the same machine (`ZBP_BENCH_PREPR_S`, seconds); `0` when not
+    /// supplied. Unlike `baseline_total_s` — which isolates the sharing
+    /// win inside the *current* binary — this captures the full PR
+    /// (sharing + per-step simulator work), because simulator
+    /// optimizations speed the in-binary baseline up equally.
+    prepr_total_s: f64,
+    /// Commit the pre-PR measurement was taken at (`ZBP_BENCH_PREPR_REV`,
+    /// empty when not supplied).
+    prepr_rev: String,
+    /// Generate-stage throughput (million instructions/second).
+    generate_mips: f64,
+    /// Replay-stage throughput (million simulated instructions/second).
+    replay_mips: f64,
+    /// Whole-grid throughput of the shared path (MIPS).
+    shared_mips: f64,
+    /// Whole-grid throughput of the regenerate baseline (MIPS).
+    baseline_mips: f64,
+    /// Wall-clock speedup of shared over the in-binary regenerate
+    /// baseline (always reproducible from this harness alone).
+    speedup: f64,
+    /// Wall-clock speedup of shared over the pre-PR binary; `0` when no
+    /// `ZBP_BENCH_PREPR_S` measurement was supplied.
+    speedup_vs_prepr: f64,
+}
+
+zbp_support::impl_json_struct!(ThroughputReport {
+    len_per_workload,
+    seed,
+    workloads,
+    configs,
+    generate_instructions,
+    replay_instructions,
+    generate_s,
+    replay_s,
+    shared_total_s,
+    baseline_total_s,
+    prepr_total_s,
+    prepr_rev,
+    generate_mips,
+    replay_mips,
+    shared_mips,
+    baseline_mips,
+    speedup,
+    speedup_vs_prepr,
+});
+
+fn mips(instructions: u64, seconds: f64) -> f64 {
+    instructions as f64 / seconds.max(1e-9) / 1e6
+}
+
+fn output_path() -> std::path::PathBuf {
+    std::env::var("ZBP_BENCH_OUT").map_or_else(
+        |_| {
+            std::path::PathBuf::from(concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../BENCH_throughput.json"
+            ))
+        },
+        std::path::PathBuf::from,
+    )
+}
+
+fn main() {
+    let (mut opts, t0) = start("throughput — figure-2 grid MIPS", "§5 evaluation scale");
+    opts.len = Some(opts.len.unwrap_or(DEFAULT_BENCH_LEN));
+    let profiles = WorkloadProfile::all_table4();
+    let configs = SimConfig::table3().to_vec();
+    let generate_instructions: u64 = profiles.iter().map(|p| opts.len_for(p)).sum();
+    let replay_instructions = generate_instructions * configs.len() as u64;
+
+    // Shared path, staged so generate and replay are attributable: the
+    // same workload-major fan-out SimSession::run performs, with each
+    // worker clocking its capture and its replays separately. Stage
+    // times are summed across workers (CPU-seconds; equal to wall-clock
+    // when single-threaded), while the end-to-end total is true wall.
+    let pool: Mutex<Vec<Vec<TraceInstr>>> = Mutex::new(Vec::new());
+    let t_total = Instant::now();
+    let per_workload: Vec<(Vec<SimResult>, f64, f64)> = par_map(&profiles, |p| {
+        let t = Instant::now();
+        let buf = pool.lock().expect("pool lock").pop().unwrap_or_default();
+        let mat =
+            MaterializedTrace::capture_into(&p.build_with_len(opts.seed, opts.len_for(p)), buf);
+        let gen_s = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let results = par_map(&configs, |c| Simulator::run_config(c, &mat));
+        let replay_s = t.elapsed().as_secs_f64();
+        if let Some(buf) = mat.into_records() {
+            pool.lock().expect("pool lock").push(buf);
+        }
+        (results, gen_s, replay_s)
+    });
+    let shared_total_s = t_total.elapsed().as_secs_f64();
+    let generate_s: f64 = per_workload.iter().map(|(_, g, _)| g).sum();
+    let replay_s: f64 = per_workload.iter().map(|(_, _, r)| r).sum();
+    let shared_results: Vec<SimResult> =
+        per_workload.into_iter().flat_map(|(results, _, _)| results).collect();
+
+    // Baseline: the pre-sharing session behaviour — a flat fan-out over
+    // all W×C cells where every cell builds and walks its own freshly
+    // synthesized trace (what SimSession::run did before captures were
+    // shared across a workload row).
+    let cells: Vec<(usize, usize)> =
+        (0..profiles.len()).flat_map(|w| (0..configs.len()).map(move |c| (w, c))).collect();
+    let t = Instant::now();
+    let baseline_results = par_map(&cells, |&(w, c)| {
+        let p = &profiles[w];
+        let trace = p.build_with_len(opts.seed, opts.len_for(p));
+        Simulator::run_config(&configs[c], &trace)
+    });
+    let baseline_total_s = t.elapsed().as_secs_f64();
+
+    // The fast path must change speed, not predictions.
+    for (i, &(w, c)) in cells.iter().enumerate() {
+        assert_eq!(
+            shared_results[i].core.cycles, baseline_results[i].core.cycles,
+            "shared and regenerated runs diverged on ({}, {})",
+            profiles[w].name, configs[c].name
+        );
+    }
+
+    // Optional externally measured pre-PR wall-clock: the in-binary
+    // regenerate baseline under-counts the PR because the simulator's
+    // own per-step optimizations speed it up too. Run the same grid
+    // with the pre-PR binary (see scripts/bench_throughput.sh) and pass
+    // the wall via ZBP_BENCH_PREPR_S (+ the commit via
+    // ZBP_BENCH_PREPR_REV) to record the full before/after.
+    let prepr_total_s: f64 =
+        std::env::var("ZBP_BENCH_PREPR_S").ok().and_then(|s| s.parse().ok()).unwrap_or(0.0);
+    let prepr_rev = std::env::var("ZBP_BENCH_PREPR_REV").unwrap_or_default();
+
+    let report = ThroughputReport {
+        len_per_workload: opts.len.unwrap_or(0),
+        seed: opts.seed,
+        workloads: profiles.len() as u64,
+        configs: configs.len() as u64,
+        generate_instructions,
+        replay_instructions,
+        generate_s,
+        replay_s,
+        shared_total_s,
+        baseline_total_s,
+        prepr_total_s,
+        prepr_rev,
+        generate_mips: mips(generate_instructions, generate_s),
+        replay_mips: mips(replay_instructions, replay_s),
+        shared_mips: mips(replay_instructions, shared_total_s),
+        baseline_mips: mips(replay_instructions, baseline_total_s),
+        speedup: baseline_total_s / shared_total_s.max(1e-9),
+        speedup_vs_prepr: if prepr_total_s > 0.0 {
+            prepr_total_s / shared_total_s.max(1e-9)
+        } else {
+            0.0
+        },
+    };
+
+    let rows = vec![
+        vec![
+            "generate (once per workload)".to_string(),
+            format!("{:.3}", report.generate_s),
+            format!("{}", generate_instructions),
+            format!("{:.2}", report.generate_mips),
+        ],
+        vec![
+            "replay (shared captures)".to_string(),
+            format!("{:.3}", report.replay_s),
+            format!("{}", replay_instructions),
+            format!("{:.2}", report.replay_mips),
+        ],
+        vec![
+            "shared grid total".to_string(),
+            format!("{:.3}", report.shared_total_s),
+            format!("{}", replay_instructions),
+            format!("{:.2}", report.shared_mips),
+        ],
+        vec![
+            "regenerate-per-cell baseline".to_string(),
+            format!("{:.3}", report.baseline_total_s),
+            format!("{}", replay_instructions),
+            format!("{:.2}", report.baseline_mips),
+        ],
+    ];
+    println!("{}", render_table(&["stage", "wall (s)", "sim instructions", "MIPS"], &rows));
+    println!("speedup (regenerate / shared): {:.2}x", report.speedup);
+    if report.prepr_total_s > 0.0 {
+        println!(
+            "speedup (pre-PR {} / shared): {:.2}x",
+            if report.prepr_rev.is_empty() { "binary" } else { &report.prepr_rev },
+            report.speedup_vs_prepr
+        );
+    }
+
+    let path = output_path();
+    let json = zbp_support::json::to_string_pretty(&report) + "\n";
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("saved: {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+    finish(t0);
+}

@@ -1,0 +1,127 @@
+//! Allocation probe for the bulk-transfer hot path.
+//!
+//! The slab-backed [`BtbArray`] and the scratch-buffer row API exist so
+//! that draining a bulk transfer — read a BTB2 row, install its entries
+//! into the BTBP, demote them in the BTB2 — touches the heap zero times
+//! per row. This test pins that property with a counting
+//! `#[global_allocator]`: after a warm-up round, a measured drain of
+//! hundreds of rows must perform no allocations at all.
+//!
+//! The file deliberately contains a single `#[test]` so no concurrent
+//! test shares (and perturbs) the process-global counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use zbp_predictor::btb::{BtbArray, BtbGeometry};
+use zbp_predictor::entry::BtbEntry;
+use zbp_predictor::transfer::TransferEngine;
+use zbp_trace::{BranchKind, InstAddr};
+
+/// Counts every allocation-side call; deallocations are free to happen
+/// (dropping a victim entry is a no-op anyway, but the property we pin
+/// is "no new heap memory per row").
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Fills `btb2` with `per_line` entries in each of `lines` consecutive
+/// 32-byte lines, returning the line numbers.
+fn fill_lines(btb2: &mut BtbArray, lines: u64, per_line: u64) -> Vec<u64> {
+    let line_bytes = u64::from(btb2.geometry().line_bytes);
+    for line in 0..lines {
+        for k in 0..per_line {
+            let addr = InstAddr::new(line * line_bytes + k * 6);
+            let entry = BtbEntry::surprise_install(
+                addr,
+                InstAddr::new(0x4_0000),
+                BranchKind::Conditional,
+                true,
+            );
+            btb2.insert(entry, 0);
+        }
+    }
+    (0..lines).collect()
+}
+
+/// One drain round: pop every visible row return, read the BTB2 row into
+/// the scratch buffer, install into the BTBP and demote in the BTB2 —
+/// the same per-row work `SearchEngine::advance_transfers` performs.
+fn drain_round(
+    engine: &mut TransferEngine,
+    btb2: &mut BtbArray,
+    btbp: &mut BtbArray,
+    scratch: &mut Vec<BtbEntry>,
+) -> usize {
+    let mut delivered = 0;
+    for row in engine.drain(u64::MAX) {
+        btb2.entries_in_line_into(row.line, row.visible_at, scratch);
+        for &e in scratch.iter() {
+            let _victim = btbp.insert(e, row.visible_at);
+            btb2.make_lru(e.addr);
+        }
+        delivered += scratch.len();
+    }
+    delivered
+}
+
+#[test]
+fn bulk_transfer_path_performs_zero_allocations_per_row() {
+    let mut btb2 = BtbArray::new(BtbGeometry::zec12_btb2());
+    let mut btbp = BtbArray::new(BtbGeometry::zec12_btbp());
+    let mut engine = TransferEngine::new(2);
+    let mut scratch: Vec<BtbEntry> = Vec::with_capacity(8);
+
+    let lines = fill_lines(&mut btb2, 512, 4);
+
+    // Warm-up: schedule and drain one full round so any lazily-grown
+    // buffer (the engine's request queue, the scratch vector) reaches
+    // steady-state capacity before measuring.
+    for (block, chunk) in lines.chunks(4).enumerate() {
+        engine.schedule(block as u64, chunk, 0, false);
+    }
+    let warm = drain_round(&mut engine, &mut btb2, &mut btbp, &mut scratch);
+    assert!(warm > 0, "warm-up must actually deliver rows");
+
+    // Re-schedule the same lines; the queue re-uses its warm capacity.
+    for (block, chunk) in lines.chunks(4).enumerate() {
+        engine.schedule(block as u64, chunk, 0, false);
+    }
+
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    let delivered = drain_round(&mut engine, &mut btb2, &mut btbp, &mut scratch);
+    let after = ALLOC_CALLS.load(Ordering::Relaxed);
+
+    assert!(delivered > 500, "measured round must cover hundreds of row entries ({delivered})");
+    assert_eq!(
+        after - before,
+        0,
+        "bulk-transfer drain allocated {} time(s) over {} rows; the hot path must be allocation-free",
+        after - before,
+        lines.len(),
+    );
+}

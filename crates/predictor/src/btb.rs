@@ -71,6 +71,14 @@ pub struct Hit {
 /// "make LRU" are list rotations, matching the paper's description of the
 /// semi-exclusive protocol in §3.3.
 ///
+/// Storage is one contiguous slab indexed by `row * ways` (row `r`
+/// occupies `slots[r * ways .. r * ways + row_len[r]]`), so the array is
+/// a single allocation fixed at construction: lookups, inserts,
+/// evictions and recency rotations never touch the heap. Bulk transfers
+/// read rows through [`BtbArray::entries_in_line_into`], which fills a
+/// caller-owned scratch buffer instead of allocating a fresh `Vec` per
+/// row.
+///
 /// ```
 /// use zbp_predictor::btb::{BtbArray, BtbGeometry};
 /// use zbp_predictor::entry::BtbEntry;
@@ -89,7 +97,11 @@ pub struct Hit {
 #[derive(Debug, Clone)]
 pub struct BtbArray {
     geometry: BtbGeometry,
-    rows: Vec<Vec<Slot>>,
+    /// Contiguous slot slab; row `r` owns `slots[r * ways ..][..ways]`,
+    /// of which the first `row_len[r]` are live, in recency order.
+    slots: Vec<Slot>,
+    /// Live slots per row.
+    row_len: Vec<u32>,
     line_shift: u32,
     row_mask: u64,
 }
@@ -104,12 +116,28 @@ impl BtbArray {
         assert!(geometry.rows.is_power_of_two(), "rows must be a power of two");
         assert!(geometry.line_bytes.is_power_of_two(), "line bytes must be a power of two");
         assert!(geometry.ways > 0, "ways must be positive");
+        let filler = Slot {
+            entry: BtbEntry::surprise_install(
+                InstAddr::new(0),
+                InstAddr::new(0),
+                zbp_trace::BranchKind::Unconditional,
+                false,
+            ),
+            visible_at: u64::MAX,
+        };
         Self {
-            rows: vec![Vec::with_capacity(geometry.ways as usize); geometry.rows as usize],
+            slots: vec![filler; geometry.capacity() as usize],
+            row_len: vec![0; geometry.rows as usize],
             line_shift: geometry.line_bytes.trailing_zeros(),
             row_mask: geometry.rows as u64 - 1,
             geometry,
         }
+    }
+
+    /// The live slots of row `row`, in recency order.
+    fn row_slots(&self, row: usize) -> &[Slot] {
+        let start = row * self.geometry.ways as usize;
+        &self.slots[start..start + self.row_len[row] as usize]
     }
 
     /// The array's geometry.
@@ -124,8 +152,8 @@ impl BtbArray {
 
     /// Exact-tag lookup visible at `now`. Does not affect recency.
     pub fn lookup(&self, addr: InstAddr, now: u64) -> Option<Hit> {
-        let row = &self.rows[self.row_of(addr)];
-        row.iter()
+        self.row_slots(self.row_of(addr))
+            .iter()
             .enumerate()
             .find(|(_, s)| s.entry.addr == addr && s.visible_at <= now)
             .map(|(i, s)| Hit { entry: s.entry, recency: i })
@@ -136,40 +164,44 @@ impl BtbArray {
     /// row search would report content for this line.
     pub fn line_has_content(&self, addr: InstAddr, now: u64) -> bool {
         let line = addr.raw() >> self.line_shift;
-        self.rows[self.row_of(addr)]
+        self.row_slots(self.row_of(addr))
             .iter()
             .any(|s| s.visible_at <= now && (s.entry.addr.raw() >> self.line_shift) == line)
     }
 
-    /// All entries visible at `now` whose address lies in the given line
-    /// (line number = address / line bytes), in recency order.
-    pub fn entries_in_line(&self, line: u64, now: u64) -> Vec<BtbEntry> {
+    /// Fills `out` with all entries visible at `now` whose address lies in
+    /// the given line (line number = address / line bytes), in recency
+    /// order. `out` is cleared first; callers reuse one buffer across rows
+    /// so the bulk-transfer loop never allocates per row.
+    pub fn entries_in_line_into(&self, line: u64, now: u64, out: &mut Vec<BtbEntry>) {
+        out.clear();
         let addr = InstAddr::new(line << self.line_shift);
-        self.rows[self.row_of(addr)]
-            .iter()
-            .filter(|s| s.visible_at <= now && (s.entry.addr.raw() >> self.line_shift) == line)
-            .map(|s| s.entry)
-            .collect()
+        out.extend(
+            self.row_slots(self.row_of(addr))
+                .iter()
+                .filter(|s| s.visible_at <= now && (s.entry.addr.raw() >> self.line_shift) == line)
+                .map(|s| s.entry),
+        );
     }
 
     /// Makes the entry for `addr` most recently used.
     pub fn make_mru(&mut self, addr: InstAddr) {
-        let row_idx = self.row_of(addr);
-        let row = &mut self.rows[row_idx];
-        if let Some(pos) = row.iter().position(|s| s.entry.addr == addr) {
-            let slot = row.remove(pos);
-            row.insert(0, slot);
+        let row = self.row_of(addr);
+        let start = row * self.geometry.ways as usize;
+        let slots = &mut self.slots[start..start + self.row_len[row] as usize];
+        if let Some(pos) = slots.iter().position(|s| s.entry.addr == addr) {
+            slots[..=pos].rotate_right(1);
         }
     }
 
     /// Makes the entry for `addr` least recently used (the semi-exclusive
     /// protocol applies this to BTB2 hits so later victims replace them).
     pub fn make_lru(&mut self, addr: InstAddr) {
-        let row_idx = self.row_of(addr);
-        let row = &mut self.rows[row_idx];
-        if let Some(pos) = row.iter().position(|s| s.entry.addr == addr) {
-            let slot = row.remove(pos);
-            row.push(slot);
+        let row = self.row_of(addr);
+        let start = row * self.geometry.ways as usize;
+        let slots = &mut self.slots[start..start + self.row_len[row] as usize];
+        if let Some(pos) = slots.iter().position(|s| s.entry.addr == addr) {
+            slots[pos..].rotate_left(1);
         }
     }
 
@@ -179,34 +211,50 @@ impl BtbArray {
     /// An existing entry with the same address is replaced in place (and
     /// made MRU) rather than duplicated.
     pub fn insert(&mut self, entry: BtbEntry, visible_at: u64) -> Option<BtbEntry> {
-        let row_idx = self.row_of(entry.addr);
+        let row = self.row_of(entry.addr);
         let ways = self.geometry.ways as usize;
-        let row = &mut self.rows[row_idx];
-        let mut visible_at = visible_at;
-        if let Some(pos) = row.iter().position(|s| s.entry.addr == entry.addr) {
+        let start = row * ways;
+        let len = self.row_len[row] as usize;
+        let slots = &mut self.slots[start..start + ways];
+        if let Some(pos) = slots[..len].iter().position(|s| s.entry.addr == entry.addr) {
             // Re-writing an in-flight entry must not push its visibility
             // into the future: the earlier write still completes.
-            visible_at = visible_at.min(row[pos].visible_at);
-            row.remove(pos);
+            let visible_at = visible_at.min(slots[pos].visible_at);
+            slots[..=pos].rotate_right(1);
+            slots[0] = Slot { entry, visible_at };
+            return None;
         }
-        row.insert(0, Slot { entry, visible_at });
-        if row.len() > ways {
-            return row.pop().map(|s| s.entry);
+        if len < ways {
+            slots[..=len].rotate_right(1);
+            slots[0] = Slot { entry, visible_at };
+            self.row_len[row] += 1;
+            None
+        } else {
+            let victim = slots[ways - 1].entry;
+            slots.rotate_right(1);
+            slots[0] = Slot { entry, visible_at };
+            Some(victim)
         }
-        None
     }
 
     /// Removes and returns the entry for `addr`.
     pub fn remove(&mut self, addr: InstAddr) -> Option<BtbEntry> {
-        let row_idx = self.row_of(addr);
-        let row = &mut self.rows[row_idx];
-        row.iter().position(|s| s.entry.addr == addr).map(|pos| row.remove(pos).entry)
+        let row = self.row_of(addr);
+        let start = row * self.geometry.ways as usize;
+        let slots = &mut self.slots[start..start + self.row_len[row] as usize];
+        let pos = slots.iter().position(|s| s.entry.addr == addr)?;
+        let entry = slots[pos].entry;
+        slots[pos..].rotate_left(1);
+        self.row_len[row] -= 1;
+        Some(entry)
     }
 
     /// Updates an entry in place via `f`; returns whether it was found.
     pub fn update_entry(&mut self, addr: InstAddr, f: impl FnOnce(&mut BtbEntry)) -> bool {
-        let row_idx = self.row_of(addr);
-        if let Some(slot) = self.rows[row_idx].iter_mut().find(|s| s.entry.addr == addr) {
+        let row = self.row_of(addr);
+        let start = row * self.geometry.ways as usize;
+        let slots = &mut self.slots[start..start + self.row_len[row] as usize];
+        if let Some(slot) = slots.iter_mut().find(|s| s.entry.addr == addr) {
             f(&mut slot.entry);
             true
         } else {
@@ -216,14 +264,12 @@ impl BtbArray {
 
     /// Number of entries currently stored.
     pub fn occupancy(&self) -> usize {
-        self.rows.iter().map(|r| r.len()).sum()
+        self.row_len.iter().map(|&l| l as usize).sum()
     }
 
     /// Removes all entries.
     pub fn clear(&mut self) {
-        for row in &mut self.rows {
-            row.clear();
-        }
+        self.row_len.fill(0);
     }
 }
 
@@ -338,10 +384,14 @@ mod tests {
         b.insert(entry(0x40), 0);
         b.insert(entry(0x48), 0); // same 32B line
         b.insert(entry(0x60), 0); // same row? 0x60>>5=3 vs 0x40>>5=2: different line
-        let line2 = b.entries_in_line(2, 0);
-        assert_eq!(line2.len(), 2);
-        assert!(line2.iter().all(|e| e.addr.raw() >> 5 == 2));
-        assert_eq!(b.entries_in_line(3, 0).len(), 1);
+        let mut line = Vec::new();
+        b.entries_in_line_into(2, 0, &mut line);
+        assert_eq!(line.len(), 2);
+        assert!(line.iter().all(|e| e.addr.raw() >> 5 == 2));
+        // The same buffer is reused across rows: cleared, then refilled.
+        b.entries_in_line_into(3, 0, &mut line);
+        assert_eq!(line.len(), 1);
+        assert_eq!(line[0].addr.raw(), 0x60);
         assert!(b.line_has_content(InstAddr::new(0x41), 0));
         assert!(!b.line_has_content(InstAddr::new(0xA0), 0), "empty line must report no content");
     }
@@ -357,6 +407,25 @@ mod tests {
         assert!(removed.use_pht);
         assert_eq!(b.occupancy(), 0);
         assert!(b.remove(InstAddr::new(0x00)).is_none());
+    }
+
+    #[test]
+    fn slab_rows_are_isolated() {
+        // Adjacent rows share one slab; churn in one row must never leak
+        // into its neighbours' segments.
+        let mut b = tiny();
+        b.insert(entry(0x20), 0); // row 1
+        b.insert(entry(0xA0), 0); // row 1 (wraps at 128 B)
+        b.insert(entry(0x00), 0); // row 0
+        b.insert(entry(0x80), 0); // row 0
+        b.insert(entry(0x100), 0); // row 0 overflow: evicts 0x00
+        b.make_lru(InstAddr::new(0x20));
+        b.remove(InstAddr::new(0xA0));
+        assert!(b.lookup(InstAddr::new(0x80), 0).is_some());
+        assert!(b.lookup(InstAddr::new(0x100), 0).is_some());
+        assert!(b.lookup(InstAddr::new(0x20), 0).is_some());
+        assert!(b.lookup(InstAddr::new(0x00), 0).is_none());
+        assert_eq!(b.occupancy(), 3);
     }
 
     #[test]

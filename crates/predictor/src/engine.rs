@@ -108,6 +108,10 @@ pub struct SearchEngine {
     chained_blocks: VecDeque<u64>,
     /// Phantom prefetches in flight: (visible cycle, entry), monotonic.
     phantom_pending: VecDeque<(u64, BtbEntry)>,
+    /// Reusable row buffer for bulk-transfer reads: cleared and refilled
+    /// per row by [`SecondLevelBtb::entries_in_line_into`], so the hot
+    /// transfer loop performs no per-row heap allocation.
+    line_scratch: Vec<BtbEntry>,
 }
 
 impl SearchEngine {
@@ -121,6 +125,7 @@ impl SearchEngine {
             miss: MissDetector::new(cfg.miss_search_limit),
             chained_blocks: VecDeque::with_capacity(16),
             phantom_pending: VecDeque::new(),
+            line_scratch: Vec::with_capacity(8),
         }
     }
 
@@ -492,10 +497,11 @@ impl SearchEngine {
         let Some(btb2) = btb2.as_mut() else { return };
         let chase = cfg.multi_block_transfer;
         let mut chain: Option<(InstAddr, u64)> = None;
+        let scratch = &mut self.line_scratch;
         for row in transfer.drain(cycle) {
-            let entries = SecondLevelBtb::entries_in_line(btb2, row.line, row.visible_at);
-            bus.observe(Sample::TransferRowEntries, entries.len() as u64);
-            for e in entries {
+            SecondLevelBtb::entries_in_line_into(btb2, row.line, row.visible_at, scratch);
+            bus.observe(Sample::TransferRowEntries, scratch.len() as u64);
+            for &e in scratch.iter() {
                 bus.bump(Counter::Btb2EntriesTransferred);
                 btbp.insert(e, row.visible_at);
                 if VictimPolicy::invalidate_on_hit(&cfg.exclusivity) {

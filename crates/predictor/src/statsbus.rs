@@ -108,7 +108,9 @@ pub struct Histogram {
 impl Histogram {
     fn observe(&mut self, value: u64) {
         self.count += 1;
-        self.sum += value;
+        // Saturate: sentinel-sized samples (e.g. u64::MAX lead times)
+        // must clamp the sum rather than overflow it.
+        self.sum = self.sum.saturating_add(value);
         self.max = self.max.max(value);
         let bucket = (64 - value.leading_zeros() as usize).min(NUM_BUCKETS - 1);
         self.buckets[bucket] += 1;

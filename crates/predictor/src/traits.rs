@@ -89,9 +89,19 @@ pub trait SecondLevelBtb {
     fn make_lru(&mut self, addr: InstAddr);
     /// Applies `f` to the entry for `addr` in place; `true` on hit.
     fn update_entry(&mut self, addr: InstAddr, f: &mut dyn FnMut(&mut BtbEntry)) -> bool;
-    /// All entries of row `line` visible by `now` (one bulk-transfer row
-    /// read).
-    fn entries_in_line(&self, line: u64, now: u64) -> Vec<BtbEntry>;
+    /// One bulk-transfer row read: clears `out` and fills it with all
+    /// entries of row `line` visible by `now`, in recency order. The
+    /// transfer loop hands the same scratch buffer to every row, so a
+    /// backend must not allocate here beyond growing `out`.
+    fn entries_in_line_into(&self, line: u64, now: u64, out: &mut Vec<BtbEntry>);
+    /// Allocating convenience wrapper over
+    /// [`entries_in_line_into`](SecondLevelBtb::entries_in_line_into)
+    /// (diagnostics and tests); the row-filtering logic lives only there.
+    fn entries_in_line(&self, line: u64, now: u64) -> Vec<BtbEntry> {
+        let mut out = Vec::new();
+        self.entries_in_line_into(line, now, &mut out);
+        out
+    }
     /// Width of one transfer row in bytes (the §6 wide-row studies
     /// schedule proportionally fewer reads per block).
     fn row_bytes(&self) -> u64;
@@ -122,8 +132,8 @@ impl SecondLevelBtb for BtbArray {
         BtbArray::update_entry(self, addr, |e| f(e))
     }
 
-    fn entries_in_line(&self, line: u64, now: u64) -> Vec<BtbEntry> {
-        BtbArray::entries_in_line(self, line, now)
+    fn entries_in_line_into(&self, line: u64, now: u64, out: &mut Vec<BtbEntry>) {
+        BtbArray::entries_in_line_into(self, line, now, out);
     }
 
     fn row_bytes(&self) -> u64 {

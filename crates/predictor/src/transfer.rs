@@ -103,24 +103,26 @@ impl TransferEngine {
         self.busy_until + self.latency - 1
     }
 
-    /// Returns every row whose data is visible by `now`, in issue order.
-    pub fn drain(&mut self, now: u64) -> Vec<RowReturn> {
-        let mut out = Vec::new();
-        while let Some(front) = self.queue.front() {
-            let visible = front.issue + self.latency;
+    /// Drains every row whose data is visible by `now`, in issue order.
+    ///
+    /// Returns a lazy draining iterator (rows leave the queue as the
+    /// iterator advances) so the per-lookup transfer poll — which almost
+    /// always yields nothing — never allocates.
+    pub fn drain(&mut self, now: u64) -> impl Iterator<Item = RowReturn> + '_ {
+        std::iter::from_fn(move || {
+            let visible = self.queue.front()?.issue + self.latency;
             if visible > now {
-                break;
+                return None;
             }
             let r = self.queue.pop_front().expect("front exists");
-            out.push(RowReturn {
+            Some(RowReturn {
                 line: r.line,
                 block: r.block,
                 visible_at: visible,
                 last: r.last,
                 partial: r.partial,
-            });
-        }
-        out
+            })
+        })
     }
 
     /// Rows still queued or in flight.
@@ -153,13 +155,13 @@ mod tests {
     fn rows_become_visible_latency_after_issue() {
         let mut e = TransferEngine::new(8);
         e.schedule(1, &[100, 101], 10, true);
-        assert!(e.drain(17).is_empty(), "first row issues at 10, visible at 18");
-        let rows = e.drain(18);
+        assert_eq!(e.drain(17).count(), 0, "first row issues at 10, visible at 18");
+        let rows: Vec<RowReturn> = e.drain(18).collect();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].line, 100);
         assert_eq!(rows[0].visible_at, 18);
         assert!(!rows[0].last);
-        let rows = e.drain(1000);
+        let rows: Vec<RowReturn> = e.drain(1000).collect();
         assert_eq!(rows.len(), 1);
         assert!(rows[0].last);
         assert!(rows[0].partial);
@@ -173,7 +175,7 @@ mod tests {
         let done2 = e.schedule(2, &[10], 0, true);
         // Second request waits for the port: issues at cycle 4.
         assert_eq!(done2, 4 + 8 - 1 + 1);
-        let rows = e.drain(u64::MAX);
+        let rows: Vec<RowReturn> = e.drain(u64::MAX).collect();
         assert_eq!(rows.len(), 5);
         assert!(rows[..4].iter().all(|r| r.block == 1));
         assert_eq!(rows[4].block, 2);
@@ -204,9 +206,9 @@ mod tests {
     fn drain_is_monotonic_in_issue_order() {
         let mut e = TransferEngine::new(2);
         e.schedule(1, &[5, 6, 7], 0, false);
-        let first = e.drain(3);
-        assert_eq!(first.iter().map(|r| r.line).collect::<Vec<_>>(), vec![5, 6]);
-        let rest = e.drain(4);
+        let first: Vec<u64> = e.drain(3).map(|r| r.line).collect();
+        assert_eq!(first, vec![5, 6]);
+        let rest: Vec<RowReturn> = e.drain(4).collect();
         assert_eq!(rest[0].line, 7);
     }
 }

@@ -191,7 +191,7 @@ fn transfer_rows_return_in_issue_order_with_fixed_latency() {
             next_line += n as u64;
             e.schedule(i as u64, &lines, 0, false);
         }
-        let rows = e.drain(u64::MAX);
+        let rows: Vec<_> = e.drain(u64::MAX).collect();
         assert_eq!(rows.len(), next_line as usize);
         for (i, r) in rows.iter().enumerate() {
             assert_eq!(r.line, i as u64, "single busy port issues in order");

@@ -10,6 +10,16 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::thread;
 
+/// Number of worker threads [`par_map`] will use at most: the machine's
+/// available parallelism (1 when it cannot be determined).
+///
+/// Callers use this to pick a fan-out shape — e.g. a grid run fuses its
+/// inner dimension instead of nesting `par_map`s once the outer
+/// dimension alone saturates the workers.
+pub fn max_workers() -> usize {
+    thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
 /// Applies `f` to every item, in parallel, preserving input order.
 ///
 /// Workers claim indices from a shared atomic counter (dynamic load
@@ -25,8 +35,7 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let n_threads =
-        thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1).min(items.len().max(1));
+    let n_threads = max_workers().min(items.len().max(1));
     if n_threads <= 1 || items.len() <= 1 {
         return items.iter().map(&f).collect();
     }
@@ -83,6 +92,23 @@ mod tests {
         });
         assert_eq!(out.len(), 57);
         assert_eq!(count.load(Ordering::Relaxed), 57);
+    }
+
+    #[test]
+    fn worker_panics_propagate_instead_of_hanging() {
+        // A panicking worker drops its channel sender and unwinds out of
+        // the thread scope; the reassembly loop must never be reached,
+        // and the caller sees the panic rather than a deadlock.
+        let items: Vec<u32> = (0..64).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_map(&items, |&x| {
+                if x == 7 {
+                    panic!("worker exploded");
+                }
+                x
+            })
+        }));
+        assert!(result.is_err(), "the worker panic must propagate to the caller");
     }
 
     #[test]

@@ -46,8 +46,15 @@ impl Simulator {
 
     /// Replays `trace` and returns the result.
     pub fn run<T: Trace>(&self, trace: &T) -> SimResult {
-        let model = CoreModel::new(self.config.uarch, self.config.predictor.clone());
-        SimResult { config_name: self.config.name.clone(), core: model.run(trace) }
+        Self::run_config(&self.config, trace)
+    }
+
+    /// Replays `trace` under a borrowed configuration, without cloning
+    /// it into a [`Simulator`] first (grid runs share one config per
+    /// column across every workload row).
+    pub fn run_config<T: Trace>(config: &SimConfig, trace: &T) -> SimResult {
+        let model = CoreModel::new(config.uarch, config.predictor.clone());
+        SimResult { config_name: config.name.clone(), core: model.run(trace) }
     }
 }
 

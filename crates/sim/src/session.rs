@@ -1,19 +1,33 @@
 //! Batched simulation sessions.
 //!
 //! A [`SimSession`] describes a workload × configuration grid once and
-//! runs every cell through a single [`par_map`] fan-out, instead of each
-//! experiment hand-rolling its own loop over [`Simulator`]. Flattening
-//! the whole grid into one batch keeps all cores busy even when one
-//! dimension is small (e.g. 13 workloads × 3 configurations = 39
-//! independent cells), and the resulting [`SessionGrid`] answers the
-//! questions every figure asks: the CPI of a cell, or the improvement of
-//! one configuration over another on the same workload.
+//! runs it through a nested [`par_map`] fan-out — rows across workloads,
+//! columns across configurations within a row — instead of each
+//! experiment hand-rolling its own loop over [`Simulator`]. Both grid
+//! dimensions parallelize (13 workloads × 3 configurations keeps 39
+//! cells in flight; a single-workload sweep still fans out across its
+//! columns), and the resulting [`SessionGrid`] answers the questions
+//! every figure asks: the CPI of a cell, or the improvement of one
+//! configuration over another on the same workload.
+//!
+//! Workload synthesis is shared across each row: the workload's
+//! instruction stream is captured once into a [`MaterializedTrace`] and
+//! every configuration column replays the shared capture — O(W×C)
+//! dynamic walks become O(W) walks plus cheap slice scans — then the
+//! capture is dropped before the next row claims the worker, keeping
+//! resident captures bounded by the worker count rather than the grid
+//! width. Workloads whose capture would exceed
+//! [`SimSession::materialize_cap`] replay their re-runnable generator
+//! per column instead, trading the redundant walks back for flat memory.
 
 use crate::config::SimConfig;
 use crate::experiments::ExperimentOptions;
 use crate::parallel::par_map;
 use crate::runner::{SimResult, Simulator};
+use std::sync::Mutex;
+use zbp_trace::materialize::MaterializedTrace;
 use zbp_trace::profile::WorkloadProfile;
+use zbp_trace::TraceInstr;
 
 /// Builder for a batched workload × configuration run.
 ///
@@ -35,6 +49,7 @@ use zbp_trace::profile::WorkloadProfile;
 pub struct SimSession {
     seed: u64,
     len: Option<u64>,
+    materialize_cap: u64,
     workloads: Vec<WorkloadProfile>,
     configs: Vec<SimConfig>,
 }
@@ -45,11 +60,21 @@ impl Default for SimSession {
     }
 }
 
+/// Default per-workload [`SimSession::materialize_cap`]: 1 GiB of record
+/// storage, enough for every Table-4 workload at its default length.
+pub const DEFAULT_MATERIALIZE_CAP: u64 = 1 << 30;
+
 impl SimSession {
     /// An empty session with the default seed and uncapped lengths.
     pub fn new() -> Self {
         let opts = ExperimentOptions::default();
-        Self { seed: opts.seed, len: opts.len, workloads: Vec::new(), configs: Vec::new() }
+        Self {
+            seed: opts.seed,
+            len: opts.len,
+            materialize_cap: DEFAULT_MATERIALIZE_CAP,
+            workloads: Vec::new(),
+            configs: Vec::new(),
+        }
     }
 
     /// Takes seed and length cap from [`ExperimentOptions`].
@@ -70,6 +95,17 @@ impl SimSession {
     #[must_use]
     pub fn max_len(mut self, len: u64) -> Self {
         self.len = Some(len);
+        self
+    }
+
+    /// Caps the bytes of record storage one workload may occupy when its
+    /// trace is captured for sharing across configuration columns.
+    /// Workloads over the cap are regenerated per cell instead (`0`
+    /// disables sharing entirely). Defaults to
+    /// [`DEFAULT_MATERIALIZE_CAP`].
+    #[must_use]
+    pub fn materialize_cap(mut self, bytes: u64) -> Self {
+        self.materialize_cap = bytes;
         self
     }
 
@@ -105,20 +141,47 @@ impl SimSession {
         self.len.map_or(p.default_len, |l| l.min(p.default_len))
     }
 
-    /// Runs every workload × configuration cell in one parallel batch.
+    /// Runs every workload × configuration cell, workload-major.
+    ///
+    /// Generate-once: each workload row is synthesized a single time and
+    /// captured into a [`MaterializedTrace`] that every configuration
+    /// column of that row replays (a nested [`par_map`]: rows fan out
+    /// across workloads, columns fan out across configurations within a
+    /// row). The capture is dropped as soon as its row completes, so at
+    /// most one capture per outer worker is resident — a flat
+    /// capture-everything pre-pass holds all rows live at once, which
+    /// measurably slows the captures themselves on memory-starved
+    /// machines (every buffer is fresh, faulted-in memory instead of
+    /// pages recycled from the previous row).
+    ///
+    /// Workloads whose capture would exceed [`Self::materialize_cap`]
+    /// replay their re-runnable generator directly instead. Either path
+    /// replays the identical instruction stream, so results are
+    /// bit-identical regardless of the cap.
     pub fn run(&self) -> SessionGrid {
-        let cells: Vec<(usize, usize)> = (0..self.workloads.len())
-            .flat_map(|w| (0..self.configs.len()).map(move |c| (w, c)))
-            .collect();
-        let results = par_map(&cells, |&(w, c)| {
-            let p = &self.workloads[w];
-            let trace = p.build_with_len(self.seed, self.effective_len(p));
-            Simulator::new(self.configs[c].clone()).run(&trace)
+        // Capture buffers recycle through a pool: they sit above the
+        // allocator's mmap threshold, so dropping one unmaps it and the
+        // next row would re-fault every page of a fresh mapping.
+        let pool: Mutex<Vec<Vec<TraceInstr>>> = Mutex::new(Vec::new());
+        let per_workload: Vec<Vec<SimResult>> = par_map(&self.workloads, |p| {
+            let len = self.effective_len(p);
+            let gen = p.build_with_len(self.seed, len);
+            if MaterializedTrace::estimated_bytes(len) <= self.materialize_cap {
+                let buf = pool.lock().expect("pool lock").pop().unwrap_or_default();
+                let mat = MaterializedTrace::capture_into(&gen, buf);
+                let results = par_map(&self.configs, |c| Simulator::run_config(c, &mat));
+                if let Some(buf) = mat.into_records() {
+                    pool.lock().expect("pool lock").push(buf);
+                }
+                results
+            } else {
+                par_map(&self.configs, |c| Simulator::run_config(c, &gen))
+            }
         });
         SessionGrid {
             workloads: self.workloads.iter().map(|p| p.name.clone()).collect(),
             configs: self.configs.iter().map(|c| c.name.clone()).collect(),
-            results,
+            results: per_workload.into_iter().flatten().collect(),
         }
     }
 }
@@ -184,9 +247,9 @@ mod tests {
             .run();
         assert_eq!(grid.workloads().len(), 2);
         assert_eq!(grid.configs(), &["No BTB2".to_string(), "BTB2 enabled".to_string()]);
-        for w in grid.workloads().to_vec() {
-            for c in grid.configs().to_vec() {
-                assert!(grid.cpi(&w, &c) > 0.0);
+        for w in grid.workloads() {
+            for c in grid.configs() {
+                assert!(grid.cpi(w, c) > 0.0);
             }
         }
         assert!(grid.get("TPF airline reservations", "nope").is_none());
@@ -207,6 +270,27 @@ mod tests {
         let trace = p.build_with_len(3, 20_000.min(p.default_len));
         let direct = Simulator::new(SimConfig::btb2_enabled()).run(&trace);
         assert_eq!(grid.result(&p.name, "BTB2 enabled").cpi(), direct.cpi());
+    }
+
+    #[test]
+    fn shared_and_walked_grids_are_bit_identical() {
+        // The materialized fast path must change speed, not predictions:
+        // a capped session (every cell re-walks its generator) and the
+        // default shared session produce the same results.
+        let session = SimSession::new()
+            .seed(11)
+            .max_len(8_000)
+            .workloads(vec![WorkloadProfile::tpf_airline(), WorkloadProfile::zos_lspr_wasdb_cbw2()])
+            .configs(vec![SimConfig::no_btb2(), SimConfig::btb2_enabled()]);
+        let shared = session.clone().run();
+        let walked = session.materialize_cap(0).run();
+        for w in shared.workloads() {
+            for c in shared.configs() {
+                let (s, k) = (shared.result(w, c), walked.result(w, c));
+                assert_eq!(s.core.cycles, k.core.cycles, "({w}, {c}) cycles diverged");
+                assert_eq!(s.core.outcomes, k.core.outcomes, "({w}, {c}) outcomes diverged");
+            }
+        }
     }
 
     #[test]

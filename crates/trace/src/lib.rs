@@ -34,12 +34,14 @@ pub mod branch;
 pub mod gen;
 pub mod instr;
 pub mod io;
+pub mod materialize;
 pub mod profile;
 pub mod stats;
 
 pub use addr::InstAddr;
 pub use branch::{BranchKind, BranchRec};
 pub use instr::TraceInstr;
+pub use materialize::MaterializedTrace;
 pub use stats::TraceStats;
 
 /// A deterministic, re-runnable instruction trace.

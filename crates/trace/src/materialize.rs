@@ -1,0 +1,178 @@
+//! Materialized traces: generate once, replay everywhere.
+//!
+//! Synthetic traces are re-runnable generators ([`Trace::iter`] walks the
+//! program afresh each call), which keeps memory flat but makes every
+//! replay pay the full dynamic-walk cost. Multi-configuration studies
+//! replay the *same* workload many times — Figure 2 alone replays each
+//! of 13 traces across 3 configurations — so a [`MaterializedTrace`]
+//! captures the instruction stream once into one `Arc`-shared buffer
+//! and serves every subsequent replay as a plain slice scan.
+//!
+//! Cloning a materialized trace is an `Arc` bump: all configuration
+//! columns of a session grid share one allocation.
+
+use std::sync::Arc;
+
+use crate::instr::TraceInstr;
+use crate::Trace;
+
+/// An instruction stream captured in memory behind an [`Arc`], so many
+/// replays (and many threads) share one copy.
+///
+/// ```
+/// use zbp_trace::materialize::MaterializedTrace;
+/// use zbp_trace::{profile::WorkloadProfile, Trace};
+///
+/// let gen = WorkloadProfile::tpf_airline().build(7).with_len(10_000);
+/// let mat = MaterializedTrace::capture(&gen);
+/// assert_eq!(mat.len(), gen.len());
+/// assert!(mat.iter().eq(gen.iter()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MaterializedTrace {
+    name: Arc<str>,
+    /// `Arc<Vec<_>>` rather than `Arc<[_]>`: converting a `Vec` into an
+    /// `Arc` slice copies the whole buffer into a fresh allocation, and
+    /// for multi-megabyte captures that second write costs as much as
+    /// the generation walk itself. Wrapping the `Vec` keeps capture a
+    /// single allocation + single write at the price of one extra
+    /// pointer hop when a replay starts.
+    instrs: Arc<Vec<TraceInstr>>,
+}
+
+impl MaterializedTrace {
+    /// Captures `trace`'s full instruction stream into shared memory.
+    ///
+    /// The allocation is sized exactly from [`Trace::len`] up front, so
+    /// capturing never reallocates mid-stream.
+    pub fn capture<T: Trace>(trace: &T) -> Self {
+        Self::capture_into(trace, Vec::new())
+    }
+
+    /// Captures `trace` into `buf`, reusing `buf`'s existing allocation.
+    ///
+    /// Capture buffers are tens of megabytes — above the allocator's
+    /// mmap threshold — so a fresh buffer per capture is unmapped on
+    /// drop and the next capture re-faults every page. Callers that
+    /// capture in a loop recover the buffer with [`Self::into_records`]
+    /// and pass it back here to keep one warm mapping alive.
+    pub fn capture_into<T: Trace>(trace: &T, mut buf: Vec<TraceInstr>) -> Self {
+        buf.clear();
+        buf.reserve(usize::try_from(trace.len()).unwrap_or(0));
+        buf.extend(trace.iter());
+        Self { name: trace.name().into(), instrs: Arc::new(buf) }
+    }
+
+    /// Captures `trace` only if its stream fits within `max_bytes` of
+    /// record storage; returns `None` (caller falls back to on-the-fly
+    /// walking) otherwise.
+    pub fn capture_within<T: Trace>(trace: &T, max_bytes: u64) -> Option<Self> {
+        (Self::estimated_bytes(trace.len()) <= max_bytes).then(|| Self::capture(trace))
+    }
+
+    /// Bytes of record storage a stream of `len` instructions occupies
+    /// once materialized.
+    pub const fn estimated_bytes(len: u64) -> u64 {
+        len.saturating_mul(std::mem::size_of::<TraceInstr>() as u64)
+    }
+
+    /// Borrow the captured records.
+    pub fn records(&self) -> &[TraceInstr] {
+        &self.instrs
+    }
+
+    /// Recovers the record buffer for reuse by a later
+    /// [`Self::capture_into`]; `None` if clones of this trace are still
+    /// alive (the buffer stays shared and is freed when the last clone
+    /// drops).
+    pub fn into_records(self) -> Option<Vec<TraceInstr>> {
+        Arc::try_unwrap(self.instrs).ok()
+    }
+}
+
+impl Trace for MaterializedTrace {
+    type Iter<'a> = std::iter::Copied<std::slice::Iter<'a, TraceInstr>>;
+
+    fn iter(&self) -> Self::Iter<'_> {
+        self.instrs.iter().copied()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn len(&self) -> u64 {
+        self.instrs.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::WorkloadProfile;
+
+    #[test]
+    fn capture_matches_source_stream() {
+        let gen = WorkloadProfile::tpf_airline().build(3).with_len(5_000);
+        let mat = MaterializedTrace::capture(&gen);
+        assert_eq!(mat.len(), 5_000);
+        assert_eq!(mat.name(), gen.name());
+        assert!(mat.iter().eq(gen.iter()));
+    }
+
+    #[test]
+    fn clones_share_the_allocation() {
+        let gen = WorkloadProfile::tpf_airline().build(3).with_len(1_000);
+        let mat = MaterializedTrace::capture(&gen);
+        let other = mat.clone();
+        assert!(std::ptr::eq(mat.records().as_ptr(), other.records().as_ptr()));
+    }
+
+    #[test]
+    fn empty_capture_is_empty() {
+        let gen = WorkloadProfile::tpf_airline().build(3).with_len(0);
+        let mat = MaterializedTrace::capture(&gen);
+        assert!(mat.is_empty());
+        assert_eq!(mat.iter().next(), None);
+    }
+
+    #[test]
+    fn capture_within_respects_the_budget() {
+        let gen = WorkloadProfile::tpf_airline().build(3).with_len(100);
+        let need = MaterializedTrace::estimated_bytes(100);
+        assert!(MaterializedTrace::capture_within(&gen, need).is_some());
+        assert!(MaterializedTrace::capture_within(&gen, need - 1).is_none());
+    }
+
+    #[test]
+    fn capture_into_reuses_the_buffer_and_into_records_recovers_it() {
+        let gen = WorkloadProfile::tpf_airline().build(3).with_len(500);
+        let mut buf = Vec::with_capacity(500);
+        let ptr = buf.as_ptr();
+        buf.extend(gen.iter().take(10)); // stale contents must be discarded
+        let mat = MaterializedTrace::capture_into(&gen, buf);
+        assert_eq!(mat.len(), 500);
+        assert!(mat.iter().eq(gen.iter()), "stale prefix cleared before capture");
+        assert!(std::ptr::eq(mat.records().as_ptr(), ptr), "allocation was reused");
+        let back = mat.into_records().expect("sole owner recovers the buffer");
+        assert!(std::ptr::eq(back.as_ptr(), ptr));
+    }
+
+    #[test]
+    fn into_records_declines_while_clones_are_alive() {
+        let gen = WorkloadProfile::tpf_airline().build(3).with_len(100);
+        let mat = MaterializedTrace::capture(&gen);
+        let clone = mat.clone();
+        assert!(mat.into_records().is_none(), "shared buffer stays shared");
+        assert_eq!(clone.len(), 100);
+        assert!(clone.into_records().is_some(), "last owner recovers it");
+    }
+
+    #[test]
+    fn estimated_bytes_scales_with_record_size() {
+        let sz = std::mem::size_of::<TraceInstr>() as u64;
+        assert_eq!(MaterializedTrace::estimated_bytes(0), 0);
+        assert_eq!(MaterializedTrace::estimated_bytes(7), 7 * sz);
+        assert_eq!(MaterializedTrace::estimated_bytes(u64::MAX), u64::MAX, "saturates");
+    }
+}

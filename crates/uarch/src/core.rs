@@ -94,6 +94,9 @@ pub struct CoreModel {
     outcomes: OutcomeCounts,
     penalties: PenaltyAccounting,
     cycle: f64,
+    /// Decode cost per instruction, `1/decode_width + base_cpi_overhead`,
+    /// precomputed so the per-step path carries no float division.
+    step_cycles: f64,
     instructions: u64,
     cur_line: Option<u64>,
     /// Address the stream should continue at; a mismatch is an
@@ -113,6 +116,7 @@ impl CoreModel {
             outcomes: OutcomeCounts::default(),
             penalties: PenaltyAccounting::default(),
             cycle: 0.0,
+            step_cycles: 1.0 / cfg.decode_width as f64 + cfg.base_cpi_overhead,
             instructions: 0,
             cur_line: None,
             expected_addr: None,
@@ -131,7 +135,7 @@ impl CoreModel {
     /// Executes one instruction.
     pub fn step(&mut self, instr: &TraceInstr) {
         self.instructions += 1;
-        self.cycle += 1.0 / self.cfg.decode_width as f64 + self.cfg.base_cpi_overhead;
+        self.cycle += self.step_cycles;
 
         // Stream start and asynchronous control transfers (time-slice
         // switches, interrupts): prediction search restarts at the new

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Runs the MIPS throughput harness over the figure-2 grid and refreshes
+# BENCH_throughput.json at the repository root.
+#
+# Usage:
+#   scripts/bench_throughput.sh              # default: 1M instructions/workload
+#   ZBP_TRACE_LEN=200000 scripts/bench_throughput.sh   # quicker probe
+#   ZBP_BENCH_OUT=/tmp/t.json scripts/bench_throughput.sh  # alternate output
+#
+# To record a full before/after against the pre-PR binary, time the same
+# grid from a worktree at the earlier commit and pass the wall-clock in:
+#   git worktree add /tmp/prepr <rev> && (cd /tmp/prepr && time cargo run ...)
+#   ZBP_BENCH_PREPR_S=3.49 ZBP_BENCH_PREPR_REV=<rev> scripts/bench_throughput.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec cargo bench -p zbp-bench --bench throughput "$@"
