@@ -5,16 +5,6 @@
 //! designs either burn write bandwidth or serve stale content. This
 //! ablation compares the three policies' average benefit.
 
-use zbp_bench::{finish, pct, save_json, start};
-use zbp_sim::experiments::ablation_exclusivity;
-use zbp_sim::report::render_table;
-
 fn main() {
-    let (opts, t0) = start("Ablation — exclusivity policies", "§3.3 design discussion");
-    let points = ablation_exclusivity(&opts);
-    let table: Vec<Vec<String>> =
-        points.iter().map(|p| vec![p.label.clone(), pct(p.avg_improvement)]).collect();
-    println!("{}", render_table(&["policy", "avg CPI improvement"], &table));
-    save_json("ablation_exclusivity", &points);
-    finish(t0);
+    zbp_bench::run_registered("ablation_exclusivity");
 }

@@ -6,16 +6,6 @@
 //! bandwidth burned on false perceived misses) or drop filtered misses
 //! entirely (losing real capacity misses the filter mispredicts).
 
-use zbp_bench::{finish, pct, save_json, start};
-use zbp_sim::experiments::ablation_filter;
-use zbp_sim::report::render_table;
-
 fn main() {
-    let (opts, t0) = start("Ablation — I-cache miss filter", "§3.5");
-    let points = ablation_filter(&opts);
-    let table: Vec<Vec<String>> =
-        points.iter().map(|p| vec![p.label.clone(), pct(p.avg_improvement)]).collect();
-    println!("{}", render_table(&["filter mode", "avg CPI improvement"], &table));
-    save_json("ablation_filter", &points);
-    finish(t0);
+    zbp_bench::run_registered("ablation_filter");
 }

@@ -5,16 +5,6 @@
 //! first; with it disabled, transfers return sequentially from the demand
 //! quartile and late-arriving sectors stay surprises longer.
 
-use zbp_bench::{finish, pct, save_json, start};
-use zbp_sim::experiments::ablation_steering;
-use zbp_sim::report::render_table;
-
 fn main() {
-    let (opts, t0) = start("Ablation — BTB2 search steering", "§3.7");
-    let points = ablation_steering(&opts);
-    let table: Vec<Vec<String>> =
-        points.iter().map(|p| vec![p.label.clone(), pct(p.avg_improvement)]).collect();
-    println!("{}", render_table(&["return order", "avg CPI improvement"], &table));
-    save_json("ablation_steering", &points);
-    finish(t0);
+    zbp_bench::run_registered("ablation_steering");
 }

@@ -5,30 +5,6 @@
 //! side of that. The bench measures whether modelling it shifts the
 //! BTB2's benefit.
 
-use zbp_bench::{finish, pct, save_json, start};
-use zbp_sim::experiments::ablation_wrongpath;
-use zbp_sim::report::render_table;
-
 fn main() {
-    let (opts, t0) = start("Ablation — wrong-path fetch modeling", "§4 methodology");
-    let rows = ablation_wrongpath(&opts);
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                if r.wrong_path { "modelled" } else { "not modelled (default)" }.into(),
-                pct(r.avg_improvement),
-                format!("{:.2}", r.wrong_path_lines_per_kilo_instr),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        render_table(
-            &["wrong-path fetch", "avg BTB2 improvement", "wrong-path lines / k-instr"],
-            &table
-        )
-    );
-    save_json("ablation_wrongpath", &rows);
-    finish(t0);
+    zbp_bench::run_registered("ablation_wrongpath");
 }

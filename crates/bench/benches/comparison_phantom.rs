@@ -6,16 +6,6 @@
 //! bench pits the two second levels against each other at matched
 //! metadata capacity (24 k entries), over the 13 Table-4 workloads.
 
-use zbp_bench::{finish, pct, save_json, start};
-use zbp_sim::experiments::comparison_phantom;
-use zbp_sim::report::render_table;
-
 fn main() {
-    let (opts, t0) = start("Comparison — bulk preload vs Phantom-BTB", "§2 related work");
-    let points = comparison_phantom(&opts);
-    let table: Vec<Vec<String>> =
-        points.iter().map(|p| vec![p.label.clone(), pct(p.avg_improvement)]).collect();
-    println!("{}", render_table(&["second level", "avg CPI improvement"], &table));
-    save_json("comparison_phantom", &points);
-    finish(t0);
+    zbp_bench::run_registered("comparison_phantom");
 }

@@ -6,77 +6,6 @@
 //! DBServ; 20.2 % for the large BTB1 on the same trace); effectiveness
 //! ranges 16.6 %–83.4 % with an average of 52 %.
 
-use zbp_bench::{finish, pct, save_csv, save_json, start};
-use zbp_sim::experiments::figure2;
-use zbp_sim::report::{mean, render_table};
-
 fn main() {
-    let (opts, t0) = start("Figure 2 — benefit of the BTB2 per workload", "§5.1, Figure 2");
-    let rows = figure2(&opts);
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.trace.clone(),
-                format!("{:.4}", r.baseline_cpi),
-                format!("{:.4}", r.btb2_cpi),
-                format!("{:.4}", r.large_btb1_cpi),
-                pct(r.btb2_improvement()),
-                pct(r.large_btb1_improvement()),
-                format!("{:.1}%", r.effectiveness()),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        render_table(
-            &[
-                "trace",
-                "CPI (no BTB2)",
-                "CPI (BTB2)",
-                "CPI (24k BTB1)",
-                "BTB2 gain",
-                "24k BTB1 gain",
-                "effectiveness"
-            ],
-            &table
-        )
-    );
-    let d2: Vec<f64> = rows.iter().map(|r| r.btb2_improvement()).collect();
-    let d3: Vec<f64> = rows.iter().map(|r| r.large_btb1_improvement()).collect();
-    let eff: Vec<f64> = rows.iter().map(|r| r.effectiveness()).collect();
-    let max2 = d2.iter().cloned().fold(f64::MIN, f64::max);
-    println!("average BTB2 gain:        {}", pct(mean(&d2)));
-    println!("average large-BTB1 gain:  {}", pct(mean(&d3)));
-    println!("average effectiveness:    {:.1}%  (paper: 52%)", mean(&eff));
-    println!("maximum BTB2 gain:        {}  (paper: +13.8% on DayTrader DBServ)", pct(max2));
-    save_json("fig2_cpi_improvement", &rows);
-    let csv_rows: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.trace.clone(),
-                format!("{:.6}", r.baseline_cpi),
-                format!("{:.6}", r.btb2_cpi),
-                format!("{:.6}", r.large_btb1_cpi),
-                format!("{:.4}", r.btb2_improvement()),
-                format!("{:.4}", r.large_btb1_improvement()),
-                format!("{:.4}", r.effectiveness()),
-            ]
-        })
-        .collect();
-    save_csv(
-        "fig2_cpi_improvement",
-        &[
-            "trace",
-            "cpi_no_btb2",
-            "cpi_btb2",
-            "cpi_large_btb1",
-            "btb2_gain_pct",
-            "large_gain_pct",
-            "effectiveness_pct",
-        ],
-        &csv_rows,
-    );
-    finish(t0);
+    zbp_bench::run_registered("fig2");
 }

@@ -4,22 +4,8 @@
 //! Paper reference points: +5.3 % on WASDB+CBW2 (one core; 8.5 % in the
 //! paper's own simulation of the same workload) and +3.4 % on Web
 //! CICS/DB2 (four cores). The 4-core run is approximated here as four
-//! CICS/DB2-like contexts time-sliced onto one simulated core — the
-//! predictor-state pollution across contexts is the effect that matters
-//! to the branch prediction hierarchy.
-
-use zbp_bench::{finish, pct, save_json, start};
-use zbp_sim::experiments::figure3;
-use zbp_sim::report::render_table;
+//! CICS/DB2-like contexts time-sliced onto one simulated core.
 
 fn main() {
-    let (opts, t0) = start("Figure 3 — benefit of BTB2 on zEC12 hardware", "§5.1, Figure 3");
-    let rows = figure3(&opts);
-    let table: Vec<Vec<String>> =
-        rows.iter().map(|r| vec![r.workload.clone(), pct(r.improvement)]).collect();
-    println!("{}", render_table(&["workload", "BTB2 improvement"], &table));
-    println!("paper: WASDB+CBW2 (1 core) +5.3% measured / +8.5% simulated;");
-    println!("       Web CICS/DB2 (4 cores) +3.4% measured.");
-    save_json("fig3_system_level", &rows);
-    finish(t0);
+    zbp_bench::run_registered("fig3");
 }

@@ -5,35 +5,6 @@
 //! outcomes are bad, 21.9 % being *capacity* bad surprises; the BTB2 cuts
 //! capacity bad surprises to 8.1 % and total bad outcomes to 14.3 %.
 
-use zbp_bench::{finish, save_json, start};
-use zbp_sim::experiments::{figure4, OutcomePercents};
-use zbp_sim::report::render_table;
-
-fn row(label: &str, p: &OutcomePercents) -> Vec<String> {
-    vec![
-        label.to_string(),
-        format!("{:.2}%", p.mispredicted),
-        format!("{:.2}%", p.compulsory),
-        format!("{:.2}%", p.latency),
-        format!("{:.2}%", p.capacity),
-        format!("{:.2}%", p.total()),
-    ]
-}
-
 fn main() {
-    let (opts, t0) = start("Figure 4 — bad branch outcomes, DayTrader DBServ", "§5.1, Figure 4");
-    let r = figure4(&opts);
-    println!("workload: {}\n", r.workload);
-    let table = vec![row("no BTB2", &r.without_btb2), row("BTB2 enabled", &r.with_btb2)];
-    println!(
-        "{}",
-        render_table(
-            &["configuration", "mispredicted", "compulsory", "latency", "capacity", "total bad"],
-            &table
-        )
-    );
-    println!("CPI improvement from the BTB2: {:+.2}% (paper: +13.8%)", r.improvement);
-    println!("paper bars: no BTB2 total 25.9% (capacity 21.9%); BTB2 total 14.3% (capacity 8.1%)");
-    save_json("fig4_bad_branch_outcomes", &r);
-    finish(t0);
+    zbp_bench::run_registered("fig4");
 }

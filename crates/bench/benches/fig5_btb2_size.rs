@@ -4,21 +4,6 @@
 //! Paper shape: benefit grows with BTB2 size and keeps growing past the
 //! shipped 24 k point (the hardware chart is striped at 24 k).
 
-use zbp_bench::{finish, pct, save_json, start};
-use zbp_sim::experiments::{figure5, FIGURE5_SIZES};
-use zbp_sim::report::render_table;
-
 fn main() {
-    let (opts, t0) = start("Figure 5 — various BTB2 sizes", "§5.2, Figure 5");
-    let points = figure5(&opts, &FIGURE5_SIZES);
-    let table: Vec<Vec<String>> = points
-        .iter()
-        .map(|p| {
-            let shipped = if p.label == "24k" { " (shipped)" } else { "" };
-            vec![format!("{}{}", p.label, shipped), pct(p.avg_improvement)]
-        })
-        .collect();
-    println!("{}", render_table(&["BTB2 size", "avg CPI improvement"], &table));
-    save_json("fig5_btb2_size", &points);
-    finish(t0);
+    zbp_bench::run_registered("fig5");
 }

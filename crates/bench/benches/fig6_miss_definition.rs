@@ -5,21 +5,6 @@
 //! Paper shape: 4 searches / 128 bytes provides the best results on the
 //! studied workloads (the hardware chart is striped at 4).
 
-use zbp_bench::{finish, pct, save_json, start};
-use zbp_sim::experiments::{figure6, FIGURE6_LIMITS};
-use zbp_sim::report::render_table;
-
 fn main() {
-    let (opts, t0) = start("Figure 6 — various definitions of BTB1 miss", "§5.2, Figure 6");
-    let points = figure6(&opts, &FIGURE6_LIMITS);
-    let table: Vec<Vec<String>> = points
-        .iter()
-        .map(|p| {
-            let shipped = if p.label == "4 searches" { " (shipped)" } else { "" };
-            vec![format!("{}{}", p.label, shipped), pct(p.avg_improvement)]
-        })
-        .collect();
-    println!("{}", render_table(&["miss definition", "avg CPI improvement"], &table));
-    save_json("fig6_miss_definition", &points);
-    finish(t0);
+    zbp_bench::run_registered("fig6");
 }

@@ -4,21 +4,6 @@
 //! Paper shape: benefit saturates quickly with tracker count; the zEC12
 //! ships three (the hardware chart is striped at 3).
 
-use zbp_bench::{finish, pct, save_json, start};
-use zbp_sim::experiments::{figure7, FIGURE7_TRACKERS};
-use zbp_sim::report::render_table;
-
 fn main() {
-    let (opts, t0) = start("Figure 7 — various numbers of BTB2 trackers", "§5.2, Figure 7");
-    let points = figure7(&opts, &FIGURE7_TRACKERS);
-    let table: Vec<Vec<String>> = points
-        .iter()
-        .map(|p| {
-            let shipped = if p.label == "3 trackers" { " (shipped)" } else { "" };
-            vec![format!("{}{}", p.label, shipped), pct(p.avg_improvement)]
-        })
-        .collect();
-    println!("{}", render_table(&["trackers", "avg CPI improvement"], &table));
-    save_json("fig7_trackers", &points);
-    finish(t0);
+    zbp_bench::run_registered("fig7");
 }

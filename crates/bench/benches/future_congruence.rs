@@ -4,21 +4,6 @@
 //! block) at the cost of row overflow when a sequential code stream holds
 //! more branches than one row's six ways can store.
 
-use zbp_bench::{finish, pct, save_json, start};
-use zbp_sim::experiments::{future_congruence, CONGRUENCE_SPANS};
-use zbp_sim::report::render_table;
-
 fn main() {
-    let (opts, t0) = start("Future work — BTB2 congruence class span", "§6");
-    let points = future_congruence(&opts, &CONGRUENCE_SPANS);
-    let table: Vec<Vec<String>> = points
-        .iter()
-        .map(|p| {
-            let shipped = if p.label == "32 B rows" { " (shipped)" } else { "" };
-            vec![format!("{}{}", p.label, shipped), pct(p.avg_improvement)]
-        })
-        .collect();
-    println!("{}", render_table(&["congruence span", "avg CPI improvement"], &table));
-    save_json("future_congruence", &points);
-    finish(t0);
+    zbp_bench::run_registered("future_congruence");
 }

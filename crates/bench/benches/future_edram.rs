@@ -5,16 +5,6 @@
 //! analyzed for defining an optimal design point which consists of SRAM
 //! for the BTB1 and eDRAM for the BTB2."
 
-use zbp_bench::{finish, pct, save_json, start};
-use zbp_sim::experiments::future_edram;
-use zbp_sim::report::render_table;
-
 fn main() {
-    let (opts, t0) = start("Future work — SRAM vs eDRAM BTB2", "§6");
-    let points = future_edram(&opts);
-    let table: Vec<Vec<String>> =
-        points.iter().map(|p| vec![p.label.clone(), pct(p.avg_improvement)]).collect();
-    println!("{}", render_table(&["technology point", "avg CPI improvement"], &table));
-    save_json("future_edram", &points);
-    finish(t0);
+    zbp_bench::run_registered("future_edram");
 }

@@ -6,16 +6,6 @@
 //! detecting misses early in the pipe with high speculation ... versus
 //! later in the pipe with less speculation."
 
-use zbp_bench::{finish, pct, save_json, start};
-use zbp_sim::experiments::future_miss_detection;
-use zbp_sim::report::render_table;
-
 fn main() {
-    let (opts, t0) = start("Future work — alternative BTB1 miss definitions", "§3.4 / §6");
-    let points = future_miss_detection(&opts);
-    let table: Vec<Vec<String>> =
-        points.iter().map(|p| vec![p.label.clone(), pct(p.avg_improvement)]).collect();
-    println!("{}", render_table(&["miss detection", "avg CPI improvement"], &table));
-    save_json("future_miss_detection", &points);
-    finish(t0);
+    zbp_bench::run_registered("future_miss_detection");
 }

@@ -3,16 +3,6 @@
 //! target's 4 KB block (depth bounded to one, per the paper's bandwidth
 //! warning).
 
-use zbp_bench::{finish, pct, save_json, start};
-use zbp_sim::experiments::future_multiblock;
-use zbp_sim::report::render_table;
-
 fn main() {
-    let (opts, t0) = start("Future work — multi-block transfers", "§6");
-    let points = future_multiblock(&opts);
-    let table: Vec<Vec<String>> =
-        points.iter().map(|p| vec![p.label.clone(), pct(p.avg_improvement)]).collect();
-    println!("{}", render_table(&["transfer scope", "avg CPI improvement"], &table));
-    save_json("future_multiblock", &points);
-    finish(t0);
+    zbp_bench::run_registered("future_multiblock");
 }

@@ -6,48 +6,6 @@
 //! ~±20 % of each target (compulsory coverage of the synthetic footprint
 //! is statistical).
 
-use zbp_bench::{finish, save_json, start};
-use zbp_sim::experiments::table4;
-use zbp_sim::report::render_table;
-
 fn main() {
-    let (opts, t0) = start("Table 4 — large footprint traces", "§4, Table 4");
-    let rows = table4(&opts);
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.trace.clone(),
-                r.target_branches.to_string(),
-                r.measured_branches.to_string(),
-                format!("{:+.1}%", deviation(r.measured_branches, r.target_branches)),
-                r.target_taken.to_string(),
-                r.measured_taken.to_string(),
-                format!("{:+.1}%", deviation(r.measured_taken, r.target_taken)),
-                r.instructions.to_string(),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        render_table(
-            &[
-                "trace",
-                "branches (paper)",
-                "branches (measured)",
-                "dev",
-                "taken (paper)",
-                "taken (measured)",
-                "dev",
-                "instructions"
-            ],
-            &table
-        )
-    );
-    save_json("table4_traces", &rows);
-    finish(t0);
-}
-
-fn deviation(measured: u64, target: u32) -> f64 {
-    100.0 * (measured as f64 - target as f64) / target as f64
+    zbp_bench::run_registered("table4");
 }

@@ -1,27 +1,35 @@
 //! Shared plumbing for the experiment bench targets.
 //!
-//! Every `cargo bench` target in this crate regenerates one table or
-//! figure of the paper: it runs the corresponding
-//! [`zbp_sim::experiments`] function, prints the result as an aligned
-//! text table, and saves the raw data as JSON under `results/` (or
+//! Every figure/table `cargo bench` target in this crate is a thin
+//! wrapper over [`run_registered`]: it resolves its experiment by id in
+//! the [`zbp_sim::registry`], runs it through the cell cache under
+//! `results/cache/`, prints the registry's rendered table, and saves
+//! the manifest-stamped JSON artifact under `results/` (or
 //! `$ZBP_RESULTS_DIR`) so `EXPERIMENTS.md` can reference exact numbers.
 //!
-//! Environment knobs:
+//! Environment knobs (parsed strictly — a malformed value panics
+//! instead of silently running the wrong experiment):
 //!
 //! * `ZBP_TRACE_LEN` — cap dynamic instructions per workload (quick runs);
-//! * `ZBP_SEED` — workload synthesis seed;
+//! * `ZBP_SEED` — workload synthesis seed (decimal or 0x-hex);
+//! * `ZBP_WORKERS` — cap the parallel fan-out;
+//! * `ZBP_CACHE_DIR` — cell-cache directory (default `results/cache`);
 //! * `ZBP_RESULTS_DIR` — where JSON artifacts are written.
 
 #![warn(missing_docs)]
 
 use std::path::PathBuf;
 use std::time::Instant;
+use zbp_sim::cache::CellCache;
 use zbp_sim::experiments::ExperimentOptions;
-use zbp_support::json::ToJson;
+use zbp_sim::registry;
 
 /// Prints the standard experiment banner and returns parsed options.
+///
+/// Panics on malformed environment values — see
+/// [`ExperimentOptions::from_env_or_panic`].
 pub fn start(experiment: &str, paper_ref: &str) -> (ExperimentOptions, Instant) {
-    let opts = ExperimentOptions::from_env();
+    let opts = ExperimentOptions::from_env_or_panic();
     println!("==============================================================");
     println!("zbp reproduction — {experiment}");
     println!("paper reference: {paper_ref}");
@@ -39,6 +47,31 @@ pub fn finish(started: Instant) {
     println!("\nelapsed: {:.1}s", started.elapsed().as_secs_f64());
 }
 
+/// Runs a registered experiment end-to-end: banner, cached grid run,
+/// rendered table + paper notes, manifest-stamped artifact under
+/// [`results_dir`]. This is the whole body of every figure/table bench
+/// target — per-figure logic lives in the registry, not here.
+///
+/// Panics on an unknown id (bench targets are compiled against the
+/// registry, so this is a programming error, not user input).
+pub fn run_registered(id: &str) {
+    let spec =
+        registry::find(id).unwrap_or_else(|| panic!("experiment {id:?} is not in the registry"));
+    let (opts, t0) = start(spec.title, spec.paper_ref);
+    let cache_dir = opts.cache_dir.clone().unwrap_or_else(|| results_dir().join("cache"));
+    let run = spec.run(&opts, &CellCache::at(cache_dir));
+    println!("{}", run.pretty);
+    for note in spec.notes {
+        println!("{note}");
+    }
+    println!("cells: {} ({} from cache)", run.manifest.cells, run.manifest.cache_hits);
+    save_text(spec.artifact, "json", &run.artifact().render_pretty());
+    if let Some(csv) = &run.csv {
+        save_text(spec.artifact, "csv", csv);
+    }
+    finish(t0);
+}
+
 /// Directory where JSON artifacts are stored (workspace-root `results/`
 /// unless `ZBP_RESULTS_DIR` overrides it).
 pub fn results_dir() -> PathBuf {
@@ -48,32 +81,19 @@ pub fn results_dir() -> PathBuf {
     )
 }
 
-/// Saves an experiment result as JSON; prints the path. Failures are
-/// reported but non-fatal (benches still print their tables).
-pub fn save_json<T: ToJson>(name: &str, value: &T) {
+/// Saves rendered artifact text as `results/<name>.<ext>`; prints the
+/// path. Failures are reported but non-fatal (benches still print their
+/// tables).
+pub fn save_text(name: &str, ext: &str, content: &str) {
     let dir = results_dir();
     if let Err(e) = std::fs::create_dir_all(&dir) {
         eprintln!("warning: cannot create {}: {e}", dir.display());
         return;
     }
-    let path = dir.join(format!("{name}.json"));
-    let json = zbp_support::json::to_string_pretty(value);
-    match std::fs::write(&path, json) {
+    let path = dir.join(format!("{name}.{ext}"));
+    match std::fs::write(&path, content) {
         Ok(()) => println!("saved: {}", path.display()),
         Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
-    }
-}
-
-/// Saves experiment rows as CSV next to the JSON artifact.
-pub fn save_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
-    let dir = results_dir();
-    if std::fs::create_dir_all(&dir).is_err() {
-        return;
-    }
-    let path = dir.join(format!("{name}.csv"));
-    let csv = zbp_sim::report::render_csv(headers, rows);
-    if std::fs::write(&path, csv).is_ok() {
-        println!("saved: {}", path.display());
     }
 }
 
@@ -96,6 +116,30 @@ mod tests {
     fn default_results_dir_is_workspace_root() {
         if std::env::var("ZBP_RESULTS_DIR").is_err() {
             assert!(results_dir().ends_with("results"));
+        }
+    }
+
+    #[test]
+    fn every_bench_experiment_is_registered() {
+        for id in [
+            "table4",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "ablation_exclusivity",
+            "ablation_steering",
+            "ablation_filter",
+            "ablation_wrongpath",
+            "future_congruence",
+            "future_miss_detection",
+            "future_multiblock",
+            "future_edram",
+            "comparison_phantom",
+        ] {
+            assert!(registry::find(id).is_some(), "{id} missing from registry");
         }
     }
 }

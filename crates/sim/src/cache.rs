@@ -1,0 +1,272 @@
+//! Content-addressed per-cell result cache.
+//!
+//! A *cell* is one unit of experiment work: simulating one workload
+//! under one configuration, or collecting trace statistics for one
+//! workload. Each cell's result is cached on disk under a digest of its
+//! full input description — workload profile, synthesis seed, effective
+//! trace length, predictor + front-end configuration, and the
+//! [`SCHEMA_VERSION`] of the code that produced it — so a killed grid
+//! run resumes from the cells it already finished, and a stale entry
+//! (different inputs, different code schema) can never be mistaken for
+//! a fresh one.
+//!
+//! Cache files are written atomically (temp file in the same directory,
+//! then rename), embed the full key string for collision detection, and
+//! hold the cell result as JSON. Results read back from the cache are
+//! bit-identical to fresh ones because the cached execution path
+//! round-trips *every* cell through JSON, hit or miss (the JSON writer
+//! uses shortest-round-trip float rendering, and all cell counters are
+//! integers well below 2^53).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use zbp_support::hash::fnv1a_64_hex;
+use zbp_support::json::{Json, ToJson};
+
+/// Version of the artifact/cache schema: the shape of cached cell
+/// results, artifact manifests, and the simulation behavior behind
+/// them. Bump whenever simulator semantics or the serialized layout
+/// change — old cache entries and artifacts are then rejected instead
+/// of silently reused.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Identity of one cacheable cell, rendered as a canonical key string.
+///
+/// The key embeds everything that determines the cell's result; two
+/// cells with equal key strings are interchangeable across experiments
+/// (a sweep's "24k" variant and Figure 2's "BTB2 enabled" column share
+/// one cache entry when their configurations match).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellKey(String);
+
+impl CellKey {
+    /// Key for a simulation cell. `profile_json` must be the full
+    /// serialized workload profile (name, footprint parts, slice
+    /// length); `predictor_json` / `uarch_json` the serialized
+    /// configuration *without* its display name, so renamed but
+    /// otherwise identical configurations share entries.
+    pub fn sim(
+        profile_json: &str,
+        seed: u64,
+        len: u64,
+        predictor_json: &str,
+        uarch_json: &str,
+    ) -> Self {
+        Self(format!(
+            "zbp-cell-v{SCHEMA_VERSION}|sim|profile={profile_json}|seed={seed}|len={len}|predictor={predictor_json}|uarch={uarch_json}"
+        ))
+    }
+
+    /// Key for a trace-statistics cell (Table 4 footprint validation).
+    pub fn stats(profile_json: &str, seed: u64, len: u64) -> Self {
+        Self(format!(
+            "zbp-cell-v{SCHEMA_VERSION}|stats|profile={profile_json}|seed={seed}|len={len}"
+        ))
+    }
+
+    /// The canonical key string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Filename-safe digest of the key.
+    pub fn digest(&self) -> String {
+        fnv1a_64_hex(&self.0)
+    }
+}
+
+/// On-disk cell cache with atomic writes.
+///
+/// `CellCache::disabled()` is a null cache: loads always miss, stores
+/// are dropped. The cached execution path treats it exactly like a real
+/// cache (including the JSON round-trip of results), so fresh and
+/// resumed runs produce bit-identical artifacts.
+#[derive(Debug)]
+pub struct CellCache {
+    dir: Option<PathBuf>,
+    read: bool,
+    stores: AtomicU64,
+    abort_after: Option<u64>,
+}
+
+impl CellCache {
+    /// A cache rooted at `dir` (created lazily on first store).
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: Some(dir.into()), read: true, stores: AtomicU64::new(0), abort_after: None }
+    }
+
+    /// A cache that writes to `dir` but never reads — `--fresh` runs
+    /// recompute every cell while still leaving a warm cache behind.
+    pub fn write_only(dir: impl Into<PathBuf>) -> Self {
+        Self { read: false, ..Self::at(dir) }
+    }
+
+    /// The null cache: every load misses, every store is dropped.
+    pub fn disabled() -> Self {
+        Self { dir: None, read: false, stores: AtomicU64::new(0), abort_after: None }
+    }
+
+    /// Whether this cache persists anything.
+    pub fn is_enabled(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    /// The cache directory, if any.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Test hook: panic on the `n+1`-th store, simulating a grid run
+    /// killed mid-sweep. Cells stored before the abort stay on disk
+    /// (each store is atomic), so a follow-up run resumes from them.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn abort_after_stores(mut self, n: u64) -> Self {
+        self.abort_after = Some(n);
+        self
+    }
+
+    fn path_for(&self, key: &CellKey) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| d.join(format!("{}.json", key.digest())))
+    }
+
+    /// Loads the cached result for `key`, or `None` on a miss. Entries
+    /// whose embedded key string does not match `key` exactly (digest
+    /// collision, truncated write survivor) are treated as misses.
+    pub fn load(&self, key: &CellKey) -> Option<Json> {
+        if !self.read {
+            return None;
+        }
+        let path = self.path_for(key)?;
+        let text = std::fs::read_to_string(path).ok()?;
+        let entry = Json::parse(&text).ok()?;
+        match entry.get("key") {
+            Some(Json::Str(k)) if k == key.as_str() => entry.get("result").cloned(),
+            _ => None,
+        }
+    }
+
+    /// Stores `result` for `key` atomically: the entry is written to a
+    /// temp file in the cache directory and renamed into place, so a
+    /// reader (or a resumed run) only ever sees complete entries.
+    ///
+    /// Failures are reported to stderr but non-fatal — a cell that
+    /// cannot be cached is simply recomputed next time.
+    pub fn store(&self, key: &CellKey, result: &Json) {
+        let Some(path) = self.path_for(key) else { return };
+        let n = self.stores.fetch_add(1, Ordering::SeqCst);
+        if let Some(limit) = self.abort_after {
+            assert!(n < limit, "cell cache: simulated interruption after {limit} stores");
+        }
+        let dir = self.dir.as_ref().expect("path_for implies dir");
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("warning: cannot create cache dir {}: {e}", dir.display());
+            return;
+        }
+        let entry = Json::Obj(vec![
+            ("key".into(), Json::Str(key.as_str().to_string())),
+            ("schema_version".into(), SCHEMA_VERSION.to_json()),
+            ("result".into(), result.clone()),
+        ]);
+        let tmp = dir.join(format!(".{}.tmp-{}-{n}", key.digest(), std::process::id()));
+        let write =
+            std::fs::write(&tmp, entry.render_pretty()).and_then(|()| std::fs::rename(&tmp, &path));
+        if let Err(e) = write {
+            let _ = std::fs::remove_file(&tmp);
+            eprintln!("warning: cannot write cache entry {}: {e}", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("zbp-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn key(n: u64) -> CellKey {
+        CellKey::sim("{\"name\":\"p\"}", n, 1000, "{\"btb\":1}", "{\"core\":1}")
+    }
+
+    #[test]
+    fn round_trips_an_entry() {
+        let dir = tmpdir("roundtrip");
+        let cache = CellCache::at(&dir);
+        let k = key(1);
+        assert!(cache.load(&k).is_none(), "cold cache misses");
+        let v = Json::Obj(vec![("cycles".into(), Json::Num(42.0))]);
+        cache.store(&k, &v);
+        assert_eq!(cache.load(&k), Some(v));
+        assert!(cache.load(&key(2)).is_none(), "different seed, different cell");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mismatched_embedded_key_is_a_miss() {
+        let dir = tmpdir("collide");
+        let cache = CellCache::at(&dir);
+        let (a, b) = (key(1), key(2));
+        // Forge a digest collision: b's entry stored under a's filename.
+        cache.store(&b, &Json::Num(1.0));
+        let forged = dir.join(format!("{}.json", b.digest()));
+        std::fs::rename(forged, dir.join(format!("{}.json", a.digest()))).unwrap();
+        assert!(cache.load(&a).is_none(), "embedded key must match exactly");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disabled_cache_never_hits() {
+        let cache = CellCache::disabled();
+        cache.store(&key(1), &Json::Num(1.0));
+        assert!(cache.load(&key(1)).is_none());
+        assert!(!cache.is_enabled());
+    }
+
+    #[test]
+    fn write_only_cache_stores_but_does_not_read() {
+        let dir = tmpdir("writeonly");
+        let k = key(3);
+        let fresh = CellCache::write_only(&dir);
+        fresh.store(&k, &Json::Num(7.0));
+        assert!(fresh.load(&k).is_none(), "--fresh semantics: no reads");
+        assert_eq!(CellCache::at(&dir).load(&k), Some(Json::Num(7.0)), "but the entry landed");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn abort_hook_panics_after_n_stores_leaving_them_on_disk() {
+        let dir = tmpdir("abort");
+        let cache = CellCache::at(&dir).abort_after_stores(2);
+        cache.store(&key(1), &Json::Num(1.0));
+        cache.store(&key(2), &Json::Num(2.0));
+        let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.store(&key(3), &Json::Num(3.0));
+        }));
+        assert!(died.is_err(), "third store must simulate the kill");
+        let resumed = CellCache::at(&dir);
+        assert!(resumed.load(&key(1)).is_some());
+        assert!(resumed.load(&key(2)).is_some());
+        assert!(resumed.load(&key(3)).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn keys_ignore_nothing_that_matters() {
+        let a = CellKey::sim("p", 1, 100, "x", "y");
+        for other in [
+            CellKey::sim("q", 1, 100, "x", "y"),
+            CellKey::sim("p", 2, 100, "x", "y"),
+            CellKey::sim("p", 1, 101, "x", "y"),
+            CellKey::sim("p", 1, 100, "z", "y"),
+            CellKey::sim("p", 1, 100, "x", "z"),
+            CellKey::stats("p", 1, 100),
+        ] {
+            assert_ne!(a, other);
+            assert_ne!(a.digest(), other.digest());
+        }
+    }
+}

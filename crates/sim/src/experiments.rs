@@ -1,17 +1,22 @@
-//! One function per paper table / figure.
+//! Typed experiment results and the post-processing that computes them.
 //!
-//! Every function returns a structured, serializable result; the bench
-//! targets in `zbp-bench` print them as tables and record them in
-//! `EXPERIMENTS.md`. Lengths are capped per workload so quick runs are
-//! possible (`ZBP_TRACE_LEN`); full-length runs use each profile's
-//! default.
+//! Each paper table/figure is *declared* in [`crate::registry`] as an
+//! [`crate::registry::ExperimentSpec`] (workloads × configurations ×
+//! post-processing); this module owns the typed row structures those
+//! experiments produce and the grid→rows post-processing functions the
+//! registry applies. The classic one-call-per-figure functions
+//! ([`figure2`], [`table4`], …) remain as thin typed wrappers — they
+//! build the same grid through [`SimSession`] and apply the same
+//! post-processing, so tests and library users keep a direct API while
+//! the CLI and bench targets go through the registry (which adds cell
+//! caching, manifests and artifact output on top).
 
 use crate::config::SimConfig;
 use crate::parallel::par_map;
 use crate::report::ImprovementRow;
-use crate::runner::{SimResult, Simulator};
-use crate::session::SimSession;
+use crate::session::{SessionGrid, SimSession};
 use crate::sweep::{sweep, SweepPoint};
+use std::path::PathBuf;
 use zbp_predictor::exclusive::ExclusivityPolicy;
 use zbp_predictor::tracker::FilterMode;
 use zbp_predictor::PredictorConfig;
@@ -20,36 +25,73 @@ use zbp_trace::TraceStats;
 use zbp_uarch::classify::OutcomeCounts;
 
 /// Global experiment options.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExperimentOptions {
     /// Cap on dynamic instructions per workload (`None` = profile
     /// default).
     pub len: Option<u64>,
     /// Workload synthesis seed.
     pub seed: u64,
+    /// Cap on worker threads for the parallel grid fan-out (`None` =
+    /// machine parallelism).
+    pub workers: Option<usize>,
+    /// Cell-cache directory override (`None` = the front end's default,
+    /// `results/cache/` for the CLI and bench targets).
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Default for ExperimentOptions {
     fn default() -> Self {
-        Self { len: None, seed: 0xEC12 }
+        Self { len: None, seed: 0xEC12, workers: None, cache_dir: None }
     }
 }
 
 impl ExperimentOptions {
-    /// Reads `ZBP_TRACE_LEN` and `ZBP_SEED` from the environment.
-    pub fn from_env() -> Self {
+    /// Convenience constructor for tests and examples: a capped, seeded
+    /// run with default workers and no cache override.
+    pub fn quick(len: u64, seed: u64) -> Self {
+        Self { len: Some(len), seed, ..Self::default() }
+    }
+
+    /// Reads `ZBP_TRACE_LEN`, `ZBP_SEED`, `ZBP_WORKERS` and
+    /// `ZBP_CACHE_DIR` from the environment.
+    ///
+    /// # Errors
+    ///
+    /// Unparsable values are an error, not a silent fallback — a typo'd
+    /// `ZBP_TRACE_LEN=50k` must not quietly run the full-length
+    /// experiment. Seeds accept decimal or `0x`-prefixed hex.
+    pub fn from_env() -> Result<Self, String> {
         let mut o = Self::default();
-        if let Ok(v) = std::env::var("ZBP_TRACE_LEN") {
-            if let Ok(n) = v.parse::<u64>() {
-                o.len = Some(n);
-            }
+        if let Some(v) = env_nonempty("ZBP_TRACE_LEN") {
+            o.len = Some(
+                v.parse::<u64>()
+                    .map_err(|e| format!("ZBP_TRACE_LEN={v:?} is not a valid length: {e}"))?,
+            );
         }
-        if let Ok(v) = std::env::var("ZBP_SEED") {
-            if let Ok(n) = v.parse::<u64>() {
-                o.seed = n;
-            }
+        if let Some(v) = env_nonempty("ZBP_SEED") {
+            o.seed = parse_seed(&v).map_err(|e| format!("ZBP_SEED={v:?}: {e}"))?;
         }
-        o
+        if let Some(v) = env_nonempty("ZBP_WORKERS") {
+            let n = v
+                .parse::<usize>()
+                .map_err(|e| format!("ZBP_WORKERS={v:?} is not a worker count: {e}"))?;
+            if n == 0 {
+                return Err(format!("ZBP_WORKERS={v:?}: must be at least 1"));
+            }
+            o.workers = Some(n);
+        }
+        if let Some(v) = env_nonempty("ZBP_CACHE_DIR") {
+            o.cache_dir = Some(PathBuf::from(v));
+        }
+        Ok(o)
+    }
+
+    /// [`Self::from_env`] for contexts without error plumbing (bench
+    /// targets, tests): panics with the parse error instead of running
+    /// the wrong experiment.
+    pub fn from_env_or_panic() -> Self {
+        Self::from_env().unwrap_or_else(|e| panic!("invalid experiment environment: {e}"))
     }
 
     /// Effective length for a profile.
@@ -58,34 +100,46 @@ impl ExperimentOptions {
     }
 }
 
-fn run(profile: &WorkloadProfile, config: SimConfig, opts: &ExperimentOptions) -> SimResult {
-    let trace = profile.build_with_len(opts.seed, opts.len_for(profile));
-    Simulator::new(config).run(&trace)
+fn env_nonempty(name: &str) -> Option<String> {
+    std::env::var(name).ok().map(|v| v.trim().to_string()).filter(|v| !v.is_empty())
+}
+
+/// Parses a seed as decimal or `0x`-prefixed hex.
+pub fn parse_seed(text: &str) -> Result<u64, String> {
+    let parsed = match text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => text.parse::<u64>(),
+    };
+    parsed.map_err(|e| format!("not a valid seed: {e}"))
 }
 
 // ---------------------------------------------------------------------------
 // Figure 2
 // ---------------------------------------------------------------------------
 
-/// Figure 2: per-trace CPI improvement of configurations 2 and 3 over
-/// configuration 1, plus BTB2 effectiveness.
-pub fn figure2(opts: &ExperimentOptions) -> Vec<ImprovementRow> {
-    let [base, btb2, large] = SimConfig::table3();
-    let (base_name, btb2_name, large_name) =
-        (base.name.clone(), btb2.name.clone(), large.name.clone());
-    let grid = SimSession::from_options(opts)
-        .workloads(WorkloadProfile::all_table4())
-        .configs([base, btb2, large])
-        .run();
+/// Figure-2 post-processing: per-trace CPI rows out of a Table-3 grid
+/// (configurations in Table-3 order: baseline, BTB2, large BTB1).
+pub fn fig2_rows(grid: &SessionGrid) -> Vec<ImprovementRow> {
+    let [base, btb2, large] = [&grid.configs()[0], &grid.configs()[1], &grid.configs()[2]];
     grid.workloads()
         .iter()
         .map(|w| ImprovementRow {
             trace: w.clone(),
-            baseline_cpi: grid.cpi(w, &base_name),
-            btb2_cpi: grid.cpi(w, &btb2_name),
-            large_btb1_cpi: grid.cpi(w, &large_name),
+            baseline_cpi: grid.cpi(w, base),
+            btb2_cpi: grid.cpi(w, btb2),
+            large_btb1_cpi: grid.cpi(w, large),
         })
         .collect()
+}
+
+/// Figure 2: per-trace CPI improvement of configurations 2 and 3 over
+/// configuration 1, plus BTB2 effectiveness.
+pub fn figure2(opts: &ExperimentOptions) -> Vec<ImprovementRow> {
+    let grid = SimSession::from_options(opts)
+        .workloads(WorkloadProfile::all_table4())
+        .configs(SimConfig::table3())
+        .run();
+    fig2_rows(&grid)
 }
 
 // ---------------------------------------------------------------------------
@@ -101,26 +155,25 @@ pub struct Figure3Row {
     pub improvement: f64,
 }
 
+/// Figure-3 post-processing: per-workload improvement of configuration
+/// 2 over configuration 1 (grid configurations: baseline then BTB2).
+pub fn fig3_rows(grid: &SessionGrid) -> Vec<Figure3Row> {
+    let (base, btb2) = (&grid.configs()[0], &grid.configs()[1]);
+    grid.workloads()
+        .iter()
+        .map(|w| Figure3Row { workload: w.clone(), improvement: grid.improvement(w, btb2, base) })
+        .collect()
+}
+
 /// Figure 3: system-level benefit of the BTB2 on the two workloads
 /// measured on zEC12 hardware, approximated in simulation (the 4-core
 /// Web CICS/DB2 run becomes a 4-context time-sliced simulation).
 pub fn figure3(opts: &ExperimentOptions) -> Vec<Figure3Row> {
-    let (base, btb2) = (SimConfig::no_btb2(), SimConfig::btb2_enabled());
-    let (base_name, btb2_name) = (base.name.clone(), btb2.name.clone());
     let grid = SimSession::from_options(opts)
-        .workloads([
-            WorkloadProfile::hardware_wasdb_cbw2(),
-            WorkloadProfile::hardware_web_cics_db2(),
-        ])
-        .configs([base, btb2])
+        .workloads(WorkloadProfile::hardware_pair())
+        .configs([SimConfig::no_btb2(), SimConfig::btb2_enabled()])
         .run();
-    grid.workloads()
-        .iter()
-        .map(|w| Figure3Row {
-            workload: w.clone(),
-            improvement: grid.improvement(w, &btb2_name, &base_name),
-        })
-        .collect()
+    fig3_rows(&grid)
 }
 
 // ---------------------------------------------------------------------------
@@ -171,15 +224,11 @@ pub struct Figure4Result {
     pub improvement: f64,
 }
 
-/// Figure 4: effect of the BTB2 on bad branch outcomes for the z/OS
-/// DayTrader DBServ workload.
-pub fn figure4(opts: &ExperimentOptions) -> Figure4Result {
-    let p = WorkloadProfile::daytrader_dbserv();
-    let workload = p.name.clone();
-    let (base, btb2) = (SimConfig::no_btb2(), SimConfig::btb2_enabled());
-    let (base_name, btb2_name) = (base.name.clone(), btb2.name.clone());
-    let grid = SimSession::from_options(opts).workload(p).configs([base, btb2]).run();
-    let (without, with) = (grid.result(&workload, &base_name), grid.result(&workload, &btb2_name));
+/// Figure-4 post-processing over a 1-workload × (baseline, BTB2) grid.
+pub fn fig4_result(grid: &SessionGrid) -> Figure4Result {
+    let workload = grid.workloads()[0].clone();
+    let (base, btb2) = (&grid.configs()[0], &grid.configs()[1]);
+    let (without, with) = (grid.result(&workload, base), grid.result(&workload, btb2));
     Figure4Result {
         without_btb2: OutcomePercents::from_counts(&without.core.outcomes),
         with_btb2: OutcomePercents::from_counts(&with.core.outcomes),
@@ -188,54 +237,76 @@ pub fn figure4(opts: &ExperimentOptions) -> Figure4Result {
     }
 }
 
+/// Figure 4: effect of the BTB2 on bad branch outcomes for the z/OS
+/// DayTrader DBServ workload.
+pub fn figure4(opts: &ExperimentOptions) -> Figure4Result {
+    let grid = SimSession::from_options(opts)
+        .workload(WorkloadProfile::daytrader_dbserv())
+        .configs([SimConfig::no_btb2(), SimConfig::btb2_enabled()])
+        .run();
+    fig4_result(&grid)
+}
+
 // ---------------------------------------------------------------------------
 // Figures 5, 6, 7 (sweeps)
 // ---------------------------------------------------------------------------
 
-/// Figure 5: average benefit of the BTB2 at various capacities.
-/// `entries == 0` is the disabled baseline (0 % by construction).
-pub fn figure5(opts: &ExperimentOptions, sizes: &[u32]) -> Vec<SweepPoint> {
-    let variants: Vec<(String, PredictorConfig)> = sizes
+/// Figure-5 sweep variants: BTB2 capacities (`0` = disabled baseline).
+pub fn fig5_variants(sizes: &[u32]) -> Vec<(String, PredictorConfig)> {
+    sizes
         .iter()
         .map(|&s| {
             let label = if s == 0 { "disabled".to_string() } else { format!("{}k", s / 1024) };
             (label, PredictorConfig::zec12().with_btb2_entries(s))
         })
-        .collect();
-    sweep(&variants, opts.len.unwrap_or(u64::MAX), opts.seed)
+        .collect()
+}
+
+/// Figure 5: average benefit of the BTB2 at various capacities.
+/// `entries == 0` is the disabled baseline (0 % by construction).
+pub fn figure5(opts: &ExperimentOptions, sizes: &[u32]) -> Vec<SweepPoint> {
+    sweep(&fig5_variants(sizes), opts.len.unwrap_or(u64::MAX), opts.seed)
 }
 
 /// Default Figure 5 sizes: 6 k – 96 k entries.
 pub const FIGURE5_SIZES: [u32; 5] = [6 * 1024, 12 * 1024, 24 * 1024, 48 * 1024, 96 * 1024];
 
-/// Figure 6: average benefit under various BTB1-miss definitions
-/// (searches without a prediction before a miss is perceived).
-pub fn figure6(opts: &ExperimentOptions, limits: &[u32]) -> Vec<SweepPoint> {
-    let variants: Vec<(String, PredictorConfig)> = limits
+/// Figure-6 sweep variants: perceived-miss search limits.
+pub fn fig6_variants(limits: &[u32]) -> Vec<(String, PredictorConfig)> {
+    limits
         .iter()
         .map(|&l| {
             let mut cfg = PredictorConfig::zec12();
             cfg.miss_search_limit = l;
             (format!("{l} searches"), cfg)
         })
-        .collect();
-    sweep(&variants, opts.len.unwrap_or(u64::MAX), opts.seed)
+        .collect()
+}
+
+/// Figure 6: average benefit under various BTB1-miss definitions
+/// (searches without a prediction before a miss is perceived).
+pub fn figure6(opts: &ExperimentOptions, limits: &[u32]) -> Vec<SweepPoint> {
+    sweep(&fig6_variants(limits), opts.len.unwrap_or(u64::MAX), opts.seed)
 }
 
 /// Default Figure 6 miss-definition sweep.
 pub const FIGURE6_LIMITS: [u32; 6] = [1, 2, 3, 4, 6, 8];
 
-/// Figure 7: average benefit with various BTB2 search tracker counts.
-pub fn figure7(opts: &ExperimentOptions, counts: &[usize]) -> Vec<SweepPoint> {
-    let variants: Vec<(String, PredictorConfig)> = counts
+/// Figure-7 sweep variants: BTB2 search tracker counts.
+pub fn fig7_variants(counts: &[usize]) -> Vec<(String, PredictorConfig)> {
+    counts
         .iter()
         .map(|&n| {
             let mut cfg = PredictorConfig::zec12();
             cfg.trackers = n;
             (format!("{n} trackers"), cfg)
         })
-        .collect();
-    sweep(&variants, opts.len.unwrap_or(u64::MAX), opts.seed)
+        .collect()
+}
+
+/// Figure 7: average benefit with various BTB2 search tracker counts.
+pub fn figure7(opts: &ExperimentOptions, counts: &[usize]) -> Vec<SweepPoint> {
+    sweep(&fig7_variants(counts), opts.len.unwrap_or(u64::MAX), opts.seed)
 }
 
 /// Default Figure 7 tracker sweep.
@@ -262,31 +333,39 @@ pub struct Table4Row {
     pub instructions: u64,
 }
 
+/// Table-4 post-processing: pairs each profile's published footprint
+/// targets with the measured statistics of its synthesized trace.
+pub fn table4_rows(profiles: &[WorkloadProfile], stats: &[TraceStats]) -> Vec<Table4Row> {
+    profiles
+        .iter()
+        .zip(stats)
+        .map(|(p, s)| Table4Row {
+            trace: p.name.clone(),
+            target_branches: p.unique_branches(),
+            measured_branches: s.unique_branches,
+            target_taken: p.unique_taken(),
+            measured_taken: s.unique_taken,
+            instructions: s.instructions,
+        })
+        .collect()
+}
+
 /// Table 4: validates the synthesized workloads' branch footprints
 /// against the published counts.
 pub fn table4(opts: &ExperimentOptions) -> Vec<Table4Row> {
     let profiles = WorkloadProfile::all_table4();
-    par_map(&profiles, |p| {
-        let trace = p.build_with_len(opts.seed, opts.len_for(p));
-        let stats = TraceStats::collect(&trace);
-        Table4Row {
-            trace: p.name.clone(),
-            target_branches: p.unique_branches(),
-            measured_branches: stats.unique_branches,
-            target_taken: p.unique_taken(),
-            measured_taken: stats.unique_taken,
-            instructions: stats.instructions,
-        }
-    })
+    let stats =
+        par_map(&profiles, |p| TraceStats::collect(&p.build_with_len(opts.seed, opts.len_for(p))));
+    table4_rows(&profiles, &stats)
 }
 
 // ---------------------------------------------------------------------------
 // Ablations (§3.3, §3.5, §3.7 design choices)
 // ---------------------------------------------------------------------------
 
-/// Ablation A: exclusivity policies of §3.3.
-pub fn ablation_exclusivity(opts: &ExperimentOptions) -> Vec<SweepPoint> {
-    let variants: Vec<(String, PredictorConfig)> = [
+/// Ablation-A sweep variants: exclusivity policies of §3.3.
+pub fn exclusivity_variants() -> Vec<(String, PredictorConfig)> {
+    [
         ("semi-exclusive", ExclusivityPolicy::SemiExclusive),
         ("true-exclusive", ExclusivityPolicy::TrueExclusive),
         ("inclusive", ExclusivityPolicy::Inclusive),
@@ -297,26 +376,34 @@ pub fn ablation_exclusivity(opts: &ExperimentOptions) -> Vec<SweepPoint> {
         cfg.exclusivity = policy;
         (name.to_string(), cfg)
     })
-    .collect();
-    sweep(&variants, opts.len.unwrap_or(u64::MAX), opts.seed)
+    .collect()
 }
 
-/// Ablation B: §3.7 transfer steering on vs off.
-pub fn ablation_steering(opts: &ExperimentOptions) -> Vec<SweepPoint> {
-    let variants: Vec<(String, PredictorConfig)> = [true, false]
+/// Ablation A: exclusivity policies of §3.3.
+pub fn ablation_exclusivity(opts: &ExperimentOptions) -> Vec<SweepPoint> {
+    sweep(&exclusivity_variants(), opts.len.unwrap_or(u64::MAX), opts.seed)
+}
+
+/// Ablation-B sweep variants: §3.7 transfer steering on vs off.
+pub fn steering_variants() -> Vec<(String, PredictorConfig)> {
+    [true, false]
         .into_iter()
         .map(|on| {
             let mut cfg = PredictorConfig::zec12();
             cfg.steering = on;
             (if on { "steered" } else { "sequential" }.to_string(), cfg)
         })
-        .collect();
-    sweep(&variants, opts.len.unwrap_or(u64::MAX), opts.seed)
+        .collect()
 }
 
-/// Ablation C: §3.5 I-cache-miss filter modes.
-pub fn ablation_filter(opts: &ExperimentOptions) -> Vec<SweepPoint> {
-    let variants: Vec<(String, PredictorConfig)> = [
+/// Ablation B: §3.7 transfer steering on vs off.
+pub fn ablation_steering(opts: &ExperimentOptions) -> Vec<SweepPoint> {
+    sweep(&steering_variants(), opts.len.unwrap_or(u64::MAX), opts.seed)
+}
+
+/// Ablation-C sweep variants: §3.5 I-cache-miss filter modes.
+pub fn filter_variants() -> Vec<(String, PredictorConfig)> {
+    [
         ("partial (shipped)", FilterMode::Partial),
         ("no filter (all full)", FilterMode::Off),
         ("hard filter (drop)", FilterMode::Drop),
@@ -327,8 +414,202 @@ pub fn ablation_filter(opts: &ExperimentOptions) -> Vec<SweepPoint> {
         cfg.filter_mode = mode;
         (name.to_string(), cfg)
     })
-    .collect();
-    sweep(&variants, opts.len.unwrap_or(u64::MAX), opts.seed)
+    .collect()
+}
+
+/// Ablation C: §3.5 I-cache-miss filter modes.
+pub fn ablation_filter(opts: &ExperimentOptions) -> Vec<SweepPoint> {
+    sweep(&filter_variants(), opts.len.unwrap_or(u64::MAX), opts.seed)
+}
+
+// ---------------------------------------------------------------------------
+// Future work (§6): BTB2 congruence-class span
+// ---------------------------------------------------------------------------
+
+/// §6 sweep variants: BTB2 congruence-class spans.
+pub fn congruence_variants(spans: &[u32]) -> Vec<(String, PredictorConfig)> {
+    spans
+        .iter()
+        .map(|&span| {
+            let mut cfg = PredictorConfig::zec12();
+            let mut geom = cfg.btb2.expect("zec12 has a BTB2");
+            geom.line_bytes = span;
+            cfg.btb2 = Some(geom);
+            (format!("{span} B rows"), cfg)
+        })
+        .collect()
+}
+
+/// §6 future-work study: widen the BTB2 congruence class from 32 B to
+/// 64 B / 128 B of instruction space. Wider rows transfer a 4 KB block in
+/// fewer reads (higher bus efficiency) but can overflow when a sequential
+/// code stream holds more branches than one row's associativity.
+pub fn future_congruence(opts: &ExperimentOptions, spans: &[u32]) -> Vec<SweepPoint> {
+    sweep(&congruence_variants(spans), opts.len.unwrap_or(u64::MAX), opts.seed)
+}
+
+/// Default §6 congruence spans.
+pub const CONGRUENCE_SPANS: [u32; 3] = [32, 64, 128];
+
+// ---------------------------------------------------------------------------
+// Future work (§6): miss definition events and multi-block transfers
+// ---------------------------------------------------------------------------
+
+/// §6 sweep variants: perceived-miss detection events.
+pub fn miss_detection_variants() -> Vec<(String, PredictorConfig)> {
+    use zbp_predictor::miss::MissDetection;
+    [
+        ("search limit (shipped)", MissDetection::SearchLimit),
+        ("decode surprise", MissDetection::DecodeSurprise),
+        ("both", MissDetection::Both),
+    ]
+    .into_iter()
+    .map(|(name, detection)| {
+        let mut cfg = PredictorConfig::zec12();
+        cfg.miss_detection = detection;
+        (name.to_string(), cfg)
+    })
+    .collect()
+}
+
+/// §6 future-work study: the shipped early/speculative perceived-miss
+/// definition versus the later, less speculative decode-stage definition
+/// (and both combined).
+pub fn future_miss_detection(opts: &ExperimentOptions) -> Vec<SweepPoint> {
+    sweep(&miss_detection_variants(), opts.len.unwrap_or(u64::MAX), opts.seed)
+}
+
+/// §6 sweep variants: single vs chained multi-block transfers.
+pub fn multiblock_variants() -> Vec<(String, PredictorConfig)> {
+    [false, true]
+        .into_iter()
+        .map(|on| {
+            let mut cfg = PredictorConfig::zec12();
+            cfg.multi_block_transfer = on;
+            (if on { "single + chained block" } else { "single block (shipped)" }.to_string(), cfg)
+        })
+        .collect()
+}
+
+/// §6 future-work study: chasing one taken-branch target per bulk
+/// transfer into a chained transfer of the target block.
+pub fn future_multiblock(opts: &ExperimentOptions) -> Vec<SweepPoint> {
+    sweep(&multiblock_variants(), opts.len.unwrap_or(u64::MAX), opts.seed)
+}
+
+/// §6 sweep variants: SRAM vs eDRAM second-level trade-offs.
+pub fn edram_variants() -> Vec<(String, PredictorConfig)> {
+    [
+        ("SRAM 24k @ 8 cycles (shipped)", 24u32 * 1024, 8u64),
+        ("eDRAM 48k @ 16 cycles", 48 * 1024, 16),
+        ("eDRAM 96k @ 20 cycles", 96 * 1024, 20),
+    ]
+    .into_iter()
+    .map(|(name, entries, latency)| {
+        let mut cfg = PredictorConfig::zec12().with_btb2_entries(entries);
+        cfg.timing.btb2_latency = latency;
+        (name.to_string(), cfg)
+    })
+    .collect()
+}
+
+/// §6 future-work study: SRAM vs eDRAM second level — same silicon area
+/// buys a denser but slower BTB2. Latency figures are illustrative
+/// (eDRAM ~2-3x the SRAM array latency at ~2-4x the density).
+pub fn future_edram(opts: &ExperimentOptions) -> Vec<SweepPoint> {
+    sweep(&edram_variants(), opts.len.unwrap_or(u64::MAX), opts.seed)
+}
+
+// ---------------------------------------------------------------------------
+// Ablation D: wrong-path fetch modeling (§4 methodology)
+// ---------------------------------------------------------------------------
+
+/// One wrong-path-modeling measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WrongPathRow {
+    /// Whether wrong-path fetch was modelled.
+    pub wrong_path: bool,
+    /// Average BTB2 CPI improvement over the no-BTB2 baseline (%).
+    pub avg_improvement: f64,
+    /// Average wrong-path lines fetched per 1k instructions (BTB2 run).
+    pub wrong_path_lines_per_kilo_instr: f64,
+}
+
+/// The 2 × 2 wrong-path configuration matrix, in grid column order:
+/// (baseline, BTB2) without wrong-path fetch, then the same pair with it.
+pub fn wrongpath_configs() -> Vec<SimConfig> {
+    [false, true]
+        .into_iter()
+        .flat_map(|wp| {
+            [SimConfig::no_btb2(), SimConfig::btb2_enabled()].map(|mut cfg| {
+                cfg.uarch.wrong_path_fetch = wp;
+                if wp {
+                    cfg.name = format!("{} + wrong path", cfg.name);
+                }
+                cfg
+            })
+        })
+        .collect()
+}
+
+/// Wrong-path post-processing over the [`wrongpath_configs`] grid: one
+/// row per modelling mode, averaging the BTB2's benefit and the
+/// wrong-path fetch traffic across all workloads.
+pub fn wrongpath_rows(grid: &SessionGrid) -> Vec<WrongPathRow> {
+    let configs = grid.configs();
+    [false, true]
+        .into_iter()
+        .zip([(0usize, 1usize), (2, 3)])
+        .map(|(wp, (base_col, btb2_col))| {
+            let (base, btb2) = (&configs[base_col], &configs[btb2_col]);
+            let (mut improvements, mut lines) = (Vec::new(), Vec::new());
+            for w in grid.workloads() {
+                let b = grid.result(w, btb2);
+                improvements.push(b.improvement_over(grid.result(w, base)));
+                lines.push(
+                    1000.0 * b.core.icache.wrong_path_fetches as f64
+                        / b.core.instructions.max(1) as f64,
+                );
+            }
+            WrongPathRow {
+                wrong_path: wp,
+                avg_improvement: crate::report::mean(&improvements),
+                wrong_path_lines_per_kilo_instr: crate::report::mean(&lines),
+            }
+        })
+        .collect()
+}
+
+/// Ablation D: the paper's model simulates wrong-path execution; this
+/// model approximates its I-cache side (wrong-path lines pollute — and
+/// occasionally accidentally prefetch — the L1I). Measures how much the
+/// BTB2's benefit shifts when wrong-path fetch is modelled.
+pub fn ablation_wrongpath(opts: &ExperimentOptions) -> Vec<WrongPathRow> {
+    let grid = SimSession::from_options(opts)
+        .workloads(WorkloadProfile::all_table4())
+        .configs(wrongpath_configs())
+        .run();
+    wrongpath_rows(&grid)
+}
+
+// ---------------------------------------------------------------------------
+// Comparison baseline: Phantom-BTB (§2 related work)
+// ---------------------------------------------------------------------------
+
+/// §2 comparison variants: dedicated BTB2 vs virtualized Phantom-BTB.
+pub fn phantom_variants() -> Vec<(String, PredictorConfig)> {
+    vec![
+        ("bulk preload BTB2 (zEC12)".to_string(), PredictorConfig::zec12()),
+        ("phantom BTB (virtualized)".to_string(), PredictorConfig::phantom_btb()),
+    ]
+}
+
+/// Comparison against the §2 related work: a Phantom-BTB-style
+/// virtualized second level (temporal-group prefetching out of the L2)
+/// versus the paper's dedicated bulk-preload BTB2, at matched metadata
+/// capacity (24 k entries).
+pub fn comparison_phantom(opts: &ExperimentOptions) -> Vec<SweepPoint> {
+    sweep(&phantom_variants(), opts.len.unwrap_or(u64::MAX), opts.seed)
 }
 
 #[cfg(test)]
@@ -336,7 +617,7 @@ mod tests {
     use super::*;
 
     fn quick() -> ExperimentOptions {
-        ExperimentOptions { len: Some(20_000), seed: 7 }
+        ExperimentOptions::quick(20_000, 7)
     }
 
     #[test]
@@ -368,158 +649,37 @@ mod tests {
     }
 
     #[test]
-    fn options_from_env_defaults() {
+    fn options_defaults_and_len_cap() {
         let o = ExperimentOptions::default();
         assert_eq!(o.seed, 0xEC12);
+        assert_eq!(o.workers, None);
+        assert_eq!(o.cache_dir, None);
         let p = WorkloadProfile::tpf_airline();
         assert_eq!(o.len_for(&p), p.default_len);
-        let capped = ExperimentOptions { len: Some(10), seed: 1 };
+        let capped = ExperimentOptions::quick(10, 1);
         assert_eq!(capped.len_for(&p), 10);
     }
-}
 
-// ---------------------------------------------------------------------------
-// Future work (§6): BTB2 congruence-class span
-// ---------------------------------------------------------------------------
+    #[test]
+    fn seed_parses_decimal_and_hex() {
+        assert_eq!(parse_seed("42").unwrap(), 42);
+        assert_eq!(parse_seed("0xEC12").unwrap(), 0xEC12);
+        assert_eq!(parse_seed("0Xec12").unwrap(), 0xEC12);
+        assert!(parse_seed("12 monkeys").is_err());
+        assert!(parse_seed("").is_err());
+    }
 
-/// §6 future-work study: widen the BTB2 congruence class from 32 B to
-/// 64 B / 128 B of instruction space. Wider rows transfer a 4 KB block in
-/// fewer reads (higher bus efficiency) but can overflow when a sequential
-/// code stream holds more branches than one row's associativity.
-pub fn future_congruence(opts: &ExperimentOptions, spans: &[u32]) -> Vec<SweepPoint> {
-    let variants: Vec<(String, PredictorConfig)> = spans
-        .iter()
-        .map(|&span| {
-            let mut cfg = PredictorConfig::zec12();
-            let mut geom = cfg.btb2.expect("zec12 has a BTB2");
-            geom.line_bytes = span;
-            cfg.btb2 = Some(geom);
-            (format!("{span} B rows"), cfg)
-        })
-        .collect();
-    sweep(&variants, opts.len.unwrap_or(u64::MAX), opts.seed)
-}
-
-/// Default §6 congruence spans.
-pub const CONGRUENCE_SPANS: [u32; 3] = [32, 64, 128];
-
-// ---------------------------------------------------------------------------
-// Future work (§6): miss definition events and multi-block transfers
-// ---------------------------------------------------------------------------
-
-/// §6 future-work study: the shipped early/speculative perceived-miss
-/// definition versus the later, less speculative decode-stage definition
-/// (and both combined).
-pub fn future_miss_detection(opts: &ExperimentOptions) -> Vec<SweepPoint> {
-    use zbp_predictor::miss::MissDetection;
-    let variants: Vec<(String, PredictorConfig)> = [
-        ("search limit (shipped)", MissDetection::SearchLimit),
-        ("decode surprise", MissDetection::DecodeSurprise),
-        ("both", MissDetection::Both),
-    ]
-    .into_iter()
-    .map(|(name, detection)| {
-        let mut cfg = PredictorConfig::zec12();
-        cfg.miss_detection = detection;
-        (name.to_string(), cfg)
-    })
-    .collect();
-    sweep(&variants, opts.len.unwrap_or(u64::MAX), opts.seed)
-}
-
-/// §6 future-work study: chasing one taken-branch target per bulk
-/// transfer into a chained transfer of the target block.
-pub fn future_multiblock(opts: &ExperimentOptions) -> Vec<SweepPoint> {
-    let variants: Vec<(String, PredictorConfig)> = [false, true]
-        .into_iter()
-        .map(|on| {
-            let mut cfg = PredictorConfig::zec12();
-            cfg.multi_block_transfer = on;
-            (if on { "single + chained block" } else { "single block (shipped)" }.to_string(), cfg)
-        })
-        .collect();
-    sweep(&variants, opts.len.unwrap_or(u64::MAX), opts.seed)
-}
-
-/// §6 future-work study: SRAM vs eDRAM second level — same silicon area
-/// buys a denser but slower BTB2. Latency figures are illustrative
-/// (eDRAM ~2-3x the SRAM array latency at ~2-4x the density).
-pub fn future_edram(opts: &ExperimentOptions) -> Vec<SweepPoint> {
-    let variants: Vec<(String, PredictorConfig)> = [
-        ("SRAM 24k @ 8 cycles (shipped)", 24u32 * 1024, 8u64),
-        ("eDRAM 48k @ 16 cycles", 48 * 1024, 16),
-        ("eDRAM 96k @ 20 cycles", 96 * 1024, 20),
-    ]
-    .into_iter()
-    .map(|(name, entries, latency)| {
-        let mut cfg = PredictorConfig::zec12().with_btb2_entries(entries);
-        cfg.timing.btb2_latency = latency;
-        (name.to_string(), cfg)
-    })
-    .collect();
-    sweep(&variants, opts.len.unwrap_or(u64::MAX), opts.seed)
-}
-
-// ---------------------------------------------------------------------------
-// Ablation D: wrong-path fetch modeling (§4 methodology)
-// ---------------------------------------------------------------------------
-
-/// One wrong-path-modeling measurement.
-#[derive(Debug, Clone, PartialEq)]
-pub struct WrongPathRow {
-    /// Whether wrong-path fetch was modelled.
-    pub wrong_path: bool,
-    /// Average BTB2 CPI improvement over the no-BTB2 baseline (%).
-    pub avg_improvement: f64,
-    /// Average wrong-path lines fetched per 1k instructions (BTB2 run).
-    pub wrong_path_lines_per_kilo_instr: f64,
-}
-
-/// Ablation D: the paper's model simulates wrong-path execution; this
-/// model approximates its I-cache side (wrong-path lines pollute — and
-/// occasionally accidentally prefetch — the L1I). Measures how much the
-/// BTB2's benefit shifts when wrong-path fetch is modelled.
-pub fn ablation_wrongpath(opts: &ExperimentOptions) -> Vec<WrongPathRow> {
-    let profiles = WorkloadProfile::all_table4();
-    [false, true]
-        .into_iter()
-        .map(|wp| {
-            let runs: Vec<(f64, f64)> = crate::parallel::par_map(&profiles, |p| {
-                let mut base_cfg = SimConfig::no_btb2();
-                base_cfg.uarch.wrong_path_fetch = wp;
-                let mut btb2_cfg = SimConfig::btb2_enabled();
-                btb2_cfg.uarch.wrong_path_fetch = wp;
-                let base = run(p, base_cfg, opts);
-                let btb2 = run(p, btb2_cfg, opts);
-                let lines_per_kilo = 1000.0 * btb2.core.icache.wrong_path_fetches as f64
-                    / btb2.core.instructions.max(1) as f64;
-                (btb2.improvement_over(&base), lines_per_kilo)
-            });
-            let improvements: Vec<f64> = runs.iter().map(|r| r.0).collect();
-            let lines: Vec<f64> = runs.iter().map(|r| r.1).collect();
-            WrongPathRow {
-                wrong_path: wp,
-                avg_improvement: crate::report::mean(&improvements),
-                wrong_path_lines_per_kilo_instr: crate::report::mean(&lines),
-            }
-        })
-        .collect()
-}
-
-// ---------------------------------------------------------------------------
-// Comparison baseline: Phantom-BTB (§2 related work)
-// ---------------------------------------------------------------------------
-
-/// Comparison against the §2 related work: a Phantom-BTB-style
-/// virtualized second level (temporal-group prefetching out of the L2)
-/// versus the paper's dedicated bulk-preload BTB2, at matched metadata
-/// capacity (24 k entries).
-pub fn comparison_phantom(opts: &ExperimentOptions) -> Vec<SweepPoint> {
-    let variants: Vec<(String, PredictorConfig)> = vec![
-        ("bulk preload BTB2 (zEC12)".to_string(), PredictorConfig::zec12()),
-        ("phantom BTB (virtualized)".to_string(), PredictorConfig::phantom_btb()),
-    ];
-    sweep(&variants, opts.len.unwrap_or(u64::MAX), opts.seed)
+    #[test]
+    fn wrongpath_matrix_has_stable_column_order() {
+        let configs = wrongpath_configs();
+        let names: Vec<&str> = configs.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["No BTB2", "BTB2 enabled", "No BTB2 + wrong path", "BTB2 enabled + wrong path"]
+        );
+        assert!(!configs[0].uarch.wrong_path_fetch);
+        assert!(configs[3].uarch.wrong_path_fetch);
+    }
 }
 
 zbp_support::impl_json_struct!(Figure3Row { workload, improvement });

@@ -10,22 +10,31 @@
 //! * [`session::SimSession`] — batch a workload × configuration grid
 //!   through one parallel fan-out and query the results by name;
 //! * [`sweep`] — parameter sweeps with parallel execution;
-//! * [`experiments`] — one function per paper table/figure, returning
-//!   structured results the bench targets print;
+//! * [`experiments`] — typed results + post-processing for every paper
+//!   table/figure, with direct typed wrappers for library users;
+//! * [`registry`] — the declarative experiment registry the CLI and
+//!   bench targets resolve experiments through, with provenance
+//!   manifests;
+//! * [`cache`] — the content-addressed per-cell result cache that makes
+//!   interrupted grid runs resumable;
 //! * [`report`] — CPI-improvement math and fixed-width table rendering;
 //! * [`reportgen`] — render saved experiment artifacts into REPORT.md.
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod config;
 pub mod experiments;
 pub mod parallel;
+pub mod registry;
 pub mod report;
 pub mod reportgen;
 pub mod runner;
 pub mod session;
 pub mod sweep;
 
+pub use cache::CellCache;
 pub use config::SimConfig;
+pub use registry::{ExperimentRun, ExperimentSpec, Manifest};
 pub use runner::{SimResult, Simulator};
 pub use session::{SessionGrid, SimSession};

@@ -10,14 +10,30 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::thread;
 
+/// Process-wide worker cap (0 = uncapped), set from
+/// `ExperimentOptions::workers` / `ZBP_WORKERS` by the front ends.
+static WORKER_CAP: AtomicUsize = AtomicUsize::new(0);
+
+/// Caps (or, with `None`, uncaps) the number of worker threads every
+/// subsequent [`par_map`] may use. The cap is process-wide: front ends
+/// set it once from `--workers` / `ZBP_WORKERS` before running a grid.
+pub fn set_worker_cap(cap: Option<usize>) {
+    WORKER_CAP.store(cap.unwrap_or(0), Ordering::SeqCst);
+}
+
 /// Number of worker threads [`par_map`] will use at most: the machine's
-/// available parallelism (1 when it cannot be determined).
+/// available parallelism (1 when it cannot be determined), further
+/// limited by [`set_worker_cap`].
 ///
 /// Callers use this to pick a fan-out shape — e.g. a grid run fuses its
 /// inner dimension instead of nesting `par_map`s once the outer
 /// dimension alone saturates the workers.
 pub fn max_workers() -> usize {
-    thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+    let hw = thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+    match WORKER_CAP.load(Ordering::SeqCst) {
+        0 => hw,
+        cap => hw.min(cap),
+    }
 }
 
 /// Applies `f` to every item, in parallel, preserving input order.
@@ -66,6 +82,14 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn worker_cap_limits_max_workers() {
+        set_worker_cap(Some(1));
+        assert_eq!(max_workers(), 1);
+        set_worker_cap(None);
+        assert!(max_workers() >= 1);
+    }
 
     #[test]
     fn preserves_order() {

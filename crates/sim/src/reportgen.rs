@@ -1,15 +1,19 @@
 //! Markdown report generation from saved experiment artifacts.
 //!
-//! The bench targets save raw JSON under `results/`; this module renders
-//! everything found there into a single human-readable report with
-//! ASCII bar charts — `zbp-cli report` writes it to
-//! `results/REPORT.md`.
+//! The registry front ends save manifest-stamped JSON under `results/`;
+//! this module validates each artifact's manifest (schema version
+//! first — a stale artifact fails loudly instead of rendering silently
+//! wrong numbers) and renders everything found there into a single
+//! human-readable report with ASCII bar charts — `zbp-cli report`
+//! writes it to `results/REPORT.md`.
 
+use crate::cache::SCHEMA_VERSION;
+use crate::registry::Manifest;
 use crate::report::ImprovementRow;
 use crate::sweep::SweepPoint;
 use std::fmt::Write as _;
 use std::path::Path;
-use zbp_support::json::FromJson;
+use zbp_support::json::{FromJson, Json};
 
 /// Renders a horizontal ASCII bar for `value` out of `max` (non-negative
 /// part only), `width` characters wide.
@@ -21,16 +25,38 @@ fn bar(value: f64, max: f64, width: usize) -> String {
     "█".repeat(filled.min(width))
 }
 
-fn load<T: FromJson>(dir: &Path, name: &str) -> Option<T> {
-    let text = std::fs::read_to_string(dir.join(format!("{name}.json"))).ok()?;
-    zbp_support::json::from_str(&text).ok()
+/// Loads an artifact's `data` block after validating its manifest.
+///
+/// Missing file → `Ok(None)`; present but unreadable, manifest-less, or
+/// written under a different schema version → `Err` (the report must
+/// not silently render stale or foreign artifacts).
+fn load<T: FromJson>(dir: &Path, name: &str) -> Result<Option<T>, String> {
+    let path = dir.join(format!("{name}.json"));
+    let Ok(text) = std::fs::read_to_string(&path) else { return Ok(None) };
+    let shown = path.display();
+    let value = Json::parse(&text).map_err(|e| format!("{shown}: invalid JSON: {e:?}"))?;
+    let manifest = value.get("manifest").ok_or_else(|| {
+        format!("{shown}: no manifest block — regenerate with `zbp-cli experiment run`")
+    })?;
+    let manifest =
+        Manifest::from_json(manifest).map_err(|e| format!("{shown}: bad manifest: {e:?}"))?;
+    if manifest.schema_version != SCHEMA_VERSION {
+        return Err(format!(
+            "{shown}: artifact schema version {} does not match current {SCHEMA_VERSION} — \
+             regenerate with `zbp-cli experiment run {}`",
+            manifest.schema_version, manifest.experiment
+        ));
+    }
+    let data = value.get("data").ok_or_else(|| format!("{shown}: no data block"))?;
+    T::from_json(data).map(Some).map_err(|e| format!("{shown}: bad data block: {e:?}"))
 }
 
-/// Renders a sweep-point artifact as a bar chart section.
-fn sweep_section(out: &mut String, dir: &Path, name: &str, title: &str) {
-    let Some(points) = load::<Vec<SweepPoint>>(dir, name) else { return };
+/// Renders a sweep-point artifact as a bar chart section. Returns
+/// whether a section was written.
+fn sweep_section(out: &mut String, dir: &Path, name: &str, title: &str) -> Result<bool, String> {
+    let Some(points) = load::<Vec<SweepPoint>>(dir, name)? else { return Ok(false) };
     if points.is_empty() {
-        return;
+        return Ok(false);
     }
     let max = points.iter().map(|p| p.avg_improvement).fold(0.0f64, f64::max);
     let label_w = points.iter().map(|p| p.label.len()).max().unwrap_or(0);
@@ -45,12 +71,18 @@ fn sweep_section(out: &mut String, dir: &Path, name: &str, title: &str) {
         );
     }
     let _ = writeln!(out, "```\n");
+    Ok(true)
 }
 
 /// Builds the full report from whatever artifacts exist in `dir`.
 ///
-/// Returns `None` when no known artifact is present.
-pub fn build_report(dir: &Path) -> Option<String> {
+/// Returns `Ok(None)` when no known artifact is present.
+///
+/// # Errors
+///
+/// Any present artifact that fails manifest validation (no manifest,
+/// schema-version mismatch, malformed data) aborts the report.
+pub fn build_report(dir: &Path) -> Result<Option<String>, String> {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -59,7 +91,7 @@ pub fn build_report(dir: &Path) -> Option<String> {
     );
     let mut found = false;
 
-    if let Some(rows) = load::<Vec<ImprovementRow>>(dir, "fig2_cpi_improvement") {
+    if let Some(rows) = load::<Vec<ImprovementRow>>(dir, "fig2_cpi_improvement")? {
         found = true;
         let max = rows.iter().map(|r| r.large_btb1_improvement()).fold(0.0f64, f64::max);
         let label_w = rows.iter().map(|r| r.trace.len()).max().unwrap_or(0);
@@ -97,21 +129,20 @@ pub fn build_report(dir: &Path) -> Option<String> {
         ("future_edram", "Future work — SRAM vs eDRAM (§6)"),
         ("comparison_phantom", "Comparison — bulk preload vs Phantom-BTB (§2)"),
     ] {
-        let before = out.len();
-        sweep_section(&mut out, dir, name, title);
-        found |= out.len() > before;
+        found |= sweep_section(&mut out, dir, name, title)?;
     }
 
-    found.then_some(out)
+    Ok(found.then_some(out))
 }
 
 /// Writes the report to `dir/REPORT.md`.
 ///
 /// # Errors
 ///
-/// Returns an error string when no artifacts exist or the write fails.
+/// Returns an error string when no artifacts exist, an artifact fails
+/// manifest validation, or the write fails.
 pub fn write_report(dir: &Path) -> Result<std::path::PathBuf, String> {
-    let report = build_report(dir)
+    let report = build_report(dir)?
         .ok_or_else(|| format!("no experiment artifacts found in {}", dir.display()))?;
     let path = dir.join("REPORT.md");
     std::fs::write(&path, report).map_err(|e| format!("writing {}: {e}", path.display()))?;
@@ -121,6 +152,37 @@ pub fn write_report(dir: &Path) -> Result<std::path::PathBuf, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use zbp_support::json::ToJson;
+
+    fn manifest(schema_version: u32) -> Manifest {
+        Manifest {
+            experiment: "fig5".into(),
+            schema_version,
+            seed: 1,
+            len_cap: Some(1_000),
+            trace_lens: vec![],
+            git_revision: "unknown".into(),
+            wall_time_ms: 0,
+            generated_unix: 0,
+            cells: 0,
+            cache_hits: 0,
+        }
+    }
+
+    fn write_artifact<T: ToJson>(dir: &Path, name: &str, schema_version: u32, data: &T) {
+        let artifact = Json::Obj(vec![
+            ("manifest".into(), manifest(schema_version).to_json()),
+            ("data".into(), data.to_json()),
+        ]);
+        std::fs::write(dir.join(format!("{name}.json")), artifact.render_pretty()).unwrap();
+    }
+
+    fn points() -> Vec<SweepPoint> {
+        vec![
+            SweepPoint { label: "a".into(), avg_improvement: 1.0, per_trace: vec![] },
+            SweepPoint { label: "bb".into(), avg_improvement: 2.0, per_trace: vec![] },
+        ]
+    }
 
     #[test]
     fn bar_scales_and_clamps() {
@@ -131,16 +193,11 @@ mod tests {
     }
 
     #[test]
-    fn report_from_artifacts() {
+    fn report_from_manifest_stamped_artifacts() {
         let dir = std::env::temp_dir().join(format!("zbp-reportgen-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        let points = vec![
-            SweepPoint { label: "a".into(), avg_improvement: 1.0, per_trace: vec![] },
-            SweepPoint { label: "bb".into(), avg_improvement: 2.0, per_trace: vec![] },
-        ];
-        std::fs::write(dir.join("fig5_btb2_size.json"), zbp_support::json::to_string(&points))
-            .unwrap();
-        let report = build_report(&dir).expect("artifact present");
+        write_artifact(&dir, "fig5_btb2_size", SCHEMA_VERSION, &points());
+        let report = build_report(&dir).unwrap().expect("artifact present");
         assert!(report.contains("Figure 5"));
         assert!(report.contains("bb"));
         let path = write_report(&dir).unwrap();
@@ -149,10 +206,32 @@ mod tests {
     }
 
     #[test]
+    fn schema_version_mismatch_fails_loudly() {
+        let dir = std::env::temp_dir().join(format!("zbp-reportgen-stale-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        write_artifact(&dir, "fig5_btb2_size", SCHEMA_VERSION + 1, &points());
+        let err = build_report(&dir).unwrap_err();
+        assert!(err.contains("schema version"), "unexpected error: {err}");
+        assert!(write_report(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_less_artifact_fails_loudly() {
+        let dir = std::env::temp_dir().join(format!("zbp-reportgen-bare-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let bare = zbp_support::json::to_string(&points());
+        std::fs::write(dir.join("fig5_btb2_size.json"), bare).unwrap();
+        let err = build_report(&dir).unwrap_err();
+        assert!(err.contains("no manifest"), "unexpected error: {err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn empty_dir_yields_none() {
         let dir = std::env::temp_dir().join(format!("zbp-reportgen-empty-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        assert!(build_report(&dir).is_none());
+        assert_eq!(build_report(&dir).unwrap(), None);
         assert!(write_report(&dir).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }

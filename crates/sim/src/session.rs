@@ -20,14 +20,18 @@
 //! [`SimSession::materialize_cap`] replay their re-runnable generator
 //! per column instead, trading the redundant walks back for flat memory.
 
+use crate::cache::{CellCache, CellKey};
 use crate::config::SimConfig;
 use crate::experiments::ExperimentOptions;
 use crate::parallel::par_map;
 use crate::runner::{SimResult, Simulator};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use zbp_support::json::{self, FromJson, Json, ToJson};
 use zbp_trace::materialize::MaterializedTrace;
 use zbp_trace::profile::WorkloadProfile;
 use zbp_trace::TraceInstr;
+use zbp_uarch::core::CoreResult;
 
 /// Builder for a batched workload × configuration run.
 ///
@@ -184,6 +188,104 @@ impl SimSession {
             results: per_workload.into_iter().flatten().collect(),
         }
     }
+
+    /// [`Self::run`] through a [`CellCache`]: each cell's [`CoreResult`]
+    /// is looked up by content hash first, and only the missing columns
+    /// of a workload row are simulated (against one shared capture, as
+    /// in the uncached path) and stored.
+    ///
+    /// Every cell — hit or freshly computed — is round-tripped through
+    /// its rendered JSON form before entering the grid, so a resumed run
+    /// is bit-identical to a fresh one: both paths read the result out
+    /// of the exact bytes a cache file holds. ([`CoreResult`] is all
+    /// integers and strings, so the round-trip is lossless.)
+    ///
+    /// Cache keys deliberately exclude the configuration's display name:
+    /// a sweep variant and a Table-3 column with identical predictor +
+    /// front-end configurations share one cache entry, and the result is
+    /// re-labelled with the requesting column's name.
+    pub fn run_cached(&self, cache: &CellCache) -> (SessionGrid, CacheStats) {
+        let hits = AtomicU64::new(0);
+        let pool: Mutex<Vec<Vec<TraceInstr>>> = Mutex::new(Vec::new());
+        let config_jsons: Vec<(String, String)> = self
+            .configs
+            .iter()
+            .map(|c| (json::to_string(&c.predictor), json::to_string(&c.uarch)))
+            .collect();
+        let per_workload: Vec<Vec<SimResult>> = par_map(&self.workloads, |p| {
+            let len = self.effective_len(p);
+            let profile_json = json::to_string(p);
+            let keys: Vec<CellKey> = config_jsons
+                .iter()
+                .map(|(pred, uarch)| CellKey::sim(&profile_json, self.seed, len, pred, uarch))
+                .collect();
+            let mut cores: Vec<Option<CoreResult>> =
+                keys.iter().map(|k| cache.load(k).and_then(|j| roundtrip(&j))).collect();
+            hits.fetch_add(cores.iter().flatten().count() as u64, Ordering::Relaxed);
+            let missing: Vec<usize> = (0..cores.len()).filter(|&i| cores[i].is_none()).collect();
+            if !missing.is_empty() {
+                let gen = p.build_with_len(self.seed, len);
+                let computed: Vec<CoreResult> = if MaterializedTrace::estimated_bytes(len)
+                    <= self.materialize_cap
+                {
+                    let buf = pool.lock().expect("pool lock").pop().unwrap_or_default();
+                    let mat = MaterializedTrace::capture_into(&gen, buf);
+                    let results =
+                        par_map(&missing, |&i| Simulator::run_config(&self.configs[i], &mat).core);
+                    if let Some(buf) = mat.into_records() {
+                        pool.lock().expect("pool lock").push(buf);
+                    }
+                    results
+                } else {
+                    par_map(&missing, |&i| Simulator::run_config(&self.configs[i], &gen).core)
+                };
+                for (&i, core) in missing.iter().zip(computed) {
+                    let entry = core.to_json();
+                    cache.store(&keys[i], &entry);
+                    cores[i] = Some(roundtrip(&entry).expect("CoreResult JSON round-trips"));
+                }
+            }
+            cores
+                .into_iter()
+                .zip(&self.configs)
+                .map(|(core, c)| SimResult {
+                    config_name: c.name.clone(),
+                    core: core.expect("every cell filled"),
+                })
+                .collect()
+        });
+        let grid = SessionGrid {
+            workloads: self.workloads.iter().map(|p| p.name.clone()).collect(),
+            configs: self.configs.iter().map(|c| c.name.clone()).collect(),
+            results: per_workload.into_iter().flatten().collect(),
+        };
+        let cells = (self.workloads.len() * self.configs.len()) as u64;
+        (grid, CacheStats { cells, hits: hits.into_inner() })
+    }
+}
+
+/// Normalizes a cell result through its rendered JSON bytes — the form
+/// every cache file holds — so cached and computed cells are read back
+/// identically.
+fn roundtrip(entry: &Json) -> Option<CoreResult> {
+    CoreResult::from_json(&Json::parse(&entry.render()).ok()?).ok()
+}
+
+/// Cache accounting for one [`SimSession::run_cached`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total cells in the grid.
+    pub cells: u64,
+    /// Cells answered from the cache.
+    pub hits: u64,
+}
+
+impl CacheStats {
+    /// Merges accounting from another grid of the same run.
+    #[must_use]
+    pub fn merged(self, other: Self) -> Self {
+        Self { cells: self.cells + other.cells, hits: self.hits + other.hits }
+    }
 }
 
 /// The results of a [`SimSession`]: one [`SimResult`] per workload ×
@@ -291,6 +393,50 @@ mod tests {
                 assert_eq!(s.core.outcomes, k.core.outcomes, "({w}, {c}) outcomes diverged");
             }
         }
+    }
+
+    #[test]
+    fn cached_runs_are_bit_identical_and_hit_on_rerun() {
+        let dir = std::env::temp_dir().join(format!("zbp-session-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let session = SimSession::new()
+            .seed(5)
+            .max_len(6_000)
+            .workloads(vec![WorkloadProfile::tpf_airline(), WorkloadProfile::zlinux_informix()])
+            .configs(vec![SimConfig::no_btb2(), SimConfig::btb2_enabled()]);
+        let (cold, s1) = session.run_cached(&CellCache::at(&dir));
+        assert_eq!(s1, CacheStats { cells: 4, hits: 0 });
+        let (warm, s2) = session.run_cached(&CellCache::at(&dir));
+        assert_eq!(s2, CacheStats { cells: 4, hits: 4 });
+        let (uncached, s3) = session.run_cached(&CellCache::disabled());
+        assert_eq!(s3.hits, 0);
+        let plain = session.run();
+        for w in cold.workloads() {
+            for c in cold.configs() {
+                let cell = cold.result(w, c);
+                assert_eq!(cell.core, warm.result(w, c).core, "({w}, {c}) hit diverged");
+                assert_eq!(cell.core, uncached.result(w, c).core, "({w}, {c}) nocache diverged");
+                assert_eq!(cell.core, plain.result(w, c).core, "({w}, {c}) run() diverged");
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cache_entries_ignore_config_display_names() {
+        let dir = std::env::temp_dir().join(format!("zbp-session-rename-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let base =
+            SimSession::new().seed(9).max_len(5_000).workload(WorkloadProfile::tpf_airline());
+        let (_, first) =
+            base.clone().config(SimConfig::btb2_enabled()).run_cached(&CellCache::at(&dir));
+        assert_eq!(first.hits, 0);
+        let (renamed, second) = base
+            .config(SimConfig::btb2_enabled().named("24k variant"))
+            .run_cached(&CellCache::at(&dir));
+        assert_eq!(second.hits, 1, "same predictor+uarch under a new name must hit");
+        assert_eq!(renamed.configs(), &["24k variant".to_string()]);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -6,7 +6,7 @@
 
 use crate::config::SimConfig;
 use crate::report::mean;
-use crate::session::SimSession;
+use crate::session::{SessionGrid, SimSession};
 use zbp_predictor::PredictorConfig;
 use zbp_trace::profile::WorkloadProfile;
 
@@ -39,25 +39,36 @@ pub fn sweep_profiles(
 ) -> Vec<SweepPoint> {
     // One grid: the shared no-BTB2 baseline plus every variant, so all
     // (workload, variant) cells run in a single parallel batch.
-    let baseline = SimConfig::no_btb2();
-    let baseline_name = baseline.name.clone();
-    let mut configs = vec![baseline];
-    configs.extend(variants.iter().map(|(label, cfg)| {
-        SimConfig::btb2_enabled().named(label.clone()).with_predictor(cfg.clone())
-    }));
     let grid = SimSession::new()
         .seed(seed)
         .max_len(len)
         .workloads(profiles.to_vec())
-        .configs(configs)
+        .configs(sweep_configs(variants))
         .run();
-    variants
+    points_from_grid(&grid)
+}
+
+/// Builds the configuration columns of a sweep grid: the shared no-BTB2
+/// baseline first, then one BTB2 column per variant, named by its label.
+pub fn sweep_configs(variants: &[(String, PredictorConfig)]) -> Vec<SimConfig> {
+    let mut configs = vec![SimConfig::no_btb2()];
+    configs.extend(variants.iter().map(|(label, cfg)| {
+        SimConfig::btb2_enabled().named(label.clone()).with_predictor(cfg.clone())
+    }));
+    configs
+}
+
+/// Sweep post-processing: one [`SweepPoint`] per non-baseline column of
+/// a [`sweep_configs`]-shaped grid (column 0 is the baseline).
+pub fn points_from_grid(grid: &SessionGrid) -> Vec<SweepPoint> {
+    let baseline = &grid.configs()[0];
+    grid.configs()[1..]
         .iter()
-        .map(|(label, _)| {
+        .map(|label| {
             let improvements: Vec<(String, f64)> = grid
                 .workloads()
                 .iter()
-                .map(|w| (w.clone(), grid.improvement(w, label, &baseline_name)))
+                .map(|w| (w.clone(), grid.improvement(w, label, baseline)))
                 .collect();
             let avg = mean(&improvements.iter().map(|(_, i)| *i).collect::<Vec<f64>>());
             SweepPoint { label: label.clone(), avg_improvement: avg, per_trace: improvements }

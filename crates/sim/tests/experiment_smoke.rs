@@ -5,7 +5,7 @@
 use zbp_sim::experiments::*;
 
 fn quick() -> ExperimentOptions {
-    ExperimentOptions { len: Some(15_000), seed: 3 }
+    ExperimentOptions::quick(15_000, 3)
 }
 
 #[test]

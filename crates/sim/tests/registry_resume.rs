@@ -1,0 +1,88 @@
+//! Acceptance test for resumable cell-cached runs: a grid run killed
+//! mid-sweep, then resumed, must produce an artifact bit-identical
+//! (modulo the volatile manifest fields) to an uninterrupted fresh run
+//! — with a non-zero cache-hit count proving it actually resumed.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use zbp_sim::cache::CellCache;
+use zbp_sim::experiments::ExperimentOptions;
+use zbp_sim::registry::{self, strip_volatile};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("zbp-resume-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn interrupted_grid_resumes_bit_identical_to_a_fresh_run() {
+    let spec = registry::find("fig4").expect("fig4 is registered");
+    let opts = ExperimentOptions::quick(6_000, 11);
+
+    // Reference: one uninterrupted run with no cache at all.
+    let fresh = spec.run(&opts, &CellCache::disabled());
+    assert_eq!(fresh.manifest.cache_hits, 0);
+    assert!(fresh.manifest.cells > 1, "need several cells to interrupt between");
+
+    // Simulate a grid run killed mid-sweep: the cache panics once the
+    // first cell has landed on disk.
+    let dir = tmpdir("grid");
+    let killed = catch_unwind(AssertUnwindSafe(|| {
+        spec.run(&opts, &CellCache::at(&dir).abort_after_stores(1))
+    }));
+    assert!(killed.is_err(), "the run must die mid-sweep");
+
+    // Resume against the same cache directory.
+    let resumed = spec.run(&opts, &CellCache::at(&dir));
+    assert!(resumed.manifest.cache_hits > 0, "resume must reuse the surviving cell");
+    assert!(
+        resumed.manifest.cache_hits < resumed.manifest.cells,
+        "the interruption must have left work to do"
+    );
+    assert_eq!(
+        strip_volatile(&resumed.artifact()),
+        strip_volatile(&fresh.artifact()),
+        "resumed artifact must be bit-identical to an uninterrupted fresh run"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn fresh_flag_recomputes_but_rewarms_the_cache() {
+    let spec = registry::find("fig4").expect("fig4 is registered");
+    let opts = ExperimentOptions::quick(5_000, 4);
+    let dir = tmpdir("fresh");
+
+    let first = spec.run(&opts, &CellCache::at(&dir));
+    assert_eq!(first.manifest.cache_hits, 0);
+
+    // `--fresh` semantics: never read, always recompute — but the
+    // recomputed cells land in the cache for the next resumed run.
+    let fresh = spec.run(&opts, &CellCache::write_only(&dir));
+    assert_eq!(fresh.manifest.cache_hits, 0, "--fresh must not read the cache");
+    assert_eq!(strip_volatile(&fresh.artifact()), strip_volatile(&first.artifact()));
+
+    let warm = spec.run(&opts, &CellCache::at(&dir));
+    assert_eq!(warm.manifest.cache_hits, warm.manifest.cells, "rewarmed cache fully hits");
+    assert_eq!(strip_volatile(&warm.artifact()), strip_volatile(&first.artifact()));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn stats_experiments_resume_too() {
+    let spec = registry::find("table4").expect("table4 is registered");
+    let opts = ExperimentOptions::quick(4_000, 9);
+    let fresh = spec.run(&opts, &CellCache::disabled());
+
+    let dir = tmpdir("stats");
+    let killed = catch_unwind(AssertUnwindSafe(|| {
+        spec.run(&opts, &CellCache::at(&dir).abort_after_stores(3))
+    }));
+    assert!(killed.is_err(), "the stats sweep must die mid-run");
+
+    let resumed = spec.run(&opts, &CellCache::at(&dir));
+    assert!(resumed.manifest.cache_hits >= 3);
+    assert_eq!(strip_volatile(&resumed.artifact()), strip_volatile(&fresh.artifact()));
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,58 @@
+//! Stable, dependency-free content hashing.
+//!
+//! The experiment cell cache keys its on-disk entries by a digest of the
+//! cell's full input description. [`std::hash::DefaultHasher`] is
+//! explicitly not guaranteed stable across Rust releases, so cache files
+//! written by one toolchain could silently miss under another; FNV-1a is
+//! trivially stable, fast on short keys, and good enough for a cache
+//! whose entries also embed the full key for collision detection.
+
+/// 64-bit FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// 64-bit FNV-1a prime.
+const FNV_PRIME: u64 = 0x0100_0000_01b3;
+
+/// Hashes `bytes` with 64-bit FNV-1a.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Hashes a string and renders the digest as 16 lowercase hex digits —
+/// the filename-safe form cache entries are stored under.
+pub fn fnv1a_64_hex(text: &str) -> String {
+    format!("{:016x}", fnv1a_64(text.as_bytes()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_published_fnv1a_vectors() {
+        // Reference vectors from the FNV specification.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn hex_form_is_16_digits_and_stable() {
+        let h = fnv1a_64_hex("zbp-cell-v1|sim|seed=3");
+        assert_eq!(h.len(), 16);
+        assert_eq!(h, fnv1a_64_hex("zbp-cell-v1|sim|seed=3"));
+        assert_ne!(h, fnv1a_64_hex("zbp-cell-v1|sim|seed=4"));
+    }
+
+    #[test]
+    fn distinct_keys_rarely_collide_in_practice() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u32 {
+            assert!(seen.insert(fnv1a_64(format!("key-{i}").as_bytes())));
+        }
+    }
+}

@@ -9,9 +9,12 @@
 //! * [`json`] — a minimal JSON value type, parser and writer, plus the
 //!   [`json::ToJson`] / [`json::FromJson`] traits and the
 //!   [`impl_json_struct!`] / [`impl_json_enum!`] macros that stand in
-//!   for `serde` derives on the workspace's config / result types.
+//!   for `serde` derives on the workspace's config / result types;
+//! * [`hash`] — stable FNV-1a content hashing for the experiment cell
+//!   cache (unlike `DefaultHasher`, identical across toolchains).
 
 #![warn(missing_docs)]
 
+pub mod hash;
 pub mod json;
 pub mod rng;

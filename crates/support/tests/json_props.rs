@@ -1,0 +1,155 @@
+//! Property tests for the JSON round-trip: randomized strings (escape
+//! soup), float bit patterns, deep nesting, whole random documents, and
+//! object key-order preservation. Hand-rolled generation over
+//! [`SmallRng`] — the crate is dependency-free by design.
+
+use zbp_support::json::Json;
+use zbp_support::rng::SmallRng;
+
+fn roundtrip(value: &Json) {
+    let compact = Json::parse(&value.render()).expect("compact rendering parses");
+    assert_eq!(&compact, value, "compact round-trip");
+    let pretty = Json::parse(&value.render_pretty()).expect("pretty rendering parses");
+    assert_eq!(&pretty, value, "pretty round-trip");
+}
+
+/// Characters chosen to stress the escaper: quotes, backslashes,
+/// control characters, multi-byte UTF-8, and innocents.
+const CHAR_POOL: &[char] = &[
+    '"', '\\', '\n', '\r', '\t', '\u{0}', '\u{1}', '\u{1f}', '\u{7f}', '/', 'a', 'Z', '0', ' ',
+    'é', 'ß', '√', '中', '🦀', '\u{e9}', '\u{2028}', '\u{2029}', '\u{fffd}',
+];
+
+fn random_string(rng: &mut SmallRng, max_len: usize) -> String {
+    let len = rng.random_range(0..max_len + 1);
+    (0..len).map(|_| CHAR_POOL[rng.random_range(0..CHAR_POOL.len())]).collect()
+}
+
+#[test]
+fn strings_full_of_escapes_round_trip() {
+    let mut rng = SmallRng::seed_from_u64(0x0E5C_49E5);
+    for _ in 0..500 {
+        roundtrip(&Json::Str(random_string(&mut rng, 40)));
+    }
+}
+
+#[test]
+fn float_bit_patterns_round_trip_exactly_or_render_null() {
+    let mut rng = SmallRng::seed_from_u64(0xF10A7);
+    for i in 0..2_000u64 {
+        // Mix raw bit patterns (hits subnormals, huge exponents) with
+        // "ordinary" magnitudes.
+        let x = if i % 2 == 0 {
+            f64::from_bits(rng.next_u64())
+        } else {
+            rng.random::<f64>() * 10f64.powi(rng.random_range(0..61usize) as i32 - 30)
+        };
+        let rendered = Json::Num(x).render();
+        let parsed = Json::parse(&rendered).expect("number rendering parses");
+        if x.is_finite() {
+            match parsed {
+                Json::Num(y) => assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "float {x:e} must round-trip bit-exactly (rendered {rendered:?})"
+                ),
+                other => panic!("finite {x:e} parsed as {other:?}"),
+            }
+        } else {
+            // JSON has no NaN/Infinity; the writer documents them as null.
+            assert_eq!(parsed, Json::Null, "non-finite {x:?} must render as null");
+        }
+    }
+}
+
+#[test]
+fn extreme_finite_floats_round_trip() {
+    for x in [
+        f64::MAX,
+        f64::MIN,
+        f64::MIN_POSITIVE,
+        f64::EPSILON,
+        5e-324, // smallest subnormal
+        -0.0,
+        9_007_199_254_740_993f64, // 2^53 + 1 (rounds to 2^53, still round-trips)
+        1e308,
+        -1e-308,
+    ] {
+        let parsed = Json::parse(&Json::Num(x).render()).unwrap();
+        let Json::Num(y) = parsed else { panic!("{x:e} did not parse as a number") };
+        assert_eq!(x.to_bits(), y.to_bits(), "{x:e} must round-trip bit-exactly");
+    }
+}
+
+#[test]
+fn deep_nesting_round_trips() {
+    for depth in [1usize, 10, 50, 200] {
+        let mut value = Json::Num(42.0);
+        for level in 0..depth {
+            value = if level % 2 == 0 {
+                Json::Arr(vec![value])
+            } else {
+                Json::Obj(vec![("deeper".into(), value)])
+            };
+        }
+        roundtrip(&value);
+    }
+}
+
+#[test]
+fn object_key_order_is_preserved() {
+    let mut rng = SmallRng::seed_from_u64(0x000B_DE12);
+    for round in 0..100 {
+        let n = rng.random_range(1..20usize);
+        // Unique keys in a random-looking order (suffix guarantees
+        // uniqueness even when the random prefix collides).
+        let pairs: Vec<(String, Json)> = (0..n)
+            .map(|i| {
+                let key = format!("{}-{round}-{i}", random_string(&mut rng, 6));
+                (key, Json::Num(i as f64))
+            })
+            .collect();
+        let keys: Vec<String> = pairs.iter().map(|(k, _)| k.clone()).collect();
+        let obj = Json::Obj(pairs);
+        for text in [obj.render(), obj.render_pretty()] {
+            let Json::Obj(parsed) = Json::parse(&text).unwrap() else {
+                panic!("object did not parse as an object")
+            };
+            let parsed_keys: Vec<String> = parsed.iter().map(|(k, _)| k.clone()).collect();
+            assert_eq!(parsed_keys, keys, "insertion order must survive the round-trip");
+        }
+    }
+}
+
+fn random_json(rng: &mut SmallRng, depth: usize) -> Json {
+    match if depth == 0 { rng.random_range(0..4usize) } else { rng.random_range(0..6usize) } {
+        0 => Json::Null,
+        1 => Json::Bool(rng.random_bool(0.5)),
+        2 => {
+            // Finite by construction: the document round-trip asserts
+            // exact equality, which null-rendered NaN would break.
+            let mut x = f64::from_bits(rng.next_u64());
+            if !x.is_finite() {
+                x = rng.random::<f64>();
+            }
+            Json::Num(x)
+        }
+        3 => Json::Str(random_string(rng, 12)),
+        4 => {
+            let n = rng.random_range(0..4usize);
+            Json::Arr((0..n).map(|_| random_json(rng, depth - 1)).collect())
+        }
+        _ => {
+            let n = rng.random_range(0..4usize);
+            Json::Obj((0..n).map(|i| (format!("k{i}"), random_json(rng, depth - 1))).collect())
+        }
+    }
+}
+
+#[test]
+fn random_documents_round_trip() {
+    let mut rng = SmallRng::seed_from_u64(0xD0C5);
+    for _ in 0..300 {
+        roundtrip(&random_json(&mut rng, 4));
+    }
+}

@@ -237,6 +237,11 @@ impl WorkloadProfile {
             .collect();
         Self::mixed("Web CICS/DB2 (4 cores)", parts, 40_000)
     }
+
+    /// Both Figure-3 hardware-measurement workloads, in the paper's order.
+    pub fn hardware_pair() -> Vec<Self> {
+        vec![Self::hardware_wasdb_cbw2(), Self::hardware_web_cics_db2()]
+    }
 }
 
 fn default_len_for(sites: u64) -> u64 {

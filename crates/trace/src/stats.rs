@@ -155,3 +155,13 @@ mod tests {
         assert_eq!(TraceStats::collect(&t).unique_blocks, 2);
     }
 }
+
+zbp_support::impl_json_struct!(TraceStats {
+    instructions,
+    branches,
+    taken_branches,
+    unique_branches,
+    unique_taken,
+    unique_blocks,
+    bytes,
+});

@@ -44,7 +44,7 @@ pub struct ICacheStats {
 }
 
 /// Result of one simulated run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CoreResult {
     /// Trace name.
     pub name: String,

@@ -1,19 +1,50 @@
 #!/usr/bin/env python3
 """Print a one-line summary of every experiment artifact in results/.
 
+Artifacts are manifest-stamped: ``{"manifest": {...}, "data": ...}``.
+The manifest's ``schema_version`` must match SCHEMA_VERSION below (kept
+in lockstep with ``zbp_sim::cache::SCHEMA_VERSION``); a mismatch aborts
+with a non-zero exit instead of silently summarizing stale numbers.
+
 Usage: python3 scripts/summarize_results.py [results-dir]
 """
 import json
-import sys
 import os
+import sys
+
+SCHEMA_VERSION = 1
 
 d = sys.argv[1] if len(sys.argv) > 1 else os.path.join(os.path.dirname(__file__), "..", "results")
 
-def sweep(name):
+
+def load(name):
+    """Return the artifact's data block, or None when the file is absent.
+
+    Exits non-zero on a manifest-less artifact or a schema-version
+    mismatch — both mean "regenerate with `zbp-cli experiment run`".
+    """
+    path = f"{d}/{name}.json"
     try:
-        return [(p["label"], round(p["avg_improvement"], 2)) for p in json.load(open(f"{d}/{name}.json"))]
+        artifact = json.load(open(path))
     except OSError:
+        return None
+    if not isinstance(artifact, dict) or "manifest" not in artifact:
+        sys.exit(f"error: {path}: no manifest block — "
+                 f"regenerate with `zbp-cli experiment run {name}`")
+    manifest = artifact["manifest"]
+    if manifest.get("schema_version") != SCHEMA_VERSION:
+        sys.exit(f"error: {path}: schema version {manifest.get('schema_version')!r} "
+                 f"does not match expected {SCHEMA_VERSION} — "
+                 f"regenerate with `zbp-cli experiment run {manifest.get('experiment', name)}`")
+    return artifact["data"]
+
+
+def sweep(name):
+    data = load(name)
+    if data is None:
         return "missing"
+    return [(p["label"], round(p["avg_improvement"], 2)) for p in data]
+
 
 for name in [
     "fig5_btb2_size", "fig6_miss_definition", "fig7_trackers",
@@ -23,15 +54,15 @@ for name in [
 ]:
     print(f"{name:24} {sweep(name)}")
 
-try:
-    f4 = json.load(open(f"{d}/fig4_bad_branch_outcomes.json"))
+f4 = load("fig4_bad_branch_outcomes")
+if f4 is not None:
     print(f"fig4: improvement {f4['improvement']:+.2f}%  capacity "
           f"{f4['without_btb2']['capacity']:.2f}% -> {f4['with_btb2']['capacity']:.2f}%")
-    for r in json.load(open(f"{d}/fig3_system_level.json")):
-        print(f"fig3: {r['workload']:28} {r['improvement']:+.2f}%")
-    for r in json.load(open(f"{d}/fig2_cpi_improvement.json")):
-        b = 100 * (1 - r["btb2_cpi"] / r["baseline_cpi"])
-        l = 100 * (1 - r["large_btb1_cpi"] / r["baseline_cpi"])
-        print(f"fig2: {r['trace']:28} btb2 {b:+.2f}%  large {l:+.2f}%  eff {100 * b / l:5.1f}%")
-except OSError as e:
-    print("partial:", e)
+f3 = load("fig3_system_level")
+for r in f3 or []:
+    print(f"fig3: {r['workload']:28} {r['improvement']:+.2f}%")
+f2 = load("fig2_cpi_improvement")
+for r in f2 or []:
+    b = 100 * (1 - r["btb2_cpi"] / r["baseline_cpi"])
+    l = 100 * (1 - r["large_btb1_cpi"] / r["baseline_cpi"])
+    print(f"fig2: {r['trace']:28} btb2 {b:+.2f}%  large {l:+.2f}%  eff {100 * b / l:5.1f}%")

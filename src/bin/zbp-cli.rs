@@ -7,13 +7,19 @@
 //! zbp-cli stats --in trace.zbpt
 //! zbp-cli run --profile tpf-airline --config btb2 --len 2000000
 //! zbp-cli compare --profile daytrader-dbserv --len 4000000
-//! zbp-cli experiment fig4 --len 1000000
+//! zbp-cli experiment list
+//! zbp-cli experiment run fig2 --len 50000
+//! zbp-cli experiment verify fig4
 //! ```
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 use zbp::prelude::*;
-use zbp::sim::experiments::{self, ExperimentOptions};
+use zbp::sim::cache::{CellCache, SCHEMA_VERSION};
+use zbp::sim::experiments::{parse_seed, ExperimentOptions};
+use zbp::sim::registry::{self, strip_volatile, ExperimentSpec, Manifest};
 use zbp::sim::report::{pct, render_table};
+use zbp::support::json::{FromJson, Json};
 use zbp::trace::io::{read_trace, write_trace};
 use zbp::trace::profile::ProfileTrace;
 
@@ -30,8 +36,11 @@ COMMANDS:
     compare                       run all three Table-3 configurations on one workload
     analyze                       branch reuse-distance profile vs the BTB capacities
     report                        render results/*.json into results/REPORT.md
-    experiment <ID>               regenerate a paper experiment
-                                  (table4, fig2, fig3, fig4, fig5, fig6, fig7)
+    experiment list               list the registered experiments
+    experiment run <ID>           run an experiment (resumes from the cell cache;
+                                  --fresh recomputes every cell)
+    experiment verify <ID>        re-run an experiment at its artifact's recorded
+                                  seed/length and diff against the artifact
 
 OPTIONS:
     --profile <NAME>              workload profile (see `zbp-cli list`)
@@ -39,27 +48,78 @@ OPTIONS:
     --out <FILE>                  output path for `gen`
     --config <no-btb2|btb2|large-btb1>   configuration for `run` (default: btb2)
     --len <N>                     dynamic instruction count (default: profile default)
-    --seed <N>                    workload synthesis seed (default: 0xEC12)
+    --seed <N>                    workload synthesis seed, decimal or 0x-hex
+                                  (default: 0xEC12)
+    --workers <N>                 cap the parallel fan-out
+    --cache-dir <DIR>             cell-cache directory (default: results/cache)
+    --resume                      read cached cells (default for `experiment run`)
+    --fresh                       recompute every cell, refreshing the cache
+
+Environment: ZBP_TRACE_LEN, ZBP_SEED, ZBP_WORKERS, ZBP_CACHE_DIR and
+ZBP_RESULTS_DIR are read first; command-line flags override them.
 ";
+
+const COMMANDS: [&str; 9] =
+    ["list", "gen", "stats", "run", "compare", "analyze", "report", "experiment", "help"];
+
+const FLAGS: [&str; 10] = [
+    "--profile",
+    "--in",
+    "--out",
+    "--config",
+    "--len",
+    "--seed",
+    "--workers",
+    "--cache-dir",
+    "--resume",
+    "--fresh",
+];
 
 #[derive(Debug, Default)]
 struct Args {
     command: String,
+    subcommand: Option<String>,
     experiment: Option<String>,
     profile: Option<String>,
     input: Option<String>,
     output: Option<String>,
     config: Option<String>,
     len: Option<u64>,
-    seed: u64,
+    seed: Option<u64>,
+    workers: Option<usize>,
+    cache_dir: Option<String>,
+    fresh: bool,
+    resume: bool,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
-    let mut args = Args { seed: 0xEC12, ..Args::default() };
+    let mut args = Args::default();
     let mut it = argv.iter();
     args.command = it.next().cloned().ok_or("missing command")?;
     if args.command == "experiment" {
-        args.experiment = Some(it.next().cloned().ok_or("missing experiment id")?);
+        let sub = it
+            .next()
+            .cloned()
+            .ok_or("missing experiment subcommand (list | run <ID> | verify <ID>)")?;
+        match sub.as_str() {
+            "list" => {}
+            "run" | "verify" => {
+                args.experiment = Some(it.next().cloned().ok_or_else(|| {
+                    format!("missing experiment id (try `zbp-cli experiment list`) after '{sub}'")
+                })?);
+            }
+            other => {
+                let hint = if registry::find(other).is_some() {
+                    format!(" — did you mean `experiment run {other}`?")
+                } else {
+                    String::new()
+                };
+                return Err(format!(
+                    "unknown experiment subcommand '{other}' (list | run <ID> | verify <ID>){hint}"
+                ));
+            }
+        }
+        args.subcommand = Some(sub);
     }
     while let Some(flag) = it.next() {
         let mut value =
@@ -70,9 +130,29 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--out" => args.output = Some(value()?),
             "--config" => args.config = Some(value()?),
             "--len" => args.len = Some(value()?.parse().map_err(|e| format!("--len: {e}"))?),
-            "--seed" => args.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
-            other => return Err(format!("unknown flag {other}")),
+            "--seed" => {
+                args.seed = Some(parse_seed(&value()?).map_err(|e| format!("--seed: {e}"))?)
+            }
+            "--workers" => {
+                let n: usize = value()?.parse().map_err(|e| format!("--workers: {e}"))?;
+                if n == 0 {
+                    return Err("--workers: must be at least 1".into());
+                }
+                args.workers = Some(n);
+            }
+            "--cache-dir" => args.cache_dir = Some(value()?),
+            "--resume" => args.resume = true,
+            "--fresh" => args.fresh = true,
+            other => {
+                let hint = registry::closest(other, FLAGS)
+                    .map(|f| format!(" — did you mean '{f}'?"))
+                    .unwrap_or_default();
+                return Err(format!("unknown flag {other}{hint}"));
+            }
         }
+    }
+    if args.fresh && args.resume {
+        return Err("--fresh and --resume are mutually exclusive".into());
     }
     Ok(args)
 }
@@ -99,18 +179,19 @@ fn profiles() -> Vec<(&'static str, WorkloadProfile)> {
 }
 
 fn find_profile(key: &str) -> Result<WorkloadProfile, String> {
-    profiles()
-        .into_iter()
-        .find(|(k, _)| *k == key)
-        .map(|(_, p)| p)
-        .ok_or_else(|| format!("unknown profile '{key}' (see `zbp-cli list`)"))
+    profiles().into_iter().find(|(k, _)| *k == key).map(|(_, p)| p).ok_or_else(|| {
+        let hint = registry::closest(key, profiles().iter().map(|(k, _)| *k))
+            .map(|k| format!(" — did you mean '{k}'?"))
+            .unwrap_or_default();
+        format!("unknown profile '{key}'{hint} (see `zbp-cli list`)")
+    })
 }
 
 fn build_trace(args: &Args) -> Result<ProfileTrace, String> {
     let key = args.profile.as_deref().ok_or("--profile is required")?;
     let profile = find_profile(key)?;
     let len = args.len.unwrap_or(profile.default_len);
-    Ok(profile.build_with_len(args.seed, len))
+    Ok(profile.build_with_len(args.seed.unwrap_or(0xEC12), len))
 }
 
 fn config_by_name(name: &str) -> Result<SimConfig, String> {
@@ -120,6 +201,10 @@ fn config_by_name(name: &str) -> Result<SimConfig, String> {
         "large-btb1" => Ok(SimConfig::large_btb1()),
         other => Err(format!("unknown config '{other}' (no-btb2 | btb2 | large-btb1)")),
     }
+}
+
+fn results_dir() -> PathBuf {
+    std::env::var("ZBP_RESULTS_DIR").map_or_else(|_| PathBuf::from("results"), PathBuf::from)
 }
 
 fn cmd_list() {
@@ -261,70 +346,146 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_experiment(args: &Args) -> Result<(), String> {
-    let id = args.experiment.as_deref().expect("parser enforces presence");
-    let opts = ExperimentOptions { len: args.len, seed: args.seed };
-    match id {
-        "table4" => {
-            for r in experiments::table4(&opts) {
-                println!(
-                    "{:<28} branches {}/{} taken {}/{}",
-                    r.trace,
-                    r.measured_branches,
-                    r.target_branches,
-                    r.measured_taken,
-                    r.target_taken
-                );
-            }
-        }
-        "fig2" => {
-            for r in experiments::figure2(&opts) {
-                println!(
-                    "{:<28} btb2 {} large {} eff {:.1}%",
-                    r.trace,
-                    pct(r.btb2_improvement()),
-                    pct(r.large_btb1_improvement()),
-                    r.effectiveness()
-                );
-            }
-        }
-        "fig3" => {
-            for r in experiments::figure3(&opts) {
-                println!("{:<28} {}", r.workload, pct(r.improvement));
-            }
-        }
-        "fig4" => {
-            let r = experiments::figure4(&opts);
-            println!("{} — CPI improvement {}", r.workload, pct(r.improvement));
-            println!(
-                "no BTB2:      total bad {:.2}% (capacity {:.2}%)",
-                r.without_btb2.total(),
-                r.without_btb2.capacity
-            );
-            println!(
-                "BTB2 enabled: total bad {:.2}% (capacity {:.2}%)",
-                r.with_btb2.total(),
-                r.with_btb2.capacity
-            );
-        }
-        "fig5" => {
-            for p in experiments::figure5(&opts, &experiments::FIGURE5_SIZES) {
-                println!("{:<12} {}", p.label, pct(p.avg_improvement));
-            }
-        }
-        "fig6" => {
-            for p in experiments::figure6(&opts, &experiments::FIGURE6_LIMITS) {
-                println!("{:<12} {}", p.label, pct(p.avg_improvement));
-            }
-        }
-        "fig7" => {
-            for p in experiments::figure7(&opts, &experiments::FIGURE7_TRACKERS) {
-                println!("{:<12} {}", p.label, pct(p.avg_improvement));
-            }
-        }
-        other => return Err(format!("unknown experiment '{other}'")),
+// ---------------------------------------------------------------------------
+// experiment subcommands
+// ---------------------------------------------------------------------------
+
+/// Merges the environment options with command-line overrides.
+fn experiment_opts(args: &Args) -> Result<ExperimentOptions, String> {
+    let mut opts = ExperimentOptions::from_env()?;
+    if args.len.is_some() {
+        opts.len = args.len;
+    }
+    if let Some(seed) = args.seed {
+        opts.seed = seed;
+    }
+    if args.workers.is_some() {
+        opts.workers = args.workers;
+    }
+    if let Some(dir) = &args.cache_dir {
+        opts.cache_dir = Some(PathBuf::from(dir));
+    }
+    Ok(opts)
+}
+
+fn find_spec(id: &str) -> Result<&'static ExperimentSpec, String> {
+    registry::find(id).ok_or_else(|| {
+        let hint = registry::closest(id, registry::all().iter().map(|s| s.id))
+            .map(|s| format!(" — did you mean '{s}'?"))
+            .unwrap_or_default();
+        format!("unknown experiment '{id}'{hint} (see `zbp-cli experiment list`)")
+    })
+}
+
+fn cmd_experiment_list() {
+    let rows: Vec<Vec<String>> = registry::all()
+        .iter()
+        .map(|s| {
+            vec![
+                s.id.to_string(),
+                s.title.to_string(),
+                s.paper_ref.to_string(),
+                format!("results/{}.json", s.artifact),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&["id", "title", "paper", "artifact"], &rows));
+}
+
+fn cmd_experiment_run(args: &Args) -> Result<(), String> {
+    let spec = find_spec(args.experiment.as_deref().expect("parser enforces presence"))?;
+    let opts = experiment_opts(args)?;
+    let cache_dir = opts.cache_dir.clone().unwrap_or_else(|| results_dir().join("cache"));
+    let cache =
+        if args.fresh { CellCache::write_only(cache_dir) } else { CellCache::at(cache_dir) };
+    println!("{} ({})\n", spec.title, spec.paper_ref);
+    let run = spec.run(&opts, &cache);
+    print!("{}", run.pretty);
+    for note in spec.notes {
+        println!("{note}");
+    }
+    let m = &run.manifest;
+    println!(
+        "cells: {} ({} from cache); seed {:#x}; wall time {} ms",
+        m.cells, m.cache_hits, m.seed, m.wall_time_ms
+    );
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let path = dir.join(format!("{}.json", spec.artifact));
+    std::fs::write(&path, run.artifact().render_pretty())
+        .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    println!("saved: {}", path.display());
+    if let Some(csv) = &run.csv {
+        let path = dir.join(format!("{}.csv", spec.artifact));
+        std::fs::write(&path, csv).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!("saved: {}", path.display());
     }
     Ok(())
+}
+
+fn cmd_experiment_verify(args: &Args) -> Result<(), String> {
+    let spec = find_spec(args.experiment.as_deref().expect("parser enforces presence"))?;
+    let path = results_dir().join(format!("{}.json", spec.artifact));
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        format!("{}: {e} (run `zbp-cli experiment run {}` first)", path.display(), spec.id)
+    })?;
+    let committed =
+        Json::parse(&text).map_err(|e| format!("{}: invalid JSON: {e:?}", path.display()))?;
+    let manifest = committed
+        .get("manifest")
+        .ok_or_else(|| {
+            format!(
+                "{}: no manifest block — regenerate with `zbp-cli experiment run {}`",
+                path.display(),
+                spec.id
+            )
+        })
+        .and_then(|m| {
+            Manifest::from_json(m).map_err(|e| format!("{}: bad manifest: {e:?}", path.display()))
+        })?;
+    if manifest.schema_version != SCHEMA_VERSION {
+        return Err(format!(
+            "{}: artifact schema version {} does not match current {SCHEMA_VERSION} — \
+             regenerate with `zbp-cli experiment run {}`",
+            path.display(),
+            manifest.schema_version,
+            spec.id
+        ));
+    }
+    println!(
+        "verifying {} against {} (seed {:#x}, len {})",
+        spec.id,
+        path.display(),
+        manifest.seed,
+        manifest.len_cap.map_or("default".to_string(), |l| l.to_string())
+    );
+    // Re-run at the artifact's recorded inputs with the cache disabled:
+    // a verification must recompute, not trust cached cells.
+    let mut opts = experiment_opts(args)?;
+    opts.len = manifest.len_cap;
+    opts.seed = manifest.seed;
+    let run = spec.run(&opts, &CellCache::disabled());
+    if strip_volatile(&committed) == strip_volatile(&run.artifact()) {
+        println!("verified: artifact matches a fresh run (modulo volatile manifest fields)");
+        Ok(())
+    } else {
+        Err(format!(
+            "verification FAILED: {} differs from a fresh run at the same seed/length",
+            path.display()
+        ))
+    }
+}
+
+fn cmd_experiment(args: &Args) -> Result<(), String> {
+    match args.subcommand.as_deref().expect("parser enforces presence") {
+        "list" => {
+            cmd_experiment_list();
+            Ok(())
+        }
+        "run" => cmd_experiment_run(args),
+        "verify" => cmd_experiment_verify(args),
+        other => unreachable!("parser rejects subcommand {other}"),
+    }
 }
 
 fn main() -> ExitCode {
@@ -350,15 +511,16 @@ fn main() -> ExitCode {
         "run" => cmd_run(&args),
         "compare" => cmd_compare(&args),
         "analyze" => cmd_analyze(&args),
-        "report" => {
-            let dir = std::env::var("ZBP_RESULTS_DIR")
-                .map_or_else(|_| std::path::PathBuf::from("results"), std::path::PathBuf::from);
-            zbp::sim::reportgen::write_report(&dir).map(|p| {
-                println!("wrote {}", p.display());
-            })
-        }
+        "report" => zbp::sim::reportgen::write_report(&results_dir()).map(|p| {
+            println!("wrote {}", p.display());
+        }),
         "experiment" => cmd_experiment(&args),
-        other => Err(format!("unknown command '{other}'")),
+        other => {
+            let hint = registry::closest(other, COMMANDS)
+                .map(|c| format!(" — did you mean '{c}'?"))
+                .unwrap_or_default();
+            Err(format!("unknown command '{other}'{hint}"))
+        }
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -385,15 +547,26 @@ mod tests {
         assert_eq!(a.profile.as_deref(), Some("tpf-airline"));
         assert_eq!(a.config.as_deref(), Some("btb2"));
         assert_eq!(a.len, Some(5000));
-        assert_eq!(a.seed, 42);
+        assert_eq!(a.seed, Some(42));
     }
 
     #[test]
-    fn experiment_takes_a_positional_id() {
-        let a = parse_args(&argv("experiment fig4 --len 100")).unwrap();
+    fn experiment_takes_a_subcommand_and_id() {
+        let a = parse_args(&argv("experiment run fig4 --len 100")).unwrap();
+        assert_eq!(a.subcommand.as_deref(), Some("run"));
         assert_eq!(a.experiment.as_deref(), Some("fig4"));
         assert_eq!(a.len, Some(100));
+        let a = parse_args(&argv("experiment list")).unwrap();
+        assert_eq!(a.subcommand.as_deref(), Some("list"));
         assert!(parse_args(&argv("experiment")).is_err());
+        assert!(parse_args(&argv("experiment run")).is_err());
+        assert!(parse_args(&argv("experiment verify")).is_err());
+    }
+
+    #[test]
+    fn bare_experiment_id_points_at_run() {
+        let err = parse_args(&argv("experiment fig4")).unwrap_err();
+        assert!(err.contains("experiment run fig4"), "unexpected error: {err}");
     }
 
     #[test]
@@ -401,13 +574,21 @@ mod tests {
         assert!(parse_args(&argv("run --bogus 1")).is_err());
         assert!(parse_args(&argv("run --len nope")).is_err());
         assert!(parse_args(&argv("run --len")).is_err());
+        assert!(parse_args(&argv("run --workers 0")).is_err());
+        assert!(parse_args(&argv("experiment run fig2 --fresh --resume")).is_err());
         assert!(parse_args(&[]).is_err());
     }
 
     #[test]
-    fn default_seed_matches_the_experiments() {
-        let a = parse_args(&argv("list")).unwrap();
-        assert_eq!(a.seed, 0xEC12);
+    fn misspelled_flag_gets_a_hint() {
+        let err = parse_args(&argv("run --profle tpf-airline")).unwrap_err();
+        assert!(err.contains("--profile"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn seed_accepts_hex() {
+        let a = parse_args(&argv("run --seed 0xEC12")).unwrap();
+        assert_eq!(a.seed, Some(0xEC12));
     }
 
     #[test]
@@ -424,5 +605,11 @@ mod tests {
         assert!(config_by_name("btb2").is_ok());
         assert!(config_by_name("large-btb1").is_ok());
         assert!(config_by_name("x").is_err());
+    }
+
+    #[test]
+    fn unknown_experiment_id_suggests() {
+        let Err(err) = find_spec("tabel4") else { panic!("'tabel4' should not resolve") };
+        assert!(err.contains("table4"), "unexpected error: {err}");
     }
 }

@@ -17,7 +17,9 @@
 //! * [`uarch`] — the zEC12-like front-end substrate: caches, penalties
 //!   and bad-branch-outcome classification.
 //! * [`sim`] — the trace-driven simulator, Table-3 configuration presets,
-//!   parameter sweeps and per-figure experiment runners.
+//!   parameter sweeps, the declarative experiment registry and the
+//!   resumable cell cache behind it.
+//! * [`support`] — dependency-free JSON, RNG and hashing utilities.
 //!
 //! # Quick start
 //!
@@ -38,6 +40,7 @@
 
 pub use zbp_predictor as predictor;
 pub use zbp_sim as sim;
+pub use zbp_support as support;
 pub use zbp_trace as trace;
 pub use zbp_uarch as uarch;
 

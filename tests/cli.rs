@@ -1,0 +1,149 @@
+//! End-to-end tests of the `zbp-cli` binary: exit codes, usage output,
+//! "did you mean" hints, strict flag/env parsing, and the registry
+//! experiment subcommands (run → cache-hit rerun → verify).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+use zbp::sim::registry::{self, strip_volatile};
+use zbp::support::json::Json;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("zbp-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Runs the binary with `results_dir` as both results and cache root,
+/// shielding the test from ambient ZBP_* environment.
+fn zbp(results_dir: &PathBuf, args: &[&str], env: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_zbp-cli"));
+    for var in ["ZBP_TRACE_LEN", "ZBP_SEED", "ZBP_WORKERS", "ZBP_CACHE_DIR", "ZBP_RESULTS_DIR"] {
+        cmd.env_remove(var);
+    }
+    cmd.env("ZBP_RESULTS_DIR", results_dir);
+    cmd.args(args).envs(env.iter().copied());
+    cmd.output().expect("zbp-cli runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn no_args_prints_usage_and_succeeds() {
+    let dir = tmpdir("usage");
+    let out = zbp(&dir, &[], &[]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("USAGE"), "usage text missing: {text}");
+    assert!(text.contains("experiment run <ID>"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn unknown_command_fails_with_a_hint() {
+    let dir = tmpdir("badcmd");
+    let out = zbp(&dir, &["experimnt"], &[]);
+    assert!(!out.status.success(), "unknown command must exit non-zero");
+    let err = stderr(&out);
+    assert!(err.contains("unknown command"), "unexpected stderr: {err}");
+    assert!(err.contains("did you mean 'experiment'"), "unexpected stderr: {err}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn unknown_flag_fails_with_a_hint() {
+    let dir = tmpdir("badflag");
+    let out = zbp(&dir, &["run", "--profil", "tpf-airline"], &[]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("unknown flag --profil"), "unexpected stderr: {err}");
+    assert!(err.contains("--profile"), "unexpected stderr: {err}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn unknown_experiment_id_fails_with_a_hint() {
+    let dir = tmpdir("badexp");
+    let out = zbp(&dir, &["experiment", "run", "fig9"], &[]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("unknown experiment 'fig9'"), "unexpected stderr: {err}");
+    assert!(err.contains("did you mean"), "unexpected stderr: {err}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn malformed_environment_is_rejected() {
+    let dir = tmpdir("badenv");
+    let out = zbp(&dir, &["experiment", "run", "fig4"], &[("ZBP_SEED", "not-a-seed")]);
+    assert!(!out.status.success(), "malformed ZBP_SEED must not be silently ignored");
+    assert!(stderr(&out).contains("ZBP_SEED"), "unexpected stderr: {}", stderr(&out));
+    let out = zbp(&dir, &["experiment", "run", "fig4"], &[("ZBP_TRACE_LEN", "12k")]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("ZBP_TRACE_LEN"), "unexpected stderr: {}", stderr(&out));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn experiment_list_names_every_registered_experiment() {
+    let dir = tmpdir("list");
+    let out = zbp(&dir, &["experiment", "list"], &[]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    for spec in registry::all() {
+        assert!(text.contains(spec.id), "experiment list missing {}", spec.id);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn run_rerun_and_verify_share_the_cell_cache() {
+    let dir = tmpdir("runtwice");
+    let args = ["experiment", "run", "fig4", "--len", "5000", "--seed", "0x2B"];
+
+    let first = zbp(&dir, &args, &[]);
+    assert!(first.status.success(), "first run failed: {}", stderr(&first));
+    assert!(stdout(&first).contains("(0 from cache)"), "cold run: {}", stdout(&first));
+    let artifact_path = dir.join("fig4_bad_branch_outcomes.json");
+    let first_artifact = Json::parse(&std::fs::read_to_string(&artifact_path).unwrap()).unwrap();
+
+    let second = zbp(&dir, &args, &[]);
+    assert!(second.status.success(), "second run failed: {}", stderr(&second));
+    assert!(stdout(&second).contains("(2 from cache)"), "warm run: {}", stdout(&second));
+    let second_artifact = Json::parse(&std::fs::read_to_string(&artifact_path).unwrap()).unwrap();
+    assert_eq!(
+        strip_volatile(&first_artifact),
+        strip_volatile(&second_artifact),
+        "cache-hit rerun must reproduce the artifact bit-for-bit"
+    );
+
+    // verify re-runs at the artifact's recorded seed/length with the
+    // cache disabled and diffs against the saved artifact.
+    let verify = zbp(&dir, &["experiment", "verify", "fig4"], &[]);
+    assert!(verify.status.success(), "verify failed: {}", stderr(&verify));
+    assert!(stdout(&verify).contains("verified"), "unexpected stdout: {}", stdout(&verify));
+
+    // A tampered artifact must fail verification with a non-zero exit.
+    let tampered = std::fs::read_to_string(&artifact_path)
+        .unwrap()
+        .replace("\"data\"", "\"data_was_tampered\"");
+    std::fs::write(&artifact_path, tampered).unwrap();
+    let verify = zbp(&dir, &["experiment", "verify", "fig4"], &[]);
+    assert!(!verify.status.success(), "tampered artifact must fail verification");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn verify_without_an_artifact_points_at_run() {
+    let dir = tmpdir("verify-missing");
+    let out = zbp(&dir, &["experiment", "verify", "fig5"], &[]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("experiment run fig5"), "unexpected stderr: {}", stderr(&out));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
