@@ -1,0 +1,111 @@
+//! Microbenchmarks of the two replay hot paths introduced by the compact
+//! trace encoding: the `BtbArray::entries_in_line_into` row read that the
+//! bulk-transfer drain loops over, and the compact branch-point decode
+//! loop that run-batched replay advances through. Per-instruction replay
+//! costs for both trace forms are reported alongside, so a regression in
+//! either inner loop shows up as ns/instr, not just as a slower grid.
+//!
+//! Timed with the same hand-rolled [`std::time::Instant`] harness as the
+//! `structures` bench (the workspace builds offline, without criterion).
+
+use std::hint::black_box;
+use std::time::Instant;
+use zbp_predictor::btb::{BtbArray, BtbGeometry};
+use zbp_predictor::entry::BtbEntry;
+use zbp_predictor::PredictorConfig;
+use zbp_sim::SimConfig;
+use zbp_trace::profile::WorkloadProfile;
+use zbp_trace::{BranchKind, CompactTrace, InstAddr, MaterializedTrace, Trace};
+use zbp_uarch::core::CoreModel;
+
+/// Times `op` over `iters` iterations (after `iters / 10` warmup calls)
+/// and prints mean ns/op; returns the mean.
+fn bench(name: &str, iters: u64, mut op: impl FnMut()) -> f64 {
+    for _ in 0..iters / 10 {
+        op();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        op();
+    }
+    let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    println!("{name:<40} {ns:>12.1} ns/op   ({iters} iters)");
+    ns
+}
+
+fn bench_entries_in_line() {
+    // A warm BTB2 at realistic occupancy: one branch every ~34 bytes
+    // fills rows unevenly across lines, like a large workload would.
+    let mut btb2 = BtbArray::new(BtbGeometry::zec12_btb2());
+    for i in 0..24_000u64 {
+        let addr = InstAddr::new(0x10_0000 + i * 34);
+        btb2.insert(
+            BtbEntry::surprise_install(
+                addr,
+                InstAddr::new(addr.raw() ^ 0x4000),
+                BranchKind::Conditional,
+                true,
+            ),
+            0,
+        );
+    }
+    let mut out = Vec::with_capacity(8);
+    let mut line = 0x10_0000u64 / 32;
+    bench("btb2/entries_in_line_into", 2_000_000, || {
+        line += 1;
+        if line > (0x10_0000 + 24_000 * 34) / 32 {
+            line = 0x10_0000 / 32;
+        }
+        btb2.entries_in_line_into(line, u64::MAX, &mut out);
+        black_box(out.len());
+    });
+}
+
+fn bench_compact_decode(compact: &CompactTrace, instructions: u64) {
+    // The raw decode loop of run-batched replay: walk every run and
+    // branch point, accumulating addresses, with no model attached.
+    let ns = bench("compact/decode_walk_200k", 20, || {
+        let mut cursor = compact.segments();
+        let mut sum = 0u64;
+        while let Some(run) = cursor.next_run() {
+            let mut addr = run.start;
+            for code in run.first_code..run.first_code + run.count {
+                sum = sum.wrapping_add(addr.raw());
+                addr = addr.add(u64::from(compact.len_at(code)));
+            }
+            if let Some(instr) = cursor.finish_run(addr) {
+                sum = sum.wrapping_add(instr.addr.raw());
+            }
+        }
+        black_box(sum);
+    });
+    println!("{:<40} {:>12.2} ns/instr", "compact/decode_per_instr", ns / instructions as f64);
+}
+
+fn bench_replay(gen: &impl Trace, compact: &CompactTrace, instructions: u64) {
+    for config in SimConfig::table3() {
+        let name = format!("replay/compact[{}]", config.name);
+        let ns = bench(&name, 10, || {
+            let model = CoreModel::new(config.uarch, config.predictor.clone());
+            black_box(model.run_compact(compact).cycles);
+        });
+        println!("{:<40} {:>12.2} ns/instr", format!("{name}_per_instr"), ns / instructions as f64);
+    }
+    let config = SimConfig::btb2_enabled();
+    let mat = MaterializedTrace::capture(gen);
+    let ns = bench("replay/record[BTB2 enabled]", 10, || {
+        let model = CoreModel::new(config.uarch, PredictorConfig::zec12());
+        black_box(model.run(&mat).cycles);
+    });
+    println!("{:<40} {:>12.2} ns/instr", "replay/record_per_instr", ns / instructions as f64);
+}
+
+fn main() {
+    println!("replay hot-path microbenchmarks (mean over fixed iteration budgets)");
+    bench_entries_in_line();
+    const LEN: u64 = 200_000;
+    let gen = WorkloadProfile::zos_lspr_cb84().build_with_len(0xEC12, LEN);
+    let compact = CompactTrace::capture(&gen).expect("generator streams compact-encode");
+    bench_compact_decode(&compact, LEN);
+    bench_replay(&gen, &compact, LEN);
+}

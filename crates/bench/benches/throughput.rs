@@ -5,37 +5,57 @@
 //! many predictor configurations, so sweep throughput — simulated
 //! instructions per second — gates how much of the design space we can
 //! afford to explore. This harness times the figure-2 grid (13 workloads
-//! × the 3 Table-3 configurations) two ways:
+//! × the 3 Table-3 configurations) three ways:
 //!
-//! * **shared** — the generate-once path: one parallel pre-pass captures
-//!   every workload into a [`MaterializedTrace`], then all configuration
-//!   columns replay the shared captures (what [`SimSession`] does by
-//!   default);
+//! * **staged** — one instrumented pass attributing time to capture
+//!   (record form), compact encode, compact run-batched replay (the
+//!   default production path) and record per-instruction replay (the
+//!   reference path), with both encodings' bytes-per-instruction;
+//! * **shared** — the end-to-end generate-once grid exactly as
+//!   [`SimSession`] runs it by default (compact capture straight off the
+//!   generator, all columns replay the shared capture);
 //! * **regenerate** — the pre-sharing baseline: every cell re-synthesizes
 //!   its workload from scratch (`materialize_cap(0)`).
 //!
 //! Results are printed as a table and written to `BENCH_throughput.json`
 //! at the repository root (override with `ZBP_BENCH_OUT`) so the perf
-//! trajectory is tracked in-tree. `ZBP_TRACE_LEN` caps the per-workload
-//! instruction count (default 1,000,000 — a throughput probe, not a
-//! figure reproduction).
+//! trajectory is tracked in-tree; `scripts/bench_throughput.sh` also
+//! appends each report to `BENCH_throughput_history.jsonl`.
+//! `ZBP_TRACE_LEN` caps the per-workload instruction count (default
+//! 1,000,000 — a throughput probe, not a figure reproduction).
 
 use std::sync::Mutex;
 use std::time::Instant;
 use zbp_bench::{finish, start};
 use zbp_sim::parallel::par_map;
+use zbp_sim::registry::git_revision;
 use zbp_sim::report::render_table;
 use zbp_sim::runner::{SimResult, Simulator};
 use zbp_sim::SimConfig;
 use zbp_trace::profile::WorkloadProfile;
-use zbp_trace::{MaterializedTrace, TraceInstr};
+use zbp_trace::{CompactParts, CompactTrace, MaterializedTrace};
 
 /// Default per-workload instruction cap when `ZBP_TRACE_LEN` is unset.
 const DEFAULT_BENCH_LEN: u64 = 1_000_000;
 
+/// Provenance for the committed measurement.
+#[derive(Debug, Clone, PartialEq)]
+struct BenchManifest {
+    /// `git rev-parse HEAD` at measurement time.
+    git_revision: String,
+    /// Workload synthesis seed.
+    seed: u64,
+    /// Unix seconds the measurement was taken.
+    generated_unix: u64,
+}
+
+zbp_support::impl_json_struct!(BenchManifest { git_revision, seed, generated_unix });
+
 /// The measured throughput record committed at the repository root.
 #[derive(Debug, Clone, PartialEq)]
 struct ThroughputReport {
+    /// Provenance (revision, seed, timestamp).
+    manifest: BenchManifest,
     /// Per-workload dynamic instruction cap used.
     len_per_workload: u64,
     /// Workload synthesis seed.
@@ -48,12 +68,28 @@ struct ThroughputReport {
     generate_instructions: u64,
     /// Instructions replayed across all cells.
     replay_instructions: u64,
-    /// Generate-stage time, summed across workers (CPU seconds; equals
-    /// wall-clock when single-threaded).
+    /// Record-capture stage time, summed across workers (CPU seconds;
+    /// equals wall-clock when single-threaded).
     generate_s: f64,
-    /// Replay-stage time, summed across workers (CPU seconds).
+    /// Compact-encode stage time (record capture → branch-point form),
+    /// summed across workers.
+    encode_s: f64,
+    /// Compact run-batched replay time — the production path — summed
+    /// across workers (CPU seconds).
     replay_s: f64,
-    /// End-to-end wall-clock of the shared (generate-once) grid.
+    /// Record per-instruction replay time — the reference path — summed
+    /// across workers.
+    replay_record_s: f64,
+    /// Total bytes of the record captures across all workloads.
+    record_bytes: u64,
+    /// Total bytes of the compact captures across all workloads.
+    compact_bytes: u64,
+    /// Record bytes per instruction (the fixed record size).
+    record_bytes_per_instr: f64,
+    /// Compact bytes per instruction.
+    compact_bytes_per_instr: f64,
+    /// End-to-end wall-clock of the shared (generate-once) grid on the
+    /// default compact path.
     shared_total_s: f64,
     /// End-to-end wall-clock of the regenerate-per-cell baseline.
     baseline_total_s: f64,
@@ -67,10 +103,14 @@ struct ThroughputReport {
     /// Commit the pre-PR measurement was taken at (`ZBP_BENCH_PREPR_REV`,
     /// empty when not supplied).
     prepr_rev: String,
-    /// Generate-stage throughput (million instructions/second).
+    /// Record-capture throughput (million instructions/second).
     generate_mips: f64,
-    /// Replay-stage throughput (million simulated instructions/second).
+    /// Compact-encode throughput (MIPS over generated instructions).
+    encode_mips: f64,
+    /// Compact replay throughput (million simulated instructions/second).
     replay_mips: f64,
+    /// Record replay throughput (reference path, MIPS).
+    replay_record_mips: f64,
     /// Whole-grid throughput of the shared path (MIPS).
     shared_mips: f64,
     /// Whole-grid throughput of the regenerate baseline (MIPS).
@@ -84,6 +124,7 @@ struct ThroughputReport {
 }
 
 zbp_support::impl_json_struct!(ThroughputReport {
+    manifest,
     len_per_workload,
     seed,
     workloads,
@@ -91,13 +132,21 @@ zbp_support::impl_json_struct!(ThroughputReport {
     generate_instructions,
     replay_instructions,
     generate_s,
+    encode_s,
     replay_s,
+    replay_record_s,
+    record_bytes,
+    compact_bytes,
+    record_bytes_per_instr,
+    compact_bytes_per_instr,
     shared_total_s,
     baseline_total_s,
     prepr_total_s,
     prepr_rev,
     generate_mips,
+    encode_mips,
     replay_mips,
+    replay_record_mips,
     shared_mips,
     baseline_mips,
     speedup,
@@ -120,6 +169,18 @@ fn output_path() -> std::path::PathBuf {
     )
 }
 
+/// Per-workload measurements from the staged pass.
+struct StagedRow {
+    compact_results: Vec<SimResult>,
+    record_results: Vec<SimResult>,
+    gen_s: f64,
+    encode_s: f64,
+    replay_s: f64,
+    replay_record_s: f64,
+    record_bytes: u64,
+    compact_bytes: u64,
+}
+
 fn main() {
     let (mut opts, t0) = start("throughput — figure-2 grid MIPS", "§5 evaluation scale");
     opts.len = Some(opts.len.unwrap_or(DEFAULT_BENCH_LEN));
@@ -128,32 +189,80 @@ fn main() {
     let generate_instructions: u64 = profiles.iter().map(|p| opts.len_for(p)).sum();
     let replay_instructions = generate_instructions * configs.len() as u64;
 
-    // Shared path, staged so generate and replay are attributable: the
-    // same workload-major fan-out SimSession::run performs, with each
-    // worker clocking its capture and its replays separately. Stage
-    // times are summed across workers (CPU-seconds; equal to wall-clock
-    // when single-threaded), while the end-to-end total is true wall.
-    let pool: Mutex<Vec<Vec<TraceInstr>>> = Mutex::new(Vec::new());
-    let t_total = Instant::now();
-    let per_workload: Vec<(Vec<SimResult>, f64, f64)> = par_map(&profiles, |p| {
+    // Staged pass: per-workload, capture the record form, encode the
+    // compact form from it, replay both, and clock each stage
+    // separately. Stage times are summed across workers (CPU-seconds;
+    // equal to wall-clock when single-threaded).
+    let rec_pool: Mutex<Vec<Vec<zbp_trace::TraceInstr>>> = Mutex::new(Vec::new());
+    let staged: Vec<StagedRow> = par_map(&profiles, |p| {
         let t = Instant::now();
-        let buf = pool.lock().expect("pool lock").pop().unwrap_or_default();
+        let buf = rec_pool.lock().expect("pool lock").pop().unwrap_or_default();
         let mat =
             MaterializedTrace::capture_into(&p.build_with_len(opts.seed, opts.len_for(p)), buf);
         let gen_s = t.elapsed().as_secs_f64();
         let t = Instant::now();
-        let results = par_map(&configs, |c| Simulator::run_config(c, &mat));
+        let compact = CompactTrace::capture(&mat).expect("generator streams compact-encode");
+        let encode_s = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let compact_results = par_map(&configs, |c| Simulator::run_config_compact(c, &compact));
         let replay_s = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let record_results = par_map(&configs, |c| Simulator::run_config(c, &mat));
+        let replay_record_s = t.elapsed().as_secs_f64();
+        let row = StagedRow {
+            compact_results,
+            record_results,
+            gen_s,
+            encode_s,
+            replay_s,
+            replay_record_s,
+            record_bytes: mat.bytes(),
+            compact_bytes: compact.bytes(),
+        };
         if let Some(buf) = mat.into_records() {
-            pool.lock().expect("pool lock").push(buf);
+            rec_pool.lock().expect("pool lock").push(buf);
         }
-        (results, gen_s, replay_s)
+        row
+    });
+
+    // The compact fast path must change speed, not predictions.
+    for (row, p) in staged.iter().zip(&profiles) {
+        for (fast, reference) in row.compact_results.iter().zip(&row.record_results) {
+            assert_eq!(
+                fast.core, reference.core,
+                "compact and record replay diverged on ({}, {})",
+                p.name, reference.config_name
+            );
+        }
+    }
+
+    let generate_s: f64 = staged.iter().map(|r| r.gen_s).sum();
+    let encode_s: f64 = staged.iter().map(|r| r.encode_s).sum();
+    let replay_s: f64 = staged.iter().map(|r| r.replay_s).sum();
+    let replay_record_s: f64 = staged.iter().map(|r| r.replay_record_s).sum();
+    let record_bytes: u64 = staged.iter().map(|r| r.record_bytes).sum();
+    let compact_bytes: u64 = staged.iter().map(|r| r.compact_bytes).sum();
+
+    // Shared grid end-to-end: the default production path exactly as
+    // SimSession::run performs it — compact capture straight off the
+    // generator, every column replays the shared capture.
+    let parts_pool: Mutex<Vec<CompactParts>> = Mutex::new(Vec::new());
+    let t_total = Instant::now();
+    let shared_results: Vec<Vec<SimResult>> = par_map(&profiles, |p| {
+        let parts = parts_pool.lock().expect("pool lock").pop().unwrap_or_default();
+        let gen = p.build_with_len(opts.seed, opts.len_for(p));
+        let compact = match CompactTrace::capture_within_into(&gen, u64::MAX, parts) {
+            Ok(c) => c,
+            Err(e) => panic!("generator streams compact-encode: {e:?}"),
+        };
+        let results = par_map(&configs, |c| Simulator::run_config_compact(c, &compact));
+        if let Some(parts) = compact.into_parts() {
+            parts_pool.lock().expect("pool lock").push(parts);
+        }
+        results
     });
     let shared_total_s = t_total.elapsed().as_secs_f64();
-    let generate_s: f64 = per_workload.iter().map(|(_, g, _)| g).sum();
-    let replay_s: f64 = per_workload.iter().map(|(_, _, r)| r).sum();
-    let shared_results: Vec<SimResult> =
-        per_workload.into_iter().flat_map(|(results, _, _)| results).collect();
+    let shared_results: Vec<SimResult> = shared_results.into_iter().flatten().collect();
 
     // Baseline: the pre-sharing session behaviour — a flat fan-out over
     // all W×C cells where every cell builds and walks its own freshly
@@ -169,7 +278,6 @@ fn main() {
     });
     let baseline_total_s = t.elapsed().as_secs_f64();
 
-    // The fast path must change speed, not predictions.
     for (i, &(w, c)) in cells.iter().enumerate() {
         assert_eq!(
             shared_results[i].core.cycles, baseline_results[i].core.cycles,
@@ -188,7 +296,12 @@ fn main() {
         std::env::var("ZBP_BENCH_PREPR_S").ok().and_then(|s| s.parse().ok()).unwrap_or(0.0);
     let prepr_rev = std::env::var("ZBP_BENCH_PREPR_REV").unwrap_or_default();
 
+    let generated_unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
     let report = ThroughputReport {
+        manifest: BenchManifest { git_revision: git_revision(), seed: opts.seed, generated_unix },
         len_per_workload: opts.len.unwrap_or(0),
         seed: opts.seed,
         workloads: profiles.len() as u64,
@@ -196,13 +309,21 @@ fn main() {
         generate_instructions,
         replay_instructions,
         generate_s,
+        encode_s,
         replay_s,
+        replay_record_s,
+        record_bytes,
+        compact_bytes,
+        record_bytes_per_instr: record_bytes as f64 / generate_instructions.max(1) as f64,
+        compact_bytes_per_instr: compact_bytes as f64 / generate_instructions.max(1) as f64,
         shared_total_s,
         baseline_total_s,
         prepr_total_s,
         prepr_rev,
         generate_mips: mips(generate_instructions, generate_s),
+        encode_mips: mips(generate_instructions, encode_s),
         replay_mips: mips(replay_instructions, replay_s),
+        replay_record_mips: mips(replay_instructions, replay_record_s),
         shared_mips: mips(replay_instructions, shared_total_s),
         baseline_mips: mips(replay_instructions, baseline_total_s),
         speedup: baseline_total_s / shared_total_s.max(1e-9),
@@ -215,19 +336,31 @@ fn main() {
 
     let rows = vec![
         vec![
-            "generate (once per workload)".to_string(),
+            "generate + record capture".to_string(),
             format!("{:.3}", report.generate_s),
             format!("{}", generate_instructions),
             format!("{:.2}", report.generate_mips),
         ],
         vec![
-            "replay (shared captures)".to_string(),
+            "compact encode".to_string(),
+            format!("{:.3}", report.encode_s),
+            format!("{}", generate_instructions),
+            format!("{:.2}", report.encode_mips),
+        ],
+        vec![
+            "replay (compact, run-batched)".to_string(),
             format!("{:.3}", report.replay_s),
             format!("{}", replay_instructions),
             format!("{:.2}", report.replay_mips),
         ],
         vec![
-            "shared grid total".to_string(),
+            "replay (record reference)".to_string(),
+            format!("{:.3}", report.replay_record_s),
+            format!("{}", replay_instructions),
+            format!("{:.2}", report.replay_record_mips),
+        ],
+        vec![
+            "shared grid total (compact)".to_string(),
             format!("{:.3}", report.shared_total_s),
             format!("{}", replay_instructions),
             format!("{:.2}", report.shared_mips),
@@ -240,6 +373,12 @@ fn main() {
         ],
     ];
     println!("{}", render_table(&["stage", "wall (s)", "sim instructions", "MIPS"], &rows));
+    println!(
+        "capture bytes/instr: record {:.1}, compact {:.2} ({:.1}x smaller)",
+        report.record_bytes_per_instr,
+        report.compact_bytes_per_instr,
+        report.record_bytes_per_instr / report.compact_bytes_per_instr.max(1e-9)
+    );
     println!("speedup (regenerate / shared): {:.2}x", report.speedup);
     if report.prepr_total_s > 0.0 {
         println!(

@@ -112,6 +112,10 @@ pub struct SearchEngine {
     /// per row by [`SecondLevelBtb::entries_in_line_into`], so the hot
     /// transfer loop performs no per-row heap allocation.
     line_scratch: Vec<BtbEntry>,
+    /// Reusable sector-order buffer for [`Self::schedule_request`].
+    order_scratch: Vec<u32>,
+    /// Reusable line-list buffer for [`Self::schedule_request`].
+    lines_scratch: Vec<u64>,
 }
 
 impl SearchEngine {
@@ -126,6 +130,8 @@ impl SearchEngine {
             chained_blocks: VecDeque::with_capacity(16),
             phantom_pending: VecDeque::new(),
             line_scratch: Vec::with_capacity(8),
+            order_scratch: Vec::with_capacity(32),
+            lines_scratch: Vec::with_capacity(128),
         }
     }
 
@@ -168,6 +174,23 @@ impl SearchEngine {
             PredictorEvent::Completion { addr } => {
                 if s.btb2.is_some() {
                     s.ordering.note_completion(addr);
+                }
+                None
+            }
+            PredictorEvent::CompletionRun { first, last } => {
+                if s.btb2.is_some() {
+                    // One notification per 128 B sector the run spans.
+                    // `note_completion` is idempotent within a sector
+                    // (same block, sector and quartile marks), so this
+                    // collapses the per-instruction calls losslessly;
+                    // the sector-base address carries the identical
+                    // block/sector/quartile indices as any instruction
+                    // inside the sector.
+                    let first_sec = first.raw() / SECTOR_BYTES;
+                    let last_sec = last.raw() / SECTOR_BYTES;
+                    for sec in first_sec..=last_sec {
+                        s.ordering.note_completion(InstAddr::new(sec * SECTOR_BYTES));
+                    }
                 }
                 None
             }
@@ -379,9 +402,6 @@ impl SearchEngine {
     ) {
         let addr = instr.addr;
         let branch = instr.branch.expect("resolve requires a branch instruction");
-        // Indices computed against the pre-branch history.
-        let pht_idx = s.history.pht_index(DirectionOverride::entries(&s.pht));
-        let ctb_idx = s.history.ctb_index(DirectionOverride::entries(&s.ctb));
         let tag = PathHistory::tag_for(addr);
 
         s.surprise_bht.update(addr, branch.taken);
@@ -410,13 +430,19 @@ impl SearchEngine {
             if !LevelOneStructure::update_entry(&mut s.btb1, addr, &mut update) {
                 LevelOneStructure::update_entry(&mut s.btbp, addr, &mut update);
             }
+            // Indices folded against the pre-branch history (`history.push`
+            // below has not run yet), computed only on the training paths —
+            // most branches train neither table, and the folds are the
+            // costliest part of resolution.
             if bht_mispredicted || pred.used_pht {
+                let pht_idx = s.history.pht_index(DirectionOverride::entries(&s.pht));
                 DirectionOverride::train(&mut s.pht, pht_idx, tag, branch.taken, bht_mispredicted);
             }
             if branch.taken
                 && (target_mispredicted || pred.used_ctb)
                 && branch.kind.has_changing_target()
             {
+                let ctb_idx = s.history.ctb_index(DirectionOverride::entries(&s.ctb));
                 DirectionOverride::train(&mut s.ctb, ctb_idx, tag, branch.target, false);
             }
         } else if branch.taken {
@@ -450,7 +476,7 @@ impl SearchEngine {
             return;
         }
         if let Some(req) = s.trackers.on_icache_miss(addr, cycle) {
-            Self::schedule_request(req, cfg, s);
+            self.schedule_request(req, cfg, s);
         }
     }
 
@@ -470,7 +496,7 @@ impl SearchEngine {
         }
         bus.bump(Counter::Btb1MissesReported);
         if let Some(req) = s.trackers.on_btb1_miss(addr, cycle) {
-            Self::schedule_request(req, cfg, s);
+            self.schedule_request(req, cfg, s);
         }
     }
 
@@ -491,6 +517,11 @@ impl SearchEngine {
             bus.bump(Counter::Btb2EntriesTransferred);
             s.btbp.insert(e, at);
         }
+        // Nothing due: skip the return path entirely. An empty drain
+        // touches no state, so this early-out cannot change results.
+        if !s.transfer.has_due(cycle) {
+            return;
+        }
         // Disjoint borrows: the BTB2 is read row-by-row while the BTBP
         // and the trackers are written.
         let Structures { btb2, btbp, trackers, transfer, .. } = &mut *s;
@@ -498,7 +529,8 @@ impl SearchEngine {
         let chase = cfg.multi_block_transfer;
         let mut chain: Option<(InstAddr, u64)> = None;
         let scratch = &mut self.line_scratch;
-        for row in transfer.drain(cycle) {
+        let chained_blocks = &self.chained_blocks;
+        transfer.drain_due(cycle, |row| {
             SecondLevelBtb::entries_in_line_into(btb2, row.line, row.visible_at, scratch);
             bus.observe(Sample::TransferRowEntries, scratch.len() as u64);
             for &e in scratch.iter() {
@@ -517,8 +549,8 @@ impl SearchEngine {
                     && chain.is_none()
                     && e.bht_taken()
                     && e.target.block() != row.block
-                    && !self.chained_blocks.contains(&row.block)
-                    && !self.chained_blocks.contains(&e.target.block())
+                    && !chained_blocks.contains(&row.block)
+                    && !chained_blocks.contains(&e.target.block())
                 {
                     chain = Some((e.target, row.visible_at));
                 }
@@ -526,14 +558,14 @@ impl SearchEngine {
             if row.last {
                 trackers.search_complete(row.block, row.partial);
             }
-        }
+        });
         if let Some((target, at)) = chain {
             bus.bump(Counter::ChainedTransfers);
             if self.chained_blocks.len() >= 16 {
                 self.chained_blocks.pop_front();
             }
             self.chained_blocks.push_back(target.block());
-            Self::schedule_request(
+            self.schedule_request(
                 SearchRequest {
                     block: target.block(),
                     kind: SearchKind::Full { entry: target, exclude_partial: None },
@@ -558,7 +590,7 @@ impl SearchEngine {
             bus.bump(Counter::Btb1MissesReported);
             if s.btb2.is_some() {
                 if let Some(req) = s.trackers.on_btb1_miss(miss.addr, self.pred_cycle) {
-                    Self::schedule_request(req, cfg, s);
+                    self.schedule_request(req, cfg, s);
                 }
             }
             self.phantom_trigger(miss.addr, s);
@@ -583,37 +615,50 @@ impl SearchEngine {
     /// Rows are enumerated in the BTB2's own congruence-class units, so
     /// the §6 future-work study of wider BTB2 rows (64 B / 128 B) simply
     /// schedules proportionally fewer reads per block.
-    fn schedule_request(req: SearchRequest, cfg: &PredictorConfig, s: &mut Structures) {
+    fn schedule_request(&mut self, req: SearchRequest, cfg: &PredictorConfig, s: &mut Structures) {
         let Some(btb2) = &s.btb2 else { return };
         let line_bytes = SecondLevelBtb::row_bytes(btb2);
         debug_assert!(line_bytes <= SECTOR_BYTES, "BTB2 rows wider than a sector");
         let lines_per_sector = (SECTOR_BYTES / line_bytes).max(1);
-        let sector_lines = |anchor: InstAddr| -> Vec<u64> {
-            let base = anchor.raw() & !(SECTOR_BYTES - 1);
-            (0..lines_per_sector).map(|i| base / line_bytes + i).collect()
-        };
-        let lines: Vec<u64> = match &req.kind {
-            // The aligned 128 B sector containing the miss address
-            // (instruction address bits 0:56).
-            SearchKind::Partial { from } => sector_lines(*from),
+        debug_assert!(lines_per_sector <= 4, "exclude buffer sized for >=32 B rows");
+        // First line of the aligned 128 B sector containing an anchor
+        // address (instruction address bits 0:56).
+        let sector_first_line =
+            |anchor: InstAddr| (anchor.raw() & !(SECTOR_BYTES - 1)) / line_bytes;
+        let lines = &mut self.lines_scratch;
+        lines.clear();
+        match &req.kind {
+            SearchKind::Partial { from } => {
+                let base = sector_first_line(*from);
+                lines.extend((0..lines_per_sector).map(|i| base + i));
+            }
             SearchKind::Full { entry, exclude_partial } => {
                 let steering: &dyn SteeringPolicy =
                     if cfg.steering { &s.ordering } else { &SequentialSteering };
-                let sectors = steering.search_order(req.block, *entry);
-                let exclude: Vec<u64> = exclude_partial.map(&sector_lines).unwrap_or_default();
+                steering.search_order_into(req.block, *entry, &mut self.order_scratch);
+                // A sector spans at most four 32 B rows; a sentinel that
+                // no real line number reaches marks unused slots.
+                let mut exclude = [u64::MAX; 4];
+                if let Some(anchor) = exclude_partial {
+                    let base = sector_first_line(*anchor);
+                    for (i, slot) in exclude.iter_mut().take(lines_per_sector as usize).enumerate()
+                    {
+                        *slot = base + i as u64;
+                    }
+                }
                 let block_first_line = (req.block * BLOCK_BYTES) / line_bytes;
-                sectors
-                    .iter()
-                    .flat_map(|&sec| {
-                        (0..lines_per_sector)
-                            .map(move |i| block_first_line + u64::from(sec) * lines_per_sector + i)
-                    })
-                    .filter(|l| !exclude.contains(l))
-                    .collect()
+                for &sec in &self.order_scratch {
+                    for i in 0..lines_per_sector {
+                        let line = block_first_line + u64::from(sec) * lines_per_sector + i;
+                        if !exclude.contains(&line) {
+                            lines.push(line);
+                        }
+                    }
+                }
             }
-        };
+        }
         let partial = matches!(req.kind, SearchKind::Partial { .. });
-        s.transfer.schedule(req.block, &lines, req.earliest_start, partial);
+        s.transfer.schedule(req.block, lines, req.earliest_start, partial);
     }
 
     /// Inserts into the BTB1, routing the victim to the BTBP and BTB2

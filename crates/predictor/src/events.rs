@@ -59,6 +59,20 @@ pub enum PredictorEvent<'a> {
         /// Completed instruction address.
         addr: InstAddr,
     },
+    /// A whole run of sequential instructions `first..=last` completed.
+    ///
+    /// Batched form of [`PredictorEvent::Completion`] used by run-based
+    /// replay: the ordering table's per-instruction update is idempotent
+    /// within a 128-byte sector, so one notification per sector spanned
+    /// by the run — in address order — is bit-identical to notifying
+    /// every instruction. The span must not cross a 4 KB block (callers
+    /// flush per I-cache line, which never straddles a block).
+    CompletionRun {
+        /// First completed address of the run.
+        first: InstAddr,
+        /// Last completed address of the run.
+        last: InstAddr,
+    },
     /// Decode encountered a surprise branch (§3.4 alternative miss
     /// definition; a no-op unless the configuration enables decode-stage
     /// detection).

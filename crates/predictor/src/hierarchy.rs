@@ -103,6 +103,14 @@ impl BranchPredictor {
         self.handle(PredictorEvent::Completion { addr });
     }
 
+    /// Records a completed run of sequential instructions `first..=last`
+    /// in one batched event — bit-identical to per-instruction
+    /// [`Self::note_completion`] calls as long as the span stays within
+    /// one 4 KB block (see [`PredictorEvent::CompletionRun`]).
+    pub fn note_completion_run(&mut self, first: InstAddr, last: InstAddr) {
+        self.handle(PredictorEvent::CompletionRun { first, last });
+    }
+
     /// §3.4 alternative miss definition: decode encountered a surprise
     /// branch. Reports a perceived BTB1 miss when the configuration's
     /// [`MissDetection`](crate::miss::MissDetection) enables decode-stage

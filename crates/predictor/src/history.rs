@@ -61,8 +61,9 @@ impl PathHistory {
     fn fold_taken(&self, depth: usize) -> u64 {
         debug_assert!(depth <= CTB_ADDR_DEPTH);
         let mut h: u64 = 0;
-        for k in 0..depth {
-            let idx = (self.pos + CTB_ADDR_DEPTH - 1 - k) % CTB_ADDR_DEPTH;
+        let mut idx = self.pos;
+        for _ in 0..depth {
+            idx = if idx == 0 { CTB_ADDR_DEPTH - 1 } else { idx - 1 };
             // Cheap position-dependent mix; instructions are halfword
             // aligned so drop the zero bit.
             h = h

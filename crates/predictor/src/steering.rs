@@ -180,48 +180,57 @@ impl OrderingTable {
     /// Produces the sector return order (a permutation of 0..32) for a
     /// bulk transfer of `block` entered at `entry`.
     pub fn search_order(&self, block: u64, entry: InstAddr) -> Vec<u32> {
+        let mut order = Vec::with_capacity(SECTORS_PER_BLOCK as usize);
+        self.search_order_into(block, entry, &mut order);
+        order
+    }
+
+    /// Allocation-free [`Self::search_order`]: clears `out` and fills it
+    /// with the permutation. The transfer schedule path reuses one buffer
+    /// across searches.
+    pub fn search_order_into(&self, block: u64, entry: InstAddr, out: &mut Vec<u32>) {
+        out.clear();
         let demand = entry.quartile();
         match self.pattern_for(block) {
-            Some(p) => Self::steered_order(&p, demand),
-            None => Self::sequential_order(demand),
+            Some(p) => Self::steered_order_into(&p, demand, out),
+            None => Self::sequential_order_into(demand, out),
         }
     }
 
-    /// Steered priority order of §3.7.
-    fn steered_order(p: &BlockPattern, demand: u32) -> Vec<u32> {
-        let mut order = Vec::with_capacity(SECTORS_PER_BLOCK as usize);
-        let quartile_priority: Vec<u32> = {
-            let mut qs = vec![demand];
-            // Referenced quartiles next, in ascending index order.
-            for q in 0..QUARTILES_PER_BLOCK {
-                if q != demand && p.is_referenced(demand, q) {
-                    qs.push(q);
-                }
+    /// Steered priority order of §3.7. Quartile priority: the demand
+    /// quartile, then quartiles it references, then the rest, each tier
+    /// in ascending index order.
+    fn steered_order_into(p: &BlockPattern, demand: u32, out: &mut Vec<u32>) {
+        let mut qs = [demand; QUARTILES_PER_BLOCK as usize];
+        let mut n = 1;
+        for q in 0..QUARTILES_PER_BLOCK {
+            if q != demand && p.is_referenced(demand, q) {
+                qs[n] = q;
+                n += 1;
             }
-            for q in 0..QUARTILES_PER_BLOCK {
-                if !qs.contains(&q) {
-                    qs.push(q);
-                }
+        }
+        for q in 0..QUARTILES_PER_BLOCK {
+            if !qs[..n].contains(&q) {
+                qs[n] = q;
+                n += 1;
             }
-            qs
-        };
+        }
         for active in [true, false] {
-            for &q in &quartile_priority {
+            for &q in &qs {
                 for s in 0..SECTORS_PER_QUARTILE {
                     let sector = q * SECTORS_PER_QUARTILE + s;
                     if p.sector_active(sector) == active {
-                        order.push(sector);
+                        out.push(sector);
                     }
                 }
             }
         }
-        order
     }
 
     /// Sequential order beginning with the demand quartile.
-    fn sequential_order(demand: u32) -> Vec<u32> {
+    fn sequential_order_into(demand: u32, out: &mut Vec<u32>) {
         let start = demand * SECTORS_PER_QUARTILE;
-        (0..SECTORS_PER_BLOCK).map(|i| (start + i) % SECTORS_PER_BLOCK).collect()
+        out.extend((0..SECTORS_PER_BLOCK).map(|i| (start + i) % SECTORS_PER_BLOCK));
     }
 
     /// Number of stored block patterns.
@@ -279,7 +288,8 @@ mod tests {
         p.mark_sector(16);
         p.mark_sector(25);
         p.mark_ref(0, 2);
-        let order = OrderingTable::steered_order(&p, 0);
+        let mut order = Vec::new();
+        OrderingTable::steered_order_into(&p, 0, &mut order);
         assert_permutation(&order);
         assert_eq!(&order[..2], &[0, 1], "demand quartile active sectors first");
         assert_eq!(order[2], 16, "referenced quartile active sector second");

@@ -192,12 +192,21 @@ impl DirectionOverride for Ctb {
 /// Orders the 32 sectors of a full bulk search.
 pub trait SteeringPolicy {
     /// Sector search order for `block`, entered at `entry`.
-    fn search_order(&self, block: u64, entry: InstAddr) -> Vec<u32>;
+    fn search_order(&self, block: u64, entry: InstAddr) -> Vec<u32> {
+        let mut order = Vec::with_capacity(32);
+        self.search_order_into(block, entry, &mut order);
+        order
+    }
+
+    /// Clears `out` and fills it with the sector search order. The
+    /// transfer schedule path reuses one buffer across searches, so
+    /// implementations should not allocate.
+    fn search_order_into(&self, block: u64, entry: InstAddr, out: &mut Vec<u32>);
 }
 
 impl SteeringPolicy for OrderingTable {
-    fn search_order(&self, block: u64, entry: InstAddr) -> Vec<u32> {
-        OrderingTable::search_order(self, block, entry)
+    fn search_order_into(&self, block: u64, entry: InstAddr, out: &mut Vec<u32>) {
+        OrderingTable::search_order_into(self, block, entry, out);
     }
 }
 
@@ -207,9 +216,10 @@ impl SteeringPolicy for OrderingTable {
 pub struct SequentialSteering;
 
 impl SteeringPolicy for SequentialSteering {
-    fn search_order(&self, _block: u64, entry: InstAddr) -> Vec<u32> {
+    fn search_order_into(&self, _block: u64, entry: InstAddr, out: &mut Vec<u32>) {
+        out.clear();
         let start = entry.quartile() * SECTORS_PER_QUARTILE;
-        (0..32).map(|i| (start + i) % 32).collect()
+        out.extend((0..32).map(|i| (start + i) % 32));
     }
 }
 

@@ -11,17 +11,21 @@
 
 use std::collections::VecDeque;
 
-/// A row read scheduled on the BTB2 port.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct ScheduledRow {
-    /// Cycle the read issues.
-    issue: u64,
-    /// Global 32 B line number to read.
-    line: u64,
+/// One scheduled search: a batch of row reads issuing back-to-back from
+/// `start`. Queued per request rather than per row — a full-block search
+/// covers 128 rows, and queueing them individually made the schedule and
+/// drain paths the hottest part of transfer-heavy replays. Row `i`
+/// issues at `start + i`; `next` tracks how far draining has progressed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ScheduledRequest {
+    /// Cycle the first row's read issues.
+    start: u64,
+    /// Global 32 B line numbers to read, in priority order.
+    lines: Vec<u64>,
+    /// Next row index to drain.
+    next: usize,
     /// Owning 4 KB block.
     block: u64,
-    /// Whether this is the final row of its request.
-    last: bool,
     /// Whether the request was a partial (4-row) search.
     partial: bool,
 }
@@ -66,7 +70,10 @@ pub struct TransferStats {
 pub struct TransferEngine {
     latency: u64,
     busy_until: u64,
-    queue: VecDeque<ScheduledRow>,
+    queue: VecDeque<ScheduledRequest>,
+    /// Retired line buffers, recycled by the next schedule so the
+    /// steady-state request path performs no heap allocation.
+    spare_lines: Vec<Vec<u64>>,
     /// Accumulated statistics.
     pub stats: TransferStats,
 }
@@ -74,7 +81,13 @@ pub struct TransferEngine {
 impl TransferEngine {
     /// Creates an engine with the given array latency (8 on the zEC12).
     pub fn new(latency: u64) -> Self {
-        Self { latency, busy_until: 0, queue: VecDeque::new(), stats: TransferStats::default() }
+        Self {
+            latency,
+            busy_until: 0,
+            queue: VecDeque::new(),
+            spare_lines: Vec::new(),
+            stats: TransferStats::default(),
+        }
     }
 
     /// Schedules reads of `lines` (in the given priority order) for
@@ -88,15 +101,10 @@ impl TransferEngine {
             return earliest;
         }
         let start = earliest.max(self.busy_until);
-        for (i, &line) in lines.iter().enumerate() {
-            self.queue.push_back(ScheduledRow {
-                issue: start + i as u64,
-                line,
-                block,
-                last: i + 1 == lines.len(),
-                partial,
-            });
-        }
+        let mut owned = self.spare_lines.pop().unwrap_or_default();
+        owned.clear();
+        owned.extend_from_slice(lines);
+        self.queue.push_back(ScheduledRequest { start, lines: owned, next: 0, block, partial });
         self.busy_until = start + lines.len() as u64;
         self.stats.rows_read += lines.len() as u64;
         self.stats.busy_cycles += lines.len() as u64;
@@ -110,24 +118,78 @@ impl TransferEngine {
     /// always yields nothing — never allocates.
     pub fn drain(&mut self, now: u64) -> impl Iterator<Item = RowReturn> + '_ {
         std::iter::from_fn(move || {
-            let visible = self.queue.front()?.issue + self.latency;
+            let req = self.queue.front_mut()?;
+            let visible = req.start + req.next as u64 + self.latency;
             if visible > now {
                 return None;
             }
-            let r = self.queue.pop_front().expect("front exists");
-            Some(RowReturn {
-                line: r.line,
-                block: r.block,
+            let row = RowReturn {
+                line: req.lines[req.next],
+                block: req.block,
                 visible_at: visible,
-                last: r.last,
-                partial: r.partial,
-            })
+                last: req.next + 1 == req.lines.len(),
+                partial: req.partial,
+            };
+            req.next += 1;
+            if row.last {
+                let done = self.queue.pop_front().expect("front exists");
+                self.spare_lines.push(done.lines);
+            }
+            Some(row)
         })
+    }
+
+    /// Calls `f` for every row whose data is visible by `now`, in issue
+    /// order, removing the rows from the queue.
+    ///
+    /// Equivalent to iterating [`Self::drain`], but the due range of each
+    /// request is computed once and walked as a plain slice loop, so the
+    /// transfer-heavy replay path pays no per-row queue inspection.
+    pub fn drain_due(&mut self, now: u64, mut f: impl FnMut(RowReturn)) {
+        loop {
+            let Some(req) = self.queue.front_mut() else { return };
+            let first_visible = req.start + self.latency;
+            if first_visible > now {
+                return;
+            }
+            let due = ((now - first_visible + 1).min(req.lines.len() as u64)) as usize;
+            if due <= req.next {
+                return;
+            }
+            let last_idx = req.lines.len() - 1;
+            let (block, partial, first) = (req.block, req.partial, req.next);
+            for (i, &line) in req.lines[first..due].iter().enumerate() {
+                let idx = first + i;
+                f(RowReturn {
+                    line,
+                    block,
+                    visible_at: first_visible + idx as u64,
+                    last: idx == last_idx,
+                    partial,
+                });
+            }
+            req.next = due;
+            if due <= last_idx {
+                return;
+            }
+            let done = self.queue.pop_front().expect("front exists");
+            self.spare_lines.push(done.lines);
+        }
+    }
+
+    /// Whether [`Self::drain`] would yield at least one row at `now`.
+    ///
+    /// Cheaper than constructing the draining iterator; the per-lookup
+    /// transfer poll uses it to skip the whole return path when nothing
+    /// is due (the overwhelmingly common case).
+    #[inline]
+    pub fn has_due(&self, now: u64) -> bool {
+        self.queue.front().is_some_and(|r| r.start + r.next as u64 + self.latency <= now)
     }
 
     /// Rows still queued or in flight.
     pub fn pending(&self) -> usize {
-        self.queue.len()
+        self.queue.iter().map(|r| r.lines.len() - r.next).sum()
     }
 
     /// The cycle after which the port is free.
@@ -200,6 +262,27 @@ mod tests {
         assert_eq!(e.stats.rows_read, 3);
         assert_eq!(e.stats.busy_cycles, 3);
         assert_eq!(e.busy_until(), 3);
+    }
+
+    #[test]
+    fn drain_due_matches_drain() {
+        // Two identical engines with queued full and partial searches;
+        // draining in steps at the same instants must yield identical rows.
+        let mut by_iter = TransferEngine::new(8);
+        let mut by_closure = TransferEngine::new(8);
+        for e in [&mut by_iter, &mut by_closure] {
+            let lines: Vec<u64> = (0..128).collect();
+            e.schedule(3, &lines, 0, false);
+            e.schedule(9, &[500, 501, 502, 503], 0, true);
+        }
+        for now in [0, 7, 8, 9, 50, 130, 135, 139, 140, 200] {
+            let expected: Vec<RowReturn> = by_iter.drain(now).collect();
+            let mut got = Vec::new();
+            by_closure.drain_due(now, |r| got.push(r));
+            assert_eq!(got, expected, "rows due at cycle {now}");
+        }
+        assert_eq!(by_iter.pending(), 0);
+        assert_eq!(by_closure.pending(), 0);
     }
 
     #[test]

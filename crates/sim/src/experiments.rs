@@ -38,11 +38,14 @@ pub struct ExperimentOptions {
     /// Cell-cache directory override (`None` = the front end's default,
     /// `results/cache/` for the CLI and bench targets).
     pub cache_dir: Option<PathBuf>,
+    /// Replay captures through the compact branch-point encoding (the
+    /// default). `false` selects the record-based reference path.
+    pub compact: bool,
 }
 
 impl Default for ExperimentOptions {
     fn default() -> Self {
-        Self { len: None, seed: 0xEC12, workers: None, cache_dir: None }
+        Self { len: None, seed: 0xEC12, workers: None, cache_dir: None, compact: true }
     }
 }
 
@@ -53,8 +56,8 @@ impl ExperimentOptions {
         Self { len: Some(len), seed, ..Self::default() }
     }
 
-    /// Reads `ZBP_TRACE_LEN`, `ZBP_SEED`, `ZBP_WORKERS` and
-    /// `ZBP_CACHE_DIR` from the environment.
+    /// Reads `ZBP_TRACE_LEN`, `ZBP_SEED`, `ZBP_WORKERS`,
+    /// `ZBP_CACHE_DIR` and `ZBP_COMPACT` from the environment.
     ///
     /// # Errors
     ///
@@ -83,6 +86,13 @@ impl ExperimentOptions {
         }
         if let Some(v) = env_nonempty("ZBP_CACHE_DIR") {
             o.cache_dir = Some(PathBuf::from(v));
+        }
+        if let Some(v) = env_nonempty("ZBP_COMPACT") {
+            o.compact = match v.as_str() {
+                "1" | "true" => true,
+                "0" | "false" => false,
+                _ => return Err(format!("ZBP_COMPACT={v:?}: expected 0/1/true/false")),
+            };
         }
         Ok(o)
     }

@@ -227,8 +227,9 @@ fn roundtrip_stats(entry: &Json) -> Option<TraceStats> {
     TraceStats::from_json(&Json::parse(&entry.render()).ok()?).ok()
 }
 
-/// Best-effort `git rev-parse HEAD` for the manifest.
-fn git_revision() -> String {
+/// Best-effort `git rev-parse HEAD` for provenance manifests; returns
+/// `"unknown"` outside a git checkout.
+pub fn git_revision() -> String {
     std::process::Command::new("git")
         .args(["rev-parse", "HEAD"])
         .output()

@@ -1,7 +1,7 @@
 //! Single-run simulation driver.
 
 use crate::config::SimConfig;
-use zbp_trace::Trace;
+use zbp_trace::{CompactTrace, Trace};
 use zbp_uarch::core::{CoreModel, CoreResult};
 
 /// A configured simulator, ready to replay traces.
@@ -56,6 +56,14 @@ impl Simulator {
         let model = CoreModel::new(config.uarch, config.predictor.clone());
         SimResult { config_name: config.name.clone(), core: model.run(trace) }
     }
+
+    /// Replays a compact branch-point capture under a borrowed
+    /// configuration via the run-batched fast path. Bit-identical to
+    /// [`Self::run_config`] on the equivalent record stream.
+    pub fn run_config_compact(config: &SimConfig, trace: &CompactTrace) -> SimResult {
+        let model = CoreModel::new(config.uarch, config.predictor.clone());
+        SimResult { config_name: config.name.clone(), core: model.run_compact(trace) }
+    }
 }
 
 #[cfg(test)]
@@ -88,6 +96,17 @@ mod tests {
         let b = s.run(&trace);
         assert_eq!(a.core.cycles, b.core.cycles);
         assert_eq!(a.core.outcomes, b.core.outcomes);
+    }
+
+    #[test]
+    fn compact_replay_matches_record_replay() {
+        let trace = WorkloadProfile::zlinux_informix().build_with_len(7, 20_000);
+        let compact = CompactTrace::capture(&trace).expect("generator streams encode");
+        for config in [SimConfig::no_btb2(), SimConfig::btb2_enabled()] {
+            let fast = Simulator::run_config_compact(&config, &compact);
+            let reference = Simulator::run_config(&config, &trace);
+            assert_eq!(fast.core, reference.core, "{}", config.name);
+        }
     }
 }
 

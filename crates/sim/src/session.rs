@@ -30,7 +30,7 @@ use std::sync::Mutex;
 use zbp_support::json::{self, FromJson, Json, ToJson};
 use zbp_trace::materialize::MaterializedTrace;
 use zbp_trace::profile::WorkloadProfile;
-use zbp_trace::TraceInstr;
+use zbp_trace::{CompactParts, CompactTrace, Trace, TraceInstr};
 use zbp_uarch::core::CoreResult;
 
 /// Builder for a batched workload × configuration run.
@@ -54,6 +54,7 @@ pub struct SimSession {
     seed: u64,
     len: Option<u64>,
     materialize_cap: u64,
+    compact: bool,
     workloads: Vec<WorkloadProfile>,
     configs: Vec<SimConfig>,
 }
@@ -76,14 +77,16 @@ impl SimSession {
             seed: opts.seed,
             len: opts.len,
             materialize_cap: DEFAULT_MATERIALIZE_CAP,
+            compact: opts.compact,
             workloads: Vec::new(),
             configs: Vec::new(),
         }
     }
 
-    /// Takes seed and length cap from [`ExperimentOptions`].
+    /// Takes seed, length cap and replay encoding from
+    /// [`ExperimentOptions`].
     pub fn from_options(opts: &ExperimentOptions) -> Self {
-        Self { seed: opts.seed, len: opts.len, ..Self::new() }
+        Self { seed: opts.seed, len: opts.len, compact: opts.compact, ..Self::new() }
     }
 
     /// Sets the workload synthesis seed.
@@ -102,14 +105,24 @@ impl SimSession {
         self
     }
 
-    /// Caps the bytes of record storage one workload may occupy when its
-    /// trace is captured for sharing across configuration columns.
-    /// Workloads over the cap are regenerated per cell instead (`0`
-    /// disables sharing entirely). Defaults to
+    /// Caps the bytes one workload's capture may occupy when its trace
+    /// is materialized for sharing across configuration columns —
+    /// compact bytes on the default compact path, record bytes on the
+    /// reference path. Workloads over the cap are regenerated per cell
+    /// instead (`0` disables sharing entirely). Defaults to
     /// [`DEFAULT_MATERIALIZE_CAP`].
     #[must_use]
     pub fn materialize_cap(mut self, bytes: u64) -> Self {
         self.materialize_cap = bytes;
+        self
+    }
+
+    /// Selects the replay encoding: `true` (default) captures into the
+    /// compact branch-point form and replays run-batched; `false` uses
+    /// the record-based reference path. Both are bit-identical.
+    #[must_use]
+    pub fn compact(mut self, compact: bool) -> Self {
+        self.compact = compact;
         self
     }
 
@@ -163,29 +176,67 @@ impl SimSession {
     /// replays the identical instruction stream, so results are
     /// bit-identical regardless of the cap.
     pub fn run(&self) -> SessionGrid {
-        // Capture buffers recycle through a pool: they sit above the
-        // allocator's mmap threshold, so dropping one unmaps it and the
-        // next row would re-fault every page of a fresh mapping.
-        let pool: Mutex<Vec<Vec<TraceInstr>>> = Mutex::new(Vec::new());
+        let pool = CapturePool::default();
+        let all: Vec<usize> = (0..self.configs.len()).collect();
         let per_workload: Vec<Vec<SimResult>> = par_map(&self.workloads, |p| {
             let len = self.effective_len(p);
             let gen = p.build_with_len(self.seed, len);
-            if MaterializedTrace::estimated_bytes(len) <= self.materialize_cap {
-                let buf = pool.lock().expect("pool lock").pop().unwrap_or_default();
-                let mat = MaterializedTrace::capture_into(&gen, buf);
-                let results = par_map(&self.configs, |c| Simulator::run_config(c, &mat));
-                if let Some(buf) = mat.into_records() {
-                    pool.lock().expect("pool lock").push(buf);
-                }
-                results
-            } else {
-                par_map(&self.configs, |c| Simulator::run_config(c, &gen))
-            }
+            self.replay_columns(&gen, len, &all, &pool)
+                .into_iter()
+                .zip(&self.configs)
+                .map(|(core, c)| SimResult { config_name: c.name.clone(), core })
+                .collect()
         });
         SessionGrid {
             workloads: self.workloads.iter().map(|p| p.name.clone()).collect(),
             configs: self.configs.iter().map(|c| c.name.clone()).collect(),
             results: per_workload.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Replays one workload row across the configuration columns in
+    /// `which` (indices into `self.configs`), via the session's
+    /// preferred capture form.
+    ///
+    /// Capture preference order: compact branch-point encoding (when
+    /// [`Self::compact`] is set and the stream both encodes and fits
+    /// [`Self::materialize_cap`] in compact bytes), then a record
+    /// capture under the same byte cap, then per-column generator
+    /// walking. All three replay the identical stream bit-identically.
+    fn replay_columns<T: Trace + Sync>(
+        &self,
+        gen: &T,
+        len: u64,
+        which: &[usize],
+        pool: &CapturePool,
+    ) -> Vec<CoreResult> {
+        if self.compact {
+            let parts = pool.compact.lock().expect("pool lock").pop().unwrap_or_default();
+            match CompactTrace::capture_within_into(gen, self.materialize_cap, parts) {
+                Ok(compact) => {
+                    let results = par_map(which, |&i| {
+                        Simulator::run_config_compact(&self.configs[i], &compact).core
+                    });
+                    if let Some(parts) = compact.into_parts() {
+                        pool.compact.lock().expect("pool lock").push(parts);
+                    }
+                    return results;
+                }
+                // Over-budget or unencodable streams fall through to the
+                // record path (whose own cap check decides sharing).
+                Err(e) => pool.compact.lock().expect("pool lock").push(e.into_parts()),
+            }
+        }
+        if MaterializedTrace::estimated_bytes(len) <= self.materialize_cap {
+            let buf = pool.records.lock().expect("pool lock").pop().unwrap_or_default();
+            let mat = MaterializedTrace::capture_into(gen, buf);
+            let results = par_map(which, |&i| Simulator::run_config(&self.configs[i], &mat).core);
+            if let Some(buf) = mat.into_records() {
+                pool.records.lock().expect("pool lock").push(buf);
+            }
+            results
+        } else {
+            par_map(which, |&i| Simulator::run_config(&self.configs[i], gen).core)
         }
     }
 
@@ -206,7 +257,7 @@ impl SimSession {
     /// re-labelled with the requesting column's name.
     pub fn run_cached(&self, cache: &CellCache) -> (SessionGrid, CacheStats) {
         let hits = AtomicU64::new(0);
-        let pool: Mutex<Vec<Vec<TraceInstr>>> = Mutex::new(Vec::new());
+        let pool = CapturePool::default();
         let config_jsons: Vec<(String, String)> = self
             .configs
             .iter()
@@ -225,20 +276,7 @@ impl SimSession {
             let missing: Vec<usize> = (0..cores.len()).filter(|&i| cores[i].is_none()).collect();
             if !missing.is_empty() {
                 let gen = p.build_with_len(self.seed, len);
-                let computed: Vec<CoreResult> = if MaterializedTrace::estimated_bytes(len)
-                    <= self.materialize_cap
-                {
-                    let buf = pool.lock().expect("pool lock").pop().unwrap_or_default();
-                    let mat = MaterializedTrace::capture_into(&gen, buf);
-                    let results =
-                        par_map(&missing, |&i| Simulator::run_config(&self.configs[i], &mat).core);
-                    if let Some(buf) = mat.into_records() {
-                        pool.lock().expect("pool lock").push(buf);
-                    }
-                    results
-                } else {
-                    par_map(&missing, |&i| Simulator::run_config(&self.configs[i], &gen).core)
-                };
+                let computed = self.replay_columns(&gen, len, &missing, &pool);
                 for (&i, core) in missing.iter().zip(computed) {
                     let entry = core.to_json();
                     cache.store(&keys[i], &entry);
@@ -262,6 +300,19 @@ impl SimSession {
         let cells = (self.workloads.len() * self.configs.len()) as u64;
         (grid, CacheStats { cells, hits: hits.into_inner() })
     }
+}
+
+/// Recycled capture buffers shared across workload rows.
+///
+/// Captures sit above the allocator's mmap threshold, so dropping one
+/// unmaps it and the next row would re-fault every page of a fresh
+/// mapping; rows instead return their buffers here. Record and compact
+/// buffers pool separately — a session only ever draws from one side,
+/// but a compact fallback row can populate both.
+#[derive(Debug, Default)]
+struct CapturePool {
+    records: Mutex<Vec<Vec<TraceInstr>>>,
+    compact: Mutex<Vec<CompactParts>>,
 }
 
 /// Normalizes a cell result through its rendered JSON bytes — the form
@@ -437,6 +488,46 @@ mod tests {
         assert_eq!(second.hits, 1, "same predictor+uarch under a new name must hit");
         assert_eq!(renamed.configs(), &["24k variant".to_string()]);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compact_and_record_grids_are_bit_identical() {
+        // The compact branch-point fast path must change speed, not
+        // predictions: the same session over the reference record path
+        // and over per-cell walking produces the same results.
+        let session = SimSession::new()
+            .seed(13)
+            .max_len(9_000)
+            .workloads(vec![WorkloadProfile::tpf_airline(), WorkloadProfile::zos_lspr_ims()])
+            .configs(vec![SimConfig::no_btb2(), SimConfig::btb2_enabled()]);
+        let compact = session.clone().run();
+        let record = session.clone().compact(false).run();
+        let walked = session.compact(false).materialize_cap(0).run();
+        for w in compact.workloads() {
+            for c in compact.configs() {
+                let fast = compact.result(w, c);
+                assert_eq!(fast.core, record.result(w, c).core, "({w}, {c}) record diverged");
+                assert_eq!(fast.core, walked.result(w, c).core, "({w}, {c}) walked diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn compact_session_over_cap_falls_back_bit_identically() {
+        // A cap of 0 declines both capture forms; every cell re-walks
+        // its generator and the results still match the shared path.
+        let session = SimSession::new()
+            .seed(21)
+            .max_len(6_000)
+            .workload(WorkloadProfile::tpf_airline())
+            .configs(vec![SimConfig::no_btb2(), SimConfig::btb2_enabled()]);
+        let shared = session.clone().run();
+        let capped = session.materialize_cap(0).run();
+        for w in shared.workloads() {
+            for c in shared.configs() {
+                assert_eq!(shared.result(w, c).core, capped.result(w, c).core);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,28 @@
+//! Acceptance test for the compact replay path: the full figure-2 grid
+//! run through the compact branch-point encoding must produce an
+//! artifact bit-identical (modulo the volatile manifest fields) to the
+//! same grid run through the record-based reference path.
+
+use zbp_sim::cache::CellCache;
+use zbp_sim::experiments::ExperimentOptions;
+use zbp_sim::registry::{self, strip_volatile};
+
+#[test]
+fn fig2_grid_is_bit_identical_across_trace_encodings() {
+    let spec = registry::find("fig2").expect("fig2 is registered");
+    let mut opts = ExperimentOptions::quick(12_000, 7);
+
+    opts.compact = true;
+    let compact = spec.run(&opts, &CellCache::disabled());
+    assert!(compact.manifest.cells > 1, "grid must cover several cells");
+
+    opts.compact = false;
+    let record = spec.run(&opts, &CellCache::disabled());
+    assert_eq!(compact.manifest.cells, record.manifest.cells);
+
+    assert_eq!(
+        strip_volatile(&compact.artifact()),
+        strip_volatile(&record.artifact()),
+        "compact replay must reproduce the record-path artifact bit-for-bit"
+    );
+}

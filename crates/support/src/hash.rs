@@ -28,6 +28,54 @@ pub fn fnv1a_64_hex(text: &str) -> String {
     format!("{:016x}", fnv1a_64(text.as_bytes()))
 }
 
+/// A non-cryptographic [`std::hash::Hasher`] for integer-keyed interior
+/// maps on simulation hot paths (e.g. the per-branch surprise
+/// classifier), where the default SipHash costs more than the table
+/// probe it guards. Integer writes fold into a Fibonacci-multiply mix;
+/// byte writes fall back to FNV-1a. Not DoS-resistant — never use it
+/// for maps keyed by external input.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FastHasher(u64);
+
+impl std::hash::Hasher for FastHasher {
+    fn finish(&self) -> u64 {
+        // Final avalanche so power-of-two table masks see high entropy.
+        let h = self.0;
+        h ^ (h >> 29)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        self.0 = (self.0 ^ x).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(31);
+    }
+
+    fn write_u32(&mut self, x: u32) {
+        self.write_u64(u64::from(x));
+    }
+
+    fn write_usize(&mut self, x: usize) {
+        self.write_u64(x as u64);
+    }
+}
+
+/// [`std::hash::BuildHasher`] for [`FastHasher`]; use as the third type
+/// parameter of `HashMap`/`HashSet` on hot paths.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FastHashState;
+
+impl std::hash::BuildHasher for FastHashState {
+    type Hasher = FastHasher;
+
+    fn build_hasher(&self) -> FastHasher {
+        FastHasher::default()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -54,5 +102,27 @@ mod tests {
         for i in 0..10_000u32 {
             assert!(seen.insert(fnv1a_64(format!("key-{i}").as_bytes())));
         }
+    }
+
+    #[test]
+    fn fast_hash_map_roundtrips_and_spreads() {
+        use std::hash::{BuildHasher, Hasher};
+        let mut m: std::collections::HashMap<u64, u64, FastHashState> =
+            std::collections::HashMap::default();
+        // Aligned instruction addresses (the classifier's key shape).
+        for i in 0..10_000u64 {
+            m.insert(0x1000 + i * 6, i);
+        }
+        assert_eq!(m.len(), 10_000);
+        assert_eq!(m.get(&(0x1000 + 42 * 6)), Some(&42));
+        // Low bits must vary even for stride-aligned keys.
+        let finish = |k: u64| {
+            let mut h = FastHashState.build_hasher();
+            h.write_u64(k);
+            h.finish()
+        };
+        let low: std::collections::HashSet<u64> =
+            (0..64u64).map(|i| finish(i * 64) & 0xFFF).collect();
+        assert!(low.len() > 48, "only {} distinct low-bit patterns", low.len());
     }
 }

@@ -14,6 +14,11 @@ pub struct TraceInstr {
     pub addr: InstAddr,
     /// Instruction length in bytes (2, 4 or 6).
     pub len: u8,
+    /// Wrong-path marker: the instruction was fetched speculatively down
+    /// a mispredicted path and never retired. Hardware traces interleave
+    /// such records with the committed stream; the core skips them during
+    /// replay and they never advance the architectural flow.
+    pub wrong_path: bool,
     /// Branch data if this instruction is a branch.
     pub branch: Option<BranchRec>,
 }
@@ -21,12 +26,18 @@ pub struct TraceInstr {
 impl TraceInstr {
     /// A non-branch instruction.
     pub const fn plain(addr: InstAddr, len: u8) -> Self {
-        Self { addr, len, branch: None }
+        Self { addr, len, wrong_path: false, branch: None }
     }
 
     /// A branch instruction with a resolved outcome.
     pub const fn branch(addr: InstAddr, len: u8, rec: BranchRec) -> Self {
-        Self { addr, len, branch: Some(rec) }
+        Self { addr, len, wrong_path: false, branch: Some(rec) }
+    }
+
+    /// Marks the instruction as wrong-path (builder style).
+    pub const fn wrong_path(mut self) -> Self {
+        self.wrong_path = true;
+        self
     }
 
     /// Whether this instruction is a branch.

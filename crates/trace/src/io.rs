@@ -88,10 +88,11 @@ pub fn write_trace<T: Trace, W: Write>(trace: &T, mut writer: W) -> io::Result<(
     for i in trace.iter() {
         writer.write_all(&i.addr.raw().to_le_bytes())?;
         writer.write_all(&[i.len])?;
+        let wrong = u8::from(i.wrong_path) << 5;
         match i.branch {
-            None => writer.write_all(&[0u8])?,
+            None => writer.write_all(&[wrong])?,
             Some(b) => {
-                let flags = 0x80 | (u8::from(b.taken) << 6) | kind_code(b.kind);
+                let flags = 0x80 | (u8::from(b.taken) << 6) | wrong | kind_code(b.kind);
                 writer.write_all(&[flags])?;
                 writer.write_all(&b.target.raw().to_le_bytes())?;
             }
@@ -132,17 +133,18 @@ pub fn read_trace<R: Read>(mut reader: R) -> Result<VecTrace, ReadTraceError> {
         if !matches!(len, 2 | 4 | 6) {
             return Err(ReadTraceError::Corrupt("instruction length"));
         }
+        let wrong_path = flags & 0x20 != 0;
         let branch = if flags & 0x80 != 0 {
             let kind = code_kind(flags & 0x0F).ok_or(ReadTraceError::Corrupt("branch kind"))?;
             let taken = flags & 0x40 != 0;
             let target = InstAddr::new(read_u64(&mut reader)?);
             Some(BranchRec { kind, taken, target })
-        } else if flags != 0 {
+        } else if flags & !0x20 != 0 {
             return Err(ReadTraceError::Corrupt("flags"));
         } else {
             None
         };
-        instrs.push(TraceInstr { addr, len, branch });
+        instrs.push(TraceInstr { addr, len, wrong_path, branch });
     }
     Ok(VecTrace::new(name, instrs))
 }

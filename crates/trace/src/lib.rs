@@ -31,6 +31,7 @@
 pub mod addr;
 pub mod analysis;
 pub mod branch;
+pub mod compact;
 pub mod gen;
 pub mod instr;
 pub mod io;
@@ -40,6 +41,7 @@ pub mod stats;
 
 pub use addr::InstAddr;
 pub use branch::{BranchKind, BranchRec};
+pub use compact::{CompactCaptureError, CompactParts, CompactTrace};
 pub use instr::TraceInstr;
 pub use materialize::MaterializedTrace;
 pub use stats::TraceStats;

@@ -76,6 +76,16 @@ impl MaterializedTrace {
         len.saturating_mul(std::mem::size_of::<TraceInstr>() as u64)
     }
 
+    /// Bytes of record storage this capture occupies.
+    pub fn bytes(&self) -> u64 {
+        Self::estimated_bytes(self.len())
+    }
+
+    /// Bytes per captured instruction (the fixed record size).
+    pub fn bytes_per_instr(&self) -> f64 {
+        std::mem::size_of::<TraceInstr>() as f64
+    }
+
     /// Borrow the captured records.
     pub fn records(&self) -> &[TraceInstr] {
         &self.instrs

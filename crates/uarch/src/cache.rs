@@ -124,8 +124,8 @@ impl Cache {
         let ways = self.geometry.ways as usize;
         let set = &mut self.sets[set_idx];
         if let Some(pos) = set.iter().position(|l| l.tag == line) {
-            let l = set.remove(pos);
-            set.insert(0, l);
+            let l = set[pos];
+            set[..=pos].rotate_right(1);
             return if l.ready_at <= now {
                 Access::Hit
             } else {

@@ -14,6 +14,7 @@
 //! cost nothing and are not bad outcomes.
 
 use std::collections::HashMap;
+use zbp_support::hash::FastHashState;
 use zbp_trace::InstAddr;
 
 /// One penalizing branch outcome.
@@ -103,8 +104,10 @@ impl OutcomeCounts {
 /// split bad surprises into compulsory / latency / capacity.
 #[derive(Debug, Clone, Default)]
 pub struct SurpriseClassifier {
-    /// Branch address → cycle of its most recent resolution.
-    last_seen: HashMap<u64, u64>,
+    /// Branch address → cycle of its most recent resolution. Updated on
+    /// every taken resolution, so it rides the replay hot path — hence
+    /// the non-default hasher.
+    last_seen: HashMap<u64, u64, FastHashState>,
     /// Window after a resolution during which a new surprise for the same
     /// branch counts as install latency.
     latency_window: u64,
@@ -114,7 +117,7 @@ impl SurpriseClassifier {
     /// Creates a classifier; `latency_window` should cover the install
     /// delay of the prediction hierarchy.
     pub fn new(latency_window: u64) -> Self {
-        Self { last_seen: HashMap::new(), latency_window }
+        Self { last_seen: HashMap::default(), latency_window }
     }
 
     /// Whether this branch has been seen before.

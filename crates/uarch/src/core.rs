@@ -21,7 +21,8 @@ use crate::classify::{BadOutcome, OutcomeCounts, SurpriseClassifier};
 use crate::config::UarchConfig;
 use crate::penalty::PenaltyAccounting;
 use zbp_predictor::{BranchPredictor, Counter, PredictorConfig, PredictorStats};
-use zbp_trace::{BranchKind, Trace, TraceInstr};
+use zbp_trace::compact::{CompactTrace, Run};
+use zbp_trace::{BranchKind, InstAddr, Trace, TraceInstr};
 
 /// I-cache side statistics.
 ///
@@ -132,8 +133,28 @@ impl CoreModel {
         self.finish(trace.name())
     }
 
+    /// Replays a compact branch-point trace, advancing over each
+    /// non-branch run in one batched step. Bit-identical to [`Self::run`]
+    /// over the equivalent record stream.
+    pub fn run_compact(mut self, trace: &CompactTrace) -> CoreResult {
+        let mut cursor = trace.segments();
+        while let Some(run) = cursor.next_run() {
+            let end = self.step_run(trace, &run);
+            if let Some(instr) = cursor.finish_run(end) {
+                self.step(&instr);
+            }
+        }
+        self.finish(trace.name())
+    }
+
     /// Executes one instruction.
     pub fn step(&mut self, instr: &TraceInstr) {
+        if instr.wrong_path {
+            // Wrong-path records never retire: they carry no cycle or
+            // completion weight (the model synthesizes its own wrong-path
+            // fetch effects from resolved mispredictions instead).
+            return;
+        }
         self.instructions += 1;
         self.cycle += self.step_cycles;
 
@@ -149,31 +170,102 @@ impl CoreModel {
         // Instruction fetch: charged per 256 B line transition.
         let line = self.icache.line_of(instr.addr);
         if self.cur_line != Some(line) {
-            self.cur_line = Some(line);
-            self.predictor.bus_mut().bump(Counter::IcacheLineAccesses);
-            let now = self.cycle as u64;
-            match self.icache.access(instr.addr, now) {
-                Access::Hit => {}
-                Access::InFlight { ready_at } => {
-                    self.predictor.bus_mut().bump(Counter::IcacheLatePrefetchHits);
-                    let wait = ready_at.saturating_sub(now);
-                    self.penalties.icache_late_prefetch += wait;
-                    self.cycle += wait as f64;
-                }
-                Access::Miss { ready_at } => {
-                    self.predictor.bus_mut().bump(Counter::IcacheDemandMisses);
-                    self.predictor.note_icache_miss(instr.addr, now);
-                    let wait = ready_at - now;
-                    self.penalties.icache_demand += wait;
-                    self.cycle += wait as f64;
-                }
-            }
+            self.line_access(line, instr.addr);
         }
 
         self.predictor.note_completion(instr.addr);
 
         if instr.branch.is_some() {
             self.branch(instr);
+        }
+    }
+
+    /// Executes the non-branch run preceding one branch point: `count`
+    /// sequential instructions from `run.start`, lengths read from the
+    /// compact code stream. Returns the address one past the run (the
+    /// terminating point's own address).
+    ///
+    /// Equivalence with per-instruction [`Self::step`]: the cycle/count
+    /// accumulators see the identical sequence of f64 additions; the
+    /// discontinuity check only ever fires on the first instruction
+    /// (runs are sequential by construction); and completions flush as
+    /// one [`BranchPredictor::note_completion_run`] per I-cache line
+    /// span, after that line's access and before the next line's — the
+    /// exact interleaving the per-instruction path produces.
+    fn step_run(&mut self, trace: &CompactTrace, run: &Run) -> InstAddr {
+        let mut addr = run.start;
+        if run.count == 0 {
+            return addr;
+        }
+        let mut code = run.first_code;
+
+        // First instruction: stream-start / discontinuity check, then
+        // the line-transition charge, exactly as step() orders them.
+        self.instructions += 1;
+        self.cycle += self.step_cycles;
+        match self.expected_addr {
+            Some(expected) if expected == addr => {}
+            _ => self.predictor.restart(addr, self.cycle as u64),
+        }
+        let mut cur_line = self.icache.line_of(addr);
+        if self.cur_line != Some(cur_line) {
+            self.line_access(cur_line, addr);
+        }
+        let mut span_first = addr;
+        let mut span_last = addr;
+        addr = addr.add(u64::from(trace.len_at(code)));
+        code += 1;
+
+        // Remaining instructions stay register-resident: the accumulators
+        // round-trip through `self` only at line transitions (where the
+        // access path may add stall cycles).
+        let step = self.step_cycles;
+        let mut cycle = self.cycle;
+        let mut instructions = self.instructions;
+        for _ in 1..run.count {
+            instructions += 1;
+            cycle += step;
+            let line = self.icache.line_of(addr);
+            if line != cur_line {
+                self.cycle = cycle;
+                self.instructions = instructions;
+                self.predictor.note_completion_run(span_first, span_last);
+                self.line_access(line, addr);
+                cycle = self.cycle;
+                cur_line = line;
+                span_first = addr;
+            }
+            span_last = addr;
+            addr = addr.add(u64::from(trace.len_at(code)));
+            code += 1;
+        }
+        self.cycle = cycle;
+        self.instructions = instructions;
+        self.predictor.note_completion_run(span_first, span_last);
+        self.expected_addr = Some(addr);
+        addr
+    }
+
+    /// Charges one 256 B fetch-line transition at `addr`.
+    fn line_access(&mut self, line: u64, addr: InstAddr) {
+        self.cur_line = Some(line);
+        self.predictor.bus_mut().bump(Counter::IcacheLineAccesses);
+        let now = self.cycle as u64;
+        match self.icache.access(addr, now) {
+            Access::Hit => {}
+            Access::InFlight { ready_at } => {
+                self.predictor.bus_mut().bump(Counter::IcacheLatePrefetchHits);
+                let wait = ready_at.saturating_sub(now);
+                self.penalties.icache_late_prefetch += wait;
+                self.cycle += wait as f64;
+            }
+            Access::Miss { ready_at } => {
+                self.predictor.bus_mut().bump(Counter::IcacheDemandMisses);
+                self.predictor.note_icache_miss(addr, now);
+                let wait = ready_at - now;
+                self.penalties.icache_demand += wait;
+                self.cycle += wait as f64;
+            }
         }
     }
 
@@ -462,6 +554,58 @@ mod tests {
         assert_eq!(r.instructions, 0);
         assert_eq!(r.cycles, 0);
         assert_eq!(r.cpi(), 0.0);
+    }
+
+    #[test]
+    fn wrong_path_records_do_not_retire() {
+        let mut v = loop_trace(100).into_records();
+        // Interleave off-path noise: it must not perturb anything.
+        for k in 0..v.len() / 7 {
+            v.insert(
+                k * 8,
+                TraceInstr::plain(InstAddr::new(0x9000 + k as u64 * 2), 2).wrong_path(),
+            );
+        }
+        let noisy = model().run(&VecTrace::new("loop", v));
+        let clean = model().run(&loop_trace(100));
+        assert_eq!(noisy, clean);
+    }
+
+    #[test]
+    fn compact_replay_is_bit_identical_to_record_replay() {
+        use zbp_trace::profile::WorkloadProfile;
+        for (seed, len) in [(7u64, 40_000u64), (0xEC12, 25_000)] {
+            for p in [WorkloadProfile::tpf_airline(), WorkloadProfile::zos_lspr_cb84()] {
+                let gen = p.build_with_len(seed, len);
+                let compact = CompactTrace::capture(&gen).expect("encodable");
+                let by_record = model().run(&gen);
+                let by_compact = model().run_compact(&compact);
+                assert_eq!(by_compact, by_record, "{} seed {seed:#x}", gen.name());
+            }
+        }
+    }
+
+    #[test]
+    fn compact_replay_handles_discontinuities_and_empty_runs() {
+        // Back-to-back branches (empty runs), a discontinuity, and a
+        // trailing branchless tail.
+        let mut v = Vec::new();
+        let b = |a: u64, t: u64| {
+            TraceInstr::branch(
+                InstAddr::new(a),
+                4,
+                BranchRec::taken(BranchKind::Unconditional, InstAddr::new(t)),
+            )
+        };
+        v.push(b(0x1000, 0x2000));
+        v.push(b(0x2000, 0x3000)); // empty run between branches
+        v.push(TraceInstr::plain(InstAddr::new(0x9000), 4)); // discontinuity
+        for i in 0..600u64 {
+            v.push(TraceInstr::plain(InstAddr::new(0x9004 + i * 6), 6));
+        }
+        let vt = VecTrace::new("disc", v);
+        let compact = CompactTrace::capture(&vt).unwrap();
+        assert_eq!(model().run_compact(&compact), model().run(&vt));
     }
 }
 

@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
-# Runs the MIPS throughput harness over the figure-2 grid and refreshes
-# BENCH_throughput.json at the repository root.
+# Runs the MIPS throughput harness over the figure-2 grid, refreshes
+# BENCH_throughput.json at the repository root, and appends a
+# timestamped, git-revision-keyed summary line to
+# BENCH_throughput_history.jsonl so throughput can be tracked across
+# commits.
 #
 # Usage:
 #   scripts/bench_throughput.sh              # default: 1M instructions/workload
 #   ZBP_TRACE_LEN=200000 scripts/bench_throughput.sh   # quicker probe
 #   ZBP_BENCH_OUT=/tmp/t.json scripts/bench_throughput.sh  # alternate output
+#   ZBP_BENCH_HISTORY=/tmp/h.jsonl scripts/bench_throughput.sh
 #
 # To record a full before/after against the pre-PR binary, time the same
 # grid from a worktree at the earlier commit and pass the wall-clock in:
@@ -13,4 +17,44 @@
 #   ZBP_BENCH_PREPR_S=3.49 ZBP_BENCH_PREPR_REV=<rev> scripts/bench_throughput.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
-exec cargo bench -p zbp-bench --bench throughput "$@"
+
+cargo bench -p zbp-bench --bench throughput "$@"
+
+out="${ZBP_BENCH_OUT:-BENCH_throughput.json}"
+history="${ZBP_BENCH_HISTORY:-BENCH_throughput_history.jsonl}"
+
+python3 - "$out" "$history" <<'PY'
+import json
+import subprocess
+import sys
+import time
+
+out, history = sys.argv[1], sys.argv[2]
+with open(out) as f:
+    report = json.load(f)
+
+rev = subprocess.run(
+    ["git", "rev-parse", "--short", "HEAD"], capture_output=True, text=True
+).stdout.strip() or "unknown"
+dirty = bool(subprocess.run(
+    ["git", "status", "--porcelain"], capture_output=True, text=True
+).stdout.strip())
+
+entry = {
+    "timestamp_unix": int(time.time()),
+    "git_revision": rev,
+    "dirty": dirty,
+    "len_per_workload": report.get("len_per_workload"),
+    "seed": report.get("seed"),
+    "generate_mips": report.get("generate_mips"),
+    "encode_mips": report.get("encode_mips"),
+    "replay_mips": report.get("replay_mips"),
+    "replay_record_mips": report.get("replay_record_mips"),
+    "shared_mips": report.get("shared_mips"),
+    "record_bytes_per_instr": report.get("record_bytes_per_instr"),
+    "compact_bytes_per_instr": report.get("compact_bytes_per_instr"),
+}
+with open(history, "a") as f:
+    f.write(json.dumps(entry) + "\n")
+print(f"appended revision {rev} to {history}")
+PY
