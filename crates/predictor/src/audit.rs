@@ -1,0 +1,328 @@
+//! Runtime structural-invariant auditing (the `audit` feature).
+//!
+//! The zEC12 design rests on invariants the code otherwise upholds only
+//! implicitly. This module makes them executable: a
+//! [`StructureAuditor`] rides on the
+//! [`SearchEngine`](crate::engine::SearchEngine) and, after every
+//! dispatched [`PredictorEvent`](crate::events::PredictorEvent), checks
+//!
+//! * **row validity** — every BTB row holds at most `ways` entries, no
+//!   address twice, and every entry maps to the row storing it. Rows
+//!   store slots in recency order, so together these make the LRU state
+//!   a valid permutation per row (periodic full sweep over BTB1, BTBP
+//!   and BTB2);
+//! * **semi-exclusivity postconditions** (§3.3) — a BTB2 hit copied
+//!   into the BTBP is LRU in its BTB2 row immediately after the demote,
+//!   and a BTB1 victim written back is MRU immediately after the write
+//!   (event-scoped: the paper's protocol constrains the *transitions*,
+//!   not a global steady state — duplicates are legal and short-lived);
+//! * **transfer-queue conservation** — every row the
+//!   [`TransferEngine`](crate::transfer::TransferEngine) schedules is
+//!   drained exactly once: `rows_read == rows_drained + pending` at all
+//!   times, and `pending == 0` after the end-of-run drain;
+//! * **counter reconciliation** — the [`StatsBus`] stays consistent
+//!   with the event stream: every search resolves as a hit or a
+//!   surprise (`predict events == BTB1 + BTBP predictions + surprises`),
+//!   every dynamic prediction picks a direction
+//!   (`taken + not-taken == BTB1 + BTBP predictions`), and every BTBP
+//!   install is accounted to exactly one write source
+//!   (`installs == transfers + victims + surprises`).
+//!
+//! Violations panic with a descriptive message — an audit run is a test
+//! vehicle, not a production path. With the feature disabled none of
+//! this module exists and the hot path carries zero extra work.
+
+use crate::btb::BtbArray;
+use crate::engine::Structures;
+use crate::statsbus::{Counter, StatsBus};
+use zbp_trace::InstAddr;
+
+/// Dispatched events between full structural sweeps. Sweeps walk every
+/// row of all three levels (~29 k slots on the zEC12 geometry), so they
+/// amortize over a window while the cheap per-event checks run always.
+const SWEEP_INTERVAL: u64 = 4096;
+
+/// Accumulated audit state (see the module docs).
+#[derive(Debug, Clone, Default)]
+pub struct StructureAuditor {
+    /// Events dispatched since construction.
+    events: u64,
+    /// `PredictBranch` events dispatched.
+    predict_events: u64,
+    /// BTBP inserts performed by the engine's three accounted write
+    /// sources (surprise installs, BTB1 victims, transfer returns).
+    btbp_installs: u64,
+    /// Transfer rows drained out of the queue.
+    rows_drained: u64,
+}
+
+impl StructureAuditor {
+    /// Creates an auditor with all counts at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one dispatched event; returns whether a full structural
+    /// sweep is due this event.
+    pub fn note_event(&mut self, is_predict: bool) -> bool {
+        self.events += 1;
+        if is_predict {
+            self.predict_events += 1;
+        }
+        self.events.is_multiple_of(SWEEP_INTERVAL)
+    }
+
+    /// Records one BTBP insert from an accounted engine write source.
+    pub fn note_btbp_install(&mut self) {
+        self.btbp_installs += 1;
+    }
+
+    /// Records one transfer row drained from the queue.
+    pub fn note_row_drained(&mut self) {
+        self.rows_drained += 1;
+    }
+
+    /// Checks the counter-reconciliation invariants against the bus.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any reconciliation fails.
+    pub fn check_counters(&self, bus: &StatsBus) {
+        let hits = bus.get(Counter::Btb1Predictions) + bus.get(Counter::BtbpPredictions);
+        let surprises = bus.get(Counter::Surprises);
+        assert_eq!(
+            self.predict_events,
+            hits + surprises,
+            "audit: {} predict events but {hits} first-level hits + {surprises} surprises",
+            self.predict_events,
+        );
+        let directed = bus.get(Counter::PredictedTaken) + bus.get(Counter::PredictedNotTaken);
+        assert_eq!(
+            directed, hits,
+            "audit: {directed} directed predictions but {hits} first-level hits",
+        );
+        let accounted = bus.get(Counter::SurpriseInstalls)
+            + bus.get(Counter::Btb1Victims)
+            + bus.get(Counter::Btb2EntriesTransferred);
+        assert_eq!(
+            self.btbp_installs, accounted,
+            "audit: {} BTBP installs but {accounted} accounted write sources \
+             (surprises + victims + transfers)",
+            self.btbp_installs,
+        );
+    }
+
+    /// Checks transfer-queue conservation: every scheduled row is
+    /// either already drained or still pending — never dropped, never
+    /// drained twice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the scheduled/drained/pending accounting disagrees.
+    pub fn check_queue(&self, s: &Structures) {
+        let scheduled = s.transfer.stats.rows_read;
+        let pending = s.transfer.pending() as u64;
+        assert_eq!(
+            scheduled,
+            self.rows_drained + pending,
+            "audit: {scheduled} rows scheduled but {} drained + {pending} pending",
+            self.rows_drained,
+        );
+    }
+
+    /// The end-of-run variant of [`Self::check_queue`]: after the final
+    /// drain the queue must be empty and fully accounted.
+    ///
+    /// # Panics
+    ///
+    /// Panics when rows are still pending or the drain count disagrees.
+    pub fn check_queue_drained(&self, s: &Structures) {
+        assert_eq!(s.transfer.pending(), 0, "audit: transfer queue not empty after final drain");
+        self.check_queue(s);
+    }
+}
+
+/// Full structural sweep: row validity of all three BTB levels.
+///
+/// # Panics
+///
+/// Panics with the offending level and row on any violation.
+pub fn sweep(s: &Structures) {
+    s.btb1.audit_rows("btb1");
+    s.btbp.audit_rows("btbp");
+    if let Some(btb2) = &s.btb2 {
+        btb2.audit_rows("btb2");
+    }
+}
+
+/// Asserts `addr` is resident and most recently used in its row of
+/// `btb` (the §3.3 postcondition of a victim write-back / fresh
+/// install).
+///
+/// # Panics
+///
+/// Panics when the entry is absent or not at recency rank 0.
+pub fn assert_mru(btb: &BtbArray, addr: InstAddr, context: &str) {
+    match btb.lookup(addr, u64::MAX) {
+        Some(hit) => assert_eq!(
+            hit.recency, 0,
+            "audit: {context}: {addr:?} at recency {} — expected MRU",
+            hit.recency
+        ),
+        None => panic!("audit: {context}: {addr:?} not resident — expected MRU"),
+    }
+}
+
+/// Asserts `addr` is resident and least recently used in its row of
+/// `btb` (the §3.3 postcondition of a semi-exclusive transfer demote).
+///
+/// # Panics
+///
+/// Panics when the entry is absent or not at the last recency rank.
+pub fn assert_lru(btb: &BtbArray, addr: InstAddr, context: &str) {
+    let len = btb.audit_row_len(addr);
+    match btb.lookup(addr, u64::MAX) {
+        Some(hit) => assert_eq!(
+            hit.recency,
+            len - 1,
+            "audit: {context}: {addr:?} at recency {} of a {len}-entry row — expected LRU",
+            hit.recency
+        ),
+        None => panic!("audit: {context}: {addr:?} not resident — expected LRU"),
+    }
+}
+
+/// Asserts `addr` is not resident in `btb` (the postcondition of a
+/// BTBP→BTB1 promotion: the promoted entry left the BTBP).
+///
+/// # Panics
+///
+/// Panics when the entry is still resident.
+pub fn assert_absent(btb: &BtbArray, addr: InstAddr, context: &str) {
+    assert!(
+        btb.lookup(addr, u64::MAX).is_none(),
+        "audit: {context}: {addr:?} still resident — expected absent"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::btb::BtbGeometry;
+    use crate::config::PredictorConfig;
+    use crate::entry::BtbEntry;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use zbp_trace::{BranchKind, InstAddr};
+
+    fn entry(addr: u64) -> BtbEntry {
+        BtbEntry::surprise_install(
+            InstAddr::new(addr),
+            InstAddr::new(addr + 0x40),
+            BranchKind::Conditional,
+            true,
+        )
+    }
+
+    #[test]
+    fn mru_and_lru_assertions_hold_on_valid_state() {
+        let mut b = BtbArray::new(BtbGeometry::new(4, 2));
+        b.insert(entry(0x00), 0);
+        b.insert(entry(0x80), 0); // same row, now MRU
+        assert_mru(&b, InstAddr::new(0x80), "test");
+        assert_lru(&b, InstAddr::new(0x00), "test");
+        assert_absent(&b, InstAddr::new(0x100), "test");
+    }
+
+    #[test]
+    fn seeded_recency_violations_are_caught() {
+        let mut b = BtbArray::new(BtbGeometry::new(4, 2));
+        b.insert(entry(0x00), 0);
+        b.insert(entry(0x80), 0);
+        // 0x00 is LRU: claiming it is MRU must panic, and vice versa.
+        let err = catch_unwind(AssertUnwindSafe(|| assert_mru(&b, InstAddr::new(0x00), "seeded")));
+        assert!(err.is_err(), "stale entry passed as MRU");
+        let err = catch_unwind(AssertUnwindSafe(|| assert_lru(&b, InstAddr::new(0x80), "seeded")));
+        assert!(err.is_err(), "fresh entry passed as LRU");
+        let err =
+            catch_unwind(AssertUnwindSafe(|| assert_absent(&b, InstAddr::new(0x80), "seeded")));
+        assert!(err.is_err(), "resident entry passed as absent");
+        let err = catch_unwind(AssertUnwindSafe(|| assert_mru(&b, InstAddr::new(0x100), "gone")));
+        assert!(err.is_err(), "absent entry passed the MRU check");
+    }
+
+    #[test]
+    fn counter_reconciliation_catches_a_tampered_bus() {
+        let mut bus = StatsBus::new();
+        let mut auditor = StructureAuditor::new();
+        // One predict event that surprised: consistent state.
+        auditor.note_event(true);
+        bus.bump(Counter::Surprises);
+        auditor.check_counters(&bus);
+        // A phantom hit nobody predicted: predict_events no longer
+        // covers hits + surprises.
+        bus.bump(Counter::Btb1Predictions);
+        let err = catch_unwind(AssertUnwindSafe(|| auditor.check_counters(&bus)));
+        assert!(err.is_err(), "tampered hit count must fail reconciliation");
+    }
+
+    #[test]
+    fn direction_accounting_catches_an_undirected_prediction() {
+        let mut bus = StatsBus::new();
+        let mut auditor = StructureAuditor::new();
+        auditor.note_event(true);
+        bus.bump(Counter::Btb1Predictions);
+        // The prediction never picked a direction.
+        let err = catch_unwind(AssertUnwindSafe(|| auditor.check_counters(&bus)));
+        assert!(err.is_err(), "hit without a direction must fail reconciliation");
+        bus.bump(Counter::PredictedTaken);
+        auditor.check_counters(&bus);
+    }
+
+    #[test]
+    fn install_accounting_catches_an_unaccounted_btbp_write() {
+        let mut bus = StatsBus::new();
+        let mut auditor = StructureAuditor::new();
+        auditor.note_btbp_install();
+        let err = catch_unwind(AssertUnwindSafe(|| auditor.check_counters(&bus)));
+        assert!(err.is_err(), "install without a source counter must fail");
+        bus.bump(Counter::SurpriseInstalls);
+        auditor.check_counters(&bus);
+    }
+
+    #[test]
+    fn queue_conservation_catches_a_lost_row() {
+        let cfg = PredictorConfig::zec12();
+        let mut s = Structures::new(&cfg);
+        let mut auditor = StructureAuditor::new();
+        s.transfer.schedule(1, &[0, 1, 2], 0, true);
+        auditor.check_queue(&s); // 3 scheduled = 0 drained + 3 pending
+        s.transfer.drain_due(u64::MAX, |_| auditor.note_row_drained());
+        auditor.check_queue_drained(&s); // 3 = 3 + 0
+                                         // A drain the auditor never saw (a lost row) breaks conservation.
+        s.transfer.schedule(2, &[7], 0, true);
+        s.transfer.drain_due(u64::MAX, |_| {});
+        let err = catch_unwind(AssertUnwindSafe(|| auditor.check_queue(&s)));
+        assert!(err.is_err(), "silently drained row must fail conservation");
+    }
+
+    #[test]
+    fn sweep_accepts_freshly_exercised_structures() {
+        let cfg = PredictorConfig::zec12();
+        let mut s = Structures::new(&cfg);
+        for i in 0..256u64 {
+            s.btb1.insert(entry(0x1000 + i * 0x20), 0);
+            s.btbp.insert(entry(0x9000 + i * 0x20), 0);
+            if let Some(btb2) = &mut s.btb2 {
+                btb2.insert(entry(0x2_0000 + i * 0x20), 0);
+            }
+        }
+        sweep(&s);
+    }
+
+    #[test]
+    fn sweep_cadence_fires_every_interval() {
+        let mut auditor = StructureAuditor::new();
+        let due: u64 = (0..2 * SWEEP_INTERVAL).map(|_| u64::from(auditor.note_event(false))).sum();
+        assert_eq!(due, 2, "one sweep per interval");
+    }
+}

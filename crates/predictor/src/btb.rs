@@ -262,6 +262,52 @@ impl BtbArray {
         }
     }
 
+    /// Checks every row of the array: occupancy within the
+    /// associativity, no address stored twice in a row, and every entry
+    /// held by the row its address maps to. Rows keep their slots in
+    /// recency order, so a passing row is by construction a valid LRU
+    /// permutation of its live entries.
+    ///
+    /// Available to the `audit` feature and to unit tests: the checks
+    /// read the slab layout directly, which the public API deliberately
+    /// does not expose.
+    ///
+    /// # Panics
+    ///
+    /// Panics naming `name` and the offending row on any violation.
+    #[cfg(any(test, feature = "audit"))]
+    pub fn audit_rows(&self, name: &str) {
+        for row in 0..self.geometry.rows as usize {
+            let len = self.row_len[row] as usize;
+            assert!(
+                len <= self.geometry.ways as usize,
+                "audit: {name} row {row}: {len} live slots exceed {} ways",
+                self.geometry.ways
+            );
+            let slots = self.row_slots(row);
+            for (i, slot) in slots.iter().enumerate() {
+                let home = self.row_of(slot.entry.addr);
+                assert_eq!(
+                    home, row,
+                    "audit: {name} row {row} slot {i}: entry {:?} belongs to row {home}",
+                    slot.entry.addr
+                );
+                assert!(
+                    !slots[..i].iter().any(|other| other.entry.addr == slot.entry.addr),
+                    "audit: {name} row {row}: address {:?} stored twice",
+                    slot.entry.addr
+                );
+            }
+        }
+    }
+
+    /// Live-slot count of the row covering `addr` (recency ranks run
+    /// `0..len`, so the LRU entry sits at rank `len - 1`).
+    #[cfg(any(test, feature = "audit"))]
+    pub fn audit_row_len(&self, addr: InstAddr) -> usize {
+        self.row_len[self.row_of(addr)] as usize
+    }
+
     /// Number of entries currently stored.
     pub fn occupancy(&self) -> usize {
         self.row_len.iter().map(|&l| l as usize).sum()
@@ -440,6 +486,42 @@ mod tests {
     #[should_panic(expected = "rows must be a power of two")]
     fn rejects_non_power_of_two_rows() {
         BtbArray::new(BtbGeometry::new(3, 2));
+    }
+
+    #[test]
+    fn audit_rows_accepts_exercised_state() {
+        let mut b = tiny();
+        b.insert(entry(0x00), 0);
+        b.insert(entry(0x80), 0);
+        b.insert(entry(0x100), 0); // overflow: evicts 0x00
+        b.make_lru(InstAddr::new(0x100));
+        b.remove(InstAddr::new(0x80));
+        b.audit_rows("tiny");
+        assert_eq!(b.audit_row_len(InstAddr::new(0x100)), 1);
+        assert_eq!(b.audit_row_len(InstAddr::new(0x20)), 0, "untouched row is empty");
+    }
+
+    #[test]
+    fn audit_rows_catches_a_forged_duplicate() {
+        // The slab is private, so corruption is seeded from inside the
+        // module: copy the MRU slot over the LRU slot of row 0.
+        let mut b = tiny();
+        b.insert(entry(0x00), 0);
+        b.insert(entry(0x80), 0);
+        b.slots[1] = b.slots[0];
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b.audit_rows("tiny")));
+        assert!(err.is_err(), "duplicated address must fail the row audit");
+    }
+
+    #[test]
+    fn audit_rows_catches_an_entry_in_the_wrong_row() {
+        let mut b = tiny();
+        b.insert(entry(0x00), 0);
+        // Retag the stored entry to an address that maps to row 1 while
+        // it still sits in row 0's segment.
+        b.slots[0].entry.addr = InstAddr::new(0x20);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b.audit_rows("tiny")));
+        assert!(err.is_err(), "mis-homed entry must fail the row audit");
     }
 }
 

@@ -116,6 +116,10 @@ pub struct SearchEngine {
     order_scratch: Vec<u32>,
     /// Reusable line-list buffer for [`Self::schedule_request`].
     lines_scratch: Vec<u64>,
+    /// Structural-invariant auditor (the `audit` feature): checks every
+    /// invariant in [`crate::audit`] after each dispatched event.
+    #[cfg(feature = "audit")]
+    auditor: crate::audit::StructureAuditor,
 }
 
 impl SearchEngine {
@@ -132,6 +136,8 @@ impl SearchEngine {
             line_scratch: Vec::with_capacity(8),
             order_scratch: Vec::with_capacity(32),
             lines_scratch: Vec::with_capacity(128),
+            #[cfg(feature = "audit")]
+            auditor: crate::audit::StructureAuditor::new(),
         }
     }
 
@@ -155,7 +161,7 @@ impl SearchEngine {
         s: &mut Structures,
         bus: &mut StatsBus,
     ) -> Option<Prediction> {
-        match event {
+        let result = match event {
             PredictorEvent::Restart { addr, cycle } => {
                 self.restart(addr, cycle);
                 None
@@ -198,7 +204,69 @@ impl SearchEngine {
                 self.decode_surprise(addr, cycle, guessed_taken, cfg, s, bus);
                 None
             }
+        };
+        #[cfg(feature = "audit")]
+        self.audit_after_event(&event, &result, s, bus);
+        result
+    }
+
+    /// Post-event audit hook (the `audit` feature): event-scoped §3.3
+    /// postconditions, counter reconciliation, transfer-queue
+    /// conservation and the periodic structural sweep — see
+    /// [`crate::audit`] for what each invariant encodes.
+    #[cfg(feature = "audit")]
+    fn audit_after_event(
+        &mut self,
+        event: &PredictorEvent<'_>,
+        result: &Option<Prediction>,
+        s: &Structures,
+        bus: &StatsBus,
+    ) {
+        use crate::audit;
+        match *event {
+            PredictorEvent::PredictBranch { instr, .. } => {
+                if let Some(source) = result.as_ref().and_then(|p| p.source) {
+                    // A first-level hit leaves the entry MRU in the BTB1
+                    // (made MRU in place, or promoted out of the BTBP as
+                    // a fresh MRU insert)...
+                    audit::assert_mru(&s.btb1, instr.addr, "post-predict BTB1");
+                    // ...and a promotion removes the BTBP copy.
+                    if source == PredSource::Btbp {
+                        audit::assert_absent(&s.btbp, instr.addr, "post-promotion BTBP");
+                    }
+                }
+            }
+            PredictorEvent::Resolve { instr, prediction, .. } => {
+                let branch = instr.branch.expect("resolve requires a branch instruction");
+                if !prediction.present() && branch.taken {
+                    // A surprise install writes the BTBP (and the BTB2,
+                    // when configured) as MRU.
+                    audit::assert_mru(&s.btbp, instr.addr, "post-surprise-install BTBP");
+                    if let Some(btb2) = &s.btb2 {
+                        audit::assert_mru(btb2, instr.addr, "post-surprise-install BTB2");
+                    }
+                }
+            }
+            _ => {}
         }
+        let sweep_due =
+            self.auditor.note_event(matches!(event, PredictorEvent::PredictBranch { .. }));
+        self.auditor.check_counters(bus);
+        self.auditor.check_queue(s);
+        if sweep_due {
+            audit::sweep(s);
+        }
+    }
+
+    /// End-of-run audit (the `audit` feature): counters reconcile, the
+    /// transfer queue is fully drained and accounted, and every
+    /// structure passes a final sweep. The composition root calls this
+    /// after the end-of-run transfer drain.
+    #[cfg(feature = "audit")]
+    pub fn audit_final(&self, s: &Structures, bus: &StatsBus) {
+        self.auditor.check_counters(bus);
+        self.auditor.check_queue_drained(s);
+        crate::audit::sweep(s);
     }
 
     /// Restarts the lookahead search at `addr` at `cycle` (pipeline
@@ -349,7 +417,7 @@ impl SearchEngine {
                 bus.bump(Counter::BtbpPredictions);
                 let promoted =
                     LevelOneStructure::remove(&mut s.btbp, addr).expect("BTBP hit must be present");
-                Self::insert_btb1(promoted, self.pred_cycle, cfg, s, bus);
+                self.insert_btb1(promoted, self.pred_cycle, cfg, s, bus);
                 if VictimPolicy::refresh_on_use(&cfg.exclusivity) {
                     if let Some(btb2) = &mut s.btb2 {
                         SecondLevelBtb::make_mru(btb2, addr);
@@ -451,6 +519,8 @@ impl SearchEngine {
             let entry = BtbEntry::surprise_install(addr, branch.target, branch.kind, true);
             let visible = cycle + cfg.install_delay;
             bus.bump(Counter::SurpriseInstalls);
+            #[cfg(feature = "audit")]
+            self.auditor.note_btbp_install();
             s.btbp.insert(entry, visible);
             if let Some(btb2) = &mut s.btb2 {
                 SecondLevelBtb::insert(btb2, entry, visible);
@@ -515,6 +585,8 @@ impl SearchEngine {
             }
             self.phantom_pending.pop_front();
             bus.bump(Counter::Btb2EntriesTransferred);
+            #[cfg(feature = "audit")]
+            self.auditor.note_btbp_install();
             s.btbp.insert(e, at);
         }
         // Nothing due: skip the return path entirely. An empty drain
@@ -530,16 +602,28 @@ impl SearchEngine {
         let mut chain: Option<(InstAddr, u64)> = None;
         let scratch = &mut self.line_scratch;
         let chained_blocks = &self.chained_blocks;
+        #[cfg(feature = "audit")]
+        let auditor = &mut self.auditor;
         transfer.drain_due(cycle, |row| {
+            #[cfg(feature = "audit")]
+            auditor.note_row_drained();
             SecondLevelBtb::entries_in_line_into(btb2, row.line, row.visible_at, scratch);
             bus.observe(Sample::TransferRowEntries, scratch.len() as u64);
             for &e in scratch.iter() {
                 bus.bump(Counter::Btb2EntriesTransferred);
+                #[cfg(feature = "audit")]
+                auditor.note_btbp_install();
                 btbp.insert(e, row.visible_at);
                 if VictimPolicy::invalidate_on_hit(&cfg.exclusivity) {
                     SecondLevelBtb::remove(btb2, e.addr);
+                    #[cfg(feature = "audit")]
+                    crate::audit::assert_absent(btb2, e.addr, "post-transfer invalidate");
                 } else if VictimPolicy::demote_on_hit(&cfg.exclusivity) {
                     SecondLevelBtb::make_lru(btb2, e.addr);
+                    // §3.3: the transferred copy is made LRU so later
+                    // BTB1 victims replace it first.
+                    #[cfg(feature = "audit")]
+                    crate::audit::assert_lru(btb2, e.addr, "post-transfer demote");
                 }
                 // §6 multi-block transfers: chase one taken-predicted
                 // target out of the block — but never out of a block that
@@ -664,6 +748,7 @@ impl SearchEngine {
     /// Inserts into the BTB1, routing the victim to the BTBP and BTB2
     /// per the exclusivity policy.
     fn insert_btb1(
+        &mut self,
         entry: BtbEntry,
         now: u64,
         cfg: &PredictorConfig,
@@ -672,12 +757,21 @@ impl SearchEngine {
     ) {
         if let Some(victim) = LevelOneStructure::insert(&mut s.btb1, entry, now) {
             bus.bump(Counter::Btb1Victims);
+            #[cfg(feature = "audit")]
+            self.auditor.note_btbp_install();
             s.btbp.insert(victim, now);
             if let Some(phantom) = &mut s.phantom {
                 phantom.record(victim);
             }
             if let Some(btb2) = &mut s.btb2 {
                 VictimPolicy::place_victim(&cfg.exclusivity, btb2, victim, now);
+                // §3.3: an exclusive-policy victim write-back lands in
+                // the BTB2's LRU way and becomes MRU; the inclusive
+                // variant refreshes the resident copy in place instead.
+                #[cfg(feature = "audit")]
+                if !VictimPolicy::refresh_on_use(&cfg.exclusivity) {
+                    crate::audit::assert_mru(btb2, victim.addr, "post-victim write-back");
+                }
             }
         }
     }

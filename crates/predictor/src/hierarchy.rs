@@ -126,6 +126,19 @@ impl BranchPredictor {
         self.engine.advance_transfers(cycle, &self.cfg, &mut self.structures, &mut self.bus);
     }
 
+    /// Runs the end-of-run audit (the `audit` feature): counters
+    /// reconcile with the event stream, the transfer queue is fully
+    /// drained and accounted, and every structure passes a structural
+    /// sweep. Call after the final [`Self::advance_transfers`] drain.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the violated invariant.
+    #[cfg(feature = "audit")]
+    pub fn audit_check(&self) {
+        self.engine.audit_final(&self.structures, &self.bus);
+    }
+
     /// Models a branch preload instruction: software writes prediction
     /// content directly into the BTBP (one of the BTBP's write sources in
     /// Figure 1).

@@ -59,6 +59,8 @@
 
 #![warn(missing_docs)]
 
+#[cfg(any(test, feature = "audit"))]
+pub mod audit;
 pub mod bht;
 pub mod btb;
 pub mod config;
@@ -76,6 +78,8 @@ pub mod miss;
 pub mod phantom;
 pub mod pht;
 pub mod pipeline;
+#[cfg(any(test, feature = "audit"))]
+pub mod shadow;
 pub mod stats;
 pub mod statsbus;
 pub mod steering;

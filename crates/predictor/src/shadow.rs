@@ -1,0 +1,271 @@
+//! A slow, obviously-correct reference BTB for shadow-checking
+//! [`BtbArray`].
+//!
+//! [`BtbArray`] packs all rows into one contiguous slab and implements
+//! recency with slice rotations — fast, but the layout arithmetic is
+//! exactly where an off-by-one would corrupt a *neighbouring* row while
+//! every test of the touched row still passes. [`ShadowBtb`] implements
+//! the same contract with the dumbest possible representation: one
+//! `Vec` per row, MRU at the front, linear scans everywhere. Its
+//! correctness is checkable by inspection, which makes disagreement
+//! with the slab attributable to the slab.
+//!
+//! The differential tests in this module drive both implementations
+//! with identical randomized operation streams (seeded
+//! [`SmallRng`](zbp_support::rng::SmallRng), fully deterministic) and
+//! compare every observable after every operation. They run in the
+//! plain unit suite; the module also builds under the `audit` feature
+//! for external harnesses.
+
+use crate::btb::{BtbArray, BtbGeometry, Hit};
+use crate::entry::BtbEntry;
+use zbp_trace::InstAddr;
+
+/// The reference implementation (see the module docs). Mirrors the
+/// public contract of [`BtbArray`] exactly, including the visibility
+/// clamp on same-address reinserts.
+#[derive(Debug, Clone)]
+pub struct ShadowBtb {
+    geometry: BtbGeometry,
+    /// Row `r` in recency order, most recently used first.
+    rows: Vec<Vec<(BtbEntry, u64)>>,
+}
+
+impl ShadowBtb {
+    /// Creates an empty reference BTB.
+    pub fn new(geometry: BtbGeometry) -> Self {
+        Self { geometry, rows: vec![Vec::new(); geometry.rows as usize] }
+    }
+
+    fn line_of(&self, addr: InstAddr) -> u64 {
+        addr.raw() / u64::from(self.geometry.line_bytes)
+    }
+
+    fn row_of(&self, addr: InstAddr) -> usize {
+        (self.line_of(addr) % u64::from(self.geometry.rows)) as usize
+    }
+
+    /// Exact-tag lookup visible at `now`. Does not affect recency.
+    pub fn lookup(&self, addr: InstAddr, now: u64) -> Option<Hit> {
+        self.rows[self.row_of(addr)]
+            .iter()
+            .enumerate()
+            .find(|(_, (e, vis))| e.addr == addr && *vis <= now)
+            .map(|(i, (e, _))| Hit { entry: *e, recency: i })
+    }
+
+    /// Whether the row covering `addr` holds any entry of the same line
+    /// visible at `now`.
+    pub fn line_has_content(&self, addr: InstAddr, now: u64) -> bool {
+        let line = self.line_of(addr);
+        self.rows[self.row_of(addr)]
+            .iter()
+            .any(|(e, vis)| *vis <= now && self.line_of(e.addr) == line)
+    }
+
+    /// All entries of `line` visible at `now`, in recency order.
+    pub fn entries_in_line(&self, line: u64, now: u64) -> Vec<BtbEntry> {
+        let addr = InstAddr::new(line * u64::from(self.geometry.line_bytes));
+        self.rows[self.row_of(addr)]
+            .iter()
+            .filter(|(e, vis)| *vis <= now && self.line_of(e.addr) == line)
+            .map(|(e, _)| *e)
+            .collect()
+    }
+
+    /// Makes the entry for `addr` most recently used.
+    pub fn make_mru(&mut self, addr: InstAddr) {
+        let r = self.row_of(addr);
+        let row = &mut self.rows[r];
+        if let Some(pos) = row.iter().position(|(e, _)| e.addr == addr) {
+            let slot = row.remove(pos);
+            row.insert(0, slot);
+        }
+    }
+
+    /// Makes the entry for `addr` least recently used.
+    pub fn make_lru(&mut self, addr: InstAddr) {
+        let r = self.row_of(addr);
+        let row = &mut self.rows[r];
+        if let Some(pos) = row.iter().position(|(e, _)| e.addr == addr) {
+            let slot = row.remove(pos);
+            row.push(slot);
+        }
+    }
+
+    /// Inserts (or replaces) an entry as MRU, returning the evicted
+    /// victim if the row overflowed.
+    pub fn insert(&mut self, entry: BtbEntry, visible_at: u64) -> Option<BtbEntry> {
+        let r = self.row_of(entry.addr);
+        let row = &mut self.rows[r];
+        if let Some(pos) = row.iter().position(|(e, _)| e.addr == entry.addr) {
+            // Same clamp as the slab: re-writing an in-flight entry must
+            // not push its visibility into the future.
+            let (_, old_vis) = row.remove(pos);
+            row.insert(0, (entry, visible_at.min(old_vis)));
+            return None;
+        }
+        row.insert(0, (entry, visible_at));
+        if row.len() > self.geometry.ways as usize {
+            return row.pop().map(|(e, _)| e);
+        }
+        None
+    }
+
+    /// Removes and returns the entry for `addr`.
+    pub fn remove(&mut self, addr: InstAddr) -> Option<BtbEntry> {
+        let r = self.row_of(addr);
+        let row = &mut self.rows[r];
+        let pos = row.iter().position(|(e, _)| e.addr == addr)?;
+        Some(row.remove(pos).0)
+    }
+
+    /// Updates an entry in place via `f`; returns whether it was found.
+    pub fn update_entry(&mut self, addr: InstAddr, f: impl FnOnce(&mut BtbEntry)) -> bool {
+        let r = self.row_of(addr);
+        let row = &mut self.rows[r];
+        if let Some((e, _)) = row.iter_mut().find(|(e, _)| e.addr == addr) {
+            f(e);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of entries currently stored.
+    pub fn occupancy(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+
+    /// Removes all entries.
+    pub fn clear(&mut self) {
+        for row in &mut self.rows {
+            row.clear();
+        }
+    }
+}
+
+/// Asserts that `slab` and `shadow` agree on every observable for the
+/// given address universe at the given instant: lookup results (entry
+/// *and* recency rank), line content and per-line entry lists, plus
+/// total occupancy.
+///
+/// # Panics
+///
+/// Panics on the first disagreement, naming the address.
+pub fn assert_equivalent(slab: &BtbArray, shadow: &ShadowBtb, addrs: &[InstAddr], now: u64) {
+    assert_eq!(slab.occupancy(), shadow.occupancy(), "occupancy diverged");
+    let mut line_buf = Vec::new();
+    for &addr in addrs {
+        assert_eq!(slab.lookup(addr, now), shadow.lookup(addr, now), "lookup diverged at {addr:?}");
+        assert_eq!(
+            slab.line_has_content(addr, now),
+            shadow.line_has_content(addr, now),
+            "line content diverged at {addr:?}"
+        );
+        let line = addr.raw() / u64::from(slab.geometry().line_bytes);
+        slab.entries_in_line_into(line, now, &mut line_buf);
+        assert_eq!(
+            line_buf,
+            shadow.entries_in_line(line, now),
+            "line entry list diverged for line {line}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zbp_support::rng::SmallRng;
+    use zbp_trace::BranchKind;
+
+    fn entry(addr: u64, target: u64) -> BtbEntry {
+        BtbEntry::surprise_install(
+            InstAddr::new(addr),
+            InstAddr::new(target),
+            BranchKind::Conditional,
+            true,
+        )
+    }
+
+    /// Drives both implementations with one random op stream over a
+    /// small address universe (heavy row collisions) and checks every
+    /// observable after every operation.
+    fn differential(geometry: BtbGeometry, seed: u64, ops: usize) {
+        let mut slab = BtbArray::new(geometry);
+        let mut shadow = ShadowBtb::new(geometry);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // A universe a few times the capacity, byte-granular so entries
+        // collide within lines as well as across rows.
+        let span = u64::from(geometry.capacity()) * 4 * u64::from(geometry.line_bytes);
+        let addrs: Vec<InstAddr> =
+            (0..128).map(|_| InstAddr::new(rng.random_range(0..span))).collect();
+        for op in 0..ops {
+            let addr = addrs[rng.random_range(0..addrs.len() as u64) as usize];
+            let now = op as u64;
+            match rng.random_range(0..6u32) {
+                0 | 1 => {
+                    // Insert with a visibility up to 8 cycles out.
+                    let e = entry(addr.raw(), rng.random_range(0..span));
+                    let vis = now + rng.random_range(0..8u64);
+                    assert_eq!(slab.insert(e, vis), shadow.insert(e, vis), "insert victim");
+                }
+                2 => {
+                    slab.make_mru(addr);
+                    shadow.make_mru(addr);
+                }
+                3 => {
+                    slab.make_lru(addr);
+                    shadow.make_lru(addr);
+                }
+                4 => {
+                    assert_eq!(slab.remove(addr), shadow.remove(addr), "removed entry");
+                }
+                _ => {
+                    let t = InstAddr::new(rng.random_range(0..span));
+                    let a = slab.update_entry(addr, |e| e.target = t);
+                    let b = shadow.update_entry(addr, |e| e.target = t);
+                    assert_eq!(a, b, "update_entry found");
+                }
+            }
+            assert_equivalent(&slab, &shadow, &addrs, now);
+        }
+        slab.audit_rows("differential");
+        slab.clear();
+        shadow.clear();
+        assert_equivalent(&slab, &shadow, &addrs, ops as u64);
+    }
+
+    #[test]
+    fn slab_matches_reference_on_tiny_geometry() {
+        differential(BtbGeometry::new(4, 2), 0xD1FF, 600);
+    }
+
+    #[test]
+    fn slab_matches_reference_on_single_way_rows() {
+        // ways = 1 exercises the overflow path on nearly every insert.
+        differential(BtbGeometry::new(8, 1), 0xBEEF, 600);
+    }
+
+    #[test]
+    fn slab_matches_reference_on_btbp_like_geometry() {
+        differential(BtbGeometry::new(16, 6), 0xCAFE, 400);
+    }
+
+    #[test]
+    fn visibility_clamp_matches_on_reinsert() {
+        let g = BtbGeometry::new(4, 2);
+        let mut slab = BtbArray::new(g);
+        let mut shadow = ShadowBtb::new(g);
+        let e = entry(0x40, 0x2000);
+        slab.insert(e, 5);
+        shadow.insert(e, 5);
+        // Reinsert with a later visibility: both must keep 5.
+        slab.insert(e, 50);
+        shadow.insert(e, 50);
+        let addrs = [InstAddr::new(0x40)];
+        assert!(slab.lookup(addrs[0], 5).is_some(), "clamped visibility must hold");
+        assert_equivalent(&slab, &shadow, &addrs, 5);
+        assert_equivalent(&slab, &shadow, &addrs, 4);
+    }
+}

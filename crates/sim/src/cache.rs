@@ -130,16 +130,43 @@ impl CellCache {
         self.dir.as_ref().map(|d| d.join(format!("{}.json", key.digest())))
     }
 
-    /// Loads the cached result for `key`, or `None` on a miss. Entries
-    /// whose embedded key string does not match `key` exactly (digest
-    /// collision, truncated write survivor) are treated as misses.
+    /// Loads the cached result for `key`, or `None` on a miss.
+    ///
+    /// Unreadable or unparseable entries (truncated by a crashed writer
+    /// bypassing the atomic rename, bit-rotted on disk) are reported to
+    /// stderr and **deleted**: left in place they would half-parse on
+    /// every resume of every experiment touching the cell, forever. An
+    /// entry whose embedded key string does not match `key` is a digest
+    /// collision — it belongs to a different cell and is left for its
+    /// owner; the load is a silent miss.
     pub fn load(&self, key: &CellKey) -> Option<Json> {
         if !self.read {
             return None;
         }
         let path = self.path_for(key)?;
-        let text = std::fs::read_to_string(path).ok()?;
-        let entry = Json::parse(&text).ok()?;
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+            Err(e) => {
+                eprintln!(
+                    "warning: removing unreadable cache entry {}: {e}; the cell will be recomputed",
+                    path.display()
+                );
+                let _ = std::fs::remove_file(&path);
+                return None;
+            }
+        };
+        let entry = match Json::parse(&text) {
+            Ok(entry) => entry,
+            Err(e) => {
+                eprintln!(
+                    "warning: removing corrupt cache entry {}: {e}; the cell will be recomputed",
+                    path.display()
+                );
+                let _ = std::fs::remove_file(&path);
+                return None;
+            }
+        };
         match entry.get("key") {
             Some(Json::Str(k)) if k == key.as_str() => entry.get("result").cloned(),
             _ => None,
@@ -251,6 +278,41 @@ mod tests {
         assert!(resumed.load(&key(1)).is_some());
         assert!(resumed.load(&key(2)).is_some());
         assert!(resumed.load(&key(3)).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_entry_warns_and_is_deleted() {
+        let dir = tmpdir("truncated");
+        let cache = CellCache::at(&dir);
+        let k = key(9);
+        cache.store(&k, &Json::Num(9.0));
+        // Truncate the entry mid-file, as a crashed writer that bypassed
+        // the atomic rename (or disk corruption) would leave it.
+        let path = dir.join(format!("{}.json", k.digest()));
+        let full = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(cache.load(&k).is_none(), "corrupt entry must read as a miss");
+        assert!(!path.exists(), "corrupt entry must be deleted, not half-parsed forever");
+        // The next run recomputes and re-stores cleanly.
+        cache.store(&k, &Json::Num(9.0));
+        assert_eq!(cache.load(&k), Some(Json::Num(9.0)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn collision_survivor_is_not_deleted() {
+        // A digest collision's entry belongs to the colliding owner:
+        // loading the other cell must miss WITHOUT destroying it.
+        let dir = tmpdir("keepowner");
+        let cache = CellCache::at(&dir);
+        let (a, b) = (key(1), key(2));
+        cache.store(&b, &Json::Num(2.0));
+        let forged = dir.join(format!("{}.json", b.digest()));
+        let as_a = dir.join(format!("{}.json", a.digest()));
+        std::fs::rename(forged, &as_a).unwrap();
+        assert!(cache.load(&a).is_none());
+        assert!(as_a.exists(), "the owner's entry must survive the collision miss");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -17,6 +17,8 @@
 //!   manifests;
 //! * [`cache`] — the content-addressed per-cell result cache that makes
 //!   interrupted grid runs resumable;
+//! * [`fuzz`] — the deterministic differential fuzz harness behind
+//!   `zbp-cli fuzz`, cross-checking every replay path per random cell;
 //! * [`report`] — CPI-improvement math and fixed-width table rendering;
 //! * [`reportgen`] — render saved experiment artifacts into REPORT.md.
 
@@ -25,6 +27,7 @@
 pub mod cache;
 pub mod config;
 pub mod experiments;
+pub mod fuzz;
 pub mod parallel;
 pub mod registry;
 pub mod report;

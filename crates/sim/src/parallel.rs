@@ -30,7 +30,21 @@ pub fn set_worker_cap(cap: Option<usize>) {
 /// dimension alone saturates the workers.
 pub fn max_workers() -> usize {
     let hw = thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
-    match WORKER_CAP.load(Ordering::SeqCst) {
+    effective_workers(hw, WORKER_CAP.load(Ordering::SeqCst))
+}
+
+/// The pure cap arithmetic behind [`max_workers`]: `hw` hardware
+/// threads limited by `cap` (0 = uncapped), never below 1.
+///
+/// Factored out of [`max_workers`] so the policy is testable without
+/// touching the process-global cap: `cargo test` runs a crate's unit
+/// tests concurrently in one process, so a test that mutates
+/// [`set_worker_cap`] races every sibling [`par_map`] test. The global
+/// itself is exercised by the `worker_cap` integration test, which owns
+/// its whole process.
+pub fn effective_workers(hw: usize, cap: usize) -> usize {
+    let hw = hw.max(1);
+    match cap {
         0 => hw,
         cap => hw.min(cap),
     }
@@ -84,11 +98,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn worker_cap_limits_max_workers() {
-        set_worker_cap(Some(1));
-        assert_eq!(max_workers(), 1);
-        set_worker_cap(None);
-        assert!(max_workers() >= 1);
+    fn effective_workers_applies_the_cap() {
+        // Pure function only — mutating the process-global cap here
+        // would race the sibling par_map tests (see effective_workers).
+        assert_eq!(effective_workers(8, 0), 8, "zero cap = uncapped");
+        assert_eq!(effective_workers(8, 3), 3);
+        assert_eq!(effective_workers(2, 16), 2, "cap never raises hw");
+        assert_eq!(effective_workers(0, 0), 1, "never below one worker");
+        assert_eq!(effective_workers(0, 5), 1);
     }
 
     #[test]

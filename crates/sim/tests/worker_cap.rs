@@ -1,0 +1,33 @@
+//! The process-global worker cap, exercised in isolation.
+//!
+//! `set_worker_cap` mutates process-wide state, so this lives in an
+//! integration test binary (its own process) rather than the unit
+//! suite, where it would race the concurrently-running `par_map` tests.
+//! Keep this file to a single `#[test]`: a second test here would share
+//! the process and reintroduce exactly the flake this layout fixes.
+
+use std::collections::HashSet;
+use std::sync::Mutex;
+use zbp_sim::parallel::{max_workers, par_map, set_worker_cap};
+
+#[test]
+fn worker_cap_limits_max_workers_and_par_map() {
+    set_worker_cap(Some(1));
+    assert_eq!(max_workers(), 1);
+
+    // With the cap at 1, par_map must run everything on one thread.
+    let items: Vec<u32> = (0..64).collect();
+    let threads = Mutex::new(HashSet::new());
+    let out = par_map(&items, |&x| {
+        threads.lock().unwrap().insert(std::thread::current().id());
+        x + 1
+    });
+    assert_eq!(out, (1..=64).collect::<Vec<u32>>());
+    assert_eq!(threads.lock().unwrap().len(), 1, "cap of 1 means one worker thread");
+
+    set_worker_cap(Some(2));
+    assert!(max_workers() <= 2);
+
+    set_worker_cap(None);
+    assert!(max_workers() >= 1);
+}

@@ -100,12 +100,22 @@ impl Json {
 }
 
 fn write_num(out: &mut String, n: f64) {
-    if n.is_finite() {
-        // Rust's f64 Display is shortest-roundtrip and never uses an
-        // exponent, so it is always valid JSON.
-        let _ = write!(out, "{n}");
-    } else {
+    if !n.is_finite() {
+        // JSON has no NaN/Infinity literals; degenerate statistics
+        // (e.g. a rate with a zero denominator) render as null rather
+        // than an unparseable token.
         out.push_str("null");
+    } else if n.abs() >= 1e21 {
+        // Rust's f64 Display never uses an exponent: it expands 1e300
+        // to 301 digits. That is still valid JSON but needlessly huge,
+        // so switch to shortest-roundtrip exponent form at the same
+        // magnitude JavaScript's Number#toString does. Every committed
+        // artifact stays below this (counters < 2^53, CPIs ~1), so
+        // golden files are unaffected.
+        let _ = write!(out, "{n:e}");
+    } else {
+        // Shortest-roundtrip decimal form, always a valid JSON number.
+        let _ = write!(out, "{n}");
     }
 }
 
@@ -674,5 +684,41 @@ mod tests {
             assert_eq!(from_str::<u64>(&to_string(&n)).unwrap(), n);
         }
         assert!(from_str::<u64>("1.5").is_err());
+    }
+
+    #[test]
+    fn non_finite_floats_render_as_null() {
+        assert_eq!(to_string(&f64::NAN), "null");
+        assert_eq!(to_string(&f64::INFINITY), "null");
+        assert_eq!(to_string(&f64::NEG_INFINITY), "null");
+        // The rendered form must stay parseable, including nested in a
+        // container (the shape a degenerate rate reaches disk in).
+        let v = Json::parse(&to_string(&vec![1.0, f64::NAN])).unwrap();
+        assert_eq!(v, Json::Arr(vec![Json::Num(1.0), Json::Null]));
+    }
+
+    #[test]
+    fn huge_magnitudes_use_exponent_form_and_roundtrip() {
+        for n in [1e21, -2.5e22, 1e300, f64::MAX, f64::MIN] {
+            let text = to_string(&n);
+            assert!(text.contains('e'), "{n} should render in exponent form, got {text}");
+            assert!(text.len() < 32, "exponent form must stay compact, got {text}");
+            assert_eq!(from_str::<f64>(&text).unwrap(), n, "round-trip of {n}");
+        }
+    }
+
+    #[test]
+    fn ordinary_magnitudes_stay_in_plain_decimal() {
+        // Everything the artifacts serialize sits far below the 1e21
+        // exponent cutover (counters < 2^53, CPIs near 1), so committed
+        // goldens keep their existing plain-decimal rendering.
+        for (n, want) in [(42.0, "42"), (0.5, "0.5"), (-3.25, "-3.25"), (9e15, "9000000000000000")]
+        {
+            assert_eq!(to_string(&n), want);
+        }
+        let below_cutover = 9.9e20;
+        let text = to_string(&below_cutover);
+        assert!(!text.contains('e'), "below 1e21 stays plain, got {text}");
+        assert_eq!(from_str::<f64>(&text).unwrap(), below_cutover);
     }
 }

@@ -147,6 +147,50 @@ impl CoreModel {
         self.finish(trace.name())
     }
 
+    /// Like [`Self::run`], invoking `observe` after every retired branch
+    /// instruction. Branch points are the only stream positions both the
+    /// record and the compact replay visit one-by-one, which makes them
+    /// the alignment points of the differential oracle
+    /// ([`crate::oracle`]); the hot [`Self::run`] path stays free of the
+    /// callback.
+    pub fn run_observed<T: Trace>(
+        mut self,
+        trace: &T,
+        mut observe: impl FnMut(&CoreModel),
+    ) -> CoreResult {
+        for instr in trace.iter() {
+            let retired_branch = !instr.wrong_path && instr.branch.is_some();
+            self.step(&instr);
+            if retired_branch {
+                observe(&self);
+            }
+        }
+        self.finish(trace.name())
+    }
+
+    /// Like [`Self::run_compact`], invoking `observe` after every branch
+    /// instruction (see [`Self::run_observed`]). Non-branch terminating
+    /// points (stream discontinuities) are not observed — the record
+    /// path cannot distinguish them from run interiors.
+    pub fn run_compact_observed(
+        mut self,
+        trace: &CompactTrace,
+        mut observe: impl FnMut(&CoreModel),
+    ) -> CoreResult {
+        let mut cursor = trace.segments();
+        while let Some(run) = cursor.next_run() {
+            let end = self.step_run(trace, &run);
+            if let Some(instr) = cursor.finish_run(end) {
+                let retired_branch = !instr.wrong_path && instr.branch.is_some();
+                self.step(&instr);
+                if retired_branch {
+                    observe(&self);
+                }
+            }
+        }
+        self.finish(trace.name())
+    }
+
     /// Executes one instruction.
     pub fn step(&mut self, instr: &TraceInstr) {
         if instr.wrong_path {
@@ -381,6 +425,8 @@ impl CoreModel {
     /// Finalizes the run.
     pub fn finish(mut self, name: &str) -> CoreResult {
         self.predictor.advance_transfers(u64::MAX);
+        #[cfg(feature = "audit")]
+        self.predictor.audit_check();
         let bus = self.predictor.bus();
         let icache = ICacheStats {
             demand_misses: bus.get(Counter::IcacheDemandMisses),
@@ -415,6 +461,11 @@ impl CoreModel {
     /// Current cycle.
     pub fn cycle(&self) -> u64 {
         self.cycle as u64
+    }
+
+    /// Instructions retired so far.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
     }
 }
 

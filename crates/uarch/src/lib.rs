@@ -16,6 +16,7 @@ pub mod cache;
 pub mod classify;
 pub mod config;
 pub mod core;
+pub mod oracle;
 pub mod penalty;
 
 pub use config::UarchConfig;

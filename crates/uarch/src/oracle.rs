@@ -1,0 +1,243 @@
+//! The differential replay oracle: per-branch cross-checking of the
+//! record and compact replay paths.
+//!
+//! The repo carries two replay paths — per-record [`CoreModel::run`]
+//! and run-batched [`CoreModel::run_compact`] — whose equivalence the
+//! regression suite previously asserted only at the final-artifact
+//! level. A final [`CoreResult`] comparison can miss transient
+//! divergence that happens to cancel, and when it does fire it says
+//! nothing about *where* the paths parted. This oracle replays a trace
+//! through both paths, snapshots the full observable model state after
+//! every retired branch (the alignment points both paths visit
+//! one-by-one), and reports the **first** branch at which any
+//! observable differs.
+//!
+//! Always compiled (no feature gate): the oracle is itself driven by
+//! the `zbp-cli fuzz` harness and by unit tests, and costs nothing
+//! unless called.
+
+use crate::config::UarchConfig;
+use crate::core::{CoreModel, CoreResult};
+use std::fmt;
+use zbp_predictor::{PredictorConfig, PredictorStats};
+use zbp_trace::compact::CompactTrace;
+use zbp_trace::{InstAddr, Trace};
+
+/// Full observable model state at one branch point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BranchSnapshot {
+    /// Core cycle after the branch was charged.
+    pub cycle: u64,
+    /// Instructions retired so far.
+    pub instructions: u64,
+    /// Predictor engine clock.
+    pub engine_cycle: u64,
+    /// Lookahead search address.
+    pub search_addr: InstAddr,
+    /// The merged predictor counter block (bus + substructures).
+    pub predictor: PredictorStats,
+}
+
+impl BranchSnapshot {
+    /// Captures the observables of `model` at the current instant.
+    pub fn capture(model: &CoreModel) -> Self {
+        let p = model.predictor();
+        Self {
+            cycle: model.cycle(),
+            instructions: model.instructions(),
+            engine_cycle: p.engine_cycle(),
+            search_addr: p.search_addr(),
+            predictor: p.stats_snapshot(),
+        }
+    }
+
+    /// Names the observables that differ between `self` and `other`
+    /// (empty when equal).
+    pub fn diff_fields(&self, other: &Self) -> Vec<&'static str> {
+        let mut fields = Vec::new();
+        if self.cycle != other.cycle {
+            fields.push("cycle");
+        }
+        if self.instructions != other.instructions {
+            fields.push("instructions");
+        }
+        if self.engine_cycle != other.engine_cycle {
+            fields.push("engine_cycle");
+        }
+        if self.search_addr != other.search_addr {
+            fields.push("search_addr");
+        }
+        if self.predictor != other.predictor {
+            fields.push("predictor_stats");
+        }
+        fields
+    }
+}
+
+/// How the two replay paths disagreed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Divergence {
+    /// Branch `index` (0-based, in retirement order) produced different
+    /// observable state.
+    AtBranch {
+        /// 0-based retirement index of the first diverging branch.
+        index: usize,
+        /// State the record replay observed.
+        record: Box<BranchSnapshot>,
+        /// State the compact replay observed.
+        compact: Box<BranchSnapshot>,
+    },
+    /// The paths visited a different number of branch points.
+    BranchCount {
+        /// Branches the record replay retired.
+        record: usize,
+        /// Branches the compact replay retired.
+        compact: usize,
+    },
+    /// Every per-branch snapshot matched but the final results differ
+    /// (end-of-run drain or finalization divergence).
+    FinalResult {
+        /// Result of the record replay.
+        record: Box<CoreResult>,
+        /// Result of the compact replay.
+        compact: Box<CoreResult>,
+    },
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Divergence::AtBranch { index, record, compact } => {
+                write!(
+                    f,
+                    "replay paths diverged at branch #{index}: {:?} differ \
+                     (record: cycle={} engine={} search={:?}; \
+                     compact: cycle={} engine={} search={:?})",
+                    record.diff_fields(compact),
+                    record.cycle,
+                    record.engine_cycle,
+                    record.search_addr,
+                    compact.cycle,
+                    compact.engine_cycle,
+                    compact.search_addr,
+                )
+            }
+            Divergence::BranchCount { record, compact } => {
+                write!(f, "branch-point count diverged: record saw {record}, compact {compact}")
+            }
+            Divergence::FinalResult { record, compact } => {
+                write!(
+                    f,
+                    "per-branch states matched but final results differ \
+                     (record: {} cycles / {} instructions; compact: {} cycles / {} instructions)",
+                    record.cycles, record.instructions, compact.cycles, compact.instructions,
+                )
+            }
+        }
+    }
+}
+
+/// Replays `trace` through both paths with per-branch cross-checking.
+///
+/// The record path runs first, collecting a snapshot after every
+/// retired branch; the compact path then replays the captured
+/// [`CompactTrace`] and every snapshot is compared in retirement order.
+/// Returns the (identical) record result on agreement, or the first
+/// [`Divergence`] otherwise.
+///
+/// # Errors
+///
+/// [`Divergence`] describes the first disagreement between the paths.
+///
+/// # Panics
+///
+/// Panics if the trace is not compact-encodable (the synthetic
+/// workload generators always are).
+pub fn diff_replay<T: Trace>(
+    trace: &T,
+    ucfg: UarchConfig,
+    pcfg: &PredictorConfig,
+) -> Result<CoreResult, Divergence> {
+    let compact_trace = CompactTrace::capture(trace).expect("trace must be compact-encodable");
+
+    let mut record_snaps = Vec::new();
+    let record_result = CoreModel::new(ucfg, pcfg.clone())
+        .run_observed(trace, |m| record_snaps.push(BranchSnapshot::capture(m)));
+
+    let mut divergence = None;
+    let mut compact_count = 0usize;
+    let compact_result =
+        CoreModel::new(ucfg, pcfg.clone()).run_compact_observed(&compact_trace, |m| {
+            let index = compact_count;
+            compact_count += 1;
+            if divergence.is_some() {
+                return;
+            }
+            let compact = BranchSnapshot::capture(m);
+            match record_snaps.get(index) {
+                Some(record) if *record != compact => {
+                    divergence = Some(Divergence::AtBranch {
+                        index,
+                        record: Box::new(record.clone()),
+                        compact: Box::new(compact),
+                    });
+                }
+                _ => {}
+            }
+        });
+
+    if let Some(d) = divergence {
+        return Err(d);
+    }
+    if compact_count != record_snaps.len() {
+        return Err(Divergence::BranchCount { record: record_snaps.len(), compact: compact_count });
+    }
+    if compact_result != record_result {
+        return Err(Divergence::FinalResult {
+            record: Box::new(record_result),
+            compact: Box::new(compact_result),
+        });
+    }
+    Ok(record_result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zbp_trace::profile::WorkloadProfile;
+
+    #[test]
+    fn replay_paths_agree_on_synthetic_workloads() {
+        for profile in [WorkloadProfile::tpf_airline(), WorkloadProfile::zos_lspr_cb84()] {
+            let trace = profile.build_with_len(0xEC12, 20_000);
+            let r = diff_replay(&trace, UarchConfig::zec12(), &PredictorConfig::zec12())
+                .unwrap_or_else(|d| panic!("{}: {d}", trace.name()));
+            assert_eq!(r.instructions, 20_000);
+        }
+    }
+
+    #[test]
+    fn replay_paths_agree_without_a_btb2() {
+        let trace = WorkloadProfile::tpf_airline().build_with_len(7, 15_000);
+        let cfg = PredictorConfig::no_btb2();
+        diff_replay(&trace, UarchConfig::zec12(), &cfg).unwrap_or_else(|d| panic!("{d}"));
+    }
+
+    #[test]
+    fn snapshot_diffs_name_the_diverged_field() {
+        let trace = WorkloadProfile::tpf_airline().build_with_len(3, 5_000);
+        let model = CoreModel::new(UarchConfig::zec12(), PredictorConfig::zec12());
+        let mut snap = None;
+        model.run_observed(&trace, |m| {
+            if snap.is_none() {
+                snap = Some(BranchSnapshot::capture(m));
+            }
+        });
+        let a = snap.expect("trace has branches");
+        assert!(a.diff_fields(&a).is_empty());
+        let mut b = a.clone();
+        b.cycle += 1;
+        b.engine_cycle += 1;
+        assert_eq!(a.diff_fields(&b), vec!["cycle", "engine_cycle"]);
+    }
+}

@@ -36,6 +36,8 @@ COMMANDS:
     compare                       run all three Table-3 configurations on one workload
     analyze                       branch reuse-distance profile vs the BTB capacities
     report                        render results/*.json into results/REPORT.md
+    fuzz                          differential fuzz: random cells through the
+                                  record/compact/cached/fresh paths, diffed per branch
     experiment list               list the registered experiments
     experiment run <ID>           run an experiment (resumes from the cell cache;
                                   --fresh recomputes every cell)
@@ -49,7 +51,8 @@ OPTIONS:
     --config <no-btb2|btb2|large-btb1>   configuration for `run` (default: btb2)
     --len <N>                     dynamic instruction count (default: profile default)
     --seed <N>                    workload synthesis seed, decimal or 0x-hex
-                                  (default: 0xEC12)
+                                  (default: 0xEC12); for `fuzz`, the run seed
+    --cells <N>                   number of fuzz cells to run (default: 100)
     --workers <N>                 cap the parallel fan-out
     --cache-dir <DIR>             cell-cache directory (default: results/cache)
     --resume                      read cached cells (default for `experiment run`)
@@ -59,16 +62,17 @@ Environment: ZBP_TRACE_LEN, ZBP_SEED, ZBP_WORKERS, ZBP_CACHE_DIR and
 ZBP_RESULTS_DIR are read first; command-line flags override them.
 ";
 
-const COMMANDS: [&str; 9] =
-    ["list", "gen", "stats", "run", "compare", "analyze", "report", "experiment", "help"];
+const COMMANDS: [&str; 10] =
+    ["list", "gen", "stats", "run", "compare", "analyze", "report", "fuzz", "experiment", "help"];
 
-const FLAGS: [&str; 10] = [
+const FLAGS: [&str; 11] = [
     "--profile",
     "--in",
     "--out",
     "--config",
     "--len",
     "--seed",
+    "--cells",
     "--workers",
     "--cache-dir",
     "--resume",
@@ -86,6 +90,7 @@ struct Args {
     config: Option<String>,
     len: Option<u64>,
     seed: Option<u64>,
+    cells: Option<u64>,
     workers: Option<usize>,
     cache_dir: Option<String>,
     fresh: bool,
@@ -132,6 +137,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--len" => args.len = Some(value()?.parse().map_err(|e| format!("--len: {e}"))?),
             "--seed" => {
                 args.seed = Some(parse_seed(&value()?).map_err(|e| format!("--seed: {e}"))?)
+            }
+            "--cells" => {
+                let n: u64 = value()?.parse().map_err(|e| format!("--cells: {e}"))?;
+                if n == 0 {
+                    return Err("--cells: must be at least 1".into());
+                }
+                args.cells = Some(n);
             }
             "--workers" => {
                 let n: usize = value()?.parse().map_err(|e| format!("--workers: {e}"))?;
@@ -346,6 +358,26 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_fuzz(args: &Args) -> Result<(), String> {
+    if let Some(n) = args.workers {
+        zbp::sim::parallel::set_worker_cap(Some(n));
+    }
+    let seed = args.seed.unwrap_or(0xEC12);
+    let cells = args.cells.unwrap_or(100);
+    let audit = if cfg!(feature = "audit") { "on" } else { "off" };
+    println!("fuzzing {cells} cells from seed {seed:#018x} (structure audit: {audit})");
+    let report = zbp::sim::fuzz::run(seed, cells);
+    for line in report.render_lines() {
+        println!("{line}");
+    }
+    let failed = report.failures().len();
+    if failed == 0 {
+        Ok(())
+    } else {
+        Err(format!("{failed} of {cells} fuzz cells failed (see reproducers above)"))
+    }
+}
+
 // ---------------------------------------------------------------------------
 // experiment subcommands
 // ---------------------------------------------------------------------------
@@ -514,6 +546,7 @@ fn main() -> ExitCode {
         "report" => zbp::sim::reportgen::write_report(&results_dir()).map(|p| {
             println!("wrote {}", p.display());
         }),
+        "fuzz" => cmd_fuzz(&args),
         "experiment" => cmd_experiment(&args),
         other => {
             let hint = registry::closest(other, COMMANDS)
@@ -589,6 +622,18 @@ mod tests {
     fn seed_accepts_hex() {
         let a = parse_args(&argv("run --seed 0xEC12")).unwrap();
         assert_eq!(a.seed, Some(0xEC12));
+    }
+
+    #[test]
+    fn fuzz_takes_seed_and_cells() {
+        let a = parse_args(&argv("fuzz --seed 0x2b --cells 7")).unwrap();
+        assert_eq!(a.command, "fuzz");
+        assert_eq!(a.seed, Some(0x2b));
+        assert_eq!(a.cells, Some(7));
+        let a = parse_args(&argv("fuzz")).unwrap();
+        assert_eq!(a.cells, None, "cell count defaults at dispatch, not parse");
+        assert!(parse_args(&argv("fuzz --cells 0")).is_err());
+        assert!(parse_args(&argv("fuzz --cells many")).is_err());
     }
 
     #[test]
