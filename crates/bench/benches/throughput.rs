@@ -94,15 +94,15 @@ struct ThroughputReport {
     /// End-to-end wall-clock of the regenerate-per-cell baseline.
     baseline_total_s: f64,
     /// Wall-clock of the same grid measured with the pre-PR binary on
-    /// the same machine (`ZBP_BENCH_PREPR_S`, seconds); `0` when not
-    /// supplied. Unlike `baseline_total_s` — which isolates the sharing
-    /// win inside the *current* binary — this captures the full PR
-    /// (sharing + per-step simulator work), because simulator
-    /// optimizations speed the in-binary baseline up equally.
-    prepr_total_s: f64,
+    /// the same machine (`ZBP_BENCH_PREPR_S`, seconds); `None` when no
+    /// prior revision was measured. Unlike `baseline_total_s` — which
+    /// isolates the sharing win inside the *current* binary — this
+    /// captures the full PR (sharing + per-step simulator work), because
+    /// simulator optimizations speed the in-binary baseline up equally.
+    prepr_total_s: Option<f64>,
     /// Commit the pre-PR measurement was taken at (`ZBP_BENCH_PREPR_REV`,
-    /// empty when not supplied).
-    prepr_rev: String,
+    /// `None` when not supplied).
+    prepr_rev: Option<String>,
     /// Record-capture throughput (million instructions/second).
     generate_mips: f64,
     /// Compact-encode throughput (MIPS over generated instructions).
@@ -118,9 +118,9 @@ struct ThroughputReport {
     /// Wall-clock speedup of shared over the in-binary regenerate
     /// baseline (always reproducible from this harness alone).
     speedup: f64,
-    /// Wall-clock speedup of shared over the pre-PR binary; `0` when no
-    /// `ZBP_BENCH_PREPR_S` measurement was supplied.
-    speedup_vs_prepr: f64,
+    /// Wall-clock speedup of shared over the pre-PR binary; `None` when
+    /// no `ZBP_BENCH_PREPR_S` measurement was supplied.
+    speedup_vs_prepr: Option<f64>,
 }
 
 zbp_support::impl_json_struct!(ThroughputReport {
@@ -292,9 +292,11 @@ fn main() {
     // with the pre-PR binary (see scripts/bench_throughput.sh) and pass
     // the wall via ZBP_BENCH_PREPR_S (+ the commit via
     // ZBP_BENCH_PREPR_REV) to record the full before/after.
-    let prepr_total_s: f64 =
-        std::env::var("ZBP_BENCH_PREPR_S").ok().and_then(|s| s.parse().ok()).unwrap_or(0.0);
-    let prepr_rev = std::env::var("ZBP_BENCH_PREPR_REV").unwrap_or_default();
+    let prepr_total_s: Option<f64> = std::env::var("ZBP_BENCH_PREPR_S")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&s: &f64| s > 0.0);
+    let prepr_rev = std::env::var("ZBP_BENCH_PREPR_REV").ok().filter(|s| !s.is_empty());
 
     let generated_unix = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -327,11 +329,7 @@ fn main() {
         shared_mips: mips(replay_instructions, shared_total_s),
         baseline_mips: mips(replay_instructions, baseline_total_s),
         speedup: baseline_total_s / shared_total_s.max(1e-9),
-        speedup_vs_prepr: if prepr_total_s > 0.0 {
-            prepr_total_s / shared_total_s.max(1e-9)
-        } else {
-            0.0
-        },
+        speedup_vs_prepr: prepr_total_s.map(|p| p / shared_total_s.max(1e-9)),
     };
 
     let rows = vec![
@@ -380,11 +378,11 @@ fn main() {
         report.record_bytes_per_instr / report.compact_bytes_per_instr.max(1e-9)
     );
     println!("speedup (regenerate / shared): {:.2}x", report.speedup);
-    if report.prepr_total_s > 0.0 {
+    if let Some(speedup_vs_prepr) = report.speedup_vs_prepr {
         println!(
             "speedup (pre-PR {} / shared): {:.2}x",
-            if report.prepr_rev.is_empty() { "binary" } else { &report.prepr_rev },
-            report.speedup_vs_prepr
+            report.prepr_rev.as_deref().unwrap_or("binary"),
+            speedup_vs_prepr
         );
     }
 

@@ -1,6 +1,7 @@
 //! Predictor configuration and the paper's three simulated setups.
 
 use crate::btb::BtbGeometry;
+use crate::direction::DirectionConfig;
 use crate::exclusive::ExclusivityPolicy;
 use crate::miss::MissDetection;
 use crate::phantom::PhantomConfig;
@@ -40,6 +41,9 @@ pub struct PredictorConfig {
     pub steering: bool,
     /// BTB1/BTB2 content management policy (§3.3).
     pub exclusivity: ExclusivityPolicy,
+    /// Direction-prediction backend (the paper's PHT/CTB stack by
+    /// default; see [`crate::direction`] for the alternatives).
+    pub direction: DirectionConfig,
     /// Pattern history table entries.
     pub pht_entries: usize,
     /// Changing target buffer entries.
@@ -77,6 +81,7 @@ impl PredictorConfig {
             filter_mode: FilterMode::Partial,
             steering: true,
             exclusivity: ExclusivityPolicy::SemiExclusive,
+            direction: DirectionConfig::Paper,
             pht_entries: 4096,
             ctb_entries: 2048,
             fit_entries: 64,
@@ -113,6 +118,13 @@ impl PredictorConfig {
             assert!(rows.is_power_of_two(), "BTB2 rows must be a power of two");
             Some(BtbGeometry::new(rows, ways))
         };
+        self
+    }
+
+    /// Same configuration with a different direction backend.
+    #[must_use]
+    pub fn with_direction(mut self, direction: DirectionConfig) -> Self {
+        self.direction = direction;
         self
     }
 
@@ -200,6 +212,7 @@ zbp_support::impl_json_struct!(PredictorConfig {
     filter_mode,
     steering,
     exclusivity,
+    direction,
     pht_entries,
     ctb_entries,
     fit_entries,

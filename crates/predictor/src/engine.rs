@@ -16,24 +16,21 @@
 
 use std::collections::VecDeque;
 
-use crate::bht::SurpriseBht;
 use crate::btb::BtbArray;
 use crate::config::PredictorConfig;
-use crate::ctb::Ctb;
+use crate::direction::DirectionBackend;
 use crate::entry::BtbEntry;
 use crate::events::{PredSource, Prediction, PredictorEvent};
 use crate::fit::Fit;
-use crate::history::PathHistory;
 use crate::miss::MissDetector;
 use crate::phantom::PhantomBtb;
-use crate::pht::Pht;
 use crate::pipeline::TakenClass;
 use crate::statsbus::{Counter, Sample, StatsBus};
 use crate::steering::OrderingTable;
 use crate::tracker::{SearchKind, SearchRequest, TrackerFile};
 use crate::traits::{
-    DirectionOverride, LevelOneStructure, SecondLevelBtb, SequentialSteering, SteeringPolicy,
-    VictimPolicy,
+    DirectionPredictor, LevelOneStructure, SecondLevelBtb, SequentialSteering, SteeringPolicy,
+    TrainingContext, VictimPolicy,
 };
 use crate::transfer::TransferEngine;
 use zbp_trace::addr::{BLOCK_BYTES, LINE_BYTES, SECTOR_BYTES};
@@ -49,16 +46,12 @@ pub struct Structures {
     pub btbp: BtbArray,
     /// The bulk second level, when configured.
     pub btb2: Option<BtbArray>,
-    /// Path-indexed direction override.
-    pub pht: Pht,
-    /// Path-indexed target override.
-    pub ctb: Ctb,
+    /// The configured direction backend: direction decisions, target
+    /// overrides, the surprise BHT and the path history all live behind
+    /// [`DirectionPredictor`].
+    pub direction: DirectionBackend,
     /// Fast index table (accelerated taken re-index).
     pub fit: Fit,
-    /// Tagless static-guess table for surprise branches.
-    pub surprise_bht: SurpriseBht,
-    /// Global path history feeding the PHT/CTB indices.
-    pub history: PathHistory,
     /// Perceived-miss trackers (§3.5 filter).
     pub trackers: TrackerFile,
     /// The BTB2 row-transfer engine.
@@ -76,11 +69,8 @@ impl Structures {
             btb1: BtbArray::new(cfg.btb1),
             btbp: BtbArray::new(cfg.btbp),
             btb2: cfg.btb2.map(BtbArray::new),
-            pht: Pht::new(cfg.pht_entries),
-            ctb: Ctb::new(cfg.ctb_entries),
+            direction: DirectionBackend::new(cfg),
             fit: Fit::new(cfg.fit_entries),
-            surprise_bht: SurpriseBht::new(cfg.surprise_bht_entries),
-            history: PathHistory::new(),
             trackers: TrackerFile::new(cfg.trackers, cfg.filter_mode, cfg.timing.miss_to_btb2),
             transfer: TransferEngine::new(cfg.timing.btb2_latency),
             ordering: OrderingTable::new(cfg.ordering_entries, cfg.ordering_ways),
@@ -325,7 +315,7 @@ impl SearchEngine {
                     .map(|h| (h, PredSource::Btbp))
             });
 
-        let static_guess = s.surprise_bht.guess(addr, branch.kind);
+        let static_guess = s.direction.static_guess(addr, branch.kind);
 
         let Some((hit, source)) = hit else {
             // Surprise: this row search found nothing.
@@ -341,43 +331,21 @@ impl SearchEngine {
                 ready_cycle: u64::MAX,
                 in_time: false,
                 static_guess_taken: static_guess,
-                used_pht: false,
+                used_dir: false,
                 used_ctb: false,
             };
         };
 
         let entry = hit.entry;
-        // Direction: bimodal, possibly overridden by the PHT.
-        let bht_dir = entry.bht_taken();
-        let mut taken = bht_dir;
-        let mut used_pht = false;
-        if entry.use_pht {
-            let idx = s.history.pht_index(DirectionOverride::entries(&s.pht));
-            if let Some(dir) = DirectionOverride::lookup(&s.pht, idx, PathHistory::tag_for(addr)) {
-                used_pht = true;
-                if dir != bht_dir {
-                    bus.bump(Counter::PhtOverrides);
-                }
-                taken = dir;
-            }
-        }
+        // Direction: decided by the configured backend.
+        let decision = s.direction.predict(&entry, addr, bus);
+        let mut taken = decision.taken;
         if !branch.kind.is_conditional() {
             // Opcode-unconditional kinds always redirect.
             taken = true;
         }
-        // Target: the entry's, possibly overridden by the CTB.
-        let mut target = entry.target;
-        let mut used_ctb = false;
-        if entry.use_ctb {
-            let idx = s.history.ctb_index(DirectionOverride::entries(&s.ctb));
-            if let Some(t) = DirectionOverride::lookup(&s.ctb, idx, PathHistory::tag_for(addr)) {
-                used_ctb = true;
-                if t != entry.target {
-                    bus.bump(Counter::CtbOverrides);
-                }
-                target = t;
-            }
-        }
+        // Target: the entry's, possibly overridden by the shared CTB.
+        let (target, used_ctb) = s.direction.target_override(&entry, addr, bus);
 
         // Table 1 throughput accounting.
         let cost = if taken {
@@ -452,7 +420,7 @@ impl SearchEngine {
             ready_cycle,
             in_time,
             static_guess_taken: static_guess,
-            used_pht,
+            used_dir: decision.used_dir,
             used_ctb,
         }
     }
@@ -470,9 +438,8 @@ impl SearchEngine {
     ) {
         let addr = instr.addr;
         let branch = instr.branch.expect("resolve requires a branch instruction");
-        let tag = PathHistory::tag_for(addr);
 
-        s.surprise_bht.update(addr, branch.taken);
+        s.direction.begin_resolve(addr, branch.taken);
 
         if pred.present() {
             // The entry may live in the BTB1 (possibly just promoted) or
@@ -498,21 +465,20 @@ impl SearchEngine {
             if !LevelOneStructure::update_entry(&mut s.btb1, addr, &mut update) {
                 LevelOneStructure::update_entry(&mut s.btbp, addr, &mut update);
             }
-            // Indices folded against the pre-branch history (`history.push`
-            // below has not run yet), computed only on the training paths —
-            // most branches train neither table, and the folds are the
-            // costliest part of resolution.
-            if bht_mispredicted || pred.used_pht {
-                let pht_idx = s.history.pht_index(DirectionOverride::entries(&s.pht));
-                DirectionOverride::train(&mut s.pht, pht_idx, tag, branch.taken, bht_mispredicted);
-            }
-            if branch.taken
-                && (target_mispredicted || pred.used_ctb)
-                && branch.kind.has_changing_target()
-            {
-                let ctb_idx = s.history.ctb_index(DirectionOverride::entries(&s.ctb));
-                DirectionOverride::train(&mut s.ctb, ctb_idx, tag, branch.target, false);
-            }
+            // The backend trains against the pre-branch history
+            // (`finish_resolve` below has not pushed yet).
+            let cx = TrainingContext {
+                addr,
+                taken: branch.taken,
+                target: branch.target,
+                kind: branch.kind,
+                bht_mispredicted,
+                target_mispredicted,
+                used_dir: pred.used_dir,
+                used_ctb: pred.used_ctb,
+            };
+            s.direction.train(&cx, bus);
+            s.direction.train_target(&cx);
         } else if branch.taken {
             // Surprise install: only ever-taken branches enter the
             // hierarchy. Written to both the BTBP and the BTB2.
@@ -530,7 +496,7 @@ impl SearchEngine {
             }
         }
 
-        s.history.push(addr, branch.taken);
+        s.direction.finish_resolve(addr, branch.taken, branch.kind, bus);
     }
 
     /// Reports an L1 I-cache miss for the fetch of `addr` (the §3.5

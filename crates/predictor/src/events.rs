@@ -111,8 +111,9 @@ pub struct Prediction {
     pub in_time: bool,
     /// Static guess used if this branch surprises the front end.
     pub static_guess_taken: bool,
-    /// Whether the PHT supplied the direction.
-    pub used_pht: bool,
+    /// Whether a backend direction structure beyond the entry's bimodal
+    /// state supplied the direction (the PHT, under the paper backend).
+    pub used_dir: bool,
     /// Whether the CTB supplied the target.
     pub used_ctb: bool,
 }

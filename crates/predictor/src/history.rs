@@ -173,4 +173,98 @@ mod tests {
             PathHistory::tag_for(InstAddr::new(0x1002))
         );
     }
+
+    // --- fold-path properties (TAGE rides on the same histories) ---
+
+    use zbp_support::rng::SmallRng;
+
+    /// Eager reference model: the complete push log, folded from scratch
+    /// on every query instead of through the circular buffer.
+    struct EagerHistory {
+        dirs: Vec<bool>,
+        /// All taken addresses ever pushed, oldest first, behind the
+        /// implicit zeros a fresh circular buffer starts with.
+        taken: Vec<u64>,
+    }
+
+    impl EagerHistory {
+        fn new() -> Self {
+            Self { dirs: Vec::new(), taken: vec![0; CTB_ADDR_DEPTH] }
+        }
+
+        fn push(&mut self, addr: InstAddr, taken: bool) {
+            self.dirs.push(taken);
+            if taken {
+                self.taken.push(addr.raw());
+            }
+        }
+
+        fn dirs_bits(&self) -> u16 {
+            let tail = self.dirs.len().saturating_sub(DIR_DEPTH as usize);
+            self.dirs[tail..].iter().fold(0u16, |acc, &t| (acc << 1) | u16::from(t))
+        }
+
+        fn fold(&self, depth: usize) -> u64 {
+            let mut h = 0u64;
+            for &a in self.taken.iter().rev().take(depth) {
+                h = h.rotate_left(7).wrapping_add((a >> 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            }
+            h
+        }
+
+        fn pht_index(&self, entries: usize) -> usize {
+            let mix = self.fold(PHT_ADDR_DEPTH) ^ u64::from(self.dirs_bits());
+            (mix ^ (mix >> 17)) as usize & (entries - 1)
+        }
+
+        fn ctb_index(&self, entries: usize) -> usize {
+            let mix = self.fold(CTB_ADDR_DEPTH);
+            (mix ^ (mix >> 13)) as usize & (entries - 1)
+        }
+    }
+
+    #[test]
+    fn lazy_circular_fold_matches_an_eager_log_fold() {
+        let mut rng = SmallRng::seed_from_u64(0x417);
+        for _ in 0..64 {
+            let mut lazy = PathHistory::new();
+            let mut eager = EagerHistory::new();
+            for _ in 0..rng.random_range(1usize..200) {
+                let addr = InstAddr::new(rng.random_range(0u64..1 << 40) & !1);
+                let taken = rng.random::<bool>();
+                lazy.push(addr, taken);
+                eager.push(addr, taken);
+                assert_eq!(lazy.dirs(), eager.dirs_bits());
+                assert_eq!(lazy.pht_index(4096), eager.pht_index(4096));
+                assert_eq!(lazy.pht_index(256), eager.pht_index(256));
+                assert_eq!(lazy.ctb_index(2048), eager.ctb_index(2048));
+                assert_eq!(lazy.ctb_index(64), eager.ctb_index(64));
+            }
+        }
+    }
+
+    #[test]
+    fn wraparound_forgets_everything_beyond_maximum_depth() {
+        // Two histories sharing only the last CTB_ADDR_DEPTH taken
+        // branches (which, all taken, also fill the DIR_DEPTH direction
+        // bits) must be indistinguishable no matter what random prefix
+        // preceded one of them: the circular buffer has wrapped past it.
+        let mut rng = SmallRng::seed_from_u64(0x418);
+        for _ in 0..64 {
+            let mut with_prefix = PathHistory::new();
+            for _ in 0..rng.random_range(0usize..300) {
+                let addr = InstAddr::new(rng.random_range(0u64..1 << 40) & !1);
+                with_prefix.push(addr, rng.random::<bool>());
+            }
+            let mut fresh = PathHistory::new();
+            for _ in 0..CTB_ADDR_DEPTH {
+                let addr = InstAddr::new(rng.random_range(0u64..1 << 40) & !1);
+                with_prefix.push(addr, true);
+                fresh.push(addr, true);
+            }
+            assert_eq!(with_prefix.dirs(), fresh.dirs());
+            assert_eq!(with_prefix.pht_index(4096), fresh.pht_index(4096));
+            assert_eq!(with_prefix.ctb_index(2048), fresh.ctb_index(2048));
+        }
+    }
 }

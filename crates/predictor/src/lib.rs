@@ -65,6 +65,7 @@ pub mod bht;
 pub mod btb;
 pub mod config;
 pub mod ctb;
+pub mod direction;
 pub mod engine;
 pub mod entry;
 pub mod events;
@@ -83,11 +84,13 @@ pub mod shadow;
 pub mod stats;
 pub mod statsbus;
 pub mod steering;
+pub mod tage;
 pub mod tracker;
 pub mod traits;
 pub mod transfer;
 
 pub use config::PredictorConfig;
+pub use direction::{DirectionBackend, DirectionConfig};
 pub use entry::BtbEntry;
 pub use events::{PredSource, Prediction, PredictorEvent};
 pub use hierarchy::BranchPredictor;

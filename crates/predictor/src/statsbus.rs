@@ -69,10 +69,17 @@ pub enum Counter {
     IcacheLineAccesses,
     /// Wrong-path lines pulled into the L1I.
     WrongPathFetches,
+    /// Non-paper direction backends: predictions disagreeing with the
+    /// BTB entry's bimodal state (the analogue of `PhtOverrides`).
+    DirectionOverrides,
+    /// TAGE: predictions served by a tagged table (vs the base table).
+    TageProviderHits,
+    /// TAGE: tagged entries allocated on mispredictions.
+    TageAllocations,
 }
 
 /// Number of [`Counter`] variants (size of the bus's counter bank).
-pub const NUM_COUNTERS: usize = Counter::WrongPathFetches as usize + 1;
+pub const NUM_COUNTERS: usize = Counter::TageAllocations as usize + 1;
 
 /// Histogrammed quantities (recorded only when histograms are enabled).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

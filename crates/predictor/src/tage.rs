@@ -1,0 +1,442 @@
+//! A parameterized TAGE direction backend.
+//!
+//! TAGE (TAgged GEometric history length) predicts with a bimodal base
+//! table plus a cascade of partially tagged tables indexed by folded
+//! global history of geometrically increasing lengths. The longest
+//! tag-matching table *provides* the prediction; mispredictions
+//! allocate an entry in a longer table, gated by per-entry usefulness
+//! counters so hot entries survive.
+//!
+//! This implementation is deliberately deterministic — allocation picks
+//! the first longer table whose slot is reclaimable instead of choosing
+//! randomly — so runs replay bit-identically and the experiment cache
+//! and golden snapshots stay stable.
+//!
+//! Training happens entirely in
+//! [`finish_resolve`](crate::traits::DirectionPredictor::finish_resolve):
+//! the core resolves every branch before the next prediction, so
+//! indices recomputed at resolve time see exactly the history state the
+//! prediction used.
+
+use crate::bht::Bimodal2;
+use crate::config::PredictorConfig;
+use crate::direction::AuxStack;
+use crate::entry::BtbEntry;
+use crate::statsbus::{Counter, StatsBus};
+use crate::traits::{DirDecision, DirectionPredictor, TrainingContext};
+use zbp_trace::{BranchKind, InstAddr};
+
+/// Maximum global history bits (the width of the history register).
+pub const MAX_HISTORY_BITS: u32 = 128;
+
+/// One entry of a tagged table.
+#[derive(Debug, Clone, Copy)]
+struct TaggedEntry {
+    /// Partial tag of the owning branch.
+    tag: u16,
+    /// Direction counter.
+    ctr: Bimodal2,
+    /// Usefulness: non-zero entries resist reallocation.
+    useful: u8,
+}
+
+/// The TAGE predictor (see the module docs).
+#[derive(Debug, Clone)]
+pub struct Tage {
+    aux: AuxStack,
+    /// Tagless bimodal base table.
+    base: Vec<Bimodal2>,
+    base_mask: u64,
+    /// Tagged tables, shortest history first.
+    tables: Vec<Vec<Option<TaggedEntry>>>,
+    /// Geometric history length per tagged table.
+    lens: Vec<u32>,
+    table_mask: u64,
+    idx_bits: u32,
+    tag_bits: u32,
+    /// Global direction history, bit 0 = most recent.
+    hist: u128,
+    hist_mask: u128,
+}
+
+/// Outcome of walking the tagged tables for one branch.
+struct Lookup {
+    /// Index of the providing tagged table, if any matched.
+    provider: Option<usize>,
+    /// The prediction: the provider's counter, else the base table.
+    taken: bool,
+    /// The next-longest match below the provider (or the base
+    /// prediction), used for usefulness updates.
+    alt_taken: bool,
+}
+
+impl Tage {
+    /// Builds a TAGE from its geometry. History lengths are spaced
+    /// geometrically from `min_history` to `max_history` across
+    /// `tables` tagged tables.
+    pub fn new(
+        cfg: &PredictorConfig,
+        base_entries: usize,
+        tables: usize,
+        table_entries: usize,
+        tag_bits: u32,
+        min_history: u32,
+        max_history: u32,
+    ) -> Self {
+        assert!(base_entries.is_power_of_two(), "TAGE base size must be a power of two");
+        assert!(table_entries.is_power_of_two(), "TAGE table size must be a power of two");
+        assert!(tables >= 1, "TAGE needs at least one tagged table");
+        assert!((1..=16).contains(&tag_bits), "TAGE tags are 1..=16 bits");
+        assert!(
+            min_history >= 1 && min_history <= max_history && max_history <= MAX_HISTORY_BITS,
+            "TAGE history lengths must satisfy 1 <= min <= max <= 128"
+        );
+        let lens = geometric_lengths(min_history, max_history, tables);
+        Self {
+            aux: AuxStack::new(cfg),
+            base: vec![Bimodal2::weak_not_taken(); base_entries],
+            base_mask: base_entries as u64 - 1,
+            tables: vec![vec![None; table_entries]; tables],
+            lens,
+            table_mask: table_entries as u64 - 1,
+            idx_bits: table_entries.trailing_zeros(),
+            tag_bits,
+            hist: 0,
+            hist_mask: if max_history == 128 { u128::MAX } else { (1u128 << max_history) - 1 },
+        }
+    }
+
+    /// The geometric history lengths, shortest first (diagnostics).
+    pub fn history_lengths(&self) -> &[u32] {
+        &self.lens
+    }
+
+    fn base_index(&self, addr: InstAddr) -> usize {
+        ((addr.raw() >> 1) & self.base_mask) as usize
+    }
+
+    /// Index into tagged table `t` for `addr` under the current history.
+    fn index(&self, t: usize, addr: InstAddr) -> usize {
+        let pc = addr.raw() >> 1;
+        let folded = fold(self.hist, self.lens[t], self.idx_bits);
+        // Salt with the table number so equal-length tables decorrelate.
+        ((pc ^ (pc >> self.idx_bits) ^ folded ^ (t as u64)) & self.table_mask) as usize
+    }
+
+    /// Partial tag for `addr` in table `t` (a different fold width than
+    /// the index, so tag and index aliasing stay independent).
+    fn tag(&self, t: usize, addr: InstAddr) -> u16 {
+        let pc = addr.raw() >> 1;
+        let folded = fold(self.hist, self.lens[t], self.tag_bits)
+            ^ (fold(self.hist, self.lens[t], self.tag_bits.saturating_sub(1).max(1)) << 1);
+        ((pc ^ (pc >> (self.tag_bits + 2)) ^ folded ^ ((t as u64) << 3))
+            & ((1u64 << self.tag_bits) - 1)) as u16
+    }
+
+    /// Walks every tagged table for the provider and alternate
+    /// predictions.
+    fn lookup(&self, addr: InstAddr) -> Lookup {
+        let base_taken = self.base[self.base_index(addr)].taken();
+        let mut provider = None;
+        let mut taken = base_taken;
+        let mut alt_taken = base_taken;
+        for t in 0..self.tables.len() {
+            let slot = self.tables[t][self.index(t, addr)];
+            if let Some(e) = slot {
+                if e.tag == self.tag(t, addr) {
+                    alt_taken = taken;
+                    taken = e.ctr.taken();
+                    provider = Some(t);
+                }
+            }
+        }
+        // `alt_taken` tracked the previous provider as we walked up; when
+        // only one table matched it still holds the base prediction.
+        Lookup { provider, taken, alt_taken }
+    }
+
+    /// Trains toward a resolved conditional: provider counter,
+    /// usefulness, and on a misprediction a new allocation in a longer
+    /// table.
+    fn train_resolved(&mut self, addr: InstAddr, taken: bool, bus: &mut StatsBus) {
+        let l = self.lookup(addr);
+        let mispredicted = l.taken != taken;
+        match l.provider {
+            Some(t) => {
+                let idx = self.index(t, addr);
+                let e = self.tables[t][idx].as_mut().expect("provider slot present");
+                e.ctr = e.ctr.update(taken);
+                // Usefulness: the provider earns protection when it
+                // disagreed with the alternate and was right, loses it
+                // when it disagreed and was wrong.
+                if l.taken != l.alt_taken {
+                    if !mispredicted {
+                        e.useful = (e.useful + 1).min(3);
+                    } else {
+                        e.useful = e.useful.saturating_sub(1);
+                    }
+                }
+            }
+            None => {
+                let idx = self.base_index(addr);
+                self.base[idx] = self.base[idx].update(taken);
+            }
+        }
+        if mispredicted {
+            self.allocate(addr, taken, l.provider, bus);
+        }
+    }
+
+    /// Allocates an entry for `addr` in the first table longer than the
+    /// provider whose slot is reclaimable; decays usefulness along the
+    /// way when every candidate is protected (the classic TAGE
+    /// anti-ping-pong rule, made deterministic).
+    fn allocate(
+        &mut self,
+        addr: InstAddr,
+        taken: bool,
+        provider: Option<usize>,
+        bus: &mut StatsBus,
+    ) {
+        let first = provider.map_or(0, |t| t + 1);
+        let mut allocated = false;
+        for t in first..self.tables.len() {
+            let idx = self.index(t, addr);
+            let tag = self.tag(t, addr);
+            let slot = &mut self.tables[t][idx];
+            let reclaimable = slot.is_none_or(|e| e.useful == 0);
+            if reclaimable {
+                *slot = Some(TaggedEntry {
+                    tag,
+                    ctr: if taken { Bimodal2::weak_taken() } else { Bimodal2::weak_not_taken() },
+                    useful: 0,
+                });
+                bus.bump(Counter::TageAllocations);
+                allocated = true;
+                break;
+            }
+        }
+        if !allocated {
+            // Everything was protected: decay so a future misprediction
+            // can get through.
+            for t in first..self.tables.len() {
+                let idx = self.index(t, addr);
+                if let Some(e) = self.tables[t][idx].as_mut() {
+                    e.useful = e.useful.saturating_sub(1);
+                }
+            }
+        }
+    }
+}
+
+impl DirectionPredictor for Tage {
+    fn aux(&self) -> &AuxStack {
+        &self.aux
+    }
+
+    fn aux_mut(&mut self) -> &mut AuxStack {
+        &mut self.aux
+    }
+
+    fn predict(&mut self, entry: &BtbEntry, addr: InstAddr, bus: &mut StatsBus) -> DirDecision {
+        let l = self.lookup(addr);
+        if l.provider.is_some() {
+            bus.bump(Counter::TageProviderHits);
+        }
+        if l.taken != entry.bht_taken() {
+            bus.bump(Counter::DirectionOverrides);
+        }
+        DirDecision { taken: l.taken, used_dir: true }
+    }
+
+    fn train(&mut self, _cx: &TrainingContext, _bus: &mut StatsBus) {
+        // All training happens in `finish_resolve`, surprises included.
+    }
+
+    fn finish_resolve(
+        &mut self,
+        addr: InstAddr,
+        taken: bool,
+        kind: BranchKind,
+        bus: &mut StatsBus,
+    ) {
+        if kind.is_conditional() {
+            self.train_resolved(addr, taken, bus);
+        }
+        self.hist = ((self.hist << 1) | u128::from(taken)) & self.hist_mask;
+        self.aux.history.push(addr, taken);
+    }
+}
+
+/// Geometric history lengths from `min` to `max` over `n` tables
+/// (shortest first, strictly non-decreasing, endpoints exact).
+fn geometric_lengths(min: u32, max: u32, n: usize) -> Vec<u32> {
+    if n == 1 {
+        return vec![max];
+    }
+    let ratio = (f64::from(max) / f64::from(min)).powf(1.0 / (n as f64 - 1.0));
+    let mut lens: Vec<u32> = (0..n)
+        .map(|i| {
+            let l = f64::from(min) * ratio.powi(i as i32);
+            (l.round() as u32).clamp(min, max)
+        })
+        .collect();
+    // Guard against rounding collapsing neighbours below a monotone
+    // ladder; exact endpoints matter more than perfect spacing.
+    for i in 1..lens.len() {
+        lens[i] = lens[i].max(lens[i - 1]);
+    }
+    lens[0] = min;
+    *lens.last_mut().unwrap() = max;
+    lens
+}
+
+/// Folds the low `len` bits of `hist` into `bits` output bits by
+/// XOR-chunking.
+fn fold(hist: u128, len: u32, bits: u32) -> u64 {
+    debug_assert!((1..=64).contains(&bits));
+    let mut h = if len >= 128 { hist } else { hist & ((1u128 << len) - 1) };
+    let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    let mut acc = 0u64;
+    while h != 0 {
+        acc ^= (h as u64) & mask;
+        h >>= bits;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direction::DirectionConfig;
+
+    fn tage() -> Tage {
+        let cfg =
+            PredictorConfig { direction: DirectionConfig::tage(), ..PredictorConfig::zec12() };
+        Tage::new(&cfg, 1024, 4, 256, 11, 4, 64)
+    }
+
+    fn entry(addr: u64) -> BtbEntry {
+        BtbEntry::surprise_install(
+            InstAddr::new(addr),
+            InstAddr::new(addr + 0x40),
+            BranchKind::Conditional,
+            false,
+        )
+    }
+
+    #[test]
+    fn geometric_lengths_hit_both_endpoints() {
+        let lens = geometric_lengths(4, 64, 4);
+        assert_eq!(lens.len(), 4);
+        assert_eq!(lens[0], 4);
+        assert_eq!(lens[3], 64);
+        assert!(lens.windows(2).all(|w| w[0] <= w[1]), "{lens:?}");
+        assert_eq!(geometric_lengths(5, 128, 1), vec![128]);
+    }
+
+    #[test]
+    fn fold_only_sees_the_low_len_bits() {
+        let a = 0b1010_1100u128;
+        let b = a | (1u128 << 100);
+        assert_eq!(fold(a, 8, 5), fold(b, 8, 5), "bits beyond len must not matter");
+        assert_ne!(fold(a, 128, 5), fold(b, 128, 5));
+        for len in [1u32, 7, 63, 64, 65, 127, 128] {
+            assert!(fold(u128::MAX, len, 10) < (1 << 10));
+        }
+    }
+
+    #[test]
+    fn cold_tage_predicts_from_the_base_table() {
+        let mut t = tage();
+        let mut bus = StatsBus::new();
+        let d = t.predict(&entry(0x100), InstAddr::new(0x100), &mut bus);
+        assert!(!d.taken, "cold base table is weak not-taken");
+        assert_eq!(bus.get(Counter::TageProviderHits), 0);
+    }
+
+    #[test]
+    fn mispredictions_allocate_tagged_entries() {
+        let mut t = tage();
+        let mut bus = StatsBus::new();
+        let addr = InstAddr::new(0x200);
+        // Base table cold => predicts not-taken; a taken resolve is a
+        // misprediction and must allocate.
+        t.finish_resolve(addr, true, BranchKind::Conditional, &mut bus);
+        assert_eq!(bus.get(Counter::TageAllocations), 1);
+        // Once the history differs the new entry tags a specific context.
+        let hits_before = bus.get(Counter::TageProviderHits);
+        t.hist = 0; // same history as at allocation time (nothing pushed before it)
+        let _ = t.predict(&entry(0x200), addr, &mut bus);
+        assert!(bus.get(Counter::TageProviderHits) > hits_before, "allocated entry must provide");
+    }
+
+    #[test]
+    fn tage_learns_a_history_keyed_pattern() {
+        let mut t = tage();
+        let mut bus = StatsBus::new();
+        let addr = InstAddr::new(0x300);
+        // A loop branch taken 3 times then not taken once: PC-indexed
+        // 2-bit counters stay saturated-taken and miss the exit, TAGE's
+        // history-tagged entries can learn the exit context.
+        for _ in 0..200 {
+            for i in 0..4 {
+                let taken = i != 3;
+                t.finish_resolve(addr, taken, BranchKind::Conditional, &mut bus);
+            }
+        }
+        // Replay one period and count mispredictions.
+        let mut wrong = 0;
+        for i in 0..4 {
+            let taken = i != 3;
+            if t.predict(&entry(0x300), addr, &mut bus).taken != taken {
+                wrong += 1;
+            }
+            t.finish_resolve(addr, taken, BranchKind::Conditional, &mut bus);
+        }
+        assert!(wrong <= 1, "trained TAGE missed {wrong}/4 of a period-4 loop");
+    }
+
+    #[test]
+    fn usefulness_protects_and_decays() {
+        let mut t = tage();
+        let mut bus = StatsBus::new();
+        // Force an allocation, then hand-check the protection flag wiring.
+        t.finish_resolve(InstAddr::new(0x400), true, BranchKind::Conditional, &mut bus);
+        let allocated: usize = t.tables.iter().flatten().filter(|e| e.is_some()).count();
+        assert_eq!(allocated, 1);
+        // Saturating arithmetic on the useful counter.
+        let e = TaggedEntry { tag: 0, ctr: Bimodal2::weak_taken(), useful: 3 };
+        assert_eq!((e.useful + 1).min(3), 3);
+        assert_eq!(0u8.saturating_sub(1), 0);
+    }
+
+    #[test]
+    fn fold_matches_an_eager_bitwise_reference() {
+        // The chunked XOR fold must equal the eager reference that
+        // places history bit `i` at output bit `i % bits` — and history
+        // bits at or beyond `len` must never reach the output.
+        let mut rng = zbp_support::rng::SmallRng::seed_from_u64(0x7A6E);
+        for _ in 0..256 {
+            let hist = (u128::from(rng.random::<u64>()) << 64) | u128::from(rng.random::<u64>());
+            let len = rng.random_range(1u32..=128);
+            let bits = rng.random_range(1u32..=16);
+            let mut want = 0u64;
+            for i in 0..len {
+                if hist >> i & 1 == 1 {
+                    want ^= 1 << (i % bits);
+                }
+            }
+            assert_eq!(fold(hist, len, bits), want, "hist={hist:#x} len={len} bits={bits}");
+        }
+    }
+
+    #[test]
+    fn unconditionals_touch_only_the_histories() {
+        let mut t = tage();
+        let mut bus = StatsBus::new();
+        t.finish_resolve(InstAddr::new(0x500), true, BranchKind::Unconditional, &mut bus);
+        assert_eq!(bus.get(Counter::TageAllocations), 0);
+        assert_eq!(t.hist & 1, 1, "global history records every branch");
+    }
+}

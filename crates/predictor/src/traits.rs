@@ -10,6 +10,9 @@
 //!   engine indexes every row search (BTB1 and BTBP);
 //! * [`SecondLevelBtb`] — the bulk second level read a row at a time by
 //!   the transfer engine;
+//! * [`DirectionPredictor`] — the direction-prediction backend deciding
+//!   each first-level hit's direction and target override (the paper's
+//!   PHT/CTB stack, or an alternative from [`crate::direction`]);
 //! * [`DirectionOverride`] — the tagged, path-indexed auxiliary
 //!   predictors layered over a first-level hit (PHT and CTB);
 //! * [`SteeringPolicy`] — how a full bulk search orders its 32 sectors
@@ -23,12 +26,15 @@
 
 use crate::btb::{BtbArray, Hit};
 use crate::ctb::Ctb;
+use crate::direction::AuxStack;
 use crate::entry::BtbEntry;
 use crate::exclusive::ExclusivityPolicy;
+use crate::history::PathHistory;
 use crate::pht::Pht;
+use crate::statsbus::{Counter, StatsBus};
 use crate::steering::OrderingTable;
 use zbp_trace::addr::SECTORS_PER_QUARTILE;
-use zbp_trace::InstAddr;
+use zbp_trace::{BranchKind, InstAddr};
 
 /// A first-level structure the search engine indexes synchronously on
 /// every row search (the BTB1 and the BTBP).
@@ -138,6 +144,132 @@ impl SecondLevelBtb for BtbArray {
 
     fn row_bytes(&self) -> u64 {
         u64::from(self.geometry().line_bytes)
+    }
+}
+
+/// A direction backend's verdict for one first-level hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirDecision {
+    /// The predicted direction, before the engine's opcode override for
+    /// unconditional branch kinds.
+    pub taken: bool,
+    /// Whether a backend direction structure beyond the entry's bimodal
+    /// state supplied the direction (gates the paper's PHT retraining).
+    pub used_dir: bool,
+}
+
+/// Everything a backend sees when training on a resolved, dynamically
+/// predicted branch.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainingContext {
+    /// Branch instruction address.
+    pub addr: InstAddr,
+    /// Resolved direction.
+    pub taken: bool,
+    /// Resolved target.
+    pub target: InstAddr,
+    /// Branch kind (opcode class).
+    pub kind: BranchKind,
+    /// Whether the BTB entry's bimodal counter mispredicted a
+    /// conditional's direction.
+    pub bht_mispredicted: bool,
+    /// Whether the BTB entry's stored target was wrong for a taken
+    /// resolution.
+    pub target_mispredicted: bool,
+    /// The prediction's [`DirDecision::used_dir`].
+    pub used_dir: bool,
+    /// Whether the CTB supplied the predicted target.
+    pub used_ctb: bool,
+}
+
+/// A pluggable direction-prediction backend.
+///
+/// The search engine owns search control, BTB content and the
+/// surprise/install paths; the backend owns everything that decides and
+/// trains a *direction*. Every backend embeds an
+/// [`AuxStack`](crate::direction::AuxStack) — CTB, surprise BHT and
+/// global path history — exposed through [`Self::aux`], which lets the
+/// shared surprise-guess and target-override behaviour live here as
+/// provided methods while backends differ only in direction logic.
+///
+/// Call protocol per branch (enforced by the engine): `static_guess`
+/// and, on a first-level hit, `predict` and `target_override` at
+/// prediction time; then `begin_resolve`, `train`/`train_target` (hits
+/// only) and `finish_resolve` at resolution time. The core model
+/// resolves every branch before the next prediction, so a backend may
+/// recompute prediction-time indices during resolution.
+pub trait DirectionPredictor {
+    /// The shared auxiliary stack (CTB, surprise BHT, path history).
+    fn aux(&self) -> &AuxStack;
+
+    /// Mutable access to the shared auxiliary stack.
+    fn aux_mut(&mut self) -> &mut AuxStack;
+
+    /// Decides the direction of a first-level hit.
+    fn predict(&mut self, entry: &BtbEntry, addr: InstAddr, bus: &mut StatsBus) -> DirDecision;
+
+    /// Trains direction state for a resolved, dynamically predicted
+    /// branch (the paper backend retrains its PHT here; backends that
+    /// train on every resolution use [`Self::finish_resolve`] instead).
+    fn train(&mut self, cx: &TrainingContext, bus: &mut StatsBus);
+
+    /// Per-resolution epilogue, run for *every* resolved branch —
+    /// dynamic or surprise — after training: own-history updates, tables
+    /// that learn from all resolutions, and the shared path-history
+    /// push.
+    fn finish_resolve(&mut self, addr: InstAddr, taken: bool, kind: BranchKind, bus: &mut StatsBus);
+
+    /// Static direction guess for a surprise branch (shared: tagless
+    /// BHT plus opcode).
+    fn static_guess(&self, addr: InstAddr, kind: BranchKind) -> bool {
+        self.aux().surprise_bht.guess(addr, kind)
+    }
+
+    /// First resolution step, run for every resolved branch before any
+    /// training: the surprise BHT learns all outcomes.
+    fn begin_resolve(&mut self, addr: InstAddr, taken: bool) {
+        self.aux_mut().surprise_bht.update(addr, taken);
+    }
+
+    /// The predicted target of a first-level hit: the entry's stored
+    /// target, possibly overridden by the shared CTB. Returns the
+    /// target and whether the CTB supplied it.
+    fn target_override(
+        &self,
+        entry: &BtbEntry,
+        addr: InstAddr,
+        bus: &mut StatsBus,
+    ) -> (InstAddr, bool) {
+        let mut target = entry.target;
+        let mut used_ctb = false;
+        if entry.use_ctb {
+            let aux = self.aux();
+            let idx = aux.history.ctb_index(DirectionOverride::entries(&aux.ctb));
+            if let Some(t) = DirectionOverride::lookup(&aux.ctb, idx, PathHistory::tag_for(addr)) {
+                used_ctb = true;
+                if t != entry.target {
+                    bus.bump(Counter::CtbOverrides);
+                }
+                target = t;
+            }
+        }
+        (target, used_ctb)
+    }
+
+    /// Trains the shared CTB toward a resolved target (taken
+    /// changing-target branches that mispredicted or used the CTB).
+    fn train_target(&mut self, cx: &TrainingContext) {
+        if cx.taken && (cx.target_mispredicted || cx.used_ctb) && cx.kind.has_changing_target() {
+            let aux = self.aux_mut();
+            let idx = aux.history.ctb_index(DirectionOverride::entries(&aux.ctb));
+            DirectionOverride::train(
+                &mut aux.ctb,
+                idx,
+                PathHistory::tag_for(cx.addr),
+                cx.target,
+                false,
+            );
+        }
     }
 }
 

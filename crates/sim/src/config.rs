@@ -1,6 +1,6 @@
 //! Simulation configuration: Table 3 presets plus sweep knobs.
 
-use zbp_predictor::PredictorConfig;
+use zbp_predictor::{DirectionConfig, PredictorConfig};
 use zbp_uarch::UarchConfig;
 
 /// A complete simulation configuration.
@@ -48,6 +48,28 @@ impl SimConfig {
         [Self::no_btb2(), Self::btb2_enabled(), Self::large_btb1()]
     }
 
+    /// The direction-predictor tournament columns: the shipped zEC12
+    /// hierarchy (Table 3 configuration 2) with each registered
+    /// direction backend swapped in, named by backend label. The paper's
+    /// PHT/CTB stack is column 0.
+    pub fn direction_backends() -> Vec<Self> {
+        [
+            DirectionConfig::Paper,
+            DirectionConfig::two_bit(),
+            DirectionConfig::two_level_local(),
+            DirectionConfig::gshare(),
+            DirectionConfig::tage(),
+        ]
+        .into_iter()
+        .map(|d| {
+            let name = d.label();
+            Self::btb2_enabled()
+                .with_predictor(PredictorConfig::zec12().with_direction(d))
+                .named(name)
+        })
+        .collect()
+    }
+
     /// Renames the configuration (builder style).
     #[must_use]
     pub fn named(mut self, name: impl Into<String>) -> Self {
@@ -84,6 +106,19 @@ mod tests {
         assert_eq!(c.name, "x");
         let c = c.with_predictor(PredictorConfig::zec12());
         assert!(c.predictor.btb2_enabled());
+    }
+
+    #[test]
+    fn direction_backends_cover_all_labels() {
+        let configs = SimConfig::direction_backends();
+        let names: Vec<&str> = configs.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["paper", "two-bit", "two-level-local", "gshare", "tage"]);
+        assert!(configs.iter().all(|c| c.predictor.btb2_enabled()));
+        assert_eq!(
+            configs[0].predictor,
+            PredictorConfig::zec12(),
+            "paper column is the shipped config"
+        );
     }
 
     #[test]

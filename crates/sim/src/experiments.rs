@@ -622,6 +622,184 @@ pub fn comparison_phantom(opts: &ExperimentOptions) -> Vec<SweepPoint> {
     sweep(&phantom_variants(), opts.len.unwrap_or(u64::MAX), opts.seed)
 }
 
+// ---------------------------------------------------------------------------
+// Direction-predictor tournament
+// ---------------------------------------------------------------------------
+
+/// One workload × backend cell of the direction-predictor tournament.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TournamentCell {
+    /// Workload name.
+    pub trace: String,
+    /// Direction-backend label (the configuration column name).
+    pub backend: String,
+    /// Direction mispredictions per 1 000 instructions.
+    pub dir_mpki: f64,
+    /// Cycles per instruction of the cell.
+    pub cpi: f64,
+}
+
+/// One hard-to-predict branch site: per-backend direction-misprediction
+/// counts on the tournament's worst workload for the paper backend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct H2pRow {
+    /// Branch instruction address.
+    pub addr: u64,
+    /// `(backend, direction mispredictions)` in column order.
+    pub counts: Vec<(String, u64)>,
+}
+
+/// The full who-wins-where tournament result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TournamentReport {
+    /// Every workload × backend measurement, workload-major.
+    pub cells: Vec<TournamentCell>,
+    /// `(workload, backend with the lowest dir-MPKI)` per workload
+    /// (ties break toward the earlier configuration column).
+    pub winners: Vec<(String, String)>,
+    /// `(backend, workloads won)` in configuration-column order.
+    pub wins: Vec<(String, u64)>,
+    /// Workload with the paper backend's worst dir-MPKI (the H2P probe).
+    pub h2p_workload: String,
+    /// Top hard-to-predict branch sites of [`Self::h2p_workload`],
+    /// ranked by the paper backend's misprediction count.
+    pub h2p: Vec<H2pRow>,
+}
+
+/// Direction mispredictions per kilo-instruction of one grid cell.
+fn dir_mpki(grid: &SessionGrid, workload: &str, config: &str) -> f64 {
+    let r = grid.result(workload, config);
+    1000.0 * r.core.outcomes.mispredict_direction as f64 / r.core.instructions.max(1) as f64
+}
+
+/// Tournament post-processing: per-cell MPKI/CPI rows plus the
+/// who-wins-where summary out of a workloads × backends grid.
+pub fn tournament_cells(grid: &SessionGrid) -> Vec<TournamentCell> {
+    let mut cells = Vec::new();
+    for w in grid.workloads() {
+        for c in grid.configs() {
+            cells.push(TournamentCell {
+                trace: w.clone(),
+                backend: c.clone(),
+                dir_mpki: dir_mpki(grid, w, c),
+                cpi: grid.cpi(w, c),
+            });
+        }
+    }
+    cells
+}
+
+/// The backend with the lowest dir-MPKI per workload (ties break toward
+/// the earlier configuration column, so the result is deterministic).
+pub fn tournament_winners(grid: &SessionGrid) -> Vec<(String, String)> {
+    grid.workloads()
+        .iter()
+        .map(|w| {
+            let best = grid
+                .configs()
+                .iter()
+                .min_by(|a, b| {
+                    dir_mpki(grid, w, a).partial_cmp(&dir_mpki(grid, w, b)).expect("finite MPKI")
+                })
+                .expect("tournament has backends");
+            (w.clone(), best.clone())
+        })
+        .collect()
+}
+
+/// Counts workloads won per backend, in configuration-column order.
+pub fn tournament_wins(grid: &SessionGrid, winners: &[(String, String)]) -> Vec<(String, u64)> {
+    grid.configs()
+        .iter()
+        .map(|c| (c.clone(), winners.iter().filter(|(_, win)| win == c).count() as u64))
+        .collect()
+}
+
+/// Replays one workload under every backend, attributing each direction
+/// misprediction to its branch site, and returns the `top` sites ranked
+/// by the first (paper) column's count (count descending, address
+/// ascending — fully deterministic).
+pub fn h2p_offenders(
+    profile: &WorkloadProfile,
+    opts: &ExperimentOptions,
+    configs: &[SimConfig],
+    top: usize,
+) -> Vec<H2pRow> {
+    use std::collections::HashMap;
+    use zbp_trace::Trace;
+    let len = opts.len_for(profile);
+    let per_backend: Vec<HashMap<u64, u64>> = par_map(configs, |c| {
+        let trace = profile.build_with_len(opts.seed, len);
+        let mut model = zbp_uarch::core::CoreModel::new(c.uarch, c.predictor.clone());
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for instr in trace.iter() {
+            let retired_branch = !instr.wrong_path && instr.branch.is_some();
+            let before = model.outcomes().mispredict_direction;
+            model.step(&instr);
+            if retired_branch && model.outcomes().mispredict_direction > before {
+                *counts.entry(instr.addr.raw()).or_insert(0) += 1;
+            }
+        }
+        counts
+    });
+    let paper = &per_backend[0];
+    let mut addrs: Vec<u64> = paper.keys().copied().collect();
+    addrs.sort_by_key(|a| (std::cmp::Reverse(paper[a]), *a));
+    addrs.truncate(top);
+    addrs
+        .into_iter()
+        .map(|addr| H2pRow {
+            addr,
+            counts: configs
+                .iter()
+                .zip(&per_backend)
+                .map(|(c, m)| (c.name.clone(), m.get(&addr).copied().unwrap_or(0)))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Number of hard-to-predict branch sites the tournament reports.
+pub const H2P_TOP: usize = 10;
+
+/// Assembles the [`TournamentReport`] from a completed grid: the cell
+/// rows, the who-wins-where summary, and the H2P offender table replayed
+/// on the workload where the paper backend struggles most.
+pub fn tournament_report(
+    grid: &SessionGrid,
+    profiles: &[WorkloadProfile],
+    configs: &[SimConfig],
+    opts: &ExperimentOptions,
+) -> TournamentReport {
+    let cells = tournament_cells(grid);
+    let winners = tournament_winners(grid);
+    let wins = tournament_wins(grid, &winners);
+    let paper = &grid.configs()[0];
+    let h2p_workload = grid
+        .workloads()
+        .iter()
+        .max_by(|a, b| {
+            dir_mpki(grid, a, paper).partial_cmp(&dir_mpki(grid, b, paper)).expect("finite MPKI")
+        })
+        .expect("tournament has workloads")
+        .clone();
+    let profile =
+        profiles.iter().find(|p| p.name == h2p_workload).expect("H2P workload is in the grid");
+    let h2p = h2p_offenders(profile, opts, configs, H2P_TOP);
+    TournamentReport { cells, winners, wins, h2p_workload, h2p }
+}
+
+/// The cross-backend direction-predictor tournament: every Table-4
+/// workload under every registered [`SimConfig::direction_backends`]
+/// column, plus the H2P offender breakdown.
+pub fn predictor_tournament(opts: &ExperimentOptions) -> TournamentReport {
+    let profiles = WorkloadProfile::all_table4();
+    let configs = SimConfig::direction_backends();
+    let grid =
+        SimSession::from_options(opts).workloads(profiles.clone()).configs(configs.clone()).run();
+    tournament_report(&grid, &profiles, &configs, opts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -680,6 +858,33 @@ mod tests {
     }
 
     #[test]
+    fn tournament_covers_every_backend_and_ranks_offenders() {
+        let opts = ExperimentOptions::quick(8_000, 7);
+        let profiles = vec![WorkloadProfile::tpf_airline(), WorkloadProfile::zlinux_informix()];
+        let configs = SimConfig::direction_backends();
+        let grid = SimSession::from_options(&opts)
+            .workloads(profiles.clone())
+            .configs(configs.clone())
+            .run();
+        let report = tournament_report(&grid, &profiles, &configs, &opts);
+        assert_eq!(report.cells.len(), 2 * configs.len());
+        assert!(report.cells.iter().all(|c| c.dir_mpki >= 0.0 && c.cpi > 0.0));
+        assert_eq!(report.winners.len(), 2);
+        assert_eq!(report.wins.iter().map(|(_, n)| n).sum::<u64>(), 2);
+        assert!(profiles.iter().any(|p| p.name == report.h2p_workload));
+        assert!(!report.h2p.is_empty(), "short cold runs mispredict somewhere");
+        for row in &report.h2p {
+            let names: Vec<&str> = row.counts.iter().map(|(b, _)| b.as_str()).collect();
+            assert_eq!(names, ["paper", "two-bit", "two-level-local", "gshare", "tage"]);
+        }
+        let paper_counts: Vec<u64> = report.h2p.iter().map(|r| r.counts[0].1).collect();
+        assert!(paper_counts.windows(2).all(|w| w[0] >= w[1]), "ranked by paper count");
+        let json = zbp_support::json::to_string(&report);
+        let back: TournamentReport = zbp_support::json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
     fn wrongpath_matrix_has_stable_column_order() {
         let configs = wrongpath_configs();
         let names: Vec<&str> = configs.iter().map(|c| c.name.as_str()).collect();
@@ -708,3 +913,6 @@ zbp_support::impl_json_struct!(WrongPathRow {
     avg_improvement,
     wrong_path_lines_per_kilo_instr,
 });
+zbp_support::impl_json_struct!(TournamentCell { trace, backend, dir_mpki, cpi });
+zbp_support::impl_json_struct!(H2pRow { addr, counts });
+zbp_support::impl_json_struct!(TournamentReport { cells, winners, wins, h2p_workload, h2p });

@@ -45,6 +45,10 @@ pub struct ExperimentSpec {
     /// Static context lines (paper reference points) printed after the
     /// result table.
     pub notes: &'static [&'static str],
+    /// One-line summary shown by `experiment list`.
+    pub description: &'static str,
+    /// Topic / backend tags shown by `experiment list` (`[]` = none).
+    pub tags: &'static [&'static str],
     workloads: fn() -> Vec<WorkloadProfile>,
     kind: Kind,
 }
@@ -56,6 +60,9 @@ enum Kind {
     Stats(fn(&[WorkloadProfile], &[TraceStats]) -> Rendered),
     /// Simulation cells: a workload × configuration grid.
     Grid { configs: fn() -> Vec<SimConfig>, post: fn(&SessionGrid) -> Rendered },
+    /// Fully custom execution: the experiment drives its own grid (and
+    /// any extra replays) through the cache itself.
+    Custom(fn(&[WorkloadProfile], &ExperimentOptions, &CellCache) -> (Rendered, CacheStats)),
 }
 
 /// Post-processed experiment output before the manifest is attached.
@@ -180,6 +187,7 @@ impl ExperimentSpec {
                     .run_cached(cache);
                 (post(&grid), stats)
             }
+            Kind::Custom(run) => run(&profiles, opts, cache),
         };
         let manifest = Manifest {
             experiment: self.id.to_string(),
@@ -580,16 +588,100 @@ fn post_wrongpath(grid: &SessionGrid) -> Rendered {
     }
 }
 
+/// Runs the direction-predictor tournament: a Table-4 workloads ×
+/// [`SimConfig::direction_backends`] grid through the cell cache, then
+/// the H2P offender replay on the paper backend's worst workload (see
+/// [`experiments::tournament_report`]). Rendered as a who-wins-where
+/// table, a wins summary, and the H2P top-offenders table.
+fn run_tournament(
+    profiles: &[WorkloadProfile],
+    opts: &ExperimentOptions,
+    cache: &CellCache,
+) -> (Rendered, CacheStats) {
+    let configs = SimConfig::direction_backends();
+    let (grid, stats) = SimSession::from_options(opts)
+        .workloads(profiles.to_vec())
+        .configs(configs.clone())
+        .run_cached(cache);
+    let report = experiments::tournament_report(&grid, profiles, &configs, opts);
+
+    let backends = grid.configs();
+    let mut headers: Vec<String> = vec!["trace".into()];
+    headers.extend(backends.iter().map(|b| format!("{b} MPKI / CPI")));
+    headers.push("winner".into());
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let table: Vec<Vec<String>> = grid
+        .workloads()
+        .iter()
+        .map(|w| {
+            let mut row = vec![w.clone()];
+            for b in backends {
+                let cell = report
+                    .cells
+                    .iter()
+                    .find(|c| &c.trace == w && &c.backend == b)
+                    .expect("cell for every (workload, backend)");
+                row.push(format!("{:.3} / {:.4}", cell.dir_mpki, cell.cpi));
+            }
+            let (_, winner) =
+                report.winners.iter().find(|(t, _)| t == w).expect("winner per workload");
+            row.push(winner.clone());
+            row
+        })
+        .collect();
+    let mut pretty = render_table(&header_refs, &table);
+
+    pretty.push_str("\nworkloads won (lowest direction MPKI):\n");
+    for (backend, won) in &report.wins {
+        pretty.push_str(&format!("  {backend:<16} {won}\n"));
+    }
+
+    pretty.push_str(&format!(
+        "\nH2P top offenders on \"{}\" (direction mispredictions per branch site):\n",
+        report.h2p_workload
+    ));
+    let mut h2p_headers: Vec<String> = vec!["branch".into()];
+    h2p_headers.extend(backends.iter().cloned());
+    let h2p_refs: Vec<&str> = h2p_headers.iter().map(String::as_str).collect();
+    let h2p_table: Vec<Vec<String>> = report
+        .h2p
+        .iter()
+        .map(|r| {
+            let mut row = vec![format!("{:#x}", r.addr)];
+            row.extend(r.counts.iter().map(|(_, n)| n.to_string()));
+            row
+        })
+        .collect();
+    pretty.push_str(&render_table(&h2p_refs, &h2p_table));
+
+    let csv_rows: Vec<Vec<String>> = report
+        .cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.trace.clone(),
+                c.backend.clone(),
+                format!("{:.6}", c.dir_mpki),
+                format!("{:.6}", c.cpi),
+            ]
+        })
+        .collect();
+    let csv = render_csv(&["trace", "backend", "dir_mpki", "cpi"], &csv_rows);
+    (Rendered { data: report.to_json(), pretty, csv: Some(csv) }, stats)
+}
+
 // ---------------------------------------------------------------------------
 // The registry itself
 // ---------------------------------------------------------------------------
 
-static REGISTRY: [ExperimentSpec; 16] = [
+static REGISTRY: [ExperimentSpec; 17] = [
     ExperimentSpec {
         id: "table4",
         title: "Table 4 — large footprint traces",
         paper_ref: "§4, Table 4",
         artifact: "table4_traces",
+        description: "validate synthesized branch footprints against the published counts",
+        tags: &["validation", "traces"],
         notes: &["paper targets: published unique branch / taken-branch footprints; \
                   full-length runs land within ~±20% (statistical coverage)"],
         workloads: wl_table4,
@@ -600,6 +692,8 @@ static REGISTRY: [ExperimentSpec; 16] = [
         title: "Figure 2 — benefit of the BTB2 per workload",
         paper_ref: "§5.1, Figure 2",
         artifact: "fig2_cpi_improvement",
+        description: "per-workload CPI improvement from the BTB2 vs an oversized BTB1",
+        tags: &["paper", "cpi"],
         notes: &["paper: max BTB2 benefit +13.8% (DayTrader DBServ), \
                   effectiveness 16.6%-83.4% (average 52%)"],
         workloads: wl_table4,
@@ -610,6 +704,8 @@ static REGISTRY: [ExperimentSpec; 16] = [
         title: "Figure 3 — benefit of BTB2 on zEC12 hardware",
         paper_ref: "§5.1, Figure 3",
         artifact: "fig3_system_level",
+        description: "system-level BTB2 benefit on the two hardware-measured workloads",
+        tags: &["paper", "cpi"],
         notes: &[
             "paper: WASDB+CBW2 (1 core) +5.3% measured / +8.5% simulated;",
             "       Web CICS/DB2 (4 cores) +3.4% measured.",
@@ -622,6 +718,8 @@ static REGISTRY: [ExperimentSpec; 16] = [
         title: "Figure 4 — bad branch outcomes, DayTrader DBServ",
         paper_ref: "§5.1, Figure 4",
         artifact: "fig4_bad_branch_outcomes",
+        description: "bad-branch-outcome taxonomy with and without the BTB2",
+        tags: &["paper", "outcomes"],
         notes: &["paper bars: no BTB2 total 25.9% (capacity 21.9%); \
                   BTB2 total 14.3% (capacity 8.1%)"],
         workloads: wl_daytrader_dbserv,
@@ -632,6 +730,8 @@ static REGISTRY: [ExperimentSpec; 16] = [
         title: "Figure 5 — various BTB2 sizes",
         paper_ref: "§5.2, Figure 5",
         artifact: "fig5_btb2_size",
+        description: "BTB2 capacity sweep (6k-96k entries)",
+        tags: &["paper", "sweep"],
         notes: &["paper shape: benefit grows with BTB2 size, still growing past the shipped 24k"],
         workloads: wl_table4,
         kind: Kind::Grid { configs: cfg_fig5, post: post_fig5 },
@@ -641,6 +741,8 @@ static REGISTRY: [ExperimentSpec; 16] = [
         title: "Figure 6 — BTB1 miss definitions",
         paper_ref: "§5.2, Figure 6",
         artifact: "fig6_miss_definition",
+        description: "perceived BTB1-miss definition sweep (searches before a miss)",
+        tags: &["paper", "sweep"],
         notes: &["paper shape: early (speculative) miss definitions win; \
                   benefit falls as the definition waits for more searches"],
         workloads: wl_table4,
@@ -651,6 +753,8 @@ static REGISTRY: [ExperimentSpec; 16] = [
         title: "Figure 7 — BTB2 search trackers",
         paper_ref: "§5.2, Figure 7",
         artifact: "fig7_trackers",
+        description: "concurrent BTB2 search-tracker count sweep",
+        tags: &["paper", "sweep"],
         notes: &["paper shape: two concurrent searches capture most of the benefit"],
         workloads: wl_table4,
         kind: Kind::Grid { configs: cfg_fig7, post: post_fig7 },
@@ -660,6 +764,8 @@ static REGISTRY: [ExperimentSpec; 16] = [
         title: "Ablation — exclusivity policies",
         paper_ref: "§3.3 design discussion",
         artifact: "ablation_exclusivity",
+        description: "BTB1/BTB2 content-management policy ablation",
+        tags: &["ablation"],
         notes: &["paper argument: semi-exclusive approximates true exclusivity \
                   at a fraction of the write cost"],
         workloads: wl_table4,
@@ -670,6 +776,8 @@ static REGISTRY: [ExperimentSpec; 16] = [
         title: "Ablation — transfer steering",
         paper_ref: "§3.7 design discussion",
         artifact: "ablation_steering",
+        description: "bulk-transfer write-order steering on vs off",
+        tags: &["ablation"],
         notes: &["paper argument: steering bulk-transfer writes toward the \
                   search point beats sequential row order"],
         workloads: wl_table4,
@@ -680,6 +788,8 @@ static REGISTRY: [ExperimentSpec; 16] = [
         title: "Ablation — I-cache miss filter",
         paper_ref: "§3.5 design discussion",
         artifact: "ablation_filter",
+        description: "I-cache-miss preload filter mode ablation",
+        tags: &["ablation"],
         notes: &["paper argument: partially filtering preloads on I-cache miss \
                   coverage balances pollution against lost preloads"],
         workloads: wl_table4,
@@ -690,6 +800,8 @@ static REGISTRY: [ExperimentSpec; 16] = [
         title: "Ablation — wrong-path fetch modeling",
         paper_ref: "§4 methodology",
         artifact: "ablation_wrongpath",
+        description: "sensitivity of the BTB2's benefit to wrong-path fetch modelling",
+        tags: &["ablation"],
         notes: &["the paper's model simulates wrong-path execution; this measures \
                   how much modelling its I-cache side shifts the BTB2's benefit"],
         workloads: wl_table4,
@@ -700,6 +812,8 @@ static REGISTRY: [ExperimentSpec; 16] = [
         title: "Future work — BTB2 congruence-class span",
         paper_ref: "§6 future work",
         artifact: "future_congruence",
+        description: "BTB2 congruence-class span study (32/64/128 B rows)",
+        tags: &["future-work"],
         notes: &["wider rows transfer a 4KB block in fewer reads but can overflow \
                   on branch-dense sequential code"],
         workloads: wl_table4,
@@ -710,6 +824,8 @@ static REGISTRY: [ExperimentSpec; 16] = [
         title: "Future work — perceived-miss detection events",
         paper_ref: "§6 future work",
         artifact: "future_miss_detection",
+        description: "search-limit vs decode-stage perceived-miss events",
+        tags: &["future-work"],
         notes: &["shipped: early speculative search-limit events; alternative: \
                   later, less speculative decode-stage surprises"],
         workloads: wl_table4,
@@ -720,6 +836,8 @@ static REGISTRY: [ExperimentSpec; 16] = [
         title: "Future work — multi-block transfers",
         paper_ref: "§6 future work",
         artifact: "future_multiblock",
+        description: "chained multi-block bulk-transfer study",
+        tags: &["future-work"],
         notes: &["chases one taken-branch target per bulk transfer into a chained \
                   transfer of the target block"],
         workloads: wl_table4,
@@ -730,6 +848,8 @@ static REGISTRY: [ExperimentSpec; 16] = [
         title: "Future work — SRAM vs eDRAM second level",
         paper_ref: "§6 future work",
         artifact: "future_edram",
+        description: "SRAM vs eDRAM second-level density/latency trade-off",
+        tags: &["future-work"],
         notes: &["same silicon area buys a denser but slower BTB2; latencies are \
                   illustrative (eDRAM ~2-3x SRAM latency at ~2-4x density)"],
         workloads: wl_table4,
@@ -740,10 +860,26 @@ static REGISTRY: [ExperimentSpec; 16] = [
         title: "Comparison — bulk preload vs Phantom-BTB",
         paper_ref: "§2 related work",
         artifact: "comparison_phantom",
+        description: "dedicated BTB2 vs a virtualized Phantom-BTB second level",
+        tags: &["comparison"],
         notes: &["Phantom-BTB (Burcea & Moshovos, ASPLOS 2009) virtualizes the \
                   second level into the L2; matched 24k metadata capacity"],
         workloads: wl_table4,
         kind: Kind::Grid { configs: cfg_phantom, post: post_phantom },
+    },
+    ExperimentSpec {
+        id: "predictor-tournament",
+        title: "Tournament — direction-predictor backends",
+        paper_ref: "§3.1 direction prediction (extended)",
+        artifact: "predictor_tournament",
+        description: "who-wins-where across direction backends: per-workload \
+                      MPKI/CPI plus an H2P top-offenders table",
+        tags: &["tournament", "paper", "two-bit", "two-level-local", "gshare", "tage"],
+        notes: &["column 0 is the paper's PHT/CTB stack; winners take the lowest \
+                  direction MPKI; H2P offenders are replayed on the paper \
+                  backend's worst workload"],
+        workloads: wl_table4,
+        kind: Kind::Custom(run_tournament),
     },
 ];
 
@@ -759,7 +895,14 @@ mod tests {
             assert!(ids.insert(spec.id), "duplicate id {}", spec.id);
             assert!(artifacts.insert(spec.artifact), "duplicate artifact {}", spec.artifact);
         }
-        assert_eq!(all().len(), 16);
+        assert_eq!(all().len(), 17);
+    }
+
+    #[test]
+    fn every_spec_has_a_description() {
+        for spec in all() {
+            assert!(!spec.description.is_empty(), "{} needs a description", spec.id);
+        }
     }
 
     #[test]
@@ -769,7 +912,33 @@ mod tests {
         let ids = all().iter().map(|s| s.id);
         assert_eq!(closest("tabel4", ids.clone()), Some("table4"));
         assert_eq!(closest("fig22", ids.clone()), Some("fig2"));
+        assert_eq!(closest("predictor-tournement", ids.clone()), Some("predictor-tournament"));
+        assert_eq!(closest("predictor_tournament", ids.clone()), Some("predictor-tournament"));
         assert_eq!(closest("completely-unrelated", ids), None);
+    }
+
+    #[test]
+    fn tournament_spec_runs_and_caches() {
+        let dir = std::env::temp_dir().join(format!("zbp-registry-tour-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = find("predictor-tournament").unwrap();
+        let opts = ExperimentOptions::quick(2_000, 3);
+        let cold = spec.run(&opts, &CellCache::at(&dir));
+        assert_eq!(cold.manifest.cells, 13 * 5);
+        assert_eq!(cold.manifest.cache_hits, 0);
+        for backend in ["paper", "two-bit", "two-level-local", "gshare", "tage"] {
+            assert!(cold.pretty.contains(backend), "report must mention {backend}");
+        }
+        assert!(cold.pretty.contains("H2P top offenders"));
+        assert!(cold.csv.as_deref().unwrap_or("").contains("dir_mpki"));
+        let warm = spec.run(&opts, &CellCache::at(&dir));
+        assert_eq!(warm.manifest.cache_hits, 13 * 5);
+        assert_eq!(
+            strip_volatile(&cold.artifact()),
+            strip_volatile(&warm.artifact()),
+            "cached tournament rerun must be bit-identical modulo volatile fields"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

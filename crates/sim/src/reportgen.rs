@@ -116,6 +116,32 @@ pub fn build_report(dir: &Path) -> Result<Option<String>, String> {
         let _ = writeln!(out, "```\n");
     }
 
+    if let Some(t) = load::<crate::experiments::TournamentReport>(dir, "predictor_tournament")? {
+        found = true;
+        let _ = writeln!(out, "## Tournament — direction-predictor backends\n\n```text");
+        let max = t.wins.iter().map(|(_, n)| *n as f64).fold(0.0f64, f64::max);
+        let label_w = t.wins.iter().map(|(b, _)| b.len()).max().unwrap_or(0);
+        for (backend, won) in &t.wins {
+            let _ = writeln!(
+                out,
+                "{backend:<label_w$}  {won:>3} workloads won  {}",
+                bar(*won as f64, max, 40)
+            );
+        }
+        let _ = writeln!(out, "```\n");
+        let _ = writeln!(
+            out,
+            "Hardest workload for the paper backend: **{}**. Top H2P branch \
+             sites (direction mispredictions per backend):\n\n```text",
+            t.h2p_workload
+        );
+        for row in &t.h2p {
+            let counts: Vec<String> = row.counts.iter().map(|(b, n)| format!("{b} {n}")).collect();
+            let _ = writeln!(out, "{:#014x}  {}", row.addr, counts.join("  "));
+        }
+        let _ = writeln!(out, "```\n");
+    }
+
     for (name, title) in [
         ("fig5_btb2_size", "Figure 5 — BTB2 size"),
         ("fig6_miss_definition", "Figure 6 — BTB1 miss definition"),
@@ -202,6 +228,29 @@ mod tests {
         assert!(report.contains("bb"));
         let path = write_report(&dir).unwrap();
         assert!(path.exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tournament_section_renders_wins_and_h2p() {
+        use crate::experiments::{H2pRow, TournamentReport};
+        let dir = std::env::temp_dir().join(format!("zbp-reportgen-tour-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let report = TournamentReport {
+            cells: vec![],
+            winners: vec![("w1".into(), "tage".into())],
+            wins: vec![("paper".into(), 0), ("tage".into(), 1)],
+            h2p_workload: "w1".into(),
+            h2p: vec![H2pRow {
+                addr: 0x1008,
+                counts: vec![("paper".into(), 9), ("tage".into(), 2)],
+            }],
+        };
+        write_artifact(&dir, "predictor_tournament", SCHEMA_VERSION, &report);
+        let text = build_report(&dir).unwrap().expect("artifact present");
+        assert!(text.contains("direction-predictor backends"));
+        assert!(text.contains("tage"));
+        assert!(text.contains("0x000000001008"), "zero-padded site address");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -463,6 +463,12 @@ impl CoreModel {
         self.cycle as u64
     }
 
+    /// Branch outcomes accumulated so far (Figure 4 taxonomy). Useful
+    /// for per-branch delta tracking under [`Self::step`] driving.
+    pub fn outcomes(&self) -> &OutcomeCounts {
+        &self.outcomes
+    }
+
     /// Instructions retired so far.
     pub fn instructions(&self) -> u64 {
         self.instructions

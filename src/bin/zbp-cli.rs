@@ -415,13 +415,14 @@ fn cmd_experiment_list() {
         .map(|s| {
             vec![
                 s.id.to_string(),
-                s.title.to_string(),
+                s.description.to_string(),
+                s.tags.join(","),
                 s.paper_ref.to_string(),
                 format!("results/{}.json", s.artifact),
             ]
         })
         .collect();
-    println!("{}", render_table(&["id", "title", "paper", "artifact"], &rows));
+    println!("{}", render_table(&["id", "description", "tags", "paper", "artifact"], &rows));
 }
 
 fn cmd_experiment_run(args: &Args) -> Result<(), String> {
@@ -656,5 +657,9 @@ mod tests {
     fn unknown_experiment_id_suggests() {
         let Err(err) = find_spec("tabel4") else { panic!("'tabel4' should not resolve") };
         assert!(err.contains("table4"), "unexpected error: {err}");
+        let Err(err) = find_spec("predictor-tornament") else {
+            panic!("'predictor-tornament' should not resolve")
+        };
+        assert!(err.contains("predictor-tournament"), "unexpected error: {err}");
     }
 }

@@ -62,3 +62,52 @@ fn golden_daytrader_dbserv_no_btb2() {
 fn golden_tpf_airline_large_btb1() {
     check("tpf_airline_large_btb1", WorkloadProfile::tpf_airline(), SimConfig::large_btb1());
 }
+
+// Non-paper direction backends get their own blessed snapshots: the
+// shipped hierarchy with each competitor swapped in, on one fixed
+// workload, locks the backends' observable behaviour the same way.
+
+fn backend_config(direction: zbp::predictor::DirectionConfig) -> SimConfig {
+    SimConfig::btb2_enabled()
+        .with_predictor(zbp::predictor::PredictorConfig::zec12().with_direction(direction))
+}
+
+#[test]
+fn golden_zos_trade6_two_bit() {
+    use zbp::predictor::DirectionConfig;
+    check(
+        "zos_trade6_two_bit",
+        WorkloadProfile::zos_trade6(),
+        backend_config(DirectionConfig::two_bit()),
+    );
+}
+
+#[test]
+fn golden_zos_trade6_two_level_local() {
+    use zbp::predictor::DirectionConfig;
+    check(
+        "zos_trade6_two_level_local",
+        WorkloadProfile::zos_trade6(),
+        backend_config(DirectionConfig::two_level_local()),
+    );
+}
+
+#[test]
+fn golden_zos_trade6_gshare() {
+    use zbp::predictor::DirectionConfig;
+    check(
+        "zos_trade6_gshare",
+        WorkloadProfile::zos_trade6(),
+        backend_config(DirectionConfig::gshare()),
+    );
+}
+
+#[test]
+fn golden_zos_trade6_tage() {
+    use zbp::predictor::DirectionConfig;
+    check(
+        "zos_trade6_tage",
+        WorkloadProfile::zos_trade6(),
+        backend_config(DirectionConfig::tage()),
+    );
+}
