@@ -15,8 +15,10 @@ use zbp_predictor::entry::BtbEntry;
 use zbp_predictor::PredictorConfig;
 use zbp_sim::SimConfig;
 use zbp_trace::profile::WorkloadProfile;
-use zbp_trace::{BranchKind, CompactTrace, InstAddr, MaterializedTrace, Trace};
-use zbp_uarch::core::CoreModel;
+use zbp_trace::{
+    BranchKind, CompactTrace, InstAddr, MaterializedTrace, Trace, TraceInstr, VecTrace,
+};
+use zbp_uarch::core::{CoreModel, SamplingSpec};
 
 /// Times `op` over `iters` iterations (after `iters / 10` warmup calls)
 /// and prints mean ns/op; returns the mean.
@@ -80,6 +82,45 @@ fn bench_compact_decode(compact: &CompactTrace, instructions: u64) {
         black_box(sum);
     });
     println!("{:<40} {:>12.2} ns/instr", "compact/decode_per_instr", ns / instructions as f64);
+
+    // The GROUP_LUT fast path on its own: `run_end` sums whole packed
+    // length-code bytes through the LUT, touching a quarter of the
+    // positions the per-code walk above decodes.
+    let ns = bench("compact/decode_lut_walk_200k", 20, || {
+        let mut cursor = compact.segments();
+        let mut sum = 0u64;
+        while let Some(run) = cursor.next_run() {
+            let end = compact.run_end(&run);
+            sum = sum.wrapping_add(end.raw());
+            if let Some(instr) = cursor.finish_run(end) {
+                sum = sum.wrapping_add(instr.addr.raw());
+            }
+        }
+        black_box(sum);
+    });
+    println!("{:<40} {:>12.2} ns/instr", "compact/decode_lut_per_instr", ns / instructions as f64);
+}
+
+/// The run-batched cycle-accounting loop in isolation: a branch-free
+/// straight-line trace compiles to one giant run, so the whole replay is
+/// the `step_run` group loop (LUT decode + serial f64 cycle additions +
+/// line-transition checks) with almost no predictor work.
+fn bench_run_batched_accounting() {
+    const LEN: u64 = 200_000;
+    let v: Vec<TraceInstr> =
+        (0..LEN).map(|i| TraceInstr::plain(InstAddr::new(0x10_0000 + i * 4), 4)).collect();
+    let gen = VecTrace::new("straightline", v);
+    let compact = CompactTrace::capture(&gen).expect("straight-line code compact-encodes");
+    let config = SimConfig::btb2_enabled();
+    let ns = bench("replay/run_batched_accounting", 20, || {
+        let model = CoreModel::new(config.uarch, config.predictor.clone());
+        black_box(model.run_compact(&compact).cycles);
+    });
+    println!(
+        "{:<40} {:>12.2} ns/instr",
+        "replay/run_batched_accounting_per_instr",
+        ns / LEN as f64
+    );
 }
 
 fn bench_replay(gen: &impl Trace, compact: &CompactTrace, instructions: u64) {
@@ -98,6 +139,15 @@ fn bench_replay(gen: &impl Trace, compact: &CompactTrace, instructions: u64) {
         black_box(model.run(&mat).cycles);
     });
     println!("{:<40} {:>12.2} ns/instr", "replay/record_per_instr", ns / instructions as f64);
+
+    // Opt-in sampled replay: 1-in-10 windows; the gap to full compact
+    // replay above is what the estimator buys.
+    let spec = SamplingSpec::one_in(10, instructions / 50);
+    let ns = bench("replay/sampled[1-in-10]", 10, || {
+        let model = CoreModel::new(config.uarch, config.predictor.clone());
+        black_box(model.run_compact_sampled(compact, spec).measured_cycles);
+    });
+    println!("{:<40} {:>12.2} ns/instr", "replay/sampled_per_instr", ns / instructions as f64);
 }
 
 fn main() {
@@ -108,4 +158,5 @@ fn main() {
     let compact = CompactTrace::capture(&gen).expect("generator streams compact-encode");
     bench_compact_decode(&compact, LEN);
     bench_replay(&gen, &compact, LEN);
+    bench_run_batched_accounting();
 }

@@ -33,7 +33,8 @@ use zbp_sim::report::render_table;
 use zbp_sim::runner::{SimResult, Simulator};
 use zbp_sim::SimConfig;
 use zbp_trace::profile::WorkloadProfile;
-use zbp_trace::{CompactParts, CompactTrace, MaterializedTrace};
+use zbp_trace::{CompactParts, CompactTrace, MaterializedTrace, TraceStore, TraceStoreKey};
+use zbp_uarch::core::SamplingSpec;
 
 /// Default per-workload instruction cap when `ZBP_TRACE_LEN` is unset.
 const DEFAULT_BENCH_LEN: u64 = 1_000_000;
@@ -121,6 +122,30 @@ struct ThroughputReport {
     /// Wall-clock speedup of shared over the pre-PR binary; `None` when
     /// no `ZBP_BENCH_PREPR_S` measurement was supplied.
     speedup_vs_prepr: Option<f64>,
+    /// Cold trace-store grid wall-clock: generate + encode + persist +
+    /// replay, into a fresh store. Nullable so history lines written by
+    /// older harness revisions stay parseable (the `prepr_*` pattern).
+    store_cold_s: Option<f64>,
+    /// Warm trace-store grid wall-clock: single-read load + replay, no
+    /// generation or encoding.
+    store_warm_s: Option<f64>,
+    /// Whole-grid throughput of the warm-store path (MIPS).
+    store_warm_mips: Option<f64>,
+    /// On-disk store bytes per generated instruction (header + streams
+    /// + digests, per `.zbpc` entry).
+    store_bytes_per_instr: Option<f64>,
+    /// Wall-clock speedup of the warm-store grid over the shared
+    /// (generate-every-run) grid.
+    warm_speedup_vs_shared: Option<f64>,
+    /// Sampled-replay grid wall-clock (1-in-10 windows, opt-in mode).
+    sampling_replay_s: Option<f64>,
+    /// Sampled-replay grid throughput counted over *all* trace
+    /// instructions, not just the modelled windows (MIPS).
+    sampling_mips: Option<f64>,
+    /// Worst per-cell CPI error of sampled vs full replay (percent).
+    sampling_max_cpi_err_pct: Option<f64>,
+    /// Mean per-cell CPI error of sampled vs full replay (percent).
+    sampling_mean_cpi_err_pct: Option<f64>,
 }
 
 zbp_support::impl_json_struct!(ThroughputReport {
@@ -151,6 +176,15 @@ zbp_support::impl_json_struct!(ThroughputReport {
     baseline_mips,
     speedup,
     speedup_vs_prepr,
+    store_cold_s,
+    store_warm_s,
+    store_warm_mips,
+    store_bytes_per_instr,
+    warm_speedup_vs_shared,
+    sampling_replay_s,
+    sampling_mips,
+    sampling_max_cpi_err_pct,
+    sampling_mean_cpi_err_pct,
 });
 
 fn mips(instructions: u64, seconds: f64) -> f64 {
@@ -286,6 +320,99 @@ fn main() {
         );
     }
 
+    // Trace-store passes: the cold pass persists each workload's capture
+    // into a fresh store alongside the replay (what the first `zbp-cli
+    // experiment run` pays); the warm pass reloads it in a single read
+    // and replays, with generation and encoding amortized to zero (every
+    // later run). Warm results must stay bit-identical to the shared
+    // grid.
+    let store_dir = std::env::temp_dir().join(format!("zbp-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store = TraceStore::at(&store_dir);
+    let keys: Vec<TraceStoreKey> = profiles
+        .iter()
+        .map(|p| {
+            TraceStoreKey::workload(&zbp_support::json::to_string(p), opts.seed, opts.len_for(p))
+        })
+        .collect();
+    let workload_ids: Vec<usize> = (0..profiles.len()).collect();
+    let t = Instant::now();
+    let cold_results: Vec<Vec<SimResult>> = par_map(&workload_ids, |&w| {
+        let parts = parts_pool.lock().expect("pool lock").pop().unwrap_or_default();
+        let p = &profiles[w];
+        let gen = p.build_with_len(opts.seed, opts.len_for(p));
+        let compact = match CompactTrace::capture_within_into(&gen, u64::MAX, parts) {
+            Ok(c) => c,
+            Err(e) => panic!("generator streams compact-encode: {e:?}"),
+        };
+        store.store(&keys[w], &compact);
+        let results = par_map(&configs, |c| Simulator::run_config_compact(c, &compact));
+        if let Some(parts) = compact.into_parts() {
+            parts_pool.lock().expect("pool lock").push(parts);
+        }
+        results
+    });
+    let store_cold_s = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let warm_results: Vec<Vec<SimResult>> = par_map(&workload_ids, |&w| {
+        let parts = parts_pool.lock().expect("pool lock").pop().unwrap_or_default();
+        let compact = store.load(&keys[w], parts).expect("freshly stored capture hits");
+        let results = par_map(&configs, |c| Simulator::run_config_compact(c, &compact));
+        if let Some(parts) = compact.into_parts() {
+            parts_pool.lock().expect("pool lock").push(parts);
+        }
+        results
+    });
+    let store_warm_s = t.elapsed().as_secs_f64();
+
+    let warm_flat: Vec<SimResult> = warm_results.into_iter().flatten().collect();
+    let cold_flat: Vec<SimResult> = cold_results.into_iter().flatten().collect();
+    for (i, &(w, c)) in cells.iter().enumerate() {
+        assert_eq!(
+            warm_flat[i].core, shared_results[i].core,
+            "store-loaded replay diverged from shared on ({}, {})",
+            profiles[w].name, configs[c].name
+        );
+        assert_eq!(
+            cold_flat[i].core, shared_results[i].core,
+            "store-writing replay diverged from shared on ({}, {})",
+            profiles[w].name, configs[c].name
+        );
+    }
+    let store_bytes: u64 = keys
+        .iter()
+        .filter_map(|k| store.path_for(k))
+        .map(|p| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0))
+        .sum();
+
+    // Sampled replay (opt-in estimator): 1-in-10 windows off the warm
+    // store, CPI error reported against the full-replay grid.
+    let spec = SamplingSpec::one_in(10, opts.len.unwrap_or(DEFAULT_BENCH_LEN) / 50);
+    let t = Instant::now();
+    let sampled_cpis: Vec<Vec<f64>> = par_map(&workload_ids, |&w| {
+        let parts = parts_pool.lock().expect("pool lock").pop().unwrap_or_default();
+        let compact = store.load(&keys[w], parts).expect("freshly stored capture hits");
+        let cpis = configs
+            .iter()
+            .map(|c| Simulator::run_config_compact_sampled(c, &compact, spec).cpi())
+            .collect();
+        if let Some(parts) = compact.into_parts() {
+            parts_pool.lock().expect("pool lock").push(parts);
+        }
+        cpis
+    });
+    let sampling_replay_s = t.elapsed().as_secs_f64();
+    let sampled_flat: Vec<f64> = sampled_cpis.into_iter().flatten().collect();
+    let errs: Vec<f64> = sampled_flat
+        .iter()
+        .zip(&shared_results)
+        .map(|(s, full)| 100.0 * (s - full.cpi()).abs() / full.cpi())
+        .collect();
+    let sampling_max_err = errs.iter().copied().fold(0.0f64, f64::max);
+    let sampling_mean_err = errs.iter().sum::<f64>() / errs.len().max(1) as f64;
+    let _ = std::fs::remove_dir_all(&store_dir);
+
     // Optional externally measured pre-PR wall-clock: the in-binary
     // regenerate baseline under-counts the PR because the simulator's
     // own per-step optimizations speed it up too. Run the same grid
@@ -330,6 +457,15 @@ fn main() {
         baseline_mips: mips(replay_instructions, baseline_total_s),
         speedup: baseline_total_s / shared_total_s.max(1e-9),
         speedup_vs_prepr: prepr_total_s.map(|p| p / shared_total_s.max(1e-9)),
+        store_cold_s: Some(store_cold_s),
+        store_warm_s: Some(store_warm_s),
+        store_warm_mips: Some(mips(replay_instructions, store_warm_s)),
+        store_bytes_per_instr: Some(store_bytes as f64 / generate_instructions.max(1) as f64),
+        warm_speedup_vs_shared: Some(shared_total_s / store_warm_s.max(1e-9)),
+        sampling_replay_s: Some(sampling_replay_s),
+        sampling_mips: Some(mips(replay_instructions, sampling_replay_s)),
+        sampling_max_cpi_err_pct: Some(sampling_max_err),
+        sampling_mean_cpi_err_pct: Some(sampling_mean_err),
     };
 
     let rows = vec![
@@ -369,6 +505,24 @@ fn main() {
             format!("{}", replay_instructions),
             format!("{:.2}", report.baseline_mips),
         ],
+        vec![
+            "store grid total (cold)".to_string(),
+            format!("{:.3}", store_cold_s),
+            format!("{}", replay_instructions),
+            format!("{:.2}", mips(replay_instructions, store_cold_s)),
+        ],
+        vec![
+            "store grid total (warm)".to_string(),
+            format!("{:.3}", store_warm_s),
+            format!("{}", replay_instructions),
+            format!("{:.2}", mips(replay_instructions, store_warm_s)),
+        ],
+        vec![
+            "sampled replay (1-in-10, warm)".to_string(),
+            format!("{:.3}", sampling_replay_s),
+            format!("{}", replay_instructions),
+            format!("{:.2}", mips(replay_instructions, sampling_replay_s)),
+        ],
     ];
     println!("{}", render_table(&["stage", "wall (s)", "sim instructions", "MIPS"], &rows));
     println!(
@@ -378,6 +532,17 @@ fn main() {
         report.record_bytes_per_instr / report.compact_bytes_per_instr.max(1e-9)
     );
     println!("speedup (regenerate / shared): {:.2}x", report.speedup);
+    println!(
+        "store: {:.2} bytes/instr on disk; warm grid {:.2}x vs shared (generation amortized)",
+        report.store_bytes_per_instr.unwrap_or(0.0),
+        report.warm_speedup_vs_shared.unwrap_or(0.0),
+    );
+    println!(
+        "sampling (opt-in): CPI error vs full replay max {:.2}%, mean {:.2}% over {} cells",
+        sampling_max_err,
+        sampling_mean_err,
+        errs.len()
+    );
     if let Some(speedup_vs_prepr) = report.speedup_vs_prepr {
         println!(
             "speedup (pre-PR {} / shared): {:.2}x",

@@ -102,8 +102,22 @@ pub struct BtbArray {
     slots: Vec<Slot>,
     /// Live slots per row.
     row_len: Vec<u32>,
+    /// Per-row line signature: bit `(line >> row_bits) & 63` is set iff
+    /// some live slot's address lies in `line`. Lets line-scoped queries
+    /// ([`Self::lookup`], [`Self::line_has_content`],
+    /// [`Self::entries_in_line_into`] — the bulk-transfer drain reads one
+    /// row per 32 B searched) skip the slot scan for lines the row has
+    /// never seen, which is the overwhelmingly common case. Maintained
+    /// exactly: inserts OR the new bit in, removals and evictions rebuild
+    /// the row's signature from its ≤ `ways` survivors. Visibility
+    /// (`visible_at`) is *not* encoded — a set bit for a not-yet-visible
+    /// entry just falls through to the scan, which filters as before.
+    line_sig: Vec<u64>,
     line_shift: u32,
     row_mask: u64,
+    /// `log2(rows)`: line bits at and above this index distinguish lines
+    /// sharing a row, so they pick the signature bit.
+    row_bits: u32,
 }
 
 impl BtbArray {
@@ -128,10 +142,27 @@ impl BtbArray {
         Self {
             slots: vec![filler; geometry.capacity() as usize],
             row_len: vec![0; geometry.rows as usize],
+            line_sig: vec![0; geometry.rows as usize],
             line_shift: geometry.line_bytes.trailing_zeros(),
             row_mask: geometry.rows as u64 - 1,
+            row_bits: geometry.rows.trailing_zeros(),
             geometry,
         }
+    }
+
+    /// The signature bit for a line (line number = address / line bytes).
+    #[inline]
+    fn sig_bit(&self, line: u64) -> u64 {
+        1u64 << ((line >> self.row_bits) & 63)
+    }
+
+    /// Recomputes a row's line signature from its live slots.
+    fn rebuild_sig(&mut self, row: usize) {
+        let start = row * self.geometry.ways as usize;
+        let sig = self.slots[start..start + self.row_len[row] as usize]
+            .iter()
+            .fold(0u64, |sig, s| sig | self.sig_bit(s.entry.addr.raw() >> self.line_shift));
+        self.line_sig[row] = sig;
     }
 
     /// The live slots of row `row`, in recency order.
@@ -150,9 +181,33 @@ impl BtbArray {
         ((addr.raw() >> self.line_shift) & self.row_mask) as usize
     }
 
+    /// Hints the CPU caches toward the row serving `addr`. Purely a
+    /// hardware prefetch hint — no architectural effect on the model.
+    #[inline]
+    pub fn prefetch(&self, addr: InstAddr) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the row start lies inside the slab allocation, and
+        // prefetch has no memory effects even on a stale address.
+        unsafe {
+            use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            let row = self.row_of(addr);
+            let p = self.slots.as_ptr().add(row * self.geometry.ways as usize).cast::<i8>();
+            // A row spans multiple cache lines (ways × 32 B slots);
+            // the first two hold the most recently used entries.
+            _mm_prefetch::<_MM_HINT_T0>(p);
+            _mm_prefetch::<_MM_HINT_T0>(p.add(64));
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = addr;
+    }
+
     /// Exact-tag lookup visible at `now`. Does not affect recency.
     pub fn lookup(&self, addr: InstAddr, now: u64) -> Option<Hit> {
-        self.row_slots(self.row_of(addr))
+        let row = self.row_of(addr);
+        if self.line_sig[row] & self.sig_bit(addr.raw() >> self.line_shift) == 0 {
+            return None;
+        }
+        self.row_slots(row)
             .iter()
             .enumerate()
             .find(|(_, s)| s.entry.addr == addr && s.visible_at <= now)
@@ -164,9 +219,12 @@ impl BtbArray {
     /// row search would report content for this line.
     pub fn line_has_content(&self, addr: InstAddr, now: u64) -> bool {
         let line = addr.raw() >> self.line_shift;
-        self.row_slots(self.row_of(addr))
-            .iter()
-            .any(|s| s.visible_at <= now && (s.entry.addr.raw() >> self.line_shift) == line)
+        let row = self.row_of(addr);
+        self.line_sig[row] & self.sig_bit(line) != 0
+            && self
+                .row_slots(row)
+                .iter()
+                .any(|s| s.visible_at <= now && (s.entry.addr.raw() >> self.line_shift) == line)
     }
 
     /// Fills `out` with all entries visible at `now` whose address lies in
@@ -176,8 +234,12 @@ impl BtbArray {
     pub fn entries_in_line_into(&self, line: u64, now: u64, out: &mut Vec<BtbEntry>) {
         out.clear();
         let addr = InstAddr::new(line << self.line_shift);
+        let row = self.row_of(addr);
+        if self.line_sig[row] & self.sig_bit(line) == 0 {
+            return;
+        }
         out.extend(
-            self.row_slots(self.row_of(addr))
+            self.row_slots(row)
                 .iter()
                 .filter(|s| s.visible_at <= now && (s.entry.addr.raw() >> self.line_shift) == line)
                 .map(|s| s.entry),
@@ -212,6 +274,7 @@ impl BtbArray {
     /// made MRU) rather than duplicated.
     pub fn insert(&mut self, entry: BtbEntry, visible_at: u64) -> Option<BtbEntry> {
         let row = self.row_of(entry.addr);
+        let bit = self.sig_bit(entry.addr.raw() >> self.line_shift);
         let ways = self.geometry.ways as usize;
         let start = row * ways;
         let len = self.row_len[row] as usize;
@@ -228,11 +291,15 @@ impl BtbArray {
             slots[..=len].rotate_right(1);
             slots[0] = Slot { entry, visible_at };
             self.row_len[row] += 1;
+            self.line_sig[row] |= bit;
             None
         } else {
             let victim = slots[ways - 1].entry;
             slots.rotate_right(1);
             slots[0] = Slot { entry, visible_at };
+            // The victim's line may have lost its last entry: recompute
+            // rather than leave a stale bit to rot the filter.
+            self.rebuild_sig(row);
             Some(victim)
         }
     }
@@ -246,6 +313,7 @@ impl BtbArray {
         let entry = slots[pos].entry;
         slots[pos..].rotate_left(1);
         self.row_len[row] -= 1;
+        self.rebuild_sig(row);
         Some(entry)
     }
 
@@ -256,6 +324,12 @@ impl BtbArray {
         let slots = &mut self.slots[start..start + self.row_len[row] as usize];
         if let Some(slot) = slots.iter_mut().find(|s| s.entry.addr == addr) {
             f(&mut slot.entry);
+            let moved = slot.entry.addr != addr;
+            if moved {
+                // No current caller rewrites the tag, but the signature
+                // must not silently decay if one ever does.
+                self.rebuild_sig(row);
+            }
             true
         } else {
             false
@@ -298,6 +372,14 @@ impl BtbArray {
                     slot.entry.addr
                 );
             }
+            let expected_sig = slots
+                .iter()
+                .fold(0u64, |sig, s| sig | self.sig_bit(s.entry.addr.raw() >> self.line_shift));
+            assert_eq!(
+                self.line_sig[row], expected_sig,
+                "audit: {name} row {row}: line signature {:#x} != live-slot signature {expected_sig:#x}",
+                self.line_sig[row]
+            );
         }
     }
 
@@ -316,6 +398,7 @@ impl BtbArray {
     /// Removes all entries.
     pub fn clear(&mut self) {
         self.row_len.fill(0);
+        self.line_sig.fill(0);
     }
 }
 

@@ -77,6 +77,17 @@ impl Structures {
             phantom: cfg.phantom.map(PhantomBtb::new),
         }
     }
+
+    /// Hints the CPU caches toward the BTB rows a lookup of `addr` will
+    /// scan (see [`BtbArray::prefetch`]). Purely a performance hint.
+    #[inline]
+    pub fn prefetch(&self, addr: InstAddr) {
+        self.btb1.prefetch(addr);
+        self.btbp.prefetch(addr);
+        if let Some(btb2) = &self.btb2 {
+            btb2.prefetch(addr);
+        }
+    }
 }
 
 /// The event-driven lookahead search engine (see the module docs).
@@ -315,8 +326,6 @@ impl SearchEngine {
                     .map(|h| (h, PredSource::Btbp))
             });
 
-        let static_guess = s.direction.static_guess(addr, branch.kind);
-
         let Some((hit, source)) = hit else {
             // Surprise: this row search found nothing.
             self.fruitless_row(cfg, s, bus);
@@ -330,7 +339,7 @@ impl SearchEngine {
                 target: None,
                 ready_cycle: u64::MAX,
                 in_time: false,
-                static_guess_taken: static_guess,
+                static_guess_taken: s.direction.static_guess(addr, branch.kind),
                 used_dir: false,
                 used_ctb: false,
             };
@@ -413,13 +422,19 @@ impl SearchEngine {
             bus.bump(Counter::LatePredictions);
         }
         bus.observe(Sample::PredictionLead, decode_cycle.saturating_sub(ready_cycle));
+        // The static guess only matters when the dynamic prediction is
+        // not acted on (surprise, or present-but-late): the core falls
+        // back to it in `branch()`. In-time hits never read it, so skip
+        // the BHT probe on this — by far the most common — path.
+        let static_guess_taken =
+            if in_time { false } else { s.direction.static_guess(addr, branch.kind) };
         Prediction {
             source: Some(source),
             taken,
             target: Some(target),
             ready_cycle,
             in_time,
-            static_guess_taken: static_guess,
+            static_guess_taken,
             used_dir: decision.used_dir,
             used_ctb,
         }

@@ -10,11 +10,28 @@
 use zbp_trace::InstAddr;
 
 /// The fast index table.
+///
+/// Every taken prediction touches the FIT, so the MRU list is tuned for
+/// that path: a presence filter (one bit per address-hash) answers the
+/// common "not under FIT control" case without scanning, and recency
+/// moves are slice rotations instead of element-shifting removals.
 #[derive(Debug, Clone)]
 pub struct Fit {
     /// MRU-first list of branch addresses.
     entries: Vec<InstAddr>,
     capacity: usize,
+    /// Presence filter: bit `(addr >> 1) & 63` set for every tracked
+    /// address (instructions are halfword aligned). A clear bit proves
+    /// absence; a set bit falls through to the scan. Rebuilt from the
+    /// survivors whenever an eviction may have cleared a line's last
+    /// holder.
+    sig: u64,
+}
+
+/// The presence-filter bit for an address.
+#[inline]
+fn sig_bit(addr: InstAddr) -> u64 {
+    1u64 << ((addr.raw() >> 1) & 63)
 }
 
 impl Fit {
@@ -25,22 +42,34 @@ impl Fit {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "FIT capacity must be positive");
-        Self { entries: Vec::with_capacity(capacity), capacity }
+        Self { entries: Vec::with_capacity(capacity), capacity, sig: 0 }
     }
 
     /// Whether the branch is under FIT control.
     pub fn contains(&self, addr: InstAddr) -> bool {
-        self.entries.contains(&addr)
+        self.sig & sig_bit(addr) != 0 && self.entries.contains(&addr)
     }
 
     /// Records a taken prediction for `addr`, refreshing recency.
     pub fn touch(&mut self, addr: InstAddr) {
-        if let Some(pos) = self.entries.iter().position(|&a| a == addr) {
-            self.entries.remove(pos);
-        } else if self.entries.len() == self.capacity {
-            self.entries.pop();
+        let pos = if self.sig & sig_bit(addr) == 0 {
+            None
+        } else {
+            self.entries.iter().position(|&a| a == addr)
+        };
+        if let Some(pos) = pos {
+            self.entries[..=pos].rotate_right(1);
+            return;
         }
-        self.entries.insert(0, addr);
+        if self.entries.len() == self.capacity {
+            self.entries.rotate_right(1);
+            self.entries[0] = addr;
+            // The evicted address may have held its filter bit alone.
+            self.sig = self.entries.iter().fold(0, |sig, &a| sig | sig_bit(a));
+        } else {
+            self.entries.insert(0, addr);
+            self.sig |= sig_bit(addr);
+        }
     }
 
     /// Number of tracked branches.

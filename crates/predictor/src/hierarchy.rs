@@ -120,6 +120,16 @@ impl BranchPredictor {
         self.handle(PredictorEvent::DecodeSurprise { addr, cycle, guessed_taken });
     }
 
+    /// Hints the CPU caches toward the BTB rows a lookup of `addr` will
+    /// scan. Purely a performance hint with no architectural effect —
+    /// replay issues it while walking the instruction run preceding the
+    /// branch, so the row loads overlap the decode instead of stalling
+    /// the prediction.
+    #[inline]
+    pub fn prefetch(&self, addr: InstAddr) {
+        self.structures.prefetch(addr);
+    }
+
     /// Processes transfer returns due by `cycle` (called internally ahead
     /// of every lookup; exposed for the simulator's end-of-run drain).
     pub fn advance_transfers(&mut self, cycle: u64) {

@@ -6,6 +6,7 @@
 //! addresses of the 12 previous taken branches" (paper §3.1). This module
 //! maintains those histories and folds them into table indices.
 
+use std::cell::Cell;
 use zbp_trace::InstAddr;
 
 /// Depth of the direction history.
@@ -27,7 +28,7 @@ pub const CTB_ADDR_DEPTH: usize = 12;
 /// assert_eq!(h.dirs() & 0b11, 0b10); // youngest direction in bit 0
 /// assert!(h.pht_index(4096) < 4096);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct PathHistory {
     /// Last [`DIR_DEPTH`] directions, bit 0 = most recent (1 = taken).
     dirs: u16,
@@ -35,12 +36,35 @@ pub struct PathHistory {
     taken: [u64; CTB_ADDR_DEPTH],
     /// Next write position in `taken`.
     pos: usize,
+    /// Memoized [`Self::fold_taken`] values for the two depths the
+    /// indices use (slot 0: [`PHT_ADDR_DEPTH`], slot 1:
+    /// [`CTB_ADDR_DEPTH`]), invalidated by taken pushes. A branch's
+    /// predict-time and train-time folds straddle no push, so each depth
+    /// folds at most once per resolved branch instead of per query.
+    fold_cache: [Cell<u64>; 2],
+    fold_valid: [Cell<bool>; 2],
 }
+
+/// The fold caches are derived state: two histories are equal iff their
+/// observable components are.
+impl PartialEq for PathHistory {
+    fn eq(&self, other: &Self) -> bool {
+        self.dirs == other.dirs && self.taken == other.taken && self.pos == other.pos
+    }
+}
+
+impl Eq for PathHistory {}
 
 impl PathHistory {
     /// Empty history.
     pub fn new() -> Self {
-        Self { dirs: 0, taken: [0; CTB_ADDR_DEPTH], pos: 0 }
+        Self {
+            dirs: 0,
+            taken: [0; CTB_ADDR_DEPTH],
+            pos: 0,
+            fold_cache: [Cell::new(0), Cell::new(0)],
+            fold_valid: [Cell::new(false), Cell::new(false)],
+        }
     }
 
     /// Records a resolved (or predicted) branch.
@@ -48,7 +72,9 @@ impl PathHistory {
         self.dirs = ((self.dirs << 1) | u16::from(taken)) & ((1 << DIR_DEPTH) - 1);
         if taken {
             self.taken[self.pos] = addr.raw();
-            self.pos = (self.pos + 1) % CTB_ADDR_DEPTH;
+            self.pos = if self.pos + 1 == CTB_ADDR_DEPTH { 0 } else { self.pos + 1 };
+            self.fold_valid[0].set(false);
+            self.fold_valid[1].set(false);
         }
     }
 
@@ -60,6 +86,16 @@ impl PathHistory {
     /// Folded hash of the `depth` most recent taken addresses.
     fn fold_taken(&self, depth: usize) -> u64 {
         debug_assert!(depth <= CTB_ADDR_DEPTH);
+        let slot = match depth {
+            PHT_ADDR_DEPTH => Some(0),
+            CTB_ADDR_DEPTH => Some(1),
+            _ => None,
+        };
+        if let Some(slot) = slot {
+            if self.fold_valid[slot].get() {
+                return self.fold_cache[slot].get();
+            }
+        }
         let mut h: u64 = 0;
         let mut idx = self.pos;
         for _ in 0..depth {
@@ -69,6 +105,10 @@ impl PathHistory {
             h = h
                 .rotate_left(7)
                 .wrapping_add((self.taken[idx] >> 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        }
+        if let Some(slot) = slot {
+            self.fold_cache[slot].set(h);
+            self.fold_valid[slot].set(true);
         }
         h
     }

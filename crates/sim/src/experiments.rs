@@ -17,15 +17,16 @@ use crate::report::ImprovementRow;
 use crate::session::{SessionGrid, SimSession};
 use crate::sweep::{sweep, SweepPoint};
 use std::path::PathBuf;
+use std::sync::Arc;
 use zbp_predictor::exclusive::ExclusivityPolicy;
 use zbp_predictor::tracker::FilterMode;
 use zbp_predictor::PredictorConfig;
 use zbp_trace::profile::WorkloadProfile;
-use zbp_trace::TraceStats;
+use zbp_trace::{TraceStats, TraceStore};
 use zbp_uarch::classify::OutcomeCounts;
 
 /// Global experiment options.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ExperimentOptions {
     /// Cap on dynamic instructions per workload (`None` = profile
     /// default).
@@ -41,13 +42,41 @@ pub struct ExperimentOptions {
     /// Replay captures through the compact branch-point encoding (the
     /// default). `false` selects the record-based reference path.
     pub compact: bool,
+    /// Persistent compact-trace store. Disabled by default; the CLI
+    /// roots it at `results/traces/`. Shared via `Arc` so every session
+    /// an experiment builds accumulates hit/miss counters on the same
+    /// store, which the registry stamps into the manifest.
+    pub trace_store: Arc<TraceStore>,
 }
 
 impl Default for ExperimentOptions {
     fn default() -> Self {
-        Self { len: None, seed: 0xEC12, workers: None, cache_dir: None, compact: true }
+        Self {
+            len: None,
+            seed: 0xEC12,
+            workers: None,
+            cache_dir: None,
+            compact: true,
+            trace_store: Arc::new(TraceStore::disabled()),
+        }
     }
 }
+
+// The trace store carries live counters; options equality is about the
+// *configuration*, so stores compare by directory and mode.
+impl PartialEq for ExperimentOptions {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len
+            && self.seed == other.seed
+            && self.workers == other.workers
+            && self.cache_dir == other.cache_dir
+            && self.compact == other.compact
+            && self.trace_store.dir() == other.trace_store.dir()
+            && self.trace_store.reads() == other.trace_store.reads()
+    }
+}
+
+impl Eq for ExperimentOptions {}
 
 impl ExperimentOptions {
     /// Convenience constructor for tests and examples: a capped, seeded
@@ -57,7 +86,8 @@ impl ExperimentOptions {
     }
 
     /// Reads `ZBP_TRACE_LEN`, `ZBP_SEED`, `ZBP_WORKERS`,
-    /// `ZBP_CACHE_DIR` and `ZBP_COMPACT` from the environment.
+    /// `ZBP_CACHE_DIR`, `ZBP_COMPACT`, `ZBP_TRACE_STORE` and
+    /// `ZBP_FRESH_TRACES` from the environment.
     ///
     /// # Errors
     ///
@@ -93,6 +123,17 @@ impl ExperimentOptions {
                 "0" | "false" => false,
                 _ => return Err(format!("ZBP_COMPACT={v:?}: expected 0/1/true/false")),
             };
+        }
+        let fresh = match env_nonempty("ZBP_FRESH_TRACES").as_deref() {
+            None | Some("0") | Some("false") => false,
+            Some("1") | Some("true") => true,
+            Some(v) => return Err(format!("ZBP_FRESH_TRACES={v:?}: expected 0/1/true/false")),
+        };
+        if let Some(v) = env_nonempty("ZBP_TRACE_STORE") {
+            o.trace_store =
+                Arc::new(if fresh { TraceStore::write_only(&v) } else { TraceStore::at(&v) });
+        } else if fresh {
+            return Err("ZBP_FRESH_TRACES=1 requires ZBP_TRACE_STORE to be set".into());
         }
         Ok(o)
     }

@@ -3,7 +3,8 @@
 //! Samples random (workload, seed, configuration) cells and runs each
 //! one through every execution path the repo maintains — per-record
 //! replay, run-batched compact replay, the JSON cell-cache round-trip,
-//! and a fresh recomputation — diffing all of them against each other.
+//! a fresh recomputation, and the persistent trace-store round-trip —
+//! diffing all of them against each other.
 //! With the `audit` feature enabled the [`zbp_predictor`] structure
 //! auditor additionally checks every internal invariant on every event
 //! of every replay; an auditor panic is caught and reported as a cell
@@ -25,6 +26,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use zbp_support::json::{self, FromJson};
 use zbp_support::rng::SmallRng;
 use zbp_trace::profile::WorkloadProfile;
+use zbp_trace::{CompactTrace, TraceStore, TraceStoreKey};
 use zbp_uarch::core::CoreResult;
 use zbp_uarch::oracle;
 
@@ -194,6 +196,37 @@ fn check_cell(
     let fresh = Simulator::run_config(config, &trace);
     if fresh.core != computed {
         return Some("fresh rerun disagreed with the first computation".into());
+    }
+
+    // Path 5: the trace-store round-trip — capture, persist, load —
+    // must hand back byte-identical streams, and replaying the
+    // store-loaded trace against the original through the per-branch
+    // oracle must agree everywhere (this is the warm-store grid path).
+    let compact = match CompactTrace::capture(&trace) {
+        Ok(c) => c,
+        Err(e) => return Some(format!("compact capture refused: {e}")),
+    };
+    let store = TraceStore::at(cache_dir.join("traces"));
+    let store_key = TraceStoreKey::workload(&json::to_string(profile), trace_seed, len);
+    store.store(&store_key, &compact);
+    let loaded = match store.load(&store_key, Default::default()) {
+        Ok(t) => t,
+        Err(_) => return Some("freshly stored trace missed on load".into()),
+    };
+    if loaded.branch_points() != compact.branch_points()
+        || loaded.len_code_stream() != compact.len_code_stream()
+        || loaded.far_stream() != compact.far_stream()
+        || loaded.start_addr() != compact.start_addr()
+        || loaded.tail_gap() != compact.tail_gap()
+    {
+        return Some("trace-store round-trip changed the streams".into());
+    }
+    if let Err(d) = oracle::diff_replay(&loaded, config.uarch, &config.predictor) {
+        return Some(format!("store-loaded/compact divergence: {d}"));
+    }
+    let replayed = Simulator::run_config_compact(config, &loaded);
+    if replayed.core != computed {
+        return Some("store-loaded replay disagreed with the first computation".into());
     }
     None
 }

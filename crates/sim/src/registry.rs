@@ -95,6 +95,13 @@ pub struct Manifest {
     pub cells: u64,
     /// Cells answered from the cell cache.
     pub cache_hits: u64,
+    /// Workload rows whose compact capture loaded from the trace store
+    /// (`None` when no store was attached; absent in pre-store
+    /// artifacts).
+    pub trace_store_hits: Option<u64>,
+    /// Workload rows the store could not serve (regenerated and
+    /// persisted). `None` when no store was attached.
+    pub trace_store_misses: Option<u64>,
 }
 
 zbp_support::impl_json_struct!(Manifest {
@@ -108,6 +115,8 @@ zbp_support::impl_json_struct!(Manifest {
     generated_unix,
     cells,
     cache_hits,
+    trace_store_hits,
+    trace_store_misses,
 });
 
 /// A completed experiment: manifest, post-processed data, and rendered
@@ -135,8 +144,14 @@ impl ExperimentRun {
 
 /// Manifest fields that legitimately differ between two runs of the
 /// same experiment on the same inputs.
-pub const VOLATILE_MANIFEST_FIELDS: [&str; 4] =
-    ["wall_time_ms", "generated_unix", "cache_hits", "git_revision"];
+pub const VOLATILE_MANIFEST_FIELDS: [&str; 6] = [
+    "wall_time_ms",
+    "generated_unix",
+    "cache_hits",
+    "git_revision",
+    "trace_store_hits",
+    "trace_store_misses",
+];
 
 /// Strips the [`VOLATILE_MANIFEST_FIELDS`] from an artifact's manifest
 /// so two runs over identical inputs compare bit-for-bit.
@@ -172,6 +187,9 @@ impl ExperimentSpec {
     pub fn run(&self, opts: &ExperimentOptions, cache: &CellCache) -> ExperimentRun {
         crate::parallel::set_worker_cap(opts.workers);
         let t0 = Instant::now();
+        // The store's counters are cumulative across the process (the
+        // options may be reused); attribute only this run's delta.
+        let store_before = opts.trace_store.stats();
         let profiles = (self.workloads)();
         let trace_lens: Vec<(String, u64)> =
             profiles.iter().map(|p| (p.name.clone(), opts.len_for(p))).collect();
@@ -202,6 +220,14 @@ impl ExperimentSpec {
                 .map_or(0, |d| d.as_secs()),
             cells: stats.cells,
             cache_hits: stats.hits,
+            trace_store_hits: opts
+                .trace_store
+                .is_enabled()
+                .then(|| opts.trace_store.stats().since(store_before).hits),
+            trace_store_misses: opts
+                .trace_store
+                .is_enabled()
+                .then(|| opts.trace_store.stats().since(store_before).misses),
         };
         ExperimentRun { manifest, data: rendered.data, pretty: rendered.pretty, csv: rendered.csv }
     }
@@ -1012,8 +1038,62 @@ mod tests {
             generated_unix: 34,
             cells: 39,
             cache_hits: 7,
+            trace_store_hits: Some(13),
+            trace_store_misses: Some(0),
         };
         let back: Manifest = json::from_str(&json::to_string(&m)).unwrap();
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn manifest_without_store_fields_still_parses() {
+        // Pre-store artifacts lack the trace_store_* keys; they must
+        // read back as None, keeping committed results loadable.
+        let m = Manifest {
+            experiment: "fig2".into(),
+            schema_version: SCHEMA_VERSION,
+            seed: 1,
+            len_cap: Some(5),
+            trace_lens: vec![],
+            git_revision: "unknown".into(),
+            wall_time_ms: 0,
+            generated_unix: 0,
+            cells: 1,
+            cache_hits: 0,
+            trace_store_hits: None,
+            trace_store_misses: None,
+        };
+        let rendered = json::to_string(&m);
+        let pruned: String = rendered
+            .replace(",\"trace_store_hits\":null", "")
+            .replace(",\"trace_store_misses\":null", "");
+        let back: Manifest = json::from_str(&pruned).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn registry_run_stamps_trace_store_stats() {
+        let dir = std::env::temp_dir().join(format!("zbp-registry-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = find("fig2").unwrap();
+        let mut opts = ExperimentOptions::quick(2_000, 1);
+        assert!(
+            spec.run(&opts, &CellCache::disabled()).manifest.trace_store_hits.is_none(),
+            "no store attached, no stats stamped"
+        );
+        opts.trace_store = std::sync::Arc::new(zbp_trace::TraceStore::at(&dir));
+        let cold = spec.run(&opts, &CellCache::disabled());
+        let workloads = cold.manifest.trace_lens.len() as u64;
+        assert_eq!(cold.manifest.trace_store_hits, Some(0));
+        assert_eq!(cold.manifest.trace_store_misses, Some(workloads));
+        let warm = spec.run(&opts, &CellCache::disabled());
+        assert_eq!(warm.manifest.trace_store_hits, Some(workloads));
+        assert_eq!(warm.manifest.trace_store_misses, Some(0));
+        assert_eq!(
+            strip_volatile(&cold.artifact()),
+            strip_volatile(&warm.artifact()),
+            "store-loaded replay must be bit-identical"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -192,6 +192,8 @@ mod tests {
             generated_unix: 0,
             cells: 0,
             cache_hits: 0,
+            trace_store_hits: None,
+            trace_store_misses: None,
         }
     }
 

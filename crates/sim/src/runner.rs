@@ -2,7 +2,7 @@
 
 use crate::config::SimConfig;
 use zbp_trace::{CompactTrace, Trace};
-use zbp_uarch::core::{CoreModel, CoreResult};
+use zbp_uarch::core::{CoreModel, CoreResult, SampledResult, SamplingSpec};
 
 /// A configured simulator, ready to replay traces.
 #[derive(Debug, Clone)]
@@ -64,6 +64,18 @@ impl Simulator {
         let model = CoreModel::new(config.uarch, config.predictor.clone());
         SimResult { config_name: config.name.clone(), core: model.run_compact(trace) }
     }
+
+    /// Replays a compact capture with windowed 1-in-N sampling
+    /// ([`CoreModel::run_compact_sampled`]). An estimator for throughput
+    /// studies only — experiment artifacts always use full replay.
+    pub fn run_config_compact_sampled(
+        config: &SimConfig,
+        trace: &CompactTrace,
+        spec: SamplingSpec,
+    ) -> SampledResult {
+        let model = CoreModel::new(config.uarch, config.predictor.clone());
+        model.run_compact_sampled(trace, spec)
+    }
 }
 
 #[cfg(test)]
@@ -96,6 +108,20 @@ mod tests {
         let b = s.run(&trace);
         assert_eq!(a.core.cycles, b.core.cycles);
         assert_eq!(a.core.outcomes, b.core.outcomes);
+    }
+
+    #[test]
+    fn sampled_replay_estimates_full_cpi() {
+        let trace = WorkloadProfile::zlinux_informix().build_with_len(7, 40_000);
+        let compact = CompactTrace::capture(&trace).expect("generator streams encode");
+        let config = SimConfig::btb2_enabled();
+        let full = Simulator::run_config_compact(&config, &compact);
+        let spec = SamplingSpec::one_in(4, 2_000);
+        let sampled = Simulator::run_config_compact_sampled(&config, &compact, spec);
+        assert_eq!(sampled.total_instructions, full.core.instructions);
+        assert!(sampled.skipped_instructions > 0);
+        let err = (sampled.cpi() - full.cpi()).abs() / full.cpi();
+        assert!(err < 0.15, "sampled {} vs full {}", sampled.cpi(), full.cpi());
     }
 
     #[test]

@@ -26,11 +26,11 @@ use crate::experiments::ExperimentOptions;
 use crate::parallel::par_map;
 use crate::runner::{SimResult, Simulator};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use zbp_support::json::{self, FromJson, Json, ToJson};
 use zbp_trace::materialize::MaterializedTrace;
 use zbp_trace::profile::WorkloadProfile;
-use zbp_trace::{CompactParts, CompactTrace, Trace, TraceInstr};
+use zbp_trace::{CompactParts, CompactTrace, Trace, TraceInstr, TraceStore, TraceStoreKey};
 use zbp_uarch::core::CoreResult;
 
 /// Builder for a batched workload × configuration run.
@@ -55,6 +55,7 @@ pub struct SimSession {
     len: Option<u64>,
     materialize_cap: u64,
     compact: bool,
+    store: Arc<TraceStore>,
     workloads: Vec<WorkloadProfile>,
     configs: Vec<SimConfig>,
 }
@@ -78,15 +79,22 @@ impl SimSession {
             len: opts.len,
             materialize_cap: DEFAULT_MATERIALIZE_CAP,
             compact: opts.compact,
+            store: Arc::new(TraceStore::disabled()),
             workloads: Vec::new(),
             configs: Vec::new(),
         }
     }
 
-    /// Takes seed, length cap and replay encoding from
+    /// Takes seed, length cap, replay encoding and trace store from
     /// [`ExperimentOptions`].
     pub fn from_options(opts: &ExperimentOptions) -> Self {
-        Self { seed: opts.seed, len: opts.len, compact: opts.compact, ..Self::new() }
+        Self {
+            seed: opts.seed,
+            len: opts.len,
+            compact: opts.compact,
+            store: Arc::clone(&opts.trace_store),
+            ..Self::new()
+        }
     }
 
     /// Sets the workload synthesis seed.
@@ -123,6 +131,19 @@ impl SimSession {
     #[must_use]
     pub fn compact(mut self, compact: bool) -> Self {
         self.compact = compact;
+        self
+    }
+
+    /// Attaches a persistent compact-trace store: workload rows load
+    /// their capture from disk instead of regenerating it, and freshly
+    /// captured rows are persisted for the next run. Store-loaded
+    /// replays are bit-identical to generate-and-encode replays (the
+    /// store only short-circuits *capture*, never simulation). Only the
+    /// compact path consults the store; the record reference path
+    /// always regenerates.
+    #[must_use]
+    pub fn trace_store(mut self, store: Arc<TraceStore>) -> Self {
+        self.store = store;
         self
     }
 
@@ -180,8 +201,7 @@ impl SimSession {
         let all: Vec<usize> = (0..self.configs.len()).collect();
         let per_workload: Vec<Vec<SimResult>> = par_map(&self.workloads, |p| {
             let len = self.effective_len(p);
-            let gen = p.build_with_len(self.seed, len);
-            self.replay_columns(&gen, len, &all, &pool)
+            self.replay_row(p, len, &all, &pool)
                 .into_iter()
                 .zip(&self.configs)
                 .map(|(core, c)| SimResult { config_name: c.name.clone(), core })
@@ -198,27 +218,53 @@ impl SimSession {
     /// `which` (indices into `self.configs`), via the session's
     /// preferred capture form.
     ///
-    /// Capture preference order: compact branch-point encoding (when
-    /// [`Self::compact`] is set and the stream both encodes and fits
-    /// [`Self::materialize_cap`] in compact bytes), then a record
+    /// Capture preference order: a trace-store load of the compact
+    /// encoding (when a store is attached — skipping generation and
+    /// encoding entirely), then a fresh compact capture (persisted to
+    /// the store for the next run, when the stream both encodes and
+    /// fits [`Self::materialize_cap`] in compact bytes), then a record
     /// capture under the same byte cap, then per-column generator
-    /// walking. All three replay the identical stream bit-identically.
-    fn replay_columns<T: Trace + Sync>(
+    /// walking. All four replay the identical stream bit-identically.
+    fn replay_row(
         &self,
-        gen: &T,
+        p: &WorkloadProfile,
         len: u64,
         which: &[usize],
         pool: &CapturePool,
     ) -> Vec<CoreResult> {
         if self.compact {
-            let parts = pool.compact.lock().expect("pool lock").pop().unwrap_or_default();
-            match CompactTrace::capture_within_into(gen, self.materialize_cap, parts) {
+            let mut parts = pool.compact.lock().expect("pool lock").pop().unwrap_or_default();
+            let key = self
+                .store
+                .is_enabled()
+                .then(|| TraceStoreKey::workload(&json::to_string(p), self.seed, len));
+            if let Some(key) = &key {
+                match self.store.load(key, parts) {
+                    // A stored capture over the session's cap replays
+                    // regenerated instead, as an uncapped store entry
+                    // must not defeat a deliberately small cap.
+                    Ok(compact) if compact.bytes() <= self.materialize_cap => {
+                        let results = self.replay_compact(&compact, which);
+                        if let Some(back) = compact.into_parts() {
+                            pool.compact.lock().expect("pool lock").push(back);
+                        }
+                        return results;
+                    }
+                    Ok(compact) => {
+                        parts = compact.into_parts().unwrap_or_default();
+                    }
+                    Err(back) => parts = back,
+                }
+            }
+            let gen = p.build_with_len(self.seed, len);
+            match CompactTrace::capture_within_into(&gen, self.materialize_cap, parts) {
                 Ok(compact) => {
-                    let results = par_map(which, |&i| {
-                        Simulator::run_config_compact(&self.configs[i], &compact).core
-                    });
-                    if let Some(parts) = compact.into_parts() {
-                        pool.compact.lock().expect("pool lock").push(parts);
+                    if let Some(key) = &key {
+                        self.store.store(key, &compact);
+                    }
+                    let results = self.replay_compact(&compact, which);
+                    if let Some(back) = compact.into_parts() {
+                        pool.compact.lock().expect("pool lock").push(back);
                     }
                     return results;
                 }
@@ -226,7 +272,25 @@ impl SimSession {
                 // record path (whose own cap check decides sharing).
                 Err(e) => pool.compact.lock().expect("pool lock").push(e.into_parts()),
             }
+            return self.replay_records(&gen, len, which, pool);
         }
+        let gen = p.build_with_len(self.seed, len);
+        self.replay_records(&gen, len, which, pool)
+    }
+
+    fn replay_compact(&self, compact: &CompactTrace, which: &[usize]) -> Vec<CoreResult> {
+        par_map(which, |&i| Simulator::run_config_compact(&self.configs[i], compact).core)
+    }
+
+    /// The record-based reference path: a shared record capture when it
+    /// fits the cap, per-column generator walks otherwise.
+    fn replay_records<T: Trace + Sync>(
+        &self,
+        gen: &T,
+        len: u64,
+        which: &[usize],
+        pool: &CapturePool,
+    ) -> Vec<CoreResult> {
         if MaterializedTrace::estimated_bytes(len) <= self.materialize_cap {
             let buf = pool.records.lock().expect("pool lock").pop().unwrap_or_default();
             let mat = MaterializedTrace::capture_into(gen, buf);
@@ -275,8 +339,7 @@ impl SimSession {
             hits.fetch_add(cores.iter().flatten().count() as u64, Ordering::Relaxed);
             let missing: Vec<usize> = (0..cores.len()).filter(|&i| cores[i].is_none()).collect();
             if !missing.is_empty() {
-                let gen = p.build_with_len(self.seed, len);
-                let computed = self.replay_columns(&gen, len, &missing, &pool);
+                let computed = self.replay_row(p, len, &missing, &pool);
                 for (&i, core) in missing.iter().zip(computed) {
                     let entry = core.to_json();
                     cache.store(&keys[i], &entry);
@@ -528,6 +591,61 @@ mod tests {
                 assert_eq!(shared.result(w, c).core, capped.result(w, c).core);
             }
         }
+    }
+
+    #[test]
+    fn store_loaded_grids_are_bit_identical_and_hit_on_rerun() {
+        let dir = std::env::temp_dir().join(format!("zbp-session-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let base = SimSession::new()
+            .seed(17)
+            .max_len(7_000)
+            .workloads(vec![WorkloadProfile::tpf_airline(), WorkloadProfile::zlinux_informix()])
+            .configs(vec![SimConfig::no_btb2(), SimConfig::btb2_enabled()]);
+        let plain = base.clone().run();
+
+        let cold_store = Arc::new(TraceStore::at(&dir));
+        let cold = base.clone().trace_store(Arc::clone(&cold_store)).run();
+        assert_eq!(cold_store.stats().hits, 0);
+        assert_eq!(cold_store.stats().misses, 2, "one miss per workload row");
+
+        let warm_store = Arc::new(TraceStore::at(&dir));
+        let warm = base.clone().trace_store(Arc::clone(&warm_store)).run();
+        assert_eq!(warm_store.stats().hits, 2, "every row loads from the store");
+        assert_eq!(warm_store.stats().misses, 0);
+
+        for w in plain.workloads() {
+            for c in plain.configs() {
+                let cell = plain.result(w, c);
+                assert_eq!(cell.core, cold.result(w, c).core, "({w}, {c}) cold diverged");
+                assert_eq!(cell.core, warm.result(w, c).core, "({w}, {c}) warm diverged");
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn store_entry_over_session_cap_is_regenerated_bit_identically() {
+        // A warm store must not defeat a deliberately small materialize
+        // cap: the loaded capture is discarded and the row replays via
+        // the record/walking fallback, still bit-identical.
+        let dir = std::env::temp_dir().join(format!("zbp-session-storecap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let base = SimSession::new()
+            .seed(23)
+            .max_len(6_000)
+            .workload(WorkloadProfile::tpf_airline())
+            .configs(vec![SimConfig::no_btb2(), SimConfig::btb2_enabled()]);
+        base.clone().trace_store(Arc::new(TraceStore::at(&dir))).run();
+        let capped_store = Arc::new(TraceStore::at(&dir));
+        let capped = base.clone().trace_store(Arc::clone(&capped_store)).materialize_cap(64).run();
+        let plain = base.run();
+        for w in plain.workloads() {
+            for c in plain.configs() {
+                assert_eq!(plain.result(w, c).core, capped.result(w, c).core);
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -58,6 +58,48 @@ pub const FLAG_DISC: u16 = 1 << 5;
 /// stream and the architectural flow is unaffected by it.
 pub const FLAG_WRONG_PATH: u16 = 1 << 6;
 
+/// Decoded span of one packed length-code byte (four 2-bit codes).
+///
+/// Replay's run kernel advances four instructions at a time: one load of
+/// the packed byte plus one [`GROUP_LUT`] lookup replaces four 2-bit
+/// extractions, and `last_off` lets a single I-cache line comparison
+/// cover the whole group (addresses inside a run are strictly
+/// increasing, so if the group's last instruction is still in the
+/// current line, all four are).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupSpan {
+    /// Sum of all four instruction lengths in bytes.
+    pub total: u8,
+    /// Offset of the fourth instruction from the first (sum of the
+    /// first three lengths).
+    pub last_off: u8,
+}
+
+/// Length in bytes of the 2-bit code `c` (0/1/2 → 2/4/6).
+const fn code_len(c: u8) -> u8 {
+    ((c & 3) + 1) * 2
+}
+
+const fn build_group_lut() -> [GroupSpan; 256] {
+    let mut lut = [GroupSpan { total: 0, last_off: 0 }; 256];
+    let mut b = 0usize;
+    while b < 256 {
+        let byte = b as u8;
+        let l0 = code_len(byte);
+        let l1 = code_len(byte >> 2);
+        let l2 = code_len(byte >> 4);
+        lut[b] = GroupSpan { total: l0 + l1 + l2 + code_len(byte >> 6), last_off: l0 + l1 + l2 };
+        b += 1;
+    }
+    lut
+}
+
+/// Group-decode table over packed length-code byte values. The code
+/// value 3 never occurs in a valid stream (lengths are 2/4/6), but the
+/// table still maps it (to an 8-byte length) so a corrupt byte cannot
+/// index out of bounds.
+pub static GROUP_LUT: [GroupSpan; 256] = build_group_lut();
+
 /// One packed branch point.
 ///
 /// `gap` counts the sequential non-branch instructions between the
@@ -115,6 +157,54 @@ impl std::fmt::Display for EncodeError {
 
 impl std::error::Error for EncodeError {}
 
+/// The streams handed to [`CompactTrace::from_parts`] are mutually
+/// inconsistent: replaying them would index out of bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartsError {
+    /// The length-code stream does not hold exactly one 2-bit code per
+    /// instruction (`expected` packed bytes for `total` instructions).
+    LenCodes {
+        /// Packed bytes required by the instruction count.
+        expected: usize,
+        /// Packed bytes supplied.
+        got: usize,
+    },
+    /// The far-word stream does not match the escapes the points
+    /// consume.
+    FarWords {
+        /// Far words the point flags consume during decode.
+        expected: usize,
+        /// Far words supplied.
+        got: usize,
+    },
+    /// Gaps, points and the tail gap do not sum to the instruction
+    /// count.
+    Total {
+        /// Instructions implied by gaps + consuming points + tail gap.
+        expected: u64,
+        /// Instruction count supplied.
+        got: u64,
+    },
+}
+
+impl std::fmt::Display for PartsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartsError::LenCodes { expected, got } => {
+                write!(f, "length-code stream holds {got} packed bytes, need {expected}")
+            }
+            PartsError::FarWords { expected, got } => {
+                write!(f, "far stream holds {got} words, point flags consume {expected}")
+            }
+            PartsError::Total { expected, got } => {
+                write!(f, "streams encode {expected} instructions, header claims {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartsError {}
+
 /// Recyclable backing buffers of a compact capture, analogous to the
 /// record buffer recovered by
 /// [`MaterializedTrace::into_records`](crate::MaterializedTrace::into_records).
@@ -123,6 +213,21 @@ pub struct CompactParts {
     points: Vec<BranchPoint>,
     len_codes: Vec<u8>,
     far: Vec<u64>,
+}
+
+impl CompactParts {
+    /// Decomposes into the raw stream buffers — the trace store fills
+    /// these from disk and hands them to [`CompactTrace::from_parts`],
+    /// reusing the capacity a previous capture allocated.
+    pub fn into_buffers(self) -> (Vec<BranchPoint>, Vec<u8>, Vec<u64>) {
+        (self.points, self.len_codes, self.far)
+    }
+
+    /// Reassembles buffers recovered by [`Self::into_buffers`] for a
+    /// later capture. Contents are irrelevant; captures clear them.
+    pub fn from_buffers(points: Vec<BranchPoint>, len_codes: Vec<u8>, far: Vec<u64>) -> Self {
+        Self { points, len_codes, far }
+    }
 }
 
 /// Why a budgeted capture declined; carries the buffers back for reuse.
@@ -391,11 +496,109 @@ impl CompactTrace {
         SegmentCursor::new(&self.buf)
     }
 
+    /// Address one past a run — the terminating point's own address —
+    /// by a pure length sum over the run's codes ([`GROUP_LUT`] totals
+    /// for whole packed bytes). Replay uses this to learn the upcoming
+    /// branch address before the accounting walk starts.
+    #[inline]
+    pub fn run_end(&self, run: &Run) -> InstAddr {
+        let mut addr = run.start;
+        let mut code = run.first_code;
+        let end = run.first_code + run.count;
+        while code < end && (code & 3) != 0 {
+            addr = addr.add(u64::from(self.len_at(code)));
+            code += 1;
+        }
+        let codes = &self.buf.len_codes;
+        while code + 4 <= end {
+            addr = addr.add(u64::from(GROUP_LUT[usize::from(codes[(code >> 2) as usize])].total));
+            code += 4;
+        }
+        while code < end {
+            addr = addr.add(u64::from(self.len_at(code)));
+            code += 1;
+        }
+        addr
+    }
+
     /// Recovers the backing buffers for reuse by a later
     /// [`Self::capture_within_into`]; `None` while clones are alive.
     pub fn into_parts(self) -> Option<CompactParts> {
         let CompactBuf { points, len_codes, far, .. } = Arc::try_unwrap(self.buf).ok()?;
         Some(CompactParts { points, len_codes, far })
+    }
+
+    /// Address of the first on-path instruction.
+    pub fn start_addr(&self) -> InstAddr {
+        self.buf.start
+    }
+
+    /// Sequential instructions after the final branch point.
+    pub fn tail_gap(&self) -> u64 {
+        self.buf.tail_gap
+    }
+
+    /// The branch-point stream.
+    pub fn branch_points(&self) -> &[BranchPoint] {
+        &self.buf.points
+    }
+
+    /// The packed 2-bit length-code stream (four codes per byte).
+    pub fn len_code_stream(&self) -> &[u8] {
+        &self.buf.len_codes
+    }
+
+    /// The far-word escape stream.
+    pub fn far_stream(&self) -> &[u64] {
+        &self.buf.far
+    }
+
+    /// Rebuilds a trace from raw streams (the on-disk store's loader),
+    /// checking the structural invariants replay relies on: one length
+    /// code per instruction, far words matching the escapes the point
+    /// flags consume, and gaps summing to the instruction count. A
+    /// trace passing these checks replays without indexing out of
+    /// bounds; byte-level integrity is the store's checksum layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartsError`] naming the inconsistent stream.
+    pub fn from_parts(
+        name: &str,
+        start: InstAddr,
+        total: u64,
+        tail_gap: u64,
+        points: Vec<BranchPoint>,
+        len_codes: Vec<u8>,
+        far: Vec<u64>,
+    ) -> Result<Self, PartsError> {
+        let expected_code_bytes = usize::try_from(total.div_ceil(4)).unwrap_or(usize::MAX);
+        if len_codes.len() != expected_code_bytes {
+            return Err(PartsError::LenCodes {
+                expected: expected_code_bytes,
+                got: len_codes.len(),
+            });
+        }
+        let mut far_used = 0usize;
+        let mut encoded = tail_gap;
+        for p in &points {
+            encoded += u64::from(p.gap);
+            if p.flags & FLAG_DISC != 0 {
+                far_used += 1;
+            } else {
+                encoded += 1;
+                far_used += usize::from(p.flags & FLAG_WRONG_PATH != 0)
+                    + usize::from(p.flags & FLAG_FAR != 0);
+            }
+        }
+        if far.len() != far_used {
+            return Err(PartsError::FarWords { expected: far_used, got: far.len() });
+        }
+        if encoded != total {
+            return Err(PartsError::Total { expected: encoded, got: total });
+        }
+        let buf = CompactBuf { start, total, tail_gap, points, len_codes, far };
+        Ok(CompactTrace { name: name.into(), buf: Arc::new(buf) })
     }
 }
 
@@ -699,5 +902,98 @@ mod tests {
     #[test]
     fn point_record_is_twelve_bytes() {
         assert_eq!(std::mem::size_of::<BranchPoint>(), 12);
+    }
+
+    #[test]
+    fn group_lut_matches_per_code_decode() {
+        for b in 0u16..256 {
+            let byte = b as u8;
+            let lens: Vec<u8> = (0..4).map(|i| (((byte >> (i * 2)) & 3) + 1) * 2).collect();
+            let span = GROUP_LUT[b as usize];
+            assert_eq!(span.total, lens.iter().sum::<u8>(), "byte {byte:#04x}");
+            assert_eq!(span.last_off, lens[..3].iter().sum::<u8>(), "byte {byte:#04x}");
+        }
+    }
+
+    /// A stream exercising every escape: far target, wrong-path records,
+    /// a discontinuity and a run tail.
+    fn escape_soup() -> VecTrace {
+        let far = BranchRec::taken(BranchKind::Call, InstAddr::new(0x1_0000_0000_0000));
+        let mut v = vec![
+            TraceInstr::plain(InstAddr::new(0x100), 4),
+            TraceInstr::branch(InstAddr::new(0x104), 6, far),
+            TraceInstr::plain(InstAddr::new(0x1_0000_0000_0000), 2),
+            TraceInstr::plain(InstAddr::new(0x7000), 2).wrong_path(),
+            TraceInstr::plain(InstAddr::new(0x9000), 4), // discontinuity
+        ];
+        for i in 0..20u64 {
+            v.push(TraceInstr::plain(InstAddr::new(0x9004 + i * 6), 6));
+        }
+        VecTrace::new("soup", v)
+    }
+
+    #[test]
+    fn from_parts_rebuilds_the_exact_stream() {
+        let vt = escape_soup();
+        let ct = CompactTrace::capture(&vt).unwrap();
+        let rebuilt = CompactTrace::from_parts(
+            ct.name(),
+            ct.start_addr(),
+            ct.len(),
+            ct.tail_gap(),
+            ct.branch_points().to_vec(),
+            ct.len_code_stream().to_vec(),
+            ct.far_stream().to_vec(),
+        )
+        .expect("streams are consistent");
+        assert!(rebuilt.iter().eq(vt.iter()), "rebuilt stream diverged");
+        assert_eq!(rebuilt.bytes(), ct.bytes());
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_streams() {
+        let ct = CompactTrace::capture(&escape_soup()).unwrap();
+        let (start, total, tail) = (ct.start_addr(), ct.len(), ct.tail_gap());
+        let (points, codes, far) =
+            (ct.branch_points().to_vec(), ct.len_code_stream().to_vec(), ct.far_stream().to_vec());
+        let mut short_far = far.clone();
+        short_far.pop();
+        assert!(matches!(
+            CompactTrace::from_parts(
+                "t",
+                start,
+                total,
+                tail,
+                points.clone(),
+                codes.clone(),
+                short_far
+            ),
+            Err(PartsError::FarWords { .. })
+        ));
+        let mut short_codes = codes.clone();
+        short_codes.pop();
+        assert!(matches!(
+            CompactTrace::from_parts(
+                "t",
+                start,
+                total,
+                tail,
+                points.clone(),
+                short_codes,
+                far.clone()
+            ),
+            Err(PartsError::LenCodes { .. })
+        ));
+        // A header claiming one extra instruction needs one extra code
+        // byte to get past the length check, but the gap sum then
+        // disagrees.
+        let mut padded_codes = codes.clone();
+        if (total + 1).div_ceil(4) != total.div_ceil(4) {
+            padded_codes.push(0);
+        }
+        assert!(matches!(
+            CompactTrace::from_parts("t", start, total + 1, tail, points, padded_codes, far),
+            Err(PartsError::Total { .. })
+        ));
     }
 }

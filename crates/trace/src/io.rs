@@ -4,6 +4,11 @@
 //! be persisted for external analysis or replayed through other tools.
 //! The format is little-endian: a header (`magic`, `version`, name,
 //! record count) followed by one variable-length record per instruction.
+//!
+//! Malformed input is rejected loudly: truncation and corrupt fields
+//! report the byte offset the parse died at, so a damaged file can be
+//! diagnosed without a hex dump. (The experiment-facing sibling of this
+//! format is the checksummed [`store`](crate::store) entry layout.)
 
 use crate::branch::{BranchKind, BranchRec};
 use crate::instr::TraceInstr;
@@ -16,14 +21,24 @@ const VERSION: u32 = 1;
 /// Errors produced while reading a serialized trace.
 #[derive(Debug)]
 pub enum ReadTraceError {
-    /// Underlying I/O failure.
+    /// Underlying I/O failure (other than a short read).
     Io(io::Error),
     /// The stream does not start with the `ZBPT` magic.
     BadMagic,
     /// Unsupported format version.
     BadVersion(u32),
+    /// The stream ended before the field starting at `offset`.
+    Truncated {
+        /// Byte offset of the field the reader could not complete.
+        offset: u64,
+    },
     /// A record field holds an invalid value.
-    Corrupt(&'static str),
+    Corrupt {
+        /// Which field is invalid.
+        what: &'static str,
+        /// Byte offset the field starts at.
+        offset: u64,
+    },
 }
 
 impl std::fmt::Display for ReadTraceError {
@@ -32,7 +47,12 @@ impl std::fmt::Display for ReadTraceError {
             ReadTraceError::Io(e) => write!(f, "i/o error reading trace: {e}"),
             ReadTraceError::BadMagic => write!(f, "missing ZBPT magic"),
             ReadTraceError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
-            ReadTraceError::Corrupt(what) => write!(f, "corrupt trace record: {what}"),
+            ReadTraceError::Truncated { offset } => {
+                write!(f, "truncated trace: stream ends inside the field at byte offset {offset}")
+            }
+            ReadTraceError::Corrupt { what, offset } => {
+                write!(f, "corrupt trace record: bad {what} at byte offset {offset}")
+            }
         }
     }
 }
@@ -43,12 +63,6 @@ impl std::error::Error for ReadTraceError {
             ReadTraceError::Io(e) => Some(e),
             _ => None,
         }
-    }
-}
-
-impl From<io::Error> for ReadTraceError {
-    fn from(e: io::Error) -> Self {
-        ReadTraceError::Io(e)
     }
 }
 
@@ -101,64 +115,94 @@ pub fn write_trace<T: Trace, W: Write>(trace: &T, mut writer: W) -> io::Result<(
     Ok(())
 }
 
+/// A reader wrapper counting consumed bytes, so every error can name
+/// the offset it happened at.
+struct Counting<R> {
+    inner: R,
+    pos: u64,
+}
+
+impl<R: Read> Counting<R> {
+    /// Fills `buf` exactly; a short read is [`ReadTraceError::Truncated`]
+    /// at the offset the field started.
+    fn exact(&mut self, buf: &mut [u8]) -> Result<(), ReadTraceError> {
+        match self.inner.read_exact(buf) {
+            Ok(()) => {
+                self.pos += buf.len() as u64;
+                Ok(())
+            }
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                Err(ReadTraceError::Truncated { offset: self.pos })
+            }
+            Err(e) => Err(ReadTraceError::Io(e)),
+        }
+    }
+
+    fn u32(&mut self) -> Result<u32, ReadTraceError> {
+        let mut b = [0u8; 4];
+        self.exact(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn u64(&mut self) -> Result<u64, ReadTraceError> {
+        let mut b = [0u8; 8];
+        self.exact(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+}
+
 /// Deserializes a trace previously written by [`write_trace`].
 ///
 /// # Errors
 ///
-/// Returns [`ReadTraceError`] on I/O failure or malformed input.
-pub fn read_trace<R: Read>(mut reader: R) -> Result<VecTrace, ReadTraceError> {
+/// Returns [`ReadTraceError`] on I/O failure or malformed input;
+/// truncation and corruption name the byte offset of the bad field.
+pub fn read_trace<R: Read>(reader: R) -> Result<VecTrace, ReadTraceError> {
+    let mut r = Counting { inner: reader, pos: 0 };
     let mut magic = [0u8; 4];
-    reader.read_exact(&mut magic)?;
+    r.exact(&mut magic)?;
     if &magic != MAGIC {
         return Err(ReadTraceError::BadMagic);
     }
-    let version = read_u32(&mut reader)?;
+    let version = r.u32()?;
     if version != VERSION {
         return Err(ReadTraceError::BadVersion(version));
     }
-    let name_len = read_u32(&mut reader)? as usize;
+    let name_off = r.pos;
+    let name_len = r.u32()? as usize;
     if name_len > 1 << 20 {
-        return Err(ReadTraceError::Corrupt("name length"));
+        return Err(ReadTraceError::Corrupt { what: "name length", offset: name_off });
     }
     let mut name = vec![0u8; name_len];
-    reader.read_exact(&mut name)?;
-    let name = String::from_utf8(name).map_err(|_| ReadTraceError::Corrupt("name utf-8"))?;
-    let count = read_u64(&mut reader)?;
+    r.exact(&mut name)?;
+    let name = String::from_utf8(name)
+        .map_err(|_| ReadTraceError::Corrupt { what: "name utf-8", offset: name_off + 4 })?;
+    let count = r.u64()?;
     let mut instrs = Vec::with_capacity(count.min(1 << 24) as usize);
     for _ in 0..count {
-        let addr = InstAddr::new(read_u64(&mut reader)?);
+        let addr = InstAddr::new(r.u64()?);
+        let rec_off = r.pos;
         let mut two = [0u8; 2];
-        reader.read_exact(&mut two)?;
+        r.exact(&mut two)?;
         let (len, flags) = (two[0], two[1]);
         if !matches!(len, 2 | 4 | 6) {
-            return Err(ReadTraceError::Corrupt("instruction length"));
+            return Err(ReadTraceError::Corrupt { what: "instruction length", offset: rec_off });
         }
         let wrong_path = flags & 0x20 != 0;
         let branch = if flags & 0x80 != 0 {
-            let kind = code_kind(flags & 0x0F).ok_or(ReadTraceError::Corrupt("branch kind"))?;
+            let kind = code_kind(flags & 0x0F)
+                .ok_or(ReadTraceError::Corrupt { what: "branch kind", offset: rec_off + 1 })?;
             let taken = flags & 0x40 != 0;
-            let target = InstAddr::new(read_u64(&mut reader)?);
+            let target = InstAddr::new(r.u64()?);
             Some(BranchRec { kind, taken, target })
         } else if flags & !0x20 != 0 {
-            return Err(ReadTraceError::Corrupt("flags"));
+            return Err(ReadTraceError::Corrupt { what: "flags", offset: rec_off + 1 });
         } else {
             None
         };
         instrs.push(TraceInstr { addr, len, wrong_path, branch });
     }
     Ok(VecTrace::new(name, instrs))
-}
-
-fn read_u32<R: Read>(reader: &mut R) -> io::Result<u32> {
-    let mut b = [0u8; 4];
-    reader.read_exact(&mut b)?;
-    Ok(u32::from_le_bytes(b))
-}
-
-fn read_u64<R: Read>(reader: &mut R) -> io::Result<u64> {
-    let mut b = [0u8; 8];
-    reader.read_exact(&mut b)?;
-    Ok(u64::from_le_bytes(b))
 }
 
 #[cfg(test)]
@@ -196,16 +240,23 @@ mod tests {
     }
 
     #[test]
-    fn rejects_truncated_stream() {
+    fn rejects_truncated_stream_with_offset() {
         let t = GenTrace::new("t", &LayoutParams::small_test(), 3, 100);
         let mut buf = Vec::new();
         write_trace(&t, &mut buf).unwrap();
         buf.truncate(buf.len() - 3);
-        assert!(matches!(read_trace(buf.as_slice()), Err(ReadTraceError::Io(_))));
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        match err {
+            ReadTraceError::Truncated { offset } => {
+                assert!(offset > 0 && offset <= buf.len() as u64, "offset {offset}")
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        assert!(err.to_string().contains("byte offset"));
     }
 
     #[test]
-    fn rejects_corrupt_length() {
+    fn rejects_corrupt_length_with_offset() {
         let t = GenTrace::new("t", &LayoutParams::small_test(), 3, 1);
         let mut buf = Vec::new();
         write_trace(&t, &mut buf).unwrap();
@@ -213,16 +264,37 @@ mod tests {
         // count(8) then addr(8) len(1). Corrupt the len byte.
         let len_pos = 4 + 4 + 4 + 1 + 8 + 8;
         buf[len_pos] = 3;
-        assert!(matches!(
-            read_trace(buf.as_slice()),
-            Err(ReadTraceError::Corrupt("instruction length"))
-        ));
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        match err {
+            ReadTraceError::Corrupt { what, offset } => {
+                assert_eq!(what, "instruction length");
+                assert_eq!(offset, len_pos as u64);
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        assert!(err.to_string().contains(&format!("offset {len_pos}")));
+    }
+
+    #[test]
+    fn rejects_bit_flipped_flags_with_offset() {
+        let t = GenTrace::new("t", &LayoutParams::small_test(), 3, 1);
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        let flag_pos = 4 + 4 + 4 + 1 + 8 + 8 + 1;
+        // For a non-branch record, any flag bit outside wrong-path is
+        // invalid; for a branch record, kind codes 5..=15 are invalid.
+        buf[flag_pos] = if buf[flag_pos] & 0x80 != 0 { buf[flag_pos] | 0x0F } else { 0x1F };
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, ReadTraceError::Corrupt { offset, .. } if offset == flag_pos as u64),
+            "got {err:?}"
+        );
     }
 
     #[test]
     fn error_source_chains_io() {
         use std::error::Error;
-        let err = ReadTraceError::from(io::Error::other("x"));
+        let err = ReadTraceError::Io(io::Error::other("x"));
         assert!(err.source().is_some());
         assert!(ReadTraceError::BadMagic.source().is_none());
     }

@@ -38,6 +38,7 @@ pub mod io;
 pub mod materialize;
 pub mod profile;
 pub mod stats;
+pub mod store;
 
 pub use addr::InstAddr;
 pub use branch::{BranchKind, BranchRec};
@@ -45,6 +46,7 @@ pub use compact::{CompactCaptureError, CompactParts, CompactTrace};
 pub use instr::TraceInstr;
 pub use materialize::MaterializedTrace;
 pub use stats::TraceStats;
+pub use store::{TraceStore, TraceStoreKey, TraceStoreStats};
 
 /// A deterministic, re-runnable instruction trace.
 ///

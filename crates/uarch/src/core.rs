@@ -21,7 +21,7 @@ use crate::classify::{BadOutcome, OutcomeCounts, SurpriseClassifier};
 use crate::config::UarchConfig;
 use crate::penalty::PenaltyAccounting;
 use zbp_predictor::{BranchPredictor, Counter, PredictorConfig, PredictorStats};
-use zbp_trace::compact::{CompactTrace, Run};
+use zbp_trace::compact::{CompactTrace, Run, GROUP_LUT};
 use zbp_trace::{BranchKind, InstAddr, Trace, TraceInstr};
 
 /// I-cache side statistics.
@@ -69,6 +69,76 @@ impl CoreResult {
     /// Cycles per instruction.
     pub fn cpi(&self) -> f64 {
         self.cycles as f64 / self.instructions.max(1) as f64
+    }
+}
+
+/// Windowed 1-in-N sampling parameters, in instruction counts.
+///
+/// Each period replays `warmup + measure` instructions through the full
+/// model (only the `measure` portion is counted) and fast-forwards the
+/// remaining `period - warmup - measure` by a pure cursor walk with no
+/// model work. Phase transitions happen at run boundaries, so a long
+/// non-branch run can overshoot its window — window sizes are
+/// approximate, not exact.
+///
+/// This mode is opt-in for throughput experiments only: nothing in the
+/// experiment registry, session, or CLI reaches it, and every committed
+/// artifact is produced by full replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplingSpec {
+    /// Instructions spanned by one warmup→measure→skip cycle.
+    pub period: u64,
+    /// Instructions counted per window.
+    pub measure: u64,
+    /// Instructions replayed but not counted before each measure window,
+    /// re-warming the predictor and I-cache after the skipped region.
+    pub warmup: u64,
+}
+
+impl SamplingSpec {
+    /// 1-in-`n` sampling of `measure`-instruction windows, with a
+    /// warmup of half a window before each.
+    pub fn one_in(n: u64, measure: u64) -> Self {
+        Self { period: n.max(1) * measure, measure, warmup: measure / 2 }
+    }
+}
+
+/// Result of a sampled replay ([`CoreModel::run_compact_sampled`]).
+///
+/// Carries only aggregate cycle/instruction counts — outcome taxonomies
+/// and predictor counters are meaningless over disjoint windows, so no
+/// [`CoreResult`] is produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampledResult {
+    /// Trace name.
+    pub name: String,
+    /// The sampling parameters used.
+    pub spec: SamplingSpec,
+    /// Instructions counted inside measure windows.
+    pub measured_instructions: u64,
+    /// Cycles accumulated inside measure windows.
+    pub measured_cycles: u64,
+    /// Instructions replayed as warmup (modelled, not counted).
+    pub warmup_instructions: u64,
+    /// Instructions fast-forwarded with no model work.
+    pub skipped_instructions: u64,
+    /// Every instruction in the trace: measured + warmup + skipped.
+    pub total_instructions: u64,
+    /// Measure windows flushed (including a partial final window).
+    pub windows: u64,
+}
+
+impl SampledResult {
+    /// Estimated cycles per instruction: the measured windows' CPI,
+    /// extrapolated to the whole trace.
+    pub fn cpi(&self) -> f64 {
+        self.measured_cycles as f64 / self.measured_instructions.max(1) as f64
+    }
+
+    /// Fraction of the trace replayed through the full model.
+    pub fn replayed_fraction(&self) -> f64 {
+        (self.measured_instructions + self.warmup_instructions) as f64
+            / self.total_instructions.max(1) as f64
     }
 }
 
@@ -191,6 +261,136 @@ impl CoreModel {
         self.finish(trace.name())
     }
 
+    /// Replays a compact trace with windowed 1-in-N sampling: full-model
+    /// replay inside warmup and measure windows, pure cursor fast-walks
+    /// across everything else. Returns an aggregate CPI estimate.
+    ///
+    /// Re-entry after a skipped region needs no special casing: the
+    /// skip leaves [`Self::expected_addr`] stale, so the first modelled
+    /// instruction fails the continuity check and restarts the
+    /// prediction search — the same path an asynchronous control
+    /// transfer takes in full replay.
+    ///
+    /// # Panics
+    ///
+    /// When `spec.measure` is zero or `warmup + measure` exceeds
+    /// `period`.
+    pub fn run_compact_sampled(
+        mut self,
+        trace: &CompactTrace,
+        spec: SamplingSpec,
+    ) -> SampledResult {
+        assert!(spec.measure > 0, "sampling: measure window must be non-empty");
+        assert!(
+            spec.warmup.saturating_add(spec.measure) <= spec.period,
+            "sampling: warmup + measure must fit within the period"
+        );
+
+        #[derive(Clone, Copy, PartialEq)]
+        enum Phase {
+            Warmup,
+            Measure,
+            Skip,
+        }
+
+        let skip_len = spec.period - spec.warmup - spec.measure;
+        let mut warmup_instructions = 0u64;
+        let mut skipped_instructions = 0u64;
+        let mut measured_cycles = 0u64;
+        let mut measured_instructions = 0u64;
+        let mut windows = 0u64;
+
+        let (mut phase, mut left) = if spec.warmup > 0 {
+            (Phase::Warmup, spec.warmup)
+        } else {
+            (Phase::Measure, spec.measure)
+        };
+        let mut mark_cycle = self.cycle as u64;
+        let mut mark_instr = self.instructions;
+
+        let mut cursor = trace.segments();
+        while let Some(run) = cursor.next_run() {
+            let retired = if phase == Phase::Skip {
+                // Fast-walk: the length sum inside run_end is the only
+                // per-run cost; the model never sees these instructions.
+                let end = trace.run_end(&run);
+                let point = cursor.finish_run(end);
+                run.count + point.map_or(0, |i| u64::from(!i.wrong_path))
+            } else {
+                let before = self.instructions;
+                let end = self.step_run(trace, &run);
+                if let Some(instr) = cursor.finish_run(end) {
+                    self.step(&instr);
+                }
+                self.instructions - before
+            };
+            match phase {
+                Phase::Warmup => warmup_instructions += retired,
+                Phase::Skip => skipped_instructions += retired,
+                Phase::Measure => {}
+            }
+            if retired < left {
+                left -= retired;
+                continue;
+            }
+            // Phase budget consumed (possibly overshot — transitions
+            // only land on run boundaries). Flush and advance.
+            match phase {
+                Phase::Warmup => {
+                    phase = Phase::Measure;
+                    left = spec.measure;
+                    mark_cycle = self.cycle as u64;
+                    mark_instr = self.instructions;
+                }
+                Phase::Measure => {
+                    measured_cycles += self.cycle as u64 - mark_cycle;
+                    measured_instructions += self.instructions - mark_instr;
+                    windows += 1;
+                    if skip_len > 0 {
+                        phase = Phase::Skip;
+                        left = skip_len;
+                    } else if spec.warmup > 0 {
+                        phase = Phase::Warmup;
+                        left = spec.warmup;
+                    } else {
+                        // measure == period: contiguous measurement.
+                        left = spec.measure;
+                        mark_cycle = self.cycle as u64;
+                        mark_instr = self.instructions;
+                    }
+                }
+                Phase::Skip => {
+                    if spec.warmup > 0 {
+                        phase = Phase::Warmup;
+                        left = spec.warmup;
+                    } else {
+                        phase = Phase::Measure;
+                        left = spec.measure;
+                        mark_cycle = self.cycle as u64;
+                        mark_instr = self.instructions;
+                    }
+                }
+            }
+        }
+        // Trace ended mid-window: flush the partial measure window.
+        if phase == Phase::Measure && self.instructions > mark_instr {
+            measured_cycles += self.cycle as u64 - mark_cycle;
+            measured_instructions += self.instructions - mark_instr;
+            windows += 1;
+        }
+
+        SampledResult {
+            name: trace.name().to_string(),
+            spec,
+            measured_instructions,
+            measured_cycles,
+            warmup_instructions,
+            skipped_instructions,
+            total_instructions: self.instructions + skipped_instructions,
+            windows,
+        }
+    }
+
     /// Executes one instruction.
     pub fn step(&mut self, instr: &TraceInstr) {
         if instr.wrong_path {
@@ -241,6 +441,10 @@ impl CoreModel {
         if run.count == 0 {
             return addr;
         }
+        // The run end is the terminating branch's own address: hint its
+        // BTB rows into cache now so the walk below shadows the loads
+        // the prediction would otherwise stall on. No model effect.
+        self.predictor.prefetch(trace.run_end(run));
         let mut code = run.first_code;
 
         // First instruction: stream-start / discontinuity check, then
@@ -266,22 +470,67 @@ impl CoreModel {
         let step = self.step_cycles;
         let mut cycle = self.cycle;
         let mut instructions = self.instructions;
-        for _ in 1..run.count {
-            instructions += 1;
-            cycle += step;
-            let line = self.icache.line_of(addr);
-            if line != cur_line {
-                self.cycle = cycle;
-                self.instructions = instructions;
-                self.predictor.note_completion_run(span_first, span_last);
-                self.line_access(line, addr);
-                cycle = self.cycle;
-                cur_line = line;
-                span_first = addr;
+        let end = run.first_code + run.count;
+        let codes = trace.len_code_stream();
+
+        macro_rules! per_instr {
+            () => {{
+                instructions += 1;
+                cycle += step;
+                let line = self.icache.line_of(addr);
+                if line != cur_line {
+                    self.cycle = cycle;
+                    self.instructions = instructions;
+                    self.predictor.note_completion_run(span_first, span_last);
+                    self.line_access(line, addr);
+                    cycle = self.cycle;
+                    cur_line = line;
+                    span_first = addr;
+                }
+                span_last = addr;
+                addr = addr.add(u64::from(trace.len_at(code)));
+                code += 1;
+            }};
+        }
+
+        // Head: walk to a packed-byte boundary so the group loop can
+        // consume whole length-code bytes.
+        while code < end && (code & 3) != 0 {
+            per_instr!();
+        }
+        // Fast path: one [`GROUP_LUT`] lookup decodes four instructions.
+        // Addresses within a run are strictly increasing, so if the
+        // fourth instruction's line equals `cur_line` (which holds
+        // `span_last < addr`), all four land in `cur_line` and neither a
+        // flush nor per-instruction decode is needed. The cycle
+        // accumulator still sees four *serial* additions — `4.0 * step`
+        // would round differently and break bit-identity with
+        // [`Self::step`].
+        while code + 4 <= end {
+            let span = GROUP_LUT[usize::from(codes[(code >> 2) as usize])];
+            let last = addr.add(u64::from(span.last_off));
+            if self.icache.line_of(last) == cur_line {
+                cycle += step;
+                cycle += step;
+                cycle += step;
+                cycle += step;
+                instructions += 4;
+                span_last = last;
+                addr = addr.add(u64::from(span.total));
+                code += 4;
+            } else {
+                // Line transition somewhere in the group: replay all
+                // four through the exact per-instruction path (keeps
+                // `code` byte-aligned for the next group).
+                per_instr!();
+                per_instr!();
+                per_instr!();
+                per_instr!();
             }
-            span_last = addr;
-            addr = addr.add(u64::from(trace.len_at(code)));
-            code += 1;
+        }
+        // Tail: fewer than four instructions left.
+        while code < end {
+            per_instr!();
         }
         self.cycle = cycle;
         self.instructions = instructions;
@@ -603,6 +852,76 @@ mod tests {
         let r = model().run(&loop_trace(100));
         assert!((r.cpi() - r.cycles as f64 / r.instructions as f64).abs() < 1e-12);
         assert!(r.cpi() > 0.0);
+    }
+
+    #[test]
+    fn whole_trace_measure_window_matches_full_replay_exactly() {
+        let compact = CompactTrace::capture(&loop_trace(2000)).unwrap();
+        let full = model().run_compact(&compact);
+        let spec = SamplingSpec { period: u64::MAX, measure: u64::MAX, warmup: 0 };
+        let sampled = model().run_compact_sampled(&compact, spec);
+        assert_eq!(sampled.measured_instructions, full.instructions);
+        assert_eq!(sampled.measured_cycles, full.cycles);
+        assert_eq!(sampled.total_instructions, full.instructions);
+        assert_eq!(sampled.skipped_instructions, 0);
+        assert_eq!(sampled.warmup_instructions, 0);
+        assert_eq!(sampled.windows, 1);
+        assert!((sampled.cpi() - full.cpi()).abs() < 1e-12);
+        assert!((sampled.replayed_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_replay_skips_deterministically_and_estimates_cpi() {
+        use zbp_trace::profile::WorkloadProfile;
+        let trace = WorkloadProfile::tpf_airline().build_with_len(11, 60_000);
+        let compact = CompactTrace::capture(&trace).unwrap();
+        let full = model().run_compact(&compact);
+        let spec = SamplingSpec::one_in(5, 2_000);
+        let a = model().run_compact_sampled(&compact, spec);
+        let b = model().run_compact_sampled(&compact, spec);
+        assert_eq!(a, b, "sampling must be deterministic");
+        assert_eq!(a.total_instructions, full.instructions);
+        assert!(a.skipped_instructions > 0, "1-in-5 must actually skip");
+        assert!(a.windows > 1, "windows={}", a.windows);
+        assert!(
+            a.replayed_fraction() < 0.5,
+            "1-in-5 with half-window warmup replays ~30%, got {}",
+            a.replayed_fraction()
+        );
+        let err = (a.cpi() - full.cpi()).abs() / full.cpi();
+        assert!(err < 0.15, "sampled {} vs full {} ({:.1}% off)", a.cpi(), full.cpi(), err * 100.0);
+    }
+
+    #[test]
+    fn sampling_windows_cover_disc_and_skip_reentry() {
+        // Period smaller than the loop body count forces many
+        // skip→warmup re-entries; totals must still be conserved.
+        let compact = CompactTrace::capture(&loop_trace(3000)).unwrap();
+        let spec = SamplingSpec { period: 64, measure: 16, warmup: 8 };
+        let s = model().run_compact_sampled(&compact, spec);
+        assert_eq!(
+            s.measured_instructions + s.warmup_instructions + s.skipped_instructions,
+            s.total_instructions
+        );
+        assert_eq!(s.total_instructions, 9000);
+        assert!(s.windows > 10);
+        assert!(s.cpi() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "measure window must be non-empty")]
+    fn sampling_rejects_empty_measure_window() {
+        let compact = CompactTrace::capture(&loop_trace(10)).unwrap();
+        let spec = SamplingSpec { period: 100, measure: 0, warmup: 10 };
+        let _ = model().run_compact_sampled(&compact, spec);
+    }
+
+    #[test]
+    #[should_panic(expected = "must fit within the period")]
+    fn sampling_rejects_overfull_period() {
+        let compact = CompactTrace::capture(&loop_trace(10)).unwrap();
+        let spec = SamplingSpec { period: 100, measure: 80, warmup: 40 };
+        let _ = model().run_compact_sampled(&compact, spec);
     }
 
     #[test]

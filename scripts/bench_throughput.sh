@@ -53,6 +53,16 @@ entry = {
     "shared_mips": report.get("shared_mips"),
     "record_bytes_per_instr": report.get("record_bytes_per_instr"),
     "compact_bytes_per_instr": report.get("compact_bytes_per_instr"),
+    # Trace-store and sampling fields (null in lines written before the
+    # store existed; readers must treat them as optional).
+    "store_cold_s": report.get("store_cold_s"),
+    "store_warm_s": report.get("store_warm_s"),
+    "store_warm_mips": report.get("store_warm_mips"),
+    "store_bytes_per_instr": report.get("store_bytes_per_instr"),
+    "warm_speedup_vs_shared": report.get("warm_speedup_vs_shared"),
+    "sampling_mips": report.get("sampling_mips"),
+    "sampling_max_cpi_err_pct": report.get("sampling_max_cpi_err_pct"),
+    "sampling_mean_cpi_err_pct": report.get("sampling_mean_cpi_err_pct"),
 }
 with open(history, "a") as f:
     f.write(json.dumps(entry) + "\n")

@@ -12,8 +12,9 @@
 //! zbp-cli experiment verify fig4
 //! ```
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 use zbp::prelude::*;
 use zbp::sim::cache::{CellCache, SCHEMA_VERSION};
 use zbp::sim::experiments::{parse_seed, ExperimentOptions};
@@ -22,6 +23,7 @@ use zbp::sim::report::{pct, render_table};
 use zbp::support::json::{FromJson, Json};
 use zbp::trace::io::{read_trace, write_trace};
 use zbp::trace::profile::ProfileTrace;
+use zbp::trace::TraceStore;
 
 const USAGE: &str = "zbp-cli — IBM zEC12 two-level bulk preload branch prediction reproduction
 
@@ -57,15 +59,19 @@ OPTIONS:
     --cache-dir <DIR>             cell-cache directory (default: results/cache)
     --resume                      read cached cells (default for `experiment run`)
     --fresh                       recompute every cell, refreshing the cache
+    --trace-store <DIR>           compact-trace store directory (default:
+                                  results/traces for `experiment run`)
+    --fresh-traces                regenerate every trace, refreshing the store
 
-Environment: ZBP_TRACE_LEN, ZBP_SEED, ZBP_WORKERS, ZBP_CACHE_DIR and
-ZBP_RESULTS_DIR are read first; command-line flags override them.
+Environment: ZBP_TRACE_LEN, ZBP_SEED, ZBP_WORKERS, ZBP_CACHE_DIR,
+ZBP_TRACE_STORE, ZBP_FRESH_TRACES and ZBP_RESULTS_DIR are read first;
+command-line flags override them.
 ";
 
 const COMMANDS: [&str; 10] =
     ["list", "gen", "stats", "run", "compare", "analyze", "report", "fuzz", "experiment", "help"];
 
-const FLAGS: [&str; 11] = [
+const FLAGS: [&str; 13] = [
     "--profile",
     "--in",
     "--out",
@@ -77,6 +83,8 @@ const FLAGS: [&str; 11] = [
     "--cache-dir",
     "--resume",
     "--fresh",
+    "--trace-store",
+    "--fresh-traces",
 ];
 
 #[derive(Debug, Default)]
@@ -95,6 +103,8 @@ struct Args {
     cache_dir: Option<String>,
     fresh: bool,
     resume: bool,
+    trace_store: Option<String>,
+    fresh_traces: bool,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -155,6 +165,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--cache-dir" => args.cache_dir = Some(value()?),
             "--resume" => args.resume = true,
             "--fresh" => args.fresh = true,
+            "--trace-store" => args.trace_store = Some(value()?),
+            "--fresh-traces" => args.fresh_traces = true,
             other => {
                 let hint = registry::closest(other, FLAGS)
                     .map(|f| format!(" — did you mean '{f}'?"))
@@ -397,6 +409,20 @@ fn experiment_opts(args: &Args) -> Result<ExperimentOptions, String> {
     if let Some(dir) = &args.cache_dir {
         opts.cache_dir = Some(PathBuf::from(dir));
     }
+    // --trace-store / --fresh-traces override the env-derived store; a
+    // bare --fresh-traces flips an env- (or later default-) rooted
+    // store to write-only.
+    if let Some(dir) = &args.trace_store {
+        opts.trace_store = Arc::new(if args.fresh_traces {
+            TraceStore::write_only(dir)
+        } else {
+            TraceStore::at(dir)
+        });
+    } else if args.fresh_traces {
+        if let Some(dir) = opts.trace_store.dir().map(Path::to_path_buf) {
+            opts.trace_store = Arc::new(TraceStore::write_only(dir));
+        }
+    }
     Ok(opts)
 }
 
@@ -427,10 +453,18 @@ fn cmd_experiment_list() {
 
 fn cmd_experiment_run(args: &Args) -> Result<(), String> {
     let spec = find_spec(args.experiment.as_deref().expect("parser enforces presence"))?;
-    let opts = experiment_opts(args)?;
+    let mut opts = experiment_opts(args)?;
     let cache_dir = opts.cache_dir.clone().unwrap_or_else(|| results_dir().join("cache"));
     let cache =
         if args.fresh { CellCache::write_only(cache_dir) } else { CellCache::at(cache_dir) };
+    if !opts.trace_store.is_enabled() {
+        let dir = results_dir().join("traces");
+        opts.trace_store = Arc::new(if args.fresh_traces {
+            TraceStore::write_only(dir)
+        } else {
+            TraceStore::at(dir)
+        });
+    }
     println!("{} ({})\n", spec.title, spec.paper_ref);
     let run = spec.run(&opts, &cache);
     print!("{}", run.pretty);
@@ -438,8 +472,12 @@ fn cmd_experiment_run(args: &Args) -> Result<(), String> {
         println!("{note}");
     }
     let m = &run.manifest;
+    let traces = match (m.trace_store_hits, m.trace_store_misses) {
+        (Some(h), Some(ms)) => format!("; traces: {h} from store, {ms} generated"),
+        _ => String::new(),
+    };
     println!(
-        "cells: {} ({} from cache); seed {:#x}; wall time {} ms",
+        "cells: {} ({} from cache){traces}; seed {:#x}; wall time {} ms",
         m.cells, m.cache_hits, m.seed, m.wall_time_ms
     );
     let dir = results_dir();
@@ -493,10 +531,16 @@ fn cmd_experiment_verify(args: &Args) -> Result<(), String> {
         manifest.len_cap.map_or("default".to_string(), |l| l.to_string())
     );
     // Re-run at the artifact's recorded inputs with the cache disabled:
-    // a verification must recompute, not trust cached cells.
+    // a verification must recompute, not trust cached cells. The trace
+    // store is likewise bypassed unless explicitly requested —
+    // store-loaded replays are bit-identical, but a verification should
+    // regenerate its own inputs too.
     let mut opts = experiment_opts(args)?;
     opts.len = manifest.len_cap;
     opts.seed = manifest.seed;
+    if args.trace_store.is_none() {
+        opts.trace_store = Arc::new(TraceStore::disabled());
+    }
     let run = spec.run(&opts, &CellCache::disabled());
     if strip_volatile(&committed) == strip_volatile(&run.artifact()) {
         println!("verified: artifact matches a fresh run (modulo volatile manifest fields)");
@@ -617,6 +661,18 @@ mod tests {
     fn misspelled_flag_gets_a_hint() {
         let err = parse_args(&argv("run --profle tpf-airline")).unwrap_err();
         assert!(err.contains("--profile"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn trace_store_flags_parse() {
+        let a =
+            parse_args(&argv("experiment run fig2 --trace-store /tmp/ts --fresh-traces")).unwrap();
+        assert_eq!(a.trace_store.as_deref(), Some("/tmp/ts"));
+        assert!(a.fresh_traces);
+        let a = parse_args(&argv("experiment run fig2")).unwrap();
+        assert_eq!(a.trace_store, None);
+        assert!(!a.fresh_traces);
+        assert!(parse_args(&argv("experiment run fig2 --trace-store")).is_err());
     }
 
     #[test]

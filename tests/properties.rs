@@ -76,6 +76,63 @@ fn trace_io_roundtrips() {
 }
 
 #[test]
+fn trace_store_roundtrips_every_table4_profile_bit_identically() {
+    use zbp::trace::{CompactTrace, TraceStore, TraceStoreKey};
+    let dir = std::env::temp_dir().join(format!("zbp-props-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = TraceStore::at(&dir);
+    for profile in WorkloadProfile::all_table4() {
+        let len = 20_000;
+        let gen = profile.build_with_len(0xEC12, len);
+        let compact = CompactTrace::capture(&gen).expect("generator streams compact-encode");
+        let key = TraceStoreKey::workload(&zbp::support::json::to_string(&profile), 0xEC12, len);
+        store.store(&key, &compact);
+        let loaded = store.load(&key, Default::default()).expect("fresh entry hits");
+        assert_eq!(loaded.branch_points(), compact.branch_points(), "{}", profile.name);
+        assert_eq!(loaded.len_code_stream(), compact.len_code_stream(), "{}", profile.name);
+        assert_eq!(loaded.far_stream(), compact.far_stream(), "{}", profile.name);
+        assert_eq!(loaded.start_addr(), compact.start_addr(), "{}", profile.name);
+        assert_eq!(loaded.tail_gap(), compact.tail_gap(), "{}", profile.name);
+        // The store-loaded capture must replay to the exact same result
+        // as the freshly generated trace (the warm-grid contract).
+        let config = SimConfig::btb2_enabled();
+        let direct = Simulator::run_config(&config, &gen);
+        let replayed = Simulator::run_config_compact(&config, &loaded);
+        assert_eq!(replayed.core, direct.core, "{}", profile.name);
+    }
+    // Profiles at this length stay within near-delta targets, so cover
+    // the far-word escape encoding with a trace whose branch crosses
+    // more than an i32 of address space.
+    {
+        use zbp::trace::{BranchKind, BranchRec, TraceInstr, VecTrace};
+        let far_target = InstAddr::new(0x2_0000_0000);
+        let v = vec![
+            TraceInstr::plain(InstAddr::new(0x1000), 4),
+            TraceInstr::branch(
+                InstAddr::new(0x1004),
+                4,
+                BranchRec::taken(BranchKind::Unconditional, far_target),
+            ),
+            TraceInstr::plain(far_target, 4),
+            TraceInstr::plain(far_target.add(4), 4),
+        ];
+        let gen = VecTrace::new("far-escape", v);
+        let compact = CompactTrace::capture(&gen).expect("far jumps compact-encode");
+        assert!(!compact.far_stream().is_empty(), "far target must use the escape stream");
+        let key = TraceStoreKey::workload("far-escape", 1, 4);
+        store.store(&key, &compact);
+        let loaded = store.load(&key, Default::default()).expect("fresh entry hits");
+        assert_eq!(loaded.far_stream(), compact.far_stream());
+        assert_eq!(loaded.branch_points(), compact.branch_points());
+        let config = SimConfig::btb2_enabled();
+        let direct = Simulator::run_config(&config, &gen);
+        let replayed = Simulator::run_config_compact(&config, &loaded);
+        assert_eq!(replayed.core, direct.core);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn footprint_tracks_target() {
     let mut rng = SmallRng::seed_from_u64(0x44);
     for _ in 0..12 {
