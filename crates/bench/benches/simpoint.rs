@@ -1,0 +1,8 @@
+//! SimPoint weighted replay validation: phase intervals, deterministic
+//! clustering, representative-only replay, and the measured CPI error
+//! vs full replay on three Table-4 workloads (§4 methodology, extended
+//! per Sherwood et al., ASPLOS 2002).
+
+fn main() {
+    zbp_bench::run_registered("simpoint");
+}

@@ -31,9 +31,14 @@ use zbp_sim::parallel::par_map;
 use zbp_sim::registry::git_revision;
 use zbp_sim::report::render_table;
 use zbp_sim::runner::{SimResult, Simulator};
+use zbp_sim::simpoint::{self, SimPointSpec};
 use zbp_sim::SimConfig;
+use zbp_trace::ingest::{write_external, ExtSite, EVENT_TAKEN};
 use zbp_trace::profile::WorkloadProfile;
-use zbp_trace::{CompactParts, CompactTrace, MaterializedTrace, TraceStore, TraceStoreKey};
+use zbp_trace::{
+    BranchKind, CompactParts, CompactTrace, ExternalTrace, MaterializedTrace, Trace, TraceStore,
+    TraceStoreKey,
+};
 use zbp_uarch::core::SamplingSpec;
 
 /// Default per-workload instruction cap when `ZBP_TRACE_LEN` is unset.
@@ -146,6 +151,14 @@ struct ThroughputReport {
     sampling_max_cpi_err_pct: Option<f64>,
     /// Mean per-cell CPI error of sampled vs full replay (percent).
     sampling_mean_cpi_err_pct: Option<f64>,
+    /// External-trace (`ZBXT`) ingest throughput: a bench-cap-sized
+    /// stream parsed into a replayable trace, in million trace
+    /// instructions per second. Nullable so history lines written
+    /// before ingestion existed stay parseable.
+    ingest_mips: Option<f64>,
+    /// Worst SimPoint weighted-replay CPI error vs the full-replay grid
+    /// across all workloads on the base configuration (percent).
+    simpoint_cpi_err: Option<f64>,
 }
 
 zbp_support::impl_json_struct!(ThroughputReport {
@@ -185,6 +198,8 @@ zbp_support::impl_json_struct!(ThroughputReport {
     sampling_mips,
     sampling_max_cpi_err_pct,
     sampling_mean_cpi_err_pct,
+    ingest_mips,
+    simpoint_cpi_err,
 });
 
 fn mips(instructions: u64, seconds: f64) -> f64 {
@@ -411,7 +426,65 @@ fn main() {
         .collect();
     let sampling_max_err = errs.iter().copied().fold(0.0f64, f64::max);
     let sampling_mean_err = errs.iter().sum::<f64>() / errs.len().max(1) as f64;
+
+    // SimPoint weighted replay (phase-level sampling, opt-in like the
+    // window sampler above): plan each workload's intervals off the
+    // warm store, replay only the cluster representatives, and report
+    // the worst CPI error vs the full-replay grid on the base
+    // configuration.
+    let bench_len = opts.len.unwrap_or(DEFAULT_BENCH_LEN);
+    let sp_spec = SimPointSpec {
+        interval: (bench_len / 20).max(1),
+        clusters: 4,
+        warmup: bench_len / 100,
+        dims: 64,
+    };
+    let sp_errs: Vec<f64> = par_map(&workload_ids, |&w| {
+        let parts = parts_pool.lock().expect("pool lock").pop().unwrap_or_default();
+        let compact = store.load(&keys[w], parts).expect("freshly stored capture hits");
+        let plan = simpoint::plan(&compact, &sp_spec);
+        let est = simpoint::weighted_estimate(&configs[0], &compact, &plan, sp_spec.warmup);
+        if let Some(parts) = compact.into_parts() {
+            parts_pool.lock().expect("pool lock").push(parts);
+        }
+        let full = shared_results[w * configs.len()].cpi();
+        100.0 * (est.cpi - full).abs() / full.max(1e-9)
+    });
+    let simpoint_cpi_err = sp_errs.iter().copied().fold(0.0f64, f64::max);
     let _ = std::fs::remove_dir_all(&store_dir);
+
+    // External-ingest throughput: serialize a bench-cap-sized ZBXT
+    // stream in memory (same loop shape as the committed fixture) and
+    // clock the parse+validate walk that `zbp-cli trace` pays per file.
+    let ingest_bytes = {
+        let sites = vec![
+            ExtSite { addr: 0x1010, target: 0x1000, len: 4, kind: BranchKind::Conditional },
+            ExtSite { addr: 0x1020, target: 0x2000, len: 6, kind: BranchKind::Call },
+            ExtSite { addr: 0x2008, target: 0x1026, len: 2, kind: BranchKind::Return },
+            ExtSite { addr: 0x102e, target: 0x1000, len: 4, kind: BranchKind::Unconditional },
+        ];
+        // The base cycle retires 20 instructions over 5 events.
+        let mut events = Vec::with_capacity((bench_len / 4) as usize);
+        for _ in 0..(bench_len / 20).max(1) {
+            events.extend_from_slice(&[
+                EVENT_TAKEN,
+                0,
+                1 | EVENT_TAKEN,
+                2 | EVENT_TAKEN,
+                3 | EVENT_TAKEN,
+            ]);
+        }
+        let mut bytes = Vec::new();
+        write_external("bench-ingest", 0x1000, &sites, &events, &mut bytes)
+            .expect("in-memory ZBXT serialization");
+        bytes
+    };
+    let t = Instant::now();
+    let ingested = ExternalTrace::parse(&ingest_bytes).expect("synthetic ZBXT parses");
+    let ingest_s = t.elapsed().as_secs_f64();
+    let ingest_instructions = ingested.len();
+    let ingest_mips_v = mips(ingest_instructions, ingest_s);
+    drop(ingested);
 
     // Optional externally measured pre-PR wall-clock: the in-binary
     // regenerate baseline under-counts the PR because the simulator's
@@ -466,6 +539,8 @@ fn main() {
         sampling_mips: Some(mips(replay_instructions, sampling_replay_s)),
         sampling_max_cpi_err_pct: Some(sampling_max_err),
         sampling_mean_cpi_err_pct: Some(sampling_mean_err),
+        ingest_mips: Some(ingest_mips_v),
+        simpoint_cpi_err: Some(simpoint_cpi_err),
     };
 
     let rows = vec![
@@ -523,6 +598,12 @@ fn main() {
             format!("{}", replay_instructions),
             format!("{:.2}", mips(replay_instructions, sampling_replay_s)),
         ],
+        vec![
+            "external ingest (ZBXT parse)".to_string(),
+            format!("{:.3}", ingest_s),
+            format!("{}", ingest_instructions),
+            format!("{:.2}", ingest_mips_v),
+        ],
     ];
     println!("{}", render_table(&["stage", "wall (s)", "sim instructions", "MIPS"], &rows));
     println!(
@@ -542,6 +623,14 @@ fn main() {
         sampling_max_err,
         sampling_mean_err,
         errs.len()
+    );
+    println!(
+        "simpoint (opt-in): weighted-CPI error vs full replay max {:.2}% over {} workloads \
+         ({} of {} intervals replayed per trace)",
+        simpoint_cpi_err,
+        sp_errs.len(),
+        sp_spec.clusters,
+        (bench_len / sp_spec.interval.max(1)).max(1),
     );
     if let Some(speedup_vs_prepr) = report.speedup_vs_prepr {
         println!(

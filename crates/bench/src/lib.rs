@@ -138,6 +138,7 @@ mod tests {
             "future_multiblock",
             "future_edram",
             "comparison_phantom",
+            "simpoint",
         ] {
             assert!(registry::find(id).is_some(), "{id} missing from registry");
         }

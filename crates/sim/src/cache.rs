@@ -64,6 +64,24 @@ impl CellKey {
         ))
     }
 
+    /// Key for a SimPoint weighted-replay cell. `source_json` is the
+    /// workload source's key rendering, `spec_json` the full SimPoint
+    /// parameters (interval length, cluster count, warmup, BBV
+    /// dimensions) and `predictor_json`/`uarch_json` the configuration
+    /// measured — everything the weighted estimate depends on.
+    pub fn simpoint(
+        source_json: &str,
+        seed: u64,
+        len: u64,
+        spec_json: &str,
+        predictor_json: &str,
+        uarch_json: &str,
+    ) -> Self {
+        Self(format!(
+            "zbp-cell-v{SCHEMA_VERSION}|simpoint|profile={source_json}|seed={seed}|len={len}|spec={spec_json}|predictor={predictor_json}|uarch={uarch_json}"
+        ))
+    }
+
     /// The canonical key string.
     pub fn as_str(&self) -> &str {
         &self.0

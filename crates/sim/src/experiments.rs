@@ -22,6 +22,7 @@ use zbp_predictor::exclusive::ExclusivityPolicy;
 use zbp_predictor::tracker::FilterMode;
 use zbp_predictor::PredictorConfig;
 use zbp_trace::profile::WorkloadProfile;
+use zbp_trace::source::WorkloadSource;
 use zbp_trace::{TraceStats, TraceStore};
 use zbp_uarch::classify::OutcomeCounts;
 
@@ -47,6 +48,11 @@ pub struct ExperimentOptions {
     /// an experiment builds accumulates hit/miss counters on the same
     /// store, which the registry stamps into the manifest.
     pub trace_store: Arc<TraceStore>,
+    /// Workload-source override: when non-empty, experiments run over
+    /// these sources (typically ingested external traces) instead of
+    /// the spec's built-in synthetic workloads. Filled by the CLI's
+    /// repeatable `--trace FILE` flag or `ZBP_TRACES`.
+    pub sources: Vec<WorkloadSource>,
 }
 
 impl Default for ExperimentOptions {
@@ -58,6 +64,7 @@ impl Default for ExperimentOptions {
             cache_dir: None,
             compact: true,
             trace_store: Arc::new(TraceStore::disabled()),
+            sources: Vec::new(),
         }
     }
 }
@@ -73,6 +80,8 @@ impl PartialEq for ExperimentOptions {
             && self.compact == other.compact
             && self.trace_store.dir() == other.trace_store.dir()
             && self.trace_store.reads() == other.trace_store.reads()
+            && self.sources.len() == other.sources.len()
+            && self.sources.iter().zip(&other.sources).all(|(a, b)| a == b)
     }
 }
 
@@ -86,8 +95,10 @@ impl ExperimentOptions {
     }
 
     /// Reads `ZBP_TRACE_LEN`, `ZBP_SEED`, `ZBP_WORKERS`,
-    /// `ZBP_CACHE_DIR`, `ZBP_COMPACT`, `ZBP_TRACE_STORE` and
-    /// `ZBP_FRESH_TRACES` from the environment.
+    /// `ZBP_CACHE_DIR`, `ZBP_COMPACT`, `ZBP_TRACE_STORE`,
+    /// `ZBP_FRESH_TRACES` and `ZBP_TRACES` (a comma-separated list of
+    /// external trace files to ingest as the workload set) from the
+    /// environment.
     ///
     /// # Errors
     ///
@@ -135,6 +146,12 @@ impl ExperimentOptions {
         } else if fresh {
             return Err("ZBP_FRESH_TRACES=1 requires ZBP_TRACE_STORE to be set".into());
         }
+        if let Some(v) = env_nonempty("ZBP_TRACES") {
+            for path in v.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+                o.sources
+                    .push(WorkloadSource::ingest(path).map_err(|e| format!("ZBP_TRACES: {e}"))?);
+            }
+        }
         Ok(o)
     }
 
@@ -148,6 +165,12 @@ impl ExperimentOptions {
     /// Effective length for a profile.
     pub fn len_for(&self, p: &WorkloadProfile) -> u64 {
         self.len.map_or(p.default_len, |l| l.min(p.default_len))
+    }
+
+    /// Effective length for any workload source.
+    pub fn len_for_source(&self, s: &WorkloadSource) -> u64 {
+        let d = s.default_len();
+        self.len.map_or(d, |l| l.min(d))
     }
 }
 
@@ -384,17 +407,18 @@ pub struct Table4Row {
     pub instructions: u64,
 }
 
-/// Table-4 post-processing: pairs each profile's published footprint
-/// targets with the measured statistics of its synthesized trace.
-pub fn table4_rows(profiles: &[WorkloadProfile], stats: &[TraceStats]) -> Vec<Table4Row> {
-    profiles
+/// Table-4 post-processing: pairs each source's published footprint
+/// targets with the measured statistics of its trace. External sources
+/// carry no published targets (they report 0).
+pub fn table4_rows(sources: &[WorkloadSource], stats: &[TraceStats]) -> Vec<Table4Row> {
+    sources
         .iter()
         .zip(stats)
-        .map(|(p, s)| Table4Row {
-            trace: p.name.clone(),
-            target_branches: p.unique_branches(),
+        .map(|(src, s)| Table4Row {
+            trace: src.name().to_string(),
+            target_branches: src.unique_branches(),
             measured_branches: s.unique_branches,
-            target_taken: p.unique_taken(),
+            target_taken: src.unique_taken(),
             measured_taken: s.unique_taken,
             instructions: s.instructions,
         })
@@ -404,10 +428,15 @@ pub fn table4_rows(profiles: &[WorkloadProfile], stats: &[TraceStats]) -> Vec<Ta
 /// Table 4: validates the synthesized workloads' branch footprints
 /// against the published counts.
 pub fn table4(opts: &ExperimentOptions) -> Vec<Table4Row> {
-    let profiles = WorkloadProfile::all_table4();
-    let stats =
-        par_map(&profiles, |p| TraceStats::collect(&p.build_with_len(opts.seed, opts.len_for(p))));
-    table4_rows(&profiles, &stats)
+    let sources: Vec<WorkloadSource> = if opts.sources.is_empty() {
+        WorkloadProfile::all_table4().into_iter().map(Into::into).collect()
+    } else {
+        opts.sources.clone()
+    };
+    let stats = par_map(&sources, |s| {
+        TraceStats::collect(&s.build_with_len(opts.seed, opts.len_for_source(s)))
+    });
+    table4_rows(&sources, &stats)
 }
 
 // ---------------------------------------------------------------------------
@@ -761,16 +790,16 @@ pub fn tournament_wins(grid: &SessionGrid, winners: &[(String, String)]) -> Vec<
 /// by the first (paper) column's count (count descending, address
 /// ascending — fully deterministic).
 pub fn h2p_offenders(
-    profile: &WorkloadProfile,
+    source: &WorkloadSource,
     opts: &ExperimentOptions,
     configs: &[SimConfig],
     top: usize,
 ) -> Vec<H2pRow> {
     use std::collections::HashMap;
     use zbp_trace::Trace;
-    let len = opts.len_for(profile);
+    let len = opts.len_for_source(source);
     let per_backend: Vec<HashMap<u64, u64>> = par_map(configs, |c| {
-        let trace = profile.build_with_len(opts.seed, len);
+        let trace = source.build_with_len(opts.seed, len);
         let mut model = zbp_uarch::core::CoreModel::new(c.uarch, c.predictor.clone());
         let mut counts: HashMap<u64, u64> = HashMap::new();
         for instr in trace.iter() {
@@ -808,7 +837,7 @@ pub const H2P_TOP: usize = 10;
 /// on the workload where the paper backend struggles most.
 pub fn tournament_report(
     grid: &SessionGrid,
-    profiles: &[WorkloadProfile],
+    sources: &[WorkloadSource],
     configs: &[SimConfig],
     opts: &ExperimentOptions,
 ) -> TournamentReport {
@@ -824,9 +853,9 @@ pub fn tournament_report(
         })
         .expect("tournament has workloads")
         .clone();
-    let profile =
-        profiles.iter().find(|p| p.name == h2p_workload).expect("H2P workload is in the grid");
-    let h2p = h2p_offenders(profile, opts, configs, H2P_TOP);
+    let source =
+        sources.iter().find(|s| s.name() == h2p_workload).expect("H2P workload is in the grid");
+    let h2p = h2p_offenders(source, opts, configs, H2P_TOP);
     TournamentReport { cells, winners, wins, h2p_workload, h2p }
 }
 
@@ -834,11 +863,15 @@ pub fn tournament_report(
 /// workload under every registered [`SimConfig::direction_backends`]
 /// column, plus the H2P offender breakdown.
 pub fn predictor_tournament(opts: &ExperimentOptions) -> TournamentReport {
-    let profiles = WorkloadProfile::all_table4();
+    let sources: Vec<WorkloadSource> = if opts.sources.is_empty() {
+        WorkloadProfile::all_table4().into_iter().map(Into::into).collect()
+    } else {
+        opts.sources.clone()
+    };
     let configs = SimConfig::direction_backends();
     let grid =
-        SimSession::from_options(opts).workloads(profiles.clone()).configs(configs.clone()).run();
-    tournament_report(&grid, &profiles, &configs, opts)
+        SimSession::from_options(opts).workloads(sources.clone()).configs(configs.clone()).run();
+    tournament_report(&grid, &sources, &configs, opts)
 }
 
 #[cfg(test)]
@@ -901,18 +934,19 @@ mod tests {
     #[test]
     fn tournament_covers_every_backend_and_ranks_offenders() {
         let opts = ExperimentOptions::quick(8_000, 7);
-        let profiles = vec![WorkloadProfile::tpf_airline(), WorkloadProfile::zlinux_informix()];
+        let sources: Vec<WorkloadSource> =
+            vec![WorkloadProfile::tpf_airline().into(), WorkloadProfile::zlinux_informix().into()];
         let configs = SimConfig::direction_backends();
         let grid = SimSession::from_options(&opts)
-            .workloads(profiles.clone())
+            .workloads(sources.clone())
             .configs(configs.clone())
             .run();
-        let report = tournament_report(&grid, &profiles, &configs, &opts);
+        let report = tournament_report(&grid, &sources, &configs, &opts);
         assert_eq!(report.cells.len(), 2 * configs.len());
         assert!(report.cells.iter().all(|c| c.dir_mpki >= 0.0 && c.cpi > 0.0));
         assert_eq!(report.winners.len(), 2);
         assert_eq!(report.wins.iter().map(|(_, n)| n).sum::<u64>(), 2);
-        assert!(profiles.iter().any(|p| p.name == report.h2p_workload));
+        assert!(sources.iter().any(|s| s.name() == report.h2p_workload));
         assert!(!report.h2p.is_empty(), "short cold runs mispredict somewhere");
         for row in &report.h2p {
             let names: Vec<&str> = row.counts.iter().map(|(b, _)| b.as_str()).collect();

@@ -17,6 +17,9 @@
 //!   manifests;
 //! * [`cache`] — the content-addressed per-cell result cache that makes
 //!   interrupted grid runs resumable;
+//! * [`simpoint`] — SimPoint-style phase selection: cluster BBV
+//!   intervals, replay only weighted representatives, and report the
+//!   measured error against full replay;
 //! * [`fuzz`] — the deterministic differential fuzz harness behind
 //!   `zbp-cli fuzz`, cross-checking every replay path per random cell;
 //! * [`report`] — CPI-improvement math and fixed-width table rendering;
@@ -34,6 +37,7 @@ pub mod report;
 pub mod reportgen;
 pub mod runner;
 pub mod session;
+pub mod simpoint;
 pub mod sweep;
 
 pub use cache::CellCache;

@@ -19,17 +19,26 @@
 //! otherwise identical runs, which is how `experiment verify` and the
 //! resume tests compare artifacts bit-for-bit.
 
-use crate::cache::{CellCache, CellKey, SCHEMA_VERSION};
+use crate::cache::{CellCache, CellKey};
 use crate::config::SimConfig;
 use crate::experiments::{self, ExperimentOptions};
 use crate::parallel::par_map;
 use crate::report::{mean, render_csv, render_table};
 use crate::session::{CacheStats, SessionGrid, SimSession};
+use crate::simpoint::{self, SimPointSpec};
 use crate::sweep::{points_from_grid, sweep_configs};
 use std::time::{Instant, SystemTime};
-use zbp_support::json::{self, FromJson, Json, ToJson};
+use zbp_support::json::{FromJson, Json, ToJson};
 use zbp_trace::profile::WorkloadProfile;
+use zbp_trace::source::WorkloadSource;
 use zbp_trace::TraceStats;
+
+/// Version stamped into artifact manifests. Bumped to 2 when the
+/// `workload_sources` provenance field landed (the workload-source
+/// abstraction); v1 manifests lack the field and still parse (it reads
+/// back as `None`). Independent of [`crate::cache::SCHEMA_VERSION`],
+/// which keys cache/store entries and did NOT change.
+pub const MANIFEST_SCHEMA_VERSION: u32 = 2;
 
 /// One registered experiment: everything needed to run it and render
 /// its artifact, declared as data plus plain function pointers.
@@ -53,16 +62,18 @@ pub struct ExperimentSpec {
     kind: Kind,
 }
 
-/// How a spec's cells execute and post-process.
+/// How a spec's cells execute and post-process. Every arm receives
+/// [`WorkloadSource`]s — the spec's default synthetic profiles, or
+/// whatever external traces `opts.sources` substituted.
 enum Kind {
     /// Trace-statistics cells (Table 4): no simulation, one
     /// [`TraceStats`] per workload.
-    Stats(fn(&[WorkloadProfile], &[TraceStats]) -> Rendered),
+    Stats(fn(&[WorkloadSource], &[TraceStats]) -> Rendered),
     /// Simulation cells: a workload × configuration grid.
     Grid { configs: fn() -> Vec<SimConfig>, post: fn(&SessionGrid) -> Rendered },
     /// Fully custom execution: the experiment drives its own grid (and
     /// any extra replays) through the cache itself.
-    Custom(fn(&[WorkloadProfile], &ExperimentOptions, &CellCache) -> (Rendered, CacheStats)),
+    Custom(fn(&[WorkloadSource], &ExperimentOptions, &CellCache) -> (Rendered, CacheStats)),
 }
 
 /// Post-processed experiment output before the manifest is attached.
@@ -77,7 +88,8 @@ struct Rendered {
 pub struct Manifest {
     /// Registry id of the experiment.
     pub experiment: String,
-    /// [`SCHEMA_VERSION`] of the code that produced the artifact.
+    /// [`MANIFEST_SCHEMA_VERSION`] of the code that produced the
+    /// artifact.
     pub schema_version: u32,
     /// Workload synthesis seed.
     pub seed: u64,
@@ -102,6 +114,10 @@ pub struct Manifest {
     /// Workload rows the store could not serve (regenerated and
     /// persisted). `None` when no store was attached.
     pub trace_store_misses: Option<u64>,
+    /// Workload-source descriptors, one per workload:
+    /// `synthetic:<name>` or `external:<name>@fnv=<content hash>`.
+    /// `None` in pre-v2 artifacts (the field is absent there).
+    pub workload_sources: Option<Vec<String>>,
 }
 
 zbp_support::impl_json_struct!(Manifest {
@@ -117,6 +133,7 @@ zbp_support::impl_json_struct!(Manifest {
     cache_hits,
     trace_store_hits,
     trace_store_misses,
+    workload_sources,
 });
 
 /// A completed experiment: manifest, post-processed data, and rendered
@@ -190,26 +207,33 @@ impl ExperimentSpec {
         // The store's counters are cumulative across the process (the
         // options may be reused); attribute only this run's delta.
         let store_before = opts.trace_store.stats();
-        let profiles = (self.workloads)();
+        // The spec's synthetic profiles are the default workload set;
+        // `--trace` / `ZBP_TRACES` swaps in external sources for the
+        // whole grid.
+        let sources: Vec<WorkloadSource> = if opts.sources.is_empty() {
+            (self.workloads)().into_iter().map(Into::into).collect()
+        } else {
+            opts.sources.clone()
+        };
         let trace_lens: Vec<(String, u64)> =
-            profiles.iter().map(|p| (p.name.clone(), opts.len_for(p))).collect();
+            sources.iter().map(|s| (s.name().to_string(), opts.len_for_source(s))).collect();
         let (rendered, stats) = match &self.kind {
             Kind::Stats(post) => {
-                let (all, stats) = collect_stats_cached(&profiles, opts, cache);
-                (post(&profiles, &all), stats)
+                let (all, stats) = collect_stats_cached(&sources, opts, cache);
+                (post(&sources, &all), stats)
             }
             Kind::Grid { configs, post } => {
                 let (grid, stats) = SimSession::from_options(opts)
-                    .workloads(profiles.clone())
+                    .workloads(sources.clone())
                     .configs(configs())
                     .run_cached(cache);
                 (post(&grid), stats)
             }
-            Kind::Custom(run) => run(&profiles, opts, cache),
+            Kind::Custom(run) => run(&sources, opts, cache),
         };
         let manifest = Manifest {
             experiment: self.id.to_string(),
-            schema_version: SCHEMA_VERSION,
+            schema_version: MANIFEST_SCHEMA_VERSION,
             seed: opts.seed,
             len_cap: opts.len,
             trace_lens,
@@ -228,6 +252,7 @@ impl ExperimentSpec {
                 .trace_store
                 .is_enabled()
                 .then(|| opts.trace_store.stats().since(store_before).misses),
+            workload_sources: Some(sources.iter().map(WorkloadSource::describe).collect()),
         };
         ExperimentRun { manifest, data: rendered.data, pretty: rendered.pretty, csv: rendered.csv }
     }
@@ -236,25 +261,25 @@ impl ExperimentSpec {
 /// Table-4 cells through the cache: one [`TraceStats`] per workload,
 /// round-tripped through rendered JSON exactly like simulation cells.
 fn collect_stats_cached(
-    profiles: &[WorkloadProfile],
+    sources: &[WorkloadSource],
     opts: &ExperimentOptions,
     cache: &CellCache,
 ) -> (Vec<TraceStats>, CacheStats) {
     use std::sync::atomic::{AtomicU64, Ordering};
     let hits = AtomicU64::new(0);
-    let all = par_map(profiles, |p| {
-        let len = opts.len_for(p);
-        let key = CellKey::stats(&json::to_string(p), opts.seed, len);
+    let all = par_map(sources, |s| {
+        let len = opts.len_for_source(s);
+        let key = CellKey::stats(&s.key_json(), opts.seed, len);
         if let Some(cached) = cache.load(&key).and_then(|j| roundtrip_stats(&j)) {
             hits.fetch_add(1, Ordering::Relaxed);
             return cached;
         }
-        let stats = TraceStats::collect(&p.build_with_len(opts.seed, len));
+        let stats = TraceStats::collect(&s.build_with_len(opts.seed, len));
         let entry = stats.to_json();
         cache.store(&key, &entry);
         roundtrip_stats(&entry).expect("TraceStats JSON round-trips")
     });
-    (all, CacheStats { cells: profiles.len() as u64, hits: hits.into_inner() })
+    (all, CacheStats { cells: sources.len() as u64, hits: hits.into_inner() })
 }
 
 fn roundtrip_stats(entry: &Json) -> Option<TraceStats> {
@@ -328,6 +353,14 @@ fn wl_daytrader_dbserv() -> Vec<WorkloadProfile> {
     vec![WorkloadProfile::daytrader_dbserv()]
 }
 
+fn wl_simpoint() -> Vec<WorkloadProfile> {
+    vec![
+        WorkloadProfile::daytrader_dbserv(),
+        WorkloadProfile::tpf_airline(),
+        WorkloadProfile::zlinux_informix(),
+    ]
+}
+
 fn cfg_table3() -> Vec<SimConfig> {
     SimConfig::table3().to_vec()
 }
@@ -392,10 +425,17 @@ fn pct(x: f64) -> String {
     format!("{x:+.2}%")
 }
 
-fn post_table4(profiles: &[WorkloadProfile], stats: &[TraceStats]) -> Rendered {
-    let rows = experiments::table4_rows(profiles, stats);
-    let deviation =
-        |measured: u64, target: u32| 100.0 * (measured as f64 - target as f64) / target as f64;
+fn post_table4(sources: &[WorkloadSource], stats: &[TraceStats]) -> Rendered {
+    let rows = experiments::table4_rows(sources, stats);
+    // External traces carry no published footprint targets (target 0);
+    // render "-" instead of a meaningless deviation.
+    let deviation = |measured: u64, target: u32| {
+        if target == 0 {
+            "-".to_string()
+        } else {
+            format!("{:+.1}%", 100.0 * (measured as f64 - target as f64) / target as f64)
+        }
+    };
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -403,10 +443,10 @@ fn post_table4(profiles: &[WorkloadProfile], stats: &[TraceStats]) -> Rendered {
                 r.trace.clone(),
                 r.target_branches.to_string(),
                 r.measured_branches.to_string(),
-                format!("{:+.1}%", deviation(r.measured_branches, r.target_branches)),
+                deviation(r.measured_branches, r.target_branches),
                 r.target_taken.to_string(),
                 r.measured_taken.to_string(),
-                format!("{:+.1}%", deviation(r.measured_taken, r.target_taken)),
+                deviation(r.measured_taken, r.target_taken),
                 r.instructions.to_string(),
             ]
         })
@@ -620,16 +660,16 @@ fn post_wrongpath(grid: &SessionGrid) -> Rendered {
 /// [`experiments::tournament_report`]). Rendered as a who-wins-where
 /// table, a wins summary, and the H2P top-offenders table.
 fn run_tournament(
-    profiles: &[WorkloadProfile],
+    sources: &[WorkloadSource],
     opts: &ExperimentOptions,
     cache: &CellCache,
 ) -> (Rendered, CacheStats) {
     let configs = SimConfig::direction_backends();
     let (grid, stats) = SimSession::from_options(opts)
-        .workloads(profiles.to_vec())
+        .workloads(sources.to_vec())
         .configs(configs.clone())
         .run_cached(cache);
-    let report = experiments::tournament_report(&grid, profiles, &configs, opts);
+    let report = experiments::tournament_report(&grid, sources, &configs, opts);
 
     let backends = grid.configs();
     let mut headers: Vec<String> = vec!["trace".into()];
@@ -696,11 +736,108 @@ fn run_tournament(
     (Rendered { data: report.to_json(), pretty, csv: Some(csv) }, stats)
 }
 
+/// Runs the SimPoint validation: per workload, plan BBV clusters,
+/// replay only the weighted representatives, and compare against a
+/// full replay of the same capture (see [`crate::simpoint`]). One cell
+/// per workload, cached under [`CellKey::simpoint`].
+fn run_simpoint(
+    sources: &[WorkloadSource],
+    opts: &ExperimentOptions,
+    cache: &CellCache,
+) -> (Rendered, CacheStats) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let config = SimConfig::btb2_enabled();
+    let spec = SimPointSpec::default();
+    let hits = AtomicU64::new(0);
+    let rows = par_map(sources, |s| {
+        let (row, hit) = simpoint::simpoint_row(s, &config, &spec, opts, cache);
+        if hit {
+            hits.fetch_add(1, Ordering::Relaxed);
+        }
+        row
+    });
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.trace.clone(),
+                r.intervals.to_string(),
+                r.clusters.to_string(),
+                format!("{:.1}%", 100.0 * r.replayed_fraction()),
+                format!("{:.4}", r.weighted_cpi),
+                format!("{:.4}", r.full_cpi),
+                format!("{:.2}%", r.cpi_err_pct),
+                format!("{:.3}", r.weighted_dir_mpki),
+                format!("{:.3}", r.full_dir_mpki),
+                format!("{:.2}%", r.mpki_err_pct),
+            ]
+        })
+        .collect();
+    let mut pretty = render_table(
+        &[
+            "trace",
+            "intervals",
+            "reps",
+            "replayed",
+            "weighted CPI",
+            "full CPI",
+            "CPI err",
+            "weighted MPKI",
+            "full MPKI",
+            "MPKI err",
+        ],
+        &table,
+    );
+    let max_err = rows.iter().map(|r| r.cpi_err_pct).fold(0.0, f64::max);
+    let replayed: Vec<f64> = rows.iter().map(|r| 100.0 * r.replayed_fraction()).collect();
+    pretty.push_str(&format!(
+        "maximum weighted-CPI error: {max_err:.2}%  \
+         (replaying {:.1}% of instructions on average)\n",
+        mean(&replayed)
+    ));
+    let csv_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.trace.clone(),
+                r.intervals.to_string(),
+                r.clusters.to_string(),
+                format!("{:.6}", r.replayed_fraction()),
+                format!("{:.6}", r.weighted_cpi),
+                format!("{:.6}", r.full_cpi),
+                format!("{:.4}", r.cpi_err_pct),
+                format!("{:.6}", r.weighted_dir_mpki),
+                format!("{:.6}", r.full_dir_mpki),
+                format!("{:.4}", r.mpki_err_pct),
+            ]
+        })
+        .collect();
+    let csv = render_csv(
+        &[
+            "trace",
+            "intervals",
+            "clusters",
+            "replayed_fraction",
+            "weighted_cpi",
+            "full_cpi",
+            "cpi_err_pct",
+            "weighted_dir_mpki",
+            "full_dir_mpki",
+            "mpki_err_pct",
+        ],
+        &csv_rows,
+    );
+    (
+        Rendered { data: rows.to_json(), pretty, csv: Some(csv) },
+        CacheStats { cells: sources.len() as u64, hits: hits.into_inner() },
+    )
+}
+
 // ---------------------------------------------------------------------------
 // The registry itself
 // ---------------------------------------------------------------------------
 
-static REGISTRY: [ExperimentSpec; 17] = [
+static REGISTRY: [ExperimentSpec; 18] = [
     ExperimentSpec {
         id: "table4",
         title: "Table 4 — large footprint traces",
@@ -907,11 +1044,25 @@ static REGISTRY: [ExperimentSpec; 17] = [
         workloads: wl_table4,
         kind: Kind::Custom(run_tournament),
     },
+    ExperimentSpec {
+        id: "simpoint",
+        title: "SimPoint — phase-sampled replay validation",
+        paper_ref: "§4 methodology (extended; Sherwood et al., ASPLOS 2002)",
+        artifact: "simpoint_weighted_replay",
+        description: "BBV-clustered representative replay vs full replay: \
+                      weighted CPI/MPKI and the measured error",
+        tags: &["methodology", "sampling"],
+        notes: &["weights are cluster shares of 100k-instruction BBV intervals; \
+                  errors are measured against a full replay of the same capture"],
+        workloads: wl_simpoint,
+        kind: Kind::Custom(run_simpoint),
+    },
 ];
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use zbp_support::json;
 
     #[test]
     fn ids_and_artifacts_are_unique() {
@@ -921,7 +1072,7 @@ mod tests {
             assert!(ids.insert(spec.id), "duplicate id {}", spec.id);
             assert!(artifacts.insert(spec.artifact), "duplicate artifact {}", spec.artifact);
         }
-        assert_eq!(all().len(), 17);
+        assert_eq!(all().len(), 18);
     }
 
     #[test]
@@ -968,6 +1119,43 @@ mod tests {
     }
 
     #[test]
+    fn simpoint_spec_runs_and_caches() {
+        let dir = std::env::temp_dir().join(format!("zbp-registry-sp-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = find("simpoint").unwrap();
+        let opts = ExperimentOptions::quick(150_000, 3);
+        let cold = spec.run(&opts, &CellCache::at(&dir));
+        assert_eq!(cold.manifest.cells, 3);
+        assert_eq!(cold.manifest.cache_hits, 0);
+        assert!(cold.pretty.contains("maximum weighted-CPI error"));
+        assert!(cold.csv.as_deref().unwrap_or("").contains("cpi_err_pct"));
+        let warm = spec.run(&opts, &CellCache::at(&dir));
+        assert_eq!(warm.manifest.cache_hits, 3);
+        assert_eq!(
+            strip_volatile(&cold.artifact()),
+            strip_volatile(&warm.artifact()),
+            "cached simpoint rerun must be bit-identical modulo volatile fields"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn opts_sources_override_the_spec_workloads() {
+        // Any registered grid runs over substituted sources; the
+        // manifest records the substitution.
+        let mut opts = ExperimentOptions::quick(2_000, 3);
+        opts.sources = vec![WorkloadSource::from(WorkloadProfile::tpf_airline())];
+        let run = find("fig2").unwrap().run(&opts, &CellCache::disabled());
+        assert_eq!(run.manifest.trace_lens.len(), 1);
+        assert_eq!(run.manifest.trace_lens[0].0, "TPF airline reservations");
+        assert_eq!(run.manifest.cells, 3, "1 workload x 3 table-3 configs");
+        assert_eq!(
+            run.manifest.workload_sources,
+            Some(vec!["synthetic:TPF airline reservations".into()])
+        );
+    }
+
+    #[test]
     fn edit_distance_basics() {
         assert_eq!(edit_distance("", "abc"), 3);
         assert_eq!(edit_distance("kitten", "sitting"), 3);
@@ -980,12 +1168,17 @@ mod tests {
         let opts = ExperimentOptions::quick(4_000, 3);
         let run = spec.run(&opts, &CellCache::disabled());
         assert_eq!(run.manifest.experiment, "fig4");
-        assert_eq!(run.manifest.schema_version, SCHEMA_VERSION);
+        assert_eq!(run.manifest.schema_version, MANIFEST_SCHEMA_VERSION);
         assert_eq!(run.manifest.seed, 3);
         assert_eq!(run.manifest.len_cap, Some(4_000));
         assert_eq!(run.manifest.cells, 2);
         assert_eq!(run.manifest.cache_hits, 0);
         assert_eq!(run.manifest.trace_lens.len(), 1);
+        assert_eq!(
+            run.manifest.workload_sources,
+            Some(vec!["synthetic:Z/OS DayTrader DBServ".into()]),
+            "manifests must record where every workload came from"
+        );
         assert!(!run.pretty.is_empty());
         assert!(run.artifact().get("manifest").is_some());
         assert!(run.artifact().get("data").is_some());
@@ -1029,7 +1222,7 @@ mod tests {
     fn manifest_round_trips_through_json() {
         let m = Manifest {
             experiment: "fig2".into(),
-            schema_version: SCHEMA_VERSION,
+            schema_version: MANIFEST_SCHEMA_VERSION,
             seed: 0xEC12,
             len_cap: None,
             trace_lens: vec![("a".into(), 10)],
@@ -1040,6 +1233,10 @@ mod tests {
             cache_hits: 7,
             trace_store_hits: Some(13),
             trace_store_misses: Some(0),
+            workload_sources: Some(vec![
+                "synthetic:a".into(),
+                "external:t.zbxt@fnv=00000000deadbeef".into(),
+            ]),
         };
         let back: Manifest = json::from_str(&json::to_string(&m)).unwrap();
         assert_eq!(back, m);
@@ -1047,11 +1244,13 @@ mod tests {
 
     #[test]
     fn manifest_without_store_fields_still_parses() {
-        // Pre-store artifacts lack the trace_store_* keys; they must
-        // read back as None, keeping committed results loadable.
+        // Pre-store (v0) and pre-workload-source (v1) artifacts lack
+        // the trace_store_* / workload_sources keys; they must read
+        // back as None, keeping committed results and history JSONL
+        // lines loadable.
         let m = Manifest {
             experiment: "fig2".into(),
-            schema_version: SCHEMA_VERSION,
+            schema_version: 1,
             seed: 1,
             len_cap: Some(5),
             trace_lens: vec![],
@@ -1062,11 +1261,14 @@ mod tests {
             cache_hits: 0,
             trace_store_hits: None,
             trace_store_misses: None,
+            workload_sources: None,
         };
         let rendered = json::to_string(&m);
         let pruned: String = rendered
             .replace(",\"trace_store_hits\":null", "")
-            .replace(",\"trace_store_misses\":null", "");
+            .replace(",\"trace_store_misses\":null", "")
+            .replace(",\"workload_sources\":null", "");
+        assert!(!pruned.contains("workload_sources"), "v1 manifest must lack the field");
         let back: Manifest = json::from_str(&pruned).unwrap();
         assert_eq!(back, m);
     }

@@ -7,8 +7,7 @@
 //! human-readable report with ASCII bar charts — `zbp-cli report`
 //! writes it to `results/REPORT.md`.
 
-use crate::cache::SCHEMA_VERSION;
-use crate::registry::Manifest;
+use crate::registry::{Manifest, MANIFEST_SCHEMA_VERSION};
 use crate::report::ImprovementRow;
 use crate::sweep::SweepPoint;
 use std::fmt::Write as _;
@@ -40,10 +39,10 @@ fn load<T: FromJson>(dir: &Path, name: &str) -> Result<Option<T>, String> {
     })?;
     let manifest =
         Manifest::from_json(manifest).map_err(|e| format!("{shown}: bad manifest: {e:?}"))?;
-    if manifest.schema_version != SCHEMA_VERSION {
+    if manifest.schema_version != MANIFEST_SCHEMA_VERSION {
         return Err(format!(
-            "{shown}: artifact schema version {} does not match current {SCHEMA_VERSION} — \
-             regenerate with `zbp-cli experiment run {}`",
+            "{shown}: artifact schema version {} does not match current \
+             {MANIFEST_SCHEMA_VERSION} — regenerate with `zbp-cli experiment run {}`",
             manifest.schema_version, manifest.experiment
         ));
     }
@@ -142,6 +141,34 @@ pub fn build_report(dir: &Path) -> Result<Option<String>, String> {
         let _ = writeln!(out, "```\n");
     }
 
+    if let Some(rows) = load::<Vec<crate::simpoint::SimPointRow>>(dir, "simpoint_weighted_replay")?
+    {
+        found = true;
+        let _ = writeln!(out, "## SimPoint — weighted replay vs full replay\n\n```text");
+        let label_w = rows.iter().map(|r| r.trace.len()).max().unwrap_or(0);
+        let max = rows.iter().map(|r| r.cpi_err_pct.abs()).fold(0.0f64, f64::max);
+        for r in &rows {
+            let _ = writeln!(
+                out,
+                "{:<label_w$}  weighted {:>7.4}  full {:>7.4}  err {:>5.2}%  {}",
+                r.trace,
+                r.weighted_cpi,
+                r.full_cpi,
+                r.cpi_err_pct,
+                bar(r.cpi_err_pct.abs(), max, 30)
+            );
+        }
+        let frac =
+            rows.iter().map(crate::simpoint::SimPointRow::replayed_fraction).fold(0.0f64, f64::max);
+        let _ = writeln!(out, "```\n");
+        let _ = writeln!(
+            out,
+            "Worst weighted-CPI error {max:.2}% while replaying ≤ {:.1}% of \
+             instructions per trace.\n",
+            100.0 * frac
+        );
+    }
+
     for (name, title) in [
         ("fig5_btb2_size", "Figure 5 — BTB2 size"),
         ("fig6_miss_definition", "Figure 6 — BTB1 miss definition"),
@@ -194,6 +221,7 @@ mod tests {
             cache_hits: 0,
             trace_store_hits: None,
             trace_store_misses: None,
+            workload_sources: None,
         }
     }
 
@@ -224,7 +252,7 @@ mod tests {
     fn report_from_manifest_stamped_artifacts() {
         let dir = std::env::temp_dir().join(format!("zbp-reportgen-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        write_artifact(&dir, "fig5_btb2_size", SCHEMA_VERSION, &points());
+        write_artifact(&dir, "fig5_btb2_size", MANIFEST_SCHEMA_VERSION, &points());
         let report = build_report(&dir).unwrap().expect("artifact present");
         assert!(report.contains("Figure 5"));
         assert!(report.contains("bb"));
@@ -248,7 +276,7 @@ mod tests {
                 counts: vec![("paper".into(), 9), ("tage".into(), 2)],
             }],
         };
-        write_artifact(&dir, "predictor_tournament", SCHEMA_VERSION, &report);
+        write_artifact(&dir, "predictor_tournament", MANIFEST_SCHEMA_VERSION, &report);
         let text = build_report(&dir).unwrap().expect("artifact present");
         assert!(text.contains("direction-predictor backends"));
         assert!(text.contains("tage"));
@@ -260,7 +288,7 @@ mod tests {
     fn schema_version_mismatch_fails_loudly() {
         let dir = std::env::temp_dir().join(format!("zbp-reportgen-stale-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        write_artifact(&dir, "fig5_btb2_size", SCHEMA_VERSION + 1, &points());
+        write_artifact(&dir, "fig5_btb2_size", MANIFEST_SCHEMA_VERSION + 1, &points());
         let err = build_report(&dir).unwrap_err();
         assert!(err.contains("schema version"), "unexpected error: {err}");
         assert!(write_report(&dir).is_err());

@@ -29,8 +29,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use zbp_support::json::{self, FromJson, Json, ToJson};
 use zbp_trace::materialize::MaterializedTrace;
-use zbp_trace::profile::WorkloadProfile;
-use zbp_trace::{CompactParts, CompactTrace, Trace, TraceInstr, TraceStore, TraceStoreKey};
+use zbp_trace::source::WorkloadSource;
+use zbp_trace::{CompactParts, CompactTrace, Trace, TraceInstr, TraceStore};
 use zbp_uarch::core::CoreResult;
 
 /// Builder for a batched workload × configuration run.
@@ -56,7 +56,7 @@ pub struct SimSession {
     materialize_cap: u64,
     compact: bool,
     store: Arc<TraceStore>,
-    workloads: Vec<WorkloadProfile>,
+    workloads: Vec<WorkloadSource>,
     configs: Vec<SimConfig>,
 }
 
@@ -147,17 +147,22 @@ impl SimSession {
         self
     }
 
-    /// Adds one workload row.
+    /// Adds one workload row: a synthetic [`WorkloadProfile`] or any
+    /// other [`WorkloadSource`].
     #[must_use]
-    pub fn workload(mut self, profile: WorkloadProfile) -> Self {
-        self.workloads.push(profile);
+    pub fn workload(mut self, source: impl Into<WorkloadSource>) -> Self {
+        self.workloads.push(source.into());
         self
     }
 
     /// Adds workload rows.
     #[must_use]
-    pub fn workloads(mut self, profiles: impl IntoIterator<Item = WorkloadProfile>) -> Self {
-        self.workloads.extend(profiles);
+    pub fn workloads<I>(mut self, sources: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: Into<WorkloadSource>,
+    {
+        self.workloads.extend(sources.into_iter().map(Into::into));
         self
     }
 
@@ -175,8 +180,9 @@ impl SimSession {
         self
     }
 
-    fn effective_len(&self, p: &WorkloadProfile) -> u64 {
-        self.len.map_or(p.default_len, |l| l.min(p.default_len))
+    fn effective_len(&self, s: &WorkloadSource) -> u64 {
+        let d = s.default_len();
+        self.len.map_or(d, |l| l.min(d))
     }
 
     /// Runs every workload × configuration cell, workload-major.
@@ -199,16 +205,16 @@ impl SimSession {
     pub fn run(&self) -> SessionGrid {
         let pool = CapturePool::default();
         let all: Vec<usize> = (0..self.configs.len()).collect();
-        let per_workload: Vec<Vec<SimResult>> = par_map(&self.workloads, |p| {
-            let len = self.effective_len(p);
-            self.replay_row(p, len, &all, &pool)
+        let per_workload: Vec<Vec<SimResult>> = par_map(&self.workloads, |s| {
+            let len = self.effective_len(s);
+            self.replay_row(s, len, &all, &pool)
                 .into_iter()
                 .zip(&self.configs)
                 .map(|(core, c)| SimResult { config_name: c.name.clone(), core })
                 .collect()
         });
         SessionGrid {
-            workloads: self.workloads.iter().map(|p| p.name.clone()).collect(),
+            workloads: self.workloads.iter().map(|s| s.name().to_string()).collect(),
             configs: self.configs.iter().map(|c| c.name.clone()).collect(),
             results: per_workload.into_iter().flatten().collect(),
         }
@@ -227,17 +233,14 @@ impl SimSession {
     /// walking. All four replay the identical stream bit-identically.
     fn replay_row(
         &self,
-        p: &WorkloadProfile,
+        s: &WorkloadSource,
         len: u64,
         which: &[usize],
         pool: &CapturePool,
     ) -> Vec<CoreResult> {
         if self.compact {
             let mut parts = pool.compact.lock().expect("pool lock").pop().unwrap_or_default();
-            let key = self
-                .store
-                .is_enabled()
-                .then(|| TraceStoreKey::workload(&json::to_string(p), self.seed, len));
+            let key = self.store.is_enabled().then(|| s.store_key(self.seed, len));
             if let Some(key) = &key {
                 match self.store.load(key, parts) {
                     // A stored capture over the session's cap replays
@@ -256,7 +259,7 @@ impl SimSession {
                     Err(back) => parts = back,
                 }
             }
-            let gen = p.build_with_len(self.seed, len);
+            let gen = s.build_with_len(self.seed, len);
             match CompactTrace::capture_within_into(&gen, self.materialize_cap, parts) {
                 Ok(compact) => {
                     if let Some(key) = &key {
@@ -274,7 +277,7 @@ impl SimSession {
             }
             return self.replay_records(&gen, len, which, pool);
         }
-        let gen = p.build_with_len(self.seed, len);
+        let gen = s.build_with_len(self.seed, len);
         self.replay_records(&gen, len, which, pool)
     }
 
@@ -327,19 +330,19 @@ impl SimSession {
             .iter()
             .map(|c| (json::to_string(&c.predictor), json::to_string(&c.uarch)))
             .collect();
-        let per_workload: Vec<Vec<SimResult>> = par_map(&self.workloads, |p| {
-            let len = self.effective_len(p);
-            let profile_json = json::to_string(p);
+        let per_workload: Vec<Vec<SimResult>> = par_map(&self.workloads, |s| {
+            let len = self.effective_len(s);
+            let source_json = s.key_json();
             let keys: Vec<CellKey> = config_jsons
                 .iter()
-                .map(|(pred, uarch)| CellKey::sim(&profile_json, self.seed, len, pred, uarch))
+                .map(|(pred, uarch)| CellKey::sim(&source_json, self.seed, len, pred, uarch))
                 .collect();
             let mut cores: Vec<Option<CoreResult>> =
                 keys.iter().map(|k| cache.load(k).and_then(|j| roundtrip(&j))).collect();
             hits.fetch_add(cores.iter().flatten().count() as u64, Ordering::Relaxed);
             let missing: Vec<usize> = (0..cores.len()).filter(|&i| cores[i].is_none()).collect();
             if !missing.is_empty() {
-                let computed = self.replay_row(p, len, &missing, &pool);
+                let computed = self.replay_row(s, len, &missing, &pool);
                 for (&i, core) in missing.iter().zip(computed) {
                     let entry = core.to_json();
                     cache.store(&keys[i], &entry);
@@ -356,7 +359,7 @@ impl SimSession {
                 .collect()
         });
         let grid = SessionGrid {
-            workloads: self.workloads.iter().map(|p| p.name.clone()).collect(),
+            workloads: self.workloads.iter().map(|s| s.name().to_string()).collect(),
             configs: self.configs.iter().map(|c| c.name.clone()).collect(),
             results: per_workload.into_iter().flatten().collect(),
         };
@@ -452,6 +455,7 @@ impl SessionGrid {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use zbp_trace::profile::WorkloadProfile;
 
     #[test]
     fn grid_addresses_every_cell_by_name() {
@@ -651,9 +655,10 @@ mod tests {
     #[test]
     fn len_cap_respects_profile_default() {
         let p = WorkloadProfile::tpf_airline();
+        let s = WorkloadSource::from(p.clone());
         let session = SimSession::new().max_len(u64::MAX);
-        assert_eq!(session.effective_len(&p), p.default_len);
+        assert_eq!(session.effective_len(&s), p.default_len);
         let capped = SimSession::new().max_len(10);
-        assert_eq!(capped.effective_len(&p), 10);
+        assert_eq!(capped.effective_len(&s), 10);
     }
 }

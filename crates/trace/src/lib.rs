@@ -33,18 +33,22 @@ pub mod analysis;
 pub mod branch;
 pub mod compact;
 pub mod gen;
+pub mod ingest;
 pub mod instr;
 pub mod io;
 pub mod materialize;
 pub mod profile;
+pub mod source;
 pub mod stats;
 pub mod store;
 
 pub use addr::InstAddr;
 pub use branch::{BranchKind, BranchRec};
 pub use compact::{CompactCaptureError, CompactParts, CompactTrace};
+pub use ingest::{ExternalTrace, IngestError};
 pub use instr::TraceInstr;
 pub use materialize::MaterializedTrace;
+pub use source::{SourceTrace, WorkloadSource};
 pub use stats::TraceStats;
 pub use store::{TraceStore, TraceStoreKey, TraceStoreStats};
 

@@ -71,6 +71,18 @@ impl TraceStoreKey {
         Self { rendered, digest }
     }
 
+    /// Key for an external ingested trace: identity is the FNV-1a
+    /// digest of the raw trace-file bytes plus the replay length cap.
+    /// No seed — replay of a recorded stream is seed-independent — and
+    /// a distinct namespace so an external entry can never alias a
+    /// synthetic one.
+    pub fn external(content_fnv: u64, len: u64) -> Self {
+        let rendered =
+            format!("zbp-trace-v{STORE_VERSION}|external|content_fnv={content_fnv:016x}|len={len}");
+        let digest = fnv1a_64_hex(&rendered);
+        Self { rendered, digest }
+    }
+
     /// The full rendered key (embedded in the entry for collision
     /// detection).
     pub fn rendered(&self) -> &str {

@@ -1,0 +1,213 @@
+//! Property tests of the external-trace (`ZBXT`) ingest layer, pinned
+//! to the checked-in fixture at `tests/fixtures/sample.zbxt` (repo
+//! root). The fixture is produced by the deterministic generator in
+//! this file; regenerate it after a deliberate format change with
+//!
+//! ```text
+//! ZBP_BLESS_FIXTURE=1 cargo test -p zbp-trace --test ingest_props bless
+//! ```
+//!
+//! and the pin test will fail loudly until the committed bytes match
+//! the generator again.
+
+use std::path::PathBuf;
+use zbp_trace::ingest::{write_external, ExtSite, EVENT_TAKEN, MAX_RUN};
+use zbp_trace::{BranchKind, CompactTrace, ExternalTrace, IngestError, Trace};
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/sample.zbxt")
+}
+
+/// The fixture program: a hot loop at 0x1000 (conditional, call/return
+/// and an unconditional back-edge) with an occasional excursion through
+/// a call 16 GiB away — every site shape the ingest layer must handle,
+/// including a far target that only survives compact capture through
+/// the far-stream escape.
+fn fixture_parts() -> (&'static str, u64, Vec<ExtSite>, Vec<u16>) {
+    let sites = vec![
+        ExtSite { addr: 0x1010, target: 0x1000, len: 4, kind: BranchKind::Conditional },
+        ExtSite { addr: 0x1020, target: 0x2000, len: 6, kind: BranchKind::Call },
+        ExtSite { addr: 0x2008, target: 0x1026, len: 2, kind: BranchKind::Return },
+        ExtSite { addr: 0x102e, target: 0x1000, len: 4, kind: BranchKind::Unconditional },
+        ExtSite { addr: 0x1008, target: 0x4_0000_1000, len: 4, kind: BranchKind::Call },
+        ExtSite { addr: 0x4_0000_1010, target: 0x100c, len: 2, kind: BranchKind::Return },
+    ];
+    let mut events = Vec::new();
+    for i in 0..200u16 {
+        // Base cycle: taken cond, not-taken cond, call, return, jump home.
+        events.extend_from_slice(&[
+            EVENT_TAKEN,
+            0,
+            1 | EVENT_TAKEN,
+            2 | EVENT_TAKEN,
+            3 | EVENT_TAKEN,
+        ]);
+        if i % 8 == 0 {
+            // Far excursion: call out 16 GiB, return, rejoin the loop.
+            events.extend_from_slice(&[4 | EVENT_TAKEN, 5 | EVENT_TAKEN, EVENT_TAKEN]);
+        }
+    }
+    ("zbxt-sample", 0x1000, sites, events)
+}
+
+fn fixture_bytes() -> Vec<u8> {
+    let (name, start, sites, events) = fixture_parts();
+    let mut bytes = Vec::new();
+    write_external(name, start, &sites, &events, &mut bytes).unwrap();
+    bytes
+}
+
+#[test]
+fn bless_fixture_when_asked() {
+    if std::env::var("ZBP_BLESS_FIXTURE").is_err() {
+        return;
+    }
+    let path = fixture_path();
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+    std::fs::write(&path, fixture_bytes()).unwrap();
+    println!("blessed {}", path.display());
+}
+
+#[test]
+fn committed_fixture_matches_the_generator() {
+    let committed = std::fs::read(fixture_path()).expect(
+        "tests/fixtures/sample.zbxt missing — regenerate with \
+         ZBP_BLESS_FIXTURE=1 cargo test -p zbp-trace --test ingest_props bless",
+    );
+    assert_eq!(committed, fixture_bytes(), "fixture bytes drifted from the generator");
+}
+
+#[test]
+fn fixture_parses_replays_and_survives_compact_capture() {
+    let trace = ExternalTrace::parse(&fixture_bytes()).unwrap();
+    assert_eq!(trace.name(), "zbxt-sample");
+    assert_eq!(trace.sites().len(), 6);
+    assert_eq!(trace.events(), 200 * 5 + 25 * 3);
+    // 20 instructions per base cycle, 10 per far excursion.
+    assert_eq!(trace.len(), 200 * 20 + 25 * 10);
+    assert!(trace.taken_fraction() > 0.5);
+
+    // The replayed stream must round-trip the compact encoding exactly,
+    // including the 16 GiB far target.
+    let compact = CompactTrace::capture(&trace).unwrap();
+    let far_seen = trace
+        .iter()
+        .any(|i| i.branch.as_ref().is_some_and(|b| b.taken && b.target.raw() == 0x4_0000_1000));
+    assert!(far_seen, "fixture must exercise the far-target escape");
+    let mut a = trace.iter();
+    let mut n = 0u64;
+    for b in compact.iter() {
+        assert_eq!(a.next().unwrap(), b, "instruction {n} diverged");
+        n += 1;
+    }
+    assert_eq!(a.next(), None);
+    assert_eq!(n, trace.len());
+}
+
+#[test]
+fn identity_is_content_not_name() {
+    let (_, start, sites, events) = fixture_parts();
+    let mut renamed = Vec::new();
+    write_external("other-name", start, &sites, &events, &mut renamed).unwrap();
+    let a = ExternalTrace::parse(&fixture_bytes()).unwrap();
+    let b = ExternalTrace::parse(&renamed).unwrap();
+    assert_ne!(a.content_fnv(), b.content_fnv(), "identity hashes the raw bytes");
+}
+
+#[test]
+fn malformed_headers_are_rejected_loudly() {
+    let bytes = fixture_bytes();
+
+    let mut bad_magic = bytes.clone();
+    bad_magic[0] = b'X';
+    assert!(matches!(ExternalTrace::parse(&bad_magic), Err(IngestError::BadMagic)));
+
+    let mut bad_version = bytes.clone();
+    bad_version[4] = 0xFF;
+    assert!(matches!(ExternalTrace::parse(&bad_version), Err(IngestError::BadVersion(_))));
+
+    let zstd = [0x28, 0xB5, 0x2F, 0xFD, 0, 0, 0, 0];
+    let err = ExternalTrace::parse(&zstd).unwrap_err();
+    assert!(matches!(err, IngestError::Compressed("zstd")));
+    assert!(err.to_string().contains("decompress"), "error must say what to do: {err}");
+
+    let gzip = [0x1F, 0x8B, 8, 0, 0, 0, 0, 0];
+    assert!(matches!(ExternalTrace::parse(&gzip), Err(IngestError::Compressed("gzip"))));
+}
+
+#[test]
+fn every_truncation_point_errors_without_panicking() {
+    let bytes = fixture_bytes();
+    for cut in 0..bytes.len() {
+        assert!(
+            ExternalTrace::parse(&bytes[..cut]).is_err(),
+            "prefix of {cut} bytes must not parse as a complete trace"
+        );
+    }
+}
+
+#[test]
+fn overlong_runs_are_rejected() {
+    // One event whose gap from the start exceeds MAX_RUN instructions.
+    let sites = vec![ExtSite {
+        addr: 0x1000 + (MAX_RUN + 1) * 4,
+        target: 0x1000,
+        len: 4,
+        kind: BranchKind::Unconditional,
+    }];
+    let mut bytes = Vec::new();
+    write_external("runaway", 0x1000, &sites, &[EVENT_TAKEN], &mut bytes).unwrap();
+    let err = ExternalTrace::parse(&bytes).unwrap_err();
+    assert!(
+        matches!(err, IngestError::Corrupt { what: "overlong run", .. }),
+        "unexpected error: {err}"
+    );
+
+    // The largest legal gap still parses.
+    let sites = vec![ExtSite {
+        addr: 0x1000 + MAX_RUN * 4,
+        target: 0x1000,
+        len: 4,
+        kind: BranchKind::Unconditional,
+    }];
+    let mut bytes = Vec::new();
+    write_external("barely", 0x1000, &sites, &[EVENT_TAKEN], &mut bytes).unwrap();
+    let trace = ExternalTrace::parse(&bytes).unwrap();
+    assert_eq!(trace.len(), MAX_RUN + 1);
+}
+
+#[test]
+fn backward_and_misaligned_gaps_are_rejected() {
+    let site = |addr| ExtSite { addr, target: 0x1000, len: 4, kind: BranchKind::Unconditional };
+
+    // Site behind the start address: walking there would go backward.
+    let mut bytes = Vec::new();
+    write_external("backward", 0x2000, &[site(0x1000)], &[EVENT_TAKEN], &mut bytes).unwrap();
+    assert!(matches!(
+        ExternalTrace::parse(&bytes).unwrap_err(),
+        IngestError::Corrupt { what: "backward event gap", .. }
+    ));
+
+    // Gap not divisible by the 4-byte filler instruction size.
+    let mut bytes = Vec::new();
+    write_external("misaligned", 0x1000, &[site(0x1006)], &[EVENT_TAKEN], &mut bytes).unwrap();
+    assert!(matches!(
+        ExternalTrace::parse(&bytes).unwrap_err(),
+        IngestError::Corrupt { what: "misaligned event gap", .. }
+    ));
+}
+
+#[test]
+fn single_byte_corruption_never_panics() {
+    // Deterministic sweep: flipping any single byte either still parses
+    // (e.g. an event flag bit) or errors — it must never panic or loop.
+    let bytes = fixture_bytes();
+    let step = (bytes.len() / 251).max(1);
+    for pos in (0..bytes.len()).step_by(step) {
+        for flip in [0x01u8, 0x80, 0xFF] {
+            let mut mutated = bytes.clone();
+            mutated[pos] ^= flip;
+            let _ = ExternalTrace::parse(&mutated);
+        }
+    }
+}

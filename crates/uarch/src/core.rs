@@ -142,6 +142,34 @@ impl SampledResult {
     }
 }
 
+/// Measurement of one replay window ([`CoreModel::run_compact_windows`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowMeasure {
+    /// Requested window start, in retired-instruction coordinates
+    /// (identifies which window this measure belongs to).
+    pub start: u64,
+    /// Instructions retired inside the window.
+    pub instructions: u64,
+    /// Cycles accumulated inside the window.
+    pub cycles: u64,
+    /// Wrong-direction mispredictions inside the window.
+    pub dir_mispredicts: u64,
+    /// Wrong-target mispredictions inside the window.
+    pub target_mispredicts: u64,
+}
+
+impl WindowMeasure {
+    /// Cycles per instruction inside this window.
+    pub fn cpi(&self) -> f64 {
+        self.cycles as f64 / self.instructions.max(1) as f64
+    }
+
+    /// Wrong-direction mispredictions per thousand instructions.
+    pub fn dir_mpki(&self) -> f64 {
+        self.dir_mispredicts as f64 * 1000.0 / self.instructions.max(1) as f64
+    }
+}
+
 /// The trace-driven front-end model.
 ///
 /// ```
@@ -389,6 +417,100 @@ impl CoreModel {
             total_instructions: self.instructions + skipped_instructions,
             windows,
         }
+    }
+
+    /// Replays only the given windows of a compact trace, fast-walking
+    /// everything between them — the replay kernel behind
+    /// SimPoint-style weighted sampling, where a clustering pass picks
+    /// the representative intervals and this method measures each one.
+    ///
+    /// `windows` are `(start, len)` pairs in retired-instruction
+    /// coordinates, sorted by start and non-overlapping. Before each
+    /// window the model replays up to `warmup` instructions un-counted,
+    /// re-warming predictor and I-cache state after the skip (clamped
+    /// when the previous window ends closer than `warmup`). As with
+    /// [`Self::run_compact_sampled`], phase transitions land on run
+    /// boundaries, so window edges can overshoot by a partial run.
+    /// Replay stops as soon as the last window flushes.
+    ///
+    /// # Panics
+    ///
+    /// When a window is empty, or windows are unsorted or overlapping.
+    pub fn run_compact_windows(
+        mut self,
+        trace: &CompactTrace,
+        windows: &[(u64, u64)],
+        warmup: u64,
+    ) -> Vec<WindowMeasure> {
+        let mut prev_end = 0u64;
+        for &(start, len) in windows {
+            assert!(len > 0, "windowed replay: empty window");
+            assert!(start >= prev_end, "windowed replay: windows unsorted or overlapping");
+            prev_end = start.saturating_add(len);
+        }
+
+        let mut out = Vec::with_capacity(windows.len());
+        let mut next = 0usize; // index of the window being approached
+        let mut measuring = false;
+        let mut done = 0u64; // retired instructions, all phases
+        let mut mark_cycle = 0u64;
+        let mut mark_instr = 0u64;
+        let mut mark_dir = 0u64;
+        let mut mark_tgt = 0u64;
+
+        let mut cursor = trace.segments();
+        while next < windows.len() {
+            let (start, len) = windows[next];
+            let warm_start = start.saturating_sub(warmup);
+            if !measuring && done >= start {
+                // Warmup (or fast-walk overshoot) reached the window:
+                // mark at this run boundary, before stepping further.
+                measuring = true;
+                mark_cycle = self.cycle as u64;
+                mark_instr = self.instructions;
+                mark_dir = self.outcomes.mispredict_direction;
+                mark_tgt = self.outcomes.mispredict_target;
+            }
+            let Some(run) = cursor.next_run() else { break };
+            let retired = if !measuring && done < warm_start {
+                // Pure cursor fast-walk: the model never sees these.
+                let end = trace.run_end(&run);
+                let point = cursor.finish_run(end);
+                run.count + point.map_or(0, |i| u64::from(!i.wrong_path))
+            } else {
+                let before = self.instructions;
+                let end = self.step_run(trace, &run);
+                if let Some(instr) = cursor.finish_run(end) {
+                    self.step(&instr);
+                }
+                self.instructions - before
+            };
+            done += retired;
+            if measuring && done >= start.saturating_add(len) {
+                out.push(WindowMeasure {
+                    start,
+                    instructions: self.instructions - mark_instr,
+                    cycles: self.cycle as u64 - mark_cycle,
+                    dir_mispredicts: self.outcomes.mispredict_direction - mark_dir,
+                    target_mispredicts: self.outcomes.mispredict_target - mark_tgt,
+                });
+                measuring = false;
+                next += 1;
+            }
+        }
+        // Trace ended inside the final window: flush the partial
+        // measurement (the trailing intervals of a trace are shorter
+        // than the nominal interval length).
+        if measuring && self.instructions > mark_instr {
+            out.push(WindowMeasure {
+                start: windows[next].0,
+                instructions: self.instructions - mark_instr,
+                cycles: self.cycle as u64 - mark_cycle,
+                dir_mispredicts: self.outcomes.mispredict_direction - mark_dir,
+                target_mispredicts: self.outcomes.mispredict_target - mark_tgt,
+            });
+        }
+        out
     }
 
     /// Executes one instruction.
@@ -868,6 +990,53 @@ mod tests {
         assert_eq!(sampled.windows, 1);
         assert!((sampled.cpi() - full.cpi()).abs() < 1e-12);
         assert!((sampled.replayed_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn whole_trace_window_matches_full_replay_exactly() {
+        let compact = CompactTrace::capture(&loop_trace(2000)).unwrap();
+        let full = model().run_compact(&compact);
+        let windows = [(0u64, u64::MAX)];
+        let measures = model().run_compact_windows(&compact, &windows, 0);
+        assert_eq!(measures.len(), 1);
+        let w = measures[0];
+        assert_eq!(w.start, 0);
+        assert_eq!(w.instructions, full.instructions);
+        assert_eq!(w.cycles, full.cycles);
+        assert_eq!(w.dir_mispredicts, full.outcomes.mispredict_direction);
+        assert_eq!(w.target_mispredicts, full.outcomes.mispredict_target);
+        assert!((w.cpi() - full.cpi()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn windowed_replay_is_deterministic_and_respects_bounds() {
+        use zbp_trace::profile::WorkloadProfile;
+        let trace = WorkloadProfile::tpf_airline().build_with_len(11, 60_000);
+        let compact = CompactTrace::capture(&trace).unwrap();
+        let windows = [(5_000u64, 4_000u64), (20_000, 4_000), (50_000, 4_000)];
+        let a = model().run_compact_windows(&compact, &windows, 1_000);
+        let b = model().run_compact_windows(&compact, &windows, 1_000);
+        assert_eq!(a, b, "windowed replay must be deterministic");
+        assert_eq!(a.len(), 3);
+        for (w, &(start, len)) in a.iter().zip(&windows) {
+            assert_eq!(w.start, start);
+            // Edges land on run boundaries: entry and exit each slip
+            // by at most one run, so the measured length stays within
+            // a run of the nominal window.
+            assert!(w.instructions >= len - 1_000, "window at {start} measured {}", w.instructions);
+            assert!(w.instructions < len + 1_000, "overshoot {}", w.instructions);
+            assert!(w.cycles > 0);
+        }
+        // A warmup-free run differs (cold predictor at window entry).
+        let cold = model().run_compact_windows(&compact, &windows, 0);
+        assert_ne!(a, cold);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsorted or overlapping")]
+    fn windowed_replay_rejects_overlap() {
+        let compact = CompactTrace::capture(&loop_trace(100)).unwrap();
+        let _ = model().run_compact_windows(&compact, &[(0, 50), (20, 30)], 0);
     }
 
     #[test]

@@ -63,6 +63,10 @@ entry = {
     "sampling_mips": report.get("sampling_mips"),
     "sampling_max_cpi_err_pct": report.get("sampling_max_cpi_err_pct"),
     "sampling_mean_cpi_err_pct": report.get("sampling_mean_cpi_err_pct"),
+    # Workload-source fields (null in lines written before external
+    # ingestion and SimPoint replay existed).
+    "ingest_mips": report.get("ingest_mips"),
+    "simpoint_cpi_err": report.get("simpoint_cpi_err"),
 }
 with open(history, "a") as f:
     f.write(json.dumps(entry) + "\n")

@@ -3,8 +3,9 @@
 
 Artifacts are manifest-stamped: ``{"manifest": {...}, "data": ...}``.
 The manifest's ``schema_version`` must match SCHEMA_VERSION below (kept
-in lockstep with ``zbp_sim::cache::SCHEMA_VERSION``); a mismatch aborts
-with a non-zero exit instead of silently summarizing stale numbers.
+in lockstep with ``zbp_sim::registry::MANIFEST_SCHEMA_VERSION``); a
+mismatch aborts with a non-zero exit instead of silently summarizing
+stale numbers.
 
 Usage: python3 scripts/summarize_results.py [results-dir]
 """
@@ -12,7 +13,7 @@ import json
 import os
 import sys
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 d = sys.argv[1] if len(sys.argv) > 1 else os.path.join(os.path.dirname(__file__), "..", "results")
 
@@ -66,3 +67,8 @@ for r in f2 or []:
     b = 100 * (1 - r["btb2_cpi"] / r["baseline_cpi"])
     l = 100 * (1 - r["large_btb1_cpi"] / r["baseline_cpi"])
     print(f"fig2: {r['trace']:28} btb2 {b:+.2f}%  large {l:+.2f}%  eff {100 * b / l:5.1f}%")
+sp = load("simpoint_weighted_replay")
+for r in sp or []:
+    print(f"simpoint: {r['trace']:24} weighted {r['weighted_cpi']:.4f}  "
+          f"full {r['full_cpi']:.4f}  err {r['cpi_err_pct']:+.3f}%  "
+          f"replayed {100 * r['replayed_instructions'] / r['total_instructions']:.1f}%")

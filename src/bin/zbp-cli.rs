@@ -7,8 +7,11 @@
 //! zbp-cli stats --in trace.zbpt
 //! zbp-cli run --profile tpf-airline --config btb2 --len 2000000
 //! zbp-cli compare --profile daytrader-dbserv --len 4000000
+//! zbp-cli trace info recorded.zbxt
+//! zbp-cli trace convert recorded.zbxt --out recorded.zbpt
 //! zbp-cli experiment list
 //! zbp-cli experiment run fig2 --len 50000
+//! zbp-cli experiment run fig2 --trace recorded.zbxt
 //! zbp-cli experiment verify fig4
 //! ```
 
@@ -16,14 +19,14 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
 use zbp::prelude::*;
-use zbp::sim::cache::{CellCache, SCHEMA_VERSION};
+use zbp::sim::cache::CellCache;
 use zbp::sim::experiments::{parse_seed, ExperimentOptions};
-use zbp::sim::registry::{self, strip_volatile, ExperimentSpec, Manifest};
+use zbp::sim::registry::{self, strip_volatile, ExperimentSpec, Manifest, MANIFEST_SCHEMA_VERSION};
 use zbp::sim::report::{pct, render_table};
 use zbp::support::json::{FromJson, Json};
 use zbp::trace::io::{read_trace, write_trace};
 use zbp::trace::profile::ProfileTrace;
-use zbp::trace::TraceStore;
+use zbp::trace::{ExternalTrace, TraceStore, WorkloadSource};
 
 const USAGE: &str = "zbp-cli — IBM zEC12 two-level bulk preload branch prediction reproduction
 
@@ -40,6 +43,9 @@ COMMANDS:
     report                        render results/*.json into results/REPORT.md
     fuzz                          differential fuzz: random cells through the
                                   record/compact/cached/fresh paths, diffed per branch
+    trace info <FILE>             summarize an external .zbxt branch trace
+    trace convert <FILE>          convert an external .zbxt trace to the native
+                                  .zbpt format (--out required)
     experiment list               list the registered experiments
     experiment run <ID>           run an experiment (resumes from the cell cache;
                                   --fresh recomputes every cell)
@@ -62,16 +68,30 @@ OPTIONS:
     --trace-store <DIR>           compact-trace store directory (default:
                                   results/traces for `experiment run`)
     --fresh-traces                regenerate every trace, refreshing the store
+    --trace <FILE>                run experiments over an ingested external .zbxt
+                                  trace instead of the spec's synthetic workloads
+                                  (repeatable: one workload row per file)
 
 Environment: ZBP_TRACE_LEN, ZBP_SEED, ZBP_WORKERS, ZBP_CACHE_DIR,
-ZBP_TRACE_STORE, ZBP_FRESH_TRACES and ZBP_RESULTS_DIR are read first;
-command-line flags override them.
+ZBP_TRACE_STORE, ZBP_FRESH_TRACES, ZBP_TRACES and ZBP_RESULTS_DIR are
+read first; command-line flags override them.
 ";
 
-const COMMANDS: [&str; 10] =
-    ["list", "gen", "stats", "run", "compare", "analyze", "report", "fuzz", "experiment", "help"];
+const COMMANDS: [&str; 11] = [
+    "list",
+    "gen",
+    "stats",
+    "run",
+    "compare",
+    "analyze",
+    "report",
+    "fuzz",
+    "trace",
+    "experiment",
+    "help",
+];
 
-const FLAGS: [&str; 13] = [
+const FLAGS: [&str; 14] = [
     "--profile",
     "--in",
     "--out",
@@ -85,6 +105,7 @@ const FLAGS: [&str; 13] = [
     "--fresh",
     "--trace-store",
     "--fresh-traces",
+    "--trace",
 ];
 
 #[derive(Debug, Default)]
@@ -105,6 +126,7 @@ struct Args {
     resume: bool,
     trace_store: Option<String>,
     fresh_traces: bool,
+    traces: Vec<String>,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -131,6 +153,25 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 };
                 return Err(format!(
                     "unknown experiment subcommand '{other}' (list | run <ID> | verify <ID>){hint}"
+                ));
+            }
+        }
+        args.subcommand = Some(sub);
+    }
+    if args.command == "trace" {
+        let sub = it.next().cloned().ok_or("missing trace subcommand (info | convert <FILE>)")?;
+        match sub.as_str() {
+            "info" | "convert" => {
+                args.input = Some(it.next().cloned().ok_or_else(|| {
+                    format!("missing trace file after '{sub}' (trace {sub} <FILE>)")
+                })?);
+            }
+            other => {
+                let hint = registry::closest(other, ["info", "convert"])
+                    .map(|s| format!(" — did you mean 'trace {s}'?"))
+                    .unwrap_or_default();
+                return Err(format!(
+                    "unknown trace subcommand '{other}' (info | convert <FILE>){hint}"
                 ));
             }
         }
@@ -167,6 +208,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--fresh" => args.fresh = true,
             "--trace-store" => args.trace_store = Some(value()?),
             "--fresh-traces" => args.fresh_traces = true,
+            "--trace" => args.traces.push(value()?),
             other => {
                 let hint = registry::closest(other, FLAGS)
                     .map(|f| format!(" — did you mean '{f}'?"))
@@ -391,12 +433,62 @@ fn cmd_fuzz(args: &Args) -> Result<(), String> {
 }
 
 // ---------------------------------------------------------------------------
+// trace subcommands
+// ---------------------------------------------------------------------------
+
+fn cmd_trace_info(args: &Args) -> Result<(), String> {
+    let path = args.input.as_deref().expect("parser enforces presence");
+    let trace = ExternalTrace::read_file(path).map_err(|e| format!("{path}: {e}"))?;
+    println!("trace:        {}", trace.name());
+    println!("instructions: {}", trace.len());
+    println!("branch sites: {}", trace.sites().len());
+    println!("events:       {}", trace.events());
+    println!("taken:        {:.2}%", 100.0 * trace.taken_fraction());
+    println!("content fnv:  {:016x}", trace.content_fnv());
+    Ok(())
+}
+
+fn cmd_trace_convert(args: &Args) -> Result<(), String> {
+    let path = args.input.as_deref().expect("parser enforces presence");
+    let out = args.output.as_deref().ok_or("--out is required for `trace convert`")?;
+    let trace = ExternalTrace::read_file(path).map_err(|e| format!("{path}: {e}"))?;
+    let file = std::fs::File::create(out).map_err(|e| format!("{out}: {e}"))?;
+    let writer = std::io::BufWriter::new(file);
+    write_trace(&trace, writer).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "converted {} events over {} sites into {} instructions at {out}",
+        trace.events(),
+        trace.sites().len(),
+        trace.len()
+    );
+    Ok(())
+}
+
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    match args.subcommand.as_deref().expect("parser enforces presence") {
+        "info" => cmd_trace_info(args),
+        "convert" => cmd_trace_convert(args),
+        other => unreachable!("parser rejects subcommand {other}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
 // experiment subcommands
 // ---------------------------------------------------------------------------
 
 /// Merges the environment options with command-line overrides.
 fn experiment_opts(args: &Args) -> Result<ExperimentOptions, String> {
     let mut opts = ExperimentOptions::from_env()?;
+    // --trace replaces the workload set wholesale (including any
+    // ZBP_TRACES-derived sources): one external workload row per file.
+    if !args.traces.is_empty() {
+        opts.sources = args
+            .traces
+            .iter()
+            .map(WorkloadSource::ingest)
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| format!("--trace: {e}"))?;
+    }
     if args.len.is_some() {
         opts.len = args.len;
     }
@@ -514,9 +606,9 @@ fn cmd_experiment_verify(args: &Args) -> Result<(), String> {
         .and_then(|m| {
             Manifest::from_json(m).map_err(|e| format!("{}: bad manifest: {e:?}", path.display()))
         })?;
-    if manifest.schema_version != SCHEMA_VERSION {
+    if manifest.schema_version != MANIFEST_SCHEMA_VERSION {
         return Err(format!(
-            "{}: artifact schema version {} does not match current {SCHEMA_VERSION} — \
+            "{}: artifact schema version {} does not match current {MANIFEST_SCHEMA_VERSION} — \
              regenerate with `zbp-cli experiment run {}`",
             path.display(),
             manifest.schema_version,
@@ -592,6 +684,7 @@ fn main() -> ExitCode {
             println!("wrote {}", p.display());
         }),
         "fuzz" => cmd_fuzz(&args),
+        "trace" => cmd_trace(&args),
         "experiment" => cmd_experiment(&args),
         other => {
             let hint = registry::closest(other, COMMANDS)
@@ -673,6 +766,37 @@ mod tests {
         assert_eq!(a.trace_store, None);
         assert!(!a.fresh_traces);
         assert!(parse_args(&argv("experiment run fig2 --trace-store")).is_err());
+    }
+
+    #[test]
+    fn trace_takes_a_subcommand_and_file() {
+        let a = parse_args(&argv("trace info recorded.zbxt")).unwrap();
+        assert_eq!(a.subcommand.as_deref(), Some("info"));
+        assert_eq!(a.input.as_deref(), Some("recorded.zbxt"));
+        let a = parse_args(&argv("trace convert recorded.zbxt --out native.zbpt")).unwrap();
+        assert_eq!(a.subcommand.as_deref(), Some("convert"));
+        assert_eq!(a.input.as_deref(), Some("recorded.zbxt"));
+        assert_eq!(a.output.as_deref(), Some("native.zbpt"));
+        assert!(parse_args(&argv("trace")).is_err());
+        assert!(parse_args(&argv("trace info")).is_err());
+        assert!(parse_args(&argv("trace convert")).is_err());
+    }
+
+    #[test]
+    fn misspelled_trace_subcommand_gets_a_hint() {
+        let err = parse_args(&argv("trace inffo x.zbxt")).unwrap_err();
+        assert!(err.contains("trace info"), "unexpected error: {err}");
+        let err = parse_args(&argv("trace covnert x.zbxt")).unwrap_err();
+        assert!(err.contains("trace convert"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn trace_flag_repeats() {
+        let a = parse_args(&argv("experiment run fig2 --trace a.zbxt --trace b.zbxt")).unwrap();
+        assert_eq!(a.traces, vec!["a.zbxt".to_string(), "b.zbxt".to_string()]);
+        assert!(parse_args(&argv("experiment run fig2 --trace")).is_err());
+        let a = parse_args(&argv("experiment run fig2")).unwrap();
+        assert!(a.traces.is_empty());
     }
 
     #[test]

@@ -18,7 +18,16 @@ fn tmpdir(tag: &str) -> PathBuf {
 /// shielding the test from ambient ZBP_* environment.
 fn zbp(results_dir: &PathBuf, args: &[&str], env: &[(&str, &str)]) -> Output {
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_zbp-cli"));
-    for var in ["ZBP_TRACE_LEN", "ZBP_SEED", "ZBP_WORKERS", "ZBP_CACHE_DIR", "ZBP_RESULTS_DIR"] {
+    for var in [
+        "ZBP_TRACE_LEN",
+        "ZBP_SEED",
+        "ZBP_WORKERS",
+        "ZBP_CACHE_DIR",
+        "ZBP_RESULTS_DIR",
+        "ZBP_TRACE_STORE",
+        "ZBP_FRESH_TRACES",
+        "ZBP_TRACES",
+    ] {
         cmd.env_remove(var);
     }
     cmd.env("ZBP_RESULTS_DIR", results_dir);
@@ -136,6 +145,131 @@ fn run_rerun_and_verify_share_the_cell_cache() {
     std::fs::write(&artifact_path, tampered).unwrap();
     let verify = zbp(&dir, &["experiment", "verify", "fig4"], &[]);
     assert!(!verify.status.success(), "tampered artifact must fail verification");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+fn fixture() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/sample.zbxt")
+}
+
+#[test]
+fn trace_info_summarizes_the_fixture() {
+    let dir = tmpdir("trace-info");
+    let out = zbp(&dir, &["trace", "info", fixture().to_str().unwrap()], &[]);
+    assert!(out.status.success(), "trace info failed: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("zbxt-sample"), "unexpected stdout: {text}");
+    assert!(text.contains("instructions: 4250"), "unexpected stdout: {text}");
+    assert!(text.contains("branch sites: 6"), "unexpected stdout: {text}");
+    assert!(text.contains("content fnv:"), "unexpected stdout: {text}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn trace_info_rejects_garbage_loudly() {
+    let dir = tmpdir("trace-garbage");
+    let bad = dir.join("not-a-trace.zbxt");
+    std::fs::write(&bad, b"definitely not ZBXT").unwrap();
+    let out = zbp(&dir, &["trace", "info", bad.to_str().unwrap()], &[]);
+    assert!(!out.status.success(), "garbage must not parse");
+    assert!(stderr(&out).contains("ZBXT magic"), "unexpected stderr: {}", stderr(&out));
+    let missing = dir.join("nope.zbxt");
+    let out = zbp(&dir, &["trace", "info", missing.to_str().unwrap()], &[]);
+    assert!(!out.status.success(), "missing file must fail");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn trace_convert_feeds_the_native_pipeline() {
+    let dir = tmpdir("trace-convert");
+    let native = dir.join("sample.zbpt");
+    let out = zbp(
+        &dir,
+        &["trace", "convert", fixture().to_str().unwrap(), "--out", native.to_str().unwrap()],
+        &[],
+    );
+    assert!(out.status.success(), "convert failed: {}", stderr(&out));
+    assert!(stdout(&out).contains("converted"), "unexpected stdout: {}", stdout(&out));
+    // The converted trace runs through the existing --in pipeline.
+    let out = zbp(&dir, &["stats", "--in", native.to_str().unwrap()], &[]);
+    assert!(out.status.success(), "stats on converted trace failed: {}", stderr(&out));
+    assert!(stdout(&out).contains("zbxt-sample"), "unexpected stdout: {}", stdout(&out));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn experiment_runs_over_an_ingested_trace_and_resumes_from_cache() {
+    let dir = tmpdir("ext-grid");
+    let fx = fixture();
+    let args = ["experiment", "run", "fig2", "--trace", fx.to_str().unwrap(), "--seed", "0x2B"];
+
+    let first = zbp(&dir, &args, &[]);
+    assert!(first.status.success(), "first external run failed: {}", stderr(&first));
+    assert!(stdout(&first).contains("(0 from cache)"), "cold run: {}", stdout(&first));
+    assert!(stdout(&first).contains("zbxt-sample"), "row per trace: {}", stdout(&first));
+    assert!(
+        stdout(&first).contains("0 from store, 1 generated"),
+        "cold run persists the capture: {}",
+        stdout(&first)
+    );
+    let artifact_path = dir.join("fig2_cpi_improvement.json");
+    let first_artifact = Json::parse(&std::fs::read_to_string(&artifact_path).unwrap()).unwrap();
+    let manifest = first_artifact.get("manifest").unwrap();
+    let sources = manifest.get("workload_sources").unwrap().render();
+    assert!(
+        sources.contains("external:zbxt-sample@fnv="),
+        "manifest must record the external source: {sources}"
+    );
+
+    // Second run: every cell (1 workload x 3 configs) from the cache —
+    // no capture needed at all — and the artifact is bit-identical.
+    let second = zbp(&dir, &args, &[]);
+    assert!(second.status.success(), "second external run failed: {}", stderr(&second));
+    assert!(stdout(&second).contains("(3 from cache)"), "warm run: {}", stdout(&second));
+    let second_artifact = Json::parse(&std::fs::read_to_string(&artifact_path).unwrap()).unwrap();
+    assert_eq!(
+        strip_volatile(&first_artifact),
+        strip_volatile(&second_artifact),
+        "external-trace rerun must reproduce the artifact bit-for-bit"
+    );
+
+    // --fresh recomputes every cell, which needs the capture again:
+    // now the trace store must serve it, and the artifact still match.
+    let fresh = zbp(
+        &dir,
+        &[
+            "experiment",
+            "run",
+            "fig2",
+            "--trace",
+            fx.to_str().unwrap(),
+            "--seed",
+            "0x2B",
+            "--fresh",
+        ],
+        &[],
+    );
+    assert!(fresh.status.success(), "fresh external run failed: {}", stderr(&fresh));
+    assert!(
+        stdout(&fresh).contains("1 from store, 0 generated"),
+        "store must serve the capture on --fresh: {}",
+        stdout(&fresh)
+    );
+    let fresh_artifact = Json::parse(&std::fs::read_to_string(&artifact_path).unwrap()).unwrap();
+    assert_eq!(
+        strip_volatile(&first_artifact),
+        strip_volatile(&fresh_artifact),
+        "store-loaded recompute must reproduce the artifact bit-for-bit"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn missing_external_trace_fails_loudly() {
+    let dir = tmpdir("ext-missing");
+    let out = zbp(&dir, &["experiment", "run", "fig2", "--trace", "no-such-file.zbxt"], &[]);
+    assert!(!out.status.success(), "missing trace file must fail");
+    assert!(stderr(&out).contains("no-such-file.zbxt"), "unexpected stderr: {}", stderr(&out));
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
