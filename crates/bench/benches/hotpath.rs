@@ -2,8 +2,10 @@
 //! trace encoding: the `BtbArray::entries_in_line_into` row read that the
 //! bulk-transfer drain loops over, and the compact branch-point decode
 //! loop that run-batched replay advances through. Per-instruction replay
-//! costs for both trace forms are reported alongside, so a regression in
-//! either inner loop shows up as ns/instr, not just as a slower grid.
+//! costs for both trace forms are reported alongside — plus the
+//! decode-once lane kernel at widths 1/2/4/8, as per-lane ns/instr — so
+//! a regression in either inner loop shows up as ns/instr, not just as
+//! a slower grid.
 //!
 //! Timed with the same hand-rolled [`std::time::Instant`] harness as the
 //! `structures` bench (the workspace builds offline, without criterion).
@@ -150,6 +152,28 @@ fn bench_replay(gen: &impl Trace, compact: &CompactTrace, instructions: u64) {
     println!("{:<40} {:>12.2} ns/instr", "replay/sampled_per_instr", ns / instructions as f64);
 }
 
+/// The decode-once lane kernel at widths 1, 2, 4 and 8: N identical
+/// BTB2-enabled columns share a single cursor walk, so per-lane
+/// ns/instr should fall toward the pure accounting cost as the decode
+/// amortizes across lanes.
+fn bench_lane_replay(compact: &CompactTrace, instructions: u64) {
+    let config = SimConfig::btb2_enabled();
+    for lanes in [1usize, 2, 4, 8] {
+        let name = format!("replay/lanes[x{lanes}]");
+        let ns = bench(&name, 10, || {
+            let models: Vec<CoreModel> = (0..lanes)
+                .map(|_| CoreModel::new(config.uarch, config.predictor.clone()))
+                .collect();
+            black_box(CoreModel::run_compact_lanes(models, compact)[0].cycles);
+        });
+        println!(
+            "{:<40} {:>12.2} ns/instr/lane",
+            format!("{name}_per_instr"),
+            ns / (instructions * lanes as u64) as f64
+        );
+    }
+}
+
 fn main() {
     println!("replay hot-path microbenchmarks (mean over fixed iteration budgets)");
     bench_entries_in_line();
@@ -158,5 +182,6 @@ fn main() {
     let compact = CompactTrace::capture(&gen).expect("generator streams compact-encode");
     bench_compact_decode(&compact, LEN);
     bench_replay(&gen, &compact, LEN);
+    bench_lane_replay(&compact, LEN);
     bench_run_batched_accounting();
 }

@@ -5,15 +5,19 @@
 //! many predictor configurations, so sweep throughput — simulated
 //! instructions per second — gates how much of the design space we can
 //! afford to explore. This harness times the figure-2 grid (13 workloads
-//! × the 3 Table-3 configurations) three ways:
+//! × the 3 Table-3 configurations) four ways:
 //!
 //! * **staged** — one instrumented pass attributing time to capture
 //!   (record form), compact encode, compact run-batched replay (the
 //!   default production path) and record per-instruction replay (the
 //!   reference path), with both encodings' bytes-per-instruction;
-//! * **shared** — the end-to-end generate-once grid exactly as
-//!   [`SimSession`] runs it by default (compact capture straight off the
-//!   generator, all columns replay the shared capture);
+//! * **shared** — the end-to-end generate-once grid with per-column
+//!   replay (compact capture straight off the generator, every column
+//!   walks the shared capture on its own);
+//! * **lanes** — the decode-once lane-batched grid exactly as
+//!   [`SimSession`] runs it by default: captures load from the warm
+//!   trace store and one cursor walk per workload row feeds every
+//!   configuration column;
 //! * **regenerate** — the pre-sharing baseline: every cell re-synthesizes
 //!   its workload from scratch (`materialize_cap(0)`).
 //!
@@ -159,6 +163,19 @@ struct ThroughputReport {
     /// Worst SimPoint weighted-replay CPI error vs the full-replay grid
     /// across all workloads on the base configuration (percent).
     simpoint_cpi_err: Option<f64>,
+    /// Wall-clock of the lane-batched replay grid — the default
+    /// production path after the lane kernel: captures load from the
+    /// warm trace store and every configuration column of a row rides
+    /// one decode-once lane group. Nullable so history lines written
+    /// by older harness revisions stay parseable.
+    lanes_replay_s: Option<f64>,
+    /// Whole-grid throughput of the lane-batched path (MIPS).
+    lanes_mips: Option<f64>,
+    /// Wall-clock speedup of the lane-batched replay grid over the
+    /// shared grid (generate + encode + per-column replay — the
+    /// default production path before the trace store and the lane
+    /// kernel) on the same machine.
+    lane_speedup_vs_shared: Option<f64>,
 }
 
 zbp_support::impl_json_struct!(ThroughputReport {
@@ -200,6 +217,9 @@ zbp_support::impl_json_struct!(ThroughputReport {
     sampling_mean_cpi_err_pct,
     ingest_mips,
     simpoint_cpi_err,
+    lanes_replay_s,
+    lanes_mips,
+    lane_speedup_vs_shared,
 });
 
 fn mips(instructions: u64, seconds: f64) -> f64 {
@@ -401,6 +421,36 @@ fn main() {
         .map(|p| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0))
         .sum();
 
+    // Lane-batched grid replay: the full production path after this PR
+    // — every workload's capture loads from the warm store (generation
+    // and encoding amortized, as on every run after the first) and all
+    // configuration columns of a row ride one decode-once lane group,
+    // so the run stream is decoded once per row instead of twice per
+    // cell. `lane_speedup_vs_shared` compares this against the shared
+    // grid's generate + encode + per-column wall-clock — the default
+    // production path before the store and lane kernel existed. Must
+    // stay bit-identical to the shared grid.
+    let t = Instant::now();
+    let lanes_results: Vec<Vec<SimResult>> = par_map(&workload_ids, |&w| {
+        let parts = parts_pool.lock().expect("pool lock").pop().unwrap_or_default();
+        let compact = store.load(&keys[w], parts).expect("freshly stored capture hits");
+        let columns: Vec<&SimConfig> = configs.iter().collect();
+        let results = Simulator::run_configs_compact_lanes(&columns, &compact);
+        if let Some(parts) = compact.into_parts() {
+            parts_pool.lock().expect("pool lock").push(parts);
+        }
+        results
+    });
+    let lanes_total_s = t.elapsed().as_secs_f64();
+    let lanes_flat: Vec<SimResult> = lanes_results.into_iter().flatten().collect();
+    for (i, &(w, c)) in cells.iter().enumerate() {
+        assert_eq!(
+            lanes_flat[i].core, shared_results[i].core,
+            "lane-batched replay diverged from shared on ({}, {})",
+            profiles[w].name, configs[c].name
+        );
+    }
+
     // Sampled replay (opt-in estimator): 1-in-10 windows off the warm
     // store, CPI error reported against the full-replay grid.
     let spec = SamplingSpec::one_in(10, opts.len.unwrap_or(DEFAULT_BENCH_LEN) / 50);
@@ -541,6 +591,9 @@ fn main() {
         sampling_mean_cpi_err_pct: Some(sampling_mean_err),
         ingest_mips: Some(ingest_mips_v),
         simpoint_cpi_err: Some(simpoint_cpi_err),
+        lanes_replay_s: Some(lanes_total_s),
+        lanes_mips: Some(mips(replay_instructions, lanes_total_s)),
+        lane_speedup_vs_shared: Some(shared_total_s / lanes_total_s.max(1e-9)),
     };
 
     let rows = vec![
@@ -593,6 +646,12 @@ fn main() {
             format!("{:.2}", mips(replay_instructions, store_warm_s)),
         ],
         vec![
+            "lane grid total (warm, decode-once)".to_string(),
+            format!("{:.3}", lanes_total_s),
+            format!("{}", replay_instructions),
+            format!("{:.2}", mips(replay_instructions, lanes_total_s)),
+        ],
+        vec![
             "sampled replay (1-in-10, warm)".to_string(),
             format!("{:.3}", sampling_replay_s),
             format!("{}", replay_instructions),
@@ -613,6 +672,11 @@ fn main() {
         report.record_bytes_per_instr / report.compact_bytes_per_instr.max(1e-9)
     );
     println!("speedup (regenerate / shared): {:.2}x", report.speedup);
+    println!(
+        "lanes: warm decode-once grid {:.2}x vs shared (generate + per-column replay), \
+         bit-identical",
+        report.lane_speedup_vs_shared.unwrap_or(0.0),
+    );
     println!(
         "store: {:.2} bytes/instr on disk; warm grid {:.2}x vs shared (generation amortized)",
         report.store_bytes_per_instr.unwrap_or(0.0),

@@ -13,6 +13,8 @@
 //! * `ZBP_TRACE_LEN` — cap dynamic instructions per workload (quick runs);
 //! * `ZBP_SEED` — workload synthesis seed (decimal or 0x-hex);
 //! * `ZBP_WORKERS` — cap the parallel fan-out;
+//! * `ZBP_LANES` — cap the config columns batched per decode-once lane
+//!   group (`1` forces sequential per-column replay);
 //! * `ZBP_CACHE_DIR` — cell-cache directory (default `results/cache`);
 //! * `ZBP_RESULTS_DIR` — where JSON artifacts are written.
 

@@ -43,6 +43,11 @@ pub struct ExperimentOptions {
     /// Replay captures through the compact branch-point encoding (the
     /// default). `false` selects the record-based reference path.
     pub compact: bool,
+    /// Cap on configuration columns per decode-once lane group on the
+    /// compact path (`None` = every column of a grid row replays in one
+    /// group; `1` = sequential per-column replay). Any width is
+    /// bit-identical; this is purely a batching knob.
+    pub lanes: Option<usize>,
     /// Persistent compact-trace store. Disabled by default; the CLI
     /// roots it at `results/traces/`. Shared via `Arc` so every session
     /// an experiment builds accumulates hit/miss counters on the same
@@ -63,6 +68,7 @@ impl Default for ExperimentOptions {
             workers: None,
             cache_dir: None,
             compact: true,
+            lanes: None,
             trace_store: Arc::new(TraceStore::disabled()),
             sources: Vec::new(),
         }
@@ -78,6 +84,7 @@ impl PartialEq for ExperimentOptions {
             && self.workers == other.workers
             && self.cache_dir == other.cache_dir
             && self.compact == other.compact
+            && self.lanes == other.lanes
             && self.trace_store.dir() == other.trace_store.dir()
             && self.trace_store.reads() == other.trace_store.reads()
             && self.sources.len() == other.sources.len()
@@ -95,7 +102,7 @@ impl ExperimentOptions {
     }
 
     /// Reads `ZBP_TRACE_LEN`, `ZBP_SEED`, `ZBP_WORKERS`,
-    /// `ZBP_CACHE_DIR`, `ZBP_COMPACT`, `ZBP_TRACE_STORE`,
+    /// `ZBP_CACHE_DIR`, `ZBP_COMPACT`, `ZBP_LANES`, `ZBP_TRACE_STORE`,
     /// `ZBP_FRESH_TRACES` and `ZBP_TRACES` (a comma-separated list of
     /// external trace files to ingest as the workload set) from the
     /// environment.
@@ -134,6 +141,15 @@ impl ExperimentOptions {
                 "0" | "false" => false,
                 _ => return Err(format!("ZBP_COMPACT={v:?}: expected 0/1/true/false")),
             };
+        }
+        if let Some(v) = env_nonempty("ZBP_LANES") {
+            let n = v
+                .parse::<usize>()
+                .map_err(|e| format!("ZBP_LANES={v:?} is not a lane count: {e}"))?;
+            if n == 0 {
+                return Err(format!("ZBP_LANES={v:?}: must be at least 1"));
+            }
+            o.lanes = Some(n);
         }
         let fresh = match env_nonempty("ZBP_FRESH_TRACES").as_deref() {
             None | Some("0") | Some("false") => false,

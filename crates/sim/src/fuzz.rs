@@ -3,8 +3,9 @@
 //! Samples random (workload, seed, configuration) cells and runs each
 //! one through every execution path the repo maintains — per-record
 //! replay, run-batched compact replay, the JSON cell-cache round-trip,
-//! a fresh recomputation, and the persistent trace-store round-trip —
-//! diffing all of them against each other.
+//! a fresh recomputation, the persistent trace-store round-trip, and
+//! the decode-once lane-batched replay — diffing all of them against
+//! each other.
 //! With the `audit` feature enabled the [`zbp_predictor`] structure
 //! auditor additionally checks every internal invariant on every event
 //! of every replay; an auditor panic is caught and reported as a cell
@@ -227,6 +228,23 @@ fn check_cell(
     let replayed = Simulator::run_config_compact(config, &loaded);
     if replayed.core != computed {
         return Some("store-loaded replay disagreed with the first computation".into());
+    }
+
+    // Path 6: the decode-once lane kernel — this cell's configuration
+    // replayed inside a multi-lane group (flanked by the other Table-3
+    // columns, so shared-decode cross-talk would surface) must agree
+    // with the sequential computation in every lane-visible bit.
+    let flank = SimConfig::table3();
+    let lane_configs = vec![&flank[0], config, &flank[2]];
+    let lanes = Simulator::run_configs_compact_lanes(&lane_configs, &compact);
+    if lanes[1].core != computed {
+        return Some("lane replay disagreed with the sequential computation".into());
+    }
+    for (lane, c) in lanes.iter().zip(&lane_configs) {
+        let sequential = Simulator::run_config_compact(c, &compact);
+        if lane.core != sequential.core {
+            return Some(format!("lane replay of flanking config '{}' diverged", c.name));
+        }
     }
     None
 }

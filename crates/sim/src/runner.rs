@@ -65,6 +65,24 @@ impl Simulator {
         SimResult { config_name: config.name.clone(), core: model.run_compact(trace) }
     }
 
+    /// Replays one compact capture under several borrowed
+    /// configurations through the decode-once lane kernel
+    /// ([`CoreModel::run_compact_lanes`]): the trace is walked and
+    /// decoded once, with every configuration riding the shared decode
+    /// as an isolated lane. Bit-identical to calling
+    /// [`Self::run_config_compact`] once per configuration.
+    pub fn run_configs_compact_lanes(
+        configs: &[&SimConfig],
+        trace: &CompactTrace,
+    ) -> Vec<SimResult> {
+        let lanes = configs.iter().map(|c| CoreModel::new(c.uarch, c.predictor.clone())).collect();
+        CoreModel::run_compact_lanes(lanes, trace)
+            .into_iter()
+            .zip(configs)
+            .map(|(core, c)| SimResult { config_name: c.name.clone(), core })
+            .collect()
+    }
+
     /// Replays a compact capture with windowed 1-in-N sampling
     /// ([`CoreModel::run_compact_sampled`]). An estimator for throughput
     /// studies only — experiment artifacts always use full replay.
@@ -122,6 +140,21 @@ mod tests {
         assert!(sampled.skipped_instructions > 0);
         let err = (sampled.cpi() - full.cpi()).abs() / full.cpi();
         assert!(err < 0.15, "sampled {} vs full {}", sampled.cpi(), full.cpi());
+    }
+
+    #[test]
+    fn lane_batched_replay_matches_per_config_replay() {
+        let trace = WorkloadProfile::tpf_airline().build_with_len(5, 25_000);
+        let compact = CompactTrace::capture(&trace).expect("generator streams encode");
+        let configs = [SimConfig::no_btb2(), SimConfig::btb2_enabled(), SimConfig::large_btb1()];
+        let refs: Vec<&SimConfig> = configs.iter().collect();
+        let batched = Simulator::run_configs_compact_lanes(&refs, &compact);
+        assert_eq!(batched.len(), configs.len());
+        for (lane, config) in batched.iter().zip(&configs) {
+            let sequential = Simulator::run_config_compact(config, &compact);
+            assert_eq!(lane.config_name, sequential.config_name);
+            assert_eq!(lane.core, sequential.core, "{}", config.name);
+        }
     }
 
     #[test]

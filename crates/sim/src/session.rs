@@ -1,12 +1,12 @@
 //! Batched simulation sessions.
 //!
 //! A [`SimSession`] describes a workload × configuration grid once and
-//! runs it through a nested [`par_map`] fan-out — rows across workloads,
-//! columns across configurations within a row — instead of each
-//! experiment hand-rolling its own loop over [`Simulator`]. Both grid
-//! dimensions parallelize (13 workloads × 3 configurations keeps 39
-//! cells in flight; a single-workload sweep still fans out across its
-//! columns), and the resulting [`SessionGrid`] answers the questions
+//! runs it workload-major — rows fan out across workloads through
+//! [`par_map`]; the configuration columns within a row batch into one
+//! decode-once lane group ([`Simulator::run_configs_compact_lanes`])
+//! that replays the row's shared capture with a single trace walk —
+//! instead of each experiment hand-rolling its own loop over
+//! [`Simulator`]. The resulting [`SessionGrid`] answers the questions
 //! every figure asks: the CPI of a cell, or the improvement of one
 //! configuration over another on the same workload.
 //!
@@ -55,6 +55,7 @@ pub struct SimSession {
     len: Option<u64>,
     materialize_cap: u64,
     compact: bool,
+    lanes: Option<usize>,
     store: Arc<TraceStore>,
     workloads: Vec<WorkloadSource>,
     configs: Vec<SimConfig>,
@@ -79,19 +80,21 @@ impl SimSession {
             len: opts.len,
             materialize_cap: DEFAULT_MATERIALIZE_CAP,
             compact: opts.compact,
+            lanes: opts.lanes,
             store: Arc::new(TraceStore::disabled()),
             workloads: Vec::new(),
             configs: Vec::new(),
         }
     }
 
-    /// Takes seed, length cap, replay encoding and trace store from
-    /// [`ExperimentOptions`].
+    /// Takes seed, length cap, replay encoding, lane width and trace
+    /// store from [`ExperimentOptions`].
     pub fn from_options(opts: &ExperimentOptions) -> Self {
         Self {
             seed: opts.seed,
             len: opts.len,
             compact: opts.compact,
+            lanes: opts.lanes,
             store: Arc::clone(&opts.trace_store),
             ..Self::new()
         }
@@ -131,6 +134,17 @@ impl SimSession {
     #[must_use]
     pub fn compact(mut self, compact: bool) -> Self {
         self.compact = compact;
+        self
+    }
+
+    /// Caps how many configuration columns one decode-once lane group
+    /// replays together on the compact path (`None`, the default, bats
+    /// every requested column of a row in a single group; `1` degrades
+    /// to sequential per-column replay). Purely a batching knob — any
+    /// lane width produces bit-identical results.
+    #[must_use]
+    pub fn lanes(mut self, lanes: usize) -> Self {
+        self.lanes = Some(lanes);
         self
     }
 
@@ -281,8 +295,39 @@ impl SimSession {
         self.replay_records(&gen, len, which, pool)
     }
 
+    /// Replays the configuration columns in `which` against one shared
+    /// compact capture through the decode-once lane kernel: the trace
+    /// is walked and decoded once per lane group instead of once per
+    /// column ([`Simulator::run_configs_compact_lanes`]).
+    ///
+    /// Identical columns replay once: columns whose predictor + uarch
+    /// JSON is byte-equal — the same identity a [`CellKey`] hashes, so
+    /// ablation grids repeating their baseline column collapse — share
+    /// a single lane's result.
     fn replay_compact(&self, compact: &CompactTrace, which: &[usize]) -> Vec<CoreResult> {
-        par_map(which, |&i| Simulator::run_config_compact(&self.configs[i], compact).core)
+        let mut distinct: Vec<usize> = Vec::new(); // indices into self.configs
+        let mut jsons: Vec<(String, String)> = Vec::new();
+        let lane_of: Vec<usize> = which
+            .iter()
+            .map(|&i| {
+                let c = &self.configs[i];
+                let key = (json::to_string(&c.predictor), json::to_string(&c.uarch));
+                jsons.iter().position(|k| *k == key).unwrap_or_else(|| {
+                    jsons.push(key);
+                    distinct.push(i);
+                    distinct.len() - 1
+                })
+            })
+            .collect();
+        let width = self.lanes.unwrap_or(distinct.len()).max(1);
+        let mut lane_results: Vec<CoreResult> = Vec::with_capacity(distinct.len());
+        for chunk in distinct.chunks(width) {
+            let configs: Vec<&SimConfig> = chunk.iter().map(|&i| &self.configs[i]).collect();
+            lane_results.extend(
+                Simulator::run_configs_compact_lanes(&configs, compact).into_iter().map(|r| r.core),
+            );
+        }
+        lane_of.into_iter().map(|l| lane_results[l].clone()).collect()
     }
 
     /// The record-based reference path: a shared record capture when it
@@ -595,6 +640,54 @@ mod tests {
                 assert_eq!(shared.result(w, c).core, capped.result(w, c).core);
             }
         }
+    }
+
+    #[test]
+    fn lane_width_does_not_change_results() {
+        // The lane-group width is a pure batching knob: one group per
+        // row (default), pairs, and sequential singleton groups all
+        // produce bit-identical grids.
+        let session = SimSession::new()
+            .seed(19)
+            .max_len(8_000)
+            .workloads(vec![WorkloadProfile::tpf_airline(), WorkloadProfile::zlinux_informix()])
+            .configs(SimConfig::table3());
+        let grouped = session.clone().run();
+        let pairs = session.clone().lanes(2).run();
+        let sequential = session.lanes(1).run();
+        for w in grouped.workloads() {
+            for c in grouped.configs() {
+                let g = grouped.result(w, c);
+                assert_eq!(g.core, pairs.result(w, c).core, "({w}, {c}) lanes=2 diverged");
+                assert_eq!(g.core, sequential.result(w, c).core, "({w}, {c}) lanes=1 diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_config_columns_share_one_lane_result() {
+        // Byte-equal configs under different display names replay one
+        // lane; both columns must carry the identical result, matching
+        // a grid without the duplicate.
+        let base =
+            SimSession::new().seed(9).max_len(6_000).workload(WorkloadProfile::tpf_airline());
+        let deduped = base
+            .clone()
+            .configs(vec![
+                SimConfig::btb2_enabled(),
+                SimConfig::btb2_enabled().named("baseline repeat"),
+                SimConfig::no_btb2(),
+            ])
+            .run();
+        let w = "TPF airline reservations";
+        assert_eq!(
+            deduped.result(w, "BTB2 enabled").core,
+            deduped.result(w, "baseline repeat").core,
+            "duplicate columns must share one result"
+        );
+        let plain = base.configs(vec![SimConfig::btb2_enabled(), SimConfig::no_btb2()]).run();
+        assert_eq!(deduped.result(w, "BTB2 enabled").core, plain.result(w, "BTB2 enabled").core);
+        assert_eq!(deduped.result(w, "No BTB2").core, plain.result(w, "No BTB2").core);
     }
 
     #[test]

@@ -661,6 +661,84 @@ impl CoreModel {
         addr
     }
 
+    /// Replays the non-branch run described by `spans` — the lane-group
+    /// form of [`Self::step_run`], consuming a pre-decoded span list
+    /// instead of walking the length-code stream itself. `end` is the
+    /// address one past the run (the terminating point's own address),
+    /// and `spans` must be the run's maximal same-line address spans
+    /// for *this* model's L1I line size, in order.
+    ///
+    /// Equivalence with [`Self::step_run`]: the span boundaries are
+    /// exactly the line transitions the per-instruction walk observes
+    /// (spans are a pure function of the run's addresses and the line
+    /// size), so the flush / [`BranchPredictor::note_completion_run`] /
+    /// [`Self::line_access`] interleaving is identical, and the cycle
+    /// accumulator sees the same sequence of serial f64 additions —
+    /// one per instruction, round-tripped through `self` only at span
+    /// boundaries.
+    fn step_spans(&mut self, spans: &[LineSpan], end: InstAddr) {
+        let first = spans[0];
+        self.predictor.prefetch(end);
+
+        // First instruction: stream-start / discontinuity check, then
+        // the line-transition charge, exactly as step_run() orders them.
+        self.instructions += 1;
+        self.cycle += self.step_cycles;
+        match self.expected_addr {
+            Some(expected) if expected == first.first => {}
+            _ => self.predictor.restart(first.first, self.cycle as u64),
+        }
+        let line = self.icache.line_of(first.first);
+        if self.cur_line != Some(line) {
+            self.line_access(line, first.first);
+        }
+
+        let step = self.step_cycles;
+        let mut cycle = self.cycle;
+        let mut instructions = self.instructions;
+        for _ in 1..first.count {
+            cycle += step;
+        }
+        instructions += first.count - 1;
+        let mut prev = first;
+        for &span in &spans[1..] {
+            // The span's first instruction crosses into a new line:
+            // charge its step, flush, complete the previous span, take
+            // the line access (which may stall), then stay
+            // register-resident for the rest of the span.
+            instructions += 1;
+            cycle += step;
+            self.cycle = cycle;
+            self.instructions = instructions;
+            self.predictor.note_completion_run(prev.first, prev.last);
+            let line = self.icache.line_of(span.first);
+            self.line_access(line, span.first);
+            cycle = self.cycle;
+            for _ in 1..span.count {
+                cycle += step;
+            }
+            instructions += span.count - 1;
+            prev = span;
+        }
+        self.cycle = cycle;
+        self.instructions = instructions;
+        self.predictor.note_completion_run(prev.first, prev.last);
+        self.expected_addr = Some(end);
+    }
+
+    /// Replays one compact trace through several independent lanes with
+    /// a single decode pass: the trace's run/point structure is walked
+    /// once, each run is decoded once per distinct L1I line size, and
+    /// every lane consumes the shared decode. Per-lane state (predictor,
+    /// I-cache, cycle accounting) is fully isolated, so the results are
+    /// bit-identical to running [`Self::run_compact`] once per lane —
+    /// see [`LaneGroup`] for the reusable-driver form.
+    pub fn run_compact_lanes(lanes: Vec<CoreModel>, trace: &CompactTrace) -> Vec<CoreResult> {
+        let mut group = LaneGroup::new(lanes);
+        group.replay(trace);
+        group.finish(trace.name())
+    }
+
     /// Charges one 256 B fetch-line transition at `addr`.
     fn line_access(&mut self, line: u64, addr: InstAddr) {
         self.cur_line = Some(line);
@@ -843,6 +921,170 @@ impl CoreModel {
     /// Instructions retired so far.
     pub fn instructions(&self) -> u64 {
         self.instructions
+    }
+}
+
+/// One maximal same-line address span inside a non-branch run: `count`
+/// sequential instructions from `first` to `last`, all inside one
+/// I-cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LineSpan {
+    first: InstAddr,
+    last: InstAddr,
+    count: u64,
+}
+
+/// Decodes one run's length codes into its maximal same-line spans for
+/// a given line shift (`line = addr >> shift`), reusing `out`'s
+/// capacity, and returns the run's end address (the decode walks every
+/// length code anyway, so the end — what [`CompactTrace::run_end`]
+/// would recompute with a second walk — falls out for free). The walk
+/// mirrors [`CoreModel::step_run`]'s decode: a [`GROUP_LUT`] lookup
+/// advances four instructions when the group's last address stays in
+/// the current line (addresses within a run are strictly increasing,
+/// so the whole group does), per-instruction decode otherwise. The
+/// caller must not pass an empty run.
+fn decode_spans(trace: &CompactTrace, run: &Run, shift: u32, out: &mut Vec<LineSpan>) -> InstAddr {
+    out.clear();
+    let mut addr = run.start;
+    let mut code = run.first_code;
+    let end = run.first_code + run.count;
+    let codes = trace.len_code_stream();
+
+    let mut cur_line = addr.raw() >> shift;
+    let mut first = addr;
+    let mut last = addr;
+    let mut count = 1u64;
+    addr = addr.add(u64::from(trace.len_at(code)));
+    code += 1;
+
+    macro_rules! per_instr {
+        () => {{
+            let line = addr.raw() >> shift;
+            if line != cur_line {
+                out.push(LineSpan { first, last, count });
+                cur_line = line;
+                first = addr;
+                count = 0;
+            }
+            last = addr;
+            count += 1;
+            addr = addr.add(u64::from(trace.len_at(code)));
+            code += 1;
+        }};
+    }
+
+    while code < end && (code & 3) != 0 {
+        per_instr!();
+    }
+    while code + 4 <= end {
+        let span = GROUP_LUT[usize::from(codes[(code >> 2) as usize])];
+        let group_last = addr.add(u64::from(span.last_off));
+        if group_last.raw() >> shift == cur_line {
+            count += 4;
+            last = group_last;
+            addr = addr.add(u64::from(span.total));
+            code += 4;
+        } else {
+            per_instr!();
+            per_instr!();
+            per_instr!();
+            per_instr!();
+        }
+    }
+    while code < end {
+        per_instr!();
+    }
+    out.push(LineSpan { first, last, count });
+    addr
+}
+
+/// Decode-once lane-batched replay driver.
+///
+/// A lane group walks one [`SegmentCursor`](zbp_trace::compact::SegmentCursor)
+/// over a compact trace and feeds every decoded run to N independent
+/// [`CoreModel`] lanes: the run/point structure and the length-code
+/// stream are decoded once per run (once per *distinct* L1I line size
+/// when lanes differ in geometry), instead of once per lane as N
+/// sequential [`CoreModel::run_compact`] calls would. Each lane owns
+/// its predictor, I-cache and cycle accounting, so lane results are
+/// bit-identical to the sequential calls.
+///
+/// The span scratch buffers are reused across runs, keeping the replay
+/// walk allocation-free once they reach steady-state capacity.
+#[derive(Debug)]
+pub struct LaneGroup {
+    lanes: Vec<CoreModel>,
+    /// Distinct L1I line shifts among the lanes.
+    shifts: Vec<u32>,
+    /// Per-lane index into `shifts` / `spans`.
+    shift_of: Vec<usize>,
+    /// Reusable span scratch, one buffer per distinct shift.
+    spans: Vec<Vec<LineSpan>>,
+}
+
+impl LaneGroup {
+    /// Groups the given lanes for a shared decode walk.
+    pub fn new(lanes: Vec<CoreModel>) -> Self {
+        let mut shifts: Vec<u32> = Vec::new();
+        let shift_of = lanes
+            .iter()
+            .map(|lane| {
+                let shift = lane.cfg.l1i.line_bytes.trailing_zeros();
+                shifts.iter().position(|&s| s == shift).unwrap_or_else(|| {
+                    shifts.push(shift);
+                    shifts.len() - 1
+                })
+            })
+            .collect();
+        let spans = shifts.iter().map(|_| Vec::new()).collect();
+        Self { lanes, shifts, shift_of, spans }
+    }
+
+    /// Number of lanes in the group.
+    pub fn len(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Whether the group has no lanes.
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    /// Replays the whole trace through every lane from a single cursor
+    /// walk. Callable repeatedly; each call appends the trace's stream
+    /// to every lane, exactly as chained [`CoreModel::run_compact`]
+    /// walks would.
+    pub fn replay(&mut self, trace: &CompactTrace) {
+        let mut cursor = trace.segments();
+        while let Some(run) = cursor.next_run() {
+            // The span decode yields the run's end address as a
+            // by-product, so the whole group pays one length-code walk
+            // per run (per distinct shift) where each sequential
+            // `run_compact` pays two (`run_end` + the fused decode).
+            let end = if run.count == 0 || self.shifts.is_empty() {
+                trace.run_end(&run)
+            } else {
+                let mut end = run.start;
+                for (spans, &shift) in self.spans.iter_mut().zip(&self.shifts) {
+                    end = decode_spans(trace, &run, shift, spans);
+                }
+                for (lane, &si) in self.lanes.iter_mut().zip(&self.shift_of) {
+                    lane.step_spans(&self.spans[si], end);
+                }
+                end
+            };
+            if let Some(instr) = cursor.finish_run(end) {
+                for lane in &mut self.lanes {
+                    lane.step(&instr);
+                }
+            }
+        }
+    }
+
+    /// Finalizes every lane, in lane order.
+    pub fn finish(self, name: &str) -> Vec<CoreResult> {
+        self.lanes.into_iter().map(|lane| lane.finish(name)).collect()
     }
 }
 
@@ -1151,6 +1393,91 @@ mod tests {
         let vt = VecTrace::new("disc", v);
         let compact = CompactTrace::capture(&vt).unwrap();
         assert_eq!(model().run_compact(&compact), model().run(&vt));
+    }
+
+    /// The lane configurations the lane tests sweep: differing BTB
+    /// geometries stress per-lane predictor isolation.
+    fn lane_configs() -> Vec<PredictorConfig> {
+        vec![
+            PredictorConfig::zec12(),
+            PredictorConfig::no_btb2(),
+            PredictorConfig::large_btb1(),
+            PredictorConfig::zec12(), // duplicate lane: must still isolate
+        ]
+    }
+
+    #[test]
+    fn lane_replay_is_bit_identical_to_sequential_compact_replay() {
+        use zbp_trace::profile::WorkloadProfile;
+        for p in [WorkloadProfile::tpf_airline(), WorkloadProfile::zos_lspr_cb84()] {
+            let gen = p.build_with_len(7, 30_000);
+            let compact = CompactTrace::capture(&gen).expect("encodable");
+            let lanes = lane_configs()
+                .into_iter()
+                .map(|pc| CoreModel::new(UarchConfig::zec12(), pc))
+                .collect();
+            let batched = CoreModel::run_compact_lanes(lanes, &compact);
+            let sequential: Vec<CoreResult> = lane_configs()
+                .into_iter()
+                .map(|pc| CoreModel::new(UarchConfig::zec12(), pc).run_compact(&compact))
+                .collect();
+            assert_eq!(batched, sequential, "{}", gen.name());
+        }
+    }
+
+    #[test]
+    fn lane_replay_handles_discontinuities_and_empty_runs() {
+        let mut v = Vec::new();
+        let b = |a: u64, t: u64| {
+            TraceInstr::branch(
+                InstAddr::new(a),
+                4,
+                BranchRec::taken(BranchKind::Unconditional, InstAddr::new(t)),
+            )
+        };
+        v.push(b(0x1000, 0x2000));
+        v.push(b(0x2000, 0x3000)); // empty run between branches
+        v.push(TraceInstr::plain(InstAddr::new(0x9000), 4)); // discontinuity
+        for i in 0..600u64 {
+            v.push(TraceInstr::plain(InstAddr::new(0x9004 + i * 6), 6));
+        }
+        let compact = CompactTrace::capture(&VecTrace::new("disc", v)).unwrap();
+        let lanes = vec![model(), CoreModel::new(UarchConfig::zec12(), PredictorConfig::no_btb2())];
+        let batched = CoreModel::run_compact_lanes(lanes, &compact);
+        assert_eq!(batched[0], model().run_compact(&compact));
+        assert_eq!(
+            batched[1],
+            CoreModel::new(UarchConfig::zec12(), PredictorConfig::no_btb2()).run_compact(&compact)
+        );
+    }
+
+    #[test]
+    fn lane_replay_with_mixed_line_sizes_stays_bit_identical() {
+        use zbp_trace::profile::WorkloadProfile;
+        // Lanes with different L1I line sizes decode separate span
+        // lists from the same cursor walk; each must match its own
+        // sequential replay exactly.
+        let mut small_lines = UarchConfig::zec12();
+        small_lines.l1i.line_bytes = 64;
+        let gen = WorkloadProfile::tpf_airline().build_with_len(3, 25_000);
+        let compact = CompactTrace::capture(&gen).unwrap();
+        let lanes = vec![
+            CoreModel::new(UarchConfig::zec12(), PredictorConfig::zec12()),
+            CoreModel::new(small_lines, PredictorConfig::zec12()),
+        ];
+        let batched = CoreModel::run_compact_lanes(lanes, &compact);
+        assert_eq!(batched[0], model().run_compact(&compact));
+        assert_eq!(
+            batched[1],
+            CoreModel::new(small_lines, PredictorConfig::zec12()).run_compact(&compact)
+        );
+    }
+
+    #[test]
+    fn empty_lane_group_is_harmless() {
+        let compact = CompactTrace::capture(&loop_trace(50)).unwrap();
+        let results = CoreModel::run_compact_lanes(Vec::new(), &compact);
+        assert!(results.is_empty());
     }
 }
 

@@ -67,6 +67,11 @@ entry = {
     # ingestion and SimPoint replay existed).
     "ingest_mips": report.get("ingest_mips"),
     "simpoint_cpi_err": report.get("simpoint_cpi_err"),
+    # Lane-batched replay fields (null in lines written before the
+    # decode-once lane kernel existed).
+    "lanes_replay_s": report.get("lanes_replay_s"),
+    "lanes_mips": report.get("lanes_mips"),
+    "lane_speedup_vs_shared": report.get("lane_speedup_vs_shared"),
 }
 with open(history, "a") as f:
     f.write(json.dumps(entry) + "\n")

@@ -62,6 +62,9 @@ OPTIONS:
                                   (default: 0xEC12); for `fuzz`, the run seed
     --cells <N>                   number of fuzz cells to run (default: 100)
     --workers <N>                 cap the parallel fan-out
+    --lanes <N>                   cap config columns per decode-once lane group
+                                  (default: every column of a grid row in one
+                                  group; 1 = sequential per-column replay)
     --cache-dir <DIR>             cell-cache directory (default: results/cache)
     --resume                      read cached cells (default for `experiment run`)
     --fresh                       recompute every cell, refreshing the cache
@@ -72,9 +75,9 @@ OPTIONS:
                                   trace instead of the spec's synthetic workloads
                                   (repeatable: one workload row per file)
 
-Environment: ZBP_TRACE_LEN, ZBP_SEED, ZBP_WORKERS, ZBP_CACHE_DIR,
-ZBP_TRACE_STORE, ZBP_FRESH_TRACES, ZBP_TRACES and ZBP_RESULTS_DIR are
-read first; command-line flags override them.
+Environment: ZBP_TRACE_LEN, ZBP_SEED, ZBP_WORKERS, ZBP_LANES,
+ZBP_CACHE_DIR, ZBP_TRACE_STORE, ZBP_FRESH_TRACES, ZBP_TRACES and
+ZBP_RESULTS_DIR are read first; command-line flags override them.
 ";
 
 const COMMANDS: [&str; 11] = [
@@ -91,7 +94,7 @@ const COMMANDS: [&str; 11] = [
     "help",
 ];
 
-const FLAGS: [&str; 14] = [
+const FLAGS: [&str; 15] = [
     "--profile",
     "--in",
     "--out",
@@ -100,6 +103,7 @@ const FLAGS: [&str; 14] = [
     "--seed",
     "--cells",
     "--workers",
+    "--lanes",
     "--cache-dir",
     "--resume",
     "--fresh",
@@ -121,6 +125,7 @@ struct Args {
     seed: Option<u64>,
     cells: Option<u64>,
     workers: Option<usize>,
+    lanes: Option<usize>,
     cache_dir: Option<String>,
     fresh: bool,
     resume: bool,
@@ -202,6 +207,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     return Err("--workers: must be at least 1".into());
                 }
                 args.workers = Some(n);
+            }
+            "--lanes" => {
+                let n: usize = value()?.parse().map_err(|e| format!("--lanes: {e}"))?;
+                if n == 0 {
+                    return Err("--lanes: must be at least 1".into());
+                }
+                args.lanes = Some(n);
             }
             "--cache-dir" => args.cache_dir = Some(value()?),
             "--resume" => args.resume = true,
@@ -498,6 +510,9 @@ fn experiment_opts(args: &Args) -> Result<ExperimentOptions, String> {
     if args.workers.is_some() {
         opts.workers = args.workers;
     }
+    if args.lanes.is_some() {
+        opts.lanes = args.lanes;
+    }
     if let Some(dir) = &args.cache_dir {
         opts.cache_dir = Some(PathBuf::from(dir));
     }
@@ -754,6 +769,17 @@ mod tests {
     fn misspelled_flag_gets_a_hint() {
         let err = parse_args(&argv("run --profle tpf-airline")).unwrap_err();
         assert!(err.contains("--profile"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn lanes_flag_parses_and_rejects_zero() {
+        let a = parse_args(&argv("experiment run fig2 --lanes 4")).unwrap();
+        assert_eq!(a.lanes, Some(4));
+        let a = parse_args(&argv("experiment run fig2")).unwrap();
+        assert_eq!(a.lanes, None);
+        assert!(parse_args(&argv("experiment run fig2 --lanes 0")).is_err());
+        assert!(parse_args(&argv("experiment run fig2 --lanes nope")).is_err());
+        assert!(parse_args(&argv("experiment run fig2 --lanes")).is_err());
     }
 
     #[test]
