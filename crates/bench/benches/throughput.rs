@@ -28,15 +28,17 @@
 //! `ZBP_TRACE_LEN` caps the per-workload instruction count (default
 //! 1,000,000 — a throughput probe, not a figure reproduction).
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use zbp_bench::{finish, start};
+use zbp_serve::{run_streaming, RunRequest, ServeState};
 use zbp_sim::parallel::par_map;
-use zbp_sim::registry::git_revision;
+use zbp_sim::registry::{self, git_revision};
 use zbp_sim::report::render_table;
 use zbp_sim::runner::{SimResult, Simulator};
 use zbp_sim::simpoint::{self, SimPointSpec};
 use zbp_sim::SimConfig;
+use zbp_support::json::Json;
 use zbp_trace::ingest::{write_external, ExtSite, EVENT_TAKEN};
 use zbp_trace::profile::WorkloadProfile;
 use zbp_trace::{
@@ -47,6 +49,33 @@ use zbp_uarch::core::SamplingSpec;
 
 /// Default per-workload instruction cap when `ZBP_TRACE_LEN` is unset.
 const DEFAULT_BENCH_LEN: u64 = 1_000_000;
+
+/// Documented accuracy bound for the opt-in window sampler (percent):
+/// the same ≤ 10% CPI-error envelope DESIGN.md and README.md state for
+/// approximate replay. Asserted after measurement so a drift between
+/// the bench's sampling parameters and the documented bound fails the
+/// harness instead of silently committing an out-of-bound artifact.
+const SAMPLING_ERR_BOUND_PCT: f64 = 10.0;
+
+/// Documented accuracy bound for SimPoint weighted replay (percent),
+/// measured against the registry `simpoint` experiment's own spec.
+const SIMPOINT_ERR_BOUND_PCT: f64 = 10.0;
+
+/// Below this per-workload length the error-bound asserts are skipped
+/// (and the bound fields stay null in the report): the ≤ 10% envelopes
+/// are statements about production-scale replay — a 2000-instruction
+/// CI smoke run leaves any window/phase estimator with too few samples
+/// to be meaningful.
+const ERR_BOUND_MIN_LEN: u64 = 100_000;
+
+/// Nearest-rank percentile over an ascending-sorted sample.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
 
 /// Provenance for the committed measurement.
 #[derive(Debug, Clone, PartialEq)]
@@ -176,6 +205,26 @@ struct ThroughputReport {
     /// default production path before the trace store and the lane
     /// kernel) on the same machine.
     lane_speedup_vs_shared: Option<f64>,
+    /// Documented bound the measured `sampling_max_cpi_err_pct` must
+    /// stay within (percent); asserted by the harness so a parameter
+    /// drift between the bench and the production sampling spec cannot
+    /// silently recur.
+    sampling_cpi_err_bound_pct: Option<f64>,
+    /// Documented bound the measured `simpoint_cpi_err` must stay
+    /// within (percent) — the same ≤ 10% bound the registry `simpoint`
+    /// experiment pins in CI, asserted here against the registry's own
+    /// `SimPointSpec` parameters.
+    simpoint_cpi_err_bound_pct: Option<f64>,
+    /// Median request-to-done latency per cell of a cold `zbp-serve`
+    /// grid request (every cell computed by the worker pool), ms.
+    serve_cold_cell_p50_ms: Option<f64>,
+    /// 95th-percentile request-to-done latency per cell, cold request.
+    serve_cold_cell_p95_ms: Option<f64>,
+    /// Median request-to-done latency per cell of the warm repeat
+    /// (every cell cache-served, zero recomputation), ms.
+    serve_warm_cell_p50_ms: Option<f64>,
+    /// 95th-percentile latency per cell, warm repeat.
+    serve_warm_cell_p95_ms: Option<f64>,
 }
 
 zbp_support::impl_json_struct!(ThroughputReport {
@@ -220,6 +269,12 @@ zbp_support::impl_json_struct!(ThroughputReport {
     lanes_replay_s,
     lanes_mips,
     lane_speedup_vs_shared,
+    sampling_cpi_err_bound_pct,
+    simpoint_cpi_err_bound_pct,
+    serve_cold_cell_p50_ms,
+    serve_cold_cell_p95_ms,
+    serve_warm_cell_p50_ms,
+    serve_warm_cell_p95_ms,
 });
 
 fn mips(instructions: u64, seconds: f64) -> f64 {
@@ -451,9 +506,14 @@ fn main() {
         );
     }
 
-    // Sampled replay (opt-in estimator): 1-in-10 windows off the warm
-    // store, CPI error reported against the full-replay grid.
-    let spec = SamplingSpec::one_in(10, opts.len.unwrap_or(DEFAULT_BENCH_LEN) / 50);
+    // Sampled replay (opt-in estimator): 1-in-4 windows off the warm
+    // store, CPI error reported against the full-replay grid. The
+    // window density matches the coverage the documented ≤ 10% error
+    // bound was validated at (~25–30% of instructions modelled, like
+    // the registry `simpoint` experiment); the old 1-in-10 windows
+    // measured only 10% of the trace and broke the bound at 22.8%.
+    let bench_len = opts.len.unwrap_or(DEFAULT_BENCH_LEN);
+    let spec = SamplingSpec::one_in(4, (bench_len / 40).max(500));
     let t = Instant::now();
     let sampled_cpis: Vec<Vec<f64>> = par_map(&workload_ids, |&w| {
         let parts = parts_pool.lock().expect("pool lock").pop().unwrap_or_default();
@@ -476,19 +536,26 @@ fn main() {
         .collect();
     let sampling_max_err = errs.iter().copied().fold(0.0f64, f64::max);
     let sampling_mean_err = errs.iter().sum::<f64>() / errs.len().max(1) as f64;
+    let assert_bounds = bench_len >= ERR_BOUND_MIN_LEN;
+    if assert_bounds {
+        assert!(
+            sampling_max_err <= SAMPLING_ERR_BOUND_PCT,
+            "sampled-replay CPI error {sampling_max_err:.2}% breaks the documented \
+             <= {SAMPLING_ERR_BOUND_PCT}% bound — the bench sampling spec has drifted \
+             from the validated coverage"
+        );
+    }
 
     // SimPoint weighted replay (phase-level sampling, opt-in like the
     // window sampler above): plan each workload's intervals off the
     // warm store, replay only the cluster representatives, and report
     // the worst CPI error vs the full-replay grid on the base
-    // configuration.
-    let bench_len = opts.len.unwrap_or(DEFAULT_BENCH_LEN);
-    let sp_spec = SimPointSpec {
-        interval: (bench_len / 20).max(1),
-        clusters: 4,
-        warmup: bench_len / 100,
-        dims: 64,
-    };
+    // configuration. The parameters are the registry `simpoint`
+    // experiment's own spec — the ≤ 10% bound is documented against
+    // *that* spec, and the bench previously drifted to coarser
+    // intervals/fewer clusters (len/20, k=4) and reported 22.4% error
+    // against a bound it was never measuring.
+    let sp_spec = SimPointSpec::default();
     let sp_errs: Vec<f64> = par_map(&workload_ids, |&w| {
         let parts = parts_pool.lock().expect("pool lock").pop().unwrap_or_default();
         let compact = store.load(&keys[w], parts).expect("freshly stored capture hits");
@@ -501,6 +568,54 @@ fn main() {
         100.0 * (est.cpi - full).abs() / full.max(1e-9)
     });
     let simpoint_cpi_err = sp_errs.iter().copied().fold(0.0f64, f64::max);
+    if assert_bounds {
+        assert!(
+            simpoint_cpi_err <= SIMPOINT_ERR_BOUND_PCT,
+            "simpoint weighted-CPI error {simpoint_cpi_err:.2}% breaks the documented \
+             <= {SIMPOINT_ERR_BOUND_PCT}% bound — the bench spec has drifted from the \
+             registry `simpoint` experiment's parameters"
+        );
+    }
+
+    // zbp-serve latency pass: an in-process daemon state over a fresh
+    // cell cache, fed by the already-warm trace store — the same `/run`
+    // request lifecycle the socket path drives, minus the socket. The
+    // cold request computes every fig2 cell through the worker pool;
+    // the warm repeat must serve 100% from the cache. Latencies are
+    // request-start → per-cell `done`, milliseconds, sorted ascending.
+    let serve_cache = std::env::temp_dir().join(format!("zbp-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&serve_cache);
+    let mut serve_opts = opts.clone();
+    serve_opts.trace_store = Arc::new(TraceStore::at(&store_dir));
+    let serve_state = ServeState::new(serve_opts, &serve_cache, 4);
+    let serve_spec = registry::find("fig2").expect("fig2 registered");
+    let serve_run =
+        RunRequest { experiment: "fig2".into(), len: None, seed: None, timeout_ms: None };
+    let serve_pass = |expect_provenance: Option<&str>| -> Vec<f64> {
+        let t_req = Instant::now();
+        let mut latencies = Vec::new();
+        run_streaming(&serve_state, serve_spec, &serve_run, &mut |event| {
+            if event.get("event") == Some(&Json::Str("done".into())) {
+                latencies.push(t_req.elapsed().as_secs_f64() * 1e3);
+                if let Some(p) = expect_provenance {
+                    assert_eq!(
+                        event.get("provenance"),
+                        Some(&Json::Str(p.into())),
+                        "warm serve repeat must be fully cache-served"
+                    );
+                }
+            }
+            Ok(())
+        })
+        .expect("serve pass completes");
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+        latencies
+    };
+    let serve_cold = serve_pass(None);
+    let serve_warm = serve_pass(Some("cache-hit"));
+    assert_eq!(serve_cold.len(), serve_warm.len(), "both passes see every cell");
+    serve_state.executor.drain();
+    let _ = std::fs::remove_dir_all(&serve_cache);
     let _ = std::fs::remove_dir_all(&store_dir);
 
     // External-ingest throughput: serialize a bench-cap-sized ZBXT
@@ -594,6 +709,12 @@ fn main() {
         lanes_replay_s: Some(lanes_total_s),
         lanes_mips: Some(mips(replay_instructions, lanes_total_s)),
         lane_speedup_vs_shared: Some(shared_total_s / lanes_total_s.max(1e-9)),
+        sampling_cpi_err_bound_pct: assert_bounds.then_some(SAMPLING_ERR_BOUND_PCT),
+        simpoint_cpi_err_bound_pct: assert_bounds.then_some(SIMPOINT_ERR_BOUND_PCT),
+        serve_cold_cell_p50_ms: Some(percentile(&serve_cold, 50.0)),
+        serve_cold_cell_p95_ms: Some(percentile(&serve_cold, 95.0)),
+        serve_warm_cell_p50_ms: Some(percentile(&serve_warm, 50.0)),
+        serve_warm_cell_p95_ms: Some(percentile(&serve_warm, 95.0)),
     };
 
     let rows = vec![
@@ -652,7 +773,7 @@ fn main() {
             format!("{:.2}", mips(replay_instructions, lanes_total_s)),
         ],
         vec![
-            "sampled replay (1-in-10, warm)".to_string(),
+            "sampled replay (1-in-4, warm)".to_string(),
             format!("{:.3}", sampling_replay_s),
             format!("{}", replay_instructions),
             format!("{:.2}", mips(replay_instructions, sampling_replay_s)),
@@ -682,19 +803,31 @@ fn main() {
         report.store_bytes_per_instr.unwrap_or(0.0),
         report.warm_speedup_vs_shared.unwrap_or(0.0),
     );
+    let bound_note =
+        if assert_bounds { "asserted" } else { "not asserted below 100k instructions" };
     println!(
-        "sampling (opt-in): CPI error vs full replay max {:.2}%, mean {:.2}% over {} cells",
+        "sampling (opt-in): CPI error vs full replay max {:.2}%, mean {:.2}% over {} cells \
+         (bound <= {SAMPLING_ERR_BOUND_PCT}%, {bound_note})",
         sampling_max_err,
         sampling_mean_err,
         errs.len()
     );
     println!(
         "simpoint (opt-in): weighted-CPI error vs full replay max {:.2}% over {} workloads \
-         ({} of {} intervals replayed per trace)",
+         ({} of {} intervals replayed per trace, bound <= {SIMPOINT_ERR_BOUND_PCT}%, \
+         {bound_note})",
         simpoint_cpi_err,
         sp_errs.len(),
         sp_spec.clusters,
         (bench_len / sp_spec.interval.max(1)).max(1),
+    );
+    println!(
+        "serve: fig2 per-cell latency cold p50 {:.1} ms / p95 {:.1} ms; warm repeat \
+         p50 {:.2} ms / p95 {:.2} ms (100% cache-served)",
+        report.serve_cold_cell_p50_ms.unwrap_or(0.0),
+        report.serve_cold_cell_p95_ms.unwrap_or(0.0),
+        report.serve_warm_cell_p50_ms.unwrap_or(0.0),
+        report.serve_warm_cell_p95_ms.unwrap_or(0.0),
     );
     if let Some(speedup_vs_prepr) = report.speedup_vs_prepr {
         println!(

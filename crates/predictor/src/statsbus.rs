@@ -113,7 +113,10 @@ pub struct Histogram {
 }
 
 impl Histogram {
-    fn observe(&mut self, value: u64) {
+    /// Records one observation. Public so out-of-pipeline consumers
+    /// (e.g. `zbp-serve`'s request-latency metrics) reuse the same
+    /// bucketing instead of inventing a parallel histogram type.
+    pub fn observe(&mut self, value: u64) {
         self.count += 1;
         // Saturate: sentinel-sized samples (e.g. u64::MAX lead times)
         // must clamp the sum rather than overflow it.

@@ -20,6 +20,7 @@
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 use zbp_support::hash::fnv1a_64_hex;
 use zbp_support::json::{Json, ToJson};
 
@@ -93,6 +94,31 @@ impl CellKey {
     }
 }
 
+/// Default [`CellCache::claim_ttl`]: how long an advisory claim file
+/// stays authoritative before waiters treat the claimant as dead and
+/// recompute the cell themselves.
+pub const DEFAULT_CLAIM_TTL: Duration = Duration::from_secs(60);
+
+/// An advisory hold on one cell, taken with [`CellCache::try_claim`].
+///
+/// Dropping the guard releases the claim (deletes the claim file).
+/// Claims are purely advisory — they coordinate *work*, never
+/// correctness: a claim left behind by a killed process expires after
+/// the cache's TTL and any waiter simply recomputes the (deterministic,
+/// bit-identical) cell.
+#[derive(Debug)]
+pub struct ClaimGuard {
+    path: Option<PathBuf>,
+}
+
+impl Drop for ClaimGuard {
+    fn drop(&mut self) {
+        if let Some(path) = self.path.take() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
 /// On-disk cell cache with atomic writes.
 ///
 /// `CellCache::disabled()` is a null cache: loads always miss, stores
@@ -105,12 +131,19 @@ pub struct CellCache {
     read: bool,
     stores: AtomicU64,
     abort_after: Option<u64>,
+    claim_ttl: Duration,
 }
 
 impl CellCache {
     /// A cache rooted at `dir` (created lazily on first store).
     pub fn at(dir: impl Into<PathBuf>) -> Self {
-        Self { dir: Some(dir.into()), read: true, stores: AtomicU64::new(0), abort_after: None }
+        Self {
+            dir: Some(dir.into()),
+            read: true,
+            stores: AtomicU64::new(0),
+            abort_after: None,
+            claim_ttl: DEFAULT_CLAIM_TTL,
+        }
     }
 
     /// A cache that writes to `dir` but never reads — `--fresh` runs
@@ -121,7 +154,23 @@ impl CellCache {
 
     /// The null cache: every load misses, every store is dropped.
     pub fn disabled() -> Self {
-        Self { dir: None, read: false, stores: AtomicU64::new(0), abort_after: None }
+        Self {
+            dir: None,
+            read: false,
+            stores: AtomicU64::new(0),
+            abort_after: None,
+            claim_ttl: DEFAULT_CLAIM_TTL,
+        }
+    }
+
+    /// Overrides the stale-claim expiry (default
+    /// [`DEFAULT_CLAIM_TTL`]). A claim older than the TTL is treated as
+    /// abandoned: [`Self::try_claim`] breaks it and [`Self::wait_for`]
+    /// stops waiting on it.
+    #[must_use]
+    pub fn claim_ttl(mut self, ttl: Duration) -> Self {
+        self.claim_ttl = ttl;
+        self
     }
 
     /// Whether this cache persists anything.
@@ -153,8 +202,13 @@ impl CellCache {
     /// Unreadable or unparseable entries (truncated by a crashed writer
     /// bypassing the atomic rename, bit-rotted on disk) are reported to
     /// stderr and **deleted**: left in place they would half-parse on
-    /// every resume of every experiment touching the cell, forever. An
-    /// entry whose embedded key string does not match `key` is a digest
+    /// every resume of every experiment touching the cell, forever. The
+    /// warning is only emitted when *this* process removed the file —
+    /// when the delete finds it already gone, a concurrent reader
+    /// recovered the same damaged entry first (or the writer's atomic
+    /// rename replaced it mid-read) and the miss stays silent instead
+    /// of double-reporting a problem that is already fixed. An entry
+    /// whose embedded key string does not match `key` is a digest
     /// collision — it belongs to a different cell and is left for its
     /// owner; the load is a silent miss.
     pub fn load(&self, key: &CellKey) -> Option<Json> {
@@ -166,28 +220,116 @@ impl CellCache {
             Ok(text) => text,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
             Err(e) => {
-                eprintln!(
-                    "warning: removing unreadable cache entry {}: {e}; the cell will be recomputed",
-                    path.display()
-                );
-                let _ = std::fs::remove_file(&path);
+                if remove_damaged(&path) {
+                    eprintln!(
+                        "warning: removing unreadable cache entry {}: {e}; the cell will be \
+                         recomputed",
+                        path.display()
+                    );
+                }
                 return None;
             }
         };
         let entry = match Json::parse(&text) {
             Ok(entry) => entry,
             Err(e) => {
-                eprintln!(
-                    "warning: removing corrupt cache entry {}: {e}; the cell will be recomputed",
-                    path.display()
-                );
-                let _ = std::fs::remove_file(&path);
+                if remove_damaged(&path) {
+                    eprintln!(
+                        "warning: removing corrupt cache entry {}: {e}; the cell will be \
+                         recomputed",
+                        path.display()
+                    );
+                }
                 return None;
             }
         };
         match entry.get("key") {
             Some(Json::Str(k)) if k == key.as_str() => entry.get("result").cloned(),
             _ => None,
+        }
+    }
+
+    fn claim_path_for(&self, key: &CellKey) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| d.join(format!("{}.claim", key.digest())))
+    }
+
+    /// Takes an advisory cross-process claim on `key`, or `None` when
+    /// another process already holds a fresh one.
+    ///
+    /// The claim is a `<digest>.claim` file created with `O_EXCL`; the
+    /// winner computes the cell and releases the claim (drops the
+    /// guard) after storing the result. A claim older than
+    /// [`Self::claim_ttl`] is presumed abandoned by a killed process:
+    /// the next contender silently breaks it and claims afresh.
+    ///
+    /// Claims never gate correctness: a `disabled` or `write_only`
+    /// cache — where no other process could observe our result anyway —
+    /// always "wins", as does any filesystem error while claiming.
+    /// Losers either [`Self::wait_for`] the winner's entry or recompute
+    /// the cell; every path yields bit-identical results.
+    pub fn try_claim(&self, key: &CellKey) -> Option<ClaimGuard> {
+        let (Some(dir), Some(path), true) =
+            (self.dir.as_ref(), self.claim_path_for(key), self.read)
+        else {
+            return Some(ClaimGuard { path: None });
+        };
+        if std::fs::create_dir_all(dir).is_err() {
+            return Some(ClaimGuard { path: None });
+        }
+        // Two attempts: the first may find a stale claim, break it, and
+        // race other contenders for the replacement; losing that second
+        // race means a live claimant exists, which is a plain loss.
+        for _ in 0..2 {
+            match std::fs::OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(file) => {
+                    use std::io::Write;
+                    let mut file = file;
+                    let _ = writeln!(file, "pid={} cell={}", std::process::id(), key.digest());
+                    return Some(ClaimGuard { path: Some(path) });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    if !self.claim_is_stale(&path) {
+                        return None;
+                    }
+                    let _ = std::fs::remove_file(&path);
+                }
+                Err(_) => return Some(ClaimGuard { path: None }),
+            }
+        }
+        None
+    }
+
+    /// Whether the claim file at `path` is older than the TTL (or
+    /// vanished / is unreadable, both of which mean it no longer binds).
+    fn claim_is_stale(&self, path: &Path) -> bool {
+        match std::fs::metadata(path).and_then(|m| m.modified()) {
+            // A modification time the clock says is in the future
+            // (elapsed() errs) also reads as stale, so a skewed claim
+            // can never wedge contenders.
+            Ok(t) => t.elapsed().map_or(true, |e| e > self.claim_ttl),
+            Err(_) => true,
+        }
+    }
+
+    /// Waits for the claim holder of `key` to publish its entry.
+    ///
+    /// Polls the cache until the entry appears (returns it), or the
+    /// claim is released / expires without one — the holder died before
+    /// storing, or its store failed — in which case one final load is
+    /// attempted and `None` tells the caller to recompute. Never blocks
+    /// longer than the claim TTL past the claim's last touch.
+    pub fn wait_for(&self, key: &CellKey) -> Option<Json> {
+        let claim = self.claim_path_for(key).filter(|_| self.read)?;
+        loop {
+            if let Some(entry) = self.load(key) {
+                return Some(entry);
+            }
+            if self.claim_is_stale(&claim) {
+                // Released or expired: the store (if any) happened
+                // before the release, so look once more.
+                return self.load(key);
+            }
+            std::thread::sleep(Duration::from_millis(10));
         }
     }
 
@@ -220,6 +362,20 @@ impl CellCache {
             let _ = std::fs::remove_file(&tmp);
             eprintln!("warning: cannot write cache entry {}: {e}", path.display());
         }
+    }
+}
+
+/// Deletes a damaged cache entry, reporting whether *this* process
+/// removed it. `false` means the file had already vanished — a
+/// concurrent reader recovered it between our read and our delete — so
+/// the caller must not warn about an entry someone else already
+/// handled. Any other delete failure still returns `true`: the damaged
+/// entry remains on disk and is worth reporting.
+fn remove_damaged(path: &Path) -> bool {
+    match std::fs::remove_file(path) {
+        Ok(()) => true,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => false,
+        Err(_) => true,
     }
 }
 
@@ -331,6 +487,99 @@ mod tests {
         std::fs::rename(forged, &as_a).unwrap();
         assert!(cache.load(&a).is_none());
         assert!(as_a.exists(), "the owner's entry must survive the collision miss");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn vanished_damaged_entry_is_recovered_silently_by_the_loser() {
+        // Two processes racing corrupt-entry recovery: the first delete
+        // wins (and warns), the second finds the file gone and must stay
+        // silent. remove_damaged reports which side of the race we are.
+        let dir = tmpdir("vanish");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("entry.json");
+        std::fs::write(&path, "{ definitely not json").unwrap();
+        assert!(remove_damaged(&path), "first recovery deletes and reports");
+        assert!(!remove_damaged(&path), "second recovery finds it gone and stays silent");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn claim_wins_once_until_released() {
+        let dir = tmpdir("claim");
+        let cache = CellCache::at(&dir);
+        let k = key(1);
+        let guard = cache.try_claim(&k).expect("first claim wins");
+        assert!(cache.try_claim(&k).is_none(), "a held claim blocks contenders");
+        assert!(cache.try_claim(&key(2)).is_some(), "claims are per-cell");
+        drop(guard);
+        assert!(cache.try_claim(&k).is_some(), "a released claim is reclaimable");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_claim_is_broken_and_reclaimed() {
+        let dir = tmpdir("staleclaim");
+        let cache = CellCache::at(&dir).claim_ttl(Duration::ZERO);
+        let k = key(1);
+        // Leak the first claim, as a SIGKILLed claimant would.
+        let abandoned = cache.try_claim(&k).expect("first claim wins");
+        std::mem::forget(abandoned);
+        std::thread::sleep(Duration::from_millis(20));
+        let g = cache.try_claim(&k);
+        assert!(g.is_some(), "an expired claim must not block forever");
+        drop(g);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disabled_and_write_only_caches_always_win_claims() {
+        // No other process can observe their results, so there is
+        // nothing to coordinate; both sides of a "race" may proceed.
+        let disabled = CellCache::disabled();
+        assert!(disabled.try_claim(&key(1)).is_some());
+        assert!(disabled.try_claim(&key(1)).is_some());
+        let dir = tmpdir("claimfresh");
+        let fresh = CellCache::write_only(&dir);
+        assert!(fresh.try_claim(&key(1)).is_some());
+        assert!(fresh.try_claim(&key(1)).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wait_for_returns_the_entry_the_claim_holder_stores() {
+        let dir = tmpdir("waitfor");
+        let cache = CellCache::at(&dir);
+        let k = key(1);
+        let guard = cache.try_claim(&k).expect("claim wins");
+        let publisher = {
+            let dir = dir.clone();
+            let k = k.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(40));
+                CellCache::at(&dir).store(&k, &Json::Num(11.0));
+                drop(guard); // release after the store, like run_cached
+            })
+        };
+        let waiter = CellCache::at(&dir);
+        assert_eq!(waiter.wait_for(&k), Some(Json::Num(11.0)));
+        publisher.join().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wait_for_gives_up_when_the_claim_dies_without_an_entry() {
+        let dir = tmpdir("waitdead");
+        let cache = CellCache::at(&dir);
+        let k = key(1);
+        drop(cache.try_claim(&k).expect("claim wins")); // released, nothing stored
+        assert!(cache.wait_for(&k).is_none(), "no claim + no entry = recompute");
+        // An abandoned (never-released) claim expires via the TTL.
+        let short = CellCache::at(&dir).claim_ttl(Duration::from_millis(30));
+        std::mem::forget(short.try_claim(&k).expect("claim wins"));
+        let t = std::time::Instant::now();
+        assert!(short.wait_for(&k).is_none());
+        assert!(t.elapsed() < Duration::from_secs(5), "expiry must bound the wait");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -207,14 +207,7 @@ impl ExperimentSpec {
         // The store's counters are cumulative across the process (the
         // options may be reused); attribute only this run's delta.
         let store_before = opts.trace_store.stats();
-        // The spec's synthetic profiles are the default workload set;
-        // `--trace` / `ZBP_TRACES` swaps in external sources for the
-        // whole grid.
-        let sources: Vec<WorkloadSource> = if opts.sources.is_empty() {
-            (self.workloads)().into_iter().map(Into::into).collect()
-        } else {
-            opts.sources.clone()
-        };
+        let sources = self.sources(opts);
         let trace_lens: Vec<(String, u64)> =
             sources.iter().map(|s| (s.name().to_string(), opts.len_for_source(s))).collect();
         let (rendered, stats) = match &self.kind {
@@ -256,6 +249,30 @@ impl ExperimentSpec {
         };
         ExperimentRun { manifest, data: rendered.data, pretty: rendered.pretty, csv: rendered.csv }
     }
+
+    /// The workload sources this spec would run over: the spec's
+    /// synthetic profiles by default; `--trace` / `ZBP_TRACES`
+    /// (`opts.sources`) swaps in external sources for the whole grid.
+    pub fn sources(&self, opts: &ExperimentOptions) -> Vec<WorkloadSource> {
+        if opts.sources.is_empty() {
+            (self.workloads)().into_iter().map(Into::into).collect()
+        } else {
+            opts.sources.clone()
+        }
+    }
+
+    /// For grid-shaped specs, the [`SimSession`] that [`run`](Self::run)
+    /// would drive — the per-cell entry point a serving layer needs to
+    /// enumerate, claim, and compute individual cells. `None` for
+    /// stats/custom specs, which have no externally addressable grid.
+    pub fn grid_session(&self, opts: &ExperimentOptions) -> Option<SimSession> {
+        match &self.kind {
+            Kind::Grid { configs, .. } => Some(
+                SimSession::from_options(opts).workloads(self.sources(opts)).configs(configs()),
+            ),
+            _ => None,
+        }
+    }
 }
 
 /// Table-4 cells through the cache: one [`TraceStats`] per workload,
@@ -279,7 +296,7 @@ fn collect_stats_cached(
         cache.store(&key, &entry);
         roundtrip_stats(&entry).expect("TraceStats JSON round-trips")
     });
-    (all, CacheStats { cells: sources.len() as u64, hits: hits.into_inner() })
+    (all, CacheStats { cells: sources.len() as u64, hits: hits.into_inner(), ..Default::default() })
 }
 
 fn roundtrip_stats(entry: &Json) -> Option<TraceStats> {
@@ -829,7 +846,7 @@ fn run_simpoint(
     );
     (
         Rendered { data: rows.to_json(), pretty, csv: Some(csv) },
-        CacheStats { cells: sources.len() as u64, hits: hits.into_inner() },
+        CacheStats { cells: sources.len() as u64, hits: hits.into_inner(), ..Default::default() },
     )
 }
 

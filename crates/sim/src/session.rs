@@ -352,6 +352,44 @@ impl SimSession {
         }
     }
 
+    /// Enumerates the grid's cells row-major, each with the exact cache
+    /// key [`Self::run_cached`] uses for it — the entry point `zbp-serve`
+    /// needs to resolve, deduplicate and shard cells individually while
+    /// staying bit-compatible with CLI runs over the same cache.
+    pub fn cells(&self) -> Vec<SessionCell> {
+        let config_jsons: Vec<(String, String)> = self
+            .configs
+            .iter()
+            .map(|c| (json::to_string(&c.predictor), json::to_string(&c.uarch)))
+            .collect();
+        let mut cells = Vec::with_capacity(self.workloads.len() * self.configs.len());
+        for (row, s) in self.workloads.iter().enumerate() {
+            let len = self.effective_len(s);
+            let source_json = s.key_json();
+            for (col, (pred, uarch)) in config_jsons.iter().enumerate() {
+                cells.push(SessionCell {
+                    row,
+                    col,
+                    workload: s.name().to_string(),
+                    config: self.configs[col].name.clone(),
+                    key: CellKey::sim(&source_json, self.seed, len, pred, uarch),
+                });
+            }
+        }
+        cells
+    }
+
+    /// Computes the configuration columns `cols` (indices into the
+    /// session's config list) of workload row `row`, without consulting
+    /// any cache: one capture (store-served when a trace store is
+    /// attached), lane-batched replay — exactly how a cache miss inside
+    /// [`Self::run_cached`] computes, so results are bit-identical to
+    /// any other execution path. Panics on out-of-range indices.
+    pub fn compute_row(&self, row: usize, cols: &[usize]) -> Vec<CoreResult> {
+        let s = &self.workloads[row];
+        self.replay_row(s, self.effective_len(s), cols, &CapturePool::default())
+    }
+
     /// [`Self::run`] through a [`CellCache`]: each cell's [`CoreResult`]
     /// is looked up by content hash first, and only the missing columns
     /// of a workload row are simulated (against one shared capture, as
@@ -367,8 +405,19 @@ impl SimSession {
     /// a sweep variant and a Table-3 column with identical predictor +
     /// front-end configurations share one cache entry, and the result is
     /// re-labelled with the requesting column's name.
+    ///
+    /// Cold cells are claimed through the cache's advisory claim files
+    /// before computing ([`CellCache::try_claim`]): when a concurrent
+    /// process (a second CLI run, the `zbp-serve` daemon) already holds
+    /// a cell's claim, this run waits for that process's entry instead
+    /// of duplicating the work — and recomputes only if the claimant
+    /// dies without publishing. Either way the cell's bytes are
+    /// identical, so claims shift work, never results.
     pub fn run_cached(&self, cache: &CellCache) -> (SessionGrid, CacheStats) {
         let hits = AtomicU64::new(0);
+        let claims_won = AtomicU64::new(0);
+        let claims_lost = AtomicU64::new(0);
+        let dedup_served = AtomicU64::new(0);
         let pool = CapturePool::default();
         let config_jsons: Vec<(String, String)> = self
             .configs
@@ -387,11 +436,50 @@ impl SimSession {
             hits.fetch_add(cores.iter().flatten().count() as u64, Ordering::Relaxed);
             let missing: Vec<usize> = (0..cores.len()).filter(|&i| cores[i].is_none()).collect();
             if !missing.is_empty() {
-                let computed = self.replay_row(s, len, &missing, &pool);
-                for (&i, core) in missing.iter().zip(computed) {
-                    let entry = core.to_json();
-                    cache.store(&keys[i], &entry);
-                    cores[i] = Some(roundtrip(&entry).expect("CoreResult JSON round-trips"));
+                let mut mine: Vec<usize> = Vec::new();
+                let mut theirs: Vec<usize> = Vec::new();
+                let mut guards = Vec::new();
+                for &i in &missing {
+                    match cache.try_claim(&keys[i]) {
+                        Some(guard) => {
+                            guards.push(guard);
+                            mine.push(i);
+                        }
+                        None => theirs.push(i),
+                    }
+                }
+                claims_won.fetch_add(mine.len() as u64, Ordering::Relaxed);
+                claims_lost.fetch_add(theirs.len() as u64, Ordering::Relaxed);
+                if !mine.is_empty() {
+                    let computed = self.replay_row(s, len, &mine, &pool);
+                    for (&i, core) in mine.iter().zip(computed) {
+                        let entry = core.to_json();
+                        cache.store(&keys[i], &entry);
+                        cores[i] = Some(roundtrip(&entry).expect("CoreResult JSON round-trips"));
+                    }
+                }
+                // Claims release only after every result is stored, so
+                // a waiter that sees a claim vanish can trust its one
+                // final cache look.
+                drop(guards);
+                let orphaned: Vec<usize> = theirs
+                    .into_iter()
+                    .filter(|&i| match cache.wait_for(&keys[i]).and_then(|j| roundtrip(&j)) {
+                        Some(core) => {
+                            dedup_served.fetch_add(1, Ordering::Relaxed);
+                            cores[i] = Some(core);
+                            false
+                        }
+                        None => true,
+                    })
+                    .collect();
+                if !orphaned.is_empty() {
+                    let computed = self.replay_row(s, len, &orphaned, &pool);
+                    for (&i, core) in orphaned.iter().zip(computed) {
+                        let entry = core.to_json();
+                        cache.store(&keys[i], &entry);
+                        cores[i] = Some(roundtrip(&entry).expect("CoreResult JSON round-trips"));
+                    }
                 }
             }
             cores
@@ -409,7 +497,16 @@ impl SimSession {
             results: per_workload.into_iter().flatten().collect(),
         };
         let cells = (self.workloads.len() * self.configs.len()) as u64;
-        (grid, CacheStats { cells, hits: hits.into_inner() })
+        (
+            grid,
+            CacheStats {
+                cells,
+                hits: hits.into_inner(),
+                claims_won: claims_won.into_inner(),
+                claims_lost: claims_lost.into_inner(),
+                dedup_served: dedup_served.into_inner(),
+            },
+        )
     }
 }
 
@@ -434,20 +531,58 @@ fn roundtrip(entry: &Json) -> Option<CoreResult> {
 }
 
 /// Cache accounting for one [`SimSession::run_cached`] call.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// The counters reconcile: every cell is either a hit, a claim this run
+/// won (and computed), or a claim it lost to a concurrent process —
+/// `hits + claims_won + claims_lost == cells` — and lost claims split
+/// into `dedup_served` (the claimant's entry arrived) plus recomputes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Total cells in the grid.
     pub cells: u64,
     /// Cells answered from the cache.
     pub hits: u64,
+    /// Cold cells this run claimed and computed itself.
+    pub claims_won: u64,
+    /// Cold cells a concurrent process already held a claim on.
+    pub claims_lost: u64,
+    /// Lost-claim cells ultimately served from the entry the claim
+    /// holder published (the rest were recomputed after the claim died
+    /// without one).
+    pub dedup_served: u64,
 }
 
 impl CacheStats {
     /// Merges accounting from another grid of the same run.
     #[must_use]
     pub fn merged(self, other: Self) -> Self {
-        Self { cells: self.cells + other.cells, hits: self.hits + other.hits }
+        Self {
+            cells: self.cells + other.cells,
+            hits: self.hits + other.hits,
+            claims_won: self.claims_won + other.claims_won,
+            claims_lost: self.claims_lost + other.claims_lost,
+            dedup_served: self.dedup_served + other.dedup_served,
+        }
     }
+}
+
+/// One cell of a session's workload × configuration grid, as
+/// enumerated by [`SimSession::cells`]: its grid position, display
+/// names, and the content-addressed identity [`SimSession::run_cached`]
+/// caches it under. This is the unit `zbp-serve` resolves, dedupes and
+/// shards.
+#[derive(Debug, Clone)]
+pub struct SessionCell {
+    /// Workload row index.
+    pub row: usize,
+    /// Configuration column index.
+    pub col: usize,
+    /// Workload display name.
+    pub workload: String,
+    /// Configuration display name.
+    pub config: String,
+    /// Cache identity of the cell.
+    pub key: CellKey,
 }
 
 /// The results of a [`SimSession`]: one [`SimResult`] per workload ×
@@ -568,9 +703,9 @@ mod tests {
             .workloads(vec![WorkloadProfile::tpf_airline(), WorkloadProfile::zlinux_informix()])
             .configs(vec![SimConfig::no_btb2(), SimConfig::btb2_enabled()]);
         let (cold, s1) = session.run_cached(&CellCache::at(&dir));
-        assert_eq!(s1, CacheStats { cells: 4, hits: 0 });
+        assert_eq!(s1, CacheStats { cells: 4, claims_won: 4, ..Default::default() });
         let (warm, s2) = session.run_cached(&CellCache::at(&dir));
-        assert_eq!(s2, CacheStats { cells: 4, hits: 4 });
+        assert_eq!(s2, CacheStats { cells: 4, hits: 4, ..Default::default() });
         let (uncached, s3) = session.run_cached(&CellCache::disabled());
         assert_eq!(s3.hits, 0);
         let plain = session.run();

@@ -1,0 +1,241 @@
+//! Concurrency acceptance tests for the shared cell cache and trace
+//! store: N threads in this process plus a re-exec'd second process all
+//! hammer one cache/store directory on overlapping grids, and a writer
+//! killed with SIGKILL mid-store must never leave a partial entry.
+//!
+//! The second process is this same test binary re-executed with a role
+//! environment variable: the test function notices the role at entry,
+//! performs the child's work, and returns — so the whole scenario needs
+//! no helper binaries.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::Arc;
+use zbp_sim::cache::{CellCache, CellKey};
+use zbp_sim::config::SimConfig;
+use zbp_sim::session::{CacheStats, SessionGrid, SimSession};
+use zbp_support::json::{Json, ToJson};
+use zbp_trace::profile::WorkloadProfile;
+use zbp_trace::TraceStore;
+
+const LEN: u64 = 2_000;
+const SEED: u64 = 7;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("zbp-conc-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn profiles() -> Vec<WorkloadProfile> {
+    vec![
+        WorkloadProfile::zos_trade6(),
+        WorkloadProfile::tpf_airline(),
+        WorkloadProfile::zos_dbserv(),
+    ]
+}
+
+/// The full grid: three workloads × the three Table-3 configurations.
+fn wide_session(store: &Arc<TraceStore>) -> SimSession {
+    SimSession::new()
+        .seed(SEED)
+        .max_len(LEN)
+        .trace_store(Arc::clone(store))
+        .workloads(profiles())
+        .configs(SimConfig::table3())
+}
+
+/// An overlapping subset: same workloads, two of the three
+/// configurations — every one of its cells is also a wide-grid cell.
+fn narrow_session(store: &Arc<TraceStore>) -> SimSession {
+    SimSession::new()
+        .seed(SEED)
+        .max_len(LEN)
+        .trace_store(Arc::clone(store))
+        .workloads(profiles())
+        .configs([SimConfig::no_btb2(), SimConfig::btb2_enabled()])
+}
+
+/// Canonical bytes of a grid: every cell's rendered core result, in
+/// grid order — two runs are bit-identical iff their fingerprints are.
+fn fingerprint(grid: &SessionGrid) -> String {
+    let mut out = String::new();
+    for w in grid.workloads() {
+        for c in grid.configs() {
+            out.push_str(&grid.result(w, c).core.to_json().render());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Scans a cache directory: every `.json` entry must parse and carry a
+/// key whose digest matches its filename. Returns the entry count.
+fn verify_cache_entries(dir: &Path) -> usize {
+    let mut entries = 0;
+    for file in std::fs::read_dir(dir).expect("cache dir") {
+        let path = file.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        entries += 1;
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("unreadable entry {}: {e}", path.display()));
+        let json = Json::parse(&text)
+            .unwrap_or_else(|e| panic!("corrupt entry {}: {}", path.display(), e.0));
+        let Some(Json::Str(key)) = json.get("key") else {
+            panic!("entry {} has no key", path.display())
+        };
+        let digest = zbp_support::hash::fnv1a_64_hex(key);
+        assert_eq!(
+            path.file_stem().and_then(|s| s.to_str()),
+            Some(digest.as_str()),
+            "entry {} is filed under the wrong digest",
+            path.display()
+        );
+    }
+    entries
+}
+
+fn reconcile(stats: &CacheStats) {
+    assert_eq!(
+        stats.hits + stats.claims_won + stats.claims_lost,
+        stats.cells,
+        "hits + won + lost claims must cover every cell: {stats:?}"
+    );
+    assert!(stats.dedup_served <= stats.claims_lost, "{stats:?}");
+}
+
+/// The second process's role: run both overlapping grids against the
+/// shared directories and verify bit-identity against a locally
+/// computed uncached reference. A mismatch panics, failing the child's
+/// exit status, which the parent asserts on.
+fn child_role(cache_dir: &str, store_dir: &str) {
+    let store = Arc::new(TraceStore::at(store_dir));
+    let cache = CellCache::at(cache_dir);
+    let reference_store = Arc::new(TraceStore::disabled());
+    for build in [wide_session, narrow_session] {
+        let (grid, stats) = build(&store).run_cached(&cache);
+        reconcile(&stats);
+        let reference = build(&reference_store).run();
+        assert_eq!(fingerprint(&grid), fingerprint(&reference), "child grid diverged");
+    }
+}
+
+#[test]
+fn threads_and_a_second_process_hammer_one_cache_dir() {
+    if let (Ok(cache_dir), Ok(store_dir)) =
+        (std::env::var("ZBP_CONC_CACHE"), std::env::var("ZBP_CONC_STORE"))
+    {
+        child_role(&cache_dir, &store_dir);
+        return;
+    }
+    let cache_dir = tmpdir("cache");
+    let store_dir = tmpdir("store");
+
+    // Sequential reference, no cache/store involved at all.
+    let reference_store = Arc::new(TraceStore::disabled());
+    let wide_ref = fingerprint(&wide_session(&reference_store).run());
+    let narrow_ref = fingerprint(&narrow_session(&reference_store).run());
+
+    // Second process: same binary, child role, same directories.
+    let mut child = Command::new(std::env::current_exe().expect("test binary"))
+        .arg("threads_and_a_second_process_hammer_one_cache_dir")
+        .arg("--exact")
+        .arg("--test-threads=1")
+        .env("ZBP_CONC_CACHE", &cache_dir)
+        .env("ZBP_CONC_STORE", &store_dir)
+        .spawn()
+        .expect("spawn child process");
+
+    // Four threads in this process on the two overlapping grids.
+    let store = Arc::new(TraceStore::at(&store_dir));
+    let threads: Vec<_> = (0..4)
+        .map(|i| {
+            let store = Arc::clone(&store);
+            let cache_dir = cache_dir.clone();
+            std::thread::spawn(move || {
+                let cache = CellCache::at(&cache_dir);
+                let session =
+                    if i % 2 == 0 { wide_session(&store) } else { narrow_session(&store) };
+                let (grid, stats) = session.run_cached(&cache);
+                (i, fingerprint(&grid), stats)
+            })
+        })
+        .collect();
+    for t in threads {
+        let (i, fp, stats) = t.join().expect("hammer thread");
+        let expected = if i % 2 == 0 { &wide_ref } else { &narrow_ref };
+        assert_eq!(&fp, expected, "thread {i} grid diverged from the sequential reference");
+        reconcile(&stats);
+    }
+    let status = child.wait().expect("child exit");
+    assert!(status.success(), "the second process must agree bit-for-bit");
+
+    // No lost or corrupt entries: exactly the wide grid's cell set (the
+    // narrow grid is a subset), every entry whole and correctly filed.
+    let unique_cells = wide_session(&store).cells().len();
+    assert_eq!(verify_cache_entries(&cache_dir), unique_cells);
+    // No claim files may survive the stampede.
+    let claims = std::fs::read_dir(&cache_dir)
+        .expect("cache dir")
+        .filter(|f| {
+            f.as_ref().expect("dir entry").path().extension().and_then(|e| e.to_str())
+                == Some("claim")
+        })
+        .count();
+    assert_eq!(claims, 0, "all claims released");
+
+    // A final warm run hits every cell — nothing was lost.
+    let (_, warm) = wide_session(&store).run_cached(&CellCache::at(&cache_dir));
+    assert_eq!(warm.hits, warm.cells, "warm run fully cache-served: {warm:?}");
+
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
+
+/// The kill-test writer role: store synthetic cells in a tight loop
+/// until killed. Payloads are large enough that a non-atomic writer
+/// would be caught mid-write by SIGKILL routinely.
+fn writer_role(cache_dir: &str) -> ! {
+    let cache = CellCache::at(cache_dir);
+    let blob: Vec<Json> = (0..4096).map(|i| Json::Num(i as f64)).collect();
+    let mut n = 0u64;
+    loop {
+        let key = CellKey::stats(&format!("{{\"victim\":{n}}}"), n, LEN);
+        cache.store(&key, &Json::Arr(blob.clone()));
+        n += 1;
+    }
+}
+
+#[test]
+fn sigkill_mid_store_never_leaves_a_partial_entry() {
+    if let Ok(cache_dir) = std::env::var("ZBP_KILL_CACHE") {
+        writer_role(&cache_dir);
+    }
+    let cache_dir = tmpdir("kill");
+    std::fs::create_dir_all(&cache_dir).expect("create cache dir");
+    for round in 0..3 {
+        let mut child = Command::new(std::env::current_exe().expect("test binary"))
+            .arg("sigkill_mid_store_never_leaves_a_partial_entry")
+            .arg("--exact")
+            .arg("--test-threads=1")
+            .env("ZBP_KILL_CACHE", &cache_dir)
+            .spawn()
+            .expect("spawn writer");
+        // Let it write for a moment, then kill it cold (SIGKILL — no
+        // destructors, no flush).
+        while std::fs::read_dir(&cache_dir).expect("cache dir").count() < 2 {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25 * (round + 1)));
+        child.kill().expect("kill writer");
+        let _ = child.wait();
+    }
+    // Every surviving `.json` entry is whole: the tmp+rename store
+    // either published a complete entry or nothing. (Orphaned `.tmp`
+    // files are fine — loads never look at them.)
+    let entries = verify_cache_entries(&cache_dir);
+    assert!(entries >= 2, "the writers published entries before dying");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}

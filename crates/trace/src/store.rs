@@ -290,11 +290,19 @@ impl TraceStore {
                 Err(CompactParts::default())
             }
             Err(e) => {
-                eprintln!(
-                    "warning: trace store entry {} is corrupt ({e}); deleting and regenerating",
-                    path.display()
-                );
-                let _ = std::fs::remove_file(&path);
+                // Warn only when this process actually removed the
+                // damaged file: a NotFound delete means a concurrent
+                // reader of the same corrupt entry recovered it first
+                // (it vanished between our read and our delete), and
+                // repeating its warning would report an already-fixed
+                // problem.
+                match std::fs::remove_file(&path) {
+                    Err(rm) if rm.kind() == io::ErrorKind::NotFound => {}
+                    _ => eprintln!(
+                        "warning: trace store entry {} is corrupt ({e}); deleting and regenerating",
+                        path.display()
+                    ),
+                }
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 Err(CompactParts::default())
             }

@@ -72,6 +72,16 @@ entry = {
     "lanes_replay_s": report.get("lanes_replay_s"),
     "lanes_mips": report.get("lanes_mips"),
     "lane_speedup_vs_shared": report.get("lane_speedup_vs_shared"),
+    # Estimator error bounds recorded next to the measurements (null in
+    # lines written before the bounds were asserted by the harness).
+    "sampling_cpi_err_bound_pct": report.get("sampling_cpi_err_bound_pct"),
+    "simpoint_cpi_err_bound_pct": report.get("simpoint_cpi_err_bound_pct"),
+    # zbp-serve per-cell request latency, cold pool-computed vs warm
+    # cache-served (null in lines written before the daemon existed).
+    "serve_cold_cell_p50_ms": report.get("serve_cold_cell_p50_ms"),
+    "serve_cold_cell_p95_ms": report.get("serve_cold_cell_p95_ms"),
+    "serve_warm_cell_p50_ms": report.get("serve_warm_cell_p50_ms"),
+    "serve_warm_cell_p95_ms": report.get("serve_warm_cell_p95_ms"),
 }
 with open(history, "a") as f:
     f.write(json.dumps(entry) + "\n")

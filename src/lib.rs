@@ -19,6 +19,9 @@
 //! * [`sim`] — the trace-driven simulator, Table-3 configuration presets,
 //!   parameter sweeps, the declarative experiment registry and the
 //!   resumable cell cache behind it.
+//! * [`serve`] — the `zbp-serve` simulation daemon: an HTTP/JSON front
+//!   end that serves cached experiment cells, dedupes in-flight work by
+//!   cell key, and shards cold cells across a bounded worker pool.
 //! * [`support`] — dependency-free JSON, RNG and hashing utilities.
 //!
 //! # Quick start
@@ -39,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub use zbp_predictor as predictor;
+pub use zbp_serve as serve;
 pub use zbp_sim as sim;
 pub use zbp_support as support;
 pub use zbp_trace as trace;
