@@ -245,7 +245,17 @@ fn worker_loop(state: &Arc<ExecState>) {
         if let Err(panic) = outcome {
             let msg = panic_message(&panic);
             for cell in &job.cells {
-                resolve(state, cell, SlotView::Failed(msg.clone()));
+                // Only fail cells run_job had not yet resolved: a cell
+                // resolved Done before the panic (cache hit, or a column
+                // stored before a later one blew up) has a good result,
+                // and re-resolving it would flip it to Failed and
+                // double-count against the inflight table — possibly
+                // clobbering a newer request's fresh admission of the
+                // same key. This worker is the slot's only resolver, so
+                // the view cannot change under us here.
+                if !cell.slot.view().is_resolved() {
+                    resolve(state, cell, SlotView::Failed(msg.clone()));
+                }
             }
         }
     }
@@ -312,8 +322,17 @@ fn run_job(state: &Arc<ExecState>, job: &Job) {
 }
 
 fn resolve(state: &Arc<ExecState>, cell: &JobCell, view: SlotView) {
-    state.inflight.lock().expect("inflight lock").remove(&cell.key.digest());
-    state.metrics.inflight_cells.fetch_sub(1, Ordering::Relaxed);
+    let digest = cell.key.digest();
+    let mut inflight = state.inflight.lock().expect("inflight lock");
+    // Remove (and count down) only this cell's own entry: once a slot
+    // resolves, the key may be re-admitted by a newer request whose
+    // fresh slot then owns the table entry — a stray second resolve of
+    // the old slot must not evict it or underflow the gauge.
+    if inflight.get(&digest).is_some_and(|s| Arc::ptr_eq(s, &cell.slot)) {
+        inflight.remove(&digest);
+        state.metrics.inflight_cells.fetch_sub(1, Ordering::Relaxed);
+    }
+    drop(inflight);
     cell.slot.set(view);
 }
 
@@ -422,6 +441,56 @@ mod tests {
         for cell in &cells {
             assert!(cache.load(&cell.key).is_some());
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_panicking_job_fails_only_unresolved_cells() {
+        let dir = tmp_dir("panic");
+        let session = small_session();
+        let cells = session.cells();
+        // Two cells of one row: the first is pre-cached (resolved Done
+        // inside run_job before any computation), the second's store
+        // panics via the cache's abort hook.
+        let (a, b) = {
+            let mut pair = None;
+            'outer: for (i, x) in cells.iter().enumerate() {
+                for y in &cells[i + 1..] {
+                    if y.row == x.row {
+                        pair = Some((x.clone(), y.clone()));
+                        break 'outer;
+                    }
+                }
+            }
+            pair.expect("grid has two columns in one row")
+        };
+        CellCache::at(&dir).store(&a.key, &zbp_support::json::Json::Num(1.0));
+        let cache = Arc::new(CellCache::at(&dir).abort_after_stores(0));
+        let metrics = Arc::new(ServeMetrics::default());
+        let exec = Executor::new(1, Arc::clone(&metrics));
+        let Admission::Owner(slot_a) = exec.admit(&a.key) else { panic!("cold admit a") };
+        let Admission::Owner(slot_b) = exec.admit(&b.key) else { panic!("cold admit b") };
+        exec.submit(Job {
+            session: Arc::clone(&session),
+            cache,
+            row: a.row,
+            cells: vec![
+                JobCell { col: a.col, key: a.key.clone(), slot: Arc::clone(&slot_a) },
+                JobCell { col: b.col, key: b.key.clone(), slot: Arc::clone(&slot_b) },
+            ],
+        });
+        let deadline = Instant::now() + Duration::from_secs(60);
+        // The pre-resolved cell keeps its result; only the cell the
+        // panic actually lost reports Failed.
+        assert_eq!(slot_a.wait_resolved(deadline), Some(SlotView::Done(provenance::CACHE_HIT)));
+        assert!(matches!(slot_b.wait_resolved(deadline), Some(SlotView::Failed(_))));
+        assert_eq!(slot_a.view(), SlotView::Done(provenance::CACHE_HIT));
+        // The inflight gauge reconciles to zero (no double-decrement
+        // underflow) and both keys are re-admittable, not wedged.
+        assert_eq!(metrics.inflight_cells.load(Ordering::Relaxed), 0);
+        assert!(matches!(exec.admit(&a.key), Admission::Owner(_)));
+        assert!(matches!(exec.admit(&b.key), Admission::Owner(_)));
+        exec.drain();
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -49,8 +49,8 @@ impl Request {
 /// (including the stream's read timeout elapsing).
 pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    reader.read_line(&mut line)?;
+    let mut head_budget = MAX_HEAD_BYTES;
+    let line = read_line_capped(&mut reader, &mut head_budget)?;
     let mut parts = line.split_whitespace();
     let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
         return Err(bad_request("malformed request line"));
@@ -59,14 +59,8 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
     // Strip any query string: the daemon routes on the path alone.
     let path = target.split('?').next().unwrap_or(target).to_string();
     let mut content_length = 0usize;
-    let mut head_bytes = line.len();
     loop {
-        let mut header = String::new();
-        reader.read_line(&mut header)?;
-        head_bytes += header.len();
-        if head_bytes > MAX_HEAD_BYTES {
-            return Err(bad_request("request head exceeds 64 KiB"));
-        }
+        let header = read_line_capped(&mut reader, &mut head_budget)?;
         let header = header.trim_end();
         if header.is_empty() {
             break;
@@ -84,6 +78,37 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
     Ok(Request { method, path, body })
+}
+
+/// Reads one `\n`-terminated line, charging every byte against the
+/// shared head `budget` — the check runs per buffered chunk, *before*
+/// the chunk is kept, so a client streaming an endless newline-free
+/// line can never make the daemon buffer more than the head cap. EOF
+/// before a newline yields whatever arrived (the caller's parser
+/// rejects incomplete heads).
+fn read_line_capped(reader: &mut impl BufRead, budget: &mut usize) -> io::Result<String> {
+    let mut line = Vec::new();
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            break;
+        }
+        let taken = match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => pos + 1,
+            None => available.len(),
+        };
+        if taken > *budget {
+            return Err(bad_request("request head exceeds 64 KiB"));
+        }
+        let done = available[taken - 1] == b'\n';
+        line.extend_from_slice(&available[..taken]);
+        reader.consume(taken);
+        *budget -= taken;
+        if done {
+            break;
+        }
+    }
+    String::from_utf8(line).map_err(|_| bad_request("request head is not UTF-8"))
 }
 
 fn bad_request(msg: &str) -> io::Error {
@@ -224,5 +249,39 @@ mod tests {
     fn rejects_oversized_bodies() {
         let raw = format!("POST /run HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
         assert!(roundtrip(raw.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_a_newline_free_flood_without_unbounded_buffering() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let writer = std::thread::spawn(move || {
+            let mut c = TcpStream::connect(addr).expect("connect");
+            // Stream several times the head cap with no newline; stop
+            // when the server rejects the head and closes on us.
+            let chunk = [b'A'; 8192];
+            for _ in 0..(4 * MAX_HEAD_BYTES / chunk.len()) {
+                if c.write_all(&chunk).is_err() {
+                    break;
+                }
+            }
+        });
+        let (mut conn, _) = listener.accept().expect("accept");
+        let err = read_request(&mut conn).expect_err("endless request line must be rejected");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        drop(conn);
+        writer.join().expect("writer");
+    }
+
+    #[test]
+    fn rejects_an_oversized_multi_header_head() {
+        // Many newline-terminated headers must also stay under the
+        // shared head budget.
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        while raw.len() <= MAX_HEAD_BYTES {
+            raw.extend_from_slice(b"X-Pad: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n");
+        }
+        raw.extend_from_slice(b"\r\n");
+        assert!(roundtrip(&raw).is_err());
     }
 }

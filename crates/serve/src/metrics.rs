@@ -40,8 +40,9 @@ pub struct ServeMetrics {
     pub inflight_cells: AtomicU64,
     /// Per-cell wait latency when the cell was already cached, µs.
     warm_us: Mutex<Histogram>,
-    /// Per-cell wait latency when the cell had to be computed (or
-    /// joined), µs.
+    /// Per-cell admission→done latency when the cell had to be
+    /// computed (or joined), µs — wall-clock from when the request
+    /// admitted the cell, not from when its wait began.
     cold_us: Mutex<Histogram>,
 }
 

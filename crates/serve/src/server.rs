@@ -389,38 +389,45 @@ pub fn run_streaming(
 
     // Phase 1: serve warm cells immediately; admit cold ones (owner or
     // join) and group owned cells into per-row lane-batched jobs.
+    //
+    // An owned cell's inflight entry is only ever removed by the worker
+    // that resolves its slot, so every cell admitted as Owner MUST be
+    // submitted — an emit failure (client hangup) stops the admission
+    // loop but still flushes the jobs accumulated so far, otherwise the
+    // admitted keys would wedge in the dedup table until restart.
     let mut hits = 0u64;
-    let mut pending: Vec<(usize, Arc<crate::executor::CellSlot>, bool)> = Vec::new();
+    let mut pending: Vec<(usize, Arc<crate::executor::CellSlot>, bool, Instant)> = Vec::new();
     let mut row_jobs: std::collections::BTreeMap<usize, Vec<JobCell>> =
         std::collections::BTreeMap::new();
+    let mut hangup: Option<std::io::Error> = None;
     for (idx, cell) in cells.iter().enumerate() {
         let t0 = Instant::now();
-        if state.cache.load(&cell.key).is_some() {
+        let event = if state.cache.load(&cell.key).is_some() {
             hits += 1;
             state.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
             state.metrics.observe_warm(t0.elapsed());
-            emit(&cell_event(
-                "done",
-                cell,
-                &[("provenance", Json::Str(provenance::CACHE_HIT.into()))],
-            ))?;
-            continue;
-        }
-        match state.executor.admit(&cell.key) {
-            Admission::Owner(slot) => {
-                row_jobs.entry(cell.row).or_default().push(JobCell {
-                    col: cell.col,
-                    key: cell.key.clone(),
-                    slot: Arc::clone(&slot),
-                });
-                pending.push((idx, slot, true));
-                emit(&cell_event("queued", cell, &[]))?;
+            cell_event("done", cell, &[("provenance", Json::Str(provenance::CACHE_HIT.into()))])
+        } else {
+            match state.executor.admit(&cell.key) {
+                Admission::Owner(slot) => {
+                    row_jobs.entry(cell.row).or_default().push(JobCell {
+                        col: cell.col,
+                        key: cell.key.clone(),
+                        slot: Arc::clone(&slot),
+                    });
+                    pending.push((idx, slot, true, t0));
+                    cell_event("queued", cell, &[])
+                }
+                Admission::Joined(slot) => {
+                    state.metrics.dedup_joins.fetch_add(1, Ordering::Relaxed);
+                    pending.push((idx, slot, false, t0));
+                    cell_event("queued", cell, &[("joined", Json::Bool(true))])
+                }
             }
-            Admission::Joined(slot) => {
-                state.metrics.dedup_joins.fetch_add(1, Ordering::Relaxed);
-                pending.push((idx, slot, false));
-                emit(&cell_event("queued", cell, &[("joined", Json::Bool(true))]))?;
-            }
+        };
+        if let Err(e) = emit(&event) {
+            hangup = Some(e);
+            break;
         }
     }
     for (row, job_cells) in row_jobs {
@@ -431,6 +438,9 @@ pub fn run_streaming(
             cells: job_cells,
         });
     }
+    if let Some(e) = hangup {
+        return Err(e.into());
+    }
 
     // Phase 2: wait out the pending slots in grid order, streaming each
     // transition. A timeout abandons the *wait*, never the computation:
@@ -440,9 +450,12 @@ pub fn run_streaming(
     let mut dedup = 0u64;
     let mut claim_wait = 0u64;
     let mut failed: Option<String> = None;
-    for (idx, slot, owner) in pending {
+    for (idx, slot, owner, t0) in pending {
+        // `t0` is the cell's phase-1 admission time, so observe_cold
+        // records wall-clock admission→done latency — comparable to the
+        // bench's request-start-to-done figure — rather than the
+        // incremental wait from when the stream loop reached the cell.
         let cell = &cells[idx];
-        let t0 = Instant::now();
         let mut view = slot.view();
         loop {
             match &view {

@@ -101,20 +101,34 @@ pub const DEFAULT_CLAIM_TTL: Duration = Duration::from_secs(60);
 
 /// An advisory hold on one cell, taken with [`CellCache::try_claim`].
 ///
-/// Dropping the guard releases the claim (deletes the claim file).
-/// Claims are purely advisory — they coordinate *work*, never
-/// correctness: a claim left behind by a killed process expires after
-/// the cache's TTL and any waiter simply recomputes the (deterministic,
-/// bit-identical) cell.
+/// Dropping the guard releases the claim: the claim file is deleted
+/// only if it still holds this guard's unique token. A holder that
+/// outlives its TTL may have its claim *broken* by a contender who
+/// claims afresh — the late holder's drop then finds the contender's
+/// token and leaves the file alone, rather than deleting a claim it no
+/// longer owns (which would invite a third claimant to duplicate the
+/// work again). Claims are purely advisory — they coordinate *work*,
+/// never correctness: a claim left behind by a killed process expires
+/// after the cache's TTL and any waiter simply recomputes the
+/// (deterministic, bit-identical) cell.
 #[derive(Debug)]
 pub struct ClaimGuard {
     path: Option<PathBuf>,
+    token: String,
 }
+
+/// Distinguishes claims taken by one process: pid alone is not unique
+/// across a claim broken and re-taken by two threads of one daemon.
+static CLAIM_NONCE: AtomicU64 = AtomicU64::new(0);
 
 impl Drop for ClaimGuard {
     fn drop(&mut self) {
         if let Some(path) = self.path.take() {
-            let _ = std::fs::remove_file(path);
+            let ours =
+                std::fs::read_to_string(&path).is_ok_and(|text| text.trim_end() == self.token);
+            if ours {
+                let _ = std::fs::remove_file(path);
+            }
         }
     }
 }
@@ -271,10 +285,10 @@ impl CellCache {
         let (Some(dir), Some(path), true) =
             (self.dir.as_ref(), self.claim_path_for(key), self.read)
         else {
-            return Some(ClaimGuard { path: None });
+            return Some(ClaimGuard { path: None, token: String::new() });
         };
         if std::fs::create_dir_all(dir).is_err() {
-            return Some(ClaimGuard { path: None });
+            return Some(ClaimGuard { path: None, token: String::new() });
         }
         // Two attempts: the first may find a stale claim, break it, and
         // race other contenders for the replacement; losing that second
@@ -284,8 +298,19 @@ impl CellCache {
                 Ok(file) => {
                     use std::io::Write;
                     let mut file = file;
-                    let _ = writeln!(file, "pid={} cell={}", std::process::id(), key.digest());
-                    return Some(ClaimGuard { path: Some(path) });
+                    // The token identifies *this* guard: Drop releases
+                    // the claim only while the file still holds it, so
+                    // a contender who broke our stale claim keeps its
+                    // replacement. (If this write fails the token won't
+                    // match and the file simply expires via the TTL.)
+                    let token = format!(
+                        "pid={} nonce={} cell={}",
+                        std::process::id(),
+                        CLAIM_NONCE.fetch_add(1, Ordering::Relaxed),
+                        key.digest()
+                    );
+                    let _ = writeln!(file, "{token}");
+                    return Some(ClaimGuard { path: Some(path), token });
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
                     if !self.claim_is_stale(&path) {
@@ -293,7 +318,7 @@ impl CellCache {
                     }
                     let _ = std::fs::remove_file(&path);
                 }
-                Err(_) => return Some(ClaimGuard { path: None }),
+                Err(_) => return Some(ClaimGuard { path: None, token: String::new() }),
             }
         }
         None
@@ -514,6 +539,27 @@ mod tests {
         assert!(cache.try_claim(&key(2)).is_some(), "claims are per-cell");
         drop(guard);
         assert!(cache.try_claim(&k).is_some(), "a released claim is reclaimable");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn a_late_holders_drop_leaves_the_contenders_claim_alone() {
+        let dir = tmpdir("claimtoken");
+        let cache = CellCache::at(&dir).claim_ttl(Duration::ZERO);
+        let k = key(1);
+        let claim_path = dir.join(format!("{}.claim", k.digest()));
+        // The original holder outlives its (zero) TTL; a contender
+        // breaks the stale claim and claims afresh.
+        let original = cache.try_claim(&k).expect("first claim wins");
+        std::thread::sleep(Duration::from_millis(20));
+        let contender = cache.try_claim(&k).expect("stale claim must be breakable");
+        assert!(claim_path.exists());
+        // The late holder finishing now must not delete a claim it no
+        // longer owns — that would invite a third duplicate claimant.
+        drop(original);
+        assert!(claim_path.exists(), "the contender's claim survives the late drop");
+        drop(contender);
+        assert!(!claim_path.exists(), "the owner's drop releases its own claim");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
